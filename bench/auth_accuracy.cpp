@@ -1,0 +1,116 @@
+// Section VII-C claim: "MedSen can reliably classify different users
+// based on their cyto-coded passwords with high accuracy." Enrolls a
+// population of users with random collision-free codes, runs a full
+// authentication pass per user (bead mixture + blood through the
+// simulated sensor), and reports identification accuracy plus
+// false-accept behaviour for unenrolled mixtures.
+
+#include <cstdio>
+
+#include "auth/roc.h"
+#include "auth/verifier.h"
+#include "bench_common.h"
+#include "cloud/analysis_service.h"
+
+using namespace medsen;
+
+namespace {
+
+auth::BeadCensus census_for_mixture(
+    const std::vector<sim::MixtureComponent>& mixture,
+    const auth::Verifier& verifier, double duration_s, std::uint64_t seed) {
+  auto design = sim::standard_design(9);
+  design.lead_index = 0;
+  const auto channel = bench::default_channel();
+  const auto config = bench::quiet_acquisition(
+      verifier.classifier().config().carriers_hz);
+  const auto control = bench::fixed_control(0b1);  // auth: encryption off
+
+  sim::SampleSpec sample;
+  sample.components = mixture;
+  sample.components.push_back({sim::ParticleType::kBloodCell, 400.0});
+  const auto result = sim::acquire(sample, channel, design, config,
+                                   control, duration_s, seed);
+  cloud::AnalysisService service;
+  const auto report = service.analyze(result.signals);
+
+  // Build decoded peaks (plaintext pass: no gain/flow correction needed).
+  std::vector<core::DecodedPeak> peaks;
+  const auto& ref = report.channels[0].peaks;
+  for (const auto& p : ref) {
+    core::DecodedPeak d;
+    d.time_s = p.time_s;
+    d.width_s = p.width_s;
+    for (const auto& ch : report.channels) {
+      double amplitude = 0.0;
+      for (const auto& q : ch.peaks)
+        if (std::abs(q.time_s - p.time_s) < 0.02) amplitude = q.amplitude;
+      d.amplitudes.push_back(amplitude);
+    }
+    peaks.push_back(std::move(d));
+  }
+  const double volume_ul = 0.08 * duration_s / 60.0;
+  return verifier.census_from_peaks(peaks, volume_ul);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Authentication accuracy (Section VII-C)",
+                "users reliably identified from cyto-coded passwords");
+
+  auth::CytoAlphabet alphabet;
+  const auto classifier = auth::ParticleClassifier::train({});
+  auth::Verifier verifier(alphabet, classifier);
+  auth::EnrollmentDatabase db(alphabet);
+
+  crypto::ChaChaRng rng(2026);
+  constexpr int kUsers = 8;
+  std::vector<auth::CytoCode> codes;
+  for (int u = 0; u < kUsers; ++u)
+    codes.push_back(db.enroll_random("user" + std::to_string(u), rng));
+
+  const double duration_s = 600.0;  // ~0.8 uL pumped (repeatability needs volume)
+  int identified = 0, rejected_impostors = 0;
+  std::vector<double> genuine_distances, impostor_distances;
+  std::printf("user,code,decoded,authenticated,matched_user,distance\n");
+  for (int u = 0; u < kUsers; ++u) {
+    const auto mixture = auth::encode_mixture(alphabet, codes[u]);
+    const auto census = census_for_mixture(
+        mixture, verifier, duration_s, 5000 + static_cast<std::uint64_t>(u));
+    const auto result = verifier.authenticate(census, db);
+    const bool ok =
+        result.authenticated && result.user_id == "user" + std::to_string(u);
+    if (ok) ++identified;
+    genuine_distances.push_back(result.distance);
+    std::printf("user%d,%s,%s,%d,%s,%.3f\n", u,
+                codes[u].to_string().c_str(),
+                result.decoded_code.to_string().c_str(),
+                result.authenticated ? 1 : 0, result.user_id.c_str(),
+                result.distance);
+  }
+
+  // Impostor attempts: random unenrolled codes.
+  constexpr int kImpostors = 4;
+  for (int i = 0; i < kImpostors; ++i) {
+    auth::CytoCode code;
+    do {
+      code = auth::random_code(alphabet, rng);
+    } while (db.lookup(code).has_value());
+    const auto census = census_for_mixture(
+        auth::encode_mixture(alphabet, code), verifier, duration_s,
+        7000 + static_cast<std::uint64_t>(i));
+    const auto result = verifier.authenticate(census, db);
+    if (!result.authenticated) ++rejected_impostors;
+    impostor_distances.push_back(result.distance);
+  }
+
+  std::printf("identification accuracy: %d/%d\n", identified, kUsers);
+  std::printf("impostor rejection: %d/%d\n", rejected_impostors, kImpostors);
+  std::printf("equal error rate: %.4f; threshold for FRR<=12.5%%: %.3f "
+              "(deployed max_distance: 0.9)\n",
+              auth::equal_error_rate(genuine_distances, impostor_distances),
+              auth::threshold_for_frr(genuine_distances, 0.125));
+  std::printf("paper: reliable classification of users with high accuracy\n");
+  return 0;
+}

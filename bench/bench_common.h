@@ -1,0 +1,55 @@
+#pragma once
+// Shared rig setup for the figure-regeneration benches. Parameters follow
+// the fabricated prototype: 9-output electrode array, 450 Hz lock-in
+// output, 0.08 uL/min nominal flow, PBS-suspended 3.58/7.8 um beads and
+// blood cells.
+
+#include <cstdio>
+
+#include "core/controller.h"
+#include "core/encryptor.h"
+#include "sim/acquisition.h"
+
+namespace medsen::bench {
+
+inline sim::ChannelConfig default_channel(bool losses = false) {
+  sim::ChannelConfig channel;
+  channel.loss.enabled = losses;
+  return channel;
+}
+
+inline sim::AcquisitionConfig quiet_acquisition(
+    std::vector<double> carriers = {5.0e5, 2.0e6}) {
+  sim::AcquisitionConfig config;
+  config.carriers_hz = std::move(carriers);
+  config.noise_sigma = 5e-5;
+  config.drift.slow_amplitude = 0.002;
+  config.drift.random_walk_sigma = 1e-6;
+  return config;
+}
+
+inline core::KeyParams default_key_params(std::size_t electrodes = 9) {
+  core::KeyParams params;
+  params.num_electrodes = electrodes;
+  params.period_s = 4.0;
+  params.gain_min = 0.8;
+  params.gain_max = 1.6;
+  return params;
+}
+
+/// A fixed control trace: one segment, given mask, unit gains, 0.08 uL/min.
+inline std::vector<sim::ControlSegment> fixed_control(
+    sim::ElectrodeMask mask, double flow_ul_min = 0.08) {
+  sim::ControlSegment seg;
+  seg.t_start_s = 0.0;
+  seg.active_mask = mask;
+  seg.flow_ul_min = flow_ul_min;
+  return {seg};
+}
+
+inline void header(const char* figure, const char* claim) {
+  std::printf("== %s ==\n", figure);
+  std::printf("paper: %s\n", claim);
+}
+
+}  // namespace medsen::bench

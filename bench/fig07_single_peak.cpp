@@ -1,0 +1,60 @@
+// Figure 7: voltage drop when a single cell passes through an electrode
+// pair. Reproduces the single-peak waveform: one blood cell, one active
+// output electrode pair, 2 MHz carrier, ~20 ms transit.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cloud/analysis_service.h"
+#include "dsp/detrend.h"
+#include "dsp/peak_detect.h"
+
+using namespace medsen;
+
+int main() {
+  bench::header("Figure 7",
+                "a passing cell produces a single clean voltage-drop peak "
+                "(~20 ms response)");
+
+  // Single blood cell: tiny concentration over a short window, retried
+  // across seeds until exactly one transit occurs.
+  const auto design = sim::standard_design(9);
+  const auto channel = bench::default_channel();
+  const auto config = bench::quiet_acquisition({2.0e6});
+  const auto control = bench::fixed_control(0b10);  // one non-lead output
+
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBloodCell, 40.0}};
+  sim::AcquisitionResult result;
+  for (std::uint64_t seed = 1; seed < 200; ++seed) {
+    result = sim::acquire(sample, channel, design, config, control, 8.0,
+                          seed);
+    if (result.truth.total_particles() == 1) break;
+  }
+  if (result.truth.total_particles() != 1) {
+    std::printf("could not isolate a single transit\n");
+    return 1;
+  }
+
+  const auto& trace = result.signals.channels.front();
+  const auto detrended = dsp::detrend(trace.samples());
+  const auto peaks =
+      dsp::detect_peaks(detrended, trace.sample_rate(), trace.start_time());
+
+  std::printf("true transits: 1, detected peaks: %zu (double peak from one "
+              "flanked output electrode)\n",
+              peaks.size());
+  std::printf("peak_idx,time_s,depth_frac,width_ms\n");
+  for (std::size_t i = 0; i < peaks.size(); ++i)
+    std::printf("%zu,%.4f,%.5f,%.2f\n", i, peaks[i].time_s,
+                peaks[i].amplitude, peaks[i].width_s * 1e3);
+
+  // Waveform excerpt around the transit (what Fig. 7 plots).
+  const double t0 = result.truth.transits.front().event.enter_time_s;
+  std::printf("time_s,normalized_amplitude\n");
+  const std::size_t i0 = trace.index_at(t0 - 0.05);
+  const std::size_t i1 = trace.index_at(t0 + 0.10);
+  for (std::size_t i = i0; i <= i1; ++i)
+    std::printf("%.4f,%.6f\n", trace.time_at(i), detrended[i]);
+  return 0;
+}

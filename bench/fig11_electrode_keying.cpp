@@ -1,0 +1,60 @@
+// Figure 11 (a-d): encrypted cytometry signatures of a 9-output sensor
+// detecting 7.8 um beads at 2 MHz under four electrode-key patterns:
+//   (a) one output electrode alone
+//   (b) lead electrode 9 + electrode 1
+//   (c) lead electrode 9 + electrodes 1, 2
+//   (d) all nine outputs -> the 17-peak train the paper reports.
+// The true count is only recoverable with the key (the mask).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cloud/analysis_service.h"
+
+using namespace medsen;
+
+int main() {
+  bench::header("Figure 11",
+                "peak multiplicity follows the electrode key; all-on gives "
+                "a 17-peak train per bead");
+
+  auto design = sim::standard_design(9);
+  design.lead_index = 8;  // the paper's Fig. 11 device: lead is "electrode 9"
+  const auto channel = bench::default_channel();
+  const auto config = bench::quiet_acquisition({2.0e6});
+
+  struct Pattern {
+    const char* label;
+    sim::ElectrodeMask mask;
+  };
+  const Pattern patterns[] = {
+      {"(a) electrode 5 only", 1u << 4},
+      {"(b) lead 9 + electrode 1", (1u << 8) | 1u},
+      {"(c) lead 9 + electrodes 1,2", (1u << 8) | 0b11u},
+      {"(d) all nine outputs", design.all_mask()},
+  };
+
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead780, 35.0}};
+  cloud::AnalysisService service;
+
+  std::printf("pattern,expected_peaks_per_bead,measured_peaks_per_bead\n");
+  for (const auto& pattern : patterns) {
+    const auto control = bench::fixed_control(pattern.mask);
+    double beads = 0.0, peaks = 0.0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto result = sim::acquire(sample, channel, design, config,
+                                       control, 12.0, seed);
+      if (result.truth.total_particles() == 0) continue;
+      const auto report = service.analyze(result.signals);
+      beads += static_cast<double>(result.truth.total_particles());
+      peaks += static_cast<double>(report.reference_peak_count(2.0e6));
+    }
+    std::printf("%s,%zu,%.2f\n", pattern.label,
+                design.peaks_per_particle(pattern.mask),
+                beads > 0 ? peaks / beads : 0.0);
+  }
+  std::printf("note: pattern (d) expected 17 = 8 double-peak outputs + "
+              "single-peak lead (fabrication quirk reproduced)\n");
+  return 0;
+}

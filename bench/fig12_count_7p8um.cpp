@@ -1,0 +1,14 @@
+// Figure 12: measured vs expected bead counts for dilutions of 7.8 um
+// synthetic beads (4 samples per concentration, first 5 minutes counted).
+
+#include "count_calibration.h"
+
+int main() {
+  medsen::bench::header(
+      "Figure 12",
+      "7.8 um bead counts vary linearly with concentration; empirical "
+      "counts fall below expected (losses)");
+  medsen::bench::run_count_calibration(medsen::sim::ParticleType::kBead780,
+                                       {100.0, 250.0, 500.0, 875.0});
+  return 0;
+}

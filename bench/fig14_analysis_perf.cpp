@@ -1,0 +1,88 @@
+// Figure 14: peak-analysis processing time vs sample size, computer vs
+// smartphone. Paper numbers (i7-4710MQ vs Nexus 5 Snapdragon 800):
+//   240,607 samples: 0.110 s vs 0.343 s
+//   481,214 samples: 0.215 s vs 0.810 s
+//   962,428 samples: 0.452 s vs 1.554 s
+// Absolute times differ on this substrate; the shape to reproduce is
+// linear scaling with sample count and a constant ~3.4x phone penalty.
+
+#include <benchmark/benchmark.h>
+
+#include "cloud/analysis_service.h"
+#include "crypto/chacha20.h"
+#include "phone/profile.h"
+#include "sim/signal_synth.h"
+
+namespace {
+
+using namespace medsen;
+
+/// Synthetic acquisition of n total samples with realistic peak density.
+util::MultiChannelSeries make_series(std::size_t n_samples) {
+  crypto::ChaChaRng rng(n_samples);
+  std::vector<double> depth(n_samples, 0.0);
+  const double rate = 450.0;
+  // ~1 peak per second of signal.
+  const auto peaks = static_cast<std::size_t>(n_samples / rate);
+  for (std::size_t p = 0; p < peaks; ++p) {
+    const double center =
+        rng.uniform_double() * static_cast<double>(n_samples) / rate;
+    sim::add_gaussian_pulse(depth, rate, 0.0, center, 0.006,
+                            0.004 + 0.01 * rng.uniform_double());
+  }
+  sim::DriftConfig drift;
+  auto baseline = sim::synth_baseline(n_samples, rate, 0.0, drift, rng);
+  for (std::size_t i = 0; i < n_samples; ++i)
+    baseline[i] *= 1.0 - depth[i];
+  sim::add_white_noise(baseline, 1.2e-4, rng);
+
+  util::MultiChannelSeries series;
+  series.carrier_frequencies_hz = {5.0e5};
+  series.channels.emplace_back(rate, std::move(baseline));
+  return series;
+}
+
+void BM_PeakAnalysis_Computer(benchmark::State& state) {
+  const auto series = make_series(static_cast<std::size_t>(state.range(0)));
+  cloud::AnalysisService service;
+  for (auto _ : state) {
+    auto report = service.analyze(series);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["samples"] = static_cast<double>(state.range(0));
+  state.counters["profile_scale"] = phone::computer_profile().slowdown;
+}
+
+void BM_PeakAnalysis_Nexus5Model(benchmark::State& state) {
+  const auto series = make_series(static_cast<std::size_t>(state.range(0)));
+  cloud::AnalysisService service;
+  const auto profile = phone::nexus5_profile();
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto report = service.analyze(series);
+    benchmark::DoNotOptimize(report);
+    const double real = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    // Report the profile-scaled time as this iteration's duration.
+    state.SetIterationTime(profile.scale(real));
+  }
+  state.counters["samples"] = static_cast<double>(state.range(0));
+  state.counters["profile_scale"] = profile.slowdown;
+}
+
+BENCHMARK(BM_PeakAnalysis_Computer)
+    ->Arg(240607)
+    ->Arg(481214)
+    ->Arg(962428)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PeakAnalysis_Nexus5Model)
+    ->Arg(240607)
+    ->Arg(481214)
+    ->Arg(962428)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Figure 15 (a-c): normalized impedance response of (a) a blood cell,
+// (b) a 3.58 um bead, (c) a 7.8 um bead at carriers 500 kHz - 3 MHz.
+// Shape to reproduce: beads respond equally at all carriers; the blood
+// cell's dip shrinks at >= 2 MHz (membrane short-circuit); absolute dip
+// ordering 3.58 um < blood < 7.8 um (1x / 2x / 4x).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cloud/analysis_service.h"
+
+using namespace medsen;
+
+int main() {
+  bench::header("Figure 15",
+                "per-carrier normalized peak depth by particle type");
+
+  const std::vector<double> carriers = {5.0e5, 1.0e6, 2.0e6, 2.5e6, 3.0e6};
+  auto design = sim::standard_design(9);
+  design.lead_index = 0;
+  const auto channel = bench::default_channel();
+  const auto config = bench::quiet_acquisition(carriers);
+  const auto control = bench::fixed_control(0b1);  // lead only: 1 peak each
+  cloud::AnalysisService service;
+
+  std::printf("particle,carrier_hz,mean_depth_frac,depth_rel_500kHz\n");
+  for (auto type : {sim::ParticleType::kBloodCell,
+                    sim::ParticleType::kBead358,
+                    sim::ParticleType::kBead780}) {
+    sim::SampleSpec sample;
+    sample.components = {{type, 120.0}};
+    const auto result =
+        sim::acquire(sample, channel, design, config, control, 60.0, 4242);
+    const auto report = service.analyze(result.signals);
+    // Mean peak depth per carrier.
+    double ref_depth = 0.0;
+    for (std::size_t c = 0; c < carriers.size(); ++c) {
+      const auto& peaks = report.channels[c].peaks;
+      double mean = 0.0;
+      for (const auto& p : peaks) mean += p.amplitude;
+      if (!peaks.empty()) mean /= static_cast<double>(peaks.size());
+      if (c == 0) ref_depth = mean;
+      std::printf("%s,%.0f,%.5f,%.3f\n", sim::to_string(type).c_str(),
+                  carriers[c], mean,
+                  ref_depth > 0.0 ? mean / ref_depth : 0.0);
+    }
+  }
+  std::printf("paper shape: beads flat across carriers; blood cell decays "
+              "above 2 MHz; depths ~1x/2x/4x for 3.58um/blood/7.8um\n");
+  return 0;
+}

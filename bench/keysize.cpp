@@ -1,0 +1,67 @@
+// Section VI-B key-length accounting (Eq. 2): reproduces the paper's
+// worked example (20 K cells, 16 electrodes, 4-bit gains, 4-bit flow ->
+// ~1 Mbit / 0.12 MB) and sweeps the parameters, contrasting the ideal
+// per-cell scheme with the deployed periodic-rotation scheme.
+
+#include <cstdio>
+
+#include "core/key.h"
+#include "crypto/keymath.h"
+
+using namespace medsen;
+
+int main() {
+  std::printf("== Key size (Eq. 2) ==\n");
+  std::printf("paper: 20K cells, 16 electrodes, 16 gains, 16 flow speeds "
+              "-> 1 Mbit (0.12 MB)\n\n");
+
+  crypto::KeySizeParams paper;
+  paper.cells = 20000;
+  paper.electrodes = 16;
+  paper.gain_bits = 4;
+  paper.flow_bits = 4;
+  std::printf("worked example: %llu bits/cell, total %llu bits = %.3f MB\n",
+              static_cast<unsigned long long>(crypto::key_bits_per_cell(paper)),
+              static_cast<unsigned long long>(crypto::total_key_bits(paper)),
+              static_cast<double>(crypto::total_key_bytes(paper)) / 1.0e6);
+
+  std::printf("\ncells,electrodes,gain_bits,flow_bits,ideal_bits,ideal_MB\n");
+  for (std::uint64_t cells : {1000ull, 20000ull, 100000ull}) {
+    for (std::uint32_t electrodes : {9u, 16u}) {
+      for (std::uint32_t bits : {2u, 4u, 6u}) {
+        crypto::KeySizeParams p;
+        p.cells = cells;
+        p.electrodes = electrodes;
+        p.gain_bits = bits;
+        p.flow_bits = bits;
+        std::printf("%llu,%u,%u,%u,%llu,%.4f\n",
+                    static_cast<unsigned long long>(cells), electrodes, bits,
+                    bits,
+                    static_cast<unsigned long long>(crypto::total_key_bits(p)),
+                    static_cast<double>(crypto::total_key_bytes(p)) / 1.0e6);
+      }
+    }
+  }
+
+  // Deployed scheme: periodic rotation instead of per-cell keys.
+  std::printf("\nperiodic scheme (60 s acquisition):\n");
+  std::printf("period_s,keys,total_bits,vs_ideal_20Kcells\n");
+  crypto::KeySizeParams p = paper;
+  for (double period : {0.5, 1.0, 2.0, 4.0}) {
+    const auto bits = crypto::periodic_key_bits(p, 60.0, period);
+    std::printf("%.1f,%.0f,%llu,%.6f\n", period, 60.0 / period,
+                static_cast<unsigned long long>(bits),
+                static_cast<double>(bits) /
+                    static_cast<double>(crypto::total_key_bits(p)));
+  }
+
+  // Cross-check with the KeySchedule implementation.
+  core::KeyParams kp;
+  kp.num_electrodes = 9;
+  kp.period_s = 2.0;
+  crypto::ChaChaRng rng(1);
+  const auto schedule = core::KeySchedule::generate(kp, 60.0, rng);
+  std::printf("\nKeySchedule (9 electrodes, 2 s period, 60 s): %llu bits\n",
+              static_cast<unsigned long long>(schedule.size_bits()));
+  return 0;
+}

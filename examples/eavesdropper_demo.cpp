@@ -1,0 +1,105 @@
+// What does the curious-but-honest cloud actually see? This example runs
+// one encrypted acquisition and prints, side by side:
+//   * the ground truth (simulator-only),
+//   * the ciphertext view (peak count, amplitude/width spread),
+//   * every standard attacker's best count estimate,
+//   * the legitimate decode with the key.
+// It then re-runs with the cipher disabled to show the leak MedSen closes.
+
+#include <cstdio>
+
+#include "cloud/analysis_service.h"
+#include "core/attacker.h"
+#include "core/controller.h"
+#include "core/decryptor.h"
+#include "core/encryptor.h"
+#include "util/stats.h"
+
+using namespace medsen;
+
+namespace {
+
+void report_view(const char* label, const core::PeakReport& report,
+                 std::size_t truth,
+                 const core::DecryptionResult* decoded) {
+  const auto& peaks = report.nearest_channel(5.0e5).peaks;
+  std::vector<double> amplitudes, widths;
+  for (const auto& p : peaks) {
+    amplitudes.push_back(p.amplitude);
+    widths.push_back(p.width_s);
+  }
+  std::printf("%s\n", label);
+  std::printf("  ciphertext peaks: %zu (true particles: %zu)\n",
+              peaks.size(), truth);
+  if (!amplitudes.empty()) {
+    std::printf("  amplitude spread: mean %.4f, cv %.2f\n",
+                util::mean(amplitudes),
+                util::stddev(amplitudes) / util::mean(amplitudes));
+    std::printf("  width spread:     mean %.1f ms, cv %.2f\n",
+                util::mean(widths) * 1e3,
+                util::stddev(widths) / util::mean(widths));
+  }
+  if (decoded)
+    std::printf("  legitimate decode: %.1f particles (error %.1f%%)\n",
+                decoded->estimated_count,
+                100.0 * core::recovery_error(decoded->estimated_count,
+                                             static_cast<double>(truth)));
+}
+
+}  // namespace
+
+int main() {
+  const auto design = sim::standard_design(9);
+  sim::ChannelConfig channel;
+  sim::AcquisitionConfig acquisition;
+  acquisition.carriers_hz = {5.0e5, 2.0e6};
+  core::KeyParams key_params;
+  key_params.num_electrodes = design.num_outputs;
+  key_params.min_active_electrodes = 2;
+
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead780, 150.0}};
+  const double duration_s = 45.0;
+
+  // --- Encrypted run.
+  core::Controller controller(key_params, design,
+                              core::DiagnosticProfile::cd4_staging(), 99);
+  (void)controller.begin_session(duration_s);
+  core::SensorEncryptor encryptor(design, channel, acquisition);
+  const auto enc = encryptor.acquire(
+      sample, controller.session_key_schedule_for_testing(), duration_s, 1);
+  cloud::AnalysisService service;
+  const auto report = service.analyze(enc.signals);
+  const auto decoded = controller.decrypt(report);
+  report_view("=== encrypted acquisition (what the cloud sees) ===", report,
+              enc.truth.total_particles(), &decoded);
+
+  std::printf("\n  attacker estimates (truth hidden from them):\n");
+  for (auto& attacker : core::standard_attackers(design)) {
+    const double estimate = attacker->estimate_count(report);
+    std::printf("    %-20s -> %7.1f particles (error %.0f%%)\n",
+                attacker->name().c_str(), estimate,
+                100.0 * core::recovery_error(
+                            estimate,
+                            static_cast<double>(enc.truth.total_particles())));
+  }
+
+  // --- Control run with the cipher off: single fixed electrode.
+  std::printf("\n");
+  core::Controller plain_controller(key_params, design,
+                                    core::DiagnosticProfile::cd4_staging(),
+                                    100);
+  (void)plain_controller.begin_plaintext_session(duration_s);
+  const auto plain = encryptor.acquire(
+      sample, plain_controller.session_key_schedule_for_testing(),
+      duration_s, 1);
+  const auto plain_report = service.analyze(plain.signals);
+  report_view("=== encryption OFF (the leak MedSen closes) ===",
+              plain_report, plain.truth.total_particles(), nullptr);
+  std::printf("  a naive eavesdropper now reads the count directly: %zu\n",
+              plain_report.reference_peak_count());
+  std::printf("\nkey material never left the controller: %llu bits\n",
+              static_cast<unsigned long long>(
+                  controller.session_key_bits()));
+  return 0;
+}

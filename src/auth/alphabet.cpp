@@ -1,0 +1,57 @@
+#include "auth/alphabet.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace medsen::auth {
+
+std::uint64_t CytoAlphabet::space_size() const {
+  std::uint64_t size = 1;
+  for (std::size_t i = 0; i < characters(); ++i) size *= levels();
+  return size;
+}
+
+double CytoAlphabet::entropy_bits() const {
+  return static_cast<double>(characters()) *
+         std::log2(static_cast<double>(levels()));
+}
+
+std::uint8_t CytoAlphabet::nearest_level(double concentration_per_ul) const {
+  std::uint8_t best = 0;
+  double best_err = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < concentration_levels_per_ul.size(); ++i) {
+    const double err =
+        std::fabs(concentration_levels_per_ul[i] - concentration_per_ul);
+    if (err < best_err) {
+      best_err = err;
+      best = static_cast<std::uint8_t>(i);
+    }
+  }
+  return best;
+}
+
+double CytoAlphabet::min_level_separation() const {
+  double min_gap = std::numeric_limits<double>::max();
+  for (std::size_t i = 1; i < concentration_levels_per_ul.size(); ++i)
+    min_gap = std::min(min_gap, concentration_levels_per_ul[i] -
+                                    concentration_levels_per_ul[i - 1]);
+  return min_gap;
+}
+
+void CytoAlphabet::validate() const {
+  if (bead_types.empty())
+    throw std::invalid_argument("CytoAlphabet: no bead types");
+  if (levels() < 2)
+    throw std::invalid_argument("CytoAlphabet: need >= 2 levels");
+  for (std::size_t i = 1; i < concentration_levels_per_ul.size(); ++i)
+    if (concentration_levels_per_ul[i] <= concentration_levels_per_ul[i - 1])
+      throw std::invalid_argument(
+          "CytoAlphabet: levels must be strictly increasing");
+  for (auto type : bead_types)
+    if (type == sim::ParticleType::kBloodCell)
+      throw std::invalid_argument(
+          "CytoAlphabet: blood cells cannot be password characters");
+}
+
+}  // namespace medsen::auth

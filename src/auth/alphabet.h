@@ -1,0 +1,48 @@
+#pragma once
+// The cyto-coded password alphabet (paper Section V / VII-C): a password
+// "character" is a bead type; its "value" is the concentration level of
+// that bead type mixed into the patient's sample. The alphabet fixes the
+// admissible types and the quantized concentration levels, spaced far
+// enough apart that the sensor's count noise cannot confuse adjacent
+// levels (the collision requirement of Section VI-B).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/particle.h"
+
+namespace medsen::auth {
+
+struct CytoAlphabet {
+  /// Bead types usable as password characters (blood cells are never part
+  /// of a password; they are the diagnostic payload).
+  std::vector<sim::ParticleType> bead_types = {sim::ParticleType::kBead358,
+                                               sim::ParticleType::kBead780};
+  /// Quantized concentration levels (beads/uL). Level 0 conventionally
+  /// means "type absent". The paper observes lower concentrations have
+  /// less variance, so levels are denser at the low end.
+  std::vector<double> concentration_levels_per_ul = {0.0, 150.0, 300.0,
+                                                     500.0, 750.0};
+
+  [[nodiscard]] std::size_t levels() const {
+    return concentration_levels_per_ul.size();
+  }
+  [[nodiscard]] std::size_t characters() const { return bead_types.size(); }
+
+  /// Password space size = levels ^ characters.
+  [[nodiscard]] std::uint64_t space_size() const;
+  /// Entropy in bits = characters * log2(levels).
+  [[nodiscard]] double entropy_bits() const;
+
+  /// Index of the level nearest to a measured concentration.
+  [[nodiscard]] std::uint8_t nearest_level(double concentration_per_ul) const;
+
+  /// Smallest gap between adjacent levels (beads/uL) — the resolution the
+  /// sensor must meet to avoid identifier collisions.
+  [[nodiscard]] double min_level_separation() const;
+
+  /// Validate: >= 1 type, >= 2 levels, strictly increasing levels.
+  void validate() const;
+};
+
+}  // namespace medsen::auth

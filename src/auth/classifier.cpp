@@ -1,0 +1,78 @@
+#include "auth/classifier.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace medsen::auth {
+
+dsp::LabeledPoint ParticleClassifier::synth_example(
+    sim::ParticleType type, const ClassifierConfig& config,
+    crypto::ChaChaRng& rng) {
+  const auto& props = sim::properties(type);
+  sim::Particle particle;
+  particle.type = type;
+  particle.diameter_um =
+      std::max(0.5, rng.normal(props.diameter_um_mean, props.diameter_um_sigma));
+  dsp::LabeledPoint point;
+  point.label = static_cast<std::size_t>(type);
+  point.features.reserve(config.carriers_hz.size());
+  for (double carrier : config.carriers_hz) {
+    const double noise =
+        std::max(0.1, rng.normal(1.0, config.measurement_noise));
+    point.features.push_back(sim::peak_contrast(particle, carrier) * noise);
+  }
+  return point;
+}
+
+dsp::FeatureVector ParticleClassifier::transform(
+    const dsp::FeatureVector& raw_amplitudes) {
+  constexpr double kEps = 1e-9;
+  // Shape (frequency-roll-off) separates blood cells from beads of any
+  // size; weight it above the size term so a small blood cell is never
+  // mistaken for a large bead.
+  constexpr double kRatioWeight = 2.0;
+  dsp::FeatureVector out;
+  out.reserve(raw_amplitudes.size());
+  const double ref = std::max(
+      raw_amplitudes.empty() ? kEps : raw_amplitudes.front(), kEps);
+  out.push_back(std::log10(ref));
+  for (std::size_t i = 1; i < raw_amplitudes.size(); ++i)
+    out.push_back(kRatioWeight * raw_amplitudes[i] / ref);
+  return out;
+}
+
+ParticleClassifier ParticleClassifier::train(const ClassifierConfig& config) {
+  if (config.carriers_hz.empty())
+    throw std::invalid_argument("ParticleClassifier: no carriers");
+  crypto::ChaChaRng rng(config.seed);
+  std::vector<dsp::LabeledPoint> data;
+  data.reserve(config.train_per_class * sim::kParticleTypeCount);
+  for (std::size_t t = 0; t < sim::kParticleTypeCount; ++t) {
+    for (std::size_t i = 0; i < config.train_per_class; ++i) {
+      auto example = synth_example(static_cast<sim::ParticleType>(t), config,
+                                   rng);
+      example.features = transform(example.features);
+      data.push_back(std::move(example));
+    }
+  }
+  ParticleClassifier classifier;
+  classifier.config_ = config;
+  classifier.model_.fit(data, sim::kParticleTypeCount);
+  return classifier;
+}
+
+sim::ParticleType ParticleClassifier::classify(
+    const dsp::FeatureVector& features) const {
+  return static_cast<sim::ParticleType>(model_.predict(transform(features)));
+}
+
+double ParticleClassifier::margin(const dsp::FeatureVector& features) const {
+  return model_.margin(transform(features));
+}
+
+dsp::FeatureVector ParticleClassifier::features_of(
+    const core::DecodedPeak& peak) {
+  return peak.amplitudes;
+}
+
+}  // namespace medsen::auth

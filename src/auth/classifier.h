@@ -1,0 +1,75 @@
+#pragma once
+// Particle-type classification for cyto-coded authentication. Peaks from
+// the (plaintext, encryption-off) authentication pass are mapped to
+// particle types using their multi-frequency amplitude feature vectors —
+// the clusters of the paper's Fig. 16. Training data is drawn from the
+// calibrated particle physics model, which is exactly how the prototype
+// calibrates against known bead solutions.
+//
+// Note: authentication runs with in-sensor encryption off (paper Section
+// V, last paragraph), so peak amplitudes reach the classifier unscaled.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decryptor.h"
+#include "dsp/classify.h"
+#include "sim/particle.h"
+
+namespace medsen::auth {
+
+struct ClassifierConfig {
+  /// Carrier frequencies forming the feature vector; must match the
+  /// acquisition channels the peaks were measured on.
+  std::vector<double> carriers_hz = {5.0e5, 8.0e5, 1.0e6, 1.2e6,
+                                     1.4e6, 2.0e6, 3.0e6, 4.0e6};
+  std::size_t train_per_class = 300;
+  /// Relative multiplicative measurement noise applied to training
+  /// amplitudes (electronics + focusing variation).
+  double measurement_noise = 0.06;
+  std::uint64_t seed = 7;
+};
+
+/// Nearest-centroid classifier over particle types, trained on the
+/// physics model.
+class ParticleClassifier {
+ public:
+  /// Train from the calibrated model (all three particle types).
+  static ParticleClassifier train(const ClassifierConfig& config);
+
+  /// Classify one multi-frequency amplitude feature vector.
+  [[nodiscard]] sim::ParticleType classify(
+      const dsp::FeatureVector& features) const;
+
+  /// Classification margin in [0,1] (see dsp classifier).
+  [[nodiscard]] double margin(const dsp::FeatureVector& features) const;
+
+  /// Build the feature vector of a decoded peak (its per-channel
+  /// amplitudes, which must align with config.carriers_hz).
+  [[nodiscard]] static dsp::FeatureVector features_of(
+      const core::DecodedPeak& peak);
+
+  /// Internal feature transform: raw per-carrier amplitudes ->
+  /// [log10(reference amplitude), a_i / a_ref ...]. The log captures
+  /// particle size (bead358 vs bead780) while the ratios capture the
+  /// frequency-response *shape* (blood-cell membrane roll-off, Fig. 15),
+  /// making classification insensitive to per-particle size jitter.
+  [[nodiscard]] static dsp::FeatureVector transform(
+      const dsp::FeatureVector& raw_amplitudes);
+
+  [[nodiscard]] const ClassifierConfig& config() const { return config_; }
+  [[nodiscard]] const dsp::NearestCentroidClassifier& model() const {
+    return model_;
+  }
+
+  /// Generate one synthetic labeled example (exposed for tests/benches).
+  static dsp::LabeledPoint synth_example(sim::ParticleType type,
+                                         const ClassifierConfig& config,
+                                         crypto::ChaChaRng& rng);
+
+ private:
+  ClassifierConfig config_;
+  dsp::NearestCentroidClassifier model_;
+};
+
+}  // namespace medsen::auth

@@ -1,0 +1,71 @@
+#include "auth/collision.h"
+
+#include <cmath>
+
+namespace medsen::auth {
+
+double normal_tail(double x) {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+CollisionAnalysis analyze_collisions(const CytoAlphabet& alphabet,
+                                     const CollisionModel& model) {
+  alphabet.validate();
+  CollisionAnalysis out;
+  out.nominal_entropy_bits = alphabet.entropy_bits();
+
+  // Per-level confusion: measured concentration c_hat = N / (V * eff)
+  // with N ~ Poisson(c * V * eff). A level decodes wrongly when c_hat
+  // crosses the midpoint to an adjacent level. Normal approximation:
+  // sigma_c = sqrt(c * V * eff) / (V * eff) = sqrt(c / (V * eff)).
+  const auto& levels = alphabet.concentration_levels_per_ul;
+  const double ve = model.volume_ul * model.capture_efficiency;
+  // Classifier error converts a fraction of the other types' beads into
+  // spurious counts of this type; model it as a concentration floor so
+  // even the "absent" level has measurement variance.
+  const double spurious_c = model.classifier_error * levels.back();
+  double worst = 0.0;
+  double mean_confusion = 0.0;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const double c = levels[i];
+    const double sigma = std::sqrt(std::max(c, spurious_c) / ve);
+    double p = 0.0;
+    if (sigma > 0.0) {
+      if (i > 0) p += normal_tail((c - levels[i - 1]) / 2.0 / sigma);
+      if (i + 1 < levels.size())
+        p += normal_tail((levels[i + 1] - c) / 2.0 / sigma);
+    }
+    p = std::min(1.0, p);
+    worst = std::max(worst, p);
+    mean_confusion += p;
+  }
+  mean_confusion /= static_cast<double>(levels.size());
+
+  out.per_character_confusion = worst;
+  out.code_error_probability =
+      1.0 - std::pow(1.0 - worst, static_cast<double>(alphabet.characters()));
+
+  // Effective entropy: each character's usable level count shrinks by the
+  // expected number of confusable levels.
+  const double usable_levels = std::max(
+      1.0, static_cast<double>(alphabet.levels()) * (1.0 - mean_confusion));
+  out.effective_entropy_bits =
+      static_cast<double>(alphabet.characters()) * std::log2(usable_levels);
+
+  out.random_collision_probability =
+      1.0 / static_cast<double>(alphabet.space_size());
+  return out;
+}
+
+double birthday_collision_probability(const CytoAlphabet& alphabet,
+                                      std::uint64_t users) {
+  const double space = static_cast<double>(alphabet.space_size());
+  if (static_cast<double>(users) >= space) return 1.0;
+  // P(no collision) = prod_{k=0}^{users-1} (1 - k/space).
+  double log_no_collision = 0.0;
+  for (std::uint64_t k = 0; k < users; ++k)
+    log_no_collision += std::log1p(-static_cast<double>(k) / space);
+  return 1.0 - std::exp(log_no_collision);
+}
+
+}  // namespace medsen::auth

@@ -1,0 +1,48 @@
+#pragma once
+// Collision and entropy analysis of the cyto-coded password space
+// (paper Sections V, VI-B, VII-C). Measured bead counts are Poisson
+// distributed around concentration x volume x capture-efficiency, so
+// adjacent concentration levels can be confused; this module quantifies
+// the per-character confusion probability, the code-level error rate, and
+// the effective password entropy — the engineering trade the paper
+// describes when it picks bead types and concentration levels.
+
+#include <cstdint>
+
+#include "auth/alphabet.h"
+
+namespace medsen::auth {
+
+struct CollisionModel {
+  double volume_ul = 5.0;           ///< pumped sample volume
+  double capture_efficiency = 0.9;  ///< fraction of beads actually counted
+                                    ///< (sedimentation/adsorption losses)
+  double classifier_error = 0.01;   ///< per-bead type misclassification
+};
+
+struct CollisionAnalysis {
+  /// Worst-case probability that one character decodes to a wrong level.
+  double per_character_confusion = 0.0;
+  /// Probability a full code decodes incorrectly (any character wrong).
+  double code_error_probability = 0.0;
+  /// Nominal entropy of the alphabet in bits.
+  double nominal_entropy_bits = 0.0;
+  /// Entropy after discounting confusable level pairs.
+  double effective_entropy_bits = 0.0;
+  /// Probability that two independently drawn random codes collide.
+  double random_collision_probability = 0.0;
+};
+
+/// Analyze an alphabet under a measurement model.
+CollisionAnalysis analyze_collisions(const CytoAlphabet& alphabet,
+                                     const CollisionModel& model);
+
+/// Probability that at least two of `users` independently drawn random
+/// codes collide (birthday bound over the alphabet's space).
+double birthday_collision_probability(const CytoAlphabet& alphabet,
+                                      std::uint64_t users);
+
+/// Standard normal upper-tail probability Q(x) = P(Z > x).
+double normal_tail(double x);
+
+}  // namespace medsen::auth

@@ -1,0 +1,74 @@
+#include "auth/enrollment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace medsen::auth {
+
+EnrollmentDatabase::EnrollmentDatabase(CytoAlphabet alphabet)
+    : alphabet_(std::move(alphabet)) {
+  alphabet_.validate();
+}
+
+void EnrollmentDatabase::enroll(const std::string& user_id,
+                                const CytoCode& code) {
+  if (code.levels.size() != alphabet_.characters())
+    throw std::invalid_argument("enroll: code does not match alphabet");
+  for (auto level : code.levels)
+    if (level >= alphabet_.levels())
+      throw std::invalid_argument("enroll: level out of range");
+  if (std::all_of(code.levels.begin(), code.levels.end(),
+                  [](std::uint8_t l) { return l == 0; }))
+    throw std::invalid_argument("enroll: all-absent code is unusable");
+  for (const auto& r : records_) {
+    if (r.code == code)
+      throw std::invalid_argument("enroll: code already enrolled");
+    if (r.user_id == user_id)
+      throw std::invalid_argument("enroll: user already enrolled");
+  }
+  records_.push_back({user_id, code});
+}
+
+CytoCode EnrollmentDatabase::enroll_random(const std::string& user_id,
+                                           crypto::ChaChaRng& rng) {
+  if (records_.size() >= alphabet_.space_size() - 1)
+    throw std::runtime_error("enroll_random: password space exhausted");
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    const CytoCode code = random_code(alphabet_, rng);
+    const bool taken = std::any_of(
+        records_.begin(), records_.end(),
+        [&](const UserRecord& r) { return r.code == code; });
+    if (taken) continue;
+    enroll(user_id, code);
+    return code;
+  }
+  throw std::runtime_error("enroll_random: could not find a free code");
+}
+
+std::optional<std::string> EnrollmentDatabase::lookup(
+    const CytoCode& code) const {
+  for (const auto& r : records_)
+    if (r.code == code) return r.user_id;
+  return std::nullopt;
+}
+
+std::optional<EnrollmentDatabase::Match> EnrollmentDatabase::match_census(
+    const BeadCensus& census) const {
+  std::optional<Match> best;
+  for (const auto& r : records_) {
+    const double d = census_distance(alphabet_, r.code, census);
+    if (!best || d < best->distance) best = Match{r, d};
+  }
+  return best;
+}
+
+bool EnrollmentDatabase::remove(const std::string& user_id) {
+  const auto it = std::remove_if(
+      records_.begin(), records_.end(),
+      [&](const UserRecord& r) { return r.user_id == user_id; });
+  const bool removed = it != records_.end();
+  records_.erase(it, records_.end());
+  return removed;
+}
+
+}  // namespace medsen::auth

@@ -1,0 +1,59 @@
+#pragma once
+// Server-side enrollment database: maps cyto-codes to user identities.
+// The cloud stores analysis outcomes keyed by the (decoded) identifier —
+// it never learns any biometric, because a cyto-code carries none (paper
+// Section V). Enrollment rejects duplicate codes, enforcing the
+// collision-free identifier dictionary the paper requires.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "auth/alphabet.h"
+#include "auth/identifier.h"
+
+namespace medsen::auth {
+
+struct UserRecord {
+  std::string user_id;
+  CytoCode code;
+};
+
+class EnrollmentDatabase {
+ public:
+  explicit EnrollmentDatabase(CytoAlphabet alphabet);
+
+  /// Enroll a user with a given code. Throws std::invalid_argument if the
+  /// code is malformed, all-zero, or already taken by another user.
+  void enroll(const std::string& user_id, const CytoCode& code);
+
+  /// Enroll with a freshly generated collision-free random code.
+  CytoCode enroll_random(const std::string& user_id, crypto::ChaChaRng& rng);
+
+  /// Exact-code lookup.
+  [[nodiscard]] std::optional<std::string> lookup(const CytoCode& code) const;
+
+  /// Closest enrolled record to a measured census, with its distance in
+  /// level-separation units. nullopt when the database is empty.
+  struct Match {
+    UserRecord record;
+    double distance = 0.0;
+  };
+  [[nodiscard]] std::optional<Match> match_census(
+      const BeadCensus& census) const;
+
+  [[nodiscard]] bool remove(const std::string& user_id);
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const CytoAlphabet& alphabet() const { return alphabet_; }
+  [[nodiscard]] std::span<const UserRecord> records() const {
+    return records_;
+  }
+
+ private:
+  CytoAlphabet alphabet_;
+  std::vector<UserRecord> records_;
+};
+
+}  // namespace medsen::auth

@@ -1,0 +1,128 @@
+#include "auth/identifier.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace medsen::auth {
+
+std::string CytoCode::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i) out += '-';
+    out += std::to_string(static_cast<int>(levels[i]));
+  }
+  return out;
+}
+
+std::vector<sim::MixtureComponent> encode_mixture(const CytoAlphabet& alphabet,
+                                                  const CytoCode& code) {
+  if (code.levels.size() != alphabet.characters())
+    throw std::invalid_argument("encode_mixture: code/alphabet mismatch");
+  std::vector<sim::MixtureComponent> mixture;
+  for (std::size_t i = 0; i < code.levels.size(); ++i) {
+    const std::uint8_t level = code.levels[i];
+    if (level >= alphabet.levels())
+      throw std::invalid_argument("encode_mixture: level out of range");
+    const double conc = alphabet.concentration_levels_per_ul[level];
+    if (conc <= 0.0) continue;
+    mixture.push_back({alphabet.bead_types[i], conc});
+  }
+  return mixture;
+}
+
+CytoCode decode_census(const CytoAlphabet& alphabet,
+                       const BeadCensus& census) {
+  if (census.counts.size() != alphabet.characters())
+    throw std::invalid_argument("decode_census: census/alphabet mismatch");
+  CytoCode code;
+  code.levels.reserve(alphabet.characters());
+  for (std::size_t i = 0; i < alphabet.characters(); ++i)
+    code.levels.push_back(alphabet.nearest_level(census.concentration(i)));
+  return code;
+}
+
+double census_distance(const CytoAlphabet& alphabet, const CytoCode& code,
+                       const BeadCensus& census) {
+  if (code.levels.size() != alphabet.characters() ||
+      census.counts.size() != alphabet.characters())
+    throw std::invalid_argument("census_distance: size mismatch");
+  const auto& levels = alphabet.concentration_levels_per_ul;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < alphabet.characters(); ++i) {
+    const std::size_t level = code.levels[i];
+    const double expected = levels[level];
+    // Half the gap to the nearest adjacent level = the decode margin.
+    double gap = std::numeric_limits<double>::max();
+    if (level > 0) gap = std::min(gap, expected - levels[level - 1]);
+    if (level + 1 < levels.size())
+      gap = std::min(gap, levels[level + 1] - expected);
+    const double margin = gap / 2.0;
+    const double measured = census.concentration(i);
+    worst = std::max(worst, std::fabs(measured - expected) / margin);
+  }
+  return worst;
+}
+
+std::size_t hamming_distance(const CytoCode& a, const CytoCode& b) {
+  if (a.levels.size() != b.levels.size())
+    throw std::invalid_argument("hamming_distance: size mismatch");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.levels.size(); ++i)
+    if (a.levels[i] != b.levels[i]) ++d;
+  return d;
+}
+
+CytoCode random_code(const CytoAlphabet& alphabet, crypto::ChaChaRng& rng) {
+  CytoCode code;
+  code.levels.resize(alphabet.characters());
+  do {
+    for (auto& level : code.levels)
+      level = static_cast<std::uint8_t>(
+          rng.uniform(static_cast<std::uint32_t>(alphabet.levels())));
+  } while ([&] {
+    for (auto level : code.levels)
+      if (level != 0) return false;
+    return true;
+  }());
+  return code;
+}
+
+std::vector<CytoCode> enumerate_codes(const CytoAlphabet& alphabet) {
+  std::vector<CytoCode> all;
+  CytoCode current;
+  current.levels.assign(alphabet.characters(), 0);
+  const std::size_t levels = alphabet.levels();
+  for (;;) {
+    all.push_back(current);
+    // Increment like an odometer.
+    std::size_t pos = 0;
+    while (pos < current.levels.size()) {
+      if (++current.levels[pos] < levels) break;
+      current.levels[pos] = 0;
+      ++pos;
+    }
+    if (pos == current.levels.size()) break;
+  }
+  return all;
+}
+
+std::vector<std::uint8_t> serialize_code(const CytoCode& code) {
+  util::ByteWriter out;
+  out.u32(static_cast<std::uint32_t>(code.levels.size()));
+  for (auto level : code.levels) out.u8(level);
+  return out.take();
+}
+
+CytoCode deserialize_code(std::span<const std::uint8_t> bytes) {
+  util::ByteReader in(bytes);
+  CytoCode code;
+  const std::uint32_t n = in.u32();
+  code.levels.resize(n);
+  for (auto& level : code.levels) level = in.u8();
+  return code;
+}
+
+}  // namespace medsen::auth

@@ -1,0 +1,71 @@
+#pragma once
+// Cyto-coded identifiers: a patient's password is a vector of
+// concentration levels, one per bead type in the alphabet. Encoding turns
+// the code into the bead mixture added to the sample pipette; decoding
+// turns a measured bead census back into the nearest code.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "auth/alphabet.h"
+#include "crypto/chacha20.h"
+#include "sim/particle.h"
+
+namespace medsen::auth {
+
+/// A concrete cyto-code: level index per alphabet character.
+struct CytoCode {
+  std::vector<std::uint8_t> levels;  ///< aligned with alphabet.bead_types
+
+  bool operator==(const CytoCode& other) const = default;
+
+  /// Compact display form, e.g. "2-0-4".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Bead counts per type measured from a sample (classification output).
+struct BeadCensus {
+  /// counts[i] = beads of alphabet.bead_types[i] observed.
+  std::vector<double> counts;
+  double volume_ul = 0.0;  ///< pumped volume, to convert to concentration
+
+  [[nodiscard]] double concentration(std::size_t type_index) const {
+    return volume_ul > 0.0 ? counts.at(type_index) / volume_ul : 0.0;
+  }
+};
+
+/// Encode: the bead mixture (concentrations) realizing a code. These
+/// components are added on top of the blood sample's own cells.
+std::vector<sim::MixtureComponent> encode_mixture(const CytoAlphabet& alphabet,
+                                                  const CytoCode& code);
+
+/// Decode a census to the nearest code (per-character nearest level).
+CytoCode decode_census(const CytoAlphabet& alphabet,
+                       const BeadCensus& census);
+
+/// Distance between a census and a code in units of the decode margin:
+/// for each character, |measured - level| divided by half the gap to that
+/// level's nearest neighbouring level; the maximum over characters is
+/// returned. < 1.0 means every character still decodes to its own level;
+/// the verifier accepts below a stricter threshold (default 0.9).
+double census_distance(const CytoAlphabet& alphabet, const CytoCode& code,
+                       const BeadCensus& census);
+
+/// Number of characters that differ between two codes (Hamming distance).
+std::size_t hamming_distance(const CytoCode& a, const CytoCode& b);
+
+/// Random code with at least one non-zero character (an all-absent
+/// password is unusable).
+CytoCode random_code(const CytoAlphabet& alphabet, crypto::ChaChaRng& rng);
+
+/// All codes of the alphabet in lexicographic order (for collision
+/// analysis on small alphabets).
+std::vector<CytoCode> enumerate_codes(const CytoAlphabet& alphabet);
+
+/// Serialization for enrollment storage.
+std::vector<std::uint8_t> serialize_code(const CytoCode& code);
+CytoCode deserialize_code(std::span<const std::uint8_t> bytes);
+
+}  // namespace medsen::auth

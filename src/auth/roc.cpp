@@ -1,0 +1,85 @@
+#include "auth/roc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace medsen::auth {
+
+RocPoint roc_at(const std::vector<double>& genuine_distances,
+                const std::vector<double>& impostor_distances,
+                double threshold) {
+  RocPoint point;
+  point.threshold = threshold;
+  if (!impostor_distances.empty()) {
+    std::size_t accepted = 0;
+    for (double d : impostor_distances)
+      if (d <= threshold) ++accepted;
+    point.far = static_cast<double>(accepted) /
+                static_cast<double>(impostor_distances.size());
+  }
+  if (!genuine_distances.empty()) {
+    std::size_t rejected = 0;
+    for (double d : genuine_distances)
+      if (d > threshold) ++rejected;
+    point.frr = static_cast<double>(rejected) /
+                static_cast<double>(genuine_distances.size());
+  }
+  return point;
+}
+
+std::vector<RocPoint> roc_curve(
+    const std::vector<double>& genuine_distances,
+    const std::vector<double>& impostor_distances) {
+  std::vector<double> thresholds = {0.0};
+  thresholds.insert(thresholds.end(), genuine_distances.begin(),
+                    genuine_distances.end());
+  thresholds.insert(thresholds.end(), impostor_distances.begin(),
+                    impostor_distances.end());
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+  std::vector<RocPoint> curve;
+  curve.reserve(thresholds.size());
+  for (double t : thresholds)
+    curve.push_back(roc_at(genuine_distances, impostor_distances, t));
+  return curve;
+}
+
+double equal_error_rate(const std::vector<double>& genuine_distances,
+                        const std::vector<double>& impostor_distances) {
+  const auto curve = roc_curve(genuine_distances, impostor_distances);
+  if (curve.empty()) return 0.0;
+  // FRR decreases and FAR increases with threshold; find the crossing.
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i].far >= curve[i].frr) {
+      if (i == 0) return (curve[0].far + curve[0].frr) / 2.0;
+      // Interpolate between point i-1 (far < frr) and i (far >= frr).
+      const auto& a = curve[i - 1];
+      const auto& b = curve[i];
+      const double da = a.frr - a.far;  // > 0
+      const double db = b.far - b.frr;  // >= 0
+      if (da + db <= 0.0) return (b.far + b.frr) / 2.0;
+      const double w = da / (da + db);
+      return (1.0 - w) * (a.far + a.frr) / 2.0 + w * (b.far + b.frr) / 2.0;
+    }
+  }
+  return (curve.back().far + curve.back().frr) / 2.0;
+}
+
+double threshold_for_frr(const std::vector<double>& genuine_distances,
+                         double max_frr) {
+  if (genuine_distances.empty())
+    throw std::invalid_argument("threshold_for_frr: no genuine samples");
+  std::vector<double> sorted = genuine_distances;
+  std::sort(sorted.begin(), sorted.end());
+  // Accept the smallest threshold that keeps FRR <= max_frr: the
+  // ceil((1-max_frr) * n)-th smallest genuine distance.
+  const auto n = static_cast<double>(sorted.size());
+  const auto keep = static_cast<std::size_t>(
+      std::min(n, std::ceil((1.0 - max_frr) * n)));
+  if (keep == 0) return 0.0;
+  return sorted[keep - 1];
+}
+
+}  // namespace medsen::auth

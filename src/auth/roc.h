@@ -1,0 +1,38 @@
+#pragma once
+// ROC analysis for the cyto-coded authentication system: given census
+// distances observed for genuine attempts and for impostor attempts,
+// sweep the acceptance threshold and report FAR/FRR pairs and the equal
+// error rate — the standard way to pick VerifierConfig::max_distance for
+// a deployment's security/usability trade.
+
+#include <vector>
+
+namespace medsen::auth {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double far = 0.0;  ///< impostors accepted / impostor attempts
+  double frr = 0.0;  ///< genuines rejected / genuine attempts
+};
+
+/// One ROC point at a fixed threshold (accept when distance <= threshold).
+RocPoint roc_at(const std::vector<double>& genuine_distances,
+                const std::vector<double>& impostor_distances,
+                double threshold);
+
+/// Full curve: one point per candidate threshold (the union of observed
+/// distances plus 0), sorted by threshold.
+std::vector<RocPoint> roc_curve(const std::vector<double>& genuine_distances,
+                                const std::vector<double>& impostor_distances);
+
+/// Equal error rate: the FAR=FRR crossing, linearly interpolated between
+/// the two adjacent curve points.
+double equal_error_rate(const std::vector<double>& genuine_distances,
+                        const std::vector<double>& impostor_distances);
+
+/// Smallest threshold whose FRR is <= the target while minimizing FAR —
+/// the deployment helper ("I can tolerate rejecting X% of patients").
+double threshold_for_frr(const std::vector<double>& genuine_distances,
+                         double max_frr);
+
+}  // namespace medsen::auth

@@ -1,0 +1,75 @@
+#include "auth/verifier.h"
+
+#include <stdexcept>
+
+namespace medsen::auth {
+
+Verifier::Verifier(CytoAlphabet alphabet, ParticleClassifier classifier,
+                   VerifierConfig config)
+    : alphabet_(std::move(alphabet)),
+      classifier_(std::move(classifier)),
+      config_(config) {
+  alphabet_.validate();
+}
+
+BeadCensus Verifier::census_from_peaks(
+    std::span<const core::DecodedPeak> peaks, double volume_ul,
+    double duration_s) const {
+  BeadCensus census;
+  census.counts.assign(alphabet_.characters(), 0.0);
+  census.volume_ul = volume_ul;
+  double width_sum = 0.0;
+  for (const auto& peak : peaks) {
+    width_sum += peak.width_s;
+    const auto features = ParticleClassifier::features_of(peak);
+    if (classifier_.margin(features) < config_.min_margin) continue;
+    const sim::ParticleType type = classifier_.classify(features);
+    for (std::size_t i = 0; i < alphabet_.characters(); ++i) {
+      if (alphabet_.bead_types[i] == type) {
+        census.counts[i] += 1.0;
+        break;
+      }
+    }
+    // Blood cells (and any type outside the alphabet) are simply not part
+    // of the census.
+  }
+  if (config_.dead_time_correction && duration_s > 0.0 && !peaks.empty()) {
+    // Coincidence losses apply to the whole particle stream; scale each
+    // type's count by the common non-paralyzable correction factor.
+    const double mean_width = width_sum / static_cast<double>(peaks.size());
+    const double observed = static_cast<double>(peaks.size());
+    const double corrected =
+        dsp::dead_time_corrected_count(observed, duration_s, mean_width);
+    const double factor = corrected / observed;
+    for (double& count : census.counts) count *= factor;
+  }
+  return census;
+}
+
+AuthResult Verifier::authenticate(const BeadCensus& census,
+                                  const EnrollmentDatabase& db) const {
+  AuthResult result;
+  result.census = census;
+  result.decoded_code = decode_census(alphabet_, census);
+  const auto match = db.match_census(census);
+  if (!match) return result;
+  result.distance = match->distance;
+  if (match->distance <= config_.max_distance) {
+    result.authenticated = true;
+    result.user_id = match->record.user_id;
+  }
+  return result;
+}
+
+AuthResult Verifier::authenticate_peaks(
+    std::span<const core::DecodedPeak> peaks, double volume_ul,
+    const EnrollmentDatabase& db, double duration_s) const {
+  return authenticate(census_from_peaks(peaks, volume_ul, duration_s), db);
+}
+
+bool Verifier::verify_integrity(const BeadCensus& census,
+                                const CytoCode& stored_code) const {
+  return decode_census(alphabet_, census) == stored_code;
+}
+
+}  // namespace medsen::auth

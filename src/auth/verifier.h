@@ -1,0 +1,76 @@
+#pragma once
+// Server-side verification: classify decoded peaks into particle types,
+// build the bead census, decode it to a cyto-code, and match it against
+// the enrollment database. Also provides the integrity check from the
+// paper's Section V: a stored ciphertext is only valid for a patient if
+// the census recovered from it matches the identifier used to fetch it.
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "auth/classifier.h"
+#include "dsp/deadtime.h"
+#include "auth/enrollment.h"
+#include "core/decryptor.h"
+
+namespace medsen::auth {
+
+struct AuthResult {
+  bool authenticated = false;
+  std::string user_id;          ///< set when authenticated
+  CytoCode decoded_code;        ///< code decoded from the census
+  double distance = 0.0;        ///< census distance to the matched code
+  BeadCensus census;
+};
+
+struct VerifierConfig {
+  /// Accept when the census distance (units of the per-level decode
+  /// margin; 1.0 = the nearest-level decoding boundary) stays below this.
+  double max_distance = 0.9;
+  /// Peaks with classifier margin below this are discarded as ambiguous.
+  double min_margin = 0.05;
+  /// Apply the non-paralyzable dead-time correction to census counts when
+  /// the acquisition duration is known (coincidence losses grow with
+  /// concentration — the paper's Section VII-C resolution observation).
+  bool dead_time_correction = true;
+};
+
+class Verifier {
+ public:
+  Verifier(CytoAlphabet alphabet, ParticleClassifier classifier,
+           VerifierConfig config = {});
+
+  /// Build a bead census from decoded peaks (plaintext auth pass). Pass
+  /// the acquisition duration to enable dead-time correction; 0 skips it.
+  [[nodiscard]] BeadCensus census_from_peaks(
+      std::span<const core::DecodedPeak> peaks, double volume_ul,
+      double duration_s = 0.0) const;
+
+  /// Authenticate a census against the database.
+  [[nodiscard]] AuthResult authenticate(const BeadCensus& census,
+                                        const EnrollmentDatabase& db) const;
+
+  /// Convenience: peaks -> census -> authenticate. `duration_s` enables
+  /// dead-time correction when nonzero.
+  [[nodiscard]] AuthResult authenticate_peaks(
+      std::span<const core::DecodedPeak> peaks, double volume_ul,
+      const EnrollmentDatabase& db, double duration_s = 0.0) const;
+
+  /// Integrity check (Section V): does this census still decode to the
+  /// identifier the record was stored under?
+  [[nodiscard]] bool verify_integrity(const BeadCensus& census,
+                                      const CytoCode& stored_code) const;
+
+  [[nodiscard]] const CytoAlphabet& alphabet() const { return alphabet_; }
+  [[nodiscard]] const ParticleClassifier& classifier() const {
+    return classifier_;
+  }
+
+ private:
+  CytoAlphabet alphabet_;
+  ParticleClassifier classifier_;
+  VerifierConfig config_;
+};
+
+}  // namespace medsen::auth

@@ -1,0 +1,37 @@
+#include "cloud/analysis_service.h"
+
+#include "dsp/noise.h"
+
+namespace medsen::cloud {
+
+AnalysisService::AnalysisService(AnalysisConfig config) : config_(config) {}
+
+core::PeakReport AnalysisService::analyze(
+    const util::MultiChannelSeries& series) {
+  const auto start = std::chrono::steady_clock::now();
+  core::PeakReport report;
+  report.channels.reserve(series.channels.size());
+  stats_.samples_processed = 0;
+  stats_.peaks_found = 0;
+  for (std::size_t i = 0; i < series.channels.size(); ++i) {
+    const auto& channel = series.channels[i];
+    core::ChannelPeaks out;
+    out.carrier_hz = series.carrier_frequencies_hz.at(i);
+    const auto detrended = dsp::detrend(channel.samples(), config_.detrend);
+    dsp::PeakDetectConfig detect = config_.peak_detect;
+    if (config_.adaptive_threshold)
+      detect.threshold = dsp::adaptive_threshold(
+          detrended, config_.adaptive_k_sigma);
+    out.peaks = dsp::detect_peaks(detrended, channel.sample_rate(),
+                                  channel.start_time(), detect);
+    stats_.samples_processed += channel.size();
+    stats_.peaks_found += out.peaks.size();
+    report.channels.push_back(std::move(out));
+  }
+  stats_.processing_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace medsen::cloud

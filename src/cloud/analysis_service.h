@@ -1,0 +1,49 @@
+#pragma once
+// The cloud's signal-analysis service: detrend each carrier channel of the
+// (encrypted) acquisition and extract peaks — the heavyweight processing
+// the paper offloads from the sensor (Section VI-C). The service sees
+// only ciphertext-domain signals; peak lists it returns are still
+// encrypted in the counting sense.
+
+#include <chrono>
+#include <cstdint>
+
+#include "core/peak_report.h"
+#include "dsp/detrend.h"
+#include "dsp/peak_detect.h"
+#include "util/time_series.h"
+
+namespace medsen::cloud {
+
+struct AnalysisConfig {
+  dsp::DetrendConfig detrend;
+  dsp::PeakDetectConfig peak_detect;
+  /// Derive the detection threshold from each channel's measured noise
+  /// floor instead of peak_detect.threshold (deployments see sensors
+  /// with differing noise).
+  bool adaptive_threshold = false;
+  double adaptive_k_sigma = 6.0;
+};
+
+struct AnalysisStats {
+  std::uint64_t samples_processed = 0;
+  std::uint64_t peaks_found = 0;
+  double processing_time_s = 0.0;  ///< wall-clock of the last analyze()
+};
+
+class AnalysisService {
+ public:
+  explicit AnalysisService(AnalysisConfig config = {});
+
+  /// Analyze a full acquisition: detrend + peak detection per channel.
+  core::PeakReport analyze(const util::MultiChannelSeries& series);
+
+  [[nodiscard]] const AnalysisStats& stats() const { return stats_; }
+  [[nodiscard]] const AnalysisConfig& config() const { return config_; }
+
+ private:
+  AnalysisConfig config_;
+  AnalysisStats stats_;
+};
+
+}  // namespace medsen::cloud

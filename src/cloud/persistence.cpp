@@ -1,0 +1,121 @@
+#include "cloud/persistence.h"
+
+#include <stdexcept>
+
+#include "compress/crc32.h"
+#include "util/fileio.h"
+#include "util/serialize.h"
+
+namespace medsen::cloud {
+
+namespace {
+
+constexpr std::uint32_t kEnrollMagic = 0x4D53454E;  // "MSEN"
+constexpr std::uint32_t kRecordMagic = 0x4D535243;  // "MSRC"
+constexpr std::uint32_t kVersion = 1;
+
+std::vector<std::uint8_t> seal(std::uint32_t magic,
+                               std::vector<std::uint8_t> body) {
+  util::ByteWriter out;
+  out.u32(magic);
+  out.u32(kVersion);
+  out.u32(compress::crc32(body));
+  out.blob(body);
+  return out.take();
+}
+
+std::vector<std::uint8_t> unseal(std::uint32_t magic,
+                                 std::span<const std::uint8_t> file) {
+  util::ByteReader in(file);
+  if (in.u32() != magic)
+    throw std::runtime_error("persistence: bad magic");
+  if (in.u32() != kVersion)
+    throw std::runtime_error("persistence: unsupported version");
+  const std::uint32_t crc = in.u32();
+  auto body = in.blob();
+  if (compress::crc32(body) != crc)
+    throw std::runtime_error("persistence: CRC mismatch");
+  return body;
+}
+
+void write_alphabet(util::ByteWriter& out, const auth::CytoAlphabet& a) {
+  out.u32(static_cast<std::uint32_t>(a.bead_types.size()));
+  for (auto type : a.bead_types) out.u8(static_cast<std::uint8_t>(type));
+  out.f64_vec(a.concentration_levels_per_ul);
+}
+
+auth::CytoAlphabet read_alphabet(util::ByteReader& in) {
+  auth::CytoAlphabet a;
+  const std::uint32_t types = in.u32();
+  a.bead_types.clear();
+  for (std::uint32_t i = 0; i < types; ++i)
+    a.bead_types.push_back(static_cast<sim::ParticleType>(in.u8()));
+  a.concentration_levels_per_ul = in.f64_vec();
+  return a;
+}
+
+}  // namespace
+
+void save_enrollments(const auth::EnrollmentDatabase& db,
+                      const std::string& path) {
+  util::ByteWriter body;
+  write_alphabet(body, db.alphabet());
+  const auto records = db.records();
+  body.u32(static_cast<std::uint32_t>(records.size()));
+  for (const auto& record : records) {
+    body.str(record.user_id);
+    body.blob(auth::serialize_code(record.code));
+  }
+  util::write_file(path, seal(kEnrollMagic, body.take()));
+}
+
+auth::EnrollmentDatabase load_enrollments(const std::string& path) {
+  const auto body = unseal(kEnrollMagic, util::read_file(path));
+  util::ByteReader in(body);
+  auth::EnrollmentDatabase db(read_alphabet(in));
+  const std::uint32_t count = in.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string user = in.str();
+    const auto code = auth::deserialize_code(in.blob());
+    db.enroll(user, code);
+  }
+  return db;
+}
+
+void save_records(const RecordStore& store, const std::string& path) {
+  util::ByteWriter body;
+  const auto& entries = store.entries();
+  body.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [key, records] : entries) {
+    body.str(key);
+    body.u32(static_cast<std::uint32_t>(records.size()));
+    for (const auto& record : records) {
+      body.u64(record.session_id);
+      body.blob(record.encrypted_result);
+    }
+  }
+  util::write_file(path, seal(kRecordMagic, body.take()));
+}
+
+RecordStore load_records(const std::string& path) {
+  const auto body = unseal(kRecordMagic, util::read_file(path));
+  util::ByteReader in(body);
+  RecordStore store;
+  const std::uint32_t identifiers = in.u32();
+  for (std::uint32_t i = 0; i < identifiers; ++i) {
+    const std::string key = in.str();
+    const std::uint32_t count = in.u32();
+    std::vector<StoredRecord> records;
+    records.reserve(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+      StoredRecord record;
+      record.session_id = in.u64();
+      record.encrypted_result = in.blob();
+      records.push_back(std::move(record));
+    }
+    store.restore(key, std::move(records));
+  }
+  return store;
+}
+
+}  // namespace medsen::cloud

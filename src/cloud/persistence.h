@@ -1,0 +1,24 @@
+#pragma once
+// File persistence for the cloud's state: the enrollment database (user
+// -> cyto-code) and the record store (cyto-code -> encrypted results).
+// Files carry a magic, a version and a CRC-32 so partial writes and
+// corruption are rejected on load.
+
+#include <string>
+
+#include "auth/enrollment.h"
+#include "cloud/storage.h"
+
+namespace medsen::cloud {
+
+/// Save / load the enrollment database. The alphabet travels with the
+/// file so a mismatched deployment is detected at load.
+void save_enrollments(const auth::EnrollmentDatabase& db,
+                      const std::string& path);
+auth::EnrollmentDatabase load_enrollments(const std::string& path);
+
+/// Save / load the record store.
+void save_records(const RecordStore& store, const std::string& path);
+RecordStore load_records(const std::string& path);
+
+}  // namespace medsen::cloud

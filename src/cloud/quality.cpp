@@ -1,0 +1,83 @@
+#include "cloud/quality.h"
+
+#include <cmath>
+
+#include "dsp/detrend.h"
+#include "util/stats.h"
+
+namespace medsen::cloud {
+
+namespace {
+
+ChannelQuality assess_channel(const util::TimeSeries& channel,
+                              const QualityConfig& config) {
+  ChannelQuality quality;
+  const auto samples = channel.samples();
+  if (samples.empty()) return quality;
+
+  quality.drift_span =
+      util::max_value(samples) - util::min_value(samples);
+
+  std::size_t out_of_range = 0;
+  std::size_t pinned = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i] < config.min_plausible ||
+        samples[i] > config.max_plausible)
+      ++out_of_range;
+    if (i > 0 && samples[i] == samples[i - 1]) ++pinned;
+  }
+  quality.saturated =
+      out_of_range > samples.size() / 100;  // >1% implausible
+  quality.dropout_fraction =
+      static_cast<double>(pinned) / static_cast<double>(samples.size());
+
+  // Noise: rms of the first difference of the detrended signal, which is
+  // insensitive to the (wanted) peaks but tracks broadband noise.
+  const auto detrended = dsp::detrend(samples);
+  double acc = 0.0;
+  for (std::size_t i = 1; i < detrended.size(); ++i) {
+    const double d = detrended[i] - detrended[i - 1];
+    acc += d * d;
+  }
+  if (detrended.size() > 1)
+    quality.noise_rms =
+        std::sqrt(acc / static_cast<double>(detrended.size() - 1));
+  return quality;
+}
+
+}  // namespace
+
+QualityReport assess_quality(const util::MultiChannelSeries& series,
+                             const QualityConfig& config) {
+  QualityReport report;
+  if (series.channels.empty()) {
+    report.acceptable = false;
+    report.reason = "no channels";
+    return report;
+  }
+  for (std::size_t c = 0; c < series.channels.size(); ++c) {
+    const auto quality = assess_channel(series.channels[c], config);
+    report.channels.push_back(quality);
+    if (!report.acceptable) continue;
+    const std::string label = "channel " + std::to_string(c) + ": ";
+    if (series.channels[c].empty()) {
+      report.acceptable = false;
+      report.reason = label + "empty";
+    } else if (quality.saturated) {
+      report.acceptable = false;
+      report.reason = label + "saturated/implausible samples";
+    } else if (quality.dropout_fraction > config.max_dropout_fraction) {
+      report.acceptable = false;
+      report.reason = label + "dropouts (pinned samples)";
+    } else if (quality.noise_rms > config.max_noise_rms) {
+      report.acceptable = false;
+      report.reason = label + "noise floor too high";
+    } else if (quality.drift_span > config.max_drift_span) {
+      report.acceptable = false;
+      report.reason = label + "baseline drift out of range";
+    }
+  }
+  return report;
+}
+
+}  // namespace medsen::cloud

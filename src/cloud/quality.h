@@ -1,0 +1,41 @@
+#pragma once
+// Acquisition quality gate. Before spending analysis cycles (or worse,
+// returning a peak report built on garbage), the cloud scores an uploaded
+// acquisition: noise floor after detrending, residual drift, saturation /
+// dropout detection, and per-channel consistency. Bad uploads — a
+// disconnected dongle, an air bubble, clipped electronics — are rejected
+// with a reason instead of silently producing a wrong diagnosis.
+
+#include <string>
+#include <vector>
+
+#include "util/time_series.h"
+
+namespace medsen::cloud {
+
+struct ChannelQuality {
+  double noise_rms = 0.0;        ///< detrended high-frequency residual
+  double drift_span = 0.0;       ///< max-min of the raw baseline
+  double dropout_fraction = 0.0; ///< samples pinned at a constant value
+  bool saturated = false;        ///< raw samples outside plausible range
+};
+
+struct QualityReport {
+  std::vector<ChannelQuality> channels;
+  bool acceptable = true;
+  std::string reason;  ///< first failure, empty when acceptable
+};
+
+struct QualityConfig {
+  double max_noise_rms = 2e-3;       ///< vs typical peak depth 3e-3..1.3e-2
+  double max_drift_span = 0.2;       ///< relative baseline wander
+  double max_dropout_fraction = 0.05;
+  double min_plausible = 0.3;        ///< raw normalized amplitude bounds
+  double max_plausible = 1.7;
+};
+
+/// Score an acquisition. Never throws on bad data — that is the point.
+QualityReport assess_quality(const util::MultiChannelSeries& series,
+                             const QualityConfig& config = {});
+
+}  // namespace medsen::cloud

@@ -1,0 +1,91 @@
+#include "cloud/server.h"
+
+#include <stdexcept>
+
+#include "compress/codec.h"
+#include "util/csv.h"
+
+namespace medsen::cloud {
+
+CloudServer::CloudServer(AnalysisConfig analysis_config,
+                         auth::CytoAlphabet alphabet,
+                         auth::ParticleClassifier classifier,
+                         auth::VerifierConfig verifier_config)
+    : analysis_(analysis_config),
+      db_(alphabet),
+      verifier_(std::move(alphabet), std::move(classifier), verifier_config) {}
+
+util::MultiChannelSeries CloudServer::decode_upload(
+    const net::Envelope& request, std::span<const std::uint8_t> mac_key) {
+  if (!net::verify_envelope(request, mac_key))
+    throw std::runtime_error("CloudServer: envelope MAC verification failed");
+  if (request.type != net::MessageType::kSignalUpload)
+    throw std::runtime_error("CloudServer: unexpected message type");
+  const auto payload =
+      net::SignalUploadPayload::deserialize(request.payload);
+  const std::vector<std::uint8_t> raw =
+      payload.compressed ? compress::decompress(payload.data) : payload.data;
+  if (payload.format == net::UploadFormat::kCsv) {
+    return util::from_csv(std::string(raw.begin(), raw.end()),
+                          payload.sample_rate_hz);
+  }
+  return net::deserialize_series(raw);
+}
+
+net::Envelope CloudServer::handle_upload(
+    const net::Envelope& request, std::span<const std::uint8_t> mac_key) {
+  const auto series = decode_upload(request, mac_key);
+  if (quality_gate_) {
+    last_quality_ = assess_quality(series);
+    if (!last_quality_.acceptable)
+      throw std::runtime_error("CloudServer: acquisition rejected (" +
+                               last_quality_.reason + ")");
+  }
+  const core::PeakReport report = analysis_.analyze(series);
+  return net::make_envelope(net::MessageType::kAnalysisResult,
+                            request.session_id, report.serialize(), mac_key);
+}
+
+net::Envelope CloudServer::handle_auth(const net::Envelope& request,
+                                       double volume_ul,
+                                       std::span<const std::uint8_t> mac_key,
+                                       double duration_s) {
+  const auto series = decode_upload(request, mac_key);
+  const core::PeakReport report = analysis_.analyze(series);
+
+  // Plaintext pass: amplitudes are unscaled, so decoded peaks can be
+  // built directly from the report (unit gain, reference flow).
+  std::vector<core::DecodedPeak> peaks;
+  const auto& ref = report.nearest_channel(5.0e5);
+  peaks.reserve(ref.peaks.size());
+  for (const auto& p : ref.peaks) {
+    core::DecodedPeak d;
+    d.time_s = p.time_s;
+    d.width_s = p.width_s;
+    d.amplitudes.reserve(report.channels.size());
+    for (const auto& ch : report.channels) {
+      double amplitude = 0.0;
+      double best_dt = 0.03;
+      for (const auto& q : ch.peaks) {
+        const double dt = std::abs(q.time_s - p.time_s);
+        if (dt <= best_dt) {
+          best_dt = dt;
+          amplitude = q.amplitude;
+        }
+      }
+      d.amplitudes.push_back(amplitude);
+    }
+    peaks.push_back(std::move(d));
+  }
+
+  const auth::AuthResult result =
+      verifier_.authenticate_peaks(peaks, volume_ul, db_, duration_s);
+  net::AuthDecisionPayload payload;
+  payload.authenticated = result.authenticated;
+  payload.user_id = result.user_id;
+  payload.distance = result.distance;
+  return net::make_envelope(net::MessageType::kAuthDecision,
+                            request.session_id, payload.serialize(), mac_key);
+}
+
+}  // namespace medsen::cloud

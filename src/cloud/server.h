@@ -1,0 +1,71 @@
+#pragma once
+// The cloud server endpoint: receives protocol envelopes, runs the
+// analysis service on uploaded (encrypted) acquisitions, authenticates
+// auth-pass submissions against the enrollment database, and stores
+// results under cyto-coded identifiers. Curious-but-honest: it follows
+// the protocol faithfully but sees only ciphertext cytometry.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "auth/verifier.h"
+#include "cloud/analysis_service.h"
+#include "cloud/quality.h"
+#include "cloud/storage.h"
+#include "net/messages.h"
+
+namespace medsen::cloud {
+
+class CloudServer {
+ public:
+  CloudServer(AnalysisConfig analysis_config, auth::CytoAlphabet alphabet,
+              auth::ParticleClassifier classifier,
+              auth::VerifierConfig verifier_config = {});
+
+  /// Handle a signal-upload envelope: decompress/deserialize, run the
+  /// quality gate, analyze, and return the analysis-result envelope
+  /// (serialized PeakReport). Throws std::runtime_error on MAC failure or
+  /// a rejected (unusable) acquisition.
+  net::Envelope handle_upload(const net::Envelope& request,
+                              std::span<const std::uint8_t> mac_key);
+
+  /// Quality gate applied to every upload; disable for raw benchmarks.
+  void set_quality_gate(bool enabled) { quality_gate_ = enabled; }
+  [[nodiscard]] const QualityReport& last_quality() const {
+    return last_quality_;
+  }
+
+  /// Authenticate a plaintext (encryption-off) auth pass: analyze, build
+  /// the bead census with the classifier, match against enrollments.
+  /// `volume_ul` and `duration_s` are announced by the sensor in the
+  /// clear (neither reveals cytometry); the duration enables the
+  /// verifier's coincidence (dead-time) correction. Returns the
+  /// auth-decision envelope.
+  net::Envelope handle_auth(const net::Envelope& request, double volume_ul,
+                            std::span<const std::uint8_t> mac_key,
+                            double duration_s = 0.0);
+
+  /// Store an encrypted result under an identifier.
+  void store_result(const auth::CytoCode& code, StoredRecord record) {
+    store_.store(code, std::move(record));
+  }
+
+  [[nodiscard]] AnalysisService& analysis() { return analysis_; }
+  [[nodiscard]] auth::EnrollmentDatabase& enrollments() { return db_; }
+  [[nodiscard]] const auth::Verifier& verifier() const { return verifier_; }
+  [[nodiscard]] RecordStore& records() { return store_; }
+
+ private:
+  util::MultiChannelSeries decode_upload(const net::Envelope& request,
+                                         std::span<const std::uint8_t> mac_key);
+
+  AnalysisService analysis_;
+  auth::EnrollmentDatabase db_;
+  auth::Verifier verifier_;
+  RecordStore store_;
+  bool quality_gate_ = true;
+  QualityReport last_quality_;
+};
+
+}  // namespace medsen::cloud

@@ -1,0 +1,29 @@
+#include "cloud/storage.h"
+
+namespace medsen::cloud {
+
+void RecordStore::store(const auth::CytoCode& code, StoredRecord record) {
+  store_[code.to_string()].push_back(std::move(record));
+}
+
+std::vector<StoredRecord> RecordStore::fetch(
+    const auth::CytoCode& code) const {
+  const auto it = store_.find(code.to_string());
+  if (it == store_.end()) return {};
+  return it->second;
+}
+
+std::optional<StoredRecord> RecordStore::latest(
+    const auth::CytoCode& code) const {
+  const auto it = store_.find(code.to_string());
+  if (it == store_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::size_t RecordStore::record_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, records] : store_) n += records.size();
+  return n;
+}
+
+}  // namespace medsen::cloud

@@ -1,0 +1,52 @@
+#pragma once
+// Cloud record storage: encrypted analysis outcomes are stored under the
+// patient's cyto-coded identifier (paper Section V), so a practitioner
+// with the patient's code — but no biometric, no account password — can
+// fetch the history. Records are opaque ciphertext blobs to the cloud.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auth/identifier.h"
+
+namespace medsen::cloud {
+
+struct StoredRecord {
+  std::uint64_t session_id = 0;
+  std::vector<std::uint8_t> encrypted_result;
+};
+
+class RecordStore {
+ public:
+  /// Append a record under an identifier.
+  void store(const auth::CytoCode& code, StoredRecord record);
+
+  /// Fetch all records for an identifier (empty when unknown).
+  [[nodiscard]] std::vector<StoredRecord> fetch(
+      const auth::CytoCode& code) const;
+
+  /// Most recent record for an identifier.
+  [[nodiscard]] std::optional<StoredRecord> latest(
+      const auth::CytoCode& code) const;
+
+  [[nodiscard]] std::size_t identifier_count() const { return store_.size(); }
+  [[nodiscard]] std::size_t record_count() const;
+
+  /// Raw entries, keyed by the code's text form (persistence layer).
+  [[nodiscard]] const std::map<std::string, std::vector<StoredRecord>>&
+  entries() const {
+    return store_;
+  }
+  /// Reinstall one identifier's record list (persistence layer).
+  void restore(std::string key, std::vector<StoredRecord> records) {
+    store_[std::move(key)] = std::move(records);
+  }
+
+ private:
+  std::map<std::string, std::vector<StoredRecord>> store_;  // key: code text
+};
+
+}  // namespace medsen::cloud

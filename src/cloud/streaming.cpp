@@ -1,0 +1,83 @@
+#include "cloud/streaming.h"
+
+#include <stdexcept>
+
+namespace medsen::cloud {
+
+StreamingAnalyzer::StreamingAnalyzer(double sample_rate_hz,
+                                     StreamingConfig config)
+    : rate_(sample_rate_hz), config_(config) {
+  if (sample_rate_hz <= 0.0)
+    throw std::invalid_argument("StreamingAnalyzer: bad sample rate");
+  if (config_.chunk_samples <= 2 * config_.overlap_samples)
+    throw std::invalid_argument(
+        "StreamingAnalyzer: chunk must exceed twice the overlap");
+}
+
+void StreamingAnalyzer::push(std::span<const double> samples) {
+  buffer_.insert(buffer_.end(), samples.begin(), samples.end());
+  consumed_ += samples.size();
+  while (buffer_.size() >= config_.chunk_samples) process_block(false);
+}
+
+void StreamingAnalyzer::process_block(bool final_block) {
+  const std::size_t len =
+      final_block ? buffer_.size()
+                  : std::min(config_.chunk_samples, buffer_.size());
+  if (len == 0) return;
+  const std::span<const double> block(buffer_.data(), len);
+  const auto detrended = dsp::detrend(block, config_.detrend);
+  const double start_time =
+      static_cast<double>(buffer_start_index_) / rate_;
+  auto peaks = dsp::detect_peaks(detrended, rate_, start_time,
+                                 config_.peak_detect);
+  // Correct the indices to global sample positions.
+  for (auto& peak : peaks) peak.index += buffer_start_index_;
+  if (!final_block) {
+    // Peaks inside the trailing overlap margin are deferred: the next
+    // block sees them whole (possibly with a better extremum), so
+    // emitting the truncated detection here would double-count them.
+    const double limit =
+        start_time +
+        static_cast<double>(len - config_.overlap_samples) / rate_;
+    std::erase_if(peaks,
+                  [&](const dsp::Peak& p) { return p.time_s >= limit; });
+  }
+  emit(std::move(peaks));
+
+  if (final_block) {
+    buffer_.clear();
+    buffer_start_index_ += len;
+    return;
+  }
+  // Keep the overlap margin so peaks straddling the boundary are seen
+  // whole by the next block.
+  const std::size_t advance = len - config_.overlap_samples;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<long>(advance));
+  buffer_start_index_ += advance;
+}
+
+void StreamingAnalyzer::emit(std::vector<dsp::Peak> peaks) {
+  for (auto& peak : peaks) {
+    // Deduplicate overlap re-detections: anything at or before the last
+    // emitted timestamp was already reported by the previous block.
+    if (peak.time_s <= last_emitted_time_ + 1e-9) continue;
+    last_emitted_time_ = peak.time_s;
+    results_.push_back(peak);
+  }
+}
+
+std::vector<dsp::Peak> StreamingAnalyzer::finish() {
+  process_block(true);
+  auto out = std::move(results_);
+  results_.clear();
+  last_emitted_time_ = -1.0;
+  // buffer_start_index_ keeps counting so a reused analyzer continues the
+  // global timeline; reset for a fresh run.
+  buffer_start_index_ = 0;
+  consumed_ = 0;
+  return out;
+}
+
+}  // namespace medsen::cloud

@@ -1,0 +1,48 @@
+#pragma once
+// Bit-level I/O for the Huffman coder. Bits are packed LSB-first within
+// each byte (deflate convention).
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace medsen::compress {
+
+/// Writes bits LSB-first into a growing byte vector.
+class BitWriter {
+ public:
+  /// Append the low `count` bits of `bits` (count <= 32).
+  void put(std::uint32_t bits, unsigned count);
+  /// Pad to a byte boundary with zero bits and return the buffer.
+  std::vector<std::uint8_t> finish();
+  [[nodiscard]] std::size_t bit_count() const { return total_bits_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t acc_ = 0;
+  unsigned acc_bits_ = 0;
+  std::size_t total_bits_ = 0;
+};
+
+/// Reads bits LSB-first from a byte span; throws std::out_of_range past
+/// the end.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `count` bits (count <= 32).
+  std::uint32_t get(unsigned count);
+  /// Read a single bit.
+  std::uint32_t bit() { return get(1); }
+  [[nodiscard]] std::size_t bits_consumed() const { return pos_bits_; }
+  [[nodiscard]] bool exhausted() const {
+    return pos_bits_ >= data_.size() * 8;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_bits_ = 0;
+};
+
+}  // namespace medsen::compress

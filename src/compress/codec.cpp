@@ -1,0 +1,188 @@
+#include "compress/codec.h"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+#include "compress/crc32.h"
+#include "compress/huffman.h"
+#include "util/serialize.h"
+
+namespace medsen::compress {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D535A31;  // "MSZ1"
+
+// Deflate-style length slots for codes 257..285.
+constexpr std::uint16_t kLenBase[29] = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::uint8_t kLenExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                        1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                        4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// Deflate-style distance slots for codes 0..29.
+constexpr std::uint16_t kDistBase[30] = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::uint8_t kDistExtra[30] = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                         4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                         9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+constexpr std::size_t kLitLenSymbols = 286;  // 0..255 lit, 256 EOB, 257..285
+constexpr std::size_t kDistSymbols = 30;
+constexpr std::uint16_t kEndOfBlock = 256;
+
+unsigned length_slot(unsigned len) {
+  for (unsigned s = 28;; --s) {
+    if (len >= kLenBase[s]) return s;
+    if (s == 0) break;
+  }
+  throw std::logic_error("length_slot: length below minimum");
+}
+
+unsigned distance_slot(unsigned dist) {
+  for (unsigned s = 29;; --s) {
+    if (dist >= kDistBase[s]) return s;
+    if (s == 0) break;
+  }
+  throw std::logic_error("distance_slot: distance below minimum");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> data,
+                                   const LzssConfig& config) {
+  const std::vector<Token> tokens = lzss_compress(data, config);
+
+  // Symbol statistics.
+  std::vector<std::uint64_t> lit_freq(kLitLenSymbols, 0);
+  std::vector<std::uint64_t> dist_freq(kDistSymbols, 0);
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      ++lit_freq[257 + length_slot(t.length)];
+      ++dist_freq[distance_slot(t.distance)];
+    } else {
+      ++lit_freq[t.literal];
+    }
+  }
+  ++lit_freq[kEndOfBlock];
+
+  const auto lit_lengths = huffman_code_lengths(lit_freq);
+  const auto dist_lengths = huffman_code_lengths(dist_freq);
+  const HuffmanEncoder lit_enc(build_codes(lit_lengths));
+  const HuffmanEncoder dist_enc(build_codes(dist_lengths));
+
+  BitWriter bits;
+  // Code-length tables, 4 bits each (kMaxCodeLength = 15 fits).
+  for (auto len : lit_lengths) bits.put(len, 4);
+  for (auto len : dist_lengths) bits.put(len, 4);
+  // Token stream.
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      const unsigned ls = length_slot(t.length);
+      lit_enc.encode(bits, static_cast<std::uint16_t>(257 + ls));
+      bits.put(t.length - kLenBase[ls], kLenExtra[ls]);
+      const unsigned ds = distance_slot(t.distance);
+      dist_enc.encode(bits, static_cast<std::uint16_t>(ds));
+      bits.put(t.distance - kDistBase[ds], kDistExtra[ds]);
+    } else {
+      lit_enc.encode(bits, t.literal);
+    }
+  }
+  lit_enc.encode(bits, kEndOfBlock);
+  const auto payload = bits.finish();
+
+  util::ByteWriter out;
+  out.u32(kMagic);
+  out.u64(data.size());
+  out.u32(crc32(data));
+  out.bytes(payload);
+  return out.take();
+}
+
+namespace {
+
+std::vector<std::uint8_t> decompress_impl(std::span<const std::uint8_t> packed);
+
+}  // namespace
+
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> packed) {
+  try {
+    return decompress_impl(packed);
+  } catch (const std::out_of_range&) {
+    // Truncated bit or byte streams surface as the same corruption error
+    // class as CRC failures, so callers handle one exception type.
+    throw std::runtime_error("decompress: truncated stream");
+  }
+}
+
+namespace {
+
+std::vector<std::uint8_t> decompress_impl(
+    std::span<const std::uint8_t> packed) {
+  util::ByteReader header(packed);
+  if (header.u32() != kMagic)
+    throw std::runtime_error("decompress: bad magic");
+  const std::uint64_t original_size = header.u64();
+  const std::uint32_t expected_crc = header.u32();
+
+  BitReader bits(packed.subspan(16));
+  std::vector<std::uint8_t> lit_lengths(kLitLenSymbols);
+  for (auto& len : lit_lengths) len = static_cast<std::uint8_t>(bits.get(4));
+  std::vector<std::uint8_t> dist_lengths(kDistSymbols);
+  for (auto& len : dist_lengths) len = static_cast<std::uint8_t>(bits.get(4));
+  const HuffmanDecoder lit_dec(lit_lengths);
+  const HuffmanDecoder dist_dec(dist_lengths);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(original_size);
+  for (;;) {
+    const std::uint16_t sym = lit_dec.decode(bits);
+    if (sym == kEndOfBlock) break;
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    const unsigned ls = sym - 257u;
+    if (ls >= 29) throw std::runtime_error("decompress: bad length symbol");
+    const unsigned len = kLenBase[ls] + bits.get(kLenExtra[ls]);
+    const std::uint16_t dsym = dist_dec.decode(bits);
+    if (dsym >= kDistSymbols)
+      throw std::runtime_error("decompress: bad distance symbol");
+    const unsigned dist = kDistBase[dsym] + bits.get(kDistExtra[dsym]);
+    if (dist == 0 || dist > out.size())
+      throw std::runtime_error("decompress: invalid back-reference");
+    const std::size_t start = out.size() - dist;
+    for (unsigned i = 0; i < len; ++i) out.push_back(out[start + i]);
+  }
+
+  if (out.size() != original_size)
+    throw std::runtime_error("decompress: size mismatch");
+  if (crc32(out) != expected_crc)
+    throw std::runtime_error("decompress: CRC mismatch");
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_string(const std::string& text) {
+  return compress(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+std::string decompress_string(std::span<const std::uint8_t> packed) {
+  const auto bytes = decompress(packed);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+double compression_ratio(std::size_t original_size,
+                         std::size_t compressed_size) {
+  if (compressed_size == 0) return 0.0;
+  return static_cast<double>(original_size) /
+         static_cast<double>(compressed_size);
+}
+
+}  // namespace medsen::compress

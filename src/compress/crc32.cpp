@@ -1,0 +1,38 @@
+#include "compress/crc32.h"
+
+#include <array>
+
+namespace medsen::compress {
+
+namespace {
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = [] {
+    std::array<std::uint32_t, 256> out{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      out[i] = c;
+    }
+    return out;
+  }();
+  return t;
+}
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data) {
+  for (std::uint8_t b : data)
+    state = table()[(state ^ b) & 0xFF] ^ (state >> 8);
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace medsen::compress

@@ -1,0 +1,20 @@
+#pragma once
+// CRC-32 (IEEE 802.3 polynomial, the zlib/zip variant). Guards compressed
+// containers and network frames against corruption.
+
+#include <cstdint>
+#include <span>
+
+namespace medsen::compress {
+
+/// CRC-32 of a buffer (init 0xFFFFFFFF, reflected, final XOR).
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental form: pass the previous return value as `state` (start with
+/// crc32_init()) and finish with crc32_final().
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data);
+std::uint32_t crc32_final(std::uint32_t state);
+
+}  // namespace medsen::compress

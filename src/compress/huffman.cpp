@@ -1,0 +1,152 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace medsen::compress {
+
+namespace {
+
+struct Node {
+  std::uint64_t freq;
+  int left = -1;    // node index or -1
+  int right = -1;
+  int symbol = -1;  // leaf symbol or -1
+};
+
+/// Depth-first traversal assigning depths as code lengths.
+void assign_depths(const std::vector<Node>& nodes, int idx, unsigned depth,
+                   std::vector<std::uint8_t>& lengths) {
+  const Node& n = nodes[static_cast<std::size_t>(idx)];
+  if (n.symbol >= 0) {
+    lengths[static_cast<std::size_t>(n.symbol)] =
+        static_cast<std::uint8_t>(std::max(depth, 1u));
+    return;
+  }
+  assign_depths(nodes, n.left, depth + 1, lengths);
+  assign_depths(nodes, n.right, depth + 1, lengths);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs) {
+  std::vector<std::uint64_t> f(freqs.begin(), freqs.end());
+  std::vector<std::uint8_t> lengths(f.size(), 0);
+
+  for (;;) {
+    std::vector<Node> nodes;
+    using HeapItem = std::pair<std::uint64_t, int>;  // (freq, node index)
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+    for (std::size_t s = 0; s < f.size(); ++s) {
+      if (f[s] == 0) continue;
+      nodes.push_back({f[s], -1, -1, static_cast<int>(s)});
+      heap.emplace(f[s], static_cast<int>(nodes.size()) - 1);
+    }
+    if (nodes.empty()) return lengths;
+    if (nodes.size() == 1) {
+      lengths[static_cast<std::size_t>(nodes[0].symbol)] = 1;
+      return lengths;
+    }
+    while (heap.size() > 1) {
+      const auto [fa, a] = heap.top();
+      heap.pop();
+      const auto [fb, b] = heap.top();
+      heap.pop();
+      nodes.push_back({fa + fb, a, b, -1});
+      heap.emplace(fa + fb, static_cast<int>(nodes.size()) - 1);
+    }
+    std::fill(lengths.begin(), lengths.end(), 0);
+    assign_depths(nodes, heap.top().second, 0, lengths);
+
+    const unsigned max_len =
+        *std::max_element(lengths.begin(), lengths.end());
+    if (max_len <= kMaxCodeLength) return lengths;
+    // Flatten the distribution and retry; halving frequencies (keeping
+    // them >= 1) shortens the deepest paths.
+    for (auto& v : f)
+      if (v > 0) v = (v + 1) / 2;
+  }
+}
+
+HuffmanCode build_codes(std::span<const std::uint8_t> lengths) {
+  HuffmanCode out;
+  out.lengths.assign(lengths.begin(), lengths.end());
+  out.codes.assign(lengths.size(), 0);
+
+  std::vector<std::uint32_t> length_count(kMaxCodeLength + 1, 0);
+  for (auto len : lengths)
+    if (len > 0) ++length_count[len];
+
+  std::vector<std::uint32_t> next_code(kMaxCodeLength + 2, 0);
+  std::uint32_t code = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    code = (code + length_count[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const unsigned len = lengths[s];
+    if (len == 0) continue;
+    std::uint32_t c = next_code[len]++;
+    // Bit-reverse for LSB-first emission.
+    std::uint32_t rev = 0;
+    for (unsigned i = 0; i < len; ++i) {
+      rev = (rev << 1) | (c & 1);
+      c >>= 1;
+    }
+    out.codes[s] = static_cast<std::uint16_t>(rev);
+  }
+  return out;
+}
+
+void HuffmanEncoder::encode(BitWriter& out, std::uint16_t symbol) const {
+  const unsigned len = code_.lengths.at(symbol);
+  if (len == 0)
+    throw std::runtime_error("HuffmanEncoder: symbol has no code");
+  out.put(code_.codes[symbol], len);
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
+  std::vector<std::uint32_t> length_count(kMaxCodeLength + 1, 0);
+  for (auto len : lengths) {
+    if (len > kMaxCodeLength)
+      throw std::invalid_argument("HuffmanDecoder: length too long");
+    if (len > 0) {
+      ++length_count[len];
+      max_len_ = std::max<unsigned>(max_len_, len);
+    }
+  }
+  first_code_.assign(kMaxCodeLength + 2, 0);
+  first_index_.assign(kMaxCodeLength + 2, 0);
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    code = (code + length_count[len - 1]) << 1;
+    first_code_[len] = code;
+    first_index_[len] = index;
+    index += length_count[len];
+  }
+  // Symbols sorted by (length, symbol value) — canonical order.
+  symbols_.clear();
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len)
+    for (std::size_t s = 0; s < lengths.size(); ++s)
+      if (lengths[s] == len) symbols_.push_back(static_cast<std::uint16_t>(s));
+}
+
+std::uint16_t HuffmanDecoder::decode(BitReader& in) const {
+  std::uint32_t code = 0;
+  for (unsigned len = 1; len <= max_len_; ++len) {
+    code = (code << 1) | in.bit();
+    const std::uint32_t count =
+        (len < kMaxCodeLength ? first_index_[len + 1] : static_cast<std::uint32_t>(symbols_.size())) -
+        first_index_[len];
+    if (count > 0 && code >= first_code_[len] &&
+        code < first_code_[len] + count) {
+      return symbols_[first_index_[len] + (code - first_code_[len])];
+    }
+  }
+  throw std::runtime_error("HuffmanDecoder: invalid code");
+}
+
+}  // namespace medsen::compress

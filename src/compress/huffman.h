@@ -1,0 +1,60 @@
+#pragma once
+// Canonical Huffman coding. Symbol code lengths are computed from
+// frequencies (package-merge-free heap construction with a length cap via
+// frequency flattening), then canonical codes are assigned so only the
+// length table needs to be transmitted.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitio.h"
+
+namespace medsen::compress {
+
+/// Maximum code length we emit (fits the 4-bit length fields used in the
+/// container header).
+constexpr unsigned kMaxCodeLength = 15;
+
+/// Compute canonical code lengths for `freqs` (0-frequency symbols get
+/// length 0 = absent). At most kMaxCodeLength; lengths are rebalanced if
+/// the tree would exceed it.
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs);
+
+/// Canonical code table derived from lengths.
+struct HuffmanCode {
+  std::vector<std::uint16_t> codes;    ///< bit-reversed for LSB-first I/O
+  std::vector<std::uint8_t> lengths;
+};
+
+/// Assign canonical codes (per deflate rules) from code lengths.
+HuffmanCode build_codes(std::span<const std::uint8_t> lengths);
+
+/// Encoder: writes symbol codes to a BitWriter.
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(HuffmanCode code) : code_(std::move(code)) {}
+  void encode(BitWriter& out, std::uint16_t symbol) const;
+
+ private:
+  HuffmanCode code_;
+};
+
+/// Decoder: canonical table-walk decoder.
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
+  /// Decode one symbol; throws std::runtime_error on an invalid code.
+  std::uint16_t decode(BitReader& in) const;
+
+ private:
+  // first_code[len], first_symbol_index[len], and symbols sorted by
+  // (length, symbol) — the canonical decoding arrays.
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> first_index_;
+  std::vector<std::uint16_t> symbols_;
+  unsigned max_len_ = 0;
+};
+
+}  // namespace medsen::compress

@@ -1,0 +1,135 @@
+#include "compress/lzss.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace medsen::compress {
+
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+inline std::uint32_t hash3(const std::uint8_t* p) {
+  // Multiplicative hash of 3 bytes.
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+struct Match {
+  std::size_t length = 0;
+  std::size_t distance = 0;
+};
+
+Match find_match(std::span<const std::uint8_t> data, std::size_t pos,
+                 const std::vector<std::int32_t>& head,
+                 const std::vector<std::int32_t>& prev, unsigned max_chain) {
+  Match best;
+  if (pos + kMinMatch > data.size()) return best;
+  const std::size_t limit = std::min(kMaxMatch, data.size() - pos);
+  std::int32_t candidate = head[hash3(data.data() + pos)];
+  unsigned chain = 0;
+  while (candidate >= 0 && chain < max_chain) {
+    const auto cand_pos = static_cast<std::size_t>(candidate);
+    if (pos - cand_pos > kWindowSize) break;
+    std::size_t len = 0;
+    while (len < limit && data[cand_pos + len] == data[pos + len]) ++len;
+    if (len >= kMinMatch && len > best.length) {
+      best.length = len;
+      best.distance = pos - cand_pos;
+      if (len == limit) break;
+    }
+    candidate = prev[cand_pos % kWindowSize];
+    ++chain;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Token> lzss_compress(std::span<const std::uint8_t> data,
+                                 const LzssConfig& config) {
+  std::vector<Token> tokens;
+  if (data.empty()) return tokens;
+  tokens.reserve(data.size() / 3);
+
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(kWindowSize, -1);
+
+  auto insert = [&](std::size_t pos) {
+    if (pos + kMinMatch > data.size()) return;
+    const std::uint32_t h = hash3(data.data() + pos);
+    prev[pos % kWindowSize] = head[h];
+    head[h] = static_cast<std::int32_t>(pos);
+  };
+
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    Match match = find_match(data, pos, head, prev, config.max_chain);
+    if (config.lazy && match.length >= kMinMatch &&
+        match.length < kMaxMatch && pos + 1 < data.size()) {
+      // Peek one position ahead; emit a literal now if the next match is
+      // strictly better (deflate's lazy matching).
+      insert(pos);
+      const Match next =
+          find_match(data, pos + 1, head, prev, config.max_chain);
+      if (next.length > match.length + 1) {
+        Token t;
+        t.is_match = false;
+        t.literal = data[pos];
+        tokens.push_back(t);
+        ++pos;
+        continue;  // head/prev already updated for pos
+      }
+      // Keep the current match; fall through (pos already inserted).
+      for (std::size_t i = 1; i < match.length; ++i) insert(pos + i);
+      Token t;
+      t.is_match = true;
+      t.length = static_cast<std::uint16_t>(match.length);
+      t.distance = static_cast<std::uint16_t>(match.distance);
+      tokens.push_back(t);
+      pos += match.length;
+      continue;
+    }
+
+    if (match.length >= kMinMatch) {
+      for (std::size_t i = 0; i < match.length; ++i) insert(pos + i);
+      Token t;
+      t.is_match = true;
+      t.length = static_cast<std::uint16_t>(match.length);
+      t.distance = static_cast<std::uint16_t>(match.distance);
+      tokens.push_back(t);
+      pos += match.length;
+    } else {
+      insert(pos);
+      Token t;
+      t.is_match = false;
+      t.literal = data[pos];
+      tokens.push_back(t);
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::uint8_t> lzss_decompress(std::span<const Token> tokens) {
+  std::vector<std::uint8_t> out;
+  for (const Token& t : tokens) {
+    if (!t.is_match) {
+      out.push_back(t.literal);
+      continue;
+    }
+    if (t.distance == 0 || t.distance > out.size())
+      throw std::runtime_error("lzss_decompress: invalid distance");
+    if (t.length < kMinMatch || t.length > kMaxMatch)
+      throw std::runtime_error("lzss_decompress: invalid length");
+    const std::size_t start = out.size() - t.distance;
+    for (std::size_t i = 0; i < t.length; ++i)
+      out.push_back(out[start + i]);  // overlapping copies are intentional
+  }
+  return out;
+}
+
+}  // namespace medsen::compress

@@ -1,0 +1,126 @@
+#include "core/attacker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace medsen::core {
+
+namespace {
+constexpr double kReferenceHz = 5.0e5;
+
+/// Count clusters of consecutive peaks whose `value` stays within
+/// `tolerance` (relative) of the cluster's first member.
+double cluster_count(const std::vector<dsp::Peak>& peaks, double tolerance,
+                     double (*value)(const dsp::Peak&)) {
+  if (peaks.empty()) return 0.0;
+  std::size_t clusters = 1;
+  double anchor = value(peaks.front());
+  for (std::size_t i = 1; i < peaks.size(); ++i) {
+    const double v = value(peaks[i]);
+    const double scale = std::max(std::fabs(anchor), 1e-12);
+    if (std::fabs(v - anchor) / scale > tolerance) {
+      ++clusters;
+      anchor = v;
+    }
+  }
+  return static_cast<double>(clusters);
+}
+}  // namespace
+
+double NaiveCountAttacker::estimate_count(const PeakReport& report) {
+  return static_cast<double>(report.reference_peak_count(kReferenceHz));
+}
+
+DivisionAttacker::DivisionAttacker(const sim::ElectrodeArrayDesign& design) {
+  // Best static guess: assume all electrodes were always on.
+  assumed_factor_ =
+      static_cast<double>(design.peaks_per_particle(design.all_mask()));
+}
+
+double DivisionAttacker::estimate_count(const PeakReport& report) {
+  const auto peaks = report.reference_peak_count(kReferenceHz);
+  return assumed_factor_ > 0.0
+             ? static_cast<double>(peaks) / assumed_factor_
+             : static_cast<double>(peaks);
+}
+
+double GapClusterAttacker::estimate_count(const PeakReport& report) {
+  const auto& peaks = report.nearest_channel(kReferenceHz).peaks;
+  if (peaks.size() < 2) return static_cast<double>(peaks.size());
+  std::vector<double> intervals;
+  intervals.reserve(peaks.size() - 1);
+  for (std::size_t i = 1; i < peaks.size(); ++i)
+    intervals.push_back(peaks[i].time_s - peaks[i - 1].time_s);
+  std::vector<double> sorted = intervals;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  std::size_t clusters = 1;
+  for (double gap : intervals)
+    if (gap > gap_factor_ * median) ++clusters;
+  return static_cast<double>(clusters);
+}
+
+double PeriodicTrainAttacker::estimate_count(const PeakReport& report) {
+  const auto& peaks = report.nearest_channel(kReferenceHz).peaks;
+  if (peaks.size() < 3) return static_cast<double>(peaks.size());
+  std::vector<double> intervals;
+  intervals.reserve(peaks.size() - 1);
+  for (std::size_t i = 1; i < peaks.size(); ++i)
+    intervals.push_back(peaks[i].time_s - peaks[i - 1].time_s);
+
+  // Dominant interval: the one with the most relative-tolerance matches.
+  double best_interval = intervals.front();
+  std::size_t best_support = 0;
+  for (double candidate : intervals) {
+    std::size_t support = 0;
+    for (double v : intervals)
+      if (std::fabs(v - candidate) <= tolerance_ * candidate) ++support;
+    if (support > best_support) {
+      best_support = support;
+      best_interval = candidate;
+    }
+  }
+
+  // Chain peaks connected by ~dominant intervals; each chain (or isolated
+  // peak) is presumed to be one cell.
+  std::size_t cells = 1;
+  for (double v : intervals)
+    if (std::fabs(v - best_interval) > tolerance_ * best_interval) ++cells;
+  // Chains are separated by non-matching intervals; consecutive
+  // non-matching intervals each start a new presumed cell, which is
+  // exactly how the heterogeneous-interval countermeasure inflates the
+  // estimate.
+  return static_cast<double>(cells);
+}
+
+double AmplitudeSignatureAttacker::estimate_count(const PeakReport& report) {
+  const auto& peaks = report.nearest_channel(kReferenceHz).peaks;
+  return cluster_count(peaks, tolerance_,
+                       [](const dsp::Peak& p) { return p.amplitude; });
+}
+
+double WidthSignatureAttacker::estimate_count(const PeakReport& report) {
+  const auto& peaks = report.nearest_channel(kReferenceHz).peaks;
+  return cluster_count(peaks, tolerance_,
+                       [](const dsp::Peak& p) { return p.width_s; });
+}
+
+std::vector<std::unique_ptr<Attacker>> standard_attackers(
+    const sim::ElectrodeArrayDesign& design) {
+  std::vector<std::unique_ptr<Attacker>> out;
+  out.push_back(std::make_unique<NaiveCountAttacker>());
+  out.push_back(std::make_unique<DivisionAttacker>(design));
+  out.push_back(std::make_unique<AmplitudeSignatureAttacker>());
+  out.push_back(std::make_unique<WidthSignatureAttacker>());
+  out.push_back(std::make_unique<GapClusterAttacker>());
+  out.push_back(std::make_unique<PeriodicTrainAttacker>());
+  return out;
+}
+
+double recovery_error(double estimate, double true_count) {
+  if (true_count <= 0.0) return estimate > 0.0 ? 1.0 : 0.0;
+  return std::fabs(estimate - true_count) / true_count;
+}
+
+}  // namespace medsen::core

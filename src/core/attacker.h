@@ -1,0 +1,137 @@
+#pragma once
+// Eavesdropper models from the paper's security analysis (Section IV-A):
+// a curious-but-honest cloud (or a network eavesdropper) sees the
+// ciphertext peak report and tries to recover the true particle count.
+// Each attacker implements one of the strategies the paper discusses, and
+// the cipher feature that defeats it:
+//
+//  * NaiveCountAttacker      — assumes one peak per cell; defeated by the
+//                              multi-electrode peak multiplication.
+//  * DivisionAttacker        — knows the array design and guesses a fixed
+//                              multiplication factor; defeated by the
+//                              random per-period electrode subsets.
+//  * AmplitudeSignatureAttacker — groups consecutive same-amplitude peaks
+//                              as one cell; defeated by random gains.
+//  * WidthSignatureAttacker  — groups same-width peaks; defeated by flow
+//                              speed modulation.
+//
+// The attack-resistance bench sweeps cipher features on/off and reports
+// each attacker's count-recovery error.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/peak_report.h"
+#include "sim/electrode_array.h"
+
+namespace medsen::core {
+
+/// Interface: estimate the true particle count from ciphertext peaks only.
+class Attacker {
+ public:
+  virtual ~Attacker() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Estimated particle count from the reference channel's peaks.
+  virtual double estimate_count(const PeakReport& report) = 0;
+};
+
+/// One peak = one cell.
+class NaiveCountAttacker : public Attacker {
+ public:
+  [[nodiscard]] std::string name() const override { return "naive-count"; }
+  double estimate_count(const PeakReport& report) override;
+};
+
+/// Divides the total peak count by an assumed constant multiplication
+/// factor (the attacker knows the array design but not the key).
+class DivisionAttacker : public Attacker {
+ public:
+  explicit DivisionAttacker(const sim::ElectrodeArrayDesign& design);
+  [[nodiscard]] std::string name() const override { return "division"; }
+  double estimate_count(const PeakReport& report) override;
+
+ private:
+  double assumed_factor_;
+};
+
+/// Clusters consecutive peaks of (nearly) equal amplitude as echoes of one
+/// cell crossing several electrodes.
+class AmplitudeSignatureAttacker : public Attacker {
+ public:
+  explicit AmplitudeSignatureAttacker(double relative_tolerance = 0.12)
+      : tolerance_(relative_tolerance) {}
+  [[nodiscard]] std::string name() const override {
+    return "amplitude-signature";
+  }
+  double estimate_count(const PeakReport& report) override;
+
+ private:
+  double tolerance_;
+};
+
+/// Exploits the train signature the paper flags in Section VII-A: when
+/// successive electrodes are selected, one cell's peaks arrive as a
+/// tight, regular train followed by a long silence until the next cell.
+/// Clustering peaks separated by gaps well above the median inter-peak
+/// interval then recovers the cell count. The paper's countermeasure —
+/// never selecting successive electrodes (KeyParams::
+/// avoid_successive_electrodes) — blurs the intra/inter-cell gap
+/// distinction and defeats this attacker.
+class GapClusterAttacker : public Attacker {
+ public:
+  /// A gap larger than `gap_factor` x the median interval starts a new
+  /// cluster (= presumed new cell).
+  explicit GapClusterAttacker(double gap_factor = 3.0)
+      : gap_factor_(gap_factor) {}
+  [[nodiscard]] std::string name() const override { return "gap-cluster"; }
+  double estimate_count(const PeakReport& report) override;
+
+ private:
+  double gap_factor_;
+};
+
+/// The sharper form of the Section VII-A train attack: a cell crossing
+/// successively-selected electrodes emits peaks at one fixed interval, so
+/// the attacker finds the dominant inter-peak interval and chains
+/// consecutive peaks spaced by it into one cell. Non-successive electrode
+/// keys (the countermeasure) make intra-train intervals heterogeneous,
+/// breaking the chains and the count estimate with them.
+class PeriodicTrainAttacker : public Attacker {
+ public:
+  /// Intervals within `tolerance` (relative) of the dominant interval
+  /// extend the current chain.
+  explicit PeriodicTrainAttacker(double tolerance = 0.3)
+      : tolerance_(tolerance) {}
+  [[nodiscard]] std::string name() const override {
+    return "periodic-train";
+  }
+  double estimate_count(const PeakReport& report) override;
+
+ private:
+  double tolerance_;
+};
+
+/// Clusters consecutive peaks of (nearly) equal width as one cell.
+class WidthSignatureAttacker : public Attacker {
+ public:
+  explicit WidthSignatureAttacker(double relative_tolerance = 0.15)
+      : tolerance_(relative_tolerance) {}
+  [[nodiscard]] std::string name() const override {
+    return "width-signature";
+  }
+  double estimate_count(const PeakReport& report) override;
+
+ private:
+  double tolerance_;
+};
+
+/// All four standard attackers.
+std::vector<std::unique_ptr<Attacker>> standard_attackers(
+    const sim::ElectrodeArrayDesign& design);
+
+/// Relative count-recovery error |estimate - truth| / truth.
+double recovery_error(double estimate, double true_count);
+
+}  // namespace medsen::core

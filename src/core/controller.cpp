@@ -1,0 +1,63 @@
+#include "core/controller.h"
+
+#include <stdexcept>
+
+#include "sim/channel.h"
+
+namespace medsen::core {
+
+Controller::Controller(KeyParams key_params,
+                       sim::ElectrodeArrayDesign design,
+                       DiagnosticProfile profile, std::uint64_t entropy_seed)
+    : key_params_(key_params),
+      design_(design),
+      profile_(std::move(profile)),
+      rng_(entropy_seed) {
+  if (key_params_.num_electrodes != design_.num_outputs)
+    throw std::invalid_argument(
+        "Controller: key electrode count must match the array design");
+}
+
+std::vector<sim::ControlSegment> Controller::begin_session(
+    double duration_s) {
+  schedule_ = KeySchedule::generate(key_params_, duration_s, rng_);
+  session_duration_s_ = duration_s;
+  return schedule_->control_trace();
+}
+
+std::vector<sim::ControlSegment> Controller::begin_plaintext_session(
+    double duration_s) {
+  schedule_ = KeySchedule::plaintext(key_params_, duration_s);
+  session_duration_s_ = duration_s;
+  return schedule_->control_trace();
+}
+
+double Controller::session_volume_ul() const {
+  if (!schedule_) throw std::logic_error("Controller: no active session");
+  std::vector<sim::FlowSegment> flow;
+  for (const auto& seg : schedule_->control_trace())
+    flow.push_back({seg.t_start_s, seg.flow_ul_min});
+  return sim::pumped_volume_ul(flow, session_duration_s_);
+}
+
+DecryptionResult Controller::decrypt(const PeakReport& report) const {
+  if (!schedule_) throw std::logic_error("Controller: no active session");
+  return decrypt_report(report, *schedule_, design_, session_duration_s_);
+}
+
+Diagnosis Controller::conclude(const PeakReport& report) {
+  const DecryptionResult decoded = decrypt(report);
+  return diagnose(profile_, decoded.estimated_count, session_volume_ul());
+}
+
+std::uint64_t Controller::session_key_bits() const {
+  if (!schedule_) throw std::logic_error("Controller: no active session");
+  return schedule_->size_bits();
+}
+
+const KeySchedule& Controller::session_key_schedule_for_testing() const {
+  if (!schedule_) throw std::logic_error("Controller: no active session");
+  return *schedule_;
+}
+
+}  // namespace medsen::core

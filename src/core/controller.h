@@ -1,0 +1,70 @@
+#pragma once
+// The sensor micro-controller — MedSen's entire trusted computing base
+// (paper Section II, threat model). It generates the key schedule from its
+// entropy source, programs the sensor (multiplexer/gains/pump), and later
+// decodes the cloud's peak report into the diagnosis. The key never leaves
+// this object: the public API only exposes the hardware control trace and
+// the decoded outcome, mirroring the Raspberry Pi daemon's isolation in
+// the prototype.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/decryptor.h"
+#include "core/diagnostic.h"
+#include "core/key.h"
+#include "core/peak_report.h"
+#include "sim/electrode_array.h"
+
+namespace medsen::core {
+
+class Controller {
+ public:
+  Controller(KeyParams key_params, sim::ElectrodeArrayDesign design,
+             DiagnosticProfile profile, std::uint64_t entropy_seed);
+
+  /// Begin a diagnostic session of `duration_s` seconds: generates a fresh
+  /// key schedule internally and returns the hardware control trace the
+  /// sensor executes. Overwrites any previous session.
+  std::vector<sim::ControlSegment> begin_session(double duration_s);
+
+  /// Begin a plaintext (encryption-off) session, used when submitting the
+  /// bare cyto-code for server-side authentication.
+  std::vector<sim::ControlSegment> begin_plaintext_session(double duration_s);
+
+  /// Volume pumped during the active session (uL), integrating the
+  /// key-driven flow profile. Needed to turn counts into concentrations.
+  [[nodiscard]] double session_volume_ul() const;
+
+  /// Decode the cloud's report with the session key and diagnose.
+  Diagnosis conclude(const PeakReport& report);
+
+  /// Decrypted peak detail for the active session (auth verification and
+  /// richer analyses).
+  DecryptionResult decrypt(const PeakReport& report) const;
+
+  /// Key material size of the active session in bits (telemetry only; the
+  /// bits themselves are not exposed).
+  [[nodiscard]] std::uint64_t session_key_bits() const;
+
+  /// The schedule itself — accessible for white-box tests and the sensor
+  /// binding, marked loudly so misuse is visible in call sites.
+  [[nodiscard]] const KeySchedule& session_key_schedule_for_testing() const;
+
+  [[nodiscard]] const KeyParams& key_params() const { return key_params_; }
+  [[nodiscard]] const sim::ElectrodeArrayDesign& design() const {
+    return design_;
+  }
+  [[nodiscard]] const DiagnosticProfile& profile() const { return profile_; }
+  [[nodiscard]] bool session_active() const { return schedule_.has_value(); }
+
+ private:
+  KeyParams key_params_;
+  sim::ElectrodeArrayDesign design_;
+  DiagnosticProfile profile_;
+  crypto::ChaChaRng rng_;
+  std::optional<KeySchedule> schedule_;
+  double session_duration_s_ = 0.0;
+};
+
+}  // namespace medsen::core

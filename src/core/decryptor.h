@@ -1,0 +1,62 @@
+#pragma once
+// Controller-side decryption of the cloud's peak report (paper Section
+// IV-A): light arithmetic only — per key period, divide the observed peak
+// count by that key's peak-multiplication factor, undo the gain scaling on
+// amplitudes, and undo the flow-speed scaling on widths. Runs comfortably
+// on the resource-constrained trusted computing base.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/key.h"
+#include "core/peak_report.h"
+#include "sim/electrode_array.h"
+
+namespace medsen::core {
+
+/// One decoded (decrypted) peak with key effects removed.
+struct DecodedPeak {
+  double time_s = 0.0;
+  double width_s = 0.0;  ///< corrected to the reference flow speed
+  /// Gain-corrected amplitude per report channel (aligned with
+  /// PeakReport::channels order; 0 where no matching peak was found).
+  std::vector<double> amplitudes;
+};
+
+/// Per-key-period accounting, useful for diagnostics and tests.
+struct PeriodCount {
+  double t_start_s = 0.0;
+  double t_end_s = 0.0;
+  std::size_t encrypted_peaks = 0;   ///< peaks observed in the period
+  std::size_t multiplication = 0;    ///< key-derived factor
+  double decoded = 0.0;              ///< encrypted_peaks / multiplication
+};
+
+struct DecryptionResult {
+  /// Estimated true particle count (sum of per-period decoded counts).
+  double estimated_count = 0.0;
+  std::vector<PeriodCount> periods;
+  std::vector<DecodedPeak> peaks;
+};
+
+struct DecryptorConfig {
+  double reference_hz = 5.0e5;       ///< counting/alignment channel
+  double reference_flow_ul_min = 0.08;
+  /// Max |dt| when matching the same peak across carrier channels.
+  double channel_match_tolerance_s = 0.03;
+};
+
+/// Decrypt a ciphertext-domain peak report using the key schedule that
+/// produced it. `duration_s` bounds the last key period.
+DecryptionResult decrypt_report(const PeakReport& report,
+                                const KeySchedule& schedule,
+                                const sim::ElectrodeArrayDesign& design,
+                                double duration_s,
+                                const DecryptorConfig& config = {});
+
+/// Expected gain correction for a key: mean gain over active electrodes,
+/// weighted by how many peaks each contributes (lead = 1, others = 2).
+double expected_gain(const SensorKey& key, const KeyParams& params,
+                     const sim::ElectrodeArrayDesign& design);
+
+}  // namespace medsen::core

@@ -1,0 +1,51 @@
+#include "core/diagnostic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace medsen::core {
+
+DiagnosticProfile::DiagnosticProfile(std::string name,
+                                     std::vector<DiagnosticBand> bands)
+    : name_(std::move(name)), bands_(std::move(bands)) {
+  if (bands_.empty())
+    throw std::invalid_argument("DiagnosticProfile: needs at least one band");
+  std::sort(bands_.begin(), bands_.end(),
+            [](const DiagnosticBand& a, const DiagnosticBand& b) {
+              return a.min_per_ul < b.min_per_ul;
+            });
+  if (bands_.front().min_per_ul != 0.0)
+    throw std::invalid_argument(
+        "DiagnosticProfile: lowest band must start at 0");
+}
+
+DiagnosticProfile DiagnosticProfile::cd4_staging() {
+  return DiagnosticProfile(
+      "CD4 staging",
+      {{0.0, "severe immunosuppression (<200 cells/uL)", true},
+       {200.0, "immunosuppressed, monitor (200-500 cells/uL)", true},
+       {500.0, "normal (>=500 cells/uL)", false}});
+}
+
+const DiagnosticBand& DiagnosticProfile::classify(
+    double concentration_per_ul) const {
+  const DiagnosticBand* chosen = &bands_.front();
+  for (const auto& band : bands_)
+    if (band.min_per_ul <= concentration_per_ul) chosen = &band;
+  return *chosen;
+}
+
+Diagnosis diagnose(const DiagnosticProfile& profile, double estimated_count,
+                   double volume_ul) {
+  Diagnosis d;
+  d.estimated_count = estimated_count;
+  d.volume_ul = volume_ul;
+  d.concentration_per_ul =
+      volume_ul > 0.0 ? estimated_count / volume_ul : 0.0;
+  const DiagnosticBand& band = profile.classify(d.concentration_per_ul);
+  d.condition = band.label;
+  d.alert = band.alert;
+  return d;
+}
+
+}  // namespace medsen::core

@@ -1,0 +1,55 @@
+#pragma once
+// Threshold-based diagnosis on the decoded cell count (paper Section II:
+// "MedSen simply decodes the number and determines the user's disease
+// condition through a simple threshold comparison"). The canonical
+// workload is CD4+ T-cell counting for HIV staging, the strongest
+// progression predictor cited by the paper.
+
+#include <string>
+#include <vector>
+
+namespace medsen::core {
+
+/// A diagnostic rule: concentration band -> condition label.
+struct DiagnosticBand {
+  double min_per_ul = 0.0;  ///< inclusive lower bound, cells/uL
+  std::string label;
+  bool alert = false;       ///< should the app flag this to the user
+};
+
+/// An ordered set of bands (ascending min_per_ul); classify() picks the
+/// highest band whose lower bound is <= the measured concentration.
+class DiagnosticProfile {
+ public:
+  DiagnosticProfile(std::string name, std::vector<DiagnosticBand> bands);
+
+  /// Standard CD4 staging: <200 severe immunosuppression (alert),
+  /// 200-500 monitor (alert), >=500 normal.
+  static DiagnosticProfile cd4_staging();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<DiagnosticBand>& bands() const {
+    return bands_;
+  }
+  [[nodiscard]] const DiagnosticBand& classify(
+      double concentration_per_ul) const;
+
+ private:
+  std::string name_;
+  std::vector<DiagnosticBand> bands_;
+};
+
+/// Final outcome delivered to the user.
+struct Diagnosis {
+  double estimated_count = 0.0;
+  double volume_ul = 0.0;
+  double concentration_per_ul = 0.0;
+  std::string condition;
+  bool alert = false;
+};
+
+/// Build a diagnosis from a decoded count and pumped volume.
+Diagnosis diagnose(const DiagnosticProfile& profile, double estimated_count,
+                   double volume_ul);
+
+}  // namespace medsen::core

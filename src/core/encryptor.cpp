@@ -1,0 +1,34 @@
+#include "core/encryptor.h"
+
+#include <stdexcept>
+
+namespace medsen::core {
+
+SensorEncryptor::SensorEncryptor(sim::ElectrodeArrayDesign design,
+                                 sim::ChannelConfig channel_config,
+                                 sim::AcquisitionConfig acquisition_config)
+    : design_(design),
+      channel_config_(channel_config),
+      acquisition_config_(std::move(acquisition_config)),
+      mux_(design.num_outputs >= 16 ? design.num_outputs : 16) {}
+
+EncryptedAcquisition SensorEncryptor::acquire(const sim::SampleSpec& sample,
+                                              const KeySchedule& schedule,
+                                              double duration_s,
+                                              std::uint64_t seed) {
+  if (schedule.empty())
+    throw std::invalid_argument("SensorEncryptor: empty key schedule");
+  if (schedule.params().num_electrodes != design_.num_outputs)
+    throw std::invalid_argument(
+        "SensorEncryptor: key electrode count does not match the array");
+
+  const auto trace = schedule.control_trace();
+  for (const auto& seg : trace) mux_.select(seg.active_mask);
+
+  const auto result = sim::acquire(sample, channel_config_, design_,
+                                   acquisition_config_, trace, duration_s,
+                                   seed);
+  return {result.signals, result.truth};
+}
+
+}  // namespace medsen::core

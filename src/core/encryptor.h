@@ -1,0 +1,49 @@
+#pragma once
+// The in-sensor encryption stage: binds a key schedule to the physical
+// acquisition. "Encrypting" is nothing more than programming the
+// multiplexer, gain DACs and pump from the key — the measured analog
+// signal leaves the sensor already encrypted, with zero computational
+// overhead (paper Section IV). This class is the software twin of that
+// hardware path.
+
+#include <cstdint>
+
+#include "core/key.h"
+#include "core/mux.h"
+#include "sim/acquisition.h"
+
+namespace medsen::core {
+
+/// Result of an encrypted acquisition. `truth` is simulator-only ground
+/// truth (the fabricated prototype observed it via microscope video); it
+/// never travels with the signal.
+struct EncryptedAcquisition {
+  util::MultiChannelSeries signals;
+  sim::GroundTruth truth;
+};
+
+class SensorEncryptor {
+ public:
+  SensorEncryptor(sim::ElectrodeArrayDesign design,
+                  sim::ChannelConfig channel_config,
+                  sim::AcquisitionConfig acquisition_config);
+
+  /// Run an acquisition of `duration_s` seconds with the sensor keyed by
+  /// `schedule`. Each key period reconfigures the multiplexer.
+  EncryptedAcquisition acquire(const sim::SampleSpec& sample,
+                               const KeySchedule& schedule,
+                               double duration_s, std::uint64_t seed);
+
+  [[nodiscard]] const sim::ElectrodeArrayDesign& design() const {
+    return design_;
+  }
+  [[nodiscard]] const Multiplexer& mux() const { return mux_; }
+
+ private:
+  sim::ElectrodeArrayDesign design_;
+  sim::ChannelConfig channel_config_;
+  sim::AcquisitionConfig acquisition_config_;
+  Multiplexer mux_;
+};
+
+}  // namespace medsen::core

@@ -1,0 +1,50 @@
+#pragma once
+// Key escrow for trusted practitioners. The paper (Section VII-B) notes
+// that "MedSen's design also allows (not implemented) sharing of the
+// generated keys with trusted parties, e.g., the patient's
+// practitioners, so that they could also access the cloud-based analysis
+// outcomes remotely." This module implements that extension: the
+// controller wraps a session's key schedule under a secret shared with
+// the practitioner (ChaCha20 encryption + HMAC-SHA256 authentication);
+// the practitioner unwraps it and decodes the ciphertext-domain peak
+// reports fetched from the cloud, without the sensor in the loop.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/decryptor.h"
+#include "core/key.h"
+#include "core/peak_report.h"
+
+namespace medsen::core {
+
+/// A key schedule wrapped for one recipient.
+struct EscrowPackage {
+  std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> ciphertext;  ///< encrypted KeySchedule bytes
+  std::array<std::uint8_t, 32> mac{};    ///< HMAC over nonce || ciphertext
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static EscrowPackage deserialize(std::span<const std::uint8_t> bytes);
+};
+
+/// Wrap a key schedule under a shared secret. `entropy` seeds the nonce;
+/// reuse a fresh value per package.
+EscrowPackage escrow_key_schedule(const KeySchedule& schedule,
+                                  std::span<const std::uint8_t> shared_secret,
+                                  std::uint64_t entropy);
+
+/// Unwrap; throws std::runtime_error if the MAC does not verify (wrong
+/// secret or tampered package).
+KeySchedule recover_key_schedule(const EscrowPackage& package,
+                                 std::span<const std::uint8_t> shared_secret);
+
+/// Practitioner-side convenience: unwrap the schedule and decode a stored
+/// ciphertext peak report in one call.
+DecryptionResult practitioner_decrypt(
+    const EscrowPackage& package, std::span<const std::uint8_t> shared_secret,
+    const PeakReport& report, const sim::ElectrodeArrayDesign& design,
+    double duration_s);
+
+}  // namespace medsen::core

@@ -1,0 +1,110 @@
+#pragma once
+// The MedSen sensor key (paper Section IV-A):
+//
+//   K(t) = (E(t), G(t), S(t))
+//
+// E — binary vector of on/off output electrodes (the multiplexer routing),
+// G — per-electrode output gains (quantized to gain_bits levels),
+// S — fluid flow speed in the channel (quantized to flow_bits levels).
+//
+// The deployed scheme rotates the key every `period_s` seconds; the ideal
+// per-cell variant's key length is computed by crypto::keymath (Eq. 2).
+// Keys are generated on, and never leave, the sensor controller (the TCB).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "sim/acquisition.h"
+#include "sim/electrode_array.h"
+
+namespace medsen::core {
+
+/// One key period's sensor configuration.
+struct SensorKey {
+  sim::ElectrodeMask electrodes = 0;     ///< E: active output electrodes
+  std::vector<std::uint8_t> gain_codes;  ///< G: one code per output
+  std::uint8_t flow_code = 0;            ///< S: quantized flow speed
+};
+
+/// Key-space parameters (resolution choices from Section VI-B).
+struct KeyParams {
+  std::size_t num_electrodes = 9;
+  unsigned gain_bits = 4;     ///< 16 gain levels
+  unsigned flow_bits = 4;     ///< 16 flow speeds
+  double gain_min = 0.5;      ///< linear gain range the front-end spans
+  double gain_max = 2.0;
+  double flow_min_ul_min = 0.05;
+  double flow_max_ul_min = 0.16;
+  double period_s = 2.0;      ///< key renewal interval
+  std::size_t min_active_electrodes = 1;
+  /// Countermeasure from Section VII-A: never select runs of successive
+  /// electrodes, which produce recognizable periodic peak trains.
+  bool avoid_successive_electrodes = false;
+
+  [[nodiscard]] std::uint32_t gain_levels() const { return 1u << gain_bits; }
+  [[nodiscard]] std::uint32_t flow_levels() const { return 1u << flow_bits; }
+};
+
+/// Map a gain code to its linear gain (log-spaced across the range so the
+/// multiplicative concealment is uniform in dB).
+double gain_value(const KeyParams& params, std::uint8_t code);
+
+/// Map a flow code to uL/min (linear across the range).
+double flow_value(const KeyParams& params, std::uint8_t code);
+
+/// A key with its activation time.
+struct TimedKey {
+  double t_start_s = 0.0;
+  SensorKey key;
+};
+
+/// The full key sequence for one acquisition. Produced by the controller;
+/// convertible to the hardware control trace the simulator executes.
+class KeySchedule {
+ public:
+  KeySchedule() = default;
+  KeySchedule(KeyParams params, std::vector<TimedKey> keys);
+
+  /// Generate a fresh random schedule covering [0, duration_s).
+  static KeySchedule generate(const KeyParams& params, double duration_s,
+                              crypto::ChaChaRng& rng);
+
+  /// Fixed "encryption off" schedule: one electrode, unit gain, nominal
+  /// flow — the mode used when submitting the bare cyto-code for
+  /// server-side authentication (Section V).
+  static KeySchedule plaintext(const KeyParams& params, double duration_s);
+
+  [[nodiscard]] const KeyParams& params() const { return params_; }
+  [[nodiscard]] const std::vector<TimedKey>& keys() const { return keys_; }
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+
+  /// Key in effect at time t.
+  [[nodiscard]] const SensorKey& key_at(double t) const;
+
+  /// Convert to the hardware control trace (multiplexer masks, gains,
+  /// pump speeds) that the sensor executes.
+  [[nodiscard]] std::vector<sim::ControlSegment> control_trace() const;
+
+  /// Peak multiplication factor of the key active at time t for `design`.
+  [[nodiscard]] std::size_t multiplication_factor(
+      const sim::ElectrodeArrayDesign& design, double t) const;
+
+  /// Serialized size in bits (the deployed-scheme key length; compare with
+  /// crypto::total_key_bits for the ideal scheme).
+  [[nodiscard]] std::uint64_t size_bits() const;
+
+  /// Binary serialization (stored only on the controller).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static KeySchedule deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  KeyParams params_;
+  std::vector<TimedKey> keys_;
+};
+
+/// Generate one random key (used by KeySchedule::generate and tests).
+SensorKey random_key(const KeyParams& params, crypto::ChaChaRng& rng);
+
+}  // namespace medsen::core

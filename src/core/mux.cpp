@@ -1,0 +1,36 @@
+#include "core/mux.h"
+
+#include <stdexcept>
+
+namespace medsen::core {
+
+std::size_t MuxState::measured_count() const {
+  std::size_t n = 0;
+  for (auto r : routes)
+    if (r == MuxRoute::kMeasurement) ++n;
+  return n;
+}
+
+sim::ElectrodeMask MuxState::measurement_mask() const {
+  sim::ElectrodeMask mask = 0;
+  for (std::size_t i = 0; i < routes.size() && i < 32; ++i)
+    if (routes[i] == MuxRoute::kMeasurement)
+      mask |= sim::ElectrodeMask{1} << i;
+  return mask;
+}
+
+Multiplexer::Multiplexer(std::size_t num_inputs) : num_inputs_(num_inputs) {
+  if (num_inputs == 0 || num_inputs > 32)
+    throw std::invalid_argument("Multiplexer: inputs must be in [1,32]");
+  state_.routes.assign(num_inputs, MuxRoute::kGround);
+}
+
+const MuxState& Multiplexer::select(sim::ElectrodeMask mask) {
+  for (std::size_t i = 0; i < num_inputs_; ++i)
+    state_.routes[i] = ((mask >> i) & 1u) ? MuxRoute::kMeasurement
+                                          : MuxRoute::kGround;
+  ++switch_count_;
+  return state_;
+}
+
+}  // namespace medsen::core

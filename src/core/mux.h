@@ -1,0 +1,47 @@
+#pragma once
+// Model of the MAX14661-style 16:2 analog multiplexer (paper Section VI-B,
+// Fig. 9 label B): output electrodes selected by the key are routed to
+// measurement channel A; all unselected electrodes are routed to channel B
+// which is tied to ground, preventing floating-electrode interference
+// (Section VII-A).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/electrode_array.h"
+
+namespace medsen::core {
+
+enum class MuxRoute : std::uint8_t { kMeasurement = 0, kGround = 1 };
+
+/// Routing state of every input pin.
+struct MuxState {
+  std::vector<MuxRoute> routes;  ///< index = electrode/input pin
+
+  [[nodiscard]] std::size_t measured_count() const;
+  [[nodiscard]] sim::ElectrodeMask measurement_mask() const;
+};
+
+/// 16:2 switch matrix with a fixed number of input pins.
+class Multiplexer {
+ public:
+  explicit Multiplexer(std::size_t num_inputs = 16);
+
+  [[nodiscard]] std::size_t num_inputs() const { return num_inputs_; }
+
+  /// Apply an electrode selection mask: selected pins -> measurement
+  /// channel, the rest -> ground. Bits beyond num_inputs are ignored.
+  /// Returns the resulting routing state and records a switch event.
+  const MuxState& select(sim::ElectrodeMask mask);
+
+  [[nodiscard]] const MuxState& state() const { return state_; }
+  /// Number of select() calls (each is one key-period reconfiguration).
+  [[nodiscard]] std::uint64_t switch_count() const { return switch_count_; }
+
+ private:
+  std::size_t num_inputs_;
+  MuxState state_;
+  std::uint64_t switch_count_ = 0;
+};
+
+}  // namespace medsen::core

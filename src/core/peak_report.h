@@ -1,0 +1,36 @@
+#pragma once
+// The analysis result the untrusted cloud returns to the sensor: detected
+// peaks (timestamps, amplitudes, widths) per carrier channel of the
+// *encrypted* signal. Contains no plaintext cytometry information — the
+// controller decodes it with the key schedule.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/peak_detect.h"
+
+namespace medsen::core {
+
+/// Peak list for one carrier channel.
+struct ChannelPeaks {
+  double carrier_hz = 0.0;
+  std::vector<dsp::Peak> peaks;
+};
+
+/// The full ciphertext-domain analysis report.
+struct PeakReport {
+  std::vector<ChannelPeaks> channels;
+
+  /// Channel whose carrier is closest to `hz` (the 500 kHz reference for
+  /// counting; classification uses several). Throws if empty.
+  [[nodiscard]] const ChannelPeaks& nearest_channel(double hz) const;
+
+  /// Total encrypted peak count on the reference channel.
+  [[nodiscard]] std::size_t reference_peak_count(double hz = 5.0e5) const;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static PeakReport deserialize(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace medsen::core

@@ -1,0 +1,76 @@
+#include "core/percell.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace medsen::core {
+
+namespace {
+
+std::uint8_t nominal_flow_code(const KeyParams& params) {
+  std::uint8_t best = 0;
+  double best_err = 1e18;
+  for (std::uint32_t c = 0; c < params.flow_levels(); ++c) {
+    const double err =
+        std::fabs(flow_value(params, static_cast<std::uint8_t>(c)) - 0.08);
+    if (err < best_err) {
+      best_err = err;
+      best = static_cast<std::uint8_t>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PerCellAcquisition acquire_per_cell_keyed(
+    const sim::SampleSpec& sample, const sim::ChannelConfig& channel,
+    const sim::ElectrodeArrayDesign& design,
+    const sim::AcquisitionConfig& config, const KeyParams& params,
+    double duration_s, crypto::ChaChaRng& key_rng, std::uint64_t sim_seed) {
+  const std::uint8_t flow_code = nominal_flow_code(params);
+  const double flow = flow_value(params, flow_code);
+
+  // Phase 1: the arrival stream (the per-cell trigger the prototype
+  // lacks; the microscope camera provided it for ground truth).
+  crypto::ChaChaRng transit_rng(sim_seed);
+  auto transits = sim::simulate_transits(
+      sample, channel, {{0.0, flow}}, duration_s, transit_rng);
+
+  // Phase 2: one key per cell, switched just before each arrival.
+  std::vector<TimedKey> keys;
+  keys.reserve(transits.size() + 1);
+  auto fresh_key = [&] {
+    SensorKey key = random_key(params, key_rng);
+    key.flow_code = flow_code;
+    return key;
+  };
+  keys.push_back({0.0, fresh_key()});
+  double last_start = 0.0;
+  constexpr double kSwitchLead = 1e-3;  // re-key 1 ms before the transit
+  for (const auto& transit : transits) {
+    const double t =
+        std::max(last_start + 1e-6, transit.enter_time_s - kSwitchLead);
+    keys.push_back({t, fresh_key()});
+    last_start = t;
+  }
+  KeySchedule schedule(params, std::move(keys));
+
+  // Phase 3: render the acquisition under the per-cell control trace.
+  const auto trace = schedule.control_trace();
+  auto result = sim::render_acquisition(std::move(transits), design, config,
+                                        trace, duration_s, sim_seed + 1);
+  return {{std::move(result.signals), std::move(result.truth)},
+          std::move(schedule)};
+}
+
+std::uint64_t per_cell_key_bits(const KeyParams& params,
+                                std::uint64_t cells) {
+  const std::uint64_t per_key =
+      params.num_electrodes +
+      static_cast<std::uint64_t>(params.num_electrodes) * params.gain_bits +
+      params.flow_bits;
+  return per_key * (cells + 1);  // +1 for the initial pre-arrival key
+}
+
+}  // namespace medsen::core

@@ -1,0 +1,44 @@
+#pragma once
+// The ideal per-cell keying scheme of Section IV-A: "every signal peak is
+// encrypted with its own randomly generated key", giving the one-time-pad
+// comparison the paper draws, at the cost of a key whose length grows
+// linearly with the cell count (crypto::keymath, Eq. 2) and of requiring
+// the sensor to know when each cell enters the channel.
+//
+// The fabricated prototype could not trigger on cell arrivals, so it
+// deployed the periodic-rotation scheme instead. The simulator CAN — it
+// knows every transit — so this module implements the ideal scheme for
+// comparison: simulate the arrival stream first, assign one fresh
+// (E, G) key per cell (flow is held fixed: re-keying the pump per cell is
+// physically meaningless mid-transit, one of the complications the paper
+// cites), then render the acquisition under that key schedule.
+
+#include <cstdint>
+
+#include "core/encryptor.h"
+#include "core/key.h"
+#include "sim/acquisition.h"
+
+namespace medsen::core {
+
+struct PerCellAcquisition {
+  EncryptedAcquisition acquisition;
+  KeySchedule schedule;  ///< one key per cell (lives in the TCB)
+};
+
+/// Run an acquisition under the ideal per-cell scheme. The flow code is
+/// pinned to the value nearest 0.08 uL/min; electrodes and gains re-key
+/// on every cell arrival.
+PerCellAcquisition acquire_per_cell_keyed(
+    const sim::SampleSpec& sample, const sim::ChannelConfig& channel,
+    const sim::ElectrodeArrayDesign& design,
+    const sim::AcquisitionConfig& config, const KeyParams& params,
+    double duration_s, crypto::ChaChaRng& key_rng, std::uint64_t sim_seed);
+
+/// Key length (bits) the ideal scheme spent for `cells` cells under
+/// `params` — per-electrode-gain variant of Eq. 2:
+///   bits/cell = N_elec + N_elec * R_gain + R_flow.
+std::uint64_t per_cell_key_bits(const KeyParams& params,
+                                std::uint64_t cells);
+
+}  // namespace medsen::core

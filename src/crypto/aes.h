@@ -1,0 +1,53 @@
+#pragma once
+// AES-128 block cipher (FIPS 197) with CTR mode. This is NOT used by the
+// MedSen sensing path — the paper's point is that in-sensor analog
+// encryption makes a software cipher unnecessary. AES is implemented here
+// as the "general-purpose symmetric encryption" comparator from the related
+// work discussion, powering the ablation benchmark that contrasts software
+// encryption cost against MedSen's zero-overhead hardware keying.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace medsen::crypto {
+
+/// AES-128 with a precomputed key schedule.
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  explicit Aes128(std::span<const std::uint8_t, kKeySize> key);
+
+  /// Encrypt one 16-byte block in place.
+  void encrypt_block(std::span<std::uint8_t, kBlockSize> block) const;
+  /// Decrypt one 16-byte block in place.
+  void decrypt_block(std::span<std::uint8_t, kBlockSize> block) const;
+
+ private:
+  std::array<std::uint8_t, 176> round_keys_{};  // 11 round keys
+};
+
+/// AES-128-CTR stream transform (encrypt == decrypt). The 16-byte counter
+/// block is nonce (first 8 bytes) || big-endian 64-bit block counter.
+class Aes128Ctr {
+ public:
+  Aes128Ctr(std::span<const std::uint8_t, Aes128::kKeySize> key,
+            std::uint64_t nonce);
+
+  /// XOR the keystream into data in place.
+  void apply(std::span<std::uint8_t> data);
+
+ private:
+  Aes128 cipher_;
+  std::uint64_t nonce_;
+  std::uint64_t counter_ = 0;
+  std::array<std::uint8_t, Aes128::kBlockSize> buf_{};
+  std::size_t pos_ = Aes128::kBlockSize;
+
+  void refill();
+};
+
+}  // namespace medsen::crypto

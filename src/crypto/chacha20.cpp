@@ -1,0 +1,199 @@
+#include "crypto/chacha20.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace medsen::crypto {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void store32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void chacha_block(const std::array<std::uint32_t, 16>& input,
+                  std::array<std::uint8_t, 64>& out) {
+  std::array<std::uint32_t, 16> x = input;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store32(out.data() + 4 * i, x[static_cast<std::size_t>(i)] +
+                                    input[static_cast<std::size_t>(i)]);
+  }
+}
+
+constexpr std::uint32_t kSigma[4] = {0x61707865, 0x3320646e, 0x79622d32,
+                                     0x6b206574};
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t, kKeySize> key,
+                   std::span<const std::uint8_t, kNonceSize> nonce,
+                   std::uint32_t initial_counter) {
+  state_[0] = kSigma[0];
+  state_[1] = kSigma[1];
+  state_[2] = kSigma[2];
+  state_[3] = kSigma[3];
+  for (int i = 0; i < 8; ++i) state_[4 + static_cast<std::size_t>(i)] = load32(key.data() + 4 * i);
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state_[13 + static_cast<std::size_t>(i)] = load32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::refill() {
+  chacha_block(state_, buffer_);
+  ++state_[12];
+  buffer_pos_ = 0;
+}
+
+void ChaCha20::apply(std::span<std::uint8_t> data) {
+  for (auto& byte : data) {
+    if (buffer_pos_ == kBlockSize) refill();
+    byte ^= buffer_[buffer_pos_++];
+  }
+}
+
+void ChaCha20::keystream(std::span<std::uint8_t> out) {
+  for (auto& byte : out) {
+    if (buffer_pos_ == kBlockSize) refill();
+    byte = buffer_[buffer_pos_++];
+  }
+}
+
+std::array<std::uint8_t, ChaCha20::kBlockSize> ChaCha20::block(
+    std::span<const std::uint8_t, kKeySize> key,
+    std::span<const std::uint8_t, kNonceSize> nonce, std::uint32_t counter) {
+  ChaCha20 c(key, nonce, counter);
+  std::array<std::uint8_t, kBlockSize> out;
+  chacha_block(c.state_, out);
+  return out;
+}
+
+ChaChaRng::ChaChaRng(std::uint64_t seed) {
+  std::array<std::uint8_t, 8> bytes;
+  for (int i = 0; i < 8; ++i)
+    bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seed >> (8 * i));
+  const auto digest = sha256(bytes);
+  std::memcpy(key_.data(), digest.data(), key_.size());
+}
+
+ChaChaRng::ChaChaRng(std::span<const std::uint8_t> seed_bytes) {
+  const auto digest = sha256(seed_bytes);
+  std::memcpy(key_.data(), digest.data(), key_.size());
+}
+
+void ChaChaRng::refill() {
+  std::array<std::uint8_t, ChaCha20::kNonceSize> nonce{};
+  // nonce = stream id (hi 8 bytes of counter space unused; block counter is
+  // 32-bit so we roll the nonce every 2^32 blocks).
+  const std::uint64_t block_index = counter_;
+  const std::uint64_t nonce_word = stream_ ^ (block_index >> 32);
+  for (int i = 0; i < 8; ++i)
+    nonce[static_cast<std::size_t>(i) + 4] =
+        static_cast<std::uint8_t>(nonce_word >> (8 * i));
+  buf_ = ChaCha20::block(std::span<const std::uint8_t, 32>(key_),
+                         std::span<const std::uint8_t, 12>(nonce),
+                         static_cast<std::uint32_t>(block_index));
+  ++counter_;
+  pos_ = 0;
+}
+
+void ChaChaRng::fill(std::span<std::uint8_t> out) {
+  for (auto& byte : out) {
+    if (pos_ == buf_.size()) refill();
+    byte = buf_[pos_++];
+  }
+}
+
+std::uint32_t ChaChaRng::next_u32() {
+  std::array<std::uint8_t, 4> b;
+  fill(b);
+  return load32(b.data());
+}
+
+std::uint64_t ChaChaRng::next_u64() {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+std::uint32_t ChaChaRng::uniform(std::uint32_t bound) {
+  // Lemire-style rejection sampling to avoid modulo bias.
+  if (bound == 0) return 0;
+  const std::uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    const std::uint64_t m =
+        static_cast<std::uint64_t>(next_u32()) * static_cast<std::uint64_t>(bound);
+    if (static_cast<std::uint32_t>(m) >= threshold)
+      return static_cast<std::uint32_t>(m >> 32);
+  }
+}
+
+double ChaChaRng::uniform_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double ChaChaRng::normal(double mean, double stddev) {
+  if (cached_normal_valid_) {
+    cached_normal_valid_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = uniform_double();
+  while (u1 <= 0.0) u1 = uniform_double();
+  const double u2 = uniform_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  cached_normal_valid_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+std::uint64_t ChaChaRng::poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 64.0) {
+    const double limit = std::exp(-lambda);
+    double p = 1.0;
+    std::uint64_t k = 0;
+    do {
+      ++k;
+      p *= uniform_double();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  const double v = normal(lambda, std::sqrt(lambda));
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+bool ChaChaRng::bernoulli(double p) { return uniform_double() < p; }
+
+}  // namespace medsen::crypto

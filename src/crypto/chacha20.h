@@ -1,0 +1,89 @@
+#pragma once
+// ChaCha20 stream cipher (RFC 8439) and a deterministic random bit
+// generator built on it. The paper's prototype draws its electrode-keying
+// entropy from the Raspberry Pi's /dev/random; this DRBG is the
+// software-simulation substitute: cryptographically structured, seedable,
+// and reproducible for tests.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace medsen::crypto {
+
+/// Raw ChaCha20 block function and stream cipher.
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  ChaCha20(std::span<const std::uint8_t, kKeySize> key,
+           std::span<const std::uint8_t, kNonceSize> nonce,
+           std::uint32_t initial_counter = 0);
+
+  /// XOR the keystream into `data` in place (encrypt == decrypt).
+  void apply(std::span<std::uint8_t> data);
+
+  /// Produce `out.size()` keystream bytes.
+  void keystream(std::span<std::uint8_t> out);
+
+  /// One 64-byte block for block counter `counter` (stateless helper,
+  /// exposed for test vectors).
+  static std::array<std::uint8_t, kBlockSize> block(
+      std::span<const std::uint8_t, kKeySize> key,
+      std::span<const std::uint8_t, kNonceSize> nonce, std::uint32_t counter);
+
+ private:
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_pos_ = kBlockSize;  // exhausted
+
+  void refill();
+};
+
+/// Deterministic random bit generator over ChaCha20. Models the sensor
+/// controller's entropy source. A given seed yields a reproducible stream,
+/// which the tests rely on; production use would seed from an OS RNG.
+class ChaChaRng {
+ public:
+  /// Seed with arbitrary bytes (hashed into the 32-byte key internally).
+  explicit ChaChaRng(std::uint64_t seed);
+  explicit ChaChaRng(std::span<const std::uint8_t> seed_bytes);
+
+  std::uint32_t next_u32();
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint32_t uniform(std::uint32_t bound);
+  /// Uniform double in [0, 1).
+  double uniform_double();
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Poisson-distributed count (Knuth for small lambda, normal approx above
+  /// 64) — used for particle arrival processes.
+  std::uint64_t poisson(double lambda);
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p);
+  /// Fill a byte span with random bytes.
+  void fill(std::span<std::uint8_t> out);
+
+  // UniformRandomBitGenerator interface so <random> adaptors also work.
+  using result_type = std::uint32_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xFFFFFFFFu; }
+  result_type operator()() { return next_u32(); }
+
+ private:
+  std::array<std::uint8_t, ChaCha20::kKeySize> key_{};
+  std::uint64_t stream_ = 0;   // nonce hi: stream id, bumped on rekey
+  std::uint64_t counter_ = 0;  // consumed blocks
+  std::array<std::uint8_t, ChaCha20::kBlockSize> buf_{};
+  std::size_t pos_ = ChaCha20::kBlockSize;
+  bool cached_normal_valid_ = false;
+  double cached_normal_ = 0.0;
+
+  void refill();
+};
+
+}  // namespace medsen::crypto

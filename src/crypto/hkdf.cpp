@@ -1,0 +1,55 @@
+#include "crypto/hkdf.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+
+namespace medsen::crypto {
+
+Sha256Digest hkdf_extract(std::span<const std::uint8_t> salt,
+                          std::span<const std::uint8_t> ikm) {
+  if (salt.empty()) {
+    const std::vector<std::uint8_t> zero_salt(32, 0);
+    return hmac_sha256(zero_salt, ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+std::vector<std::uint8_t> hkdf_expand(const Sha256Digest& prk,
+                                      std::span<const std::uint8_t> info,
+                                      std::size_t length) {
+  if (length == 0 || length > 255 * 32)
+    throw std::invalid_argument("hkdf_expand: length out of range");
+  std::vector<std::uint8_t> okm;
+  okm.reserve(length);
+  std::vector<std::uint8_t> block;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    std::vector<std::uint8_t> input = block;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    const auto t = hmac_sha256(prk, input);
+    block.assign(t.begin(), t.end());
+    const std::size_t take = std::min(block.size(), length - okm.size());
+    okm.insert(okm.end(), block.begin(),
+               block.begin() + static_cast<long>(take));
+  }
+  return okm;
+}
+
+std::vector<std::uint8_t> hkdf(std::span<const std::uint8_t> salt,
+                               std::span<const std::uint8_t> ikm,
+                               std::span<const std::uint8_t> info,
+                               std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+std::vector<std::uint8_t> hkdf_label(std::span<const std::uint8_t> ikm,
+                                     const std::string& label,
+                                     std::size_t length) {
+  const std::span<const std::uint8_t> info(
+      reinterpret_cast<const std::uint8_t*>(label.data()), label.size());
+  return hkdf({}, ikm, info, length);
+}
+
+}  // namespace medsen::crypto

@@ -1,0 +1,38 @@
+#pragma once
+// HKDF-SHA256 (RFC 5869): extract-and-expand key derivation. Used by the
+// key-escrow module to derive independent encryption and MAC keys from
+// the practitioner-shared secret.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace medsen::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm). Empty salt means a zero salt of
+/// hash length, per the RFC.
+Sha256Digest hkdf_extract(std::span<const std::uint8_t> salt,
+                          std::span<const std::uint8_t> ikm);
+
+/// HKDF-Expand: derive `length` bytes (<= 255 * 32) from a PRK and an
+/// application-specific info string. Throws std::invalid_argument when
+/// length is out of range.
+std::vector<std::uint8_t> hkdf_expand(const Sha256Digest& prk,
+                                      std::span<const std::uint8_t> info,
+                                      std::size_t length);
+
+/// One-shot extract+expand.
+std::vector<std::uint8_t> hkdf(std::span<const std::uint8_t> salt,
+                               std::span<const std::uint8_t> ikm,
+                               std::span<const std::uint8_t> info,
+                               std::size_t length);
+
+/// Convenience: derive with a string label as info.
+std::vector<std::uint8_t> hkdf_label(std::span<const std::uint8_t> ikm,
+                                     const std::string& label,
+                                     std::size_t length);
+
+}  // namespace medsen::crypto

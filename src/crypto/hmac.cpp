@@ -1,0 +1,43 @@
+#include "crypto/hmac.h"
+
+#include <array>
+#include <cstring>
+
+namespace medsen::crypto {
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k{};
+  if (key.size() > kBlock) {
+    const auto digest = sha256(key);
+    std::memcpy(k.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad;
+  std::array<std::uint8_t, kBlock> opad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+bool digest_equal(const Sha256Digest& a, const Sha256Digest& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace medsen::crypto

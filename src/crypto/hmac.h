@@ -1,0 +1,20 @@
+#pragma once
+// HMAC-SHA256 (RFC 2104). The cyto-coded identifier doubles as an integrity
+// check in the paper (Section V); the protocol layer additionally MACs
+// frames so tampering by the untrusted phone/cloud is detectable.
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.h"
+
+namespace medsen::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any length).
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> data);
+
+/// Constant-time digest comparison.
+bool digest_equal(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace medsen::crypto

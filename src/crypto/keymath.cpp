@@ -1,0 +1,29 @@
+#include "crypto/keymath.h"
+
+#include <cmath>
+
+namespace medsen::crypto {
+
+std::uint64_t key_bits_per_cell(const KeySizeParams& p) {
+  return static_cast<std::uint64_t>(p.electrodes) +
+         static_cast<std::uint64_t>(p.electrodes / 2) * p.gain_bits +
+         p.flow_bits;
+}
+
+std::uint64_t total_key_bits(const KeySizeParams& p) {
+  return p.cells * key_bits_per_cell(p);
+}
+
+std::uint64_t total_key_bytes(const KeySizeParams& p) {
+  return (total_key_bits(p) + 7) / 8;
+}
+
+std::uint64_t periodic_key_bits(const KeySizeParams& p, double duration_s,
+                                double period_s) {
+  if (duration_s <= 0.0 || period_s <= 0.0) return 0;
+  const auto periods =
+      static_cast<std::uint64_t>(std::ceil(duration_s / period_s));
+  return periods * key_bits_per_cell(p);
+}
+
+}  // namespace medsen::crypto

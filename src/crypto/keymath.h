@@ -1,0 +1,40 @@
+#pragma once
+// Key-length accounting from the paper (Section VI-B, Eq. 2):
+//
+//   L = N_cells * (N_elec + N_elec/2 * R_gain + R_flow)     [bits]
+//
+// for the ideal per-cell-key scheme, where N_elec is the number of
+// activated output electrodes, R_gain the per-electrode-pair gain
+// resolution in bits, and R_flow the flow-speed resolution in bits.
+// The paper's worked example: 20 K cells, 16 electrodes, 16 gain levels
+// (4 bits) and 16 flow speeds (4 bits) -> 20K * (16 + 8*4 + 4) = 1.04 Mbit
+// = 0.13 MB (reported as ~1 Mbit / 0.12 MB).
+
+#include <cstdint>
+
+namespace medsen::crypto {
+
+/// Parameters of the ideal (one key per cell) encryption scheme.
+struct KeySizeParams {
+  std::uint64_t cells = 0;        ///< N_cells in the blood sample
+  std::uint32_t electrodes = 0;   ///< N_elec activated output electrodes
+  std::uint32_t gain_bits = 0;    ///< R_gain, bits per electrode-pair gain
+  std::uint32_t flow_bits = 0;    ///< R_flow, bits of flow-speed resolution
+};
+
+/// Per-cell key size in bits: N_elec + (N_elec/2)*R_gain + R_flow.
+std::uint64_t key_bits_per_cell(const KeySizeParams& p);
+
+/// Total ideal key length L in bits (Eq. 2).
+std::uint64_t total_key_bits(const KeySizeParams& p);
+
+/// Total key length in bytes (rounded up).
+std::uint64_t total_key_bytes(const KeySizeParams& p);
+
+/// Key length for the *practical* scheme MedSen actually deploys, where the
+/// key is rotated every `period_s` seconds over an acquisition lasting
+/// `duration_s` seconds instead of per cell.
+std::uint64_t periodic_key_bits(const KeySizeParams& p, double duration_s,
+                                double period_s);
+
+}  // namespace medsen::crypto

@@ -1,0 +1,114 @@
+#include "dsp/classify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace medsen::dsp {
+
+void NearestCentroidClassifier::fit(std::span<const LabeledPoint> data,
+                                    std::size_t num_classes) {
+  if (data.empty()) throw std::invalid_argument("fit: empty training data");
+  const std::size_t dim = data.front().features.size();
+  centroids_.assign(num_classes, FeatureVector(dim, 0.0));
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (const auto& p : data) {
+    if (p.label >= num_classes)
+      throw std::invalid_argument("fit: label out of range");
+    if (p.features.size() != dim)
+      throw std::invalid_argument("fit: inconsistent dimensionality");
+    for (std::size_t d = 0; d < dim; ++d)
+      centroids_[p.label][d] += p.features[d];
+    ++counts[p.label];
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if (counts[c] == 0)
+      throw std::invalid_argument("fit: class with no examples");
+    for (double& v : centroids_[c]) v /= static_cast<double>(counts[c]);
+  }
+}
+
+std::size_t NearestCentroidClassifier::predict(const FeatureVector& x) const {
+  if (centroids_.empty()) throw std::logic_error("predict before fit");
+  double best = std::numeric_limits<double>::max();
+  std::size_t best_c = 0;
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = squared_distance(x, centroids_[c]);
+    if (d < best) {
+      best = d;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+double NearestCentroidClassifier::margin(const FeatureVector& x) const {
+  if (centroids_.size() < 2) return 1.0;
+  double d1 = std::numeric_limits<double>::max();
+  double d2 = std::numeric_limits<double>::max();
+  for (const auto& c : centroids_) {
+    const double d = squared_distance(x, c);
+    if (d < d1) {
+      d2 = d1;
+      d1 = d;
+    } else if (d < d2) {
+      d2 = d;
+    }
+  }
+  if (d2 <= 0.0) return 0.0;
+  return (std::sqrt(d2) - std::sqrt(d1)) / std::sqrt(d2);
+}
+
+void KnnClassifier::fit(std::span<const LabeledPoint> data,
+                        std::size_t num_classes) {
+  if (data.empty()) throw std::invalid_argument("fit: empty training data");
+  train_.assign(data.begin(), data.end());
+  num_classes_ = num_classes;
+}
+
+std::size_t KnnClassifier::predict(const FeatureVector& x) const {
+  if (train_.empty()) throw std::logic_error("predict before fit");
+  const std::size_t k = std::min(k_, train_.size());
+  // Partial sort of distances.
+  std::vector<std::pair<double, std::size_t>> dist;
+  dist.reserve(train_.size());
+  for (const auto& p : train_)
+    dist.emplace_back(squared_distance(x, p.features), p.label);
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+  std::vector<std::size_t> votes(num_classes_, 0);
+  for (std::size_t i = 0; i < k; ++i) ++votes[dist[i].second];
+  return static_cast<std::size_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t n = 0;
+  for (const auto& row : counts)
+    for (std::size_t v : row) n += v;
+  return n;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) correct += counts[i][i];
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream out;
+  for (const auto& row : counts) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << '\t';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace medsen::dsp

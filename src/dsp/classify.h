@@ -1,0 +1,74 @@
+#pragma once
+// Supervised particle-type classifiers. After peak detection the cloud
+// (or, for auth, the verifier) maps each peak's multi-frequency amplitude
+// feature vector to a particle class: blood cell, 3.58 um bead, 7.8 um
+// bead, ... (paper Fig. 15/16). Nearest-centroid is the paper-faithful
+// method (clear margins between clusters); kNN is provided as a
+// cross-check.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsp/kmeans.h"
+
+namespace medsen::dsp {
+
+/// A labeled training example.
+struct LabeledPoint {
+  FeatureVector features;
+  std::size_t label = 0;
+};
+
+/// Nearest-centroid classifier with per-class centroids.
+class NearestCentroidClassifier {
+ public:
+  /// Fit centroids from labeled data; labels must be 0..num_classes-1.
+  void fit(std::span<const LabeledPoint> data, std::size_t num_classes);
+
+  /// Predict the class of a feature vector. Requires a prior fit().
+  [[nodiscard]] std::size_t predict(const FeatureVector& x) const;
+
+  /// Margin of the prediction: (d2 - d1) / d2 where d1/d2 are the nearest
+  /// and second-nearest centroid distances. 1.0 = unambiguous.
+  [[nodiscard]] double margin(const FeatureVector& x) const;
+
+  [[nodiscard]] const std::vector<FeatureVector>& centroids() const {
+    return centroids_;
+  }
+
+ private:
+  std::vector<FeatureVector> centroids_;
+};
+
+/// k-nearest-neighbour classifier (stores the training set).
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5) : k_(k) {}
+
+  void fit(std::span<const LabeledPoint> data, std::size_t num_classes);
+  [[nodiscard]] std::size_t predict(const FeatureVector& x) const;
+
+ private:
+  std::size_t k_;
+  std::size_t num_classes_ = 0;
+  std::vector<LabeledPoint> train_;
+};
+
+/// Row-major confusion matrix: counts[actual][predicted].
+struct ConfusionMatrix {
+  std::vector<std::vector<std::size_t>> counts;
+
+  explicit ConfusionMatrix(std::size_t num_classes)
+      : counts(num_classes, std::vector<std::size_t>(num_classes, 0)) {}
+
+  void add(std::size_t actual, std::size_t predicted) {
+    ++counts.at(actual).at(predicted);
+  }
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace medsen::dsp

@@ -1,0 +1,21 @@
+#include "dsp/deadtime.h"
+
+#include <algorithm>
+
+namespace medsen::dsp {
+
+double busy_fraction(double observed, double duration_s,
+                     double dead_time_s) {
+  if (observed <= 0.0 || duration_s <= 0.0 || dead_time_s <= 0.0) return 0.0;
+  return std::clamp(observed * dead_time_s / duration_s, 0.0, 1.0);
+}
+
+double dead_time_corrected_count(double observed, double duration_s,
+                                 double dead_time_s) {
+  const double busy = busy_fraction(observed, duration_s, dead_time_s);
+  if (busy <= 0.0) return observed;
+  const double factor = std::min(1.0 / std::max(1.0 - busy, 1e-9), 5.0);
+  return observed * factor;
+}
+
+}  // namespace medsen::dsp

@@ -1,0 +1,28 @@
+#pragma once
+// Coincidence (dead-time) correction for single-file particle counters.
+// When two particles transit within one peak width they merge into a
+// single detected peak, biasing counts low at high concentration — one of
+// the effects behind the paper's observation that high bead
+// concentrations have worse resolution (Section VII-C). The standard
+// non-paralyzable detector model inverts the bias:
+//
+//     n_true ~= n_obs / (1 - n_obs * tau / T)
+//
+// with tau the dead time (mean peak width) and T the acquisition time.
+
+#include <cstddef>
+
+namespace medsen::dsp {
+
+/// Corrected count for `observed` peaks over `duration_s` seconds with
+/// dead time `dead_time_s` per peak. Returns `observed` unchanged for
+/// degenerate inputs; the correction is clamped at 5x to keep pathological
+/// busy fractions from exploding.
+double dead_time_corrected_count(double observed, double duration_s,
+                                 double dead_time_s);
+
+/// Fraction of the acquisition the detector was busy (n * tau / T),
+/// clamped to [0, 1].
+double busy_fraction(double observed, double duration_s, double dead_time_s);
+
+}  // namespace medsen::dsp

@@ -1,0 +1,58 @@
+#include "dsp/demod.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace medsen::dsp {
+
+QuadratureDemodulator::QuadratureDemodulator(double carrier_hz,
+                                             double sample_rate_hz,
+                                             double lowpass_cutoff_hz)
+    : carrier_hz_(carrier_hz),
+      sample_rate_hz_(sample_rate_hz),
+      lpf_i_(lowpass_cutoff_hz, sample_rate_hz),
+      lpf_q_(lowpass_cutoff_hz, sample_rate_hz) {
+  if (carrier_hz <= 0.0 || carrier_hz >= sample_rate_hz / 2.0)
+    throw std::invalid_argument(
+        "QuadratureDemodulator: carrier violates Nyquist");
+}
+
+double QuadratureDemodulator::step(double x) {
+  const double phase = 2.0 * std::numbers::pi * carrier_hz_ *
+                       static_cast<double>(n_) / sample_rate_hz_;
+  ++n_;
+  const double i = lpf_i_.step(x * std::sin(phase));
+  const double q = lpf_q_.step(x * std::cos(phase));
+  // Mixing halves the envelope; restore with the factor 2.
+  return 2.0 * std::sqrt(i * i + q * q);
+}
+
+std::vector<double> QuadratureDemodulator::apply(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(step(x));
+  return out;
+}
+
+void QuadratureDemodulator::reset() {
+  n_ = 0;
+  lpf_i_.reset();
+  lpf_q_.reset();
+}
+
+std::vector<double> modulate(std::span<const double> envelope,
+                             double carrier_hz, double sample_rate_hz,
+                             double phase) {
+  std::vector<double> out;
+  out.reserve(envelope.size());
+  for (std::size_t n = 0; n < envelope.size(); ++n) {
+    const double arg = 2.0 * std::numbers::pi * carrier_hz *
+                           static_cast<double>(n) / sample_rate_hz +
+                       phase;
+    out.push_back(envelope[n] * std::sin(arg));
+  }
+  return out;
+}
+
+}  // namespace medsen::dsp

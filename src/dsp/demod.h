@@ -1,0 +1,47 @@
+#pragma once
+// Quadrature (lock-in) demodulation. The main simulator synthesizes the
+// demodulated baseband directly for speed; this module implements the
+// actual instrument operation — mixing the raw modulated electrode
+// current with in-phase/quadrature references and low-pass filtering —
+// so the shortcut can be validated against the real signal chain
+// (tests/dsp/demod_test.cpp, tests/sim/modulated_chain_test.cpp).
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/filters.h"
+
+namespace medsen::dsp {
+
+/// Streaming I/Q demodulator locked to one carrier.
+class QuadratureDemodulator {
+ public:
+  /// `carrier_hz` must satisfy Nyquist at `sample_rate_hz`; the low-pass
+  /// cutoff bounds the recovered envelope bandwidth.
+  QuadratureDemodulator(double carrier_hz, double sample_rate_hz,
+                        double lowpass_cutoff_hz);
+
+  /// Feed one raw sample; returns the current envelope (amplitude)
+  /// estimate: 2 * |LPF(x * e^{-jwt})|.
+  double step(double x);
+
+  /// Demodulate a whole buffer.
+  std::vector<double> apply(std::span<const double> xs);
+
+  void reset();
+
+ private:
+  double carrier_hz_;
+  double sample_rate_hz_;
+  std::size_t n_ = 0;
+  ButterworthLowPass2 lpf_i_;
+  ButterworthLowPass2 lpf_q_;
+};
+
+/// Amplitude-modulate an envelope onto a carrier (test/validation aid):
+/// y[n] = envelope[n] * sin(2 pi f n / rate).
+std::vector<double> modulate(std::span<const double> envelope,
+                             double carrier_hz, double sample_rate_hz,
+                             double phase = 0.0);
+
+}  // namespace medsen::dsp

@@ -1,0 +1,71 @@
+#include "dsp/detrend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/polyfit.h"
+#include "util/stats.h"
+
+namespace medsen::dsp {
+
+std::vector<double> detrend(std::span<const double> signal,
+                            const DetrendConfig& config) {
+  const std::size_t n = signal.size();
+  std::vector<double> out(n, 1.0);
+  if (n == 0) return out;
+
+  const std::size_t window = std::max<std::size_t>(config.window, 8);
+  const std::size_t overlap = std::min(config.overlap, window / 2);
+  const std::size_t stride = window - overlap;
+
+  // Accumulate weighted contributions; weight ramps linearly inside the
+  // overlap so adjacent windows cross-fade (minimizes polynomial edge
+  // error, as the paper prescribes).
+  std::vector<double> acc(n, 0.0);
+  std::vector<double> weight_sum(n, 0.0);
+
+  for (std::size_t start = 0; start < n; start += stride) {
+    const std::size_t end = std::min(start + window, n);
+    const std::size_t len = end - start;
+    std::span<const double> chunk = signal.subspan(start, len);
+
+    std::vector<double> fitted;
+    if (len >= static_cast<std::size_t>(config.poly_degree) + 1) {
+      const Polynomial poly = polyfit(chunk, config.poly_degree);
+      fitted = polyval_indices(poly, len);
+    } else {
+      fitted.assign(len, util::mean(chunk));
+    }
+
+    for (std::size_t i = 0; i < len; ++i) {
+      const double base = fitted[i];
+      const double normalized =
+          std::fabs(base) > 1e-12 ? chunk[i] / base : 1.0;
+      // Triangular weight: full in the window interior, ramping across
+      // the overlap margins.
+      double w = 1.0;
+      if (overlap > 0) {
+        const double ramp = static_cast<double>(overlap);
+        if (i < overlap && start > 0)
+          w = (static_cast<double>(i) + 1.0) / ramp;
+        const std::size_t from_end = len - 1 - i;
+        if (from_end < overlap && end < n)
+          w = std::min(w, (static_cast<double>(from_end) + 1.0) / ramp);
+      }
+      acc[start + i] += w * normalized;
+      weight_sum[start + i] += w;
+    }
+    if (end == n) break;
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = weight_sum[i] > 0.0 ? acc[i] / weight_sum[i] : 1.0;
+  return out;
+}
+
+void detrend_in_place(util::TimeSeries& series, const DetrendConfig& config) {
+  auto result = detrend(series.samples(), config);
+  std::copy(result.begin(), result.end(), series.samples_mut().begin());
+}
+
+}  // namespace medsen::dsp

@@ -1,0 +1,31 @@
+#pragma once
+// Baseline-drift removal, reproducing the paper's cloud-side procedure
+// (Section VI-C): partition the signal into overlapping sub-sequences, fit
+// a second-order polynomial to each, divide the data by the fitted line
+// (normalizing the baseline to 1.0), and stitch the sections back together
+// with cross-fade in the overlap regions.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/time_series.h"
+
+namespace medsen::dsp {
+
+struct DetrendConfig {
+  unsigned poly_degree = 2;       ///< paper: second order found optimal
+  std::size_t window = 2048;      ///< sub-sequence length in samples
+  std::size_t overlap = 256;      ///< overlap between adjacent windows
+};
+
+/// Detrend a raw signal; the result has baseline ~= 1.0 with peaks as
+/// downward excursions (impedance increases cause voltage drops).
+/// Windows shorter than poly_degree+1 samples fall back to mean division.
+std::vector<double> detrend(std::span<const double> signal,
+                            const DetrendConfig& config = {});
+
+/// Detrend a TimeSeries in place (preserves rate/start metadata).
+void detrend_in_place(util::TimeSeries& series,
+                      const DetrendConfig& config = {});
+
+}  // namespace medsen::dsp

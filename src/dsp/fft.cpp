@@ -1,0 +1,100 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace medsen::dsp {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void transform(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft: size must be 2^k");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) *
+        (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& data) { transform(data, false); }
+
+void ifft(std::vector<std::complex<double>>& data) { transform(data, true); }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> xs) {
+  std::vector<std::complex<double>> data(next_pow2(std::max<std::size_t>(
+      xs.size(), 1)));
+  for (std::size_t i = 0; i < xs.size(); ++i) data[i] = xs[i];
+  fft(data);
+  return data;
+}
+
+std::vector<double> power_spectrum(std::span<const double> xs) {
+  const auto spectrum = fft_real(xs);
+  const std::size_t n = spectrum.size();
+  std::vector<double> power(n / 2 + 1);
+  for (std::size_t k = 0; k < power.size(); ++k)
+    power[k] = std::norm(spectrum[k]) / static_cast<double>(n);
+  return power;
+}
+
+double bin_frequency(std::size_t k, std::size_t fft_size,
+                     double sample_rate_hz) {
+  return static_cast<double>(k) * sample_rate_hz /
+         static_cast<double>(fft_size);
+}
+
+double spectral_flatness(std::span<const double> xs) {
+  const auto power = power_spectrum(xs);
+  if (power.size() < 3) return 1.0;
+  double log_sum = 0.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = 1; k < power.size(); ++k) {  // skip DC
+    const double p = std::max(power[k], 1e-300);
+    log_sum += std::log(p);
+    sum += p;
+    ++count;
+  }
+  if (sum <= 0.0) return 1.0;
+  const double geometric = std::exp(log_sum / static_cast<double>(count));
+  const double arithmetic = sum / static_cast<double>(count);
+  return geometric / arithmetic;
+}
+
+}  // namespace medsen::dsp

@@ -1,0 +1,38 @@
+#pragma once
+// Radix-2 FFT and spectral helpers. Used for signal-quality diagnostics
+// (noise-floor estimation after detrending) and by the spectral
+// periodicity check that quantifies how strongly an electrode-key pattern
+// leaks a periodic train signature.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace medsen::dsp {
+
+/// In-place iterative radix-2 FFT. Size must be a power of two.
+void fft(std::vector<std::complex<double>>& data);
+
+/// Inverse FFT (normalized by 1/N).
+void ifft(std::vector<std::complex<double>>& data);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+std::vector<std::complex<double>> fft_real(std::span<const double> xs);
+
+/// One-sided power spectrum |X_k|^2 / N for k = 0..N/2 of a real signal
+/// (zero-padded to a power of two).
+std::vector<double> power_spectrum(std::span<const double> xs);
+
+/// Frequency (Hz) of spectrum bin k for a given transform size and rate.
+double bin_frequency(std::size_t k, std::size_t fft_size,
+                     double sample_rate_hz);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// Spectral flatness of the non-DC half spectrum: geometric mean /
+/// arithmetic mean, in (0, 1]. White noise -> ~1; a strong periodicity
+/// (e.g. a flat peak train) -> near 0.
+double spectral_flatness(std::span<const double> xs);
+
+}  // namespace medsen::dsp

@@ -1,0 +1,95 @@
+#include "dsp/filters.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace medsen::dsp {
+
+SinglePoleLowPass::SinglePoleLowPass(double cutoff_hz, double sample_rate_hz) {
+  if (cutoff_hz <= 0.0 || cutoff_hz >= sample_rate_hz / 2.0)
+    throw std::invalid_argument("SinglePoleLowPass: bad cutoff");
+  const double rc = 1.0 / (2.0 * std::numbers::pi * cutoff_hz);
+  const double dt = 1.0 / sample_rate_hz;
+  alpha_ = dt / (rc + dt);
+}
+
+double SinglePoleLowPass::step(double x) {
+  if (!primed_) {
+    state_ = x;
+    primed_ = true;
+  } else {
+    state_ += alpha_ * (x - state_);
+  }
+  return state_;
+}
+
+void SinglePoleLowPass::reset(double initial) {
+  state_ = initial;
+  primed_ = false;
+}
+
+std::vector<double> SinglePoleLowPass::apply(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(step(x));
+  return out;
+}
+
+ButterworthLowPass2::ButterworthLowPass2(double cutoff_hz,
+                                         double sample_rate_hz) {
+  if (cutoff_hz <= 0.0 || cutoff_hz >= sample_rate_hz / 2.0)
+    throw std::invalid_argument("ButterworthLowPass2: bad cutoff");
+  const double k = std::tan(std::numbers::pi * cutoff_hz / sample_rate_hz);
+  const double sqrt2 = std::numbers::sqrt2;
+  const double norm = 1.0 / (1.0 + sqrt2 * k + k * k);
+  b0_ = k * k * norm;
+  b1_ = 2.0 * b0_;
+  b2_ = b0_;
+  a1_ = 2.0 * (k * k - 1.0) * norm;
+  a2_ = (1.0 - sqrt2 * k + k * k) * norm;
+}
+
+double ButterworthLowPass2::step(double x) {
+  // Transposed direct form II.
+  const double y = b0_ * x + z1_;
+  z1_ = b1_ * x - a1_ * y + z2_;
+  z2_ = b2_ * x - a2_ * y;
+  return y;
+}
+
+void ButterworthLowPass2::reset() { z1_ = z2_ = 0.0; }
+
+std::vector<double> ButterworthLowPass2::apply(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(step(x));
+  return out;
+}
+
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window) {
+  const std::size_t n = xs.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0 || window == 0) return out;
+  const std::size_t half = window / 2;
+  // Prefix sums for O(n).
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + xs[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(i + half + 1, n);
+    out[i] = (prefix[hi] - prefix[lo]) / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+std::vector<double> decimate(std::span<const double> xs, std::size_t factor) {
+  if (factor == 0) throw std::invalid_argument("decimate: factor must be > 0");
+  std::vector<double> out;
+  out.reserve(xs.size() / factor + 1);
+  for (std::size_t i = 0; i < xs.size(); i += factor) out.push_back(xs[i]);
+  return out;
+}
+
+}  // namespace medsen::dsp

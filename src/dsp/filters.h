@@ -1,0 +1,54 @@
+#pragma once
+// Filtering primitives for the simulated lock-in amplifier chain:
+// single-pole IIR low-pass (the HF2IS output filter, 120 Hz cutoff),
+// moving average, and integer decimation (down to the 450 Hz output rate).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace medsen::dsp {
+
+/// First-order IIR low-pass: y[n] = y[n-1] + alpha * (x[n] - y[n-1]).
+class SinglePoleLowPass {
+ public:
+  /// cutoff_hz must be < sample_rate_hz / 2.
+  SinglePoleLowPass(double cutoff_hz, double sample_rate_hz);
+
+  double step(double x);
+  void reset(double initial = 0.0);
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// Filter a whole buffer (state persists across calls).
+  std::vector<double> apply(std::span<const double> xs);
+
+ private:
+  double alpha_;
+  double state_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Second-order Butterworth low-pass (bilinear transform), closer to the
+/// instrument's real roll-off than the single-pole stage.
+class ButterworthLowPass2 {
+ public:
+  ButterworthLowPass2(double cutoff_hz, double sample_rate_hz);
+
+  double step(double x);
+  void reset();
+  std::vector<double> apply(std::span<const double> xs);
+
+ private:
+  double b0_, b1_, b2_, a1_, a2_;
+  double z1_ = 0.0, z2_ = 0.0;
+};
+
+/// Centered moving average with the given odd window (edges truncated).
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window);
+
+/// Keep every `factor`-th sample (no anti-alias filter; callers low-pass
+/// first, as the lock-in chain does).
+std::vector<double> decimate(std::span<const double> xs, std::size_t factor);
+
+}  // namespace medsen::dsp

@@ -1,0 +1,106 @@
+#include "dsp/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "crypto/chacha20.h"
+
+namespace medsen::dsp {
+
+double squared_distance(const FeatureVector& a, const FeatureVector& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+KMeansResult kmeans(std::span<const FeatureVector> points, std::size_t k,
+                    const KMeansConfig& config) {
+  if (k == 0) throw std::invalid_argument("kmeans: k must be >= 1");
+  if (points.size() < k)
+    throw std::invalid_argument("kmeans: fewer points than clusters");
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points)
+    if (p.size() != dim)
+      throw std::invalid_argument("kmeans: inconsistent dimensionality");
+
+  crypto::ChaChaRng rng(config.seed);
+  KMeansResult result;
+  result.centroids.reserve(k);
+
+  // k-means++ seeding.
+  result.centroids.push_back(
+      points[rng.uniform(static_cast<std::uint32_t>(points.size()))]);
+  std::vector<double> dist2(points.size(),
+                            std::numeric_limits<double>::max());
+  while (result.centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      dist2[i] = std::min(dist2[i],
+                          squared_distance(points[i], result.centroids.back()));
+      total += dist2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      result.centroids.push_back(points.front());
+      continue;
+    }
+    double target = rng.uniform_double() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= dist2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  result.assignment.assign(points.size(), 0);
+  for (unsigned iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignment[i] = best_c;
+    }
+    // Update step.
+    std::vector<FeatureVector> sums(k, FeatureVector(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = result.assignment[i];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+      ++counts[c];
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep empty cluster's old centroid
+      FeatureVector next(dim);
+      for (std::size_t d = 0; d < dim; ++d)
+        next[d] = sums[c][d] / static_cast<double>(counts[c]);
+      movement += squared_distance(next, result.centroids[c]);
+      result.centroids[c] = std::move(next);
+    }
+    if (movement < config.tolerance) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    result.inertia +=
+        squared_distance(points[i], result.centroids[result.assignment[i]]);
+  return result;
+}
+
+}  // namespace medsen::dsp

@@ -1,0 +1,36 @@
+#pragma once
+// k-means clustering (Lloyd's algorithm with k-means++ seeding). The cloud
+// service clusters peak feature vectors (multi-frequency amplitudes, Fig. 16)
+// to separate synthetic password beads from blood cells.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace medsen::dsp {
+
+/// A point in feature space.
+using FeatureVector = std::vector<double>;
+
+struct KMeansResult {
+  std::vector<FeatureVector> centroids;
+  std::vector<std::size_t> assignment;  ///< cluster index per input point
+  double inertia = 0.0;                 ///< sum of squared distances
+  unsigned iterations = 0;
+};
+
+struct KMeansConfig {
+  unsigned max_iterations = 100;
+  double tolerance = 1e-8;   ///< stop when centroid movement is below this
+  std::uint64_t seed = 42;   ///< k-means++ seeding RNG
+};
+
+/// Cluster `points` into k groups. Requires k >= 1 and points.size() >= k;
+/// all points must share the same dimensionality.
+KMeansResult kmeans(std::span<const FeatureVector> points, std::size_t k,
+                    const KMeansConfig& config = {});
+
+/// Squared Euclidean distance between equal-length vectors.
+double squared_distance(const FeatureVector& a, const FeatureVector& b);
+
+}  // namespace medsen::dsp

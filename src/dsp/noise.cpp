@@ -1,0 +1,31 @@
+#include "dsp/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace medsen::dsp {
+
+double estimate_noise_rms(std::span<const double> xs) {
+  if (xs.size() < 3) return 0.0;
+  std::vector<double> diffs;
+  diffs.reserve(xs.size() - 1);
+  for (std::size_t i = 1; i < xs.size(); ++i)
+    diffs.push_back(std::fabs(xs[i] - xs[i - 1]));
+  const std::size_t mid = diffs.size() / 2;
+  std::nth_element(diffs.begin(), diffs.begin() + static_cast<long>(mid),
+                   diffs.end());
+  const double median_abs_diff = diffs[mid];
+  // For white Gaussian noise, |x[i]-x[i-1]| has median
+  // sigma * sqrt(2) * Phi^-1(0.75) ~= sigma * 0.9539... * sqrt(2).
+  constexpr double kMedianToSigma = 1.0 / (0.6744897501960817 * 1.4142135623730951);
+  return median_abs_diff * kMedianToSigma;
+}
+
+double adaptive_threshold(std::span<const double> xs, double k_sigma,
+                          double min_threshold, double max_threshold) {
+  const double sigma = estimate_noise_rms(xs);
+  return std::clamp(k_sigma * sigma, min_threshold, max_threshold);
+}
+
+}  // namespace medsen::dsp

@@ -1,0 +1,23 @@
+#pragma once
+// Robust noise-floor estimation for adaptive peak thresholds. The fixed
+// detection threshold works for the calibrated instrument; a deployed
+// cloud service sees many sensors with different noise floors, so the
+// analysis service can derive the threshold from the signal itself.
+
+#include <span>
+
+namespace medsen::dsp {
+
+/// Robust RMS noise estimate of a (possibly peak-bearing, possibly
+/// drifting) signal: the median absolute first difference scaled to the
+/// equivalent Gaussian sigma. Peaks and slow drift barely move the
+/// median, so the estimate tracks only the broadband noise.
+double estimate_noise_rms(std::span<const double> xs);
+
+/// Detection threshold derived from the noise floor:
+/// clamp(k_sigma * noise_rms, min_threshold, max_threshold).
+double adaptive_threshold(std::span<const double> xs, double k_sigma = 6.0,
+                          double min_threshold = 5e-4,
+                          double max_threshold = 5e-3);
+
+}  // namespace medsen::dsp

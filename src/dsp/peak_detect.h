@@ -1,0 +1,46 @@
+#pragma once
+// Threshold peak detection on detrended signals (paper Section VI-C):
+// peaks are downward excursions below the unit baseline; a peak is the
+// contiguous region where (1 - signal) exceeds the minimum threshold.
+// Each peak is reported with timestamp, depth (amplitude) and width — the
+// three features the cipher deliberately scrambles and the decryptor
+// recovers.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/time_series.h"
+
+namespace medsen::dsp {
+
+/// One detected peak.
+struct Peak {
+  double time_s = 0.0;       ///< timestamp of the extremum
+  double amplitude = 0.0;    ///< depth below baseline (positive)
+  double width_s = 0.0;      ///< full width at the detection threshold
+  std::size_t index = 0;     ///< sample index of the extremum
+};
+
+struct PeakDetectConfig {
+  double threshold = 0.0015;     ///< minimum depth below baseline (1 - x)
+  std::size_t min_width = 2;     ///< minimum samples above threshold
+  std::size_t merge_gap = 1;     ///< merge regions separated by <= gap
+  /// A contiguous above-threshold region is split into several peaks at
+  /// interior valleys whose depth falls below this fraction of the
+  /// smaller neighbouring peak. Multi-electrode trains (paper Fig. 11d)
+  /// stay countable even when the signal never returns to baseline
+  /// between electrodes.
+  double valley_split_ratio = 0.6;
+};
+
+/// Detect peaks in an already detrended signal (baseline ~= 1.0).
+std::vector<Peak> detect_peaks(std::span<const double> detrended,
+                               double sample_rate_hz, double start_time_s,
+                               const PeakDetectConfig& config = {});
+
+/// Convenience overload for a detrended TimeSeries.
+std::vector<Peak> detect_peaks(const util::TimeSeries& detrended,
+                               const PeakDetectConfig& config = {});
+
+}  // namespace medsen::dsp

@@ -1,0 +1,87 @@
+#include "dsp/polyfit.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace medsen::dsp {
+
+namespace {
+
+/// Solve the dense linear system A x = b in place (partial pivoting).
+std::vector<double> solve(std::vector<std::vector<double>> a,
+                          std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    if (std::fabs(a[pivot][col]) < 1e-12)
+      throw std::runtime_error("polyfit: singular normal equations");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    // Eliminate
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i][k] * x[k];
+    x[i] = acc / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
+                   unsigned degree) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("polyfit: xs/ys size mismatch");
+  const std::size_t n = xs.size();
+  const std::size_t m = degree + 1;
+  if (n < m) throw std::invalid_argument("polyfit: too few points");
+
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+  // Accumulate power sums S_k = sum x^k for k in [0, 2*degree].
+  std::vector<double> power_sums(2 * degree + 1, 0.0);
+  std::vector<double> rhs(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double xp = 1.0;
+    for (std::size_t k = 0; k < power_sums.size(); ++k) {
+      power_sums[k] += xp;
+      if (k < m) rhs[k] += xp * ys[i];
+      xp *= xs[i];
+    }
+  }
+  std::vector<std::vector<double>> a(m, std::vector<double>(m));
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < m; ++c) a[r][c] = power_sums[r + c];
+  return solve(std::move(a), std::move(rhs));
+}
+
+Polynomial polyfit(std::span<const double> ys, unsigned degree) {
+  std::vector<double> xs(ys.size());
+  std::iota(xs.begin(), xs.end(), 0.0);
+  return polyfit(xs, ys, degree);
+}
+
+double polyval(const Polynomial& coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+std::vector<double> polyval_indices(const Polynomial& coeffs, std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = polyval(coeffs, static_cast<double>(i));
+  return out;
+}
+
+}  // namespace medsen::dsp

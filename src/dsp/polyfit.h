@@ -1,0 +1,30 @@
+#pragma once
+// Least-squares polynomial fitting. The cloud analysis service fits a
+// second-order polynomial per signal window to track baseline drift
+// (paper Section VI-C) before peak detection.
+
+#include <span>
+#include <vector>
+
+namespace medsen::dsp {
+
+/// Coefficients c[0] + c[1]*x + c[2]*x^2 + ... of a fitted polynomial.
+using Polynomial = std::vector<double>;
+
+/// Fit a polynomial of the given degree to (xs, ys) by ordinary least
+/// squares (normal equations + Gaussian elimination with partial
+/// pivoting). Requires xs.size() == ys.size() and at least degree+1
+/// points; throws std::invalid_argument otherwise.
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
+                   unsigned degree);
+
+/// Convenience overload using x = 0, 1, 2, ... (sample index domain).
+Polynomial polyfit(std::span<const double> ys, unsigned degree);
+
+/// Evaluate a polynomial at x (Horner's method).
+double polyval(const Polynomial& coeffs, double x);
+
+/// Evaluate at x = 0..n-1 into a vector.
+std::vector<double> polyval_indices(const Polynomial& coeffs, std::size_t n);
+
+}  // namespace medsen::dsp

@@ -1,0 +1,44 @@
+#include "net/channel.h"
+
+namespace medsen::net {
+
+void MessageQueue::send(std::vector<std::uint8_t> message) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;  // messages after shutdown are dropped
+    queue_.push(std::move(message));
+  }
+  cv_.notify_one();
+}
+
+std::optional<std::vector<std::uint8_t>> MessageQueue::receive() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return !queue_.empty() || shutdown_; });
+  if (queue_.empty()) return std::nullopt;
+  auto msg = std::move(queue_.front());
+  queue_.pop();
+  return msg;
+}
+
+std::optional<std::vector<std::uint8_t>> MessageQueue::try_receive() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  auto msg = std::move(queue_.front());
+  queue_.pop();
+  return msg;
+}
+
+void MessageQueue::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool MessageQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
+}
+
+}  // namespace medsen::net

@@ -1,0 +1,44 @@
+#pragma once
+// In-process duplex message channel: a thread-safe queue pair used by the
+// threaded integration tests to run controller, phone and cloud as
+// concurrent components the way the prototype's USB daemon and Android
+// app exchange messages.
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace medsen::net {
+
+/// Unbounded MPMC byte-message queue with blocking receive and shutdown.
+class MessageQueue {
+ public:
+  void send(std::vector<std::uint8_t> message);
+
+  /// Blocks until a message or shutdown; nullopt after shutdown drains.
+  std::optional<std::vector<std::uint8_t>> receive();
+
+  /// Non-blocking receive.
+  std::optional<std::vector<std::uint8_t>> try_receive();
+
+  /// Wake all receivers; subsequent receives return nullopt once empty.
+  void shutdown();
+
+  [[nodiscard]] bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::vector<std::uint8_t>> queue_;
+  bool shutdown_ = false;
+};
+
+/// A pair of queues forming a duplex link between two endpoints.
+struct DuplexChannel {
+  MessageQueue a_to_b;
+  MessageQueue b_to_a;
+};
+
+}  // namespace medsen::net

@@ -1,0 +1,40 @@
+#include "net/frame.h"
+
+#include <stdexcept>
+
+#include "compress/crc32.h"
+#include "util/serialize.h"
+
+namespace medsen::net {
+
+namespace {
+constexpr std::uint32_t kFrameMagic = 0x4D444E46;  // "MDNF"
+}
+
+std::vector<std::uint8_t> frame_encode(std::span<const std::uint8_t> payload) {
+  util::ByteWriter out;
+  out.u32(kFrameMagic);
+  out.u32(static_cast<std::uint32_t>(payload.size()));
+  out.bytes(payload);
+  out.u32(compress::crc32(payload));
+  return out.take();
+}
+
+std::vector<std::uint8_t> frame_decode(std::span<const std::uint8_t> frame) {
+  util::ByteReader in(frame);
+  if (in.u32() != kFrameMagic)
+    throw std::runtime_error("frame_decode: bad magic");
+  const std::uint32_t length = in.u32();
+  if (in.remaining() < static_cast<std::size_t>(length) + 4)
+    throw std::runtime_error("frame_decode: truncated frame");
+  std::vector<std::uint8_t> payload(frame.begin() + 8,
+                                    frame.begin() + 8 + length);
+  util::ByteReader tail(frame.subspan(8 + length));
+  if (tail.u32() != compress::crc32(payload))
+    throw std::runtime_error("frame_decode: CRC mismatch");
+  return payload;
+}
+
+std::size_t frame_overhead() { return 12; }
+
+}  // namespace medsen::net

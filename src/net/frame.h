@@ -1,0 +1,22 @@
+#pragma once
+// Wire framing: every protocol message travels as a length-prefixed frame
+// with a CRC-32 trailer, so truncation and corruption by the untrusted
+// transport are detected before deserialization.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace medsen::net {
+
+/// Wrap a payload in a frame: u32 magic | u32 length | payload | u32 crc.
+std::vector<std::uint8_t> frame_encode(std::span<const std::uint8_t> payload);
+
+/// Unwrap a frame; throws std::runtime_error on bad magic, truncated
+/// input, or CRC mismatch. Returns the payload.
+std::vector<std::uint8_t> frame_decode(std::span<const std::uint8_t> frame);
+
+/// Total frame size for a payload of n bytes.
+std::size_t frame_overhead();
+
+}  // namespace medsen::net

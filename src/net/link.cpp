@@ -1,0 +1,11 @@
+#include "net/link.h"
+
+namespace medsen::net {
+
+LinkModel lte_uplink() { return {12.0e6, 0.050, 0.002}; }
+
+LinkModel lte_downlink() { return {30.0e6, 0.050, 0.002}; }
+
+LinkModel usb_accessory() { return {280.0e6, 0.002, 0.0005}; }
+
+}  // namespace medsen::net

@@ -1,0 +1,40 @@
+#pragma once
+// Simulated network link. The prototype uploads via the phone's 4G
+// connection; no radio exists here, so transfer durations are computed
+// from a bandwidth/latency model and accumulated on a simulated clock.
+// The end-to-end latency benchmark (the paper's ~0.2 s claim) runs on top
+// of this.
+
+#include <cstdint>
+
+namespace medsen::net {
+
+struct LinkModel {
+  double bandwidth_bps = 20.0e6;  ///< uplink throughput (LTE-class)
+  double rtt_s = 0.045;           ///< round-trip latency
+  double per_message_overhead_s = 0.002;
+
+  /// One-way transfer time for a payload of `bytes`.
+  [[nodiscard]] double transfer_time_s(std::uint64_t bytes) const {
+    return rtt_s / 2.0 + per_message_overhead_s +
+           static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+  }
+};
+
+/// Canonical profiles.
+LinkModel lte_uplink();    ///< phone -> cloud (paper's 4G)
+LinkModel lte_downlink();  ///< cloud -> phone
+LinkModel usb_accessory(); ///< sensor controller -> phone (USB 2.0 AOA)
+
+/// Accumulates simulated elapsed time across pipeline stages.
+class SimulatedClock {
+ public:
+  void advance(double seconds) { elapsed_s_ += seconds; }
+  [[nodiscard]] double elapsed_s() const { return elapsed_s_; }
+  void reset() { elapsed_s_ = 0.0; }
+
+ private:
+  double elapsed_s_ = 0.0;
+};
+
+}  // namespace medsen::net

@@ -1,0 +1,129 @@
+#include "net/messages.h"
+
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace medsen::net {
+
+namespace {
+
+std::vector<std::uint8_t> mac_input(MessageType type, std::uint64_t session,
+                                    std::span<const std::uint8_t> payload) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(session);
+  w.bytes(payload);
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Envelope::serialize() const {
+  util::ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(type));
+  out.u64(session_id);
+  out.blob(payload);
+  out.bytes(mac);
+  return out.take();
+}
+
+Envelope Envelope::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader in(bytes);
+  Envelope e;
+  e.type = static_cast<MessageType>(in.u8());
+  e.session_id = in.u64();
+  e.payload = in.blob();
+  if (in.remaining() < e.mac.size())
+    throw std::runtime_error("Envelope: truncated MAC");
+  for (auto& b : e.mac) b = in.u8();
+  return e;
+}
+
+Envelope make_envelope(MessageType type, std::uint64_t session_id,
+                       std::vector<std::uint8_t> payload,
+                       std::span<const std::uint8_t> mac_key) {
+  Envelope e;
+  e.type = type;
+  e.session_id = session_id;
+  e.payload = std::move(payload);
+  e.mac = crypto::hmac_sha256(mac_key,
+                              mac_input(type, session_id, e.payload));
+  return e;
+}
+
+bool verify_envelope(const Envelope& envelope,
+                     std::span<const std::uint8_t> mac_key) {
+  const auto expected = crypto::hmac_sha256(
+      mac_key,
+      mac_input(envelope.type, envelope.session_id, envelope.payload));
+  return crypto::digest_equal(expected, envelope.mac);
+}
+
+std::vector<std::uint8_t> SignalUploadPayload::serialize() const {
+  util::ByteWriter out;
+  out.u8(compressed ? 1 : 0);
+  out.u8(static_cast<std::uint8_t>(format));
+  out.f64(sample_rate_hz);
+  out.blob(data);
+  return out.take();
+}
+
+SignalUploadPayload SignalUploadPayload::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader in(bytes);
+  SignalUploadPayload p;
+  p.compressed = in.u8() != 0;
+  p.format = static_cast<UploadFormat>(in.u8());
+  p.sample_rate_hz = in.f64();
+  p.data = in.blob();
+  return p;
+}
+
+std::vector<std::uint8_t> serialize_series(
+    const util::MultiChannelSeries& series) {
+  util::ByteWriter out;
+  out.u32(static_cast<std::uint32_t>(series.channels.size()));
+  for (std::size_t i = 0; i < series.channels.size(); ++i) {
+    out.f64(series.carrier_frequencies_hz.at(i));
+    const auto& ch = series.channels[i];
+    out.f64(ch.sample_rate());
+    out.f64(ch.start_time());
+    out.f64_vec(ch.samples());
+  }
+  return out.take();
+}
+
+util::MultiChannelSeries deserialize_series(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader in(bytes);
+  util::MultiChannelSeries series;
+  const std::uint32_t n = in.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    series.carrier_frequencies_hz.push_back(in.f64());
+    const double rate = in.f64();
+    const double start = in.f64();
+    series.channels.emplace_back(rate, in.f64_vec(), start);
+  }
+  return series;
+}
+
+std::vector<std::uint8_t> AuthDecisionPayload::serialize() const {
+  util::ByteWriter out;
+  out.u8(authenticated ? 1 : 0);
+  out.str(user_id);
+  out.f64(distance);
+  return out.take();
+}
+
+AuthDecisionPayload AuthDecisionPayload::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader in(bytes);
+  AuthDecisionPayload p;
+  p.authenticated = in.u8() != 0;
+  p.user_id = in.str();
+  p.distance = in.f64();
+  return p;
+}
+
+}  // namespace medsen::net

@@ -1,0 +1,78 @@
+#pragma once
+// Protocol messages exchanged between the MedSen controller, the phone
+// relay, and the cloud server. Payloads are opaque to the phone (it only
+// relays); message envelopes carry an HMAC-SHA256 tag keyed by a
+// per-session transport key so the untrusted relay cannot tamper
+// undetected. (Confidentiality needs no transport cipher: the signal is
+// already encrypted in the analog domain.)
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "util/time_series.h"
+
+namespace medsen::net {
+
+enum class MessageType : std::uint8_t {
+  kSignalUpload = 1,   ///< sensor -> cloud: encrypted acquisition
+  kAnalysisResult = 2, ///< cloud -> sensor: serialized PeakReport
+  kAuthDecision = 3,   ///< cloud -> sensor: authentication outcome
+  kProgress = 4,       ///< cloud/phone -> app UI
+  kError = 5,
+};
+
+struct Envelope {
+  MessageType type = MessageType::kError;
+  std::uint64_t session_id = 0;
+  std::vector<std::uint8_t> payload;
+  crypto::Sha256Digest mac{};  ///< HMAC over type|session|payload
+
+  /// Serialize (without framing; see net/frame.h).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Envelope deserialize(std::span<const std::uint8_t> bytes);
+};
+
+/// Build an authenticated envelope.
+Envelope make_envelope(MessageType type, std::uint64_t session_id,
+                       std::vector<std::uint8_t> payload,
+                       std::span<const std::uint8_t> mac_key);
+
+/// Verify the envelope's MAC.
+bool verify_envelope(const Envelope& envelope,
+                     std::span<const std::uint8_t> mac_key);
+
+/// Serialization format of an uploaded acquisition. The prototype
+/// records CSV files; binary is the compact default.
+enum class UploadFormat : std::uint8_t { kBinary = 0, kCsv = 1 };
+
+/// SignalUpload payload: the acquisition, optionally compressed.
+struct SignalUploadPayload {
+  bool compressed = false;
+  UploadFormat format = UploadFormat::kBinary;
+  double sample_rate_hz = 450.0;
+  std::vector<std::uint8_t> data;  ///< serialized (maybe compressed) series
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static SignalUploadPayload deserialize(std::span<const std::uint8_t> bytes);
+};
+
+/// Binary serialization of a multi-channel acquisition.
+std::vector<std::uint8_t> serialize_series(
+    const util::MultiChannelSeries& series);
+util::MultiChannelSeries deserialize_series(
+    std::span<const std::uint8_t> bytes);
+
+/// AuthDecision payload.
+struct AuthDecisionPayload {
+  bool authenticated = false;
+  std::string user_id;
+  double distance = 0.0;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static AuthDecisionPayload deserialize(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace medsen::net

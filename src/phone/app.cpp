@@ -1,0 +1,97 @@
+#include "phone/app.h"
+
+namespace medsen::phone {
+
+const char* to_string(AppState state) {
+  switch (state) {
+    case AppState::kIdle: return "idle";
+    case AppState::kConnected: return "connected";
+    case AppState::kAcquiring: return "acquiring";
+    case AppState::kUploading: return "uploading";
+    case AppState::kAwaitingResult: return "awaiting-result";
+    case AppState::kComplete: return "complete";
+    case AppState::kError: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(AppEvent event) {
+  switch (event) {
+    case AppEvent::kDongleAttached: return "dongle-attached";
+    case AppEvent::kTestStarted: return "test-started";
+    case AppEvent::kAcquisitionDone: return "acquisition-done";
+    case AppEvent::kUploadDone: return "upload-done";
+    case AppEvent::kResultReceived: return "result-received";
+    case AppEvent::kFailure: return "failure";
+    case AppEvent::kDongleDetached: return "dongle-detached";
+  }
+  return "?";
+}
+
+void AppSession::enter(AppState next, const std::string& note) {
+  state_ = next;
+  log_.push_back(std::string(to_string(next)) +
+                 (note.empty() ? "" : ": " + note));
+  if (listener_) listener_(next, note);
+}
+
+AppState AppSession::handle(AppEvent event) {
+  // Failures and detachment are legal from anywhere.
+  if (event == AppEvent::kFailure) {
+    enter(AppState::kError, "reported failure");
+    return state_;
+  }
+  if (event == AppEvent::kDongleDetached) {
+    if (state_ == AppState::kIdle || state_ == AppState::kComplete) {
+      enter(AppState::kIdle, "dongle detached");
+    } else {
+      enter(AppState::kError, "dongle detached mid-session");
+    }
+    return state_;
+  }
+
+  switch (state_) {
+    case AppState::kIdle:
+      if (event == AppEvent::kDongleAttached) {
+        enter(AppState::kConnected, "USB accessory handshake");
+        return state_;
+      }
+      break;
+    case AppState::kConnected:
+      if (event == AppEvent::kTestStarted) {
+        enter(AppState::kAcquiring, "user started the blood test");
+        return state_;
+      }
+      break;
+    case AppState::kAcquiring:
+      if (event == AppEvent::kAcquisitionDone) {
+        enter(AppState::kUploading, "measurement window finished");
+        return state_;
+      }
+      break;
+    case AppState::kUploading:
+      if (event == AppEvent::kUploadDone) {
+        enter(AppState::kAwaitingResult, "upload acknowledged");
+        return state_;
+      }
+      break;
+    case AppState::kAwaitingResult:
+      if (event == AppEvent::kResultReceived) {
+        enter(AppState::kComplete, "analysis result delivered");
+        return state_;
+      }
+      break;
+    case AppState::kComplete:
+    case AppState::kError:
+      break;
+  }
+  enter(AppState::kError, std::string("illegal event ") + to_string(event) +
+                              " in state " + to_string(state_));
+  return state_;
+}
+
+void AppSession::reset() {
+  enter(AppState::kIdle, "session reset");
+}
+
+}  // namespace medsen::phone

@@ -1,0 +1,65 @@
+#pragma once
+// The Android app's session state machine (paper Section VI-D): the app
+// detects the dongle over the USB accessory protocol, walks the user
+// through the test, relays data, and surfaces progress/errors. This
+// models that control flow so integration tests can assert on legal
+// transitions and user-visible states.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace medsen::phone {
+
+enum class AppState : std::uint8_t {
+  kIdle = 0,          ///< app launched, no dongle
+  kConnected,         ///< USB accessory handshake done
+  kAcquiring,         ///< blood test running on the sensor
+  kUploading,         ///< relaying measurement to the cloud
+  kAwaitingResult,    ///< cloud processing
+  kComplete,          ///< diagnosis delivered
+  kError,             ///< any failure; recoverable via reset()
+};
+
+const char* to_string(AppState state);
+
+/// Events that drive the state machine.
+enum class AppEvent : std::uint8_t {
+  kDongleAttached,
+  kTestStarted,
+  kAcquisitionDone,
+  kUploadDone,
+  kResultReceived,
+  kFailure,
+  kDongleDetached,
+};
+
+const char* to_string(AppEvent event);
+
+/// Deterministic session state machine. Illegal transitions go to kError
+/// (a real app must never crash on an out-of-order USB event).
+class AppSession {
+ public:
+  using Listener = std::function<void(AppState, const std::string&)>;
+
+  [[nodiscard]] AppState state() const { return state_; }
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+
+  /// Feed an event; returns the new state.
+  AppState handle(AppEvent event);
+
+  /// Back to kIdle from any state (user dismisses the error / restarts).
+  void reset();
+
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+
+ private:
+  void enter(AppState next, const std::string& note);
+
+  AppState state_ = AppState::kIdle;
+  std::vector<std::string> log_;
+  Listener listener_;
+};
+
+}  // namespace medsen::phone

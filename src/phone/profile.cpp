@@ -1,0 +1,12 @@
+#include "phone/profile.h"
+
+namespace medsen::phone {
+
+ExecutionProfile computer_profile() { return {"computer-i7-4710MQ", 1.0}; }
+
+ExecutionProfile nexus5_profile() {
+  // Fig. 14: 1.554 s vs 0.452 s at 962,428 samples -> 3.44x.
+  return {"nexus5-snapdragon800", 3.44};
+}
+
+}  // namespace medsen::phone

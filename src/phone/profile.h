@@ -1,0 +1,28 @@
+#pragma once
+// Execution profiles modeling where the peak analysis runs. The paper's
+// Fig. 14 compares an Intel i7-4710MQ workstation against a Nexus 5
+// (Snapdragon 800); no ARM hardware exists here, so the phone is modeled
+// as a deterministic slowdown factor calibrated to the paper's measured
+// ratio at the largest sample size (~3.4x).
+
+#include <string>
+
+namespace medsen::phone {
+
+struct ExecutionProfile {
+  std::string name;
+  double slowdown = 1.0;  ///< multiplier on measured compute time
+
+  /// Scale a measured duration to this profile.
+  [[nodiscard]] double scale(double measured_s) const {
+    return measured_s * slowdown;
+  }
+};
+
+/// Reference workstation (Intel i7-4710MQ, 16 GB): unit speed.
+ExecutionProfile computer_profile();
+
+/// Nexus 5 (Qualcomm MSM8974 Snapdragon 800, 2 GB): paper-calibrated.
+ExecutionProfile nexus5_profile();
+
+}  // namespace medsen::phone

@@ -1,0 +1,123 @@
+#include "phone/relay.h"
+
+#include <chrono>
+
+#include "compress/codec.h"
+#include "util/csv.h"
+
+namespace medsen::phone {
+
+namespace {
+
+double measure(const std::function<void()>& work) {
+  const auto start = std::chrono::steady_clock::now();
+  work();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+PhoneRelay::PhoneRelay(RelayConfig config) : config_(std::move(config)) {}
+
+void PhoneRelay::report(const std::string& message) {
+  if (progress_) progress_(message);
+}
+
+net::Envelope PhoneRelay::build_upload(const util::MultiChannelSeries& series,
+                                       std::uint64_t session_id,
+                                       std::span<const std::uint8_t> mac_key) {
+  timing_ = RelayTiming{};
+  report("receiving measurement from sensor");
+  std::vector<std::uint8_t> raw;
+  if (config_.csv_format) {
+    const std::string csv = util::to_csv(series);
+    raw.assign(csv.begin(), csv.end());
+  } else {
+    raw = net::serialize_series(series);
+  }
+  timing_.usb_in_s = config_.usb.transfer_time_s(raw.size());
+
+  net::SignalUploadPayload payload;
+  payload.format = config_.csv_format ? net::UploadFormat::kCsv
+                                      : net::UploadFormat::kBinary;
+  payload.sample_rate_hz = series.channels.empty()
+                               ? 450.0
+                               : series.channels.front().sample_rate();
+  if (config_.compress_uploads &&
+      raw.size() >= config_.compression_threshold_bytes) {
+    report("compressing upload");
+    std::vector<std::uint8_t> packed;
+    const double t = measure([&] { packed = compress::compress(raw); });
+    timing_.compression_s = config_.profile.scale(t);
+    payload.compressed = true;
+    payload.data = std::move(packed);
+  } else {
+    payload.compressed = false;
+    payload.data = raw;
+  }
+  last_upload_bytes_ = payload.data.size();
+  return net::make_envelope(net::MessageType::kSignalUpload, session_id,
+                            payload.serialize(), mac_key);
+}
+
+net::Envelope PhoneRelay::relay_analysis(
+    const util::MultiChannelSeries& series, std::uint64_t session_id,
+    cloud::CloudServer& server, std::span<const std::uint8_t> mac_key) {
+  const auto upload = build_upload(series, session_id, mac_key);
+  report("uploading to cloud");
+  timing_.uplink_s =
+      config_.uplink.transfer_time_s(upload.payload.size());
+
+  net::Envelope response;
+  const double t =
+      measure([&] { response = server.handle_upload(upload, mac_key); });
+  timing_.analysis_s = t;
+
+  report("downloading analysis result");
+  timing_.downlink_s =
+      config_.downlink.transfer_time_s(response.payload.size());
+  timing_.usb_out_s = config_.usb.transfer_time_s(response.payload.size());
+  report("analysis complete");
+  return response;
+}
+
+net::Envelope PhoneRelay::relay_auth(const util::MultiChannelSeries& series,
+                                     std::uint64_t session_id,
+                                     double volume_ul,
+                                     cloud::CloudServer& server,
+                                     std::span<const std::uint8_t> mac_key,
+                                     double duration_s) {
+  const auto upload = build_upload(series, session_id, mac_key);
+  report("uploading authentication pass");
+  timing_.uplink_s =
+      config_.uplink.transfer_time_s(upload.payload.size());
+
+  net::Envelope response;
+  const double t = measure([&] {
+    response = server.handle_auth(upload, volume_ul, mac_key, duration_s);
+  });
+  timing_.analysis_s = t;
+
+  timing_.downlink_s =
+      config_.downlink.transfer_time_s(response.payload.size());
+  timing_.usb_out_s = config_.usb.transfer_time_s(response.payload.size());
+  report("authentication complete");
+  return response;
+}
+
+core::PeakReport PhoneRelay::analyze_locally(
+    const util::MultiChannelSeries& series,
+    const cloud::AnalysisConfig& config) {
+  report("analyzing locally on phone");
+  cloud::AnalysisService service(config);
+  core::PeakReport report_out;
+  const double t = measure([&] { report_out = service.analyze(series); });
+  timing_ = RelayTiming{};
+  timing_.analysis_s = config_.profile.scale(t);
+  report("local analysis complete");
+  return report_out;
+}
+
+}  // namespace medsen::phone

@@ -1,0 +1,97 @@
+#pragma once
+// The smartphone relay: the Android app of the prototype. It is NOT in
+// the trusted computing base — it only (a) relays envelopes between the
+// USB-attached controller and the cloud, (b) compresses bulk uploads to
+// save data-plan bytes, (c) reports progress to the user, and (d) can run
+// the peak analysis locally for small samples (paper Fig. 14 discussion).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cloud/server.h"
+#include "net/link.h"
+#include "net/messages.h"
+#include "phone/profile.h"
+
+namespace medsen::phone {
+
+/// Timing breakdown of one relayed round trip (simulated link times plus
+/// measured compute times).
+struct RelayTiming {
+  double usb_in_s = 0.0;       ///< controller -> phone
+  double compression_s = 0.0;  ///< measured on the phone profile
+  double uplink_s = 0.0;       ///< phone -> cloud
+  double analysis_s = 0.0;     ///< cloud compute (measured)
+  double downlink_s = 0.0;     ///< cloud -> phone
+  double usb_out_s = 0.0;      ///< phone -> controller
+
+  [[nodiscard]] double total_s() const {
+    return usb_in_s + compression_s + uplink_s + analysis_s + downlink_s +
+           usb_out_s;
+  }
+};
+
+struct RelayConfig {
+  bool compress_uploads = true;
+  /// Upload in the prototype's CSV format instead of compact binary
+  /// (larger, but matches the recorded-file workflow of the paper).
+  bool csv_format = false;
+  /// Uploads smaller than this skip compression (not worth the cycles).
+  std::size_t compression_threshold_bytes = 4096;
+  ExecutionProfile profile = nexus5_profile();
+  net::LinkModel usb = net::usb_accessory();
+  net::LinkModel uplink = net::lte_uplink();
+  net::LinkModel downlink = net::lte_downlink();
+};
+
+using ProgressCallback = std::function<void(const std::string&)>;
+
+class PhoneRelay {
+ public:
+  explicit PhoneRelay(RelayConfig config = {});
+
+  /// Relay an encrypted acquisition to the cloud for analysis and return
+  /// the cloud's analysis-result envelope. Populates timing().
+  net::Envelope relay_analysis(const util::MultiChannelSeries& series,
+                               std::uint64_t session_id,
+                               cloud::CloudServer& server,
+                               std::span<const std::uint8_t> mac_key);
+
+  /// Relay a plaintext auth pass; returns the auth-decision envelope.
+  /// `duration_s` (when nonzero) lets the server correct coincidence
+  /// losses in the bead census.
+  net::Envelope relay_auth(const util::MultiChannelSeries& series,
+                           std::uint64_t session_id, double volume_ul,
+                           cloud::CloudServer& server,
+                           std::span<const std::uint8_t> mac_key,
+                           double duration_s = 0.0);
+
+  /// Run the peak analysis locally on the phone (small-sample mode).
+  /// Returns the report and records the profile-scaled analysis time.
+  core::PeakReport analyze_locally(const util::MultiChannelSeries& series,
+                                   const cloud::AnalysisConfig& config);
+
+  void set_progress_callback(ProgressCallback cb) { progress_ = std::move(cb); }
+
+  [[nodiscard]] const RelayTiming& timing() const { return timing_; }
+  [[nodiscard]] const RelayConfig& config() const { return config_; }
+  /// Bytes sent over the uplink by the last relay (after compression).
+  [[nodiscard]] std::size_t last_upload_bytes() const {
+    return last_upload_bytes_;
+  }
+
+ private:
+  net::Envelope build_upload(const util::MultiChannelSeries& series,
+                             std::uint64_t session_id,
+                             std::span<const std::uint8_t> mac_key);
+  void report(const std::string& message);
+
+  RelayConfig config_;
+  RelayTiming timing_;
+  ProgressCallback progress_;
+  std::size_t last_upload_bytes_ = 0;
+};
+
+}  // namespace medsen::phone

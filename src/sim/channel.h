@@ -1,0 +1,83 @@
+#pragma once
+// Microfluidic channel and pump model. Geometry follows the fabricated
+// device (paper Section III-C / VI-A): a 30 um x 20 um measurement pore of
+// 500 um length, fed by dispersal regions at both ends, driven by an
+// external peristaltic pump at ~0.08 uL/min. Particles transit the pore
+// single-file; arrivals follow a Poisson process set by concentration and
+// volumetric flow. Loss mechanisms (inlet-well sedimentation growing with
+// run time, wall adsorption) reproduce the systematic undercount of
+// Fig. 12/13.
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "sim/particle.h"
+
+namespace medsen::sim {
+
+struct ChannelGeometry {
+  double width_um = 30.0;
+  double height_um = 20.0;
+  double pore_length_um = 500.0;
+
+  /// Cross-section area in um^2.
+  [[nodiscard]] double area_um2() const { return width_um * height_um; }
+};
+
+/// Convert a volumetric flow (uL/min) to mean linear velocity in the pore
+/// (um/s): v = Q / A.
+double linear_velocity_um_s(const ChannelGeometry& geometry,
+                            double flow_ul_min);
+
+struct LossModel {
+  /// Constant per-particle probability of adsorption to channel walls.
+  double adsorption_probability = 0.03;
+  /// Sedimentation: particles entering at time t are additionally lost
+  /// with probability sed_rate_per_hour * (t / 3600 s), capped at
+  /// sed_cap. Heavier (larger) particles sediment faster via the
+  /// size_exponent on diameter relative to 5 um.
+  double sed_rate_per_hour = 0.25;
+  double sed_cap = 0.6;
+  double size_exponent = 1.0;
+  bool enabled = true;
+};
+
+/// One particle transit through the measurement pore.
+struct TransitEvent {
+  Particle particle;
+  double enter_time_s = 0.0;     ///< time the particle reaches the sensing
+                                 ///< region's first electrode
+  double speed_um_s = 0.0;       ///< linear speed during the transit
+};
+
+struct ChannelConfig {
+  ChannelGeometry geometry;
+  LossModel loss;
+  /// Relative jitter of individual particle speed around the mean
+  /// (Poiseuille profile: particles ride different streamlines).
+  double speed_jitter = 0.08;
+  /// Minimum spacing enforced between consecutive transits (s); the pore
+  /// singles particles out, so simultaneous arrivals queue up.
+  double min_headway_s = 0.004;
+};
+
+/// A stretch of constant pump speed.
+struct FlowSegment {
+  double t_start_s = 0.0;
+  double flow_ul_min = 0.08;
+};
+
+/// Simulate all particle transits over [0, duration_s) for a sample pumped
+/// through the channel. `flow_profile` must be sorted by t_start_s and
+/// non-empty; the first segment's start is clamped to 0.
+std::vector<TransitEvent> simulate_transits(
+    const SampleSpec& sample, const ChannelConfig& config,
+    std::vector<FlowSegment> flow_profile, double duration_s,
+    crypto::ChaChaRng& rng);
+
+/// Pumped volume over [0, duration_s) for a flow profile (uL).
+double pumped_volume_ul(const std::vector<FlowSegment>& flow_profile,
+                        double duration_s);
+
+}  // namespace medsen::sim

@@ -1,0 +1,22 @@
+#include "sim/lockin.h"
+
+namespace medsen::sim {
+
+util::TimeSeries lockin_output(const std::vector<double>& oversampled,
+                               double start_time_s,
+                               const LockInConfig& config) {
+  dsp::ButterworthLowPass2 lpf(config.lowpass_cutoff_hz,
+                               config.internal_rate_hz());
+  // Prime the filter on the first sample so start-up transients do not
+  // masquerade as peaks.
+  std::vector<double> filtered;
+  filtered.reserve(oversampled.size());
+  if (!oversampled.empty()) {
+    for (unsigned i = 0; i < 64; ++i) lpf.step(oversampled.front());
+  }
+  for (double x : oversampled) filtered.push_back(lpf.step(x));
+  const auto decimated = dsp::decimate(filtered, config.oversample);
+  return util::TimeSeries(config.output_rate_hz, decimated, start_time_s);
+}
+
+}  // namespace medsen::sim

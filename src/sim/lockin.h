@@ -1,0 +1,33 @@
+#pragma once
+// Simulated lock-in amplifier chain (the Zurich Instruments HF2IS +
+// HF2TA of the prototype): per-carrier synchronous demodulation is
+// abstracted to its baseband effect — the demodulated amplitude trace —
+// which is then low-pass filtered (120 Hz cutoff) and decimated to the
+// 450 Hz output rate the paper records.
+
+#include <vector>
+
+#include "dsp/filters.h"
+#include "util/time_series.h"
+
+namespace medsen::sim {
+
+struct LockInConfig {
+  double output_rate_hz = 450.0;    ///< recorded sample rate
+  unsigned oversample = 10;         ///< internal simulation oversampling
+  double lowpass_cutoff_hz = 120.0; ///< output filter cutoff
+  double excitation_v = 1.0;        ///< per-carrier excitation amplitude
+
+  [[nodiscard]] double internal_rate_hz() const {
+    return output_rate_hz * oversample;
+  }
+};
+
+/// Apply the lock-in output chain to an internally oversampled baseband
+/// trace: 2nd-order Butterworth low-pass then decimation to the output
+/// rate. Input must be sampled at config.internal_rate_hz().
+util::TimeSeries lockin_output(const std::vector<double>& oversampled,
+                               double start_time_s,
+                               const LockInConfig& config);
+
+}  // namespace medsen::sim

@@ -1,0 +1,77 @@
+#include "sim/pump.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace medsen::sim {
+
+PumpProgram& PumpProgram::add(const PumpStep& step) {
+  if (step.target_ul_min < limits_.min_ul_min ||
+      step.target_ul_min > limits_.max_ul_min)
+    throw std::invalid_argument("PumpProgram: target outside pump limits");
+  if (step.hold_s < 0.0)
+    throw std::invalid_argument("PumpProgram: negative hold");
+  steps_.push_back(step);
+  return *this;
+}
+
+double PumpProgram::duration_s(double initial_ul_min) const {
+  double t = 0.0;
+  double current = initial_ul_min;
+  for (const auto& step : steps_) {
+    if (step.ramp && limits_.max_slew_ul_min_per_s > 0.0)
+      t += std::fabs(step.target_ul_min - current) /
+           limits_.max_slew_ul_min_per_s;
+    current = step.target_ul_min;
+    t += step.hold_s;
+  }
+  return t;
+}
+
+std::vector<FlowSegment> PumpProgram::compile(
+    double initial_ul_min, double ramp_resolution_s) const {
+  if (ramp_resolution_s <= 0.0)
+    throw std::invalid_argument("PumpProgram: bad ramp resolution");
+  std::vector<FlowSegment> segments;
+  double t = 0.0;
+  double current = initial_ul_min;
+  for (const auto& step : steps_) {
+    if (step.ramp && limits_.max_slew_ul_min_per_s > 0.0 &&
+        std::fabs(step.target_ul_min - current) > 1e-12) {
+      const double ramp_time = std::fabs(step.target_ul_min - current) /
+                               limits_.max_slew_ul_min_per_s;
+      const auto slices = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(ramp_time /
+                                                ramp_resolution_s)));
+      for (std::size_t k = 0; k < slices; ++k) {
+        const double frac =
+            (static_cast<double>(k) + 0.5) / static_cast<double>(slices);
+        segments.push_back(
+            {t + ramp_time * static_cast<double>(k) /
+                     static_cast<double>(slices),
+             current + (step.target_ul_min - current) * frac});
+      }
+      t += ramp_time;
+    }
+    segments.push_back({t, step.target_ul_min});
+    current = step.target_ul_min;
+    t += step.hold_s;
+  }
+  if (segments.empty()) segments.push_back({0.0, initial_ul_min});
+  return segments;
+}
+
+double flow_at(const std::vector<FlowSegment>& profile, double t) {
+  if (profile.empty())
+    throw std::invalid_argument("flow_at: empty profile");
+  double flow = profile.front().flow_ul_min;
+  for (const auto& segment : profile) {
+    if (segment.t_start_s <= t)
+      flow = segment.flow_ul_min;
+    else
+      break;
+  }
+  return flow;
+}
+
+}  // namespace medsen::sim

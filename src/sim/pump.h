@@ -1,0 +1,58 @@
+#pragma once
+// Peristaltic pump program (the Harvard Apparatus Pico Plus of Fig. 9,
+// label D). Real pumps cannot step flow instantaneously: a program is a
+// sequence of holds and linear ramps, bounded by the pump's rate limits.
+// The program compiles to the piecewise-constant FlowSegments the channel
+// simulation consumes (ramps are discretized).
+
+#include <vector>
+
+#include "sim/channel.h"
+
+namespace medsen::sim {
+
+struct PumpLimits {
+  double min_ul_min = 0.01;
+  double max_ul_min = 1.0;
+  /// Fastest rate change the pump can execute (uL/min per second).
+  double max_slew_ul_min_per_s = 0.5;
+};
+
+/// One program step: hold at (or ramp to) a target flow.
+struct PumpStep {
+  double target_ul_min = 0.08;
+  double hold_s = 1.0;    ///< dwell at the target after reaching it
+  bool ramp = false;      ///< ramp linearly (at the slew limit) vs step
+};
+
+/// A validated, compilable pump program.
+class PumpProgram {
+ public:
+  explicit PumpProgram(PumpLimits limits = {}) : limits_(limits) {}
+
+  /// Append a step; throws std::invalid_argument if the target violates
+  /// the pump's limits or the hold is negative.
+  PumpProgram& add(const PumpStep& step);
+
+  [[nodiscard]] const PumpLimits& limits() const { return limits_; }
+  [[nodiscard]] std::size_t size() const { return steps_.size(); }
+  [[nodiscard]] bool empty() const { return steps_.empty(); }
+
+  /// Total program duration including ramp times (s).
+  [[nodiscard]] double duration_s(double initial_ul_min = 0.0) const;
+
+  /// Compile to flow segments starting from `initial_ul_min`, sampling
+  /// ramps every `ramp_resolution_s`.
+  [[nodiscard]] std::vector<FlowSegment> compile(
+      double initial_ul_min = 0.0, double ramp_resolution_s = 0.25) const;
+
+ private:
+  PumpLimits limits_;
+  std::vector<PumpStep> steps_;
+};
+
+/// Flow at time t for a compiled profile (piecewise constant, same rule
+/// the channel simulation applies).
+double flow_at(const std::vector<FlowSegment>& profile, double t);
+
+}  // namespace medsen::sim

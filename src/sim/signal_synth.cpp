@@ -1,0 +1,55 @@
+#include "sim/signal_synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace medsen::sim {
+
+std::vector<double> synth_baseline(std::size_t n, double sample_rate_hz,
+                                   double start_time_s,
+                                   const DriftConfig& config,
+                                   crypto::ChaChaRng& rng) {
+  std::vector<double> out(n, 1.0);
+  double walk = 0.0;
+  const double phase = rng.uniform_double() * 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = start_time_s + static_cast<double>(i) / sample_rate_hz;
+    const double slow =
+        config.slow_amplitude *
+        std::sin(2.0 * std::numbers::pi * t / config.slow_period_s + phase);
+    const double linear = config.linear_per_hour * t / 3600.0;
+    walk += rng.normal(0.0, config.random_walk_sigma);
+    out[i] = 1.0 + slow + linear + walk;
+  }
+  return out;
+}
+
+void add_gaussian_pulse(std::vector<double>& depth, double sample_rate_hz,
+                        double start_time_s, double center_s, double width_s,
+                        double amplitude) {
+  if (depth.empty() || width_s <= 0.0) return;
+  const double sigma = width_s / 2.355;  // FWHM -> sigma
+  const double span = 4.0 * sigma;
+  const auto n = static_cast<double>(depth.size());
+  const double i_center = (center_s - start_time_s) * sample_rate_hz;
+  const double i_lo = std::max(0.0, i_center - span * sample_rate_hz);
+  const double i_hi =
+      std::min(n - 1.0, i_center + span * sample_rate_hz);
+  if (i_hi < 0.0 || i_lo > n - 1.0) return;
+  for (auto i = static_cast<std::size_t>(i_lo);
+       i <= static_cast<std::size_t>(i_hi); ++i) {
+    const double t =
+        start_time_s + static_cast<double>(i) / sample_rate_hz;
+    const double z = (t - center_s) / sigma;
+    depth[i] += amplitude * std::exp(-0.5 * z * z);
+  }
+}
+
+void add_white_noise(std::vector<double>& samples, double sigma,
+                     crypto::ChaChaRng& rng) {
+  if (sigma <= 0.0) return;
+  for (double& s : samples) s += rng.normal(0.0, sigma);
+}
+
+}  // namespace medsen::sim

@@ -1,0 +1,40 @@
+#pragma once
+// Baseband signal synthesis: baseline drift (slow sinusoidal temperature/
+// concentration wander + linear trend + random walk, per the paper's
+// Section VI-C discussion of why detrending is needed), Gaussian pulse
+// deposition for particle transits, and white measurement noise.
+
+#include <cstddef>
+#include <vector>
+
+#include "crypto/chacha20.h"
+
+namespace medsen::sim {
+
+struct DriftConfig {
+  double slow_amplitude = 0.004;     ///< relative sinusoidal wander
+  double slow_period_s = 120.0;
+  double linear_per_hour = -0.010;   ///< relative linear drift per hour
+  double random_walk_sigma = 4e-6;   ///< per-sample random-walk step
+};
+
+/// Multiplicative baseline trace (nominal 1.0) of `n` samples at
+/// `sample_rate_hz`, starting at `start_time_s`.
+std::vector<double> synth_baseline(std::size_t n, double sample_rate_hz,
+                                   double start_time_s,
+                                   const DriftConfig& config,
+                                   crypto::ChaChaRng& rng);
+
+/// Deposit a Gaussian pulse of fractional depth `amplitude` centered at
+/// `center_s` with characteristic width `width_s` (full width ~ 2.355
+/// sigma) into a depth accumulation buffer sampled at `sample_rate_hz`
+/// from `start_time_s`.
+void add_gaussian_pulse(std::vector<double>& depth, double sample_rate_hz,
+                        double start_time_s, double center_s, double width_s,
+                        double amplitude);
+
+/// Add white Gaussian noise in place.
+void add_white_noise(std::vector<double>& samples, double sigma,
+                     crypto::ChaChaRng& rng);
+
+}  // namespace medsen::sim

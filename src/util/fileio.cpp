@@ -1,0 +1,32 @@
+#include "util/fileio.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace medsen::util {
+
+void write_file(const std::string& path,
+                std::span<const std::uint8_t> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_file: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw std::runtime_error("write_file: write failed: " + path);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("read_file: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) throw std::runtime_error("read_file: read failed: " + path);
+  return data;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace medsen::util

@@ -1,0 +1,21 @@
+#pragma once
+// Small binary file helpers for the persistence layer.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace medsen::util {
+
+/// Write a byte buffer to a file, replacing any existing content.
+/// Throws std::runtime_error on I/O failure.
+void write_file(const std::string& path, std::span<const std::uint8_t> data);
+
+/// Read a whole file; throws std::runtime_error if it cannot be opened.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// Does the path exist and open readably?
+bool file_exists(const std::string& path);
+
+}  // namespace medsen::util

@@ -1,0 +1,43 @@
+#pragma once
+// Lightweight leveled logger. Kept deliberately tiny: the MedSen controller
+// is modeled as a resource-constrained trusted computing base, and the rest
+// of the pipeline only needs coarse progress reporting.
+
+#include <sstream>
+#include <string>
+
+namespace medsen::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Default: kWarn
+/// (quiet for tests and benches).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line to stderr if `level` passes the global threshold.
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+/// Stream-style helper: LogLine(kInfo, "cloud") << "peaks=" << n;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace medsen::util

@@ -1,0 +1,70 @@
+#pragma once
+// Fixed-capacity ring buffer. Used by the simulated lock-in amplifier's
+// moving-average stage and the phone relay's streaming chunker, where
+// bounded memory mirrors the embedded deployment constraints.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace medsen::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : buf_(capacity), capacity_(capacity) {
+    if (capacity == 0)
+      throw std::invalid_argument("RingBuffer: capacity must be > 0");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == capacity_; }
+
+  /// Append an element, overwriting the oldest if full. Returns true if an
+  /// element was evicted.
+  bool push(const T& v) {
+    const bool evicted = full();
+    buf_[head_] = v;
+    head_ = (head_ + 1) % capacity_;
+    if (evicted) {
+      tail_ = (tail_ + 1) % capacity_;
+    } else {
+      ++size_;
+    }
+    return evicted;
+  }
+
+  /// Remove and return the oldest element; throws if empty.
+  T pop() {
+    if (empty()) throw std::out_of_range("RingBuffer: pop from empty");
+    T v = std::move(buf_[tail_]);
+    tail_ = (tail_ + 1) % capacity_;
+    --size_;
+    return v;
+  }
+
+  /// Element i positions from the oldest (0 == oldest).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer: index");
+    return buf_[(tail_ + i) % capacity_];
+  }
+
+  [[nodiscard]] const T& front() const { return at(0); }
+  [[nodiscard]] const T& back() const { return at(size_ - 1); }
+
+  void clear() {
+    head_ = tail_ = size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace medsen::util

@@ -1,0 +1,34 @@
+#include "util/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace medsen::util {
+
+std::size_t TimeSeries::index_at(double t) const {
+  if (samples_.empty()) return 0;
+  const double raw = (t - start_) * rate_;
+  const auto idx = static_cast<long>(std::llround(raw));
+  return static_cast<std::size_t>(
+      std::clamp<long>(idx, 0, static_cast<long>(samples_.size()) - 1));
+}
+
+TimeSeries TimeSeries::slice(double t0, double t1) const {
+  TimeSeries out(rate_, std::max(t0, start_));
+  if (samples_.empty() || t1 <= t0) return out;
+  const std::size_t i0 = index_at(t0);
+  std::size_t i1 = index_at(t1);
+  if (time_at(i1) < t1 && i1 + 1 < samples_.size()) ++i1;
+  out.samples_.assign(samples_.begin() + static_cast<long>(i0),
+                      samples_.begin() + static_cast<long>(i1));
+  out.start_ = time_at(i0);
+  return out;
+}
+
+std::size_t MultiChannelSeries::total_samples() const {
+  std::size_t n = 0;
+  for (const auto& ch : channels) n += ch.size();
+  return n;
+}
+
+}  // namespace medsen::util

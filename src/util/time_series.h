@@ -1,0 +1,77 @@
+#pragma once
+// Uniformly sampled time-series container. This is the fundamental data type
+// exchanged between the MedSen sensor, phone and cloud: the lock-in
+// amplifier's demodulated output per carrier frequency.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace medsen::util {
+
+/// A uniformly sampled scalar signal with a start time and sample rate.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Construct with a sample rate (Hz, > 0) and optional start time (s).
+  explicit TimeSeries(double sample_rate_hz, double start_time_s = 0.0)
+      : rate_(sample_rate_hz), start_(start_time_s) {
+    if (sample_rate_hz <= 0.0)
+      throw std::invalid_argument("TimeSeries: sample rate must be positive");
+  }
+
+  TimeSeries(double sample_rate_hz, std::vector<double> samples,
+             double start_time_s = 0.0)
+      : TimeSeries(sample_rate_hz, start_time_s) {
+    samples_ = std::move(samples);
+  }
+
+  [[nodiscard]] double sample_rate() const { return rate_; }
+  [[nodiscard]] double start_time() const { return start_; }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double duration() const {
+    return static_cast<double>(samples_.size()) / rate_;
+  }
+
+  [[nodiscard]] double operator[](std::size_t i) const { return samples_[i]; }
+  double& operator[](std::size_t i) { return samples_[i]; }
+
+  [[nodiscard]] std::span<const double> samples() const { return samples_; }
+  [[nodiscard]] std::span<double> samples_mut() { return samples_; }
+  [[nodiscard]] std::vector<double>& storage() { return samples_; }
+
+  /// Timestamp (seconds) of sample i.
+  [[nodiscard]] double time_at(std::size_t i) const {
+    return start_ + static_cast<double>(i) / rate_;
+  }
+
+  /// Index of the sample nearest to time t (clamped to the valid range).
+  [[nodiscard]] std::size_t index_at(double t) const;
+
+  void push_back(double v) { samples_.push_back(v); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void clear() { samples_.clear(); }
+
+  /// Copy out the sub-series covering [t0, t1) (clamped to bounds).
+  [[nodiscard]] TimeSeries slice(double t0, double t1) const;
+
+ private:
+  double rate_ = 1.0;
+  double start_ = 0.0;
+  std::vector<double> samples_;
+};
+
+/// A bundle of simultaneously sampled channels (one per carrier frequency).
+struct MultiChannelSeries {
+  std::vector<double> carrier_frequencies_hz;  ///< one per channel
+  std::vector<TimeSeries> channels;            ///< same length/rate each
+
+  [[nodiscard]] std::size_t channel_count() const { return channels.size(); }
+  /// Total scalar samples across all channels.
+  [[nodiscard]] std::size_t total_samples() const;
+};
+
+}  // namespace medsen::util

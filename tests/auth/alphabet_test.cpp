@@ -1,0 +1,65 @@
+#include "auth/alphabet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace medsen::auth {
+namespace {
+
+TEST(Alphabet, DefaultIsValid) {
+  CytoAlphabet alphabet;
+  EXPECT_NO_THROW(alphabet.validate());
+  EXPECT_EQ(alphabet.characters(), 2u);
+  EXPECT_EQ(alphabet.levels(), 5u);
+}
+
+TEST(Alphabet, SpaceSizeIsLevelsPowCharacters) {
+  CytoAlphabet alphabet;
+  EXPECT_EQ(alphabet.space_size(), 25u);  // 5^2
+  alphabet.concentration_levels_per_ul = {0.0, 100.0, 200.0};
+  EXPECT_EQ(alphabet.space_size(), 9u);  // 3^2
+}
+
+TEST(Alphabet, EntropyBits) {
+  CytoAlphabet alphabet;
+  EXPECT_NEAR(alphabet.entropy_bits(), 2.0 * std::log2(5.0), 1e-12);
+}
+
+TEST(Alphabet, NearestLevelPicksClosest) {
+  CytoAlphabet alphabet;  // levels 0, 150, 300, 500, 750
+  EXPECT_EQ(alphabet.nearest_level(0.0), 0);
+  EXPECT_EQ(alphabet.nearest_level(70.0), 0);
+  EXPECT_EQ(alphabet.nearest_level(80.0), 1);
+  EXPECT_EQ(alphabet.nearest_level(160.0), 1);
+  EXPECT_EQ(alphabet.nearest_level(10000.0), 4);
+}
+
+TEST(Alphabet, MinLevelSeparation) {
+  CytoAlphabet alphabet;
+  EXPECT_DOUBLE_EQ(alphabet.min_level_separation(), 150.0);
+}
+
+TEST(Alphabet, ValidateRejectsBloodCells) {
+  CytoAlphabet alphabet;
+  alphabet.bead_types.push_back(sim::ParticleType::kBloodCell);
+  EXPECT_THROW(alphabet.validate(), std::invalid_argument);
+}
+
+TEST(Alphabet, ValidateRejectsNonIncreasingLevels) {
+  CytoAlphabet alphabet;
+  alphabet.concentration_levels_per_ul = {0.0, 100.0, 100.0};
+  EXPECT_THROW(alphabet.validate(), std::invalid_argument);
+}
+
+TEST(Alphabet, ValidateRejectsDegenerate) {
+  CytoAlphabet alphabet;
+  alphabet.bead_types.clear();
+  EXPECT_THROW(alphabet.validate(), std::invalid_argument);
+  CytoAlphabet single;
+  single.concentration_levels_per_ul = {0.0};
+  EXPECT_THROW(single.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace medsen::auth

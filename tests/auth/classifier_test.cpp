@@ -1,0 +1,75 @@
+#include "auth/classifier.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::auth {
+namespace {
+
+TEST(Classifier, SeparatesThreeTypesCleanly) {
+  // Fig. 16: the three clusters have clear margins.
+  const auto classifier = ParticleClassifier::train({});
+  crypto::ChaChaRng rng(99);
+  dsp::ConfusionMatrix cm(sim::kParticleTypeCount);
+  const ClassifierConfig& config = classifier.config();
+  for (std::size_t t = 0; t < sim::kParticleTypeCount; ++t) {
+    for (int i = 0; i < 200; ++i) {
+      const auto example = ParticleClassifier::synth_example(
+          static_cast<sim::ParticleType>(t), config, rng);
+      cm.add(t, static_cast<std::size_t>(
+                    classifier.classify(example.features)));
+    }
+  }
+  EXPECT_GT(cm.accuracy(), 0.95) << cm.to_string();
+}
+
+TEST(Classifier, BloodVsBeadSeparationUsesHighFrequency) {
+  // A blood cell and a bead with similar 500 kHz amplitude are separable
+  // because the cell's response collapses at >= 2 MHz (Fig. 15).
+  ClassifierConfig config;
+  config.carriers_hz = {5.0e5, 2.5e6};
+  const auto classifier = ParticleClassifier::train(config);
+  // Nominal blood cell features.
+  sim::Particle cell{sim::ParticleType::kBloodCell, 7.0};
+  dsp::FeatureVector cell_features = {
+      sim::peak_contrast(cell, 5.0e5), sim::peak_contrast(cell, 2.5e6)};
+  EXPECT_EQ(classifier.classify(cell_features),
+            sim::ParticleType::kBloodCell);
+  // Same low-frequency amplitude but flat response -> must NOT be blood.
+  dsp::FeatureVector bead_like = {cell_features[0], cell_features[0]};
+  EXPECT_NE(classifier.classify(bead_like), sim::ParticleType::kBloodCell);
+}
+
+TEST(Classifier, MarginHighForNominalExamples) {
+  const auto classifier = ParticleClassifier::train({});
+  sim::Particle big{sim::ParticleType::kBead780, 7.8};
+  dsp::FeatureVector features;
+  for (double f : classifier.config().carriers_hz)
+    features.push_back(sim::peak_contrast(big, f));
+  EXPECT_GT(classifier.margin(features), 0.3);
+}
+
+TEST(Classifier, FeaturesOfDecodedPeakPassThrough) {
+  core::DecodedPeak peak;
+  peak.amplitudes = {0.001, 0.002};
+  EXPECT_EQ(ParticleClassifier::features_of(peak), peak.amplitudes);
+}
+
+TEST(Classifier, EmptyCarriersThrows) {
+  ClassifierConfig config;
+  config.carriers_hz.clear();
+  EXPECT_THROW(ParticleClassifier::train(config), std::invalid_argument);
+}
+
+TEST(Classifier, DeterministicForSeed) {
+  const auto a = ParticleClassifier::train({});
+  const auto b = ParticleClassifier::train({});
+  const auto& ca = a.model().centroids();
+  const auto& cb = b.model().centroids();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i)
+    for (std::size_t d = 0; d < ca[i].size(); ++d)
+      EXPECT_DOUBLE_EQ(ca[i][d], cb[i][d]);
+}
+
+}  // namespace
+}  // namespace medsen::auth

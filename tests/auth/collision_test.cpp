@@ -1,0 +1,95 @@
+#include "auth/collision.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::auth {
+namespace {
+
+TEST(Collision, NormalTailValues) {
+  EXPECT_NEAR(normal_tail(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_tail(1.96), 0.025, 1e-3);
+  EXPECT_LT(normal_tail(6.0), 1e-8);
+}
+
+TEST(Collision, LargerVolumeReducesConfusion) {
+  CytoAlphabet alphabet;
+  CollisionModel small_volume;
+  small_volume.volume_ul = 1.0;
+  CollisionModel large_volume;
+  large_volume.volume_ul = 20.0;
+  const auto a = analyze_collisions(alphabet, small_volume);
+  const auto b = analyze_collisions(alphabet, large_volume);
+  EXPECT_GT(a.per_character_confusion, b.per_character_confusion);
+}
+
+TEST(Collision, WiderLevelsReduceConfusion) {
+  CytoAlphabet dense;
+  dense.concentration_levels_per_ul = {0.0, 50.0, 100.0, 150.0, 200.0};
+  CytoAlphabet sparse;
+  sparse.concentration_levels_per_ul = {0.0, 200.0, 400.0, 600.0, 800.0};
+  CollisionModel model;
+  model.volume_ul = 2.0;
+  EXPECT_GT(analyze_collisions(dense, model).per_character_confusion,
+            analyze_collisions(sparse, model).per_character_confusion);
+}
+
+TEST(Collision, CodeErrorGrowsWithCharacters) {
+  CytoAlphabet two;
+  CytoAlphabet three = two;
+  three.bead_types.push_back(sim::ParticleType::kBead358);
+  // (Type duplication is fine for the arithmetic being tested; validation
+  // of physical realizability is a separate concern.)
+  CollisionModel model;
+  model.volume_ul = 2.0;
+  const auto a = analyze_collisions(two, model);
+  const auto b = analyze_collisions(three, model);
+  EXPECT_LT(a.code_error_probability, b.code_error_probability + 1e-12);
+}
+
+TEST(Collision, EffectiveEntropyAtMostNominal) {
+  CytoAlphabet alphabet;
+  CollisionModel model;
+  model.volume_ul = 3.0;
+  const auto analysis = analyze_collisions(alphabet, model);
+  EXPECT_LE(analysis.effective_entropy_bits,
+            analysis.nominal_entropy_bits + 1e-12);
+  EXPECT_GT(analysis.effective_entropy_bits, 0.0);
+}
+
+TEST(Collision, BirthdayBoundMonotone) {
+  CytoAlphabet alphabet;  // space 25
+  EXPECT_DOUBLE_EQ(birthday_collision_probability(alphabet, 0), 0.0);
+  EXPECT_DOUBLE_EQ(birthday_collision_probability(alphabet, 1), 0.0);
+  double prev = 0.0;
+  for (std::uint64_t users = 2; users <= 10; ++users) {
+    const double p = birthday_collision_probability(alphabet, users);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(birthday_collision_probability(alphabet, 25), 1.0);
+}
+
+TEST(Collision, RandomCollisionIsInverseSpace) {
+  CytoAlphabet alphabet;
+  CollisionModel model;
+  const auto analysis = analyze_collisions(alphabet, model);
+  EXPECT_NEAR(analysis.random_collision_probability, 1.0 / 25.0, 1e-12);
+}
+
+TEST(Collision, PaperObservationLowConcentrationsBetterResolution) {
+  // Paper Section VII-C: lower concentrations have less variance, so a
+  // low-level pair is harder to confuse than a high-level pair at the
+  // same separation. sigma ~ sqrt(c) => confusion grows with c.
+  CytoAlphabet low;
+  low.concentration_levels_per_ul = {0.0, 100.0, 200.0};
+  CytoAlphabet high;
+  high.concentration_levels_per_ul = {0.0, 700.0, 800.0};
+  CollisionModel model;
+  model.volume_ul = 2.0;
+  model.classifier_error = 0.0;
+  EXPECT_LT(analyze_collisions(low, model).per_character_confusion,
+            analyze_collisions(high, model).per_character_confusion);
+}
+
+}  // namespace
+}  // namespace medsen::auth

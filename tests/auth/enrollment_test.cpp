@@ -1,0 +1,97 @@
+#include "auth/enrollment.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::auth {
+namespace {
+
+CytoCode code_of(std::initializer_list<std::uint8_t> levels) {
+  CytoCode code;
+  code.levels = levels;
+  return code;
+}
+
+TEST(Enrollment, EnrollAndLookup) {
+  EnrollmentDatabase db{CytoAlphabet{}};
+  db.enroll("alice", code_of({1, 2}));
+  EXPECT_EQ(db.lookup(code_of({1, 2})), "alice");
+  EXPECT_EQ(db.lookup(code_of({2, 1})), std::nullopt);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(Enrollment, RejectsDuplicateCode) {
+  EnrollmentDatabase db{CytoAlphabet{}};
+  db.enroll("alice", code_of({1, 2}));
+  EXPECT_THROW(db.enroll("bob", code_of({1, 2})), std::invalid_argument);
+}
+
+TEST(Enrollment, RejectsDuplicateUser) {
+  EnrollmentDatabase db{CytoAlphabet{}};
+  db.enroll("alice", code_of({1, 2}));
+  EXPECT_THROW(db.enroll("alice", code_of({2, 2})), std::invalid_argument);
+}
+
+TEST(Enrollment, RejectsAllZeroCode) {
+  EnrollmentDatabase db{CytoAlphabet{}};
+  EXPECT_THROW(db.enroll("alice", code_of({0, 0})), std::invalid_argument);
+}
+
+TEST(Enrollment, RejectsMalformedCode) {
+  EnrollmentDatabase db{CytoAlphabet{}};
+  EXPECT_THROW(db.enroll("alice", code_of({1})), std::invalid_argument);
+  EXPECT_THROW(db.enroll("alice", code_of({1, 9})), std::invalid_argument);
+}
+
+TEST(Enrollment, EnrollRandomAvoidsCollisions) {
+  EnrollmentDatabase db{CytoAlphabet{}};
+  crypto::ChaChaRng rng(1);
+  std::vector<CytoCode> codes;
+  for (int i = 0; i < 20; ++i)
+    codes.push_back(db.enroll_random("user" + std::to_string(i), rng));
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    for (std::size_t j = i + 1; j < codes.size(); ++j)
+      EXPECT_FALSE(codes[i] == codes[j]);
+}
+
+TEST(Enrollment, EnrollRandomExhaustsSpaceGracefully) {
+  CytoAlphabet tiny;
+  tiny.concentration_levels_per_ul = {0.0, 200.0};  // space = 4, 3 usable
+  EnrollmentDatabase db{tiny};
+  crypto::ChaChaRng rng(2);
+  (void)db.enroll_random("a", rng);
+  (void)db.enroll_random("b", rng);
+  (void)db.enroll_random("c", rng);
+  EXPECT_THROW((void)db.enroll_random("d", rng), std::runtime_error);
+}
+
+TEST(Enrollment, MatchCensusFindsNearest) {
+  EnrollmentDatabase db{CytoAlphabet{}};
+  db.enroll("alice", code_of({1, 0}));  // 150, 0 per uL
+  db.enroll("bob", code_of({0, 2}));    // 0, 300 per uL
+  BeadCensus census;
+  census.volume_ul = 1.0;
+  census.counts = {140.0, 10.0};
+  const auto match = db.match_census(census);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->record.user_id, "alice");
+  EXPECT_LT(match->distance, 0.2);
+}
+
+TEST(Enrollment, MatchCensusEmptyDbIsNullopt) {
+  EnrollmentDatabase db{CytoAlphabet{}};
+  BeadCensus census;
+  census.volume_ul = 1.0;
+  census.counts = {0.0, 0.0};
+  EXPECT_FALSE(db.match_census(census).has_value());
+}
+
+TEST(Enrollment, RemoveUser) {
+  EnrollmentDatabase db{CytoAlphabet{}};
+  db.enroll("alice", code_of({1, 2}));
+  EXPECT_TRUE(db.remove("alice"));
+  EXPECT_FALSE(db.remove("alice"));
+  EXPECT_EQ(db.size(), 0u);
+}
+
+}  // namespace
+}  // namespace medsen::auth

@@ -1,0 +1,118 @@
+#include "auth/identifier.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::auth {
+namespace {
+
+TEST(Identifier, ToStringFormat) {
+  CytoCode code;
+  code.levels = {2, 0, 4};
+  EXPECT_EQ(code.to_string(), "2-0-4");
+}
+
+TEST(Identifier, EncodeMixtureSkipsAbsent) {
+  CytoAlphabet alphabet;
+  CytoCode code;
+  code.levels = {0, 2};  // first type absent, second at level 2 (300/uL)
+  const auto mixture = encode_mixture(alphabet, code);
+  ASSERT_EQ(mixture.size(), 1u);
+  EXPECT_EQ(mixture[0].type, sim::ParticleType::kBead780);
+  EXPECT_DOUBLE_EQ(mixture[0].concentration_per_ul, 300.0);
+}
+
+TEST(Identifier, EncodeRejectsMismatchedCode) {
+  CytoAlphabet alphabet;
+  CytoCode code;
+  code.levels = {1};
+  EXPECT_THROW(encode_mixture(alphabet, code), std::invalid_argument);
+  code.levels = {1, 99};
+  EXPECT_THROW(encode_mixture(alphabet, code), std::invalid_argument);
+}
+
+TEST(Identifier, DecodeCensusNearestLevels) {
+  CytoAlphabet alphabet;  // levels 0,150,300,500,750
+  BeadCensus census;
+  census.volume_ul = 2.0;
+  census.counts = {290.0, 1480.0};  // 145/uL -> level 1; 740/uL -> level 4
+  const CytoCode code = decode_census(alphabet, census);
+  EXPECT_EQ(code.levels[0], 1);
+  EXPECT_EQ(code.levels[1], 4);
+}
+
+TEST(Identifier, CensusDistanceZeroForExact) {
+  CytoAlphabet alphabet;
+  CytoCode code;
+  code.levels = {1, 3};
+  BeadCensus census;
+  census.volume_ul = 1.0;
+  census.counts = {150.0, 500.0};
+  EXPECT_NEAR(census_distance(alphabet, code, census), 0.0, 1e-12);
+}
+
+TEST(Identifier, CensusDistanceInDecodeMarginUnits) {
+  CytoAlphabet alphabet;  // levels 0,150,300,500,750
+  CytoCode code;
+  code.levels = {1, 0};
+  BeadCensus census;
+  census.volume_ul = 1.0;
+  // 75/uL off level 1 whose decode margin is 150/2 = 75 -> exactly 1.0
+  // (on the decoding boundary).
+  census.counts = {225.0, 0.0};
+  EXPECT_NEAR(census_distance(alphabet, code, census), 1.0, 1e-12);
+}
+
+TEST(Identifier, CensusDistanceUsesPerLevelMargin) {
+  CytoAlphabet alphabet;  // top level 750, nearest gap 250 -> margin 125
+  CytoCode code;
+  code.levels = {4, 0};
+  BeadCensus census;
+  census.volume_ul = 1.0;
+  census.counts = {687.5, 0.0};  // 62.5 off -> 0.5 margins
+  EXPECT_NEAR(census_distance(alphabet, code, census), 0.5, 1e-12);
+}
+
+TEST(Identifier, HammingDistance) {
+  CytoCode a, b;
+  a.levels = {1, 2, 3};
+  b.levels = {1, 0, 3};
+  EXPECT_EQ(hamming_distance(a, b), 1u);
+  EXPECT_EQ(hamming_distance(a, a), 0u);
+  b.levels = {0, 0};
+  EXPECT_THROW(hamming_distance(a, b), std::invalid_argument);
+}
+
+TEST(Identifier, RandomCodeNeverAllZero) {
+  CytoAlphabet alphabet;
+  crypto::ChaChaRng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const CytoCode code = random_code(alphabet, rng);
+    bool any = false;
+    for (auto level : code.levels) {
+      EXPECT_LT(level, alphabet.levels());
+      if (level != 0) any = true;
+    }
+    EXPECT_TRUE(any);
+  }
+}
+
+TEST(Identifier, EnumerateCodesCoversSpace) {
+  CytoAlphabet alphabet;
+  alphabet.concentration_levels_per_ul = {0.0, 100.0, 200.0};
+  const auto all = enumerate_codes(alphabet);
+  EXPECT_EQ(all.size(), 9u);  // 3^2
+  // All distinct.
+  for (std::size_t i = 0; i < all.size(); ++i)
+    for (std::size_t j = i + 1; j < all.size(); ++j)
+      EXPECT_FALSE(all[i] == all[j]);
+}
+
+TEST(Identifier, SerializationRoundTrip) {
+  CytoCode code;
+  code.levels = {0, 3, 1, 4};
+  const auto restored = deserialize_code(serialize_code(code));
+  EXPECT_EQ(restored, code);
+}
+
+}  // namespace
+}  // namespace medsen::auth

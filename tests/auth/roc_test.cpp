@@ -1,0 +1,63 @@
+#include "auth/roc.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::auth {
+namespace {
+
+// Well-separated populations: genuine distances cluster low, impostors
+// high.
+const std::vector<double> kGenuine = {0.1, 0.15, 0.2, 0.25, 0.3};
+const std::vector<double> kImpostor = {1.5, 1.8, 2.0, 2.5, 3.0};
+
+TEST(Roc, PerfectSeparationHasZeroEer) {
+  EXPECT_DOUBLE_EQ(equal_error_rate(kGenuine, kImpostor), 0.0);
+}
+
+TEST(Roc, PointAtThresholdCountsCorrectly) {
+  const auto point = roc_at(kGenuine, kImpostor, 0.2);
+  EXPECT_DOUBLE_EQ(point.far, 0.0);
+  EXPECT_DOUBLE_EQ(point.frr, 0.4);  // 0.25 and 0.3 rejected
+  const auto loose = roc_at(kGenuine, kImpostor, 2.0);
+  EXPECT_DOUBLE_EQ(loose.frr, 0.0);
+  EXPECT_DOUBLE_EQ(loose.far, 0.6);  // 1.5, 1.8, 2.0 accepted
+}
+
+TEST(Roc, CurveMonotonicity) {
+  const auto curve = roc_curve(kGenuine, kImpostor);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].threshold, curve[i - 1].threshold);
+    EXPECT_GE(curve[i].far, curve[i - 1].far);
+    EXPECT_LE(curve[i].frr, curve[i - 1].frr);
+  }
+}
+
+TEST(Roc, OverlappingPopulationsPositiveEer) {
+  const std::vector<double> genuine = {0.1, 0.3, 0.5, 0.7, 0.9};
+  const std::vector<double> impostor = {0.4, 0.6, 0.8, 1.0, 1.2};
+  const double eer = equal_error_rate(genuine, impostor);
+  EXPECT_GT(eer, 0.0);
+  EXPECT_LT(eer, 0.5);
+}
+
+TEST(Roc, IdenticalPopulationsEerIsHalf) {
+  const std::vector<double> same = {0.5, 0.6, 0.7, 0.8};
+  EXPECT_NEAR(equal_error_rate(same, same), 0.5, 0.15);
+}
+
+TEST(Roc, ThresholdForFrr) {
+  // FRR 0 requires accepting the largest genuine distance.
+  EXPECT_DOUBLE_EQ(threshold_for_frr(kGenuine, 0.0), 0.3);
+  // Tolerating 20% rejection drops the top sample.
+  EXPECT_DOUBLE_EQ(threshold_for_frr(kGenuine, 0.2), 0.25);
+  EXPECT_THROW(threshold_for_frr({}, 0.1), std::invalid_argument);
+}
+
+TEST(Roc, EmptyPopulationsAreSafe) {
+  const auto point = roc_at({}, {}, 1.0);
+  EXPECT_DOUBLE_EQ(point.far, 0.0);
+  EXPECT_DOUBLE_EQ(point.frr, 0.0);
+}
+
+}  // namespace
+}  // namespace medsen::auth

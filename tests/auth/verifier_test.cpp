@@ -1,0 +1,113 @@
+#include "auth/verifier.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::auth {
+namespace {
+
+/// Synthesize decoded peaks for a given bead census plus blood cells.
+std::vector<core::DecodedPeak> synth_peaks(
+    const ClassifierConfig& config, std::size_t small_beads,
+    std::size_t large_beads, std::size_t blood_cells, std::uint64_t seed) {
+  crypto::ChaChaRng rng(seed);
+  std::vector<core::DecodedPeak> peaks;
+  auto add = [&](sim::ParticleType type, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto example =
+          ParticleClassifier::synth_example(type, config, rng);
+      core::DecodedPeak peak;
+      peak.time_s = static_cast<double>(peaks.size()) * 0.1;
+      peak.width_s = 0.02;
+      peak.amplitudes = example.features;
+      peaks.push_back(std::move(peak));
+    }
+  };
+  add(sim::ParticleType::kBead358, small_beads);
+  add(sim::ParticleType::kBead780, large_beads);
+  add(sim::ParticleType::kBloodCell, blood_cells);
+  return peaks;
+}
+
+struct VerifierRig {
+  CytoAlphabet alphabet;
+  Verifier verifier{alphabet, ParticleClassifier::train({}), {}};
+  EnrollmentDatabase db{alphabet};
+};
+
+TEST(Verifier, CensusCountsBeadsNotBlood) {
+  VerifierRig rig;
+  const auto peaks =
+      synth_peaks(rig.verifier.classifier().config(), 30, 10, 100, 1);
+  const BeadCensus census = rig.verifier.census_from_peaks(peaks, 1.0);
+  ASSERT_EQ(census.counts.size(), 2u);
+  EXPECT_NEAR(census.counts[0], 30.0, 6.0);
+  EXPECT_NEAR(census.counts[1], 10.0, 4.0);
+}
+
+TEST(Verifier, AuthenticatesEnrolledUser) {
+  VerifierRig rig;
+  CytoCode code;
+  code.levels = {1, 2};  // 150/uL small, 300/uL large
+  rig.db.enroll("alice", code);
+  // 1 uL pumped: expect ~150 small, ~300 large beads.
+  const auto peaks =
+      synth_peaks(rig.verifier.classifier().config(), 150, 300, 400, 2);
+  const auto result = rig.verifier.authenticate_peaks(peaks, 1.0, rig.db);
+  EXPECT_TRUE(result.authenticated);
+  EXPECT_EQ(result.user_id, "alice");
+  EXPECT_EQ(result.decoded_code, code);
+}
+
+TEST(Verifier, RejectsWrongPassword) {
+  VerifierRig rig;
+  CytoCode code;
+  code.levels = {4, 4};  // 750/uL each
+  rig.db.enroll("alice", code);
+  // Submit a much weaker mixture.
+  const auto peaks =
+      synth_peaks(rig.verifier.classifier().config(), 150, 150, 200, 3);
+  const auto result = rig.verifier.authenticate_peaks(peaks, 1.0, rig.db);
+  EXPECT_FALSE(result.authenticated);
+  EXPECT_TRUE(result.user_id.empty());
+}
+
+TEST(Verifier, DistinguishesMultipleUsers) {
+  VerifierRig rig;
+  CytoCode alice_code, bob_code;
+  alice_code.levels = {1, 0};
+  bob_code.levels = {0, 2};
+  rig.db.enroll("alice", alice_code);
+  rig.db.enroll("bob", bob_code);
+
+  const auto alice_peaks =
+      synth_peaks(rig.verifier.classifier().config(), 150, 0, 300, 4);
+  const auto bob_peaks =
+      synth_peaks(rig.verifier.classifier().config(), 0, 300, 300, 5);
+  EXPECT_EQ(rig.verifier.authenticate_peaks(alice_peaks, 1.0, rig.db).user_id,
+            "alice");
+  EXPECT_EQ(rig.verifier.authenticate_peaks(bob_peaks, 1.0, rig.db).user_id,
+            "bob");
+}
+
+TEST(Verifier, IntegrityCheckMatchesStoredCode) {
+  VerifierRig rig;
+  CytoCode code;
+  code.levels = {1, 2};
+  BeadCensus census;
+  census.volume_ul = 1.0;
+  census.counts = {155.0, 290.0};
+  EXPECT_TRUE(rig.verifier.verify_integrity(census, code));
+  census.counts = {700.0, 290.0};
+  EXPECT_FALSE(rig.verifier.verify_integrity(census, code));
+}
+
+TEST(Verifier, EmptyPeaksGiveZeroCensus) {
+  VerifierRig rig;
+  const BeadCensus census = rig.verifier.census_from_peaks({}, 1.0);
+  for (double c : census.counts) EXPECT_DOUBLE_EQ(c, 0.0);
+  const auto result = rig.verifier.authenticate(census, rig.db);
+  EXPECT_FALSE(result.authenticated);
+}
+
+}  // namespace
+}  // namespace medsen::auth

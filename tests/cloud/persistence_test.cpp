@@ -1,0 +1,122 @@
+#include "cloud/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/fileio.h"
+
+namespace medsen::cloud {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const char* name) {
+    return std::string(::testing::TempDir()) + "/medsen_" + name;
+  }
+  void TearDown() override {
+    for (const auto& path : created_) std::remove(path.c_str());
+  }
+  std::string track(std::string path) {
+    created_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> created_;
+};
+
+auth::CytoCode code_of(std::initializer_list<std::uint8_t> levels) {
+  auth::CytoCode code;
+  code.levels = levels;
+  return code;
+}
+
+TEST_F(PersistenceTest, EnrollmentsRoundTrip) {
+  auth::EnrollmentDatabase db{auth::CytoAlphabet{}};
+  db.enroll("alice", code_of({1, 2}));
+  db.enroll("bob", code_of({3, 0}));
+  const auto path = track(temp_path("enroll.bin"));
+  save_enrollments(db, path);
+
+  const auto loaded = load_enrollments(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.lookup(code_of({1, 2})), "alice");
+  EXPECT_EQ(loaded.lookup(code_of({3, 0})), "bob");
+  EXPECT_EQ(loaded.alphabet().levels(), db.alphabet().levels());
+}
+
+TEST_F(PersistenceTest, CustomAlphabetSurvives) {
+  auth::CytoAlphabet alphabet;
+  alphabet.concentration_levels_per_ul = {0.0, 200.0, 600.0};
+  auth::EnrollmentDatabase db{alphabet};
+  db.enroll("carol", code_of({2, 1}));
+  const auto path = track(temp_path("enroll2.bin"));
+  save_enrollments(db, path);
+  const auto loaded = load_enrollments(path);
+  EXPECT_EQ(loaded.alphabet().levels(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.alphabet().concentration_levels_per_ul[2], 600.0);
+}
+
+TEST_F(PersistenceTest, RecordsRoundTrip) {
+  RecordStore store;
+  store.store(code_of({1, 1}), {10, {1, 2, 3}});
+  store.store(code_of({1, 1}), {11, {4}});
+  store.store(code_of({0, 2}), {12, {}});
+  const auto path = track(temp_path("records.bin"));
+  save_records(store, path);
+
+  const auto loaded = load_records(path);
+  EXPECT_EQ(loaded.record_count(), 3u);
+  EXPECT_EQ(loaded.fetch(code_of({1, 1})).size(), 2u);
+  EXPECT_EQ(loaded.latest(code_of({1, 1}))->session_id, 11u);
+  EXPECT_EQ(loaded.fetch(code_of({1, 1}))[0].encrypted_result,
+            (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST_F(PersistenceTest, EmptyStoresRoundTrip) {
+  const auto epath = track(temp_path("empty_enroll.bin"));
+  save_enrollments(auth::EnrollmentDatabase{auth::CytoAlphabet{}}, epath);
+  EXPECT_EQ(load_enrollments(epath).size(), 0u);
+
+  const auto rpath = track(temp_path("empty_records.bin"));
+  save_records(RecordStore{}, rpath);
+  EXPECT_EQ(load_records(rpath).record_count(), 0u);
+}
+
+TEST_F(PersistenceTest, CorruptedFileRejected) {
+  auth::EnrollmentDatabase db{auth::CytoAlphabet{}};
+  db.enroll("alice", code_of({1, 2}));
+  const auto path = track(temp_path("corrupt.bin"));
+  save_enrollments(db, path);
+  auto bytes = util::read_file(path);
+  bytes[bytes.size() / 2] ^= 0xFF;
+  util::write_file(path, bytes);
+  EXPECT_THROW((void)load_enrollments(path), std::runtime_error);
+}
+
+TEST_F(PersistenceTest, WrongMagicRejected) {
+  RecordStore store;
+  store.store(code_of({1, 1}), {1, {9}});
+  const auto path = track(temp_path("wrongmagic.bin"));
+  save_records(store, path);
+  // Records file loaded as enrollments must be refused.
+  EXPECT_THROW((void)load_enrollments(path), std::runtime_error);
+}
+
+TEST_F(PersistenceTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_records(temp_path("does_not_exist.bin")),
+               std::runtime_error);
+}
+
+TEST(FileIo, RoundTripAndExists) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/medsen_fileio.bin";
+  const std::vector<std::uint8_t> data = {0, 1, 255, 42};
+  util::write_file(path, data);
+  EXPECT_TRUE(util::file_exists(path));
+  EXPECT_EQ(util::read_file(path), data);
+  std::remove(path.c_str());
+  EXPECT_FALSE(util::file_exists(path));
+}
+
+}  // namespace
+}  // namespace medsen::cloud

@@ -1,0 +1,127 @@
+#include "cloud/server.h"
+
+#include "compress/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace medsen::cloud {
+namespace {
+
+const std::vector<std::uint8_t> kMacKey = {1, 2, 3, 4};
+
+CloudServer make_server() {
+  return CloudServer(AnalysisConfig{}, auth::CytoAlphabet{},
+                     auth::ParticleClassifier::train({}));
+}
+
+util::MultiChannelSeries dip_series(std::size_t dips) {
+  util::MultiChannelSeries series;
+  series.carrier_frequencies_hz = {5.0e5};
+  util::TimeSeries ts(450.0);
+  const std::size_t n = 4500 + dips * 450;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / 450.0;
+    double v = 1.0;
+    for (std::size_t d = 0; d < dips; ++d) {
+      const double z = (t - (5.0 + static_cast<double>(d))) / 0.008;
+      v *= 1.0 - 0.01 * std::exp(-0.5 * z * z);
+    }
+    // A grain of quantized (ADC-like) noise so the quality gate's
+    // stuck-ADC detector sees a live signal while the samples stay
+    // compressible.
+    v += 1e-5 * static_cast<double>(static_cast<int>((i * 7) % 11) - 5);
+    ts.push_back(v);
+  }
+  series.channels.push_back(std::move(ts));
+  return series;
+}
+
+net::Envelope upload_of(const util::MultiChannelSeries& series,
+                        std::uint64_t session) {
+  net::SignalUploadPayload payload;
+  payload.compressed = false;
+  payload.sample_rate_hz = 450.0;
+  payload.data = net::serialize_series(series);
+  return net::make_envelope(net::MessageType::kSignalUpload, session,
+                            payload.serialize(), kMacKey);
+}
+
+TEST(CloudServer, HandleUploadReturnsReport) {
+  auto server = make_server();
+  const auto response =
+      server.handle_upload(upload_of(dip_series(3), 5), kMacKey);
+  EXPECT_EQ(response.type, net::MessageType::kAnalysisResult);
+  EXPECT_EQ(response.session_id, 5u);
+  EXPECT_TRUE(net::verify_envelope(response, kMacKey));
+  const auto report = core::PeakReport::deserialize(response.payload);
+  EXPECT_EQ(report.reference_peak_count(), 3u);
+}
+
+TEST(CloudServer, RejectsBadMac) {
+  auto server = make_server();
+  auto upload = upload_of(dip_series(1), 1);
+  upload.payload[0] ^= 0xFF;
+  EXPECT_THROW(server.handle_upload(upload, kMacKey), std::runtime_error);
+}
+
+TEST(CloudServer, RejectsWrongMessageType) {
+  auto server = make_server();
+  const auto envelope =
+      net::make_envelope(net::MessageType::kProgress, 1, {}, kMacKey);
+  EXPECT_THROW(server.handle_upload(envelope, kMacKey), std::runtime_error);
+}
+
+TEST(CloudServer, CompressedUploadAccepted) {
+  auto server = make_server();
+  const auto series = dip_series(2);
+  net::SignalUploadPayload payload;
+  payload.compressed = true;
+  payload.sample_rate_hz = 450.0;
+  payload.data = compress::compress(net::serialize_series(series));
+  const auto upload = net::make_envelope(net::MessageType::kSignalUpload, 9,
+                                         payload.serialize(), kMacKey);
+  const auto response = server.handle_upload(upload, kMacKey);
+  const auto report = core::PeakReport::deserialize(response.payload);
+  EXPECT_EQ(report.reference_peak_count(), 2u);
+}
+
+TEST(CloudServer, QualityGateRejectsGarbage) {
+  auto server = make_server();
+  // A clipped/flat-lined acquisition must be refused, not analyzed.
+  util::MultiChannelSeries series;
+  series.carrier_frequencies_hz = {5.0e5};
+  series.channels.emplace_back(450.0, std::vector<double>(5000, 2.5));
+  net::SignalUploadPayload payload;
+  payload.data = net::serialize_series(series);
+  const auto upload = net::make_envelope(net::MessageType::kSignalUpload, 1,
+                                         payload.serialize(), kMacKey);
+  EXPECT_THROW(server.handle_upload(upload, kMacKey), std::runtime_error);
+  EXPECT_FALSE(server.last_quality().acceptable);
+
+  server.set_quality_gate(false);
+  EXPECT_NO_THROW(server.handle_upload(upload, kMacKey));
+}
+
+TEST(CloudServer, RecordStoreAccessible) {
+  auto server = make_server();
+  auth::CytoCode code;
+  code.levels = {1, 1};
+  server.store_result(code, {1, {0xCC}});
+  EXPECT_EQ(server.records().record_count(), 1u);
+}
+
+TEST(CloudServer, AuthDecisionForUnknownUserRejected) {
+  auto server = make_server();
+  // No enrollments: any census must fail authentication.
+  const auto response =
+      server.handle_auth(upload_of(dip_series(2), 3), 1.0, kMacKey);
+  EXPECT_EQ(response.type, net::MessageType::kAuthDecision);
+  const auto decision =
+      net::AuthDecisionPayload::deserialize(response.payload);
+  EXPECT_FALSE(decision.authenticated);
+}
+
+}  // namespace
+}  // namespace medsen::cloud

@@ -1,0 +1,56 @@
+#include "cloud/storage.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::cloud {
+namespace {
+
+auth::CytoCode code_of(std::initializer_list<std::uint8_t> levels) {
+  auth::CytoCode code;
+  code.levels = levels;
+  return code;
+}
+
+TEST(RecordStore, StoreAndFetch) {
+  RecordStore store;
+  store.store(code_of({1, 2}), {10, {0xAA}});
+  store.store(code_of({1, 2}), {11, {0xBB}});
+  const auto records = store.fetch(code_of({1, 2}));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].session_id, 10u);
+  EXPECT_EQ(records[1].session_id, 11u);
+}
+
+TEST(RecordStore, UnknownIdentifierEmpty) {
+  RecordStore store;
+  EXPECT_TRUE(store.fetch(code_of({3, 3})).empty());
+  EXPECT_FALSE(store.latest(code_of({3, 3})).has_value());
+}
+
+TEST(RecordStore, LatestReturnsNewest) {
+  RecordStore store;
+  store.store(code_of({0, 1}), {1, {}});
+  store.store(code_of({0, 1}), {2, {}});
+  const auto latest = store.latest(code_of({0, 1}));
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->session_id, 2u);
+}
+
+TEST(RecordStore, IdentifiersIsolated) {
+  RecordStore store;
+  store.store(code_of({1, 0}), {1, {}});
+  store.store(code_of({0, 1}), {2, {}});
+  EXPECT_EQ(store.identifier_count(), 2u);
+  EXPECT_EQ(store.record_count(), 2u);
+  EXPECT_EQ(store.fetch(code_of({1, 0})).size(), 1u);
+}
+
+TEST(RecordStore, BlobContentPreserved) {
+  RecordStore store;
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 255};
+  store.store(code_of({2, 2}), {7, blob});
+  EXPECT_EQ(store.latest(code_of({2, 2}))->encrypted_result, blob);
+}
+
+}  // namespace
+}  // namespace medsen::cloud

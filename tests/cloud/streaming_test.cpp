@@ -1,0 +1,114 @@
+#include "cloud/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/chacha20.h"
+#include "sim/signal_synth.h"
+
+namespace medsen::cloud {
+namespace {
+
+/// Long drifting signal with dips at known times.
+std::vector<double> long_signal(std::size_t n, const std::vector<double>& at,
+                                double rate, std::uint64_t seed) {
+  crypto::ChaChaRng rng(seed);
+  std::vector<double> depth(n, 0.0);
+  for (double center : at)
+    sim::add_gaussian_pulse(depth, rate, 0.0, center, 0.010, 0.01);
+  sim::DriftConfig drift;
+  auto xs = sim::synth_baseline(n, rate, 0.0, drift, rng);
+  for (std::size_t i = 0; i < n; ++i) xs[i] *= 1.0 - depth[i];
+  sim::add_white_noise(xs, 8e-5, rng);
+  return xs;
+}
+
+TEST(Streaming, MatchesBatchOnLongSignal) {
+  const double rate = 450.0;
+  std::vector<double> centers;
+  for (int k = 0; k < 60; ++k) centers.push_back(5.0 + k * 9.7);
+  const std::size_t n = 300000;  // ~11 minutes
+  const auto xs = long_signal(n, centers, rate, 5);
+
+  // Batch reference.
+  const auto batch_peaks =
+      dsp::detect_peaks(dsp::detrend(xs), rate, 0.0);
+
+  // Streaming in awkward chunk sizes.
+  StreamingAnalyzer analyzer(rate);
+  std::size_t pos = 0;
+  crypto::ChaChaRng rng(6);
+  while (pos < xs.size()) {
+    const std::size_t step = std::min<std::size_t>(
+        1 + rng.uniform(30000), xs.size() - pos);
+    analyzer.push(std::span<const double>(xs.data() + pos, step));
+    pos += step;
+  }
+  const auto streamed = analyzer.finish();
+
+  EXPECT_EQ(streamed.size(), centers.size());
+  ASSERT_EQ(batch_peaks.size(), streamed.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i)
+    EXPECT_NEAR(streamed[i].time_s, batch_peaks[i].time_s, 0.01) << i;
+}
+
+TEST(Streaming, PeaksOnChunkBoundariesNotLostOrDoubled) {
+  const double rate = 450.0;
+  StreamingConfig config;
+  config.chunk_samples = 4096;
+  config.overlap_samples = 256;
+  // Plant peaks exactly at multiples of the chunk boundary time.
+  std::vector<double> centers;
+  for (int k = 1; k <= 10; ++k)
+    centers.push_back(static_cast<double>(k) * 4096.0 / rate);
+  const auto xs = long_signal(50000, centers, rate, 7);
+
+  StreamingAnalyzer analyzer(rate, config);
+  analyzer.push(xs);
+  const auto peaks = analyzer.finish();
+  EXPECT_EQ(peaks.size(), centers.size());
+}
+
+TEST(Streaming, BoundedMemorySmallChunks) {
+  StreamingConfig config;
+  config.chunk_samples = 2048;
+  config.overlap_samples = 128;
+  StreamingAnalyzer analyzer(450.0, config);
+  const auto xs = long_signal(100000, {50.0, 120.0}, 450.0, 8);
+  for (std::size_t pos = 0; pos < xs.size(); pos += 100)
+    analyzer.push(std::span<const double>(
+        xs.data() + pos, std::min<std::size_t>(100, xs.size() - pos)));
+  const auto peaks = analyzer.finish();
+  EXPECT_EQ(peaks.size(), 2u);
+}
+
+TEST(Streaming, ReusableAfterFinish) {
+  const double rate = 450.0;
+  StreamingAnalyzer analyzer(rate);
+  const auto first = long_signal(20000, {10.0}, rate, 9);
+  analyzer.push(first);
+  EXPECT_EQ(analyzer.finish().size(), 1u);
+
+  const auto second = long_signal(20000, {20.0, 30.0}, rate, 10);
+  analyzer.push(second);
+  const auto peaks = analyzer.finish();
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_NEAR(peaks[0].time_s, 20.0, 0.05);
+}
+
+TEST(Streaming, EmptyRunYieldsNothing) {
+  StreamingAnalyzer analyzer(450.0);
+  EXPECT_TRUE(analyzer.finish().empty());
+}
+
+TEST(Streaming, RejectsBadConfig) {
+  EXPECT_THROW(StreamingAnalyzer(0.0), std::invalid_argument);
+  StreamingConfig config;
+  config.chunk_samples = 100;
+  config.overlap_samples = 60;
+  EXPECT_THROW(StreamingAnalyzer(450.0, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace medsen::cloud

@@ -1,0 +1,48 @@
+#include "compress/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace medsen::compress {
+namespace {
+
+std::span<const std::uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32, CheckValue123456789) {
+  // The standard CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(crc32(as_bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  std::uint32_t state = crc32_init();
+  for (char c : msg) {
+    const auto byte = static_cast<std::uint8_t>(c);
+    state = crc32_update(state, std::span<const std::uint8_t>(&byte, 1));
+  }
+  EXPECT_EQ(crc32_final(state), crc32(as_bytes(msg)));
+}
+
+TEST(Crc32, SingleBitFlipChangesChecksum) {
+  std::vector<std::uint8_t> data(100, 0x55);
+  const auto original = crc32(data);
+  data[50] ^= 0x01;
+  EXPECT_NE(crc32(data), original);
+}
+
+TEST(Crc32, OrderSensitive) {
+  const std::vector<std::uint8_t> ab = {'a', 'b'};
+  const std::vector<std::uint8_t> ba = {'b', 'a'};
+  EXPECT_NE(crc32(ab), crc32(ba));
+}
+
+}  // namespace
+}  // namespace medsen::compress

@@ -1,0 +1,109 @@
+#include "compress/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <numeric>
+
+#include "crypto/chacha20.h"
+
+namespace medsen::compress {
+namespace {
+
+TEST(Huffman, LengthsSatisfyKraft) {
+  std::vector<std::uint64_t> freqs = {100, 50, 25, 12, 6, 3, 1, 1};
+  const auto lengths = huffman_code_lengths(freqs);
+  double kraft = 0.0;
+  for (auto len : lengths)
+    if (len > 0) kraft += std::pow(2.0, -static_cast<double>(len));
+  EXPECT_NEAR(kraft, 1.0, 1e-12);
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes) {
+  std::vector<std::uint64_t> freqs = {1000, 10, 10, 10};
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_LT(lengths[0], lengths[1]);
+}
+
+TEST(Huffman, ZeroFrequencySymbolsAbsent) {
+  std::vector<std::uint64_t> freqs = {5, 0, 5};
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_EQ(lengths[1], 0);
+  EXPECT_GT(lengths[0], 0);
+}
+
+TEST(Huffman, SingleSymbolGetsLengthOne) {
+  std::vector<std::uint64_t> freqs = {0, 7, 0};
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_EQ(lengths[1], 1);
+}
+
+TEST(Huffman, AllZeroFrequencies) {
+  std::vector<std::uint64_t> freqs = {0, 0, 0};
+  const auto lengths = huffman_code_lengths(freqs);
+  for (auto len : lengths) EXPECT_EQ(len, 0);
+}
+
+TEST(Huffman, RespectsMaxCodeLength) {
+  // Fibonacci-like frequencies force deep trees; lengths must be capped.
+  std::vector<std::uint64_t> freqs;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 40; ++i) {
+    freqs.push_back(a);
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lengths = huffman_code_lengths(freqs);
+  for (auto len : lengths) EXPECT_LE(len, kMaxCodeLength);
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  std::vector<std::uint64_t> freqs = {50, 30, 10, 5, 3, 2};
+  const auto lengths = huffman_code_lengths(freqs);
+  const HuffmanEncoder encoder(build_codes(lengths));
+  const HuffmanDecoder decoder(lengths);
+
+  crypto::ChaChaRng rng(17);
+  std::vector<std::uint16_t> symbols;
+  BitWriter w;
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = static_cast<std::uint16_t>(rng.uniform(6));
+    symbols.push_back(s);
+    encoder.encode(w, s);
+  }
+  const auto buf = w.finish();
+  BitReader r(buf);
+  for (auto expected : symbols) EXPECT_EQ(decoder.decode(r), expected);
+}
+
+TEST(Huffman, EncodingAbsentSymbolThrows) {
+  std::vector<std::uint64_t> freqs = {5, 0, 5};
+  const auto lengths = huffman_code_lengths(freqs);
+  const HuffmanEncoder encoder(build_codes(lengths));
+  BitWriter w;
+  EXPECT_THROW(encoder.encode(w, 1), std::runtime_error);
+}
+
+TEST(Huffman, CompressionBeatsFixedWidth) {
+  // Skewed distribution: entropy ~1.16 bits << 3 fixed bits.
+  std::vector<std::uint64_t> freqs = {800, 100, 50, 25, 12, 6, 4, 3};
+  const auto lengths = huffman_code_lengths(freqs);
+  const HuffmanEncoder encoder(build_codes(lengths));
+  BitWriter w;
+  for (std::size_t s = 0; s < freqs.size(); ++s)
+    for (std::uint64_t i = 0; i < freqs[s]; ++i)
+      encoder.encode(w, static_cast<std::uint16_t>(s));
+  const std::uint64_t total =
+      std::accumulate(freqs.begin(), freqs.end(), std::uint64_t{0});
+  EXPECT_LT(w.bit_count(), total * 2);  // < 2 bits/symbol average
+}
+
+TEST(Huffman, DecoderRejectsOverlongLengths) {
+  std::vector<std::uint8_t> lengths = {16};
+  EXPECT_THROW(HuffmanDecoder{lengths}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace medsen::compress

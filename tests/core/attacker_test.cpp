@@ -1,0 +1,207 @@
+#include "core/attacker.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/analysis_service.h"
+#include "core/decryptor.h"
+#include "core/encryptor.h"
+
+namespace medsen::core {
+namespace {
+
+struct AttackRig {
+  sim::ElectrodeArrayDesign design = sim::standard_design(9);
+  sim::ChannelConfig channel;
+  sim::AcquisitionConfig acquisition;
+  KeyParams key_params;
+
+  AttackRig() {
+    channel.loss.enabled = false;
+    acquisition.carriers_hz = {5.0e5};
+    acquisition.noise_sigma = 5e-5;
+    acquisition.drift.slow_amplitude = 0.002;
+    acquisition.drift.random_walk_sigma = 1e-6;
+    key_params.num_electrodes = 9;
+    key_params.period_s = 3.0;
+    key_params.min_active_electrodes = 2;
+    key_params.gain_min = 0.8;
+    key_params.gain_max = 1.6;
+  }
+
+  struct Run {
+    PeakReport report;
+    std::size_t truth = 0;
+    KeySchedule schedule{KeyParams{}, {TimedKey{}}};
+  };
+
+  Run run(std::uint64_t seed) {
+    SensorEncryptor encryptor(design, channel, acquisition);
+    crypto::ChaChaRng rng(seed);
+    auto schedule = KeySchedule::generate(key_params, 45.0, rng);
+    sim::SampleSpec sample;
+    sample.components = {{sim::ParticleType::kBead780, 120.0}};
+    const auto enc = encryptor.acquire(sample, schedule, 45.0, seed + 1);
+    cloud::AnalysisService service;
+    Run out;
+    out.report = service.analyze(enc.signals);
+    out.truth = enc.truth.total_particles();
+    out.schedule = std::move(schedule);
+    return out;
+  }
+};
+
+TEST(Attacker, NaiveCountGrosslyOverestimates) {
+  AttackRig rig;
+  const auto run = rig.run(100);
+  NaiveCountAttacker attacker;
+  const double estimate = attacker.estimate_count(run.report);
+  EXPECT_GT(estimate, 2.0 * static_cast<double>(run.truth));
+}
+
+TEST(Attacker, DecryptorBeatsAllAttackers) {
+  AttackRig rig;
+  const auto run = rig.run(200);
+  const auto decoded =
+      decrypt_report(run.report, run.schedule, rig.design, 45.0);
+  const double truth = static_cast<double>(run.truth);
+  const double legit_error =
+      recovery_error(decoded.estimated_count, truth);
+  for (auto& attacker : standard_attackers(rig.design)) {
+    const double error =
+        recovery_error(attacker->estimate_count(run.report), truth);
+    EXPECT_GT(error, legit_error) << attacker->name();
+  }
+}
+
+TEST(Attacker, RecoveryErrorMetric) {
+  EXPECT_DOUBLE_EQ(recovery_error(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(recovery_error(150.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(recovery_error(50.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(recovery_error(5.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(recovery_error(0.0, 0.0), 0.0);
+}
+
+TEST(Attacker, StandardSetHasSixStrategies) {
+  const auto attackers = standard_attackers(sim::standard_design(9));
+  ASSERT_EQ(attackers.size(), 6u);
+  EXPECT_EQ(attackers[0]->name(), "naive-count");
+  EXPECT_EQ(attackers[1]->name(), "division");
+  EXPECT_EQ(attackers[2]->name(), "amplitude-signature");
+  EXPECT_EQ(attackers[3]->name(), "width-signature");
+  EXPECT_EQ(attackers[4]->name(), "gap-cluster");
+  EXPECT_EQ(attackers[5]->name(), "periodic-train");
+}
+
+TEST(Attacker, PeriodicTrainCountsUniformTrains) {
+  // Two cells, each a train of 5 peaks at a uniform 11 ms interval,
+  // separated by a long gap: the attacker recovers 2 cells.
+  PeakReport report;
+  ChannelPeaks ch;
+  ch.carrier_hz = 5.0e5;
+  for (int cell = 0; cell < 2; ++cell)
+    for (int k = 0; k < 5; ++k)
+      ch.peaks.push_back({cell * 3.0 + k * 0.011, 0.01, 0.02, 0});
+  report.channels.push_back(ch);
+  PeriodicTrainAttacker attacker;
+  EXPECT_DOUBLE_EQ(attacker.estimate_count(report), 2.0);
+}
+
+TEST(Attacker, PeriodicTrainDefeatedByHeterogeneousIntervals) {
+  // Same two cells but intra-train intervals alternate 11/45 ms (the
+  // avoid-successive-electrodes countermeasure): the chains break and
+  // the attacker badly overcounts.
+  PeakReport report;
+  ChannelPeaks ch;
+  ch.carrier_hz = 5.0e5;
+  for (int cell = 0; cell < 2; ++cell) {
+    double t = cell * 3.0;
+    for (int k = 0; k < 6; ++k) {
+      ch.peaks.push_back({t, 0.01, 0.02, 0});
+      t += (k % 2 == 0) ? 0.011 : 0.045;
+    }
+  }
+  report.channels.push_back(ch);
+  PeriodicTrainAttacker attacker;
+  EXPECT_GT(attacker.estimate_count(report), 4.0);
+}
+
+TEST(Attacker, GapClusterCountsTrains) {
+  // Three tight trains of 5 peaks each, long gaps between trains.
+  PeakReport report;
+  ChannelPeaks ch;
+  ch.carrier_hz = 5.0e5;
+  for (int train = 0; train < 3; ++train)
+    for (int k = 0; k < 5; ++k)
+      ch.peaks.push_back({train * 2.0 + k * 0.01, 0.01, 0.02, 0});
+  report.channels.push_back(ch);
+  GapClusterAttacker attacker;
+  EXPECT_DOUBLE_EQ(attacker.estimate_count(report), 3.0);
+}
+
+TEST(Attacker, GapClusterConfusedByIrregularSpacing) {
+  // Peaks spread with comparable intra/inter gaps give no clean trains.
+  PeakReport report;
+  ChannelPeaks ch;
+  ch.carrier_hz = 5.0e5;
+  double t = 0.0;
+  for (int i = 0; i < 15; ++i) {
+    t += 0.05 + 0.04 * (i % 3);
+    ch.peaks.push_back({t, 0.01, 0.02, 0});
+  }
+  report.channels.push_back(ch);
+  GapClusterAttacker attacker;
+  // 15 peaks from (say) 3 cells, but no gap exceeds 3x the median.
+  EXPECT_LT(attacker.estimate_count(report), 3.0);
+}
+
+TEST(Attacker, DivisionAttackerUsesAllOnFactor) {
+  const auto design = sim::standard_design(9);
+  DivisionAttacker attacker(design);
+  PeakReport report;
+  ChannelPeaks ch;
+  ch.carrier_hz = 5.0e5;
+  ch.peaks.assign(17, dsp::Peak{});
+  report.channels.push_back(ch);
+  // 17 peaks / factor 17 = 1 particle.
+  EXPECT_DOUBLE_EQ(attacker.estimate_count(report), 1.0);
+}
+
+TEST(Attacker, AmplitudeSignatureDefeatedByGains) {
+  // Same amplitudes -> clusters collapse; random gains -> many clusters.
+  PeakReport uniform;
+  ChannelPeaks ch;
+  ch.carrier_hz = 5.0e5;
+  for (int i = 0; i < 10; ++i) ch.peaks.push_back({0.1 * i, 0.01, 0.02, 0});
+  uniform.channels.push_back(ch);
+  AmplitudeSignatureAttacker attacker(0.1);
+  EXPECT_DOUBLE_EQ(attacker.estimate_count(uniform), 1.0);
+
+  PeakReport gained;
+  ChannelPeaks ch2;
+  ch2.carrier_hz = 5.0e5;
+  for (int i = 0; i < 10; ++i)
+    ch2.peaks.push_back({0.1 * i, 0.01 * (1.0 + 0.5 * (i % 2)), 0.02, 0});
+  gained.channels.push_back(ch2);
+  EXPECT_GT(attacker.estimate_count(gained), 5.0);
+}
+
+TEST(Attacker, WidthSignatureDefeatedByFlowModulation) {
+  PeakReport uniform;
+  ChannelPeaks ch;
+  ch.carrier_hz = 5.0e5;
+  for (int i = 0; i < 8; ++i) ch.peaks.push_back({0.1 * i, 0.01, 0.02, 0});
+  uniform.channels.push_back(ch);
+  WidthSignatureAttacker attacker(0.1);
+  EXPECT_DOUBLE_EQ(attacker.estimate_count(uniform), 1.0);
+
+  PeakReport modulated;
+  ChannelPeaks ch2;
+  ch2.carrier_hz = 5.0e5;
+  for (int i = 0; i < 8; ++i)
+    ch2.peaks.push_back({0.1 * i, 0.01, 0.02 * (1.0 + 0.6 * (i % 2)), 0});
+  modulated.channels.push_back(ch2);
+  EXPECT_GT(attacker.estimate_count(modulated), 4.0);
+}
+
+}  // namespace
+}  // namespace medsen::core

@@ -1,0 +1,94 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::core {
+namespace {
+
+Controller make_controller(std::uint64_t seed = 1) {
+  KeyParams params;
+  params.num_electrodes = 9;
+  params.period_s = 2.0;
+  return Controller(params, sim::standard_design(9),
+                    DiagnosticProfile::cd4_staging(), seed);
+}
+
+TEST(Controller, RejectsMismatchedDesign) {
+  KeyParams params;
+  params.num_electrodes = 5;
+  EXPECT_THROW(Controller(params, sim::standard_design(9),
+                          DiagnosticProfile::cd4_staging(), 1),
+               std::invalid_argument);
+}
+
+TEST(Controller, BeginSessionReturnsControlTrace) {
+  auto controller = make_controller();
+  const auto trace = controller.begin_session(10.0);
+  EXPECT_EQ(trace.size(), 5u);  // 10 s / 2 s periods
+  EXPECT_TRUE(controller.session_active());
+}
+
+TEST(Controller, OperationsBeforeSessionThrow) {
+  auto controller = make_controller();
+  EXPECT_FALSE(controller.session_active());
+  EXPECT_THROW(controller.session_volume_ul(), std::logic_error);
+  EXPECT_THROW(controller.session_key_bits(), std::logic_error);
+  EXPECT_THROW(controller.decrypt(PeakReport{}), std::logic_error);
+}
+
+TEST(Controller, SessionVolumeIntegratesFlow) {
+  auto controller = make_controller();
+  (void)controller.begin_session(60.0);
+  const double volume = controller.session_volume_ul();
+  const auto& params = controller.key_params();
+  EXPECT_GE(volume, params.flow_min_ul_min * 1.0 - 1e-9);
+  EXPECT_LE(volume, params.flow_max_ul_min * 1.0 + 1e-9);
+}
+
+TEST(Controller, KeyBitsMatchScheduleFormula) {
+  auto controller = make_controller();
+  (void)controller.begin_session(10.0);
+  // 5 keys x (9 + 9*4 + 4) = 5 * 49.
+  EXPECT_EQ(controller.session_key_bits(), 5u * 49u);
+}
+
+TEST(Controller, FreshKeysPerSession) {
+  auto controller = make_controller();
+  (void)controller.begin_session(10.0);
+  const auto first =
+      controller.session_key_schedule_for_testing().serialize();
+  (void)controller.begin_session(10.0);
+  const auto second =
+      controller.session_key_schedule_for_testing().serialize();
+  EXPECT_NE(first, second);
+}
+
+TEST(Controller, PlaintextSessionSingleSegment) {
+  auto controller = make_controller();
+  const auto trace = controller.begin_plaintext_session(30.0);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(Controller, DifferentSeedsDifferentSchedules) {
+  auto a = make_controller(1);
+  auto b = make_controller(2);
+  (void)a.begin_session(10.0);
+  (void)b.begin_session(10.0);
+  EXPECT_NE(a.session_key_schedule_for_testing().serialize(),
+            b.session_key_schedule_for_testing().serialize());
+}
+
+TEST(Controller, ConcludeOnEmptyReportGivesAlertDiagnosis) {
+  auto controller = make_controller();
+  (void)controller.begin_session(10.0);
+  PeakReport report;
+  ChannelPeaks ch;
+  ch.carrier_hz = 5.0e5;
+  report.channels.push_back(ch);
+  const Diagnosis d = controller.conclude(report);
+  EXPECT_DOUBLE_EQ(d.estimated_count, 0.0);
+  EXPECT_TRUE(d.alert);  // zero CD4 count is the severe band
+}
+
+}  // namespace
+}  // namespace medsen::core

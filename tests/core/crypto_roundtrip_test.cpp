@@ -1,0 +1,175 @@
+// The central correctness property of MedSen's contribution: an encrypted
+// acquisition analyzed by the (key-less) cloud and then decoded with the
+// key schedule recovers the true particle count, while the raw ciphertext
+// peak count is inflated by the key-dependent multiplication factor.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/analysis_service.h"
+#include "core/decryptor.h"
+#include "core/encryptor.h"
+#include "util/stats.h"
+
+namespace medsen::core {
+namespace {
+
+struct Rig {
+  sim::ElectrodeArrayDesign design = sim::standard_design(9);
+  sim::ChannelConfig channel;
+  sim::AcquisitionConfig acquisition;
+  KeyParams key_params;
+
+  Rig() {
+    channel.loss.enabled = false;
+    acquisition.carriers_hz = {5.0e5, 2.0e6};
+    acquisition.noise_sigma = 5e-5;
+    acquisition.drift.slow_amplitude = 0.002;
+    acquisition.drift.random_walk_sigma = 1e-6;
+    key_params.num_electrodes = 9;
+    key_params.period_s = 4.0;
+    // Moderate gains keep every encrypted peak detectable in this rig.
+    key_params.gain_min = 0.8;
+    key_params.gain_max = 1.6;
+  }
+};
+
+TEST(CryptoRoundTrip, DecryptedCountMatchesGroundTruth) {
+  Rig rig;
+  SensorEncryptor encryptor(rig.design, rig.channel, rig.acquisition);
+  crypto::ChaChaRng rng(1234);
+  const auto schedule = KeySchedule::generate(rig.key_params, 60.0, rng);
+
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead780, 120.0}};
+  const auto enc = encryptor.acquire(sample, schedule, 60.0, 555);
+  ASSERT_GT(enc.truth.total_particles(), 5u);
+
+  cloud::AnalysisService service;
+  const PeakReport report = service.analyze(enc.signals);
+  const DecryptionResult decoded =
+      decrypt_report(report, schedule, rig.design, 60.0);
+
+  const double truth = static_cast<double>(enc.truth.total_particles());
+  EXPECT_NEAR(decoded.estimated_count, truth, std::max(2.0, truth * 0.15));
+}
+
+TEST(CryptoRoundTrip, CiphertextCountInflated) {
+  Rig rig;
+  rig.key_params.min_active_electrodes = 4;  // force heavy multiplication
+  SensorEncryptor encryptor(rig.design, rig.channel, rig.acquisition);
+  crypto::ChaChaRng rng(77);
+  const auto schedule = KeySchedule::generate(rig.key_params, 30.0, rng);
+
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead780, 120.0}};
+  const auto enc = encryptor.acquire(sample, schedule, 30.0, 321);
+  cloud::AnalysisService service;
+  const PeakReport report = service.analyze(enc.signals);
+
+  // The server sees far more peaks than particles (paper Section IV-A).
+  EXPECT_GT(report.reference_peak_count(),
+            3 * enc.truth.total_particles());
+}
+
+TEST(CryptoRoundTrip, PerPeriodMultiplicationFactorsUsed) {
+  Rig rig;
+  SensorEncryptor encryptor(rig.design, rig.channel, rig.acquisition);
+  crypto::ChaChaRng rng(5);
+  const auto schedule = KeySchedule::generate(rig.key_params, 20.0, rng);
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead780, 150.0}};
+  const auto enc = encryptor.acquire(sample, schedule, 20.0, 99);
+  cloud::AnalysisService service;
+  const PeakReport report = service.analyze(enc.signals);
+  const DecryptionResult decoded =
+      decrypt_report(report, schedule, rig.design, 20.0);
+  ASSERT_EQ(decoded.periods.size(), schedule.keys().size());
+  for (std::size_t i = 0; i < decoded.periods.size(); ++i) {
+    EXPECT_EQ(decoded.periods[i].multiplication,
+              rig.design.peaks_per_particle(
+                  schedule.keys()[i].key.electrodes));
+  }
+}
+
+TEST(CryptoRoundTrip, WrongKeyDecodesWrongCount) {
+  Rig rig;
+  rig.key_params.min_active_electrodes = 5;
+  SensorEncryptor encryptor(rig.design, rig.channel, rig.acquisition);
+  crypto::ChaChaRng rng(42);
+  const auto schedule = KeySchedule::generate(rig.key_params, 30.0, rng);
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead780, 150.0}};
+  const auto enc = encryptor.acquire(sample, schedule, 30.0, 888);
+  cloud::AnalysisService service;
+  const PeakReport report = service.analyze(enc.signals);
+
+  // Decode with an unrelated key schedule of mostly single electrodes:
+  // the estimate should be far off the truth.
+  KeyParams weak = rig.key_params;
+  weak.min_active_electrodes = 1;
+  crypto::ChaChaRng other(4242);
+  KeyParams single = weak;
+  single.num_electrodes = 9;
+  auto wrong = KeySchedule::plaintext(single, 30.0);
+  const auto bad = decrypt_report(report, wrong, rig.design, 30.0);
+  const auto good = decrypt_report(report, schedule, rig.design, 30.0);
+  const double truth = static_cast<double>(enc.truth.total_particles());
+  EXPECT_GT(std::abs(bad.estimated_count - truth),
+            3.0 * std::abs(good.estimated_count - truth) + 1.0);
+}
+
+TEST(CryptoRoundTrip, WidthCorrectionTracksFlow) {
+  Rig rig;
+  // Stay in the flow range where peak width is transit-limited rather
+  // than floored by the lock-in's 120 Hz output filter; above that the
+  // width concealment is even stronger but no longer invertible.
+  rig.key_params.flow_min_ul_min = 0.05;
+  rig.key_params.flow_max_ul_min = 0.10;
+  SensorEncryptor encryptor(rig.design, rig.channel, rig.acquisition);
+  crypto::ChaChaRng rng(8);
+  const auto schedule = KeySchedule::generate(rig.key_params, 40.0, rng);
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead780, 80.0}};
+  const auto enc = encryptor.acquire(sample, schedule, 40.0, 17);
+  cloud::AnalysisService service;
+  const PeakReport report = service.analyze(enc.signals);
+  const auto decoded = decrypt_report(report, schedule, rig.design, 40.0);
+
+  // Corrected widths should be less dispersed than raw ciphertext widths.
+  std::vector<double> raw, corrected;
+  for (const auto& p : report.nearest_channel(5e5).peaks)
+    raw.push_back(p.width_s);
+  for (const auto& p : decoded.peaks) corrected.push_back(p.width_s);
+  ASSERT_GT(corrected.size(), 4u);
+  const double raw_cv = util::stddev(raw) / util::mean(raw);
+  const double corr_cv = util::stddev(corrected) / util::mean(corrected);
+  EXPECT_LT(corr_cv, raw_cv * 1.05);
+}
+
+TEST(ExpectedGain, WeightsLeadSingly) {
+  const auto design = sim::standard_design(9);
+  KeyParams p;
+  p.num_electrodes = 9;
+  SensorKey key;
+  key.electrodes = 0b11;  // lead (0) + electrode 1
+  key.gain_codes.assign(9, 0);
+  key.gain_codes[0] = 15;  // lead at gain_max
+  key.gain_codes[1] = 0;   // other at gain_min
+  // lead weight 1, other weight 2 -> (gmax + 2*gmin)/3.
+  const double expected =
+      (gain_value(p, 15) + 2.0 * gain_value(p, 0)) / 3.0;
+  EXPECT_NEAR(expected_gain(key, p, design), expected, 1e-12);
+}
+
+TEST(ExpectedGain, EmptyKeyFallsBackToUnity) {
+  const auto design = sim::standard_design(9);
+  KeyParams p;
+  p.num_electrodes = 9;
+  SensorKey key;  // no electrodes
+  EXPECT_DOUBLE_EQ(expected_gain(key, p, design), 1.0);
+}
+
+}  // namespace
+}  // namespace medsen::core

@@ -1,0 +1,57 @@
+#include "core/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::core {
+namespace {
+
+TEST(Diagnostic, Cd4StagingBands) {
+  const auto profile = DiagnosticProfile::cd4_staging();
+  EXPECT_TRUE(profile.classify(100.0).alert);
+  EXPECT_TRUE(profile.classify(350.0).alert);
+  EXPECT_FALSE(profile.classify(800.0).alert);
+}
+
+TEST(Diagnostic, BandBoundariesInclusive) {
+  const auto profile = DiagnosticProfile::cd4_staging();
+  EXPECT_EQ(profile.classify(200.0).label,
+            "immunosuppressed, monitor (200-500 cells/uL)");
+  EXPECT_EQ(profile.classify(199.99).label,
+            "severe immunosuppression (<200 cells/uL)");
+  EXPECT_EQ(profile.classify(500.0).label, "normal (>=500 cells/uL)");
+}
+
+TEST(Diagnostic, DiagnoseComputesConcentration) {
+  const auto profile = DiagnosticProfile::cd4_staging();
+  const Diagnosis d = diagnose(profile, 150.0, 0.5);
+  EXPECT_DOUBLE_EQ(d.concentration_per_ul, 300.0);
+  EXPECT_TRUE(d.alert);
+  EXPECT_DOUBLE_EQ(d.estimated_count, 150.0);
+  EXPECT_DOUBLE_EQ(d.volume_ul, 0.5);
+}
+
+TEST(Diagnostic, ZeroVolumeYieldsZeroConcentration) {
+  const auto profile = DiagnosticProfile::cd4_staging();
+  const Diagnosis d = diagnose(profile, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(d.concentration_per_ul, 0.0);
+}
+
+TEST(Diagnostic, CustomProfileSortsBands) {
+  const DiagnosticProfile profile(
+      "test", {{100.0, "high", true}, {0.0, "low", false}});
+  EXPECT_EQ(profile.bands().front().label, "low");
+  EXPECT_EQ(profile.classify(50.0).label, "low");
+  EXPECT_EQ(profile.classify(150.0).label, "high");
+}
+
+TEST(Diagnostic, EmptyProfileThrows) {
+  EXPECT_THROW(DiagnosticProfile("bad", {}), std::invalid_argument);
+}
+
+TEST(Diagnostic, ProfileWithoutZeroBandThrows) {
+  EXPECT_THROW(DiagnosticProfile("bad", {{10.0, "x", false}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace medsen::core

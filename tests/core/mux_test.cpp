@@ -1,0 +1,68 @@
+#include "core/mux.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::core {
+namespace {
+
+TEST(Mux, StartsAllGrounded) {
+  const Multiplexer mux(16);
+  EXPECT_EQ(mux.state().measured_count(), 0u);
+  for (auto route : mux.state().routes)
+    EXPECT_EQ(route, MuxRoute::kGround);
+}
+
+TEST(Mux, SelectRoutesMaskToMeasurement) {
+  Multiplexer mux(16);
+  mux.select(0b1011);
+  EXPECT_EQ(mux.state().measured_count(), 3u);
+  EXPECT_EQ(mux.state().routes[0], MuxRoute::kMeasurement);
+  EXPECT_EQ(mux.state().routes[1], MuxRoute::kMeasurement);
+  EXPECT_EQ(mux.state().routes[2], MuxRoute::kGround);
+  EXPECT_EQ(mux.state().routes[3], MuxRoute::kMeasurement);
+}
+
+TEST(Mux, UnselectedElectrodesGrounded) {
+  // Section VII-A: unselected outputs must be grounded to prevent
+  // interference, not left floating.
+  Multiplexer mux(16);
+  mux.select(0b1);
+  for (std::size_t i = 1; i < 16; ++i)
+    EXPECT_EQ(mux.state().routes[i], MuxRoute::kGround) << i;
+}
+
+TEST(Mux, MeasurementMaskRoundTrips) {
+  Multiplexer mux(16);
+  const sim::ElectrodeMask mask = 0b101010101;
+  mux.select(mask);
+  EXPECT_EQ(mux.state().measurement_mask(), mask);
+}
+
+TEST(Mux, ReselectionOverwrites) {
+  Multiplexer mux(16);
+  mux.select(0xFFFF);
+  mux.select(0b1);
+  EXPECT_EQ(mux.state().measured_count(), 1u);
+}
+
+TEST(Mux, SwitchCountIncrements) {
+  Multiplexer mux(16);
+  EXPECT_EQ(mux.switch_count(), 0u);
+  mux.select(1);
+  mux.select(2);
+  EXPECT_EQ(mux.switch_count(), 2u);
+}
+
+TEST(Mux, BitsBeyondInputsIgnored) {
+  Multiplexer mux(4);
+  mux.select(0xFFFFFFFF);
+  EXPECT_EQ(mux.state().measured_count(), 4u);
+}
+
+TEST(Mux, InvalidSizesThrow) {
+  EXPECT_THROW(Multiplexer(0), std::invalid_argument);
+  EXPECT_THROW(Multiplexer(33), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace medsen::core

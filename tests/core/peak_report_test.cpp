@@ -1,0 +1,62 @@
+#include "core/peak_report.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::core {
+namespace {
+
+PeakReport sample_report() {
+  PeakReport report;
+  ChannelPeaks a;
+  a.carrier_hz = 5.0e5;
+  a.peaks = {{1.0, 0.01, 0.02, 450}, {2.0, 0.02, 0.03, 900}};
+  ChannelPeaks b;
+  b.carrier_hz = 2.0e6;
+  b.peaks = {{1.0, 0.005, 0.02, 450}};
+  report.channels = {a, b};
+  return report;
+}
+
+TEST(PeakReport, NearestChannelPicksClosestCarrier) {
+  const auto report = sample_report();
+  EXPECT_DOUBLE_EQ(report.nearest_channel(4.0e5).carrier_hz, 5.0e5);
+  EXPECT_DOUBLE_EQ(report.nearest_channel(1.9e6).carrier_hz, 2.0e6);
+}
+
+TEST(PeakReport, ReferencePeakCount) {
+  const auto report = sample_report();
+  EXPECT_EQ(report.reference_peak_count(), 2u);
+  EXPECT_EQ(report.reference_peak_count(2.0e6), 1u);
+}
+
+TEST(PeakReport, EmptyReportThrows) {
+  const PeakReport report;
+  EXPECT_THROW(report.nearest_channel(5.0e5), std::logic_error);
+}
+
+TEST(PeakReport, SerializationRoundTrip) {
+  const auto report = sample_report();
+  const auto restored = PeakReport::deserialize(report.serialize());
+  ASSERT_EQ(restored.channels.size(), 2u);
+  EXPECT_DOUBLE_EQ(restored.channels[0].carrier_hz, 5.0e5);
+  ASSERT_EQ(restored.channels[0].peaks.size(), 2u);
+  EXPECT_DOUBLE_EQ(restored.channels[0].peaks[1].time_s, 2.0);
+  EXPECT_DOUBLE_EQ(restored.channels[0].peaks[1].amplitude, 0.02);
+  EXPECT_DOUBLE_EQ(restored.channels[0].peaks[1].width_s, 0.03);
+  EXPECT_EQ(restored.channels[0].peaks[1].index, 900u);
+}
+
+TEST(PeakReport, EmptySerializationRoundTrip) {
+  const PeakReport report;
+  const auto restored = PeakReport::deserialize(report.serialize());
+  EXPECT_TRUE(restored.channels.empty());
+}
+
+TEST(PeakReport, TruncatedDeserializationThrows) {
+  const auto bytes = sample_report().serialize();
+  const std::span<const std::uint8_t> cut(bytes.data(), bytes.size() / 2);
+  EXPECT_THROW(PeakReport::deserialize(cut), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace medsen::core

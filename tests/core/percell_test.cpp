@@ -1,0 +1,134 @@
+#include "core/percell.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/analysis_service.h"
+#include "core/decryptor.h"
+
+namespace medsen::core {
+namespace {
+
+struct PerCellRig {
+  sim::ElectrodeArrayDesign design = sim::standard_design(9);
+  sim::ChannelConfig channel;
+  sim::AcquisitionConfig acquisition;
+  KeyParams params;
+
+  PerCellRig() {
+    channel.loss.enabled = false;
+    acquisition.carriers_hz = {5.0e5};
+    acquisition.noise_sigma = 5e-5;
+    acquisition.drift.slow_amplitude = 0.002;
+    acquisition.drift.random_walk_sigma = 1e-6;
+    params.num_electrodes = 9;
+    params.gain_min = 0.8;
+    params.gain_max = 1.6;
+  }
+};
+
+TEST(PerCell, OneKeyPerCellPlusInitial) {
+  PerCellRig rig;
+  crypto::ChaChaRng rng(1);
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead780, 150.0}};
+  const auto result = acquire_per_cell_keyed(
+      sample, rig.channel, rig.design, rig.acquisition, rig.params, 30.0,
+      rng, 11);
+  EXPECT_EQ(result.schedule.keys().size(),
+            result.acquisition.truth.total_particles() + 1);
+}
+
+TEST(PerCell, KeyTimesStrictlyIncreasing) {
+  PerCellRig rig;
+  crypto::ChaChaRng rng(2);
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead358, 2000.0}};
+  const auto result = acquire_per_cell_keyed(
+      sample, rig.channel, rig.design, rig.acquisition, rig.params, 10.0,
+      rng, 12);
+  const auto& keys = result.schedule.keys();
+  for (std::size_t i = 1; i < keys.size(); ++i)
+    EXPECT_GT(keys[i].t_start_s, keys[i - 1].t_start_s);
+}
+
+TEST(PerCell, FlowPinnedAcrossKeys) {
+  PerCellRig rig;
+  crypto::ChaChaRng rng(3);
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead780, 150.0}};
+  const auto result = acquire_per_cell_keyed(
+      sample, rig.channel, rig.design, rig.acquisition, rig.params, 20.0,
+      rng, 13);
+  const auto first = result.schedule.keys().front().key.flow_code;
+  for (const auto& tk : result.schedule.keys())
+    EXPECT_EQ(tk.key.flow_code, first);
+}
+
+TEST(PerCell, DecryptsToGroundTruth) {
+  PerCellRig rig;
+  crypto::ChaChaRng rng(4);
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead780, 300.0}};
+  const double duration = 60.0;
+  const auto result = acquire_per_cell_keyed(
+      sample, rig.channel, rig.design, rig.acquisition, rig.params,
+      duration, rng, 14);
+  ASSERT_GT(result.acquisition.truth.total_particles(), 3u);
+
+  cloud::AnalysisService service;
+  const auto report = service.analyze(result.acquisition.signals);
+  const auto decoded =
+      decrypt_report(report, result.schedule, rig.design, duration);
+  const double truth =
+      static_cast<double>(result.acquisition.truth.total_particles());
+  EXPECT_NEAR(decoded.estimated_count, truth,
+              std::max(2.0, truth * 0.20));
+}
+
+TEST(PerCell, EmptySampleGivesSingleKey) {
+  PerCellRig rig;
+  crypto::ChaChaRng rng(5);
+  sim::SampleSpec sample;  // nothing in it
+  const auto result = acquire_per_cell_keyed(
+      sample, rig.channel, rig.design, rig.acquisition, rig.params, 5.0,
+      rng, 15);
+  EXPECT_EQ(result.schedule.keys().size(), 1u);
+  EXPECT_EQ(result.acquisition.truth.total_particles(), 0u);
+}
+
+TEST(PerCell, KeyBitsLinearInCells) {
+  KeyParams params;
+  params.num_electrodes = 9;  // 9 + 36 + 4 = 49 bits/key
+  EXPECT_EQ(per_cell_key_bits(params, 0), 49u);
+  EXPECT_EQ(per_cell_key_bits(params, 100), 101u * 49u);
+}
+
+TEST(PerCell, ScheduleBitsMatchFormula) {
+  PerCellRig rig;
+  crypto::ChaChaRng rng(6);
+  sim::SampleSpec sample;
+  sample.components = {{sim::ParticleType::kBead780, 150.0}};
+  const auto result = acquire_per_cell_keyed(
+      sample, rig.channel, rig.design, rig.acquisition, rig.params, 20.0,
+      rng, 16);
+  EXPECT_EQ(result.schedule.size_bits(),
+            per_cell_key_bits(rig.params,
+                              result.acquisition.truth.total_particles()));
+}
+
+TEST(PerCell, KeyMuchLargerThanPeriodicScheme) {
+  // The trade the paper describes: ideal secrecy costs a key linear in
+  // the cell count, vs a handful of periodic keys.
+  KeyParams params;
+  params.num_electrodes = 9;
+  params.period_s = 2.0;
+  const std::uint64_t cells = 20000;
+  crypto::ChaChaRng rng(7);
+  const auto periodic = KeySchedule::generate(params, 60.0, rng);
+  EXPECT_GT(per_cell_key_bits(params, cells), 100 * periodic.size_bits());
+}
+
+}  // namespace
+}  // namespace medsen::core

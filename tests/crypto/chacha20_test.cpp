@@ -1,0 +1,90 @@
+#include "crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+
+namespace medsen::crypto {
+namespace {
+
+std::array<std::uint8_t, 32> rfc_key() {
+  std::array<std::uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  return key;
+}
+
+// RFC 8439 Section 2.3.2 block function test vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  const auto key = rfc_key();
+  const std::array<std::uint8_t, 12> nonce = {0x00, 0x00, 0x00, 0x09,
+                                              0x00, 0x00, 0x00, 0x4a,
+                                              0x00, 0x00, 0x00, 0x00};
+  const auto block = ChaCha20::block(key, nonce, 1);
+  const std::uint8_t expected_head[16] = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15,
+      0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20, 0x71, 0xc4};
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(block[i], expected_head[i]) << i;
+  const std::uint8_t expected_tail[4] = {0xa2, 0x50, 0x3c, 0x4e};
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(block[60 + i], expected_tail[i]) << i;
+}
+
+// RFC 8439 Section 2.4.2 encryption test vector.
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  const auto key = rfc_key();
+  const std::array<std::uint8_t, 12> nonce = {0x00, 0x00, 0x00, 0x00,
+                                              0x00, 0x00, 0x00, 0x4a,
+                                              0x00, 0x00, 0x00, 0x00};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<std::uint8_t> data(plaintext.begin(), plaintext.end());
+  ChaCha20 cipher(key, nonce, 1);
+  cipher.apply(data);
+  const std::uint8_t expected_head[16] = {
+      0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80,
+      0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d, 0x69, 0x81};
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(data[i], expected_head[i]) << i;
+  const std::uint8_t expected_tail[] = {0x87, 0x4d};
+  EXPECT_EQ(data[112], expected_tail[0]);
+  EXPECT_EQ(data[113], expected_tail[1]);
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  const auto key = rfc_key();
+  const std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  const auto original = data;
+  ChaCha20 enc(key, nonce, 0);
+  enc.apply(data);
+  EXPECT_NE(data, original);
+  ChaCha20 dec(key, nonce, 0);
+  dec.apply(data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, KeystreamMatchesApplyOnZeros) {
+  const auto key = rfc_key();
+  const std::array<std::uint8_t, 12> nonce{};
+  std::vector<std::uint8_t> zeros(200, 0);
+  ChaCha20 a(key, nonce, 0);
+  a.apply(zeros);
+  std::vector<std::uint8_t> stream(200);
+  ChaCha20 b(key, nonce, 0);
+  b.keystream(stream);
+  EXPECT_EQ(zeros, stream);
+}
+
+TEST(ChaCha20, DifferentCountersDiffer) {
+  const auto key = rfc_key();
+  const std::array<std::uint8_t, 12> nonce{};
+  const auto b0 = ChaCha20::block(key, nonce, 0);
+  const auto b1 = ChaCha20::block(key, nonce, 1);
+  EXPECT_NE(b0, b1);
+}
+
+}  // namespace
+}  // namespace medsen::crypto

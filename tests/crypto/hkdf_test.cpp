@@ -1,0 +1,73 @@
+#include "crypto/hkdf.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::crypto {
+namespace {
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoul(hex.substr(i, 2), nullptr, 16)));
+  return out;
+}
+
+std::string hex_of(std::span<const std::uint8_t> bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (auto b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+// RFC 5869 Test Case 1.
+TEST(Hkdf, Rfc5869Case1) {
+  const auto ikm = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const auto salt = from_hex("000102030405060708090a0b0c");
+  const auto info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const auto prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  const auto okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(hex_of(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 Test Case 3 (empty salt and info).
+TEST(Hkdf, Rfc5869Case3) {
+  const auto ikm = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const auto okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(hex_of(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, LengthBounds) {
+  const std::vector<std::uint8_t> ikm = {1, 2, 3};
+  EXPECT_THROW((void)hkdf({}, ikm, {}, 0), std::invalid_argument);
+  EXPECT_THROW((void)hkdf({}, ikm, {}, 255 * 32 + 1),
+               std::invalid_argument);
+  EXPECT_EQ(hkdf({}, ikm, {}, 255 * 32).size(), 255u * 32u);
+}
+
+TEST(Hkdf, DifferentLabelsIndependentKeys) {
+  const std::vector<std::uint8_t> ikm = {9, 9, 9};
+  const auto a = hkdf_label(ikm, "enc", 32);
+  const auto b = hkdf_label(ikm, "mac", 32);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hkdf, DeterministicAndPrefixConsistent) {
+  const std::vector<std::uint8_t> ikm = {1, 2, 3, 4};
+  const auto long_out = hkdf_label(ikm, "x", 64);
+  const auto short_out = hkdf_label(ikm, "x", 32);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(),
+                         long_out.begin()));
+}
+
+}  // namespace
+}  // namespace medsen::crypto

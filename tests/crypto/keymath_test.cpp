@@ -1,0 +1,72 @@
+#include "crypto/keymath.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::crypto {
+namespace {
+
+// The paper's worked example (Section VI-B): 20K cells, 16 electrodes,
+// 16 gain levels (4 bits), 16 flow speeds (4 bits)
+// -> 20K * (16 + 8*4 + 4) = 20K * 52 = 1,040,000 bits (~1 Mbit, 0.13 MB,
+// reported as 0.12 MB).
+TEST(KeyMath, PaperWorkedExample) {
+  KeySizeParams p;
+  p.cells = 20000;
+  p.electrodes = 16;
+  p.gain_bits = 4;
+  p.flow_bits = 4;
+  EXPECT_EQ(key_bits_per_cell(p), 52u);
+  EXPECT_EQ(total_key_bits(p), 1040000u);
+  const double mb = static_cast<double>(total_key_bytes(p)) / 1.0e6;
+  EXPECT_NEAR(mb, 0.13, 0.01);
+}
+
+TEST(KeyMath, BytesRoundUp) {
+  KeySizeParams p;
+  p.cells = 1;
+  p.electrodes = 1;  // 1 + 0 + 0 = 1 bit
+  p.gain_bits = 0;
+  p.flow_bits = 0;
+  EXPECT_EQ(total_key_bits(p), 1u);
+  EXPECT_EQ(total_key_bytes(p), 1u);
+}
+
+TEST(KeyMath, ScalesLinearlyWithCells) {
+  KeySizeParams p;
+  p.cells = 100;
+  p.electrodes = 9;
+  p.gain_bits = 4;
+  p.flow_bits = 4;
+  const auto base = total_key_bits(p);
+  p.cells = 200;
+  EXPECT_EQ(total_key_bits(p), 2 * base);
+}
+
+TEST(KeyMath, PeriodicSchemeIsSmaller) {
+  KeySizeParams p;
+  p.cells = 20000;
+  p.electrodes = 16;
+  p.gain_bits = 4;
+  p.flow_bits = 4;
+  // 60 s acquisition, 2 s key periods -> 30 keys of 52 bits = 1560 bits.
+  EXPECT_EQ(periodic_key_bits(p, 60.0, 2.0), 30u * 52u);
+  EXPECT_LT(periodic_key_bits(p, 60.0, 2.0), total_key_bits(p));
+}
+
+TEST(KeyMath, PeriodicCeilsPartialPeriods) {
+  KeySizeParams p;
+  p.electrodes = 2;
+  p.gain_bits = 1;
+  p.flow_bits = 1;  // per key: 2 + 1*1 + 1 = 4 bits
+  EXPECT_EQ(periodic_key_bits(p, 3.5, 2.0), 2u * 4u);
+}
+
+TEST(KeyMath, DegenerateDurationsYieldZero) {
+  KeySizeParams p;
+  p.electrodes = 4;
+  EXPECT_EQ(periodic_key_bits(p, 0.0, 1.0), 0u);
+  EXPECT_EQ(periodic_key_bits(p, 1.0, 0.0), 0u);
+}
+
+}  // namespace
+}  // namespace medsen::crypto

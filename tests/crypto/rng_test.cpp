@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "util/stats.h"
+
+namespace medsen::crypto {
+namespace {
+
+TEST(ChaChaRng, DeterministicForSameSeed) {
+  ChaChaRng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(ChaChaRng, DifferentSeedsDiverge) {
+  ChaChaRng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u32() == b.next_u32()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(ChaChaRng, UniformRespectsBound) {
+  ChaChaRng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(13), 13u);
+}
+
+TEST(ChaChaRng, UniformBoundOneAlwaysZero) {
+  ChaChaRng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(ChaChaRng, UniformDoubleInUnitInterval) {
+  ChaChaRng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(ChaChaRng, UniformIsRoughlyUniform) {
+  ChaChaRng rng(3);
+  std::vector<std::size_t> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.uniform(10)];
+  for (auto count : buckets) {
+    EXPECT_GT(count, n / 10 - 600);
+    EXPECT_LT(count, n / 10 + 600);
+  }
+}
+
+TEST(ChaChaRng, NormalMomentsMatch) {
+  ChaChaRng rng(5);
+  std::vector<double> xs;
+  xs.reserve(50000);
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(util::mean(xs), 10.0, 0.05);
+  EXPECT_NEAR(util::stddev(xs), 2.0, 0.05);
+}
+
+TEST(ChaChaRng, PoissonMeanMatchesSmallLambda) {
+  ChaChaRng rng(9);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(ChaChaRng, PoissonMeanMatchesLargeLambda) {
+  ChaChaRng rng(10);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(500.0));
+  EXPECT_NEAR(sum / n, 500.0, 2.5);
+}
+
+TEST(ChaChaRng, PoissonZeroLambdaIsZero) {
+  ChaChaRng rng(1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(ChaChaRng, BernoulliFrequency) {
+  ChaChaRng rng(13);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(ChaChaRng, ByteSeedConstructor) {
+  const std::vector<std::uint8_t> seed = {1, 2, 3};
+  ChaChaRng a(seed), b(seed);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace medsen::crypto

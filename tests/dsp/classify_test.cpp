@@ -1,0 +1,106 @@
+#include "dsp/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+
+namespace medsen::dsp {
+namespace {
+
+std::vector<LabeledPoint> labeled_blobs(std::size_t per_class,
+                                        std::uint64_t seed) {
+  crypto::ChaChaRng rng(seed);
+  std::vector<LabeledPoint> data;
+  const double centers[3][2] = {{0.0, 0.0}, {8.0, 0.0}, {0.0, 8.0}};
+  for (std::size_t c = 0; c < 3; ++c)
+    for (std::size_t i = 0; i < per_class; ++i)
+      data.push_back({{centers[c][0] + rng.normal(0.0, 0.6),
+                       centers[c][1] + rng.normal(0.0, 0.6)},
+                      c});
+  return data;
+}
+
+TEST(NearestCentroid, ClassifiesCleanBlobs) {
+  const auto train = labeled_blobs(100, 1);
+  NearestCentroidClassifier clf;
+  clf.fit(train, 3);
+  const auto test = labeled_blobs(50, 2);
+  ConfusionMatrix cm(3);
+  for (const auto& p : test) cm.add(p.label, clf.predict(p.features));
+  EXPECT_GT(cm.accuracy(), 0.99);
+}
+
+TEST(NearestCentroid, CentroidsNearTrueCenters) {
+  const auto train = labeled_blobs(200, 3);
+  NearestCentroidClassifier clf;
+  clf.fit(train, 3);
+  EXPECT_NEAR(clf.centroids()[1][0], 8.0, 0.2);
+  EXPECT_NEAR(clf.centroids()[1][1], 0.0, 0.2);
+}
+
+TEST(NearestCentroid, MarginHighAtCentroidLowAtBoundary) {
+  const auto train = labeled_blobs(100, 4);
+  NearestCentroidClassifier clf;
+  clf.fit(train, 3);
+  EXPECT_GT(clf.margin({0.0, 0.0}), 0.8);
+  EXPECT_LT(clf.margin({4.0, 0.0}), 0.2);  // halfway between two centroids
+}
+
+TEST(NearestCentroid, EmptyTrainingThrows) {
+  NearestCentroidClassifier clf;
+  EXPECT_THROW(clf.fit(std::vector<LabeledPoint>{}, 2),
+               std::invalid_argument);
+}
+
+TEST(NearestCentroid, MissingClassThrows) {
+  std::vector<LabeledPoint> data = {{{1.0}, 0}};
+  NearestCentroidClassifier clf;
+  EXPECT_THROW(clf.fit(data, 2), std::invalid_argument);
+}
+
+TEST(NearestCentroid, LabelOutOfRangeThrows) {
+  std::vector<LabeledPoint> data = {{{1.0}, 5}};
+  NearestCentroidClassifier clf;
+  EXPECT_THROW(clf.fit(data, 2), std::invalid_argument);
+}
+
+TEST(NearestCentroid, PredictBeforeFitThrows) {
+  NearestCentroidClassifier clf;
+  EXPECT_THROW(clf.predict({1.0}), std::logic_error);
+}
+
+TEST(Knn, ClassifiesCleanBlobs) {
+  const auto train = labeled_blobs(80, 5);
+  KnnClassifier clf(5);
+  clf.fit(train, 3);
+  const auto test = labeled_blobs(40, 6);
+  ConfusionMatrix cm(3);
+  for (const auto& p : test) cm.add(p.label, clf.predict(p.features));
+  EXPECT_GT(cm.accuracy(), 0.99);
+}
+
+TEST(Knn, KLargerThanTrainingSetClamped) {
+  std::vector<LabeledPoint> data = {{{0.0}, 0}, {{1.0}, 0}, {{10.0}, 1}};
+  KnnClassifier clf(50);
+  clf.fit(data, 2);
+  // With k clamped to 3 the majority label is 0.
+  EXPECT_EQ(clf.predict({0.5}), 0u);
+}
+
+TEST(ConfusionMatrix, AccuracyAndTotal) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, OutOfRangeThrows) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace medsen::dsp

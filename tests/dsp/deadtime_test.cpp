@@ -1,0 +1,92 @@
+#include "dsp/deadtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/chacha20.h"
+
+namespace medsen::dsp {
+namespace {
+
+TEST(DeadTime, NoCorrectionForSparseCounts) {
+  // 10 peaks of 10 ms over 100 s: busy 0.1% -> negligible correction.
+  EXPECT_NEAR(dead_time_corrected_count(10.0, 100.0, 0.01), 10.0, 0.02);
+}
+
+TEST(DeadTime, DegenerateInputsPassThrough) {
+  EXPECT_DOUBLE_EQ(dead_time_corrected_count(0.0, 100.0, 0.01), 0.0);
+  EXPECT_DOUBLE_EQ(dead_time_corrected_count(5.0, 0.0, 0.01), 5.0);
+  EXPECT_DOUBLE_EQ(dead_time_corrected_count(5.0, 100.0, 0.0), 5.0);
+}
+
+TEST(DeadTime, BusyFractionClamped) {
+  EXPECT_DOUBLE_EQ(busy_fraction(1e9, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(busy_fraction(0.0, 1.0, 1.0), 0.0);
+  EXPECT_NEAR(busy_fraction(100.0, 10.0, 0.01), 0.1, 1e-12);
+}
+
+TEST(DeadTime, CorrectionFactorCapped) {
+  // Busy fraction ~1 would explode; capped at 5x.
+  EXPECT_DOUBLE_EQ(dead_time_corrected_count(100.0, 1.0, 1.0), 500.0);
+}
+
+TEST(DeadTime, InvertsSimulatedCoincidenceLoss) {
+  // Simulate a Poisson stream where any arrival within tau of the
+  // previous *detected* arrival merges (non-paralyzable detector); the
+  // correction must recover the true count to a few percent.
+  crypto::ChaChaRng rng(77);
+  const double rate = 30.0;   // arrivals/s
+  const double tau = 0.01;    // dead time
+  const double duration = 200.0;
+  std::size_t truth = 0, observed = 0;
+  double t = 0.0, last_detected = -1.0;
+  for (;;) {
+    // Exponential inter-arrival times.
+    t += -std::log(1.0 - rng.uniform_double()) / rate;
+    if (t >= duration) break;
+    ++truth;
+    if (t - last_detected >= tau) {
+      ++observed;
+      last_detected = t;
+    }
+  }
+  ASSERT_LT(observed, truth);  // losses actually occurred
+  const double corrected = dead_time_corrected_count(
+      static_cast<double>(observed), duration, tau);
+  EXPECT_NEAR(corrected, static_cast<double>(truth),
+              0.03 * static_cast<double>(truth));
+}
+
+class DeadTimeRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeadTimeRateSweep, CorrectionImprovesEstimateAtAnyRate) {
+  crypto::ChaChaRng rng(static_cast<std::uint64_t>(GetParam()));
+  const double rate = GetParam();
+  const double tau = 0.008;
+  const double duration = 150.0;
+  std::size_t truth = 0, observed = 0;
+  double t = 0.0, last_detected = -1.0;
+  while (true) {
+    t += -std::log(1.0 - rng.uniform_double()) / rate;
+    if (t >= duration) break;
+    ++truth;
+    if (t - last_detected >= tau) {
+      ++observed;
+      last_detected = t;
+    }
+  }
+  const double corrected = dead_time_corrected_count(
+      static_cast<double>(observed), duration, tau);
+  const double raw_error =
+      std::abs(static_cast<double>(observed) - static_cast<double>(truth));
+  const double corrected_error =
+      std::abs(corrected - static_cast<double>(truth));
+  EXPECT_LE(corrected_error, raw_error + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DeadTimeRateSweep,
+                         ::testing::Values(5.0, 15.0, 30.0, 60.0, 90.0));
+
+}  // namespace
+}  // namespace medsen::dsp

@@ -1,0 +1,92 @@
+#include "dsp/detrend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace medsen::dsp {
+namespace {
+
+TEST(Detrend, FlatSignalStaysUnit) {
+  std::vector<double> xs(5000, 2.5);
+  const auto out = detrend(xs);
+  for (double v : out) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(Detrend, RemovesLinearDrift) {
+  std::vector<double> xs;
+  for (int i = 0; i < 8000; ++i) xs.push_back(1.0 + 1e-4 * i);
+  const auto out = detrend(xs);
+  EXPECT_NEAR(util::mean(out), 1.0, 1e-4);
+  EXPECT_LT(util::stddev(out), 1e-3);
+}
+
+TEST(Detrend, RemovesSlowSinusoid) {
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = i / 450.0;
+    xs.push_back(1.0 + 0.01 * std::sin(2.0 * std::numbers::pi * t / 120.0));
+  }
+  const auto out = detrend(xs);
+  EXPECT_LT(util::stddev(out), 2e-4);
+}
+
+TEST(Detrend, PreservesPeakDepth) {
+  // A narrow dip on a drifting baseline must survive detrending with its
+  // relative depth approximately intact.
+  std::vector<double> xs;
+  const std::size_t n = 6000;
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 1.0 + 5e-5 * static_cast<double>(i);
+    const double z = (static_cast<double>(i) - 3000.0) / 4.0;
+    v *= 1.0 - 0.01 * std::exp(-0.5 * z * z);
+    xs.push_back(v);
+  }
+  const auto out = detrend(xs);
+  double min_v = 1.0;
+  for (double v : out) min_v = std::min(min_v, v);
+  EXPECT_NEAR(1.0 - min_v, 0.01, 0.003);
+}
+
+TEST(Detrend, EmptyInput) {
+  EXPECT_TRUE(detrend(std::vector<double>{}).empty());
+}
+
+TEST(Detrend, ShortInputFallsBackGracefully) {
+  std::vector<double> xs = {2.0, 2.0, 2.0};
+  const auto out = detrend(xs);
+  ASSERT_EQ(out.size(), 3u);
+  for (double v : out) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(Detrend, InPlaceVariantMatches) {
+  util::TimeSeries ts(450.0);
+  for (int i = 0; i < 3000; ++i) ts.push_back(1.0 + 1e-5 * i);
+  const auto expected = detrend(ts.samples());
+  detrend_in_place(ts);
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    EXPECT_DOUBLE_EQ(ts[i], expected[i]);
+}
+
+class DetrendWindowSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DetrendWindowSweep, BaselineNormalizedForAnyWindow) {
+  DetrendConfig config;
+  config.window = GetParam();
+  config.overlap = GetParam() / 8;
+  std::vector<double> xs;
+  for (int i = 0; i < 9000; ++i)
+    xs.push_back(3.0 - 1e-5 * i + 2e-9 * i * static_cast<double>(i));
+  const auto out = detrend(xs, config);
+  EXPECT_NEAR(util::mean(out), 1.0, 5e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, DetrendWindowSweep,
+                         ::testing::Values(256, 512, 1024, 2048, 4096));
+
+}  // namespace
+}  // namespace medsen::dsp

@@ -1,0 +1,127 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "crypto/chacha20.h"
+
+namespace medsen::dsp {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(fft(data), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> data(16, 0.0);
+  data[0] = 1.0;
+  fft(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcGivesSingleBin) {
+  std::vector<std::complex<double>> data(8, 1.0);
+  fft(data);
+  EXPECT_NEAR(data[0].real(), 8.0, 1e-12);
+  for (std::size_t k = 1; k < 8; ++k) EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-12);
+}
+
+TEST(Fft, SineConcentratesInItsBin) {
+  const std::size_t n = 256;
+  std::vector<double> xs(n);
+  const std::size_t bin = 13;
+  for (std::size_t i = 0; i < n; ++i)
+    xs[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(bin) *
+                     static_cast<double>(i) / static_cast<double>(n));
+  const auto power = power_spectrum(xs);
+  std::size_t argmax = 0;
+  for (std::size_t k = 1; k < power.size(); ++k)
+    if (power[k] > power[argmax]) argmax = k;
+  EXPECT_EQ(argmax, bin);
+  EXPECT_GT(power[bin], 1000.0 * power[bin + 3]);
+}
+
+TEST(Fft, RoundTrip) {
+  crypto::ChaChaRng rng(8);
+  std::vector<std::complex<double>> data(128);
+  for (auto& x : data) x = {rng.normal(), rng.normal()};
+  const auto original = data;
+  fft(data);
+  ifft(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  crypto::ChaChaRng rng(9);
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.normal(), 0.0};
+    time_energy += std::norm(x);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-9);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Fft, BinFrequency) {
+  EXPECT_DOUBLE_EQ(bin_frequency(0, 1024, 450.0), 0.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(512, 1024, 450.0), 225.0);
+}
+
+TEST(Fft, SpectralFlatnessSeparatesNoiseFromTone) {
+  crypto::ChaChaRng rng(10);
+  std::vector<double> noise(1024);
+  for (auto& x : noise) x = rng.normal();
+  std::vector<double> tone(1024);
+  for (std::size_t i = 0; i < tone.size(); ++i)
+    tone[i] = std::sin(2.0 * std::numbers::pi * 37.0 *
+                       static_cast<double>(i) / 1024.0);
+  EXPECT_GT(spectral_flatness(noise), 0.4);
+  EXPECT_LT(spectral_flatness(tone), 0.01);
+}
+
+TEST(Fft, PeriodicPeakTrainHasLowFlatness) {
+  // A flat periodic train of Gaussian dips (the Fig. 11d signature) is
+  // spectrally peaky; randomized trains are flatter. This is the basis
+  // of the periodicity leak metric.
+  std::vector<double> periodic(2048, 0.0);
+  for (int k = 0; k < 40; ++k) {
+    const double center = 100.0 + k * 45.0;
+    for (std::size_t i = 0; i < periodic.size(); ++i) {
+      const double z = (static_cast<double>(i) - center) / 3.0;
+      periodic[i] += std::exp(-0.5 * z * z);
+    }
+  }
+  crypto::ChaChaRng rng(11);
+  std::vector<double> randomized(2048, 0.0);
+  for (int k = 0; k < 40; ++k) {
+    const double center = 100.0 + rng.uniform_double() * 1800.0;
+    for (std::size_t i = 0; i < randomized.size(); ++i) {
+      const double z = (static_cast<double>(i) - center) / 3.0;
+      randomized[i] += std::exp(-0.5 * z * z);
+    }
+  }
+  EXPECT_LT(spectral_flatness(periodic), spectral_flatness(randomized));
+}
+
+}  // namespace
+}  // namespace medsen::dsp

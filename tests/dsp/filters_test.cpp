@@ -1,0 +1,118 @@
+#include "dsp/filters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace medsen::dsp {
+namespace {
+
+std::vector<double> sine(double freq_hz, double rate_hz, std::size_t n) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i)
+    xs[i] = std::sin(2.0 * std::numbers::pi * freq_hz *
+                     static_cast<double>(i) / rate_hz);
+  return xs;
+}
+
+double rms(std::span<const double> xs) {
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+TEST(SinglePoleLowPass, RejectsBadCutoff) {
+  EXPECT_THROW(SinglePoleLowPass(0.0, 450.0), std::invalid_argument);
+  EXPECT_THROW(SinglePoleLowPass(300.0, 450.0), std::invalid_argument);
+}
+
+TEST(SinglePoleLowPass, PassesDc) {
+  SinglePoleLowPass lpf(10.0, 450.0);
+  double y = 0.0;
+  for (int i = 0; i < 2000; ++i) y = lpf.step(1.0);
+  EXPECT_NEAR(y, 1.0, 1e-6);
+}
+
+TEST(SinglePoleLowPass, AttenuatesHighFrequency) {
+  SinglePoleLowPass lpf(10.0, 4500.0);
+  const auto hi = sine(1000.0, 4500.0, 8000);
+  const auto out = lpf.apply(hi);
+  // Skip the transient, measure steady-state RMS.
+  EXPECT_LT(rms(std::span(out).subspan(4000)), 0.05 * rms(hi));
+}
+
+TEST(SinglePoleLowPass, PrimingAvoidsStartupStep) {
+  SinglePoleLowPass lpf(10.0, 450.0);
+  EXPECT_DOUBLE_EQ(lpf.step(5.0), 5.0);  // primed on first sample
+}
+
+TEST(ButterworthLowPass2, PassesDc) {
+  ButterworthLowPass2 lpf(120.0, 4500.0);
+  double y = 0.0;
+  for (int i = 0; i < 4000; ++i) y = lpf.step(1.0);
+  EXPECT_NEAR(y, 1.0, 1e-6);
+}
+
+TEST(ButterworthLowPass2, SteeperThanSinglePole) {
+  const double rate = 4500.0, cutoff = 50.0, test_freq = 800.0;
+  const auto input = sine(test_freq, rate, 10000);
+  SinglePoleLowPass sp(cutoff, rate);
+  ButterworthLowPass2 bw(cutoff, rate);
+  const auto out_sp = sp.apply(input);
+  const auto out_bw = bw.apply(input);
+  EXPECT_LT(rms(std::span(out_bw).subspan(5000)),
+            rms(std::span(out_sp).subspan(5000)));
+}
+
+TEST(ButterworthLowPass2, PassbandNearlyUnity) {
+  ButterworthLowPass2 lpf(120.0, 4500.0);
+  const auto input = sine(5.0, 4500.0, 20000);
+  const auto out = lpf.apply(input);
+  EXPECT_NEAR(rms(std::span(out).subspan(10000)),
+              rms(std::span(input).subspan(10000)), 0.01);
+}
+
+TEST(MovingAverage, SmoothsConstantPerfectly) {
+  const std::vector<double> xs(100, 3.0);
+  const auto out = moving_average(xs, 7);
+  for (double v : out) EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  const std::vector<double> xs = {1.0, 5.0, 2.0};
+  const auto out = moving_average(xs, 1);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_DOUBLE_EQ(out[i], xs[i]);
+}
+
+TEST(MovingAverage, CenterValueAveragesNeighbours) {
+  const std::vector<double> xs = {0.0, 0.0, 9.0, 0.0, 0.0};
+  const auto out = moving_average(xs, 3);
+  EXPECT_NEAR(out[2], 3.0, 1e-12);
+  EXPECT_NEAR(out[1], 3.0, 1e-12);
+}
+
+TEST(Decimate, KeepsEveryNth) {
+  std::vector<double> xs;
+  for (int i = 0; i < 20; ++i) xs.push_back(i);
+  const auto out = decimate(xs, 5);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[3], 15.0);
+}
+
+TEST(Decimate, FactorZeroThrows) {
+  EXPECT_THROW(decimate(std::vector<double>{1.0}, 0), std::invalid_argument);
+}
+
+TEST(Decimate, FactorOneIsCopy) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_EQ(decimate(xs, 1), xs);
+}
+
+}  // namespace
+}  // namespace medsen::dsp

@@ -1,0 +1,85 @@
+#include "dsp/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+
+namespace medsen::dsp {
+namespace {
+
+std::vector<FeatureVector> three_blobs(std::size_t per_blob,
+                                       std::uint64_t seed) {
+  crypto::ChaChaRng rng(seed);
+  std::vector<FeatureVector> points;
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (const auto& c : centers)
+    for (std::size_t i = 0; i < per_blob; ++i)
+      points.push_back({c[0] + rng.normal(0.0, 0.5),
+                        c[1] + rng.normal(0.0, 0.5)});
+  return points;
+}
+
+TEST(KMeans, SeparatesWellSeparatedBlobs) {
+  const auto points = three_blobs(50, 1);
+  const auto result = kmeans(points, 3);
+  // All points of one blob must share a cluster id.
+  for (int blob = 0; blob < 3; ++blob) {
+    const std::size_t expected = result.assignment[blob * 50];
+    for (int i = 0; i < 50; ++i)
+      EXPECT_EQ(result.assignment[blob * 50 + i], expected) << blob;
+  }
+}
+
+TEST(KMeans, InertiaSmallForTightBlobs) {
+  const auto points = three_blobs(50, 2);
+  const auto result = kmeans(points, 3);
+  // 150 points with sigma 0.5 in 2D: E[inertia] ~ n * 2 * sigma^2 = 75.
+  EXPECT_LT(result.inertia, 150.0);
+}
+
+TEST(KMeans, KOneYieldsCentroidAtMean) {
+  const std::vector<FeatureVector> points = {{0.0}, {2.0}, {4.0}};
+  const auto result = kmeans(points, 1);
+  ASSERT_EQ(result.centroids.size(), 1u);
+  EXPECT_NEAR(result.centroids[0][0], 2.0, 1e-9);
+}
+
+TEST(KMeans, KZeroThrows) {
+  const std::vector<FeatureVector> points = {{1.0}};
+  EXPECT_THROW(kmeans(points, 0), std::invalid_argument);
+}
+
+TEST(KMeans, FewerPointsThanClustersThrows) {
+  const std::vector<FeatureVector> points = {{1.0}};
+  EXPECT_THROW(kmeans(points, 2), std::invalid_argument);
+}
+
+TEST(KMeans, InconsistentDimensionThrows) {
+  const std::vector<FeatureVector> points = {{1.0}, {1.0, 2.0}};
+  EXPECT_THROW(kmeans(points, 1), std::invalid_argument);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  const auto points = three_blobs(30, 3);
+  KMeansConfig config;
+  config.seed = 99;
+  const auto a = kmeans(points, 3, config);
+  const auto b = kmeans(points, 3, config);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, DuplicatePointsHandled) {
+  const std::vector<FeatureVector> points(10, FeatureVector{5.0, 5.0});
+  const auto result = kmeans(points, 2);
+  EXPECT_EQ(result.assignment.size(), 10u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(SquaredDistance, Basic) {
+  EXPECT_DOUBLE_EQ(squared_distance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(squared_distance({1.0}, {1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace medsen::dsp

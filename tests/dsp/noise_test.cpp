@@ -1,0 +1,73 @@
+#include "dsp/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/chacha20.h"
+#include "sim/signal_synth.h"
+
+namespace medsen::dsp {
+namespace {
+
+TEST(Noise, EstimatesWhiteNoiseSigma) {
+  crypto::ChaChaRng rng(1);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal(0.0, 3e-4);
+  EXPECT_NEAR(estimate_noise_rms(xs), 3e-4, 0.4e-4);
+}
+
+TEST(Noise, InsensitiveToPeaks) {
+  crypto::ChaChaRng rng(2);
+  std::vector<double> clean(20000), with_peaks(20000);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const double noise = rng.normal(0.0, 2e-4);
+    clean[i] = 1.0 + noise;
+    with_peaks[i] = 1.0 + noise;
+  }
+  std::vector<double> depth(with_peaks.size(), 0.0);
+  for (int k = 0; k < 20; ++k)
+    sim::add_gaussian_pulse(depth, 450.0, 0.0, 2.0 + k * 2.0, 0.01, 0.01);
+  for (std::size_t i = 0; i < with_peaks.size(); ++i)
+    with_peaks[i] *= 1.0 - depth[i];
+  EXPECT_NEAR(estimate_noise_rms(with_peaks), estimate_noise_rms(clean),
+              0.3e-4);
+}
+
+TEST(Noise, InsensitiveToSlowDrift) {
+  crypto::ChaChaRng rng(3);
+  std::vector<double> xs(20000);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = 1.0 + 0.01 * std::sin(static_cast<double>(i) / 2000.0) +
+            rng.normal(0.0, 2e-4);
+  EXPECT_NEAR(estimate_noise_rms(xs), 2e-4, 0.3e-4);
+}
+
+TEST(Noise, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(estimate_noise_rms(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_noise_rms(std::vector<double>{1.0, 2.0}), 0.0);
+}
+
+TEST(Noise, AdaptiveThresholdScalesWithNoise) {
+  crypto::ChaChaRng rng(4);
+  std::vector<double> quiet(10000), loud(10000);
+  for (std::size_t i = 0; i < quiet.size(); ++i) {
+    quiet[i] = rng.normal(0.0, 1e-4);
+    loud[i] = rng.normal(0.0, 4e-4);
+  }
+  const double t_quiet = adaptive_threshold(quiet);
+  const double t_loud = adaptive_threshold(loud);
+  EXPECT_GT(t_loud, 2.0 * t_quiet);
+}
+
+TEST(Noise, AdaptiveThresholdClamped) {
+  const std::vector<double> silent(100, 1.0);
+  EXPECT_DOUBLE_EQ(adaptive_threshold(silent), 5e-4);  // min clamp
+  crypto::ChaChaRng rng(5);
+  std::vector<double> screaming(10000);
+  for (auto& x : screaming) x = rng.normal(0.0, 0.1);
+  EXPECT_DOUBLE_EQ(adaptive_threshold(screaming), 5e-3);  // max clamp
+}
+
+}  // namespace
+}  // namespace medsen::dsp

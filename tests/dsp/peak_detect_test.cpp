@@ -1,0 +1,117 @@
+#include "dsp/peak_detect.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace medsen::dsp {
+namespace {
+
+std::vector<double> baseline_with_dips(std::size_t n,
+                                       const std::vector<std::size_t>& at,
+                                       double depth, double sigma) {
+  std::vector<double> xs(n, 1.0);
+  for (std::size_t center : at) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double z =
+          (static_cast<double>(i) - static_cast<double>(center)) / sigma;
+      xs[i] -= depth * std::exp(-0.5 * z * z);
+    }
+  }
+  return xs;
+}
+
+TEST(PeakDetect, FindsSingleDip) {
+  const auto xs = baseline_with_dips(1000, {500}, 0.01, 3.0);
+  const auto peaks = detect_peaks(xs, 450.0, 0.0);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].amplitude, 0.01, 0.001);
+  EXPECT_EQ(peaks[0].index, 500u);
+  EXPECT_NEAR(peaks[0].time_s, 500.0 / 450.0, 1e-9);
+}
+
+TEST(PeakDetect, CountsMultipleDips) {
+  const auto xs = baseline_with_dips(2000, {200, 700, 1500}, 0.008, 3.0);
+  const auto peaks = detect_peaks(xs, 450.0, 0.0);
+  EXPECT_EQ(peaks.size(), 3u);
+}
+
+TEST(PeakDetect, IgnoresSubThresholdDips) {
+  const auto xs = baseline_with_dips(1000, {400}, 0.001, 3.0);
+  PeakDetectConfig config;
+  config.threshold = 0.002;
+  EXPECT_TRUE(detect_peaks(xs, 450.0, 0.0, config).empty());
+}
+
+TEST(PeakDetect, MinWidthRejectsSpikes) {
+  std::vector<double> xs(500, 1.0);
+  xs[250] = 0.9;  // single-sample glitch
+  PeakDetectConfig config;
+  config.min_width = 2;
+  EXPECT_TRUE(detect_peaks(xs, 450.0, 0.0, config).empty());
+  config.min_width = 1;
+  EXPECT_EQ(detect_peaks(xs, 450.0, 0.0, config).size(), 1u);
+}
+
+TEST(PeakDetect, MergeGapJoinsSplitRegions) {
+  std::vector<double> xs(300, 1.0);
+  // Two shallow above-threshold regions separated by one sample that dips
+  // just under the threshold: with merge_gap the regions join and the
+  // interior valley (87% of the peak depth) is not significant enough to
+  // re-split; without merge_gap they stay two separate peaks.
+  for (int i = 100; i < 105; ++i) xs[i] = 0.998;
+  xs[105] = 0.99875;  // depth 0.00125, just under the 0.0015 threshold
+  for (int i = 106; i < 111; ++i) xs[i] = 0.998;
+  PeakDetectConfig config;
+  config.merge_gap = 1;
+  EXPECT_EQ(detect_peaks(xs, 450.0, 0.0, config).size(), 1u);
+  config.merge_gap = 0;
+  EXPECT_EQ(detect_peaks(xs, 450.0, 0.0, config).size(), 2u);
+}
+
+TEST(PeakDetect, WidthMeasuredAtThreshold) {
+  const auto xs = baseline_with_dips(1000, {500}, 0.01, 5.0);
+  const auto peaks = detect_peaks(xs, 100.0, 0.0);
+  ASSERT_EQ(peaks.size(), 1u);
+  // Gaussian with sigma=5 samples dips below 0.002 threshold over
+  // roughly +-1.8 sigma -> ~18 samples -> 0.18 s at 100 Hz.
+  EXPECT_GT(peaks[0].width_s, 0.10);
+  EXPECT_LT(peaks[0].width_s, 0.30);
+}
+
+TEST(PeakDetect, StartTimeOffsetsTimestamps) {
+  const auto xs = baseline_with_dips(1000, {500}, 0.01, 3.0);
+  const auto peaks = detect_peaks(xs, 450.0, 100.0);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].time_s, 100.0 + 500.0 / 450.0, 1e-9);
+}
+
+TEST(PeakDetect, RegionTouchingEndIsClosed) {
+  std::vector<double> xs(100, 1.0);
+  for (int i = 90; i < 100; ++i) xs[i] = 0.99;
+  const auto peaks = detect_peaks(xs, 450.0, 0.0);
+  EXPECT_EQ(peaks.size(), 1u);
+}
+
+TEST(PeakDetect, EmptyInput) {
+  EXPECT_TRUE(detect_peaks(std::vector<double>{}, 450.0, 0.0).empty());
+}
+
+class PeakCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PeakCountSweep, DetectsExactlyNPeaks) {
+  const std::size_t n_peaks = GetParam();
+  std::vector<std::size_t> centers;
+  for (std::size_t i = 0; i < n_peaks; ++i)
+    centers.push_back(100 + i * 50);
+  const auto xs =
+      baseline_with_dips(100 + n_peaks * 50 + 100, centers, 0.01, 3.0);
+  EXPECT_EQ(detect_peaks(xs, 450.0, 0.0).size(), n_peaks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PeakCountSweep,
+                         ::testing::Values(1, 2, 5, 10, 25, 50));
+
+}  // namespace
+}  // namespace medsen::dsp

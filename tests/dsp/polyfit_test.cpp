@@ -1,0 +1,95 @@
+#include "dsp/polyfit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace medsen::dsp {
+namespace {
+
+TEST(Polyfit, RecoversQuadratic) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 40; ++i) {
+    const double x = 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(2.0 - 3.0 * x + 0.5 * x * x);
+  }
+  const Polynomial p = polyfit(xs, ys, 2);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_NEAR(p[0], 2.0, 1e-9);
+  EXPECT_NEAR(p[1], -3.0, 1e-9);
+  EXPECT_NEAR(p[2], 0.5, 1e-9);
+}
+
+TEST(Polyfit, IndexDomainOverload) {
+  std::vector<double> ys;
+  for (int i = 0; i < 10; ++i) ys.push_back(4.0 + 2.0 * i);
+  const Polynomial p = polyfit(ys, 1);
+  EXPECT_NEAR(p[0], 4.0, 1e-9);
+  EXPECT_NEAR(p[1], 2.0, 1e-9);
+}
+
+TEST(Polyfit, SizeMismatchThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW(polyfit(xs, ys, 1), std::invalid_argument);
+}
+
+TEST(Polyfit, TooFewPointsThrows) {
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(polyfit(ys, 2), std::invalid_argument);
+}
+
+TEST(Polyfit, ExactFitThroughNPlusOnePoints) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {1.0, 0.0, 3.0};
+  const Polynomial p = polyfit(xs, ys, 2);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_NEAR(polyval(p, xs[i]), ys[i], 1e-9);
+}
+
+TEST(Polyfit, LeastSquaresBeatsAnyShift) {
+  // For noisy data, the fitted polynomial should have no smaller SSE than
+  // the fit itself when coefficients are perturbed.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.0 + 0.1 * i + ((i % 3) - 1) * 0.05);
+  }
+  const Polynomial p = polyfit(xs, ys, 1);
+  auto sse = [&](const Polynomial& q) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double e = ys[i] - polyval(q, xs[i]);
+      acc += e * e;
+    }
+    return acc;
+  };
+  const double best = sse(p);
+  Polynomial shifted = p;
+  shifted[0] += 0.01;
+  EXPECT_LE(best, sse(shifted));
+  shifted = p;
+  shifted[1] -= 0.001;
+  EXPECT_LE(best, sse(shifted));
+}
+
+TEST(Polyval, HornerAgainstDirect) {
+  const Polynomial p = {1.0, -2.0, 3.0, 0.25};
+  const double x = 1.7;
+  const double direct =
+      1.0 - 2.0 * x + 3.0 * x * x + 0.25 * x * x * x;
+  EXPECT_NEAR(polyval(p, x), direct, 1e-12);
+}
+
+TEST(Polyval, IndicesVector) {
+  const Polynomial p = {5.0, 1.0};
+  const auto v = polyval_indices(p, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 5.0);
+  EXPECT_DOUBLE_EQ(v[2], 7.0);
+}
+
+}  // namespace
+}  // namespace medsen::dsp

@@ -1,0 +1,89 @@
+// Cloud restart survivability: enrollments and stored records written to
+// disk by one server instance must be fully usable by a fresh instance —
+// including authenticating a real sensor pass against the reloaded
+// database.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cloud/persistence.h"
+#include "cloud/server.h"
+#include "core/controller.h"
+#include "core/encryptor.h"
+#include "phone/relay.h"
+
+namespace medsen {
+namespace {
+
+TEST(Restart, AuthenticationSurvivesServerRestart) {
+  const std::string enroll_path =
+      std::string(::testing::TempDir()) + "/medsen_restart_enroll.bin";
+  const std::string records_path =
+      std::string(::testing::TempDir()) + "/medsen_restart_records.bin";
+
+  auth::CytoAlphabet alphabet;
+  auth::CytoCode code;
+  code.levels = {2, 1};
+
+  // --- First server lifetime: enroll and persist.
+  {
+    auto server = cloud::CloudServer(cloud::AnalysisConfig{}, alphabet,
+                                     auth::ParticleClassifier::train({}));
+    server.enrollments().enroll("alice", code);
+    server.store_result(code, {1, {0xAA, 0xBB}});
+    cloud::save_enrollments(server.enrollments(), enroll_path);
+    cloud::save_records(server.records(), records_path);
+  }
+
+  // --- Second lifetime: fresh process state, reload from disk.
+  auto server = cloud::CloudServer(cloud::AnalysisConfig{}, alphabet,
+                                   auth::ParticleClassifier::train({}));
+  {
+    const auto db = cloud::load_enrollments(enroll_path);
+    for (const auto& record : db.records())
+      server.enrollments().enroll(record.user_id, record.code);
+    const auto store = cloud::load_records(records_path);
+    for (const auto& [key, records] : store.entries())
+      server.records().restore(key, records);
+  }
+  EXPECT_EQ(server.enrollments().lookup(code), "alice");
+  EXPECT_EQ(server.records().latest(code)->session_id, 1u);
+
+  // --- A real authentication pass against the reloaded state.
+  const auto design = sim::standard_design(9);
+  core::KeyParams params;
+  params.num_electrodes = 9;
+  core::Controller controller(params, design,
+                              core::DiagnosticProfile::cd4_staging(), 3);
+  const double duration = 120.0;
+  (void)controller.begin_plaintext_session(duration);
+
+  sim::ChannelConfig channel;
+  channel.loss.enabled = false;
+  sim::AcquisitionConfig acquisition;
+  acquisition.noise_sigma = 5e-5;
+  acquisition.drift.slow_amplitude = 0.002;
+  acquisition.drift.random_walk_sigma = 1e-6;
+  core::SensorEncryptor encryptor(design, channel, acquisition);
+  sim::SampleSpec sample;
+  sample.components = auth::encode_mixture(alphabet, code);
+  const auto enc = encryptor.acquire(
+      sample, controller.session_key_schedule_for_testing(), duration, 7);
+
+  phone::PhoneRelay relay;
+  const std::vector<std::uint8_t> mac_key = {0x33};
+  const auto response =
+      relay.relay_auth(enc.signals, 5, controller.session_volume_ul(),
+                       server, mac_key, duration);
+  const auto decision =
+      net::AuthDecisionPayload::deserialize(response.payload);
+  EXPECT_TRUE(decision.authenticated);
+  EXPECT_EQ(decision.user_id, "alice");
+
+  std::remove(enroll_path.c_str());
+  std::remove(records_path.c_str());
+}
+
+}  // namespace
+}  // namespace medsen

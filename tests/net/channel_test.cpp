@@ -1,0 +1,91 @@
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace medsen::net {
+namespace {
+
+TEST(MessageQueue, SendReceiveInOrder) {
+  MessageQueue queue;
+  queue.send({1});
+  queue.send({2});
+  EXPECT_EQ(queue.receive().value(), (std::vector<std::uint8_t>{1}));
+  EXPECT_EQ(queue.receive().value(), (std::vector<std::uint8_t>{2}));
+}
+
+TEST(MessageQueue, TryReceiveEmptyIsNullopt) {
+  MessageQueue queue;
+  EXPECT_FALSE(queue.try_receive().has_value());
+  queue.send({7});
+  EXPECT_TRUE(queue.try_receive().has_value());
+  EXPECT_FALSE(queue.try_receive().has_value());
+}
+
+TEST(MessageQueue, ReceiveBlocksUntilSend) {
+  MessageQueue queue;
+  std::optional<std::vector<std::uint8_t>> received;
+  std::thread consumer([&] { received = queue.receive(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.send({42});
+  consumer.join();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->front(), 42);
+}
+
+TEST(MessageQueue, ShutdownWakesReceiver) {
+  MessageQueue queue;
+  std::optional<std::vector<std::uint8_t>> received{std::vector<std::uint8_t>{1}};
+  std::thread consumer([&] { received = queue.receive(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.shutdown();
+  consumer.join();
+  EXPECT_FALSE(received.has_value());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(MessageQueue, DrainsBeforeShutdownReturnsNull) {
+  MessageQueue queue;
+  queue.send({1});
+  queue.shutdown();
+  EXPECT_TRUE(queue.receive().has_value());
+  EXPECT_FALSE(queue.receive().has_value());
+}
+
+TEST(MessageQueue, SendAfterShutdownDropped) {
+  MessageQueue queue;
+  queue.shutdown();
+  queue.send({1});
+  EXPECT_FALSE(queue.try_receive().has_value());
+}
+
+TEST(MessageQueue, ManyProducersOneConsumer) {
+  MessageQueue queue;
+  constexpr int kPerProducer = 200;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        queue.send({static_cast<std::uint8_t>(p)});
+    });
+  }
+  int received = 0;
+  while (received < kPerProducer * kProducers) {
+    if (queue.receive().has_value()) ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(received, kPerProducer * kProducers);
+}
+
+TEST(DuplexChannel, IndependentDirections) {
+  DuplexChannel duplex;
+  duplex.a_to_b.send({1});
+  duplex.b_to_a.send({2});
+  EXPECT_EQ(duplex.a_to_b.receive()->front(), 1);
+  EXPECT_EQ(duplex.b_to_a.receive()->front(), 2);
+}
+
+}  // namespace
+}  // namespace medsen::net

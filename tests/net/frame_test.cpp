@@ -1,0 +1,49 @@
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::net {
+namespace {
+
+TEST(Frame, RoundTrip) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto frame = frame_encode(payload);
+  EXPECT_EQ(frame.size(), payload.size() + frame_overhead());
+  EXPECT_EQ(frame_decode(frame), payload);
+}
+
+TEST(Frame, EmptyPayload) {
+  const auto frame = frame_encode({});
+  EXPECT_TRUE(frame_decode(frame).empty());
+}
+
+TEST(Frame, BadMagicThrows) {
+  std::vector<std::uint8_t> payload = {1, 2, 3};
+  auto frame = frame_encode(payload);
+  frame[0] ^= 0xFF;
+  EXPECT_THROW(frame_decode(frame), std::runtime_error);
+}
+
+TEST(Frame, CorruptedPayloadThrows) {
+  std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+  auto frame = frame_encode(payload);
+  frame[9] ^= 0x01;  // inside payload
+  EXPECT_THROW(frame_decode(frame), std::runtime_error);
+}
+
+TEST(Frame, CorruptedCrcThrows) {
+  std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+  auto frame = frame_encode(payload);
+  frame.back() ^= 0x01;
+  EXPECT_THROW(frame_decode(frame), std::runtime_error);
+}
+
+TEST(Frame, TruncatedThrows) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+  auto frame = frame_encode(payload);
+  const std::span<const std::uint8_t> cut(frame.data(), frame.size() - 2);
+  EXPECT_THROW(frame_decode(cut), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace medsen::net

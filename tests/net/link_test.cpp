@@ -1,0 +1,43 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::net {
+namespace {
+
+TEST(Link, TransferTimeScalesWithBytes) {
+  LinkModel link{10.0e6, 0.0, 0.0};  // 10 Mbps, no latency
+  EXPECT_NEAR(link.transfer_time_s(1250000), 1.0, 1e-9);  // 10 Mbit
+  EXPECT_NEAR(link.transfer_time_s(0), 0.0, 1e-12);
+}
+
+TEST(Link, LatencyAddsHalfRttPlusOverhead) {
+  LinkModel link{1.0e9, 0.100, 0.010};
+  EXPECT_NEAR(link.transfer_time_s(0), 0.060, 1e-9);
+}
+
+TEST(Link, ProfilesAreSane) {
+  // Uplink slower than downlink; USB much faster than both.
+  EXPECT_LT(lte_uplink().bandwidth_bps, lte_downlink().bandwidth_bps);
+  EXPECT_GT(usb_accessory().bandwidth_bps, lte_downlink().bandwidth_bps);
+  EXPECT_LT(usb_accessory().rtt_s, lte_uplink().rtt_s);
+}
+
+TEST(Link, SmallMessageDominatedByLatency) {
+  const LinkModel lte = lte_uplink();
+  const double t = lte.transfer_time_s(100);
+  EXPECT_GT(t, lte.rtt_s / 2.0);
+  EXPECT_LT(t, lte.rtt_s / 2.0 + lte.per_message_overhead_s + 0.001);
+}
+
+TEST(SimulatedClock, Accumulates) {
+  SimulatedClock clock;
+  clock.advance(0.5);
+  clock.advance(0.25);
+  EXPECT_DOUBLE_EQ(clock.elapsed_s(), 0.75);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.elapsed_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace medsen::net

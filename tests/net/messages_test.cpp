@@ -1,0 +1,87 @@
+#include "net/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::net {
+namespace {
+
+const std::vector<std::uint8_t> kKey = {1, 2, 3, 4, 5, 6, 7, 8};
+
+TEST(Messages, EnvelopeRoundTrip) {
+  const auto envelope =
+      make_envelope(MessageType::kSignalUpload, 42, {9, 8, 7}, kKey);
+  const auto restored = Envelope::deserialize(envelope.serialize());
+  EXPECT_EQ(restored.type, MessageType::kSignalUpload);
+  EXPECT_EQ(restored.session_id, 42u);
+  EXPECT_EQ(restored.payload, (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_TRUE(verify_envelope(restored, kKey));
+}
+
+TEST(Messages, TamperedPayloadFailsMac) {
+  auto envelope = make_envelope(MessageType::kSignalUpload, 1, {1, 2}, kKey);
+  envelope.payload[0] ^= 0xFF;
+  EXPECT_FALSE(verify_envelope(envelope, kKey));
+}
+
+TEST(Messages, TamperedSessionIdFailsMac) {
+  auto envelope = make_envelope(MessageType::kSignalUpload, 1, {1, 2}, kKey);
+  envelope.session_id = 2;
+  EXPECT_FALSE(verify_envelope(envelope, kKey));
+}
+
+TEST(Messages, WrongKeyFailsMac) {
+  const auto envelope =
+      make_envelope(MessageType::kSignalUpload, 1, {1, 2}, kKey);
+  const std::vector<std::uint8_t> other = {9, 9, 9};
+  EXPECT_FALSE(verify_envelope(envelope, other));
+}
+
+TEST(Messages, SignalUploadPayloadRoundTrip) {
+  SignalUploadPayload payload;
+  payload.compressed = true;
+  payload.sample_rate_hz = 450.0;
+  payload.data = {1, 2, 3};
+  const auto restored =
+      SignalUploadPayload::deserialize(payload.serialize());
+  EXPECT_TRUE(restored.compressed);
+  EXPECT_DOUBLE_EQ(restored.sample_rate_hz, 450.0);
+  EXPECT_EQ(restored.data, payload.data);
+}
+
+TEST(Messages, SeriesRoundTrip) {
+  util::MultiChannelSeries series;
+  series.carrier_frequencies_hz = {5e5, 2e6};
+  series.channels.emplace_back(450.0, std::vector<double>{1.0, 0.99, 1.01},
+                               2.5);
+  series.channels.emplace_back(450.0, std::vector<double>{1.0, 0.98, 1.02},
+                               2.5);
+  const auto restored = deserialize_series(serialize_series(series));
+  ASSERT_EQ(restored.channels.size(), 2u);
+  EXPECT_DOUBLE_EQ(restored.carrier_frequencies_hz[1], 2e6);
+  EXPECT_DOUBLE_EQ(restored.channels[0].sample_rate(), 450.0);
+  EXPECT_DOUBLE_EQ(restored.channels[0].start_time(), 2.5);
+  EXPECT_DOUBLE_EQ(restored.channels[1][2], 1.02);
+}
+
+TEST(Messages, AuthDecisionRoundTrip) {
+  AuthDecisionPayload payload;
+  payload.authenticated = true;
+  payload.user_id = "alice";
+  payload.distance = 0.25;
+  const auto restored =
+      AuthDecisionPayload::deserialize(payload.serialize());
+  EXPECT_TRUE(restored.authenticated);
+  EXPECT_EQ(restored.user_id, "alice");
+  EXPECT_DOUBLE_EQ(restored.distance, 0.25);
+}
+
+TEST(Messages, TruncatedEnvelopeThrows) {
+  const auto envelope =
+      make_envelope(MessageType::kSignalUpload, 1, {1, 2, 3}, kKey);
+  const auto bytes = envelope.serialize();
+  const std::span<const std::uint8_t> cut(bytes.data(), bytes.size() - 10);
+  EXPECT_THROW(Envelope::deserialize(cut), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace medsen::net

@@ -1,0 +1,87 @@
+#include "phone/app.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::phone {
+namespace {
+
+TEST(AppSession, HappyPath) {
+  AppSession session;
+  EXPECT_EQ(session.state(), AppState::kIdle);
+  EXPECT_EQ(session.handle(AppEvent::kDongleAttached),
+            AppState::kConnected);
+  EXPECT_EQ(session.handle(AppEvent::kTestStarted), AppState::kAcquiring);
+  EXPECT_EQ(session.handle(AppEvent::kAcquisitionDone),
+            AppState::kUploading);
+  EXPECT_EQ(session.handle(AppEvent::kUploadDone),
+            AppState::kAwaitingResult);
+  EXPECT_EQ(session.handle(AppEvent::kResultReceived), AppState::kComplete);
+}
+
+TEST(AppSession, IllegalEventGoesToError) {
+  AppSession session;
+  EXPECT_EQ(session.handle(AppEvent::kResultReceived), AppState::kError);
+}
+
+TEST(AppSession, FailureLegalAnywhere) {
+  AppSession session;
+  (void)session.handle(AppEvent::kDongleAttached);
+  (void)session.handle(AppEvent::kTestStarted);
+  EXPECT_EQ(session.handle(AppEvent::kFailure), AppState::kError);
+}
+
+TEST(AppSession, DetachMidSessionIsError) {
+  AppSession session;
+  (void)session.handle(AppEvent::kDongleAttached);
+  (void)session.handle(AppEvent::kTestStarted);
+  EXPECT_EQ(session.handle(AppEvent::kDongleDetached), AppState::kError);
+}
+
+TEST(AppSession, DetachAfterCompleteIsClean) {
+  AppSession session;
+  (void)session.handle(AppEvent::kDongleAttached);
+  (void)session.handle(AppEvent::kTestStarted);
+  (void)session.handle(AppEvent::kAcquisitionDone);
+  (void)session.handle(AppEvent::kUploadDone);
+  (void)session.handle(AppEvent::kResultReceived);
+  EXPECT_EQ(session.handle(AppEvent::kDongleDetached), AppState::kIdle);
+}
+
+TEST(AppSession, ResetRecoversFromError) {
+  AppSession session;
+  (void)session.handle(AppEvent::kFailure);
+  session.reset();
+  EXPECT_EQ(session.state(), AppState::kIdle);
+  EXPECT_EQ(session.handle(AppEvent::kDongleAttached),
+            AppState::kConnected);
+}
+
+TEST(AppSession, ListenerSeesTransitions) {
+  AppSession session;
+  std::vector<AppState> seen;
+  session.set_listener(
+      [&](AppState state, const std::string&) { seen.push_back(state); });
+  (void)session.handle(AppEvent::kDongleAttached);
+  (void)session.handle(AppEvent::kTestStarted);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], AppState::kConnected);
+  EXPECT_EQ(seen[1], AppState::kAcquiring);
+}
+
+TEST(AppSession, LogRecordsHistory) {
+  AppSession session;
+  (void)session.handle(AppEvent::kDongleAttached);
+  (void)session.handle(AppEvent::kFailure);
+  ASSERT_EQ(session.log().size(), 2u);
+  EXPECT_NE(session.log()[0].find("connected"), std::string::npos);
+  EXPECT_NE(session.log()[1].find("error"), std::string::npos);
+}
+
+TEST(AppSession, StateNames) {
+  EXPECT_STREQ(to_string(AppState::kIdle), "idle");
+  EXPECT_STREQ(to_string(AppState::kComplete), "complete");
+  EXPECT_STREQ(to_string(AppEvent::kTestStarted), "test-started");
+}
+
+}  // namespace
+}  // namespace medsen::phone

@@ -1,0 +1,149 @@
+#include "phone/relay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace medsen::phone {
+namespace {
+
+const std::vector<std::uint8_t> kMacKey = {5, 6, 7, 8};
+
+util::MultiChannelSeries dip_series(std::size_t dips, std::size_t n = 9000) {
+  util::MultiChannelSeries series;
+  series.carrier_frequencies_hz = {5.0e5};
+  util::TimeSeries ts(450.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / 450.0;
+    double v = 1.0;
+    for (std::size_t d = 0; d < dips; ++d) {
+      const double z = (t - (3.0 + 2.0 * static_cast<double>(d))) / 0.008;
+      v *= 1.0 - 0.01 * std::exp(-0.5 * z * z);
+    }
+    // A grain of quantized (ADC-like) noise so the quality gate's
+    // stuck-ADC detector sees a live signal while the samples stay
+    // compressible.
+    v += 1e-5 * static_cast<double>(static_cast<int>((i * 7) % 11) - 5);
+    ts.push_back(v);
+  }
+  series.channels.push_back(std::move(ts));
+  return series;
+}
+
+cloud::CloudServer make_server() {
+  return cloud::CloudServer(cloud::AnalysisConfig{}, auth::CytoAlphabet{},
+                            auth::ParticleClassifier::train({}));
+}
+
+TEST(PhoneRelay, RelaysAndReturnsReport) {
+  auto server = make_server();
+  PhoneRelay relay;
+  const auto response =
+      relay.relay_analysis(dip_series(3), 11, server, kMacKey);
+  EXPECT_EQ(response.type, net::MessageType::kAnalysisResult);
+  const auto report = core::PeakReport::deserialize(response.payload);
+  EXPECT_EQ(report.reference_peak_count(), 3u);
+}
+
+TEST(PhoneRelay, TimingBreakdownPopulated) {
+  auto server = make_server();
+  PhoneRelay relay;
+  (void)relay.relay_analysis(dip_series(2), 1, server, kMacKey);
+  const RelayTiming& timing = relay.timing();
+  EXPECT_GT(timing.usb_in_s, 0.0);
+  EXPECT_GT(timing.uplink_s, 0.0);
+  EXPECT_GT(timing.analysis_s, 0.0);
+  EXPECT_GT(timing.downlink_s, 0.0);
+  EXPECT_NEAR(timing.total_s(),
+              timing.usb_in_s + timing.compression_s + timing.uplink_s +
+                  timing.analysis_s + timing.downlink_s + timing.usb_out_s,
+              1e-12);
+}
+
+TEST(PhoneRelay, CompressionShrinksUpload) {
+  auto server = make_server();
+  RelayConfig with;
+  with.compress_uploads = true;
+  RelayConfig without;
+  without.compress_uploads = false;
+  PhoneRelay compressed(with), raw(without);
+  const auto series = dip_series(2);
+  (void)compressed.relay_analysis(series, 1, server, kMacKey);
+  (void)raw.relay_analysis(series, 2, server, kMacKey);
+  EXPECT_LT(compressed.last_upload_bytes(), raw.last_upload_bytes() / 2);
+}
+
+TEST(PhoneRelay, SmallUploadSkipsCompression) {
+  auto server = make_server();
+  PhoneRelay relay;
+  (void)relay.relay_analysis(dip_series(0, 100), 1, server, kMacKey);
+  EXPECT_DOUBLE_EQ(relay.timing().compression_s, 0.0);
+}
+
+TEST(PhoneRelay, ProgressEventsEmitted) {
+  auto server = make_server();
+  PhoneRelay relay;
+  std::vector<std::string> events;
+  relay.set_progress_callback(
+      [&](const std::string& msg) { events.push_back(msg); });
+  (void)relay.relay_analysis(dip_series(1), 1, server, kMacKey);
+  EXPECT_GE(events.size(), 3u);
+  EXPECT_EQ(events.back(), "analysis complete");
+}
+
+TEST(PhoneRelay, LocalAnalysisScaledByProfile) {
+  RelayConfig config;
+  config.profile = nexus5_profile();
+  PhoneRelay relay(config);
+  const auto report =
+      relay.analyze_locally(dip_series(2), cloud::AnalysisConfig{});
+  EXPECT_EQ(report.reference_peak_count(), 2u);
+  EXPECT_GT(relay.timing().analysis_s, 0.0);
+}
+
+TEST(PhoneRelay, CsvFormatRoundTrips) {
+  auto server = make_server();
+  RelayConfig config;
+  config.csv_format = true;
+  PhoneRelay relay(config);
+  const auto response =
+      relay.relay_analysis(dip_series(3), 21, server, kMacKey);
+  const auto report = core::PeakReport::deserialize(response.payload);
+  EXPECT_EQ(report.reference_peak_count(), 3u);
+}
+
+TEST(PhoneRelay, CsvUploadLargerThanBinary) {
+  auto server = make_server();
+  RelayConfig csv;
+  csv.csv_format = true;
+  csv.compress_uploads = false;
+  RelayConfig binary;
+  binary.compress_uploads = false;
+  PhoneRelay csv_relay(csv), binary_relay(binary);
+  const auto series = dip_series(1);
+  (void)csv_relay.relay_analysis(series, 1, server, kMacKey);
+  (void)binary_relay.relay_analysis(series, 2, server, kMacKey);
+  EXPECT_GT(csv_relay.last_upload_bytes(), binary_relay.last_upload_bytes());
+}
+
+TEST(PhoneRelay, CompressedCsvRoundTrips) {
+  auto server = make_server();
+  RelayConfig config;
+  config.csv_format = true;
+  config.compress_uploads = true;
+  PhoneRelay relay(config);
+  const auto response =
+      relay.relay_analysis(dip_series(2), 22, server, kMacKey);
+  const auto report = core::PeakReport::deserialize(response.payload);
+  EXPECT_EQ(report.reference_peak_count(), 2u);
+  EXPECT_GT(relay.timing().compression_s, 0.0);
+}
+
+TEST(PhoneRelay, Profiles) {
+  EXPECT_DOUBLE_EQ(computer_profile().slowdown, 1.0);
+  EXPECT_GT(nexus5_profile().slowdown, 3.0);
+  EXPECT_NEAR(nexus5_profile().scale(0.452), 1.554, 0.06);
+}
+
+}  // namespace
+}  // namespace medsen::phone

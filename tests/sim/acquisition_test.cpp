@@ -1,0 +1,159 @@
+#include "sim/acquisition.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/detrend.h"
+#include "dsp/peak_detect.h"
+
+namespace medsen::sim {
+namespace {
+
+AcquisitionConfig fast_config() {
+  AcquisitionConfig config;
+  config.carriers_hz = {5.0e5, 2.0e6};
+  config.noise_sigma = 5e-5;
+  config.drift.slow_amplitude = 0.002;
+  config.drift.random_walk_sigma = 1e-6;
+  return config;
+}
+
+ControlSegment fixed_segment(ElectrodeMask mask, double flow = 0.08) {
+  ControlSegment seg;
+  seg.t_start_s = 0.0;
+  seg.active_mask = mask;
+  seg.flow_ul_min = flow;
+  return seg;
+}
+
+TEST(Acquisition, ProducesRequestedChannels) {
+  SampleSpec sample;
+  sample.components = {{ParticleType::kBead780, 500.0}};
+  ChannelConfig channel;
+  channel.loss.enabled = false;
+  const auto design = standard_design(9);
+  const auto config = fast_config();
+  const std::vector<ControlSegment> control = {fixed_segment(0b1)};
+  const auto result =
+      acquire(sample, channel, design, config, control, 10.0, 42);
+  ASSERT_EQ(result.signals.channels.size(), 2u);
+  EXPECT_EQ(result.signals.channels[0].size(),
+            result.signals.channels[1].size());
+  EXPECT_DOUBLE_EQ(result.signals.channels[0].sample_rate(), 450.0);
+}
+
+TEST(Acquisition, GroundTruthCountsByType) {
+  SampleSpec sample;
+  sample.components = {{ParticleType::kBead358, 1000.0},
+                       {ParticleType::kBead780, 500.0}};
+  ChannelConfig channel;
+  channel.loss.enabled = false;
+  const auto design = standard_design(9);
+  const std::vector<ControlSegment> control = {fixed_segment(0b1)};
+  const auto result =
+      acquire(sample, channel, design, fast_config(), control, 60.0, 7);
+  const auto small =
+      result.truth.type_counts[static_cast<std::size_t>(ParticleType::kBead358)];
+  const auto large =
+      result.truth.type_counts[static_cast<std::size_t>(ParticleType::kBead780)];
+  EXPECT_GT(small, large);
+  EXPECT_EQ(small + large, result.truth.total_particles());
+}
+
+TEST(Acquisition, PulsesFollowElectrodeMask) {
+  SampleSpec sample;
+  sample.components = {{ParticleType::kBead780, 300.0}};
+  ChannelConfig channel;
+  channel.loss.enabled = false;
+  const auto design = standard_design(9);
+  const std::vector<ControlSegment> control = {
+      fixed_segment(design.all_mask())};
+  const auto result =
+      acquire(sample, channel, design, fast_config(), control, 30.0, 9);
+  for (const auto& transit : result.truth.transits)
+    EXPECT_EQ(transit.pulses_emitted, 17u);
+}
+
+TEST(Acquisition, DetectedPeaksMatchTruthForSparseSample) {
+  // With a quiet signal and well-separated transits, cloud-side peak
+  // detection must recover the emitted pulse count almost exactly.
+  SampleSpec sample;
+  sample.components = {{ParticleType::kBead780, 150.0}};
+  ChannelConfig channel;
+  channel.loss.enabled = false;
+  const auto design = standard_design(9);
+  auto config = fast_config();
+  const std::vector<ControlSegment> control = {fixed_segment(0b1)};
+  const auto result =
+      acquire(sample, channel, design, config, control, 60.0, 11);
+  const auto& ref = result.signals.channels[0];
+  const auto detrended = dsp::detrend(ref.samples());
+  const auto peaks = dsp::detect_peaks(detrended, ref.sample_rate(), 0.0);
+  const double truth = static_cast<double>(result.truth.total_pulses);
+  EXPECT_NEAR(static_cast<double>(peaks.size()), truth,
+              std::max(2.0, truth * 0.12));
+}
+
+TEST(Acquisition, GainScalesPeakAmplitude) {
+  SampleSpec sample;
+  sample.components = {{ParticleType::kBead780, 100.0}};
+  ChannelConfig channel;
+  channel.loss.enabled = false;
+  const auto design = standard_design(9);
+  auto config = fast_config();
+  config.noise_sigma = 0.0;
+  config.drift = DriftConfig{0.0, 120.0, 0.0, 0.0};
+
+  auto run_with_gain = [&](double gain) {
+    ControlSegment seg = fixed_segment(0b10);
+    seg.gains.assign(9, gain);
+    const std::vector<ControlSegment> control = {seg};
+    const auto result =
+        acquire(sample, channel, design, config, control, 30.0, 13);
+    const auto& ref = result.signals.channels[0];
+    double min_v = 1.0;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      min_v = std::min(min_v, ref[i]);
+    return 1.0 - min_v;
+  };
+  const double depth_1x = run_with_gain(1.0);
+  const double depth_2x = run_with_gain(2.0);
+  EXPECT_GT(depth_1x, 0.0);
+  EXPECT_NEAR(depth_2x / depth_1x, 2.0, 0.2);
+}
+
+TEST(Acquisition, EmptyControlThrows) {
+  SampleSpec sample;
+  ChannelConfig channel;
+  const auto design = standard_design(9);
+  EXPECT_THROW(
+      acquire(sample, channel, design, fast_config(), {}, 10.0, 1),
+      std::invalid_argument);
+}
+
+TEST(Acquisition, ControlAtPicksLatestSegment) {
+  std::vector<ControlSegment> control = {fixed_segment(0b1),
+                                         fixed_segment(0b11)};
+  control[1].t_start_s = 10.0;
+  EXPECT_EQ(control_at(control, 5.0).active_mask, 0b1u);
+  EXPECT_EQ(control_at(control, 10.0).active_mask, 0b11u);
+  EXPECT_EQ(control_at(control, 50.0).active_mask, 0b11u);
+}
+
+TEST(Acquisition, DeterministicForSeed) {
+  SampleSpec sample;
+  sample.components = {{ParticleType::kBead358, 400.0}};
+  ChannelConfig channel;
+  const auto design = standard_design(9);
+  const std::vector<ControlSegment> control = {fixed_segment(0b101)};
+  const auto a =
+      acquire(sample, channel, design, fast_config(), control, 10.0, 99);
+  const auto b =
+      acquire(sample, channel, design, fast_config(), control, 10.0, 99);
+  ASSERT_EQ(a.signals.channels[0].size(), b.signals.channels[0].size());
+  for (std::size_t i = 0; i < a.signals.channels[0].size(); ++i)
+    EXPECT_DOUBLE_EQ(a.signals.channels[0][i], b.signals.channels[0][i]);
+  EXPECT_EQ(a.truth.total_particles(), b.truth.total_particles());
+}
+
+}  // namespace
+}  // namespace medsen::sim

@@ -1,0 +1,93 @@
+#include "sim/capture.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::sim {
+namespace {
+
+SampleSpec whole_blood_like() {
+  SampleSpec sample;
+  sample.components = {{ParticleType::kBloodCell, 500.0},
+                       {ParticleType::kBead358, 2000.0},
+                       {ParticleType::kBead780, 1000.0}};
+  return sample;
+}
+
+TEST(Capture, EnrichesTarget) {
+  const auto result = capture_release(whole_blood_like(), {});
+  const double factor =
+      enrichment_factor(whole_blood_like(), result,
+                        ParticleType::kBloodCell);
+  // 0.92 capture * 0.95 release * 10x volume reduction ~ 8.7x.
+  EXPECT_NEAR(factor, 0.92 * 0.95 * 10.0, 1e-9);
+}
+
+TEST(Capture, ImprovesPurity) {
+  const auto sample = whole_blood_like();
+  const auto result = capture_release(sample, {});
+  // Input purity: 500 / 3500 ~ 0.14; enriched should be far higher.
+  EXPECT_GT(result.purity(ParticleType::kBloodCell), 0.7);
+}
+
+TEST(Capture, FlowThroughKeepsUncaptured) {
+  const auto result = capture_release(whole_blood_like(), {});
+  // Non-targets wash through at (1 - nonspecific) of input.
+  EXPECT_NEAR(result.flow_through.expected_count(ParticleType::kBead358, 1.0),
+              2000.0 * 0.96, 1e-9);
+  EXPECT_NEAR(
+      result.flow_through.expected_count(ParticleType::kBloodCell, 1.0),
+      500.0 * 0.08, 1e-9);
+}
+
+TEST(Capture, PerfectChamberIsLossless) {
+  CaptureChamberConfig config;
+  config.capture_efficiency = 1.0;
+  config.nonspecific_binding = 0.0;
+  config.release_efficiency = 1.0;
+  config.concentration_factor = 1.0;
+  const auto result = capture_release(whole_blood_like(), config);
+  EXPECT_NEAR(result.enriched.expected_count(ParticleType::kBloodCell, 1.0),
+              500.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.purity(ParticleType::kBloodCell), 1.0);
+}
+
+TEST(Capture, EmptySample) {
+  const auto result = capture_release(SampleSpec{}, {});
+  EXPECT_TRUE(result.enriched.components.empty());
+  EXPECT_DOUBLE_EQ(result.purity(ParticleType::kBloodCell), 0.0);
+}
+
+TEST(Capture, InvalidConfigThrows) {
+  CaptureChamberConfig bad;
+  bad.capture_efficiency = 1.5;
+  EXPECT_THROW(capture_release(SampleSpec{}, bad), std::invalid_argument);
+  bad = {};
+  bad.concentration_factor = 0.0;
+  EXPECT_THROW(capture_release(SampleSpec{}, bad), std::invalid_argument);
+}
+
+TEST(Capture, TargetSelectable) {
+  CaptureChamberConfig config;
+  config.target = ParticleType::kBead780;
+  const auto result = capture_release(whole_blood_like(), config);
+  EXPECT_GT(result.purity(ParticleType::kBead780), 0.7);
+}
+
+class CaptureEfficiencySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CaptureEfficiencySweep, EnrichmentScalesWithEfficiency) {
+  CaptureChamberConfig config;
+  config.capture_efficiency = GetParam();
+  const auto sample = whole_blood_like();
+  const auto result = capture_release(sample, config);
+  EXPECT_NEAR(enrichment_factor(sample, result, ParticleType::kBloodCell),
+              GetParam() * config.release_efficiency *
+                  config.concentration_factor,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Efficiencies, CaptureEfficiencySweep,
+                         ::testing::Values(0.2, 0.5, 0.8, 0.95, 1.0));
+
+}  // namespace
+}  // namespace medsen::sim

@@ -1,0 +1,132 @@
+#include "sim/electrode_array.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::sim {
+namespace {
+
+TEST(ElectrodeArray, PaperPeakArithmetic) {
+  // Fig. 11d: all 9 outputs on -> 17 peaks (8 doubles + 1 lead single).
+  const auto design = standard_design(9);
+  EXPECT_EQ(design.peaks_per_particle(design.all_mask()), 17u);
+  // Fig. 8: outputs {1,2,3} (0-based {0,1,2}) with lead 0 -> 5 peaks.
+  EXPECT_EQ(design.peaks_per_particle(0b111), 5u);
+}
+
+TEST(ElectrodeArray, LeadAloneSinglePeak) {
+  const auto design = standard_design(9);
+  EXPECT_EQ(design.peaks_per_particle(0b1), 1u);
+}
+
+TEST(ElectrodeArray, NonLeadAloneDoublePeak) {
+  const auto design = standard_design(9);
+  EXPECT_EQ(design.peaks_per_particle(0b10), 2u);
+}
+
+TEST(ElectrodeArray, FixedLeadMakesAllDouble) {
+  auto design = standard_design(9);
+  design.fixed_lead_electrode = true;
+  EXPECT_EQ(design.peaks_per_particle(design.all_mask()), 18u);
+  EXPECT_EQ(design.peaks_per_particle(0b1), 2u);
+}
+
+TEST(ElectrodeArray, EmptyMaskZeroPeaks) {
+  const auto design = standard_design(5);
+  EXPECT_EQ(design.peaks_per_particle(0), 0u);
+}
+
+TEST(ElectrodeArray, MaskBitsBeyondArrayIgnored) {
+  const auto design = standard_design(3);
+  EXPECT_EQ(design.peaks_per_particle(0xFFFFFFFF),
+            design.peaks_per_particle(design.all_mask()));
+}
+
+TEST(ElectrodeArray, GapLengthIs45Um) {
+  // Paper Section VII-A: 25 um pitch + 20 um electrode = 45 um gap.
+  const auto design = standard_design(9);
+  EXPECT_DOUBLE_EQ(design.gap_length_um(), 45.0);
+}
+
+TEST(ElectrodeArray, OutputPositionsIncrease) {
+  const auto design = standard_design(9);
+  for (std::size_t i = 1; i < design.num_outputs; ++i)
+    EXPECT_GT(design.output_position_um(i), design.output_position_um(i - 1));
+  EXPECT_DOUBLE_EQ(design.output_position_um(1) - design.output_position_um(0),
+                   2.0 * design.pitch_um);
+}
+
+TEST(ElectrodeArray, StandardDesignValidatesOutputs) {
+  EXPECT_THROW(standard_design(4), std::invalid_argument);
+  EXPECT_NO_THROW(standard_design(2));
+  EXPECT_NO_THROW(standard_design(16));
+}
+
+TEST(ParticlePulses, CountMatchesPeaksPerParticle) {
+  const auto design = standard_design(9);
+  for (ElectrodeMask mask : {0b1u, 0b10u, 0b111u, 0b101010101u,
+                             design.all_mask()}) {
+    const auto pulses = particle_pulses(design, mask, 0.0, 2250.0);
+    EXPECT_EQ(pulses.size(), design.peaks_per_particle(mask)) << mask;
+  }
+}
+
+TEST(ParticlePulses, SortedByTime) {
+  const auto design = standard_design(9);
+  const auto pulses =
+      particle_pulses(design, design.all_mask(), 10.0, 2250.0);
+  for (std::size_t i = 1; i < pulses.size(); ++i)
+    EXPECT_GE(pulses[i].time_s, pulses[i - 1].time_s);
+}
+
+TEST(ParticlePulses, TimesScaleWithSpeed) {
+  const auto design = standard_design(3);
+  const auto slow = particle_pulses(design, 0b100, 0.0, 1000.0);
+  const auto fast = particle_pulses(design, 0b100, 0.0, 2000.0);
+  ASSERT_EQ(slow.size(), 2u);
+  ASSERT_EQ(fast.size(), 2u);
+  EXPECT_NEAR(slow[0].time_s, 2.0 * fast[0].time_s, 1e-9);
+  EXPECT_NEAR(slow[0].width_s, 2.0 * fast[0].width_s, 1e-9);
+}
+
+TEST(ParticlePulses, DoublePeakSeparationIsPitch) {
+  const auto design = standard_design(3);
+  const double v = 2250.0;
+  const auto pulses = particle_pulses(design, 0b10, 0.0, v);
+  ASSERT_EQ(pulses.size(), 2u);
+  EXPECT_NEAR(pulses[1].time_s - pulses[0].time_s, design.pitch_um / v,
+              1e-9);
+}
+
+TEST(ParticlePulses, ZeroSpeedThrows) {
+  const auto design = standard_design(3);
+  EXPECT_THROW(particle_pulses(design, 0b1, 0.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ParticlePulses, EnterTimeOffsetsAllPulses) {
+  const auto design = standard_design(3);
+  const auto base = particle_pulses(design, 0b111, 0.0, 2250.0);
+  const auto shifted = particle_pulses(design, 0b111, 5.0, 2250.0);
+  ASSERT_EQ(base.size(), shifted.size());
+  for (std::size_t i = 0; i < base.size(); ++i)
+    EXPECT_NEAR(shifted[i].time_s - base[i].time_s, 5.0, 1e-9);
+}
+
+class LeadIndexSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LeadIndexSweep, AnyLeadPositionCountsCorrectly) {
+  auto design = standard_design(5);
+  design.lead_index = GetParam();
+  // All on: 2*5 - 1 = 9 peaks regardless of which electrode is the lead.
+  EXPECT_EQ(design.peaks_per_particle(design.all_mask()), 9u);
+  // Lead excluded: 2 * 4 = 8 peaks.
+  const ElectrodeMask without_lead =
+      design.all_mask() & ~(ElectrodeMask{1} << design.lead_index);
+  EXPECT_EQ(design.peaks_per_particle(without_lead), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Leads, LeadIndexSweep,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace medsen::sim

@@ -1,0 +1,59 @@
+#include "sim/impedance_model.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::sim {
+namespace {
+
+TEST(Impedance, CapacitanceDominatesAtLowFrequency) {
+  // Paper Section III-A: below ~10 kHz |Z| is in the MOhm range.
+  ElectrodePairModel model;
+  EXPECT_GT(impedance_magnitude(model, 1.0e3), 2.0e5);
+  EXPECT_LT(resistive_fraction(model, 1.0e3), 0.2);
+}
+
+TEST(Impedance, ResistanceDominatesAtHighFrequency) {
+  // Above ~100 kHz the double layer is short-circuited.
+  ElectrodePairModel model;
+  EXPECT_NEAR(impedance_magnitude(model, 1.0e6),
+              model.solution_resistance_ohm,
+              model.solution_resistance_ohm * 0.1);
+  EXPECT_GT(resistive_fraction(model, 1.0e6), 0.95);
+}
+
+TEST(Impedance, MagnitudeMonotonicallyFallsToResistivePlateau) {
+  ElectrodePairModel model;
+  model.parasitic_capacitance_f = 0.0;  // pure series branch
+  double prev = impedance_magnitude(model, 100.0);
+  for (double f = 300.0; f <= 1.0e6; f *= 3.0) {
+    const double z = impedance_magnitude(model, f);
+    EXPECT_LT(z, prev);
+    prev = z;
+  }
+  EXPECT_GE(prev, model.solution_resistance_ohm * 0.999);
+}
+
+TEST(Impedance, DcBlocksCompletely) {
+  ElectrodePairModel model;
+  EXPECT_GT(impedance_magnitude(model, 0.0), 1e11);
+}
+
+TEST(Impedance, SensitivityPeaksInOperatingBand) {
+  // The instrument operates at >= 500 kHz where amplitude sensitivity to
+  // resistance changes approaches 1.
+  ElectrodePairModel model;
+  EXPECT_GT(amplitude_sensitivity(model, 5.0e5), 0.9);
+  EXPECT_LT(amplitude_sensitivity(model, 1.0e3), 0.2);
+}
+
+TEST(Impedance, ParasiticShuntLowersHighFrequencyMagnitude) {
+  ElectrodePairModel with_parasitic;
+  ElectrodePairModel without = with_parasitic;
+  without.parasitic_capacitance_f = 0.0;
+  const double f = 50.0e6;  // far above the operating band
+  EXPECT_LT(impedance_magnitude(with_parasitic, f),
+            impedance_magnitude(without, f));
+}
+
+}  // namespace
+}  // namespace medsen::sim

@@ -1,0 +1,76 @@
+#include "sim/lockin.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/stats.h"
+
+namespace medsen::sim {
+namespace {
+
+TEST(LockIn, OutputRateAndLength) {
+  LockInConfig config;
+  const std::vector<double> input(4500, 1.0);  // 1 s at internal rate
+  const auto out = lockin_output(input, 0.0, config);
+  EXPECT_DOUBLE_EQ(out.sample_rate(), 450.0);
+  EXPECT_EQ(out.size(), 450u);
+}
+
+TEST(LockIn, DcPassesUnchanged) {
+  LockInConfig config;
+  const std::vector<double> input(9000, 0.75);
+  const auto out = lockin_output(input, 0.0, config);
+  for (std::size_t i = 10; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], 0.75, 1e-3);
+}
+
+TEST(LockIn, HighFrequencyRippleSuppressed) {
+  LockInConfig config;
+  std::vector<double> input(45000);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const double t = static_cast<double>(i) / config.internal_rate_hz();
+    input[i] =
+        1.0 + 0.1 * std::sin(2.0 * std::numbers::pi * 1500.0 * t);
+  }
+  const auto out = lockin_output(input, 0.0, config);
+  std::vector<double> tail(out.samples().begin() + 100,
+                           out.samples().end());
+  EXPECT_LT(util::stddev(tail), 0.01);
+  EXPECT_NEAR(util::mean(tail), 1.0, 0.01);
+}
+
+TEST(LockIn, SlowPeakSurvives) {
+  // A 20 ms transit dip (well inside the 120 Hz passband) must keep most
+  // of its depth through the output chain.
+  LockInConfig config;
+  std::vector<double> input(45000, 1.0);
+  const double rate = config.internal_rate_hz();
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const double t = static_cast<double>(i) / rate;
+    const double z = (t - 5.0) / 0.008;
+    input[i] -= 0.01 * std::exp(-0.5 * z * z);
+  }
+  const auto out = lockin_output(input, 0.0, config);
+  double min_v = 1.0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    min_v = std::min(min_v, out[i]);
+  EXPECT_NEAR(1.0 - min_v, 0.01, 0.004);
+}
+
+TEST(LockIn, StartTimePropagated) {
+  LockInConfig config;
+  const std::vector<double> input(450, 1.0);
+  const auto out = lockin_output(input, 12.5, config);
+  EXPECT_DOUBLE_EQ(out.start_time(), 12.5);
+}
+
+TEST(LockIn, EmptyInputEmptyOutput) {
+  LockInConfig config;
+  const auto out = lockin_output({}, 0.0, config);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace medsen::sim

@@ -1,0 +1,75 @@
+#include "sim/particle.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::sim {
+namespace {
+
+TEST(Particle, TypeNames) {
+  EXPECT_EQ(to_string(ParticleType::kBloodCell), "blood_cell");
+  EXPECT_EQ(to_string(ParticleType::kBead358), "bead_3.58um");
+  EXPECT_EQ(to_string(ParticleType::kBead780), "bead_7.8um");
+}
+
+TEST(Particle, NominalDiameters) {
+  EXPECT_NEAR(properties(ParticleType::kBead358).diameter_um_mean, 3.58,
+              1e-9);
+  EXPECT_NEAR(properties(ParticleType::kBead780).diameter_um_mean, 7.8,
+              1e-9);
+}
+
+TEST(Particle, PaperAmplitudeOrderingAtReference) {
+  // Paper Section VI-B: blood ~2x, 7.8 um beads ~4x the 3.58 um bead.
+  Particle small{ParticleType::kBead358,
+                 properties(ParticleType::kBead358).diameter_um_mean};
+  Particle blood{ParticleType::kBloodCell,
+                 properties(ParticleType::kBloodCell).diameter_um_mean};
+  Particle large{ParticleType::kBead780,
+                 properties(ParticleType::kBead780).diameter_um_mean};
+  const double ref = 5.0e5;
+  const double a_small = peak_contrast(small, ref);
+  const double a_blood = peak_contrast(blood, ref);
+  const double a_large = peak_contrast(large, ref);
+  EXPECT_NEAR(a_blood / a_small, 2.0, 0.5);
+  EXPECT_NEAR(a_large / a_small, 4.0, 1.0);
+}
+
+TEST(Particle, BeadsAreFrequencyFlat) {
+  EXPECT_DOUBLE_EQ(frequency_factor(ParticleType::kBead358, 5.0e5), 1.0);
+  EXPECT_DOUBLE_EQ(frequency_factor(ParticleType::kBead358, 4.0e6), 1.0);
+  EXPECT_DOUBLE_EQ(frequency_factor(ParticleType::kBead780, 4.0e6), 1.0);
+}
+
+TEST(Particle, BloodCellRollsOffAboveCutoff) {
+  // Fig. 15a: blood cell response at >= 2 MHz is visibly lower than at
+  // 500 kHz, while normalized to 1 at the reference.
+  const double at_ref = frequency_factor(ParticleType::kBloodCell, 5.0e5);
+  const double at_2mhz = frequency_factor(ParticleType::kBloodCell, 2.0e6);
+  const double at_4mhz = frequency_factor(ParticleType::kBloodCell, 4.0e6);
+  EXPECT_NEAR(at_ref, 1.0, 1e-9);
+  EXPECT_LT(at_2mhz, 0.9);
+  EXPECT_LT(at_4mhz, at_2mhz);
+}
+
+TEST(Particle, ContrastScalesWithVolume) {
+  Particle nominal{ParticleType::kBead358, 3.58};
+  Particle doubled{ParticleType::kBead358, 7.16};
+  EXPECT_NEAR(peak_contrast(doubled, 5.0e5) / peak_contrast(nominal, 5.0e5),
+              8.0, 1e-6);
+}
+
+TEST(SampleSpec, ExpectedCountSumsComponents) {
+  SampleSpec sample;
+  sample.components = {{ParticleType::kBead358, 100.0},
+                       {ParticleType::kBead780, 50.0},
+                       {ParticleType::kBead358, 20.0}};
+  EXPECT_DOUBLE_EQ(sample.expected_count(ParticleType::kBead358, 2.0),
+                   240.0);
+  EXPECT_DOUBLE_EQ(sample.expected_count(ParticleType::kBead780, 2.0),
+                   100.0);
+  EXPECT_DOUBLE_EQ(sample.expected_count(ParticleType::kBloodCell, 2.0),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace medsen::sim

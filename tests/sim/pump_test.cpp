@@ -1,0 +1,91 @@
+#include "sim/pump.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::sim {
+namespace {
+
+TEST(Pump, RejectsOutOfRangeTargets) {
+  PumpProgram program;
+  EXPECT_THROW(program.add({2.0, 1.0, false}), std::invalid_argument);
+  EXPECT_THROW(program.add({0.0, 1.0, false}), std::invalid_argument);
+  EXPECT_THROW(program.add({0.08, -1.0, false}), std::invalid_argument);
+}
+
+TEST(Pump, StepProgramCompilesToSegments) {
+  PumpProgram program;
+  program.add({0.08, 10.0, false}).add({0.16, 5.0, false});
+  const auto segments = program.compile();
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(segments[0].t_start_s, 0.0);
+  EXPECT_DOUBLE_EQ(segments[0].flow_ul_min, 0.08);
+  EXPECT_DOUBLE_EQ(segments[1].t_start_s, 10.0);
+  EXPECT_DOUBLE_EQ(segments[1].flow_ul_min, 0.16);
+}
+
+TEST(Pump, RampDiscretizesMonotonically) {
+  PumpProgram program;
+  PumpStep ramp;
+  ramp.target_ul_min = 0.5;
+  ramp.hold_s = 2.0;
+  ramp.ramp = true;
+  program.add(ramp);
+  const auto segments = program.compile(0.1, 0.1);
+  ASSERT_GT(segments.size(), 3u);
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_GT(segments[i].t_start_s, segments[i - 1].t_start_s);
+    EXPECT_GE(segments[i].flow_ul_min, segments[i - 1].flow_ul_min);
+  }
+  EXPECT_DOUBLE_EQ(segments.back().flow_ul_min, 0.5);
+}
+
+TEST(Pump, RampTimeFollowsSlewLimit) {
+  PumpLimits limits;
+  limits.max_slew_ul_min_per_s = 0.1;
+  PumpProgram program(limits);
+  PumpStep ramp;
+  ramp.target_ul_min = 0.5;
+  ramp.hold_s = 1.0;
+  ramp.ramp = true;
+  program.add(ramp);
+  // 0.0 -> 0.5 at 0.1/s = 5 s ramp + 1 s hold.
+  EXPECT_NEAR(program.duration_s(0.0), 6.0, 1e-9);
+}
+
+TEST(Pump, EmptyProgramCompilesToInitialFlow) {
+  PumpProgram program;
+  const auto segments = program.compile(0.08);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].flow_ul_min, 0.08);
+}
+
+TEST(Pump, FlowAtPicksActiveSegment) {
+  const std::vector<FlowSegment> profile = {{0.0, 0.05}, {10.0, 0.10}};
+  EXPECT_DOUBLE_EQ(flow_at(profile, 0.0), 0.05);
+  EXPECT_DOUBLE_EQ(flow_at(profile, 9.99), 0.05);
+  EXPECT_DOUBLE_EQ(flow_at(profile, 10.0), 0.10);
+  EXPECT_DOUBLE_EQ(flow_at(profile, 100.0), 0.10);
+  EXPECT_THROW(flow_at({}, 0.0), std::invalid_argument);
+}
+
+TEST(Pump, CompiledProgramDrivesChannelSimulation) {
+  PumpProgram program;
+  program.add({0.08, 30.0, false});
+  const auto profile = program.compile();
+  SampleSpec sample;
+  sample.components = {{ParticleType::kBead358, 1000.0}};
+  ChannelConfig config;
+  config.loss.enabled = false;
+  crypto::ChaChaRng rng(12);
+  const auto events = simulate_transits(sample, config, profile, 30.0, rng);
+  EXPECT_GT(events.size(), 5u);
+}
+
+TEST(Pump, BadRampResolutionThrows) {
+  PumpProgram program;
+  program.add({0.08, 1.0, false});
+  EXPECT_THROW((void)program.compile(0.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace medsen::sim

@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotCrash) {
+  set_log_level(LogLevel::kError);
+  log_message(LogLevel::kDebug, "test", "below threshold");
+  log_message(LogLevel::kInfo, "test", "also below");
+}
+
+TEST_F(LoggingTest, StreamStyleBuilds) {
+  set_log_level(LogLevel::kError);  // keep test output quiet
+  LogLine(LogLevel::kInfo, "component") << "value=" << 42 << " ok";
+}
+
+TEST_F(LoggingTest, EmittedMessageDoesNotCrash) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  log_message(LogLevel::kWarn, "unit", "visible");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("WARN"), std::string::npos);
+  EXPECT_NE(err.find("unit"), std::string::npos);
+  EXPECT_NE(err.find("visible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace medsen::util

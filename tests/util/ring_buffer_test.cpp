@@ -1,0 +1,68 @@
+#include "util/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::util {
+namespace {
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, PushPopFifoOrder) {
+  RingBuffer<int> rb(4);
+  for (int i = 1; i <= 3; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull) {
+  RingBuffer<int> rb(3);
+  EXPECT_FALSE(rb.push(1));
+  EXPECT_FALSE(rb.push(2));
+  EXPECT_FALSE(rb.push(3));
+  EXPECT_TRUE(rb.full());
+  EXPECT_TRUE(rb.push(4));  // evicts 1
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 4);
+  EXPECT_EQ(rb.size(), 3u);
+}
+
+TEST(RingBuffer, AtIndexesFromOldest) {
+  RingBuffer<int> rb(3);
+  rb.push(10);
+  rb.push(20);
+  rb.push(30);
+  rb.push(40);
+  EXPECT_EQ(rb.at(0), 20);
+  EXPECT_EQ(rb.at(2), 40);
+  EXPECT_THROW(rb.at(3), std::out_of_range);
+}
+
+TEST(RingBuffer, PopEmptyThrows) {
+  RingBuffer<int> rb(2);
+  EXPECT_THROW(rb.pop(), std::out_of_range);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.front(), 9);
+}
+
+TEST(RingBuffer, WrapAroundManyTimes) {
+  RingBuffer<int> rb(5);
+  for (int i = 0; i < 1000; ++i) rb.push(i);
+  EXPECT_EQ(rb.front(), 995);
+  EXPECT_EQ(rb.back(), 999);
+}
+
+}  // namespace
+}  // namespace medsen::util

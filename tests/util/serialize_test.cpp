@@ -1,0 +1,80 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace medsen::util {
+namespace {
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-3.14159);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), -3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x11223344);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x44);
+  EXPECT_EQ(w.data()[3], 0x11);
+}
+
+TEST(Serialize, BlobAndStringRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 0, 255};
+  w.blob(blob);
+  w.str("medsen");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.blob(), blob);
+  EXPECT_EQ(r.str(), "medsen");
+}
+
+TEST(Serialize, F64VectorRoundTrip) {
+  ByteWriter w;
+  const std::vector<double> xs = {0.0, -1.5, 1e300, 1e-300};
+  w.f64_vec(xs);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.f64_vec(), xs);
+}
+
+TEST(Serialize, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_THROW(r.u8(), std::out_of_range);
+}
+
+TEST(Serialize, TruncatedBlobThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes, provides none
+  ByteReader r(w.data());
+  EXPECT_THROW(r.blob(), std::out_of_range);
+}
+
+TEST(Serialize, SpecialDoublesSurvive) {
+  ByteWriter w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  ByteReader r(w.data());
+  EXPECT_TRUE(std::isinf(r.f64()));
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+}
+
+}  // namespace
+}  // namespace medsen::util

@@ -1,0 +1,61 @@
+#include "util/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::util {
+namespace {
+
+TEST(TimeSeries, RejectsNonPositiveRate) {
+  EXPECT_THROW(TimeSeries(0.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(-450.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, TimeAtFollowsRateAndStart) {
+  TimeSeries ts(450.0, 10.0);
+  ts.push_back(1.0);
+  ts.push_back(2.0);
+  EXPECT_DOUBLE_EQ(ts.time_at(0), 10.0);
+  EXPECT_NEAR(ts.time_at(1), 10.0 + 1.0 / 450.0, 1e-12);
+}
+
+TEST(TimeSeries, IndexAtRoundsAndClamps) {
+  TimeSeries ts(100.0);
+  for (int i = 0; i < 10; ++i) ts.push_back(i);
+  EXPECT_EQ(ts.index_at(0.042), 4u);
+  EXPECT_EQ(ts.index_at(-5.0), 0u);
+  EXPECT_EQ(ts.index_at(5.0), 9u);
+}
+
+TEST(TimeSeries, DurationMatchesSampleCount) {
+  TimeSeries ts(450.0);
+  for (int i = 0; i < 450; ++i) ts.push_back(0.0);
+  EXPECT_NEAR(ts.duration(), 1.0, 1e-12);
+}
+
+TEST(TimeSeries, SliceExtractsWindow) {
+  TimeSeries ts(10.0);
+  for (int i = 0; i < 100; ++i) ts.push_back(i);
+  const TimeSeries cut = ts.slice(2.0, 3.0);
+  ASSERT_GE(cut.size(), 10u);
+  EXPECT_DOUBLE_EQ(cut[0], 20.0);
+  EXPECT_NEAR(cut.start_time(), 2.0, 1e-9);
+}
+
+TEST(TimeSeries, SliceOfEmptyRangeIsEmpty) {
+  TimeSeries ts(10.0);
+  for (int i = 0; i < 10; ++i) ts.push_back(i);
+  EXPECT_TRUE(ts.slice(5.0, 5.0).empty());
+  EXPECT_TRUE(ts.slice(3.0, 1.0).empty());
+}
+
+TEST(MultiChannelSeries, TotalSamplesSumsChannels) {
+  MultiChannelSeries mcs;
+  mcs.carrier_frequencies_hz = {5e5, 1e6};
+  mcs.channels.emplace_back(450.0, std::vector<double>(100, 0.0));
+  mcs.channels.emplace_back(450.0, std::vector<double>(50, 0.0));
+  EXPECT_EQ(mcs.channel_count(), 2u);
+  EXPECT_EQ(mcs.total_samples(), 150u);
+}
+
+}  // namespace
+}  // namespace medsen::util
