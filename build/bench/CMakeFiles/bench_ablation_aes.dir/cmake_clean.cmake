@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aes.dir/ablation_aes.cpp.o"
+  "CMakeFiles/bench_ablation_aes.dir/ablation_aes.cpp.o.d"
+  "bench_ablation_aes"
+  "bench_ablation_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

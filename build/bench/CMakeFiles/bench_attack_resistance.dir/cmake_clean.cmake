@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_resistance.dir/attack_resistance.cpp.o"
+  "CMakeFiles/bench_attack_resistance.dir/attack_resistance.cpp.o.d"
+  "bench_attack_resistance"
+  "bench_attack_resistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_resistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/auth_accuracy.cpp" "bench/CMakeFiles/bench_auth_accuracy.dir/auth_accuracy.cpp.o" "gcc" "bench/CMakeFiles/bench_auth_accuracy.dir/auth_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/medsen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/medsen_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/medsen_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/medsen_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/medsen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/medsen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/medsen_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/medsen_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/medsen_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/medsen_phone.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_auth_accuracy.dir/auth_accuracy.cpp.o"
+  "CMakeFiles/bench_auth_accuracy.dir/auth_accuracy.cpp.o.d"
+  "bench_auth_accuracy"
+  "bench_auth_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_auth_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

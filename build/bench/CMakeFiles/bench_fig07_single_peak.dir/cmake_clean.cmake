@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_single_peak.dir/fig07_single_peak.cpp.o"
+  "CMakeFiles/bench_fig07_single_peak.dir/fig07_single_peak.cpp.o.d"
+  "bench_fig07_single_peak"
+  "bench_fig07_single_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_single_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

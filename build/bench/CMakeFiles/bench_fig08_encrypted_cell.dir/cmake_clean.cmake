@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_encrypted_cell.dir/fig08_encrypted_cell.cpp.o"
+  "CMakeFiles/bench_fig08_encrypted_cell.dir/fig08_encrypted_cell.cpp.o.d"
+  "bench_fig08_encrypted_cell"
+  "bench_fig08_encrypted_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_encrypted_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_electrode_keying.dir/fig11_electrode_keying.cpp.o"
+  "CMakeFiles/bench_fig11_electrode_keying.dir/fig11_electrode_keying.cpp.o.d"
+  "bench_fig11_electrode_keying"
+  "bench_fig11_electrode_keying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_electrode_keying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

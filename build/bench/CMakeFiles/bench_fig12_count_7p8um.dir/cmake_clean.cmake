@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_count_7p8um.dir/fig12_count_7p8um.cpp.o"
+  "CMakeFiles/bench_fig12_count_7p8um.dir/fig12_count_7p8um.cpp.o.d"
+  "bench_fig12_count_7p8um"
+  "bench_fig12_count_7p8um.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_count_7p8um.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

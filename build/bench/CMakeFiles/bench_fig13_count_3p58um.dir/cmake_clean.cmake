@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_count_3p58um.dir/fig13_count_3p58um.cpp.o"
+  "CMakeFiles/bench_fig13_count_3p58um.dir/fig13_count_3p58um.cpp.o.d"
+  "bench_fig13_count_3p58um"
+  "bench_fig13_count_3p58um.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_count_3p58um.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_keysize.dir/keysize.cpp.o"
+  "CMakeFiles/bench_keysize.dir/keysize.cpp.o.d"
+  "bench_keysize"
+  "bench_keysize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keysize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_streaming_analysis.dir/streaming_analysis.cpp.o"
+  "CMakeFiles/bench_streaming_analysis.dir/streaming_analysis.cpp.o.d"
+  "bench_streaming_analysis"
+  "bench_streaming_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_streaming_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

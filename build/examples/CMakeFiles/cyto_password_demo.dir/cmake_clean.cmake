@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyto_password_demo.dir/cyto_password_demo.cpp.o"
+  "CMakeFiles/cyto_password_demo.dir/cyto_password_demo.cpp.o.d"
+  "cyto_password_demo"
+  "cyto_password_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyto_password_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

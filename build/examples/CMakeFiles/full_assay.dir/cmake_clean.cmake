@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_assay.dir/full_assay.cpp.o"
+  "CMakeFiles/full_assay.dir/full_assay.cpp.o.d"
+  "full_assay"
+  "full_assay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_assay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiv_monitoring.dir/hiv_monitoring.cpp.o"
+  "CMakeFiles/hiv_monitoring.dir/hiv_monitoring.cpp.o.d"
+  "hiv_monitoring"
+  "hiv_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiv_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

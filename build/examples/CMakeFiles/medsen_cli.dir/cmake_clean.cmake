@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medsen_cli.dir/medsen_cli.cpp.o"
+  "CMakeFiles/medsen_cli.dir/medsen_cli.cpp.o.d"
+  "medsen_cli"
+  "medsen_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medsen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
