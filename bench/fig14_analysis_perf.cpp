@@ -5,6 +5,11 @@
 //   962,428 samples: 0.452 s vs 1.554 s
 // Absolute times differ on this substrate; the shape to reproduce is
 // linear scaling with sample count and a constant ~3.4x phone penalty.
+//
+// Beyond the paper: the cloud side now runs the analysis on a thread
+// pool, so BM_PeakAnalysis_Threads sweeps the thread count over the same
+// workloads (plus a 4-carrier acquisition) and records the measured
+// `speedup_vs_serial` so the scaling curve lands in the perf trajectory.
 
 #include <benchmark/benchmark.h>
 
@@ -17,34 +22,54 @@ namespace {
 
 using namespace medsen;
 
-/// Synthetic acquisition of n total samples with realistic peak density.
-util::MultiChannelSeries make_series(std::size_t n_samples) {
-  crypto::ChaChaRng rng(n_samples);
-  std::vector<double> depth(n_samples, 0.0);
+/// Synthetic acquisition of n total samples (split evenly over
+/// `channels` carriers) with realistic peak density.
+util::MultiChannelSeries make_series(std::size_t n_samples,
+                                     std::size_t channels = 1) {
   const double rate = 450.0;
-  // ~1 peak per second of signal.
-  const auto peaks = static_cast<std::size_t>(n_samples / rate);
-  for (std::size_t p = 0; p < peaks; ++p) {
-    const double center =
-        rng.uniform_double() * static_cast<double>(n_samples) / rate;
-    sim::add_gaussian_pulse(depth, rate, 0.0, center, 0.006,
-                            0.004 + 0.01 * rng.uniform_double());
-  }
-  sim::DriftConfig drift;
-  auto baseline = sim::synth_baseline(n_samples, rate, 0.0, drift, rng);
-  for (std::size_t i = 0; i < n_samples; ++i)
-    baseline[i] *= 1.0 - depth[i];
-  sim::add_white_noise(baseline, 1.2e-4, rng);
-
+  const std::size_t per_channel = n_samples / channels;
   util::MultiChannelSeries series;
-  series.carrier_frequencies_hz = {5.0e5};
-  series.channels.emplace_back(rate, std::move(baseline));
+  for (std::size_t c = 0; c < channels; ++c) {
+    crypto::ChaChaRng rng(n_samples + c);
+    std::vector<double> depth(per_channel, 0.0);
+    // ~1 peak per second of signal.
+    const auto peaks = static_cast<std::size_t>(per_channel / rate);
+    for (std::size_t p = 0; p < peaks; ++p) {
+      const double center =
+          rng.uniform_double() * static_cast<double>(per_channel) / rate;
+      sim::add_gaussian_pulse(depth, rate, 0.0, center, 0.006,
+                              0.004 + 0.01 * rng.uniform_double());
+    }
+    sim::DriftConfig drift;
+    auto baseline = sim::synth_baseline(per_channel, rate, 0.0, drift, rng);
+    for (std::size_t i = 0; i < per_channel; ++i)
+      baseline[i] *= 1.0 - depth[i];
+    sim::add_white_noise(baseline, 1.2e-4, rng);
+    series.carrier_frequencies_hz.push_back(5.0e5 * (c + 1));
+    series.channels.emplace_back(rate, std::move(baseline));
+  }
   return series;
+}
+
+/// One serial analyze() to baseline the thread sweep against.
+double serial_seconds(const util::MultiChannelSeries& series) {
+  cloud::AnalysisConfig config;
+  config.threads = 1;
+  cloud::AnalysisService serial(config);
+  const auto start = std::chrono::steady_clock::now();
+  auto report = serial.analyze(series);
+  benchmark::DoNotOptimize(report);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 void BM_PeakAnalysis_Computer(benchmark::State& state) {
   const auto series = make_series(static_cast<std::size_t>(state.range(0)));
-  cloud::AnalysisService service;
+  // Paper's Fig. 14 computer curve is a single-core i7: keep serial.
+  cloud::AnalysisConfig config;
+  config.threads = 1;
+  cloud::AnalysisService service(config);
   for (auto _ : state) {
     auto report = service.analyze(series);
     benchmark::DoNotOptimize(report);
@@ -55,7 +80,9 @@ void BM_PeakAnalysis_Computer(benchmark::State& state) {
 
 void BM_PeakAnalysis_Nexus5Model(benchmark::State& state) {
   const auto series = make_series(static_cast<std::size_t>(state.range(0)));
-  cloud::AnalysisService service;
+  cloud::AnalysisConfig config;
+  config.threads = 1;
+  cloud::AnalysisService service(config);
   const auto profile = phone::nexus5_profile();
   for (auto _ : state) {
     const auto start = std::chrono::steady_clock::now();
@@ -71,6 +98,39 @@ void BM_PeakAnalysis_Nexus5Model(benchmark::State& state) {
   state.counters["profile_scale"] = profile.slowdown;
 }
 
+/// Thread-count sweep over the paper's workloads. range(0) = total
+/// samples, range(1) = threads, range(2) = carrier channels.
+void BM_PeakAnalysis_Threads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const auto channels = static_cast<std::size_t>(state.range(2));
+  const auto series = make_series(n, channels);
+  const double serial_s = serial_seconds(series);
+
+  cloud::AnalysisConfig config;
+  config.threads = threads;
+  cloud::AnalysisService service(config);
+
+  double total_s = 0.0;
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto report = service.analyze(series);
+    benchmark::DoNotOptimize(report);
+    total_s += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    ++iterations;
+  }
+  state.counters["samples"] = static_cast<double>(n);
+  state.counters["channels"] = static_cast<double>(channels);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["speedup_vs_serial"] =
+      iterations > 0 && total_s > 0.0
+          ? serial_s / (total_s / static_cast<double>(iterations))
+          : 0.0;
+}
+
 BENCHMARK(BM_PeakAnalysis_Computer)
     ->Arg(240607)
     ->Arg(481214)
@@ -81,6 +141,14 @@ BENCHMARK(BM_PeakAnalysis_Nexus5Model)
     ->Arg(481214)
     ->Arg(962428)
     ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+// Single-carrier sweep (window-level parallelism only) ...
+BENCHMARK(BM_PeakAnalysis_Threads)
+    ->ArgsProduct({{240607, 481214, 962428}, {1, 2, 4, 8}, {1}})
+    ->Unit(benchmark::kMillisecond);
+// ... and the 4-carrier acquisition (channel- and window-level).
+BENCHMARK(BM_PeakAnalysis_Threads)
+    ->ArgsProduct({{962428}, {1, 2, 4, 8}, {4}})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -21,9 +21,10 @@ int main() {
                 "memory with batch-identical results");
 
   const double rate = 450.0;
+  util::ThreadPool pool;  // pipelined mode: detrend k+1 overlaps detect k
   std::printf(
-      "duration_min,samples,batch_peaks,stream_peaks,batch_MB,working_MB,"
-      "batch_Msamp_per_s,stream_Msamp_per_s\n");
+      "duration_min,samples,batch_peaks,stream_peaks,pipe_peaks,batch_MB,"
+      "working_MB,batch_Msamp_per_s,stream_Msamp_per_s,pipe_Msamp_per_s\n");
   for (double minutes : {10.0, 30.0, 60.0}) {
     const auto n = static_cast<std::size_t>(minutes * 60.0 * rate);
     crypto::ChaChaRng rng(static_cast<std::uint64_t>(minutes));
@@ -58,12 +59,23 @@ int main() {
                                 std::chrono::steady_clock::now() - t1)
                                 .count();
 
-    std::printf("%.0f,%zu,%zu,%zu,%.1f,%.2f,%.1f,%.1f\n", minutes, n,
-                batch.size(), streamed.size(),
+    cloud::StreamingAnalyzer pipelined(rate, config, &pool);
+    const auto t2 = std::chrono::steady_clock::now();
+    for (std::size_t pos = 0; pos < xs.size(); pos += 9000)
+      pipelined.push(std::span<const double>(
+          xs.data() + pos, std::min<std::size_t>(9000, xs.size() - pos)));
+    const auto piped = pipelined.finish();
+    const double pipe_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t2)
+                              .count();
+
+    std::printf("%.0f,%zu,%zu,%zu,%zu,%.1f,%.2f,%.1f,%.1f,%.1f\n", minutes,
+                n, batch.size(), streamed.size(), piped.size(),
                 static_cast<double>(n) * 8.0 / 1e6,
                 static_cast<double>(config.chunk_samples) * 8.0 / 1e6,
                 static_cast<double>(n) / 1e6 / batch_s,
-                static_cast<double>(n) / 1e6 / stream_s);
+                static_cast<double>(n) / 1e6 / stream_s,
+                static_cast<double>(n) / 1e6 / pipe_s);
   }
   std::printf("note: working set is the fixed chunk size regardless of "
               "acquisition length; peak counts must match batch.\n");

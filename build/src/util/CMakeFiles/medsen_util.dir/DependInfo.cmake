@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/medsen_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/medsen_util.dir/logging.cpp.o.d"
   "/root/repo/src/util/serialize.cpp" "src/util/CMakeFiles/medsen_util.dir/serialize.cpp.o" "gcc" "src/util/CMakeFiles/medsen_util.dir/serialize.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/medsen_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/medsen_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/medsen_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/medsen_util.dir/thread_pool.cpp.o.d"
   "/root/repo/src/util/time_series.cpp" "src/util/CMakeFiles/medsen_util.dir/time_series.cpp.o" "gcc" "src/util/CMakeFiles/medsen_util.dir/time_series.cpp.o.d"
   )
 

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/medsen_util.dir/serialize.cpp.o.d"
   "CMakeFiles/medsen_util.dir/stats.cpp.o"
   "CMakeFiles/medsen_util.dir/stats.cpp.o.d"
+  "CMakeFiles/medsen_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/medsen_util.dir/thread_pool.cpp.o.d"
   "CMakeFiles/medsen_util.dir/time_series.cpp.o"
   "CMakeFiles/medsen_util.dir/time_series.cpp.o.d"
   "libmedsen_util.a"

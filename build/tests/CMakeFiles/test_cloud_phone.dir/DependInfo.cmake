@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/cloud/analysis_service_test.cpp" "tests/CMakeFiles/test_cloud_phone.dir/cloud/analysis_service_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud_phone.dir/cloud/analysis_service_test.cpp.o.d"
+  "/root/repo/tests/cloud/parallel_analysis_test.cpp" "tests/CMakeFiles/test_cloud_phone.dir/cloud/parallel_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud_phone.dir/cloud/parallel_analysis_test.cpp.o.d"
   "/root/repo/tests/cloud/persistence_test.cpp" "tests/CMakeFiles/test_cloud_phone.dir/cloud/persistence_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud_phone.dir/cloud/persistence_test.cpp.o.d"
   "/root/repo/tests/cloud/quality_test.cpp" "tests/CMakeFiles/test_cloud_phone.dir/cloud/quality_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud_phone.dir/cloud/quality_test.cpp.o.d"
   "/root/repo/tests/cloud/server_test.cpp" "tests/CMakeFiles/test_cloud_phone.dir/cloud/server_test.cpp.o" "gcc" "tests/CMakeFiles/test_cloud_phone.dir/cloud/server_test.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_cloud_phone.dir/cloud/analysis_service_test.cpp.o"
   "CMakeFiles/test_cloud_phone.dir/cloud/analysis_service_test.cpp.o.d"
+  "CMakeFiles/test_cloud_phone.dir/cloud/parallel_analysis_test.cpp.o"
+  "CMakeFiles/test_cloud_phone.dir/cloud/parallel_analysis_test.cpp.o.d"
   "CMakeFiles/test_cloud_phone.dir/cloud/persistence_test.cpp.o"
   "CMakeFiles/test_cloud_phone.dir/cloud/persistence_test.cpp.o.d"
   "CMakeFiles/test_cloud_phone.dir/cloud/quality_test.cpp.o"

@@ -337,13 +337,15 @@ tests/CMakeFiles/test_integration.dir/integration/threaded_test.cpp.o: \
  /root/repo/src/dsp/deadtime.h /root/repo/src/auth/enrollment.h \
  /root/repo/src/auth/alphabet.h /root/repo/src/auth/identifier.h \
  /root/repo/src/cloud/analysis_service.h /usr/include/c++/12/chrono \
- /root/repo/src/dsp/detrend.h /root/repo/src/cloud/quality.h \
- /root/repo/src/cloud/storage.h /root/repo/src/net/messages.h \
- /root/repo/src/crypto/hmac.h /root/repo/src/crypto/sha256.h \
- /root/repo/src/core/controller.h /root/repo/src/core/diagnostic.h \
- /root/repo/src/core/encryptor.h /root/repo/src/core/mux.h \
- /root/repo/src/net/channel.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/dsp/detrend.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/frame.h
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/cloud/quality.h /root/repo/src/cloud/storage.h \
+ /root/repo/src/net/messages.h /root/repo/src/crypto/hmac.h \
+ /root/repo/src/crypto/sha256.h /root/repo/src/core/controller.h \
+ /root/repo/src/core/diagnostic.h /root/repo/src/core/encryptor.h \
+ /root/repo/src/core/mux.h /root/repo/src/net/channel.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/net/frame.h

@@ -316,6 +316,18 @@ tests/CMakeFiles/test_sim.dir/sim/modulated_chain_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/dsp/demod.h \
  /root/repo/src/dsp/filters.h /usr/include/c++/12/span \
- /root/repo/src/dsp/detrend.h /root/repo/src/util/time_series.h \
- /root/repo/src/dsp/peak_detect.h /root/repo/src/sim/lockin.h \
- /root/repo/src/sim/signal_synth.h /root/repo/src/crypto/chacha20.h
+ /root/repo/src/dsp/detrend.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/util/time_series.h /root/repo/src/dsp/peak_detect.h \
+ /root/repo/src/sim/lockin.h /root/repo/src/sim/signal_synth.h \
+ /root/repo/src/crypto/chacha20.h

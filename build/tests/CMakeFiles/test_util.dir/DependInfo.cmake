@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/util/ring_buffer_test.cpp" "tests/CMakeFiles/test_util.dir/util/ring_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/ring_buffer_test.cpp.o.d"
   "/root/repo/tests/util/serialize_test.cpp" "tests/CMakeFiles/test_util.dir/util/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/serialize_test.cpp.o.d"
   "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o.d"
   "/root/repo/tests/util/time_series_test.cpp" "tests/CMakeFiles/test_util.dir/util/time_series_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/time_series_test.cpp.o.d"
   )
 

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_util.dir/util/serialize_test.cpp.o.d"
   "CMakeFiles/test_util.dir/util/stats_test.cpp.o"
   "CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o.d"
   "CMakeFiles/test_util.dir/util/time_series_test.cpp.o"
   "CMakeFiles/test_util.dir/util/time_series_test.cpp.o.d"
   "test_util"

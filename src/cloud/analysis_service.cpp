@@ -1,37 +1,85 @@
 #include "cloud/analysis_service.h"
 
+#include <thread>
+
 #include "dsp/noise.h"
 
 namespace medsen::cloud {
 
-AnalysisService::AnalysisService(AnalysisConfig config) : config_(config) {}
+namespace {
+
+unsigned resolved_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+AnalysisService::AnalysisService(AnalysisConfig config,
+                                 std::shared_ptr<util::ThreadPool> pool)
+    : config_(config), pool_(std::move(pool)) {
+  const unsigned threads = resolved_threads(config_.threads);
+  if (!pool_ && threads > 1)
+    pool_ = std::make_shared<util::ThreadPool>(threads - 1);
+}
 
 core::PeakReport AnalysisService::analyze(
     const util::MultiChannelSeries& series) {
   const auto start = std::chrono::steady_clock::now();
+  const std::size_t n_channels = series.channels.size();
   core::PeakReport report;
-  report.channels.reserve(series.channels.size());
-  stats_.samples_processed = 0;
-  stats_.peaks_found = 0;
-  for (std::size_t i = 0; i < series.channels.size(); ++i) {
+  report.channels.resize(n_channels);
+  // Per-channel accumulation slots: each channel task writes only its own
+  // slot, so the fan-out is race-free and the serial merge below is
+  // deterministic.
+  std::vector<std::uint64_t> samples(n_channels, 0);
+  std::vector<std::uint64_t> peaks(n_channels, 0);
+
+  const auto analyze_channel = [&](std::size_t i) {
     const auto& channel = series.channels[i];
-    core::ChannelPeaks out;
+    core::ChannelPeaks& out = report.channels[i];
     out.carrier_hz = series.carrier_frequencies_hz.at(i);
-    const auto detrended = dsp::detrend(channel.samples(), config_.detrend);
+    const auto detrended =
+        dsp::detrend(channel.samples(), config_.detrend, pool_.get());
     dsp::PeakDetectConfig detect = config_.peak_detect;
     if (config_.adaptive_threshold)
-      detect.threshold = dsp::adaptive_threshold(
-          detrended, config_.adaptive_k_sigma);
+      detect.threshold =
+          dsp::adaptive_threshold(detrended, config_.adaptive_k_sigma);
     out.peaks = dsp::detect_peaks(detrended, channel.sample_rate(),
                                   channel.start_time(), detect);
-    stats_.samples_processed += channel.size();
-    stats_.peaks_found += out.peaks.size();
-    report.channels.push_back(std::move(out));
+    samples[i] = channel.size();
+    peaks[i] = out.peaks.size();
+  };
+
+  if (pool_ && n_channels > 1) {
+    pool_->parallel_for(n_channels, 1,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i)
+                            analyze_channel(i);
+                        });
+  } else {
+    for (std::size_t i = 0; i < n_channels; ++i) analyze_channel(i);
   }
-  stats_.processing_time_s =
+
+  AnalysisStats fresh;
+  for (std::size_t i = 0; i < n_channels; ++i) {
+    fresh.samples_processed += samples[i];
+    fresh.peaks_found += peaks[i];
+  }
+  fresh.processing_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_ = fresh;
+  }
   return report;
+}
+
+AnalysisStats AnalysisService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
 }
 
 }  // namespace medsen::cloud

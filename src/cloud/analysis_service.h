@@ -4,13 +4,22 @@
 // the paper offloads from the sensor (Section VI-C). The service sees
 // only ciphertext-domain signals; peak lists it returns are still
 // encrypted in the counting sense.
+//
+// Parallelism: channels are analyzed concurrently and each channel's
+// detrend window loop fans out on the same util::ThreadPool. The pool is
+// shared across requests (CloudServer injects one service-wide instance)
+// and the parallel result is bit-identical to a serial run — see the
+// "Threading model" section of DESIGN.md.
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 
 #include "core/peak_report.h"
 #include "dsp/detrend.h"
 #include "dsp/peak_detect.h"
+#include "util/thread_pool.h"
 #include "util/time_series.h"
 
 namespace medsen::cloud {
@@ -23,6 +32,9 @@ struct AnalysisConfig {
   /// with differing noise).
   bool adaptive_threshold = false;
   double adaptive_k_sigma = 6.0;
+  /// Analysis parallelism: 0 = one thread per hardware core, 1 = fully
+  /// serial (no pool), N = N-way. Ignored when a pool is injected.
+  unsigned threads = 0;
 };
 
 struct AnalysisStats {
@@ -33,16 +45,28 @@ struct AnalysisStats {
 
 class AnalysisService {
  public:
-  explicit AnalysisService(AnalysisConfig config = {});
+  /// Construct with an optional externally shared pool. Without one, a
+  /// pool sized from config.threads is created (none when threads == 1).
+  explicit AnalysisService(AnalysisConfig config = {},
+                           std::shared_ptr<util::ThreadPool> pool = nullptr);
 
   /// Analyze a full acquisition: detrend + peak detection per channel.
+  /// Safe to call from several request threads concurrently.
   core::PeakReport analyze(const util::MultiChannelSeries& series);
 
-  [[nodiscard]] const AnalysisStats& stats() const { return stats_; }
+  /// Snapshot of the last analyze()'s statistics (mutex-guarded copy).
+  [[nodiscard]] AnalysisStats stats() const;
   [[nodiscard]] const AnalysisConfig& config() const { return config_; }
+  /// The pool driving this service (null = serial), shared across
+  /// requests and reusable by other components.
+  [[nodiscard]] const std::shared_ptr<util::ThreadPool>& thread_pool() const {
+    return pool_;
+  }
 
  private:
   AnalysisConfig config_;
+  std::shared_ptr<util::ThreadPool> pool_;
+  mutable std::mutex stats_mutex_;
   AnalysisStats stats_;
 };
 

@@ -10,8 +10,9 @@ namespace medsen::cloud {
 CloudServer::CloudServer(AnalysisConfig analysis_config,
                          auth::CytoAlphabet alphabet,
                          auth::ParticleClassifier classifier,
-                         auth::VerifierConfig verifier_config)
-    : analysis_(analysis_config),
+                         auth::VerifierConfig verifier_config,
+                         std::shared_ptr<util::ThreadPool> pool)
+    : analysis_(analysis_config, std::move(pool)),
       db_(alphabet),
       verifier_(std::move(alphabet), std::move(classifier), verifier_config) {}
 

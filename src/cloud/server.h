@@ -19,9 +19,15 @@ namespace medsen::cloud {
 
 class CloudServer {
  public:
+  /// One thread pool is shared across all requests the server handles
+  /// (uploads and auth passes); pass `pool` to share it wider (e.g. with
+  /// streaming analyzers), or leave it null to let the analysis service
+  /// size one from analysis_config.threads (0 = hardware concurrency,
+  /// 1 = fully serial).
   CloudServer(AnalysisConfig analysis_config, auth::CytoAlphabet alphabet,
               auth::ParticleClassifier classifier,
-              auth::VerifierConfig verifier_config = {});
+              auth::VerifierConfig verifier_config = {},
+              std::shared_ptr<util::ThreadPool> pool = nullptr);
 
   /// Handle a signal-upload envelope: decompress/deserialize, run the
   /// quality gate, analyze, and return the analysis-result envelope
@@ -52,6 +58,10 @@ class CloudServer {
   }
 
   [[nodiscard]] AnalysisService& analysis() { return analysis_; }
+  /// The request-shared analysis pool (null when running serial).
+  [[nodiscard]] const std::shared_ptr<util::ThreadPool>& thread_pool() const {
+    return analysis_.thread_pool();
+  }
   [[nodiscard]] auth::EnrollmentDatabase& enrollments() { return db_; }
   [[nodiscard]] const auth::Verifier& verifier() const { return verifier_; }
   [[nodiscard]] RecordStore& records() { return store_; }

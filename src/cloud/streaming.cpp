@@ -1,12 +1,14 @@
 #include "cloud/streaming.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace medsen::cloud {
 
 StreamingAnalyzer::StreamingAnalyzer(double sample_rate_hz,
-                                     StreamingConfig config)
-    : rate_(sample_rate_hz), config_(config) {
+                                     StreamingConfig config,
+                                     util::ThreadPool* pool)
+    : rate_(sample_rate_hz), config_(config), pool_(pool) {
   if (sample_rate_hz <= 0.0)
     throw std::invalid_argument("StreamingAnalyzer: bad sample rate");
   if (config_.chunk_samples <= 2 * config_.overlap_samples)
@@ -17,7 +19,57 @@ StreamingAnalyzer::StreamingAnalyzer(double sample_rate_hz,
 void StreamingAnalyzer::push(std::span<const double> samples) {
   buffer_.insert(buffer_.end(), samples.begin(), samples.end());
   consumed_ += samples.size();
-  while (buffer_.size() >= config_.chunk_samples) process_block(false);
+  while (buffer_.size() >= config_.chunk_samples) {
+    if (pool_ != nullptr)
+      start_block_async();
+    else
+      process_block(false);
+  }
+}
+
+/// Pipelined path for one full-size block: launch its detrend on the
+/// pool, then finish the previous block (peak detection) while it runs.
+/// Completing old-before-storing-new keeps emission strictly in block
+/// order, so results match serial mode exactly.
+void StreamingAnalyzer::start_block_async() {
+  const std::size_t len = config_.chunk_samples;
+  PendingBlock next;
+  next.start_index = buffer_start_index_;
+  next.len = len;
+  std::vector<double> block(buffer_.begin(),
+                            buffer_.begin() + static_cast<long>(len));
+  next.detrended = pool_->submit(
+      [block = std::move(block), config = config_.detrend]() {
+        return dsp::detrend(block, config);
+      });
+
+  // Advance past the block, keeping the overlap margin (same bookkeeping
+  // as the serial path).
+  const std::size_t advance = len - config_.overlap_samples;
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(advance));
+  buffer_start_index_ += advance;
+
+  complete_pending();
+  pending_ = std::move(next);
+}
+
+void StreamingAnalyzer::complete_pending() {
+  if (!pending_) return;
+  PendingBlock block = std::move(*pending_);
+  pending_.reset();
+  const auto detrended = block.detrended.get();  // rethrows task errors
+  const double start_time = static_cast<double>(block.start_index) / rate_;
+  auto peaks =
+      dsp::detect_peaks(detrended, rate_, start_time, config_.peak_detect);
+  for (auto& peak : peaks) peak.index += block.start_index;
+  // Pending blocks are never final: defer peaks in the trailing overlap
+  // margin to the next block exactly as the serial path does.
+  const double limit =
+      start_time +
+      static_cast<double>(block.len - config_.overlap_samples) / rate_;
+  std::erase_if(peaks,
+                [&](const dsp::Peak& p) { return p.time_s >= limit; });
+  emit(std::move(peaks));
 }
 
 void StreamingAnalyzer::process_block(bool final_block) {
@@ -69,6 +121,9 @@ void StreamingAnalyzer::emit(std::vector<dsp::Peak> peaks) {
 }
 
 std::vector<dsp::Peak> StreamingAnalyzer::finish() {
+  // Drain the in-flight block first: it precedes the buffered remainder
+  // on the timeline.
+  complete_pending();
   process_block(true);
   auto out = std::move(results_);
   results_.clear();

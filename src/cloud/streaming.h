@@ -6,12 +6,20 @@
 // overlap margin, and deduplicates peaks found twice in the overlap —
 // bounded memory, byte-identical semantics to batch analysis up to
 // boundary effects (verified by tests).
+//
+// Pipelined mode (construct with a util::ThreadPool): block k+1's
+// detrend runs on the pool while block k's peak detection completes on
+// the caller, overlapping the two dominant costs. Blocks are completed
+// strictly in order, so the emitted peaks are identical to serial mode.
 
 #include <cstddef>
+#include <future>
+#include <optional>
 #include <vector>
 
 #include "dsp/detrend.h"
 #include "dsp/peak_detect.h"
+#include "util/thread_pool.h"
 
 namespace medsen::cloud {
 
@@ -25,7 +33,9 @@ struct StreamingConfig {
 /// Streaming analyzer for one channel.
 class StreamingAnalyzer {
  public:
-  StreamingAnalyzer(double sample_rate_hz, StreamingConfig config = {});
+  /// A non-null pool enables pipelined mode (pool outlives the analyzer).
+  StreamingAnalyzer(double sample_rate_hz, StreamingConfig config = {},
+                    util::ThreadPool* pool = nullptr);
 
   /// Feed the next run of samples (any size; internally re-blocked).
   void push(std::span<const double> samples);
@@ -35,18 +45,30 @@ class StreamingAnalyzer {
   std::vector<dsp::Peak> finish();
 
   [[nodiscard]] std::size_t samples_consumed() const { return consumed_; }
+  [[nodiscard]] bool pipelined() const { return pool_ != nullptr; }
 
  private:
   void process_block(bool final_block);
+  void start_block_async();
+  void complete_pending();
   void emit(std::vector<dsp::Peak> peaks);
+
+  /// A full-size block whose detrend is in flight on the pool.
+  struct PendingBlock {
+    std::size_t start_index = 0;  ///< global index of the block's sample 0
+    std::size_t len = 0;
+    std::future<std::vector<double>> detrended;
+  };
 
   double rate_;
   StreamingConfig config_;
+  util::ThreadPool* pool_ = nullptr;
   std::vector<double> buffer_;
   std::size_t buffer_start_index_ = 0;  ///< global index of buffer_[0]
   std::size_t consumed_ = 0;
   double last_emitted_time_ = -1.0;
   std::vector<dsp::Peak> results_;
+  std::optional<PendingBlock> pending_;
 };
 
 }  // namespace medsen::cloud

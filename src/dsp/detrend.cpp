@@ -2,70 +2,149 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "dsp/polyfit.h"
 #include "util/stats.h"
 
 namespace medsen::dsp {
 
-std::vector<double> detrend(std::span<const double> signal,
-                            const DetrendConfig& config) {
+namespace {
+
+/// Per-task workspace: the fitted-baseline buffer plus the polyfit
+/// scratch, reused across every window the task processes.
+struct DetrendScratch {
+  std::vector<double> fitted;
+  PolyfitScratch poly;
+};
+
+/// Fit one window and accumulate its weighted contribution into
+/// acc/weight_sum, which are offset so index `base` maps to element 0
+/// (base = 0 for the global arrays, base = slab start for task slabs).
+void process_window(std::span<const double> signal, std::size_t start,
+                    std::size_t window, std::size_t overlap, unsigned degree,
+                    DetrendScratch& scratch, double* acc, double* weight_sum,
+                    std::size_t base) {
   const std::size_t n = signal.size();
-  std::vector<double> out(n, 1.0);
-  if (n == 0) return out;
+  const std::size_t end = std::min(start + window, n);
+  const std::size_t len = end - start;
+  const std::span<const double> chunk = signal.subspan(start, len);
+
+  scratch.fitted.resize(len);
+  if (len >= static_cast<std::size_t>(degree) + 1) {
+    const auto coeffs = polyfit_indices(chunk, degree, scratch.poly);
+    polyval_indices_into(coeffs, scratch.fitted);
+  } else {
+    std::fill(scratch.fitted.begin(), scratch.fitted.end(),
+              util::mean(chunk));
+  }
+
+  for (std::size_t i = 0; i < len; ++i) {
+    const double baseline = scratch.fitted[i];
+    const double normalized =
+        std::fabs(baseline) > 1e-12 ? chunk[i] / baseline : 1.0;
+    // Triangular weight: full in the window interior, ramping across
+    // the overlap margins so adjacent windows cross-fade (minimizes
+    // polynomial edge error, as the paper prescribes).
+    double w = 1.0;
+    if (overlap > 0) {
+      const double ramp = static_cast<double>(overlap);
+      if (i < overlap && start > 0)
+        w = (static_cast<double>(i) + 1.0) / ramp;
+      const std::size_t from_end = len - 1 - i;
+      if (from_end < overlap && end < n)
+        w = std::min(w, (static_cast<double>(from_end) + 1.0) / ramp);
+    }
+    acc[start + i - base] += w * normalized;
+    weight_sum[start + i - base] += w;
+  }
+}
+
+}  // namespace
+
+void detrend_into(std::span<const double> signal, const DetrendConfig& config,
+                  std::span<double> out, util::ThreadPool* pool) {
+  const std::size_t n = signal.size();
+  if (out.size() != n)
+    throw std::invalid_argument("detrend_into: output size mismatch");
+  if (n == 0) return;
 
   const std::size_t window = std::max<std::size_t>(config.window, 8);
   const std::size_t overlap = std::min(config.overlap, window / 2);
   const std::size_t stride = window - overlap;
 
-  // Accumulate weighted contributions; weight ramps linearly inside the
-  // overlap so adjacent windows cross-fade (minimizes polynomial edge
-  // error, as the paper prescribes).
+  std::vector<std::size_t> starts;
+  for (std::size_t s = 0; s < n; s += stride) {
+    starts.push_back(s);
+    if (std::min(s + window, n) == n) break;
+  }
+  const std::size_t num_windows = starts.size();
+
   std::vector<double> acc(n, 0.0);
   std::vector<double> weight_sum(n, 0.0);
 
-  for (std::size_t start = 0; start < n; start += stride) {
-    const std::size_t end = std::min(start + window, n);
-    const std::size_t len = end - start;
-    std::span<const double> chunk = signal.subspan(start, len);
+  std::size_t tasks = 1;
+  if (pool != nullptr && num_windows > 1)
+    tasks = std::min(num_windows,
+                     static_cast<std::size_t>(pool->concurrency()) * 2);
 
-    std::vector<double> fitted;
-    if (len >= static_cast<std::size_t>(config.poly_degree) + 1) {
-      const Polynomial poly = polyfit(chunk, config.poly_degree);
-      fitted = polyval_indices(poly, len);
-    } else {
-      fitted.assign(len, util::mean(chunk));
-    }
-
-    for (std::size_t i = 0; i < len; ++i) {
-      const double base = fitted[i];
-      const double normalized =
-          std::fabs(base) > 1e-12 ? chunk[i] / base : 1.0;
-      // Triangular weight: full in the window interior, ramping across
-      // the overlap margins.
-      double w = 1.0;
-      if (overlap > 0) {
-        const double ramp = static_cast<double>(overlap);
-        if (i < overlap && start > 0)
-          w = (static_cast<double>(i) + 1.0) / ramp;
-        const std::size_t from_end = len - 1 - i;
-        if (from_end < overlap && end < n)
-          w = std::min(w, (static_cast<double>(from_end) + 1.0) / ramp);
+  if (tasks <= 1) {
+    DetrendScratch scratch;
+    for (const std::size_t s : starts)
+      process_window(signal, s, window, overlap, config.poly_degree, scratch,
+                     acc.data(), weight_sum.data(), 0);
+  } else {
+    // Each task owns a contiguous run of windows and accumulates into a
+    // private slab covering exactly the samples those windows touch.
+    // Slabs start at 0.0 and are added to the global arrays serially in
+    // window order below, so every sample receives its contributions in
+    // the same order as the serial loop — bit-identical output.
+    struct Slab {
+      std::size_t lo = 0;
+      std::vector<double> acc, weight_sum;
+    };
+    std::vector<Slab> slabs(tasks);
+    pool->parallel_for(
+        tasks, 1, [&](std::size_t task_begin, std::size_t task_end) {
+          DetrendScratch scratch;
+          for (std::size_t t = task_begin; t < task_end; ++t) {
+            const std::size_t wb = t * num_windows / tasks;
+            const std::size_t we = (t + 1) * num_windows / tasks;
+            if (wb >= we) continue;
+            Slab& slab = slabs[t];
+            slab.lo = starts[wb];
+            const std::size_t hi = std::min(starts[we - 1] + window, n);
+            slab.acc.assign(hi - slab.lo, 0.0);
+            slab.weight_sum.assign(hi - slab.lo, 0.0);
+            for (std::size_t w = wb; w < we; ++w)
+              process_window(signal, starts[w], window, overlap,
+                             config.poly_degree, scratch, slab.acc.data(),
+                             slab.weight_sum.data(), slab.lo);
+          }
+        });
+    for (const Slab& slab : slabs) {
+      for (std::size_t i = 0; i < slab.acc.size(); ++i) {
+        acc[slab.lo + i] += slab.acc[i];
+        weight_sum[slab.lo + i] += slab.weight_sum[i];
       }
-      acc[start + i] += w * normalized;
-      weight_sum[start + i] += w;
     }
-    if (end == n) break;
   }
 
   for (std::size_t i = 0; i < n; ++i)
     out[i] = weight_sum[i] > 0.0 ? acc[i] / weight_sum[i] : 1.0;
+}
+
+std::vector<double> detrend(std::span<const double> signal,
+                            const DetrendConfig& config,
+                            util::ThreadPool* pool) {
+  std::vector<double> out(signal.size(), 1.0);
+  detrend_into(signal, config, out, pool);
   return out;
 }
 
-void detrend_in_place(util::TimeSeries& series, const DetrendConfig& config) {
-  auto result = detrend(series.samples(), config);
-  std::copy(result.begin(), result.end(), series.samples_mut().begin());
+void detrend_in_place(util::TimeSeries& series, const DetrendConfig& config,
+                      util::ThreadPool* pool) {
+  detrend_into(series.samples(), config, series.samples_mut(), pool);
 }
 
 }  // namespace medsen::dsp

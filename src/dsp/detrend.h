@@ -4,10 +4,19 @@
 // a second-order polynomial to each, divide the data by the fitted line
 // (normalizing the baseline to 1.0), and stitch the sections back together
 // with cross-fade in the overlap regions.
+//
+// Each window's fit is independent, so the window loop parallelizes on a
+// util::ThreadPool. Determinism contract: the parallel path accumulates
+// each task's windows into a private slab and reduces the slabs serially
+// in window order, so the output is bit-identical to the serial path for
+// any thread count (IEEE additions happen in the same order; see
+// DESIGN.md "Threading model").
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "util/thread_pool.h"
 #include "util/time_series.h"
 
 namespace medsen::dsp {
@@ -21,11 +30,20 @@ struct DetrendConfig {
 /// Detrend a raw signal; the result has baseline ~= 1.0 with peaks as
 /// downward excursions (impedance increases cause voltage drops).
 /// Windows shorter than poly_degree+1 samples fall back to mean division.
+/// With a pool, windows are fitted concurrently (bit-identical output).
 std::vector<double> detrend(std::span<const double> signal,
-                            const DetrendConfig& config = {});
+                            const DetrendConfig& config = {},
+                            util::ThreadPool* pool = nullptr);
 
-/// Detrend a TimeSeries in place (preserves rate/start metadata).
+/// Detrend into a caller-provided buffer (out.size() == signal.size();
+/// out may alias signal — it is written only after all fits complete).
+void detrend_into(std::span<const double> signal, const DetrendConfig& config,
+                  std::span<double> out, util::ThreadPool* pool = nullptr);
+
+/// Detrend a TimeSeries in place (preserves rate/start metadata); computes
+/// directly into the series' sample buffer, no copy-back.
 void detrend_in_place(util::TimeSeries& series,
-                      const DetrendConfig& config = {});
+                      const DetrendConfig& config = {},
+                      util::ThreadPool* pool = nullptr);
 
 }  // namespace medsen::dsp

@@ -1,40 +1,41 @@
 #include "dsp/polyfit.h"
 
+#include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <stdexcept>
 
 namespace medsen::dsp {
 
 namespace {
 
-/// Solve the dense linear system A x = b in place (partial pivoting).
-std::vector<double> solve(std::vector<std::vector<double>> a,
-                          std::vector<double> b) {
-  const std::size_t n = b.size();
-  for (std::size_t col = 0; col < n; ++col) {
+/// Solve the dense m-by-m system A x = b in place (partial pivoting).
+/// `a` is row-major m*m; `b` and `x` hold m values. `x` may alias `b`.
+void solve_inplace(double* a, double* b, std::size_t m, double* x) {
+  for (std::size_t col = 0; col < m; ++col) {
     // Pivot
     std::size_t pivot = col;
-    for (std::size_t row = col + 1; row < n; ++row)
-      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
-    if (std::fabs(a[pivot][col]) < 1e-12)
+    for (std::size_t row = col + 1; row < m; ++row)
+      if (std::fabs(a[row * m + col]) > std::fabs(a[pivot * m + col]))
+        pivot = row;
+    if (std::fabs(a[pivot * m + col]) < 1e-12)
       throw std::runtime_error("polyfit: singular normal equations");
-    std::swap(a[col], a[pivot]);
-    std::swap(b[col], b[pivot]);
+    if (pivot != col) {
+      std::swap_ranges(a + col * m, a + (col + 1) * m, a + pivot * m);
+      std::swap(b[col], b[pivot]);
+    }
     // Eliminate
-    for (std::size_t row = col + 1; row < n; ++row) {
-      const double factor = a[row][col] / a[col][col];
-      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const double factor = a[row * m + col] / a[col * m + col];
+      for (std::size_t k = col; k < m; ++k)
+        a[row * m + k] -= factor * a[col * m + k];
       b[row] -= factor * b[col];
     }
   }
-  std::vector<double> x(n, 0.0);
-  for (std::size_t i = n; i-- > 0;) {
+  for (std::size_t i = m; i-- > 0;) {
     double acc = b[i];
-    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i][k] * x[k];
-    x[i] = acc / a[i][i];
+    for (std::size_t k = i + 1; k < m; ++k) acc -= a[i * m + k] * x[k];
+    x[i] = acc / a[i * m + i];
   }
-  return x;
 }
 
 }  // namespace
@@ -59,29 +60,65 @@ Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
       xp *= xs[i];
     }
   }
-  std::vector<std::vector<double>> a(m, std::vector<double>(m));
+  std::vector<double> a(m * m);
   for (std::size_t r = 0; r < m; ++r)
-    for (std::size_t c = 0; c < m; ++c) a[r][c] = power_sums[r + c];
-  return solve(std::move(a), std::move(rhs));
+    for (std::size_t c = 0; c < m; ++c) a[r * m + c] = power_sums[r + c];
+  Polynomial coeffs(m);
+  solve_inplace(a.data(), rhs.data(), m, coeffs.data());
+  return coeffs;
+}
+
+std::span<const double> polyfit_indices(std::span<const double> ys,
+                                        unsigned degree,
+                                        PolyfitScratch& scratch) {
+  const std::size_t n = ys.size();
+  const std::size_t m = degree + 1;
+  if (n < m) throw std::invalid_argument("polyfit: too few points");
+
+  scratch.power_sums.assign(2 * degree + 1, 0.0);
+  scratch.rhs.assign(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    double xp = 1.0;
+    for (std::size_t k = 0; k < scratch.power_sums.size(); ++k) {
+      scratch.power_sums[k] += xp;
+      if (k < m) scratch.rhs[k] += xp * ys[i];
+      xp *= x;
+    }
+  }
+  scratch.matrix.resize(m * m);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < m; ++c)
+      scratch.matrix[r * m + c] = scratch.power_sums[r + c];
+  scratch.coeffs.resize(m);
+  solve_inplace(scratch.matrix.data(), scratch.rhs.data(), m,
+                scratch.coeffs.data());
+  return {scratch.coeffs.data(), m};
 }
 
 Polynomial polyfit(std::span<const double> ys, unsigned degree) {
-  std::vector<double> xs(ys.size());
-  std::iota(xs.begin(), xs.end(), 0.0);
-  return polyfit(xs, ys, degree);
+  PolyfitScratch scratch;
+  const auto coeffs = polyfit_indices(ys, degree, scratch);
+  return Polynomial(coeffs.begin(), coeffs.end());
 }
 
-double polyval(const Polynomial& coeffs, double x) {
+double polyval(std::span<const double> coeffs, double x) {
   double acc = 0.0;
   for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
   return acc;
 }
 
-std::vector<double> polyval_indices(const Polynomial& coeffs, std::size_t n) {
+std::vector<double> polyval_indices(std::span<const double> coeffs,
+                                    std::size_t n) {
   std::vector<double> out(n);
-  for (std::size_t i = 0; i < n; ++i)
-    out[i] = polyval(coeffs, static_cast<double>(i));
+  polyval_indices_into(coeffs, out);
   return out;
+}
+
+void polyval_indices_into(std::span<const double> coeffs,
+                          std::span<double> out) {
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = polyval(coeffs, static_cast<double>(i));
 }
 
 }  // namespace medsen::dsp

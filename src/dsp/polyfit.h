@@ -1,7 +1,9 @@
 #pragma once
 // Least-squares polynomial fitting. The cloud analysis service fits a
 // second-order polynomial per signal window to track baseline drift
-// (paper Section VI-C) before peak detection.
+// (paper Section VI-C) before peak detection. The detrend hot path calls
+// this once per 2048-sample window over million-sample acquisitions, so
+// a scratch-buffer overload avoids per-window allocation entirely.
 
 #include <span>
 #include <vector>
@@ -10,6 +12,17 @@ namespace medsen::dsp {
 
 /// Coefficients c[0] + c[1]*x + c[2]*x^2 + ... of a fitted polynomial.
 using Polynomial = std::vector<double>;
+
+/// Reusable workspace for polyfit_indices: power sums, the flattened
+/// (degree+1)^2 row-major normal-equation matrix, right-hand side, and
+/// the output coefficients. One instance per thread/task; reused across
+/// windows without reallocating.
+struct PolyfitScratch {
+  std::vector<double> power_sums;
+  std::vector<double> matrix;
+  std::vector<double> rhs;
+  std::vector<double> coeffs;
+};
 
 /// Fit a polynomial of the given degree to (xs, ys) by ordinary least
 /// squares (normal equations + Gaussian elimination with partial
@@ -21,10 +34,23 @@ Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
 /// Convenience overload using x = 0, 1, 2, ... (sample index domain).
 Polynomial polyfit(std::span<const double> ys, unsigned degree);
 
+/// Allocation-free fit over the implicit index domain x = 0..ys.size()-1.
+/// Returns a view of scratch.coeffs (degree+1 values), valid until the
+/// scratch is next used. Identical arithmetic to polyfit(ys, degree).
+std::span<const double> polyfit_indices(std::span<const double> ys,
+                                        unsigned degree,
+                                        PolyfitScratch& scratch);
+
 /// Evaluate a polynomial at x (Horner's method).
-double polyval(const Polynomial& coeffs, double x);
+double polyval(std::span<const double> coeffs, double x);
 
 /// Evaluate at x = 0..n-1 into a vector.
-std::vector<double> polyval_indices(const Polynomial& coeffs, std::size_t n);
+std::vector<double> polyval_indices(std::span<const double> coeffs,
+                                    std::size_t n);
+
+/// Evaluate at x = 0..out.size()-1 into a caller-provided buffer
+/// (Horner per index, no allocation).
+void polyval_indices_into(std::span<const double> coeffs,
+                          std::span<double> out);
 
 }  // namespace medsen::dsp

@@ -1,0 +1,131 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+namespace medsen::util {
+
+namespace {
+
+unsigned default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) {
+  const unsigned count = workers == 0 ? default_workers() : workers;
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+
+  // Over-decompose ~4x relative to the thread count so uneven chunks
+  // load-balance, but never below the caller's grain.
+  const std::size_t target_chunks = static_cast<std::size_t>(concurrency()) * 4;
+  std::size_t chunk = (n + target_chunks - 1) / target_chunks;
+  if (chunk < grain) chunk = grain;
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
+
+  struct Batch {
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining.store(chunks, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(begin + chunk, n);
+      // `body` is captured by reference: the caller blocks below until
+      // every chunk has decremented `remaining`, which happens after the
+      // last use of `body`.
+      queue_.emplace_back([batch, &body, begin, end] {
+        try {
+          body(begin, end);
+        } catch (...) {
+          std::lock_guard<std::mutex> guard(batch->mutex);
+          if (!batch->error) batch->error = std::current_exception();
+        }
+        if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> guard(batch->mutex);
+          batch->done.notify_all();
+        }
+      });
+    }
+  }
+  work_ready_.notify_all();
+
+  // Help: run queued tasks (ours or anyone's — nested batches included)
+  // until this batch completes. Never sleep while work is available.
+  while (batch->remaining.load(std::memory_order_acquire) > 0) {
+    if (!run_one()) {
+      std::unique_lock<std::mutex> lock(batch->mutex);
+      batch->done.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return batch->remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace medsen::util
