@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auth/alphabet.cpp" "src/auth/CMakeFiles/medsen_auth.dir/alphabet.cpp.o" "gcc" "src/auth/CMakeFiles/medsen_auth.dir/alphabet.cpp.o.d"
+  "/root/repo/src/auth/classifier.cpp" "src/auth/CMakeFiles/medsen_auth.dir/classifier.cpp.o" "gcc" "src/auth/CMakeFiles/medsen_auth.dir/classifier.cpp.o.d"
+  "/root/repo/src/auth/collision.cpp" "src/auth/CMakeFiles/medsen_auth.dir/collision.cpp.o" "gcc" "src/auth/CMakeFiles/medsen_auth.dir/collision.cpp.o.d"
+  "/root/repo/src/auth/enrollment.cpp" "src/auth/CMakeFiles/medsen_auth.dir/enrollment.cpp.o" "gcc" "src/auth/CMakeFiles/medsen_auth.dir/enrollment.cpp.o.d"
+  "/root/repo/src/auth/identifier.cpp" "src/auth/CMakeFiles/medsen_auth.dir/identifier.cpp.o" "gcc" "src/auth/CMakeFiles/medsen_auth.dir/identifier.cpp.o.d"
+  "/root/repo/src/auth/roc.cpp" "src/auth/CMakeFiles/medsen_auth.dir/roc.cpp.o" "gcc" "src/auth/CMakeFiles/medsen_auth.dir/roc.cpp.o.d"
+  "/root/repo/src/auth/verifier.cpp" "src/auth/CMakeFiles/medsen_auth.dir/verifier.cpp.o" "gcc" "src/auth/CMakeFiles/medsen_auth.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/medsen_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/medsen_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dsp/CMakeFiles/medsen_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/medsen_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/medsen_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

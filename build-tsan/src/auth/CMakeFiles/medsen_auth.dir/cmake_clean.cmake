@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medsen_auth.dir/alphabet.cpp.o"
+  "CMakeFiles/medsen_auth.dir/alphabet.cpp.o.d"
+  "CMakeFiles/medsen_auth.dir/classifier.cpp.o"
+  "CMakeFiles/medsen_auth.dir/classifier.cpp.o.d"
+  "CMakeFiles/medsen_auth.dir/collision.cpp.o"
+  "CMakeFiles/medsen_auth.dir/collision.cpp.o.d"
+  "CMakeFiles/medsen_auth.dir/enrollment.cpp.o"
+  "CMakeFiles/medsen_auth.dir/enrollment.cpp.o.d"
+  "CMakeFiles/medsen_auth.dir/identifier.cpp.o"
+  "CMakeFiles/medsen_auth.dir/identifier.cpp.o.d"
+  "CMakeFiles/medsen_auth.dir/roc.cpp.o"
+  "CMakeFiles/medsen_auth.dir/roc.cpp.o.d"
+  "CMakeFiles/medsen_auth.dir/verifier.cpp.o"
+  "CMakeFiles/medsen_auth.dir/verifier.cpp.o.d"
+  "libmedsen_auth.a"
+  "libmedsen_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medsen_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

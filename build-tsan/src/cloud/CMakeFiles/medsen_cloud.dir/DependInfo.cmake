@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/analysis_service.cpp" "src/cloud/CMakeFiles/medsen_cloud.dir/analysis_service.cpp.o" "gcc" "src/cloud/CMakeFiles/medsen_cloud.dir/analysis_service.cpp.o.d"
+  "/root/repo/src/cloud/persistence.cpp" "src/cloud/CMakeFiles/medsen_cloud.dir/persistence.cpp.o" "gcc" "src/cloud/CMakeFiles/medsen_cloud.dir/persistence.cpp.o.d"
+  "/root/repo/src/cloud/quality.cpp" "src/cloud/CMakeFiles/medsen_cloud.dir/quality.cpp.o" "gcc" "src/cloud/CMakeFiles/medsen_cloud.dir/quality.cpp.o.d"
+  "/root/repo/src/cloud/server.cpp" "src/cloud/CMakeFiles/medsen_cloud.dir/server.cpp.o" "gcc" "src/cloud/CMakeFiles/medsen_cloud.dir/server.cpp.o.d"
+  "/root/repo/src/cloud/storage.cpp" "src/cloud/CMakeFiles/medsen_cloud.dir/storage.cpp.o" "gcc" "src/cloud/CMakeFiles/medsen_cloud.dir/storage.cpp.o.d"
+  "/root/repo/src/cloud/streaming.cpp" "src/cloud/CMakeFiles/medsen_cloud.dir/streaming.cpp.o" "gcc" "src/cloud/CMakeFiles/medsen_cloud.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/medsen_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dsp/CMakeFiles/medsen_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/medsen_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/auth/CMakeFiles/medsen_auth.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/medsen_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compress/CMakeFiles/medsen_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/medsen_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/medsen_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medsen_cloud.dir/analysis_service.cpp.o"
+  "CMakeFiles/medsen_cloud.dir/analysis_service.cpp.o.d"
+  "CMakeFiles/medsen_cloud.dir/persistence.cpp.o"
+  "CMakeFiles/medsen_cloud.dir/persistence.cpp.o.d"
+  "CMakeFiles/medsen_cloud.dir/quality.cpp.o"
+  "CMakeFiles/medsen_cloud.dir/quality.cpp.o.d"
+  "CMakeFiles/medsen_cloud.dir/server.cpp.o"
+  "CMakeFiles/medsen_cloud.dir/server.cpp.o.d"
+  "CMakeFiles/medsen_cloud.dir/storage.cpp.o"
+  "CMakeFiles/medsen_cloud.dir/storage.cpp.o.d"
+  "CMakeFiles/medsen_cloud.dir/streaming.cpp.o"
+  "CMakeFiles/medsen_cloud.dir/streaming.cpp.o.d"
+  "libmedsen_cloud.a"
+  "libmedsen_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medsen_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

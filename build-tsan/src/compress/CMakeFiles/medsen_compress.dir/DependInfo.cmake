@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bitio.cpp" "src/compress/CMakeFiles/medsen_compress.dir/bitio.cpp.o" "gcc" "src/compress/CMakeFiles/medsen_compress.dir/bitio.cpp.o.d"
+  "/root/repo/src/compress/codec.cpp" "src/compress/CMakeFiles/medsen_compress.dir/codec.cpp.o" "gcc" "src/compress/CMakeFiles/medsen_compress.dir/codec.cpp.o.d"
+  "/root/repo/src/compress/crc32.cpp" "src/compress/CMakeFiles/medsen_compress.dir/crc32.cpp.o" "gcc" "src/compress/CMakeFiles/medsen_compress.dir/crc32.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/medsen_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/medsen_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/lzss.cpp" "src/compress/CMakeFiles/medsen_compress.dir/lzss.cpp.o" "gcc" "src/compress/CMakeFiles/medsen_compress.dir/lzss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/medsen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

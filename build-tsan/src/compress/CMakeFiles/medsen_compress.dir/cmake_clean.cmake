@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medsen_compress.dir/bitio.cpp.o"
+  "CMakeFiles/medsen_compress.dir/bitio.cpp.o.d"
+  "CMakeFiles/medsen_compress.dir/codec.cpp.o"
+  "CMakeFiles/medsen_compress.dir/codec.cpp.o.d"
+  "CMakeFiles/medsen_compress.dir/crc32.cpp.o"
+  "CMakeFiles/medsen_compress.dir/crc32.cpp.o.d"
+  "CMakeFiles/medsen_compress.dir/huffman.cpp.o"
+  "CMakeFiles/medsen_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/medsen_compress.dir/lzss.cpp.o"
+  "CMakeFiles/medsen_compress.dir/lzss.cpp.o.d"
+  "libmedsen_compress.a"
+  "libmedsen_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medsen_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attacker.cpp" "src/core/CMakeFiles/medsen_core.dir/attacker.cpp.o" "gcc" "src/core/CMakeFiles/medsen_core.dir/attacker.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/medsen_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/medsen_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/decryptor.cpp" "src/core/CMakeFiles/medsen_core.dir/decryptor.cpp.o" "gcc" "src/core/CMakeFiles/medsen_core.dir/decryptor.cpp.o.d"
+  "/root/repo/src/core/diagnostic.cpp" "src/core/CMakeFiles/medsen_core.dir/diagnostic.cpp.o" "gcc" "src/core/CMakeFiles/medsen_core.dir/diagnostic.cpp.o.d"
+  "/root/repo/src/core/encryptor.cpp" "src/core/CMakeFiles/medsen_core.dir/encryptor.cpp.o" "gcc" "src/core/CMakeFiles/medsen_core.dir/encryptor.cpp.o.d"
+  "/root/repo/src/core/escrow.cpp" "src/core/CMakeFiles/medsen_core.dir/escrow.cpp.o" "gcc" "src/core/CMakeFiles/medsen_core.dir/escrow.cpp.o.d"
+  "/root/repo/src/core/key.cpp" "src/core/CMakeFiles/medsen_core.dir/key.cpp.o" "gcc" "src/core/CMakeFiles/medsen_core.dir/key.cpp.o.d"
+  "/root/repo/src/core/mux.cpp" "src/core/CMakeFiles/medsen_core.dir/mux.cpp.o" "gcc" "src/core/CMakeFiles/medsen_core.dir/mux.cpp.o.d"
+  "/root/repo/src/core/peak_report.cpp" "src/core/CMakeFiles/medsen_core.dir/peak_report.cpp.o" "gcc" "src/core/CMakeFiles/medsen_core.dir/peak_report.cpp.o.d"
+  "/root/repo/src/core/percell.cpp" "src/core/CMakeFiles/medsen_core.dir/percell.cpp.o" "gcc" "src/core/CMakeFiles/medsen_core.dir/percell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/medsen_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/medsen_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dsp/CMakeFiles/medsen_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/medsen_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medsen_core.dir/attacker.cpp.o"
+  "CMakeFiles/medsen_core.dir/attacker.cpp.o.d"
+  "CMakeFiles/medsen_core.dir/controller.cpp.o"
+  "CMakeFiles/medsen_core.dir/controller.cpp.o.d"
+  "CMakeFiles/medsen_core.dir/decryptor.cpp.o"
+  "CMakeFiles/medsen_core.dir/decryptor.cpp.o.d"
+  "CMakeFiles/medsen_core.dir/diagnostic.cpp.o"
+  "CMakeFiles/medsen_core.dir/diagnostic.cpp.o.d"
+  "CMakeFiles/medsen_core.dir/encryptor.cpp.o"
+  "CMakeFiles/medsen_core.dir/encryptor.cpp.o.d"
+  "CMakeFiles/medsen_core.dir/escrow.cpp.o"
+  "CMakeFiles/medsen_core.dir/escrow.cpp.o.d"
+  "CMakeFiles/medsen_core.dir/key.cpp.o"
+  "CMakeFiles/medsen_core.dir/key.cpp.o.d"
+  "CMakeFiles/medsen_core.dir/mux.cpp.o"
+  "CMakeFiles/medsen_core.dir/mux.cpp.o.d"
+  "CMakeFiles/medsen_core.dir/peak_report.cpp.o"
+  "CMakeFiles/medsen_core.dir/peak_report.cpp.o.d"
+  "CMakeFiles/medsen_core.dir/percell.cpp.o"
+  "CMakeFiles/medsen_core.dir/percell.cpp.o.d"
+  "libmedsen_core.a"
+  "libmedsen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medsen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

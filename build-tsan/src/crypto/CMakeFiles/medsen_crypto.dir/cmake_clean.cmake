@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medsen_crypto.dir/aes.cpp.o"
+  "CMakeFiles/medsen_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/medsen_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/medsen_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/medsen_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/medsen_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/medsen_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/medsen_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/medsen_crypto.dir/keymath.cpp.o"
+  "CMakeFiles/medsen_crypto.dir/keymath.cpp.o.d"
+  "CMakeFiles/medsen_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/medsen_crypto.dir/sha256.cpp.o.d"
+  "libmedsen_crypto.a"
+  "libmedsen_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medsen_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

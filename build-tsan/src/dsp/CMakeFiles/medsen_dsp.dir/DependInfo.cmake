@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/classify.cpp" "src/dsp/CMakeFiles/medsen_dsp.dir/classify.cpp.o" "gcc" "src/dsp/CMakeFiles/medsen_dsp.dir/classify.cpp.o.d"
+  "/root/repo/src/dsp/deadtime.cpp" "src/dsp/CMakeFiles/medsen_dsp.dir/deadtime.cpp.o" "gcc" "src/dsp/CMakeFiles/medsen_dsp.dir/deadtime.cpp.o.d"
+  "/root/repo/src/dsp/demod.cpp" "src/dsp/CMakeFiles/medsen_dsp.dir/demod.cpp.o" "gcc" "src/dsp/CMakeFiles/medsen_dsp.dir/demod.cpp.o.d"
+  "/root/repo/src/dsp/detrend.cpp" "src/dsp/CMakeFiles/medsen_dsp.dir/detrend.cpp.o" "gcc" "src/dsp/CMakeFiles/medsen_dsp.dir/detrend.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/medsen_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/medsen_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/filters.cpp" "src/dsp/CMakeFiles/medsen_dsp.dir/filters.cpp.o" "gcc" "src/dsp/CMakeFiles/medsen_dsp.dir/filters.cpp.o.d"
+  "/root/repo/src/dsp/kmeans.cpp" "src/dsp/CMakeFiles/medsen_dsp.dir/kmeans.cpp.o" "gcc" "src/dsp/CMakeFiles/medsen_dsp.dir/kmeans.cpp.o.d"
+  "/root/repo/src/dsp/noise.cpp" "src/dsp/CMakeFiles/medsen_dsp.dir/noise.cpp.o" "gcc" "src/dsp/CMakeFiles/medsen_dsp.dir/noise.cpp.o.d"
+  "/root/repo/src/dsp/peak_detect.cpp" "src/dsp/CMakeFiles/medsen_dsp.dir/peak_detect.cpp.o" "gcc" "src/dsp/CMakeFiles/medsen_dsp.dir/peak_detect.cpp.o.d"
+  "/root/repo/src/dsp/polyfit.cpp" "src/dsp/CMakeFiles/medsen_dsp.dir/polyfit.cpp.o" "gcc" "src/dsp/CMakeFiles/medsen_dsp.dir/polyfit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/medsen_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/medsen_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medsen_dsp.dir/classify.cpp.o"
+  "CMakeFiles/medsen_dsp.dir/classify.cpp.o.d"
+  "CMakeFiles/medsen_dsp.dir/deadtime.cpp.o"
+  "CMakeFiles/medsen_dsp.dir/deadtime.cpp.o.d"
+  "CMakeFiles/medsen_dsp.dir/demod.cpp.o"
+  "CMakeFiles/medsen_dsp.dir/demod.cpp.o.d"
+  "CMakeFiles/medsen_dsp.dir/detrend.cpp.o"
+  "CMakeFiles/medsen_dsp.dir/detrend.cpp.o.d"
+  "CMakeFiles/medsen_dsp.dir/fft.cpp.o"
+  "CMakeFiles/medsen_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/medsen_dsp.dir/filters.cpp.o"
+  "CMakeFiles/medsen_dsp.dir/filters.cpp.o.d"
+  "CMakeFiles/medsen_dsp.dir/kmeans.cpp.o"
+  "CMakeFiles/medsen_dsp.dir/kmeans.cpp.o.d"
+  "CMakeFiles/medsen_dsp.dir/noise.cpp.o"
+  "CMakeFiles/medsen_dsp.dir/noise.cpp.o.d"
+  "CMakeFiles/medsen_dsp.dir/peak_detect.cpp.o"
+  "CMakeFiles/medsen_dsp.dir/peak_detect.cpp.o.d"
+  "CMakeFiles/medsen_dsp.dir/polyfit.cpp.o"
+  "CMakeFiles/medsen_dsp.dir/polyfit.cpp.o.d"
+  "libmedsen_dsp.a"
+  "libmedsen_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medsen_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

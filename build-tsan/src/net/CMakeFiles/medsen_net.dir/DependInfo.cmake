@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/medsen_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/medsen_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/medsen_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/medsen_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/medsen_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/medsen_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/messages.cpp" "src/net/CMakeFiles/medsen_net.dir/messages.cpp.o" "gcc" "src/net/CMakeFiles/medsen_net.dir/messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/medsen_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/medsen_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compress/CMakeFiles/medsen_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

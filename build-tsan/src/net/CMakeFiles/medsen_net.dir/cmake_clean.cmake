@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medsen_net.dir/channel.cpp.o"
+  "CMakeFiles/medsen_net.dir/channel.cpp.o.d"
+  "CMakeFiles/medsen_net.dir/frame.cpp.o"
+  "CMakeFiles/medsen_net.dir/frame.cpp.o.d"
+  "CMakeFiles/medsen_net.dir/link.cpp.o"
+  "CMakeFiles/medsen_net.dir/link.cpp.o.d"
+  "CMakeFiles/medsen_net.dir/messages.cpp.o"
+  "CMakeFiles/medsen_net.dir/messages.cpp.o.d"
+  "libmedsen_net.a"
+  "libmedsen_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medsen_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

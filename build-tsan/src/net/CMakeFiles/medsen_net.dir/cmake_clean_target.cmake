@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmedsen_net.a"
+)

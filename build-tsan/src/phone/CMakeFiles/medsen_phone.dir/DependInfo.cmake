@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phone/app.cpp" "src/phone/CMakeFiles/medsen_phone.dir/app.cpp.o" "gcc" "src/phone/CMakeFiles/medsen_phone.dir/app.cpp.o.d"
+  "/root/repo/src/phone/profile.cpp" "src/phone/CMakeFiles/medsen_phone.dir/profile.cpp.o" "gcc" "src/phone/CMakeFiles/medsen_phone.dir/profile.cpp.o.d"
+  "/root/repo/src/phone/relay.cpp" "src/phone/CMakeFiles/medsen_phone.dir/relay.cpp.o" "gcc" "src/phone/CMakeFiles/medsen_phone.dir/relay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/medsen_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/medsen_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cloud/CMakeFiles/medsen_cloud.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compress/CMakeFiles/medsen_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/auth/CMakeFiles/medsen_auth.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/medsen_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/medsen_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dsp/CMakeFiles/medsen_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/medsen_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

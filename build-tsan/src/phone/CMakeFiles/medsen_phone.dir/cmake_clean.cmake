@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medsen_phone.dir/app.cpp.o"
+  "CMakeFiles/medsen_phone.dir/app.cpp.o.d"
+  "CMakeFiles/medsen_phone.dir/profile.cpp.o"
+  "CMakeFiles/medsen_phone.dir/profile.cpp.o.d"
+  "CMakeFiles/medsen_phone.dir/relay.cpp.o"
+  "CMakeFiles/medsen_phone.dir/relay.cpp.o.d"
+  "libmedsen_phone.a"
+  "libmedsen_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medsen_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

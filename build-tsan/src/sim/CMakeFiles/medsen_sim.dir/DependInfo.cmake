@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/acquisition.cpp" "src/sim/CMakeFiles/medsen_sim.dir/acquisition.cpp.o" "gcc" "src/sim/CMakeFiles/medsen_sim.dir/acquisition.cpp.o.d"
+  "/root/repo/src/sim/capture.cpp" "src/sim/CMakeFiles/medsen_sim.dir/capture.cpp.o" "gcc" "src/sim/CMakeFiles/medsen_sim.dir/capture.cpp.o.d"
+  "/root/repo/src/sim/channel.cpp" "src/sim/CMakeFiles/medsen_sim.dir/channel.cpp.o" "gcc" "src/sim/CMakeFiles/medsen_sim.dir/channel.cpp.o.d"
+  "/root/repo/src/sim/electrode_array.cpp" "src/sim/CMakeFiles/medsen_sim.dir/electrode_array.cpp.o" "gcc" "src/sim/CMakeFiles/medsen_sim.dir/electrode_array.cpp.o.d"
+  "/root/repo/src/sim/impedance_model.cpp" "src/sim/CMakeFiles/medsen_sim.dir/impedance_model.cpp.o" "gcc" "src/sim/CMakeFiles/medsen_sim.dir/impedance_model.cpp.o.d"
+  "/root/repo/src/sim/lockin.cpp" "src/sim/CMakeFiles/medsen_sim.dir/lockin.cpp.o" "gcc" "src/sim/CMakeFiles/medsen_sim.dir/lockin.cpp.o.d"
+  "/root/repo/src/sim/particle.cpp" "src/sim/CMakeFiles/medsen_sim.dir/particle.cpp.o" "gcc" "src/sim/CMakeFiles/medsen_sim.dir/particle.cpp.o.d"
+  "/root/repo/src/sim/pump.cpp" "src/sim/CMakeFiles/medsen_sim.dir/pump.cpp.o" "gcc" "src/sim/CMakeFiles/medsen_sim.dir/pump.cpp.o.d"
+  "/root/repo/src/sim/signal_synth.cpp" "src/sim/CMakeFiles/medsen_sim.dir/signal_synth.cpp.o" "gcc" "src/sim/CMakeFiles/medsen_sim.dir/signal_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/medsen_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/medsen_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dsp/CMakeFiles/medsen_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

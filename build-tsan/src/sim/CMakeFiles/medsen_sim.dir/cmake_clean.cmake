@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medsen_sim.dir/acquisition.cpp.o"
+  "CMakeFiles/medsen_sim.dir/acquisition.cpp.o.d"
+  "CMakeFiles/medsen_sim.dir/capture.cpp.o"
+  "CMakeFiles/medsen_sim.dir/capture.cpp.o.d"
+  "CMakeFiles/medsen_sim.dir/channel.cpp.o"
+  "CMakeFiles/medsen_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/medsen_sim.dir/electrode_array.cpp.o"
+  "CMakeFiles/medsen_sim.dir/electrode_array.cpp.o.d"
+  "CMakeFiles/medsen_sim.dir/impedance_model.cpp.o"
+  "CMakeFiles/medsen_sim.dir/impedance_model.cpp.o.d"
+  "CMakeFiles/medsen_sim.dir/lockin.cpp.o"
+  "CMakeFiles/medsen_sim.dir/lockin.cpp.o.d"
+  "CMakeFiles/medsen_sim.dir/particle.cpp.o"
+  "CMakeFiles/medsen_sim.dir/particle.cpp.o.d"
+  "CMakeFiles/medsen_sim.dir/pump.cpp.o"
+  "CMakeFiles/medsen_sim.dir/pump.cpp.o.d"
+  "CMakeFiles/medsen_sim.dir/signal_synth.cpp.o"
+  "CMakeFiles/medsen_sim.dir/signal_synth.cpp.o.d"
+  "libmedsen_sim.a"
+  "libmedsen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medsen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

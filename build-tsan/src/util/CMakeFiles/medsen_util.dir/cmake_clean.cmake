@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medsen_util.dir/csv.cpp.o"
+  "CMakeFiles/medsen_util.dir/csv.cpp.o.d"
+  "CMakeFiles/medsen_util.dir/fileio.cpp.o"
+  "CMakeFiles/medsen_util.dir/fileio.cpp.o.d"
+  "CMakeFiles/medsen_util.dir/logging.cpp.o"
+  "CMakeFiles/medsen_util.dir/logging.cpp.o.d"
+  "CMakeFiles/medsen_util.dir/serialize.cpp.o"
+  "CMakeFiles/medsen_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/medsen_util.dir/stats.cpp.o"
+  "CMakeFiles/medsen_util.dir/stats.cpp.o.d"
+  "CMakeFiles/medsen_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/medsen_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/medsen_util.dir/time_series.cpp.o"
+  "CMakeFiles/medsen_util.dir/time_series.cpp.o.d"
+  "libmedsen_util.a"
+  "libmedsen_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medsen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auth.dir/auth/alphabet_test.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/alphabet_test.cpp.o.d"
+  "CMakeFiles/test_auth.dir/auth/classifier_test.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/classifier_test.cpp.o.d"
+  "CMakeFiles/test_auth.dir/auth/collision_test.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/collision_test.cpp.o.d"
+  "CMakeFiles/test_auth.dir/auth/enrollment_test.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/enrollment_test.cpp.o.d"
+  "CMakeFiles/test_auth.dir/auth/identifier_test.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/identifier_test.cpp.o.d"
+  "CMakeFiles/test_auth.dir/auth/roc_test.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/roc_test.cpp.o.d"
+  "CMakeFiles/test_auth.dir/auth/verifier_test.cpp.o"
+  "CMakeFiles/test_auth.dir/auth/verifier_test.cpp.o.d"
+  "test_auth"
+  "test_auth.pdb"
+  "test_auth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_phone.dir/cloud/analysis_service_test.cpp.o"
+  "CMakeFiles/test_cloud_phone.dir/cloud/analysis_service_test.cpp.o.d"
+  "CMakeFiles/test_cloud_phone.dir/cloud/parallel_analysis_test.cpp.o"
+  "CMakeFiles/test_cloud_phone.dir/cloud/parallel_analysis_test.cpp.o.d"
+  "CMakeFiles/test_cloud_phone.dir/cloud/persistence_test.cpp.o"
+  "CMakeFiles/test_cloud_phone.dir/cloud/persistence_test.cpp.o.d"
+  "CMakeFiles/test_cloud_phone.dir/cloud/quality_test.cpp.o"
+  "CMakeFiles/test_cloud_phone.dir/cloud/quality_test.cpp.o.d"
+  "CMakeFiles/test_cloud_phone.dir/cloud/server_test.cpp.o"
+  "CMakeFiles/test_cloud_phone.dir/cloud/server_test.cpp.o.d"
+  "CMakeFiles/test_cloud_phone.dir/cloud/storage_test.cpp.o"
+  "CMakeFiles/test_cloud_phone.dir/cloud/storage_test.cpp.o.d"
+  "CMakeFiles/test_cloud_phone.dir/cloud/streaming_test.cpp.o"
+  "CMakeFiles/test_cloud_phone.dir/cloud/streaming_test.cpp.o.d"
+  "CMakeFiles/test_cloud_phone.dir/phone/app_test.cpp.o"
+  "CMakeFiles/test_cloud_phone.dir/phone/app_test.cpp.o.d"
+  "CMakeFiles/test_cloud_phone.dir/phone/relay_test.cpp.o"
+  "CMakeFiles/test_cloud_phone.dir/phone/relay_test.cpp.o.d"
+  "test_cloud_phone"
+  "test_cloud_phone.pdb"
+  "test_cloud_phone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compress.dir/compress/bitio_test.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/bitio_test.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/codec_test.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/codec_test.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/crc32_test.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/crc32_test.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/huffman_test.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/huffman_test.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/lzss_test.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/lzss_test.cpp.o.d"
+  "test_compress"
+  "test_compress.pdb"
+  "test_compress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

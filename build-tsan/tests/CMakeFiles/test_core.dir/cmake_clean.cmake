@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/attacker_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/attacker_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/controller_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/controller_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/crypto_roundtrip_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/crypto_roundtrip_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/diagnostic_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/diagnostic_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/escrow_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/escrow_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/key_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/key_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/mux_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/mux_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/peak_report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/peak_report_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/percell_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/percell_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/aes_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/aes_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/chacha20_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/chacha20_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/hkdf_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/hkdf_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/keymath_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/keymath_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/rng_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/rng_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

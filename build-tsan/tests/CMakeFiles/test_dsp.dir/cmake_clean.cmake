@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/dsp/classify_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/classify_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/deadtime_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/deadtime_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/demod_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/demod_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/detrend_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/detrend_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/fft_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/fft_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/filters_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/filters_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/kmeans_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/kmeans_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/noise_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/noise_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/peak_detect_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/peak_detect_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/polyfit_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/polyfit_test.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/failure_injection_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/property_sweep_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/integration/restart_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/restart_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/restart_test.cpp.o.d"
+  "/root/repo/tests/integration/threaded_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/threaded_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/threaded_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/medsen_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/medsen_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dsp/CMakeFiles/medsen_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compress/CMakeFiles/medsen_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/medsen_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/medsen_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/auth/CMakeFiles/medsen_auth.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/medsen_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cloud/CMakeFiles/medsen_cloud.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/phone/CMakeFiles/medsen_phone.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/channel_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/channel_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/frame_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/frame_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/link_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/link_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/messages_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/messages_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

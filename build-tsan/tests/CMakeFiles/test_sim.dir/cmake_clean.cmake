@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/acquisition_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/acquisition_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/capture_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/capture_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/channel_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/channel_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/electrode_array_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/electrode_array_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/impedance_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/impedance_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/lockin_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/lockin_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/modulated_chain_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/modulated_chain_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/particle_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/particle_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/pump_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/pump_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/csv_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/logging_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/logging_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/ring_buffer_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/ring_buffer_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/serialize_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/serialize_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/stats_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/time_series_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/time_series_test.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_util[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_compress[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_auth[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_net[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cloud_phone[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
