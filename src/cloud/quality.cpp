@@ -28,8 +28,14 @@ ChannelQuality assess_channel(const util::TimeSeries& channel,
   }
   quality.saturated =
       out_of_range > samples.size() / 100;  // >1% implausible
+  // `pinned` counts adjacent equal pairs, of which there are size()-1; a
+  // single sample has no pairs and cannot demonstrate a live signal, so
+  // it scores as fully pinned rather than unconditionally clean.
   quality.dropout_fraction =
-      static_cast<double>(pinned) / static_cast<double>(samples.size());
+      samples.size() < 2
+          ? 1.0
+          : static_cast<double>(pinned) /
+                static_cast<double>(samples.size() - 1);
 
   // Noise: rms of the first difference of the detrended signal, which is
   // insensitive to the (wanted) peaks but tracks broadband noise.

@@ -33,8 +33,39 @@ util::MultiChannelSeries CloudServer::decode_upload(
   return net::deserialize_series(raw);
 }
 
+std::optional<net::Envelope> CloudServer::cached_response(
+    const net::Envelope& request) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = session_cache_.find(request.session_id);
+  if (it == session_cache_.end()) return std::nullopt;
+  if (!crypto::digest_equal(it->second.request_mac, request.mac))
+    throw std::runtime_error(
+        "CloudServer: session " + std::to_string(request.session_id) +
+        " replayed with a different payload");
+  ++replays_served_;
+  return it->second.response;
+}
+
+void CloudServer::cache_response(const net::Envelope& request,
+                                 const net::Envelope& response) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++requests_processed_;
+  session_cache_.insert({request.session_id, {request.mac, response}});
+}
+
+std::uint64_t CloudServer::requests_processed() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return requests_processed_;
+}
+
+std::uint64_t CloudServer::replays_served() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return replays_served_;
+}
+
 net::Envelope CloudServer::handle_upload(
     const net::Envelope& request, std::span<const std::uint8_t> mac_key) {
+  if (auto cached = cached_response(request)) return *cached;
   const auto series = decode_upload(request, mac_key);
   if (quality_gate_) {
     last_quality_ = assess_quality(series);
@@ -43,14 +74,18 @@ net::Envelope CloudServer::handle_upload(
                                last_quality_.reason + ")");
   }
   const core::PeakReport report = analysis_.analyze(series);
-  return net::make_envelope(net::MessageType::kAnalysisResult,
-                            request.session_id, report.serialize(), mac_key);
+  const auto response =
+      net::make_envelope(net::MessageType::kAnalysisResult,
+                         request.session_id, report.serialize(), mac_key);
+  cache_response(request, response);
+  return response;
 }
 
 net::Envelope CloudServer::handle_auth(const net::Envelope& request,
                                        double volume_ul,
                                        std::span<const std::uint8_t> mac_key,
                                        double duration_s) {
+  if (auto cached = cached_response(request)) return *cached;
   const auto series = decode_upload(request, mac_key);
   const core::PeakReport report = analysis_.analyze(series);
 
@@ -85,8 +120,11 @@ net::Envelope CloudServer::handle_auth(const net::Envelope& request,
   payload.authenticated = result.authenticated;
   payload.user_id = result.user_id;
   payload.distance = result.distance;
-  return net::make_envelope(net::MessageType::kAuthDecision,
-                            request.session_id, payload.serialize(), mac_key);
+  const auto response =
+      net::make_envelope(net::MessageType::kAuthDecision, request.session_id,
+                         payload.serialize(), mac_key);
+  cache_response(request, response);
+  return response;
 }
 
 }  // namespace medsen::cloud

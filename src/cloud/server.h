@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "auth/verifier.h"
 #include "cloud/analysis_service.h"
@@ -66,9 +68,22 @@ class CloudServer {
   [[nodiscard]] const auth::Verifier& verifier() const { return verifier_; }
   [[nodiscard]] RecordStore& records() { return store_; }
 
+  /// Requests fully processed (cache misses) and replays served from the
+  /// session cache. The reliable transport retries lost responses by
+  /// re-uploading, so duplicate session_ids are expected in normal
+  /// operation and must not trigger a second analysis.
+  [[nodiscard]] std::uint64_t requests_processed() const;
+  [[nodiscard]] std::uint64_t replays_served() const;
+
  private:
   util::MultiChannelSeries decode_upload(const net::Envelope& request,
                                          std::span<const std::uint8_t> mac_key);
+  /// Cached response for a replayed session, if any. Throws if the
+  /// session_id was seen before with a *different* request MAC (a replay
+  /// that is not byte-identical is a protocol violation, not a retry).
+  std::optional<net::Envelope> cached_response(const net::Envelope& request);
+  void cache_response(const net::Envelope& request,
+                      const net::Envelope& response);
 
   AnalysisService analysis_;
   auth::EnrollmentDatabase db_;
@@ -76,6 +91,15 @@ class CloudServer {
   RecordStore store_;
   bool quality_gate_ = true;
   QualityReport last_quality_;
+
+  struct CachedExchange {
+    crypto::Sha256Digest request_mac{};
+    net::Envelope response;
+  };
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<std::uint64_t, CachedExchange> session_cache_;
+  std::uint64_t requests_processed_ = 0;
+  std::uint64_t replays_served_ = 0;
 };
 
 }  // namespace medsen::cloud

@@ -1,0 +1,78 @@
+#include "net/faulty_link.h"
+
+#include <utility>
+
+namespace medsen::net {
+
+FaultyLink::FaultyLink(LinkModel model, FaultConfig faults,
+                       SimulatedClock* clock)
+    : model_(model), faults_(faults), clock_(clock), rng_(faults.seed) {}
+
+double FaultyLink::uniform() {
+  // 53-bit mantissa draw; bit-stable across standard libraries, unlike
+  // std::uniform_real_distribution.
+  return static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+}
+
+void FaultyLink::deliver(std::vector<std::uint8_t> datagram) {
+  ++counters_.delivered;
+  queue_.send(std::move(datagram));
+}
+
+void FaultyLink::send(std::vector<std::uint8_t> datagram) {
+  ++counters_.sent;
+  if (clock_ != nullptr) {
+    double elapsed = model_.transfer_time_s(datagram.size());
+    if (faults_.delay_jitter_s > 0.0)
+      elapsed += faults_.delay_jitter_s * uniform();
+    clock_->advance(elapsed);
+  }
+
+  if (uniform() < faults_.drop_rate) {
+    ++counters_.dropped;
+    return;  // held datagrams stay held until a later delivery or flush()
+  }
+
+  if (force_corrupt_next_ || uniform() < faults_.corrupt_rate) {
+    force_corrupt_next_ = false;
+    if (!datagram.empty()) {
+      const std::size_t byte = static_cast<std::size_t>(
+          rng_() % static_cast<std::uint64_t>(datagram.size()));
+      datagram[byte] ^= static_cast<std::uint8_t>(1u << (rng_() % 8));
+      ++counters_.corrupted;
+    }
+  }
+
+  const bool duplicate = uniform() < faults_.duplicate_rate;
+  const bool hold = uniform() < faults_.reorder_rate && !held_.has_value();
+
+  if (hold) {
+    ++counters_.reordered;
+    held_ = std::move(datagram);
+    return;
+  }
+
+  if (duplicate) {
+    ++counters_.duplicated;
+    deliver(datagram);  // copy
+  }
+  deliver(std::move(datagram));
+
+  if (held_.has_value()) {  // release behind the datagram just delivered
+    deliver(std::move(*held_));
+    held_.reset();
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> FaultyLink::try_receive() {
+  return queue_.try_receive();
+}
+
+void FaultyLink::flush() {
+  if (held_.has_value()) {
+    deliver(std::move(*held_));
+    held_.reset();
+  }
+}
+
+}  // namespace medsen::net

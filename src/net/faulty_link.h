@@ -1,0 +1,86 @@
+#pragma once
+// Deterministic fault injection for the simulated radio link. Wraps the
+// LinkModel timing and a MessageQueue delivery path with seeded
+// drop/corrupt/duplicate/reorder/delay faults, so the reliable transport
+// (net/reliable.h) and its consumers can be exercised under realistic
+// channel conditions without any nondeterminism: the same seed and send
+// sequence always produce the same fault pattern and the same simulated
+// elapsed time.
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/link.h"
+
+namespace medsen::net {
+
+/// Per-datagram fault probabilities. All rates are in [0, 1] and are
+/// drawn independently per send from a seeded generator.
+struct FaultConfig {
+  double drop_rate = 0.0;       ///< datagram vanishes entirely
+  double corrupt_rate = 0.0;    ///< one random bit flips in transit
+  double duplicate_rate = 0.0;  ///< datagram delivered twice
+  double reorder_rate = 0.0;    ///< datagram held back behind the next one
+  double delay_jitter_s = 0.0;  ///< extra uniform [0, jitter) delay per send
+  std::uint64_t seed = 0x4D45444C494E4Bu;  ///< "MEDLINK"
+};
+
+/// Counters accumulated across the link's lifetime.
+struct LinkCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+};
+
+/// A lossy one-way datagram link. Each send charges the LinkModel
+/// transfer time (plus jitter) to the attached SimulatedClock, then
+/// applies faults in a fixed order (drop, corrupt, duplicate, reorder).
+/// Reordering holds a datagram in a one-slot buffer and releases it
+/// behind the next delivered datagram (or on flush()).
+///
+/// Fault decisions are made on the sending side, so sends must come from
+/// one thread at a time; receiving via try_receive() is thread-safe.
+class FaultyLink {
+ public:
+  FaultyLink(LinkModel model, FaultConfig faults,
+             SimulatedClock* clock = nullptr);
+
+  /// Transmit one datagram through the fault model.
+  void send(std::vector<std::uint8_t> datagram);
+
+  /// Non-blocking receive of the next delivered datagram.
+  std::optional<std::vector<std::uint8_t>> try_receive();
+
+  /// Release any datagram held back for reordering.
+  void flush();
+
+  /// Test hook: force exactly the next send to be bit-corrupted,
+  /// regardless of corrupt_rate. Makes "one retransmission" assertions
+  /// deterministic.
+  void corrupt_next() { force_corrupt_next_ = true; }
+
+  [[nodiscard]] const LinkCounters& counters() const { return counters_; }
+  [[nodiscard]] const LinkModel& model() const { return model_; }
+  [[nodiscard]] const FaultConfig& faults() const { return faults_; }
+
+ private:
+  [[nodiscard]] double uniform();
+  void deliver(std::vector<std::uint8_t> datagram);
+
+  LinkModel model_;
+  FaultConfig faults_;
+  SimulatedClock* clock_;
+  std::mt19937_64 rng_;
+  MessageQueue queue_;
+  std::optional<std::vector<std::uint8_t>> held_;
+  LinkCounters counters_;
+  bool force_corrupt_next_ = false;
+};
+
+}  // namespace medsen::net

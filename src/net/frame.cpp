@@ -27,6 +27,8 @@ std::vector<std::uint8_t> frame_decode(std::span<const std::uint8_t> frame) {
   const std::uint32_t length = in.u32();
   if (in.remaining() < static_cast<std::size_t>(length) + 4)
     throw std::runtime_error("frame_decode: truncated frame");
+  if (in.remaining() > static_cast<std::size_t>(length) + 4)
+    throw std::runtime_error("frame_decode: trailing bytes after frame");
   std::vector<std::uint8_t> payload(frame.begin() + 8,
                                     frame.begin() + 8 + length);
   util::ByteReader tail(frame.subspan(8 + length));

@@ -37,6 +37,8 @@ Envelope Envelope::deserialize(std::span<const std::uint8_t> bytes) {
   if (in.remaining() < e.mac.size())
     throw std::runtime_error("Envelope: truncated MAC");
   for (auto& b : e.mac) b = in.u8();
+  if (!in.done())
+    throw std::runtime_error("Envelope: trailing bytes after MAC");
   return e;
 }
 

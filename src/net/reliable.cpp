@@ -1,0 +1,199 @@
+#include "net/reliable.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/frame.h"
+#include "util/serialize.h"
+
+namespace medsen::net {
+
+namespace {
+
+constexpr std::uint8_t kData = 1;
+constexpr std::uint8_t kAck = 2;
+
+struct Packet {
+  std::uint8_t type = 0;
+  std::uint64_t transfer_id = 0;
+  std::uint32_t chunk_index = 0;
+  std::uint32_t chunk_count = 0;
+  std::vector<std::uint8_t> payload;  ///< empty for ACKs
+};
+
+std::vector<std::uint8_t> encode_packet(const Packet& p) {
+  util::ByteWriter out;
+  out.u8(p.type);
+  out.u64(p.transfer_id);
+  out.u32(p.chunk_index);
+  out.u32(p.chunk_count);
+  out.blob(p.payload);
+  return frame_encode(out.take());
+}
+
+/// Unframe + parse; nullopt on CRC mismatch, truncation, trailing bytes,
+/// or an unknown packet type — all treated as channel noise by the ARQ
+/// loop (no ACK, sender retransmits).
+std::optional<Packet> decode_packet(std::span<const std::uint8_t> datagram) {
+  try {
+    const auto bytes = frame_decode(datagram);
+    util::ByteReader in(bytes);
+    Packet p;
+    p.type = in.u8();
+    p.transfer_id = in.u64();
+    p.chunk_index = in.u32();
+    p.chunk_count = in.u32();
+    p.payload = in.blob();
+    if (!in.done()) return std::nullopt;
+    if (p.type != kData && p.type != kAck) return std::nullopt;
+    return p;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(FaultyLink& forward, FaultyLink& backward,
+                                 SimulatedClock& clock, ReliableConfig config)
+    : forward_(forward), backward_(backward), clock_(clock), config_(config) {}
+
+TransferStats ReliableChannel::run_transfer(FaultyLink& data_link,
+                                            FaultyLink& ack_link,
+                                            std::span<const std::uint8_t> data,
+                                            std::vector<std::uint8_t>& out) {
+  TransferStats stats;
+  const double start_s = clock_.elapsed_s();
+  const std::uint64_t transfer_id = next_transfer_id_++;
+
+  const std::size_t chunk_bytes = std::max<std::size_t>(1, config_.chunk_bytes);
+  const std::size_t chunk_count =
+      data.empty() ? 1 : (data.size() + chunk_bytes - 1) / chunk_bytes;
+  stats.chunks = chunk_count;
+
+  // Receiver state, pumped in-process between sends.
+  std::vector<std::vector<std::uint8_t>> received(chunk_count);
+  std::vector<bool> stored(chunk_count, false);
+  std::vector<bool> acked(chunk_count, false);
+
+  const auto pump_receiver = [&] {
+    while (auto datagram = data_link.try_receive()) {
+      auto packet = decode_packet(*datagram);
+      if (!packet.has_value()) {
+        ++stats.rejected_frames;
+        continue;
+      }
+      if (packet->type != kData || packet->transfer_id != transfer_id ||
+          packet->chunk_index >= chunk_count)
+        continue;  // stale traffic from an earlier transfer
+      if (stored[packet->chunk_index]) {
+        ++stats.duplicate_chunks;
+      } else {
+        stored[packet->chunk_index] = true;
+        received[packet->chunk_index] = std::move(packet->payload);
+      }
+      Packet ack;  // always re-ACK so a lost ACK cannot wedge the sender
+      ack.type = kAck;
+      ack.transfer_id = transfer_id;
+      ack.chunk_index = packet->chunk_index;
+      ack.chunk_count = static_cast<std::uint32_t>(chunk_count);
+      ack_link.send(encode_packet(ack));
+    }
+  };
+
+  const auto pump_sender = [&] {
+    while (auto datagram = ack_link.try_receive()) {
+      const auto packet = decode_packet(*datagram);
+      if (!packet.has_value()) {
+        ++stats.rejected_frames;
+        continue;
+      }
+      if (packet->type != kAck || packet->transfer_id != transfer_id ||
+          packet->chunk_index >= chunk_count)
+        continue;
+      acked[packet->chunk_index] = true;
+    }
+  };
+
+  std::uint32_t budget = config_.retry_budget;
+  for (std::size_t i = 0; i < chunk_count; ++i) {
+    Packet chunk;
+    chunk.type = kData;
+    chunk.transfer_id = transfer_id;
+    chunk.chunk_index = static_cast<std::uint32_t>(i);
+    chunk.chunk_count = static_cast<std::uint32_t>(chunk_count);
+    if (!data.empty()) {
+      const std::size_t begin = i * chunk_bytes;
+      const std::size_t end = std::min(begin + chunk_bytes, data.size());
+      chunk.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(begin),
+                           data.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+    const auto wire = encode_packet(chunk);
+
+    double timeout_s = config_.initial_timeout_s;
+    for (;;) {
+      data_link.send(wire);  // copy; retransmissions reuse the encoding
+      pump_receiver();
+      pump_sender();
+      if (acked[i]) break;
+      // No ACK this round: a drop, corruption, or a reorder hold ate the
+      // chunk or its ACK. Charge the timeout and retransmit with backoff.
+      ++stats.timeouts;
+      clock_.advance(timeout_s);
+      timeout_s = std::min(timeout_s * config_.backoff_factor,
+                           config_.max_timeout_s);
+      // A reordered datagram is only released behind a later send; flush
+      // both directions so a held chunk/ACK is not mistaken for loss
+      // twice in a row.
+      data_link.flush();
+      ack_link.flush();
+      pump_receiver();
+      pump_sender();
+      if (acked[i]) break;
+      if (budget == 0) {
+        stats.elapsed_s = clock_.elapsed_s() - start_s;
+        return stats;  // succeeded stays false
+      }
+      --budget;
+      ++stats.retransmissions;
+    }
+  }
+
+  out.clear();
+  for (std::size_t i = 0; i < chunk_count; ++i)
+    out.insert(out.end(), received[i].begin(), received[i].end());
+  stats.succeeded = true;
+  stats.elapsed_s = clock_.elapsed_s() - start_s;
+  return stats;
+}
+
+std::vector<std::uint8_t> ReliableChannel::transfer(
+    std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  stats_ = ExchangeStats{};
+  stats_.request = run_transfer(forward_, backward_, data, out);
+  if (!stats_.request.succeeded)
+    throw TransportError("ReliableChannel: retry budget exhausted after " +
+                         std::to_string(stats_.request.retransmissions) +
+                         " retransmissions");
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> ReliableChannel::request(
+    std::span<const std::uint8_t> request_bytes,
+    const std::function<std::vector<std::uint8_t>(
+        std::span<const std::uint8_t>)>& handler) {
+  stats_ = ExchangeStats{};
+  std::vector<std::uint8_t> delivered;
+  stats_.request = run_transfer(forward_, backward_, request_bytes, delivered);
+  if (!stats_.request.succeeded) return std::nullopt;
+
+  const auto response = handler(delivered);
+
+  std::vector<std::uint8_t> out;
+  stats_.response = run_transfer(backward_, forward_, response, out);
+  if (!stats_.response.succeeded) return std::nullopt;
+  return out;
+}
+
+}  // namespace medsen::net

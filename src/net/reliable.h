@@ -1,0 +1,94 @@
+#pragma once
+// Reliable transfer over a lossy simulated link: stop-and-wait ARQ with
+// chunked payloads, per-chunk CRC framing, ACKs on the reverse link,
+// exponential backoff, and a total retransmission budget. Large uploads
+// are split into chunks so a single corrupted chunk retransmits alone
+// instead of the whole acquisition. All waiting (transfer times and ACK
+// timeouts) is charged to the shared SimulatedClock, so latency-vs-loss
+// sweeps are deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/faulty_link.h"
+
+namespace medsen::net {
+
+/// Thrown by transfer() when the retransmission budget is exhausted.
+class TransportError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct ReliableConfig {
+  std::size_t chunk_bytes = 16 * 1024;  ///< max payload bytes per chunk
+  double initial_timeout_s = 0.08;      ///< first ACK wait
+  double backoff_factor = 2.0;          ///< timeout growth per retry
+  double max_timeout_s = 1.0;           ///< backoff ceiling
+  /// Total retransmissions allowed across one transfer (all chunks).
+  /// When spent, the transfer fails and the caller degrades gracefully.
+  std::uint32_t retry_budget = 24;
+};
+
+/// Outcome of one directional transfer.
+struct TransferStats {
+  std::size_t chunks = 0;
+  std::size_t retransmissions = 0;    ///< chunk re-sends after a timeout
+  std::size_t timeouts = 0;           ///< ACK waits that expired
+  std::size_t rejected_frames = 0;    ///< receiver-side CRC/parse failures
+  std::size_t duplicate_chunks = 0;   ///< already-stored chunks re-ACKed
+  double elapsed_s = 0.0;             ///< simulated time for this transfer
+  bool succeeded = false;
+};
+
+/// Request half + response half of one exchange.
+struct ExchangeStats {
+  TransferStats request;
+  TransferStats response;
+};
+
+/// A reliable duplex channel built from two lossy one-way links. The
+/// "forward" link carries requester->responder data (responder->requester
+/// ACKs travel on "backward"); the response flows the other way with the
+/// roles swapped. Both endpoints are pumped in-process, which keeps the
+/// ARQ loop deterministic under the simulated clock.
+class ReliableChannel {
+ public:
+  ReliableChannel(FaultyLink& forward, FaultyLink& backward,
+                  SimulatedClock& clock, ReliableConfig config = {});
+
+  /// Reliably move `data` across the forward link. Returns the
+  /// receiver's reassembled copy (bit-identical to `data` — corrupted
+  /// chunks are rejected by CRC and retransmitted). Throws
+  /// TransportError when the retry budget is exhausted.
+  std::vector<std::uint8_t> transfer(std::span<const std::uint8_t> data);
+
+  /// Full request/response exchange: the request travels forward, the
+  /// handler runs at the far end, and its return value travels backward.
+  /// Returns nullopt (instead of throwing) when either direction
+  /// exhausts its retry budget, so callers can degrade gracefully.
+  std::optional<std::vector<std::uint8_t>> request(
+      std::span<const std::uint8_t> request_bytes,
+      const std::function<std::vector<std::uint8_t>(
+          std::span<const std::uint8_t>)>& handler);
+
+  [[nodiscard]] const ExchangeStats& stats() const { return stats_; }
+  [[nodiscard]] const ReliableConfig& config() const { return config_; }
+
+ private:
+  TransferStats run_transfer(FaultyLink& data_link, FaultyLink& ack_link,
+                             std::span<const std::uint8_t> data,
+                             std::vector<std::uint8_t>& out);
+
+  FaultyLink& forward_;
+  FaultyLink& backward_;
+  SimulatedClock& clock_;
+  ReliableConfig config_;
+  ExchangeStats stats_;
+  std::uint64_t next_transfer_id_ = 1;
+};
+
+}  // namespace medsen::net

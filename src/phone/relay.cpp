@@ -55,11 +55,51 @@ net::Envelope PhoneRelay::build_upload(const util::MultiChannelSeries& series,
     payload.data = std::move(packed);
   } else {
     payload.compressed = false;
-    payload.data = raw;
+    payload.data = std::move(raw);
   }
   last_upload_bytes_ = payload.data.size();
   return net::make_envelope(net::MessageType::kSignalUpload, session_id,
                             payload.serialize(), mac_key);
+}
+
+std::optional<net::Envelope> PhoneRelay::reliable_exchange(
+    const net::Envelope& upload,
+    const std::function<net::Envelope(const net::Envelope&)>& handler) {
+  net::SimulatedClock clock;
+  net::FaultyLink up(config_.uplink, config_.uplink_faults, &clock);
+  net::FaultyLink down(config_.downlink, config_.downlink_faults, &clock);
+  net::ReliableChannel channel(up, down, clock, config_.reliable);
+
+  const auto wire = upload.serialize();
+  const auto result = channel.request(
+      wire, [&](std::span<const std::uint8_t> delivered) {
+        // The reliable channel reassembles the exact bytes the phone
+        // sent; the strict decoder would throw on anything else.
+        const auto request = net::Envelope::deserialize(delivered);
+        net::Envelope response;
+        const double t = measure([&] { response = handler(request); });
+        timing_.analysis_s = t;
+        return response.serialize();
+      });
+
+  const auto& stats = channel.stats();
+  timing_.uplink_s = stats.request.elapsed_s;
+  timing_.downlink_s = stats.response.elapsed_s;
+  timing_.retransmissions =
+      stats.request.retransmissions + stats.response.retransmissions;
+  timing_.timeouts = stats.request.timeouts + stats.response.timeouts;
+  if (!result.has_value()) return std::nullopt;
+  return net::Envelope::deserialize(*result);
+}
+
+core::PeakReport PhoneRelay::run_local_analysis(
+    const util::MultiChannelSeries& series,
+    const cloud::AnalysisConfig& config) {
+  cloud::AnalysisService service(config);
+  core::PeakReport report_out;
+  const double t = measure([&] { report_out = service.analyze(series); });
+  timing_.analysis_s = config_.profile.scale(t);
+  return report_out;
 }
 
 net::Envelope PhoneRelay::relay_analysis(
@@ -67,17 +107,35 @@ net::Envelope PhoneRelay::relay_analysis(
     cloud::CloudServer& server, std::span<const std::uint8_t> mac_key) {
   const auto upload = build_upload(series, session_id, mac_key);
   report("uploading to cloud");
-  timing_.uplink_s =
-      config_.uplink.transfer_time_s(upload.payload.size());
 
   net::Envelope response;
-  const double t =
-      measure([&] { response = server.handle_upload(upload, mac_key); });
-  timing_.analysis_s = t;
+  if (config_.reliable_transport) {
+    auto exchanged = reliable_exchange(upload, [&](const net::Envelope& req) {
+      return server.handle_upload(req, mac_key);
+    });
+    if (!exchanged.has_value()) {
+      // Retry budget exhausted: the cloud is unreachable. Degrade
+      // gracefully to the on-phone analysis path (paper Fig. 14
+      // discussion) instead of failing the test session.
+      report("cloud unreachable; analyzing locally on phone");
+      timing_.local_fallback = true;
+      const auto local = run_local_analysis(series, config_.local_analysis);
+      report("local analysis complete");
+      return net::make_envelope(net::MessageType::kAnalysisResult, session_id,
+                                local.serialize(), mac_key);
+    }
+    response = std::move(*exchanged);
+  } else {
+    timing_.uplink_s =
+        config_.uplink.transfer_time_s(upload.payload.size());
+    const double t =
+        measure([&] { response = server.handle_upload(upload, mac_key); });
+    timing_.analysis_s = t;
+    timing_.downlink_s =
+        config_.downlink.transfer_time_s(response.payload.size());
+  }
 
   report("downloading analysis result");
-  timing_.downlink_s =
-      config_.downlink.transfer_time_s(response.payload.size());
   timing_.usb_out_s = config_.usb.transfer_time_s(response.payload.size());
   report("analysis complete");
   return response;
@@ -91,17 +149,30 @@ net::Envelope PhoneRelay::relay_auth(const util::MultiChannelSeries& series,
                                      double duration_s) {
   const auto upload = build_upload(series, session_id, mac_key);
   report("uploading authentication pass");
-  timing_.uplink_s =
-      config_.uplink.transfer_time_s(upload.payload.size());
 
   net::Envelope response;
-  const double t = measure([&] {
-    response = server.handle_auth(upload, volume_ul, mac_key, duration_s);
-  });
-  timing_.analysis_s = t;
+  if (config_.reliable_transport) {
+    auto exchanged = reliable_exchange(upload, [&](const net::Envelope& req) {
+      return server.handle_auth(req, volume_ul, mac_key, duration_s);
+    });
+    if (!exchanged.has_value())
+      // Unlike diagnostics, authentication cannot fall back to the
+      // phone: the enrollment database lives in the cloud.
+      throw net::TransportError(
+          "PhoneRelay: auth upload failed, retry budget exhausted");
+    response = std::move(*exchanged);
+  } else {
+    timing_.uplink_s =
+        config_.uplink.transfer_time_s(upload.payload.size());
+    const double t = measure([&] {
+      response = server.handle_auth(upload, volume_ul, mac_key, duration_s);
+    });
+    timing_.analysis_s = t;
+    timing_.downlink_s =
+        config_.downlink.transfer_time_s(response.payload.size());
+  }
 
-  timing_.downlink_s =
-      config_.downlink.transfer_time_s(response.payload.size());
+  report("downloading auth decision");
   timing_.usb_out_s = config_.usb.transfer_time_s(response.payload.size());
   report("authentication complete");
   return response;
@@ -110,12 +181,9 @@ net::Envelope PhoneRelay::relay_auth(const util::MultiChannelSeries& series,
 core::PeakReport PhoneRelay::analyze_locally(
     const util::MultiChannelSeries& series,
     const cloud::AnalysisConfig& config) {
-  report("analyzing locally on phone");
-  cloud::AnalysisService service(config);
-  core::PeakReport report_out;
-  const double t = measure([&] { report_out = service.analyze(series); });
   timing_ = RelayTiming{};
-  timing_.analysis_s = config_.profile.scale(t);
+  report("analyzing locally on phone");
+  const auto report_out = run_local_analysis(series, config);
   report("local analysis complete");
   return report_out;
 }

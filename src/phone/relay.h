@@ -13,6 +13,7 @@
 #include "cloud/server.h"
 #include "net/link.h"
 #include "net/messages.h"
+#include "net/reliable.h"
 #include "phone/profile.h"
 
 namespace medsen::phone {
@@ -22,10 +23,15 @@ namespace medsen::phone {
 struct RelayTiming {
   double usb_in_s = 0.0;       ///< controller -> phone
   double compression_s = 0.0;  ///< measured on the phone profile
-  double uplink_s = 0.0;       ///< phone -> cloud
+  double uplink_s = 0.0;       ///< phone -> cloud (incl. retransmissions)
   double analysis_s = 0.0;     ///< cloud compute (measured)
-  double downlink_s = 0.0;     ///< cloud -> phone
+  double downlink_s = 0.0;     ///< cloud -> phone (incl. retransmissions)
   double usb_out_s = 0.0;      ///< phone -> controller
+
+  // Reliable-transport counters (zero on the idealized direct path).
+  std::size_t retransmissions = 0;  ///< chunk re-sends across both legs
+  std::size_t timeouts = 0;         ///< expired ACK waits across both legs
+  bool local_fallback = false;      ///< retry budget spent; analyzed on phone
 
   [[nodiscard]] double total_s() const {
     return usb_in_s + compression_s + uplink_s + analysis_s + downlink_s +
@@ -44,6 +50,16 @@ struct RelayConfig {
   net::LinkModel usb = net::usb_accessory();
   net::LinkModel uplink = net::lte_uplink();
   net::LinkModel downlink = net::lte_downlink();
+  /// When true, uploads travel over seeded lossy links through
+  /// net::ReliableChannel (chunked ARQ with backoff) instead of the
+  /// idealized direct call; exhausting the retry budget degrades to
+  /// on-phone analysis instead of failing the session.
+  bool reliable_transport = false;
+  net::FaultConfig uplink_faults;
+  net::FaultConfig downlink_faults;
+  net::ReliableConfig reliable;
+  /// Analysis settings for the on-phone fallback path.
+  cloud::AnalysisConfig local_analysis;
 };
 
 using ProgressCallback = std::function<void(const std::string&)>;
@@ -86,6 +102,15 @@ class PhoneRelay {
   net::Envelope build_upload(const util::MultiChannelSeries& series,
                              std::uint64_t session_id,
                              std::span<const std::uint8_t> mac_key);
+  /// Run one request/response exchange over the lossy reliable links.
+  /// Returns the response envelope, or nullopt when the retry budget was
+  /// exhausted in either direction; fills the transport timing fields.
+  std::optional<net::Envelope> reliable_exchange(
+      const net::Envelope& upload,
+      const std::function<net::Envelope(const net::Envelope&)>& handler);
+  /// Measure a profile-scaled local analysis without resetting timing_.
+  core::PeakReport run_local_analysis(const util::MultiChannelSeries& series,
+                                      const cloud::AnalysisConfig& config);
   void report(const std::string& message);
 
   RelayConfig config_;

@@ -104,6 +104,59 @@ TEST(CloudServer, QualityGateRejectsGarbage) {
   EXPECT_NO_THROW(server.handle_upload(upload, kMacKey));
 }
 
+TEST(CloudServer, DuplicateUploadServedFromCacheNotReanalyzed) {
+  auto server = make_server();
+  const auto upload = upload_of(dip_series(3), 5);
+  const auto first = server.handle_upload(upload, kMacKey);
+  EXPECT_EQ(server.requests_processed(), 1u);
+
+  // The reliable transport re-uploads when the response is lost; the
+  // replay must return the identical envelope without a second analysis.
+  const auto second = server.handle_upload(upload, kMacKey);
+  EXPECT_EQ(server.requests_processed(), 1u);
+  EXPECT_EQ(server.replays_served(), 1u);
+  EXPECT_EQ(second.payload, first.payload);
+  EXPECT_TRUE(crypto::digest_equal(second.mac, first.mac));
+}
+
+TEST(CloudServer, SessionReplayWithDifferentPayloadRejected) {
+  auto server = make_server();
+  (void)server.handle_upload(upload_of(dip_series(3), 5), kMacKey);
+  // Same session_id, different acquisition: a protocol violation, not a
+  // transport retry.
+  EXPECT_THROW(server.handle_upload(upload_of(dip_series(2), 5), kMacKey),
+               std::runtime_error);
+  EXPECT_EQ(server.requests_processed(), 1u);
+}
+
+TEST(CloudServer, DuplicateAuthServedFromCache) {
+  auto server = make_server();
+  const auto upload = upload_of(dip_series(2), 3);
+  const auto first = server.handle_auth(upload, 1.0, kMacKey);
+  const auto second = server.handle_auth(upload, 1.0, kMacKey);
+  EXPECT_EQ(server.requests_processed(), 1u);
+  EXPECT_EQ(server.replays_served(), 1u);
+  EXPECT_EQ(second.payload, first.payload);
+}
+
+TEST(CloudServer, RejectedUploadIsNotCached) {
+  auto server = make_server();
+  util::MultiChannelSeries series;
+  series.carrier_frequencies_hz = {5.0e5};
+  series.channels.emplace_back(450.0, std::vector<double>(5000, 2.5));
+  net::SignalUploadPayload payload;
+  payload.data = net::serialize_series(series);
+  const auto upload = net::make_envelope(net::MessageType::kSignalUpload, 8,
+                                         payload.serialize(), kMacKey);
+  EXPECT_THROW(server.handle_upload(upload, kMacKey), std::runtime_error);
+  EXPECT_EQ(server.requests_processed(), 0u);
+  // A retry after the gate is lifted reprocesses instead of replaying
+  // the failure.
+  server.set_quality_gate(false);
+  EXPECT_NO_THROW(server.handle_upload(upload, kMacKey));
+  EXPECT_EQ(server.requests_processed(), 1u);
+}
+
 TEST(CloudServer, RecordStoreAccessible) {
   auto server = make_server();
   auth::CytoCode code;

@@ -1,0 +1,106 @@
+#include "net/faulty_link.h"
+
+#include <gtest/gtest.h>
+
+namespace medsen::net {
+namespace {
+
+std::vector<std::uint8_t> datagram(std::uint8_t tag, std::size_t n = 32) {
+  std::vector<std::uint8_t> d(n, tag);
+  return d;
+}
+
+TEST(FaultyLink, LosslessDeliversInOrder) {
+  SimulatedClock clock;
+  FaultyLink link(lte_uplink(), FaultConfig{}, &clock);
+  link.send(datagram(1));
+  link.send(datagram(2));
+  EXPECT_EQ(link.try_receive()->front(), 1);
+  EXPECT_EQ(link.try_receive()->front(), 2);
+  EXPECT_FALSE(link.try_receive().has_value());
+  EXPECT_EQ(link.counters().delivered, 2u);
+  EXPECT_EQ(link.counters().dropped, 0u);
+}
+
+TEST(FaultyLink, ChargesTransferTimeToClock) {
+  SimulatedClock clock;
+  const LinkModel model = lte_uplink();
+  FaultyLink link(model, FaultConfig{}, &clock);
+  link.send(datagram(1, 1000));
+  EXPECT_DOUBLE_EQ(clock.elapsed_s(), model.transfer_time_s(1000));
+  // Dropped datagrams still burn air time.
+  FaultConfig drop_all;
+  drop_all.drop_rate = 1.0;
+  SimulatedClock clock2;
+  FaultyLink lossy(model, drop_all, &clock2);
+  lossy.send(datagram(1, 1000));
+  EXPECT_DOUBLE_EQ(clock2.elapsed_s(), model.transfer_time_s(1000));
+  EXPECT_FALSE(lossy.try_receive().has_value());
+}
+
+TEST(FaultyLink, DropRateIsDeterministicAndRoughlyCalibrated) {
+  FaultConfig faults;
+  faults.drop_rate = 0.25;
+  faults.seed = 42;
+  const auto run = [&] {
+    FaultyLink link(lte_uplink(), faults, nullptr);
+    for (int i = 0; i < 1000; ++i) link.send(datagram(1));
+    return link.counters().dropped;
+  };
+  const auto dropped = run();
+  EXPECT_EQ(dropped, run());  // same seed, same fault pattern
+  EXPECT_GT(dropped, 200u);
+  EXPECT_LT(dropped, 300u);
+}
+
+TEST(FaultyLink, CorruptNextFlipsExactlyOneBit) {
+  FaultyLink link(lte_uplink(), FaultConfig{}, nullptr);
+  link.corrupt_next();
+  link.send(datagram(0x00, 16));
+  const auto got = link.try_receive();
+  ASSERT_TRUE(got.has_value());
+  int set_bits = 0;
+  for (const auto b : *got)
+    for (int i = 0; i < 8; ++i) set_bits += (b >> i) & 1;
+  EXPECT_EQ(set_bits, 1);
+  EXPECT_EQ(link.counters().corrupted, 1u);
+  // Only the *next* send is forced.
+  link.send(datagram(0x00, 16));
+  EXPECT_EQ(link.counters().corrupted, 1u);
+}
+
+TEST(FaultyLink, DuplicateDeliversTwice) {
+  FaultConfig faults;
+  faults.duplicate_rate = 1.0;
+  FaultyLink link(lte_uplink(), faults, nullptr);
+  link.send(datagram(7));
+  EXPECT_EQ(link.try_receive()->front(), 7);
+  EXPECT_EQ(link.try_receive()->front(), 7);
+  EXPECT_FALSE(link.try_receive().has_value());
+  EXPECT_EQ(link.counters().duplicated, 1u);
+}
+
+TEST(FaultyLink, ReorderHoldsDatagramBehindTheNext) {
+  FaultConfig faults;
+  faults.reorder_rate = 1.0;
+  FaultyLink link(lte_uplink(), faults, nullptr);
+  link.send(datagram(1));  // held
+  EXPECT_FALSE(link.try_receive().has_value());
+  link.send(datagram(2));  // delivered, then releases 1 behind it
+  EXPECT_EQ(link.try_receive()->front(), 2);
+  EXPECT_EQ(link.try_receive()->front(), 1);
+  EXPECT_GE(link.counters().reordered, 1u);
+}
+
+TEST(FaultyLink, FlushReleasesHeldDatagram) {
+  FaultConfig faults;
+  faults.reorder_rate = 1.0;
+  FaultyLink link(lte_uplink(), faults, nullptr);
+  link.send(datagram(9));
+  EXPECT_FALSE(link.try_receive().has_value());
+  link.flush();
+  EXPECT_EQ(link.try_receive()->front(), 9);
+}
+
+}  // namespace
+}  // namespace medsen::net

@@ -38,6 +38,25 @@ TEST(Frame, CorruptedCrcThrows) {
   EXPECT_THROW(frame_decode(frame), std::runtime_error);
 }
 
+TEST(Frame, TrailingBytesRejected) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+  auto frame = frame_encode(payload);
+  frame.push_back(0x00);  // garbage after the CRC
+  EXPECT_THROW(frame_decode(frame), std::runtime_error);
+  frame.pop_back();
+  EXPECT_EQ(frame_decode(frame), payload);  // pristine frame still decodes
+}
+
+TEST(Frame, ConcatenatedFramesRejected) {
+  // Two valid frames back to back must not silently decode as the first.
+  const std::vector<std::uint8_t> p1 = {1, 2, 3}, p2 = {4, 5};
+  const auto first = frame_encode(p1);
+  const auto second = frame_encode(p2);
+  auto both = first;
+  both.insert(both.end(), second.begin(), second.end());
+  EXPECT_THROW(frame_decode(both), std::runtime_error);
+}
+
 TEST(Frame, TruncatedThrows) {
   const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
   auto frame = frame_encode(payload);

@@ -75,6 +75,16 @@ TEST(Messages, AuthDecisionRoundTrip) {
   EXPECT_DOUBLE_EQ(restored.distance, 0.25);
 }
 
+TEST(Messages, EnvelopeTrailingBytesRejected) {
+  const auto envelope =
+      make_envelope(MessageType::kSignalUpload, 7, {1, 2, 3}, kKey);
+  auto bytes = envelope.serialize();
+  bytes.push_back(0xAB);  // garbage after the MAC
+  EXPECT_THROW(Envelope::deserialize(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(Envelope::deserialize(bytes));
+}
+
 TEST(Messages, TruncatedEnvelopeThrows) {
   const auto envelope =
       make_envelope(MessageType::kSignalUpload, 1, {1, 2, 3}, kKey);

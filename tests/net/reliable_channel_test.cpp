@@ -1,0 +1,175 @@
+#include "net/reliable.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace medsen::net {
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n) {
+  std::vector<std::uint8_t> data(n);
+  std::iota(data.begin(), data.end(), std::uint8_t{0});
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = static_cast<std::uint8_t>((i * 131 + 17) & 0xFF);
+  return data;
+}
+
+struct Harness {
+  SimulatedClock clock;
+  FaultyLink up;
+  FaultyLink down;
+  ReliableChannel channel;
+
+  explicit Harness(FaultConfig up_faults = {}, FaultConfig down_faults = {},
+                   ReliableConfig config = {})
+      : up(lte_uplink(), up_faults, &clock),
+        down(lte_downlink(), down_faults, &clock),
+        channel(up, down, clock, config) {}
+};
+
+TEST(ReliableChannel, LosslessSingleChunkRoundTrip) {
+  Harness h;
+  const auto data = pattern_bytes(512);
+  EXPECT_EQ(h.channel.transfer(data), data);
+  EXPECT_EQ(h.channel.stats().request.chunks, 1u);
+  EXPECT_EQ(h.channel.stats().request.retransmissions, 0u);
+  EXPECT_TRUE(h.channel.stats().request.succeeded);
+  EXPECT_GT(h.channel.stats().request.elapsed_s, 0.0);
+}
+
+TEST(ReliableChannel, LargePayloadIsChunked) {
+  ReliableConfig config;
+  config.chunk_bytes = 1024;
+  Harness h({}, {}, config);
+  const auto data = pattern_bytes(10 * 1024 + 37);
+  EXPECT_EQ(h.channel.transfer(data), data);
+  EXPECT_EQ(h.channel.stats().request.chunks, 11u);
+}
+
+TEST(ReliableChannel, EmptyPayloadTransfers) {
+  Harness h;
+  EXPECT_TRUE(h.channel.transfer({}).empty());
+  EXPECT_EQ(h.channel.stats().request.chunks, 1u);
+}
+
+TEST(ReliableChannel, BitIdenticalUnderHeavyFaults) {
+  FaultConfig faults;
+  faults.drop_rate = 0.10;
+  faults.corrupt_rate = 0.02;
+  faults.duplicate_rate = 0.05;
+  faults.reorder_rate = 0.05;
+  faults.seed = 7;
+  ReliableConfig config;
+  config.chunk_bytes = 512;
+  config.retry_budget = 200;
+  Harness h(faults, faults, config);
+  const auto data = pattern_bytes(8 * 1024);
+  EXPECT_EQ(h.channel.transfer(data), data);
+  EXPECT_GT(h.channel.stats().request.retransmissions, 0u);
+}
+
+TEST(ReliableChannel, CorruptedChunkRetransmitsExactlyOnce) {
+  Harness h;
+  h.up.corrupt_next();  // CRC kills the first copy of chunk 0
+  const auto data = pattern_bytes(256);
+  EXPECT_EQ(h.channel.transfer(data), data);
+  const auto& stats = h.channel.stats().request;
+  EXPECT_EQ(stats.retransmissions, 1u);
+  EXPECT_EQ(stats.rejected_frames, 1u);
+  EXPECT_TRUE(stats.succeeded);
+}
+
+TEST(ReliableChannel, OneCorruptChunkDoesNotResendTheOthers) {
+  ReliableConfig config;
+  config.chunk_bytes = 256;
+  Harness h({}, {}, config);
+  const auto data = pattern_bytes(8 * 256);  // 8 chunks
+  h.up.corrupt_next();
+  EXPECT_EQ(h.channel.transfer(data), data);
+  // Only the corrupted chunk was retransmitted; 8 clean sends + 1 retry.
+  EXPECT_EQ(h.channel.stats().request.retransmissions, 1u);
+  EXPECT_EQ(h.up.counters().sent, 9u);
+}
+
+TEST(ReliableChannel, TotalLossExhaustsBudgetAndThrows) {
+  FaultConfig black_hole;
+  black_hole.drop_rate = 1.0;
+  ReliableConfig config;
+  config.retry_budget = 5;
+  Harness h(black_hole, {}, config);
+  EXPECT_THROW((void)h.channel.transfer(pattern_bytes(64)), TransportError);
+}
+
+TEST(ReliableChannel, RequestReturnsNulloptOnTotalLoss) {
+  FaultConfig black_hole;
+  black_hole.drop_rate = 1.0;
+  ReliableConfig config;
+  config.retry_budget = 3;
+  Harness h(black_hole, {}, config);
+  bool handler_ran = false;
+  const auto result = h.channel.request(
+      pattern_bytes(64), [&](std::span<const std::uint8_t>) {
+        handler_ran = true;
+        return std::vector<std::uint8_t>{};
+      });
+  EXPECT_FALSE(result.has_value());
+  EXPECT_FALSE(handler_ran);  // the request never arrived
+  EXPECT_FALSE(h.channel.stats().request.succeeded);
+  EXPECT_EQ(h.channel.stats().request.retransmissions, 3u);
+}
+
+TEST(ReliableChannel, RequestResponseExchange) {
+  Harness h;
+  const auto request = pattern_bytes(300);
+  const auto result =
+      h.channel.request(request, [&](std::span<const std::uint8_t> req) {
+        std::vector<std::uint8_t> echoed(req.begin(), req.end());
+        echoed.push_back(0xEE);
+        return echoed;
+      });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->size(), request.size() + 1);
+  EXPECT_EQ(result->back(), 0xEE);
+  EXPECT_TRUE(h.channel.stats().response.succeeded);
+}
+
+TEST(ReliableChannel, TimeoutsChargeSimulatedTimeWithBackoff) {
+  FaultConfig black_hole;
+  black_hole.drop_rate = 1.0;
+  ReliableConfig config;
+  config.retry_budget = 3;
+  config.initial_timeout_s = 0.1;
+  config.backoff_factor = 2.0;
+  config.max_timeout_s = 10.0;
+  Harness h(black_hole, {}, config);
+  EXPECT_THROW((void)h.channel.transfer(pattern_bytes(64)), TransportError);
+  // 4 attempts (initial + 3 retries) waited 0.1 + 0.2 + 0.4 + 0.8 s of
+  // ACK timeout, plus a small per-send air time.
+  EXPECT_GT(h.clock.elapsed_s(), 1.5);
+  EXPECT_LT(h.clock.elapsed_s(), 1.7);
+}
+
+TEST(ReliableChannel, DeterministicAcrossRuns) {
+  FaultConfig faults;
+  faults.drop_rate = 0.2;
+  faults.corrupt_rate = 0.05;
+  faults.duplicate_rate = 0.05;
+  faults.seed = 99;
+  ReliableConfig config;
+  config.chunk_bytes = 128;
+  config.retry_budget = 500;
+  const auto run = [&] {
+    Harness h(faults, faults, config);
+    (void)h.channel.transfer(pattern_bytes(2048));
+    return std::pair<double, std::size_t>(
+        h.clock.elapsed_s(), h.channel.stats().request.retransmissions);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace medsen::net

@@ -139,6 +139,94 @@ TEST(PhoneRelay, CompressedCsvRoundTrips) {
   EXPECT_GT(relay.timing().compression_s, 0.0);
 }
 
+RelayConfig lossy_config(double drop_rate) {
+  RelayConfig config;
+  config.reliable_transport = true;
+  config.uplink_faults.drop_rate = drop_rate;
+  config.uplink_faults.corrupt_rate = 0.02;
+  config.uplink_faults.duplicate_rate = 0.05;
+  config.uplink_faults.seed = 1234;
+  config.downlink_faults = config.uplink_faults;
+  config.downlink_faults.seed = 5678;
+  config.reliable.chunk_bytes = 256;  // many chunks -> faults guaranteed
+  config.reliable.retry_budget = 400;
+  return config;
+}
+
+TEST(PhoneRelay, LossyLinkRoundTripBitIdenticalToLossless) {
+  const auto series = dip_series(3);
+
+  auto lossless_server = make_server();
+  PhoneRelay lossless;
+  const auto clean =
+      lossless.relay_analysis(series, 31, lossless_server, kMacKey);
+
+  auto server = make_server();
+  PhoneRelay relay(lossy_config(0.10));
+  const auto response = relay.relay_analysis(series, 31, server, kMacKey);
+
+  // The ARQ layer must hand the cloud the exact upload and the phone the
+  // exact response: the serialized PeakReport is bit-identical.
+  EXPECT_EQ(response.payload, clean.payload);
+  EXPECT_TRUE(net::verify_envelope(response, kMacKey));
+  EXPECT_FALSE(relay.timing().local_fallback);
+  EXPECT_GT(relay.timing().retransmissions, 0u);
+  EXPECT_GT(relay.timing().timeouts, 0u);
+  // Retransmissions and timeout waits make the lossy uplink slower than
+  // the idealized one.
+  EXPECT_GT(relay.timing().uplink_s, lossless.timing().uplink_s);
+}
+
+TEST(PhoneRelay, RetryBudgetExhaustionFallsBackToLocalAnalysis) {
+  auto server = make_server();
+  auto config = lossy_config(1.0);  // black hole
+  config.reliable.retry_budget = 4;
+  PhoneRelay relay(config);
+  const auto series = dip_series(2);
+
+  std::vector<std::string> events;
+  relay.set_progress_callback(
+      [&](const std::string& msg) { events.push_back(msg); });
+
+  net::Envelope response;
+  ASSERT_NO_THROW(response =
+                      relay.relay_analysis(series, 32, server, kMacKey));
+  EXPECT_TRUE(relay.timing().local_fallback);
+  EXPECT_EQ(server.requests_processed(), 0u);  // cloud never reached
+  // The fallback result is a genuine analysis of the same series.
+  EXPECT_EQ(response.type, net::MessageType::kAnalysisResult);
+  const auto report = core::PeakReport::deserialize(response.payload);
+  EXPECT_EQ(report.reference_peak_count(), 2u);
+  EXPECT_GT(relay.timing().analysis_s, 0.0);
+  bool announced = false;
+  for (const auto& e : events)
+    announced |= e.find("analyzing locally") != std::string::npos;
+  EXPECT_TRUE(announced);
+}
+
+TEST(PhoneRelay, LossyAuthThrowsWhenBudgetExhausted) {
+  auto server = make_server();
+  auto config = lossy_config(1.0);
+  config.reliable.retry_budget = 2;
+  PhoneRelay relay(config);
+  EXPECT_THROW((void)relay.relay_auth(dip_series(1), 33, 1.0, server, kMacKey),
+               net::TransportError);
+}
+
+TEST(PhoneRelay, AuthProgressReportsDownload) {
+  auto server = make_server();
+  PhoneRelay relay;
+  std::vector<std::string> events;
+  relay.set_progress_callback(
+      [&](const std::string& msg) { events.push_back(msg); });
+  (void)relay.relay_auth(dip_series(1), 34, 1.0, server, kMacKey);
+  bool download_reported = false;
+  for (const auto& e : events)
+    download_reported |= e == "downloading auth decision";
+  EXPECT_TRUE(download_reported);
+  EXPECT_EQ(events.back(), "authentication complete");
+}
+
 TEST(PhoneRelay, Profiles) {
   EXPECT_DOUBLE_EQ(computer_profile().slowdown, 1.0);
   EXPECT_GT(nexus5_profile().slowdown, 3.0);
