@@ -28,6 +28,7 @@ int main() {
                                    auth::CytoAlphabet{},
                                    auth::ParticleClassifier::train({}));
   const std::vector<std::uint8_t> mac_key = {1, 2, 3};
+  server.provision_device(phone::RelayConfig{}.device_id, mac_key);
 
   std::printf(
       "run,usb_in_ms,compress_ms,uplink_ms,analysis_ms,downlink_ms,"

@@ -64,6 +64,7 @@ int main() {
 
   phone::PhoneRelay relay;
   const std::vector<std::uint8_t> mac_key = {7, 7};
+  server.provision_device(relay.config().device_id, mac_key);
   const auto decision_envelope = relay.relay_auth(
       acquisition.signals, 1, controller.session_volume_ul(), server,
       mac_key, duration_s);

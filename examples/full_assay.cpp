@@ -41,6 +41,7 @@ int main() {
                               core::DiagnosticProfile::cd4_staging(), 404);
   phone::PhoneRelay relay;
   const std::vector<std::uint8_t> mac_key = {0xAB};
+  server.provision_device(relay.config().device_id, mac_key);
   const std::vector<std::uint8_t> practitioner_secret = {0x50, 0x4C};
 
   // --- 0. Enrollment (done once at the clinic).

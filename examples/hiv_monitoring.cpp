@@ -35,6 +35,7 @@ core::Diagnosis run_visit(core::Controller& controller,
 
   phone::PhoneRelay relay;
   const std::vector<std::uint8_t> mac_key = {1};
+  server.provision_device(relay.config().device_id, mac_key);
   const auto response =
       relay.relay_analysis(acquisition.signals, seed, server, mac_key);
   return controller.conclude(

@@ -60,6 +60,7 @@ int main() {
   auto server = cloud::CloudServer(cloud::AnalysisConfig{},
                                    auth::CytoAlphabet{},
                                    auth::ParticleClassifier::train({}));
+  server.provision_device(phone::RelayConfig{}.device_id, mac_key);
 
   // 1. Idealized link: the baseline answer.
   phone::PhoneRelay lossless;

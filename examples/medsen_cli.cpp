@@ -93,6 +93,7 @@ int cmd_diagnose(const Args& args) {
   relay_config.csv_format = args.csv;
   phone::PhoneRelay relay(relay_config);
   const std::vector<std::uint8_t> mac_key = {0x11};
+  server.provision_device(relay.config().device_id, mac_key);
 
   sim::SampleSpec sample;
   sample.components = {{sim::ParticleType::kBloodCell, args.cells}};
@@ -183,6 +184,7 @@ int cmd_auth(const Args& args) {
 
   phone::PhoneRelay relay;
   const std::vector<std::uint8_t> mac_key = {0x22};
+  server.provision_device(relay.config().device_id, mac_key);
   const auto response = relay.relay_auth(
       enc.signals, 1, controller.session_volume_ul(), server, mac_key,
       args.duration);

@@ -40,6 +40,8 @@ int main() {
   relay.set_progress_callback(
       [](const std::string& msg) { std::printf("  [app] %s\n", msg.c_str()); });
   const std::vector<std::uint8_t> mac_key = {0x42, 0x42};
+  // Provision this dongle's MAC key with the service (out-of-band step).
+  server.provision_device(relay.config().device_id, mac_key);
 
   // 4. A patient's blood sample (simulated; CD4-like cells at 450/uL).
   sim::SampleSpec sample;

@@ -1,0 +1,112 @@
+#include "cloud/dispatch.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace medsen::cloud {
+
+void DeviceRegistry::provision(std::uint64_t device_id,
+                               std::vector<std::uint8_t> mac_key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  keys_[device_id] = std::move(mac_key);
+}
+
+bool DeviceRegistry::revoke(std::uint64_t device_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return keys_.erase(device_id) > 0;
+}
+
+std::optional<std::vector<std::uint8_t>> DeviceRegistry::lookup(
+    std::uint64_t device_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = keys_.find(device_id);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t DeviceRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return keys_.size();
+}
+
+AdmissionGate::Ticket::Ticket(Ticket&& other) noexcept
+    : gate_(std::exchange(other.gate_, nullptr)) {}
+
+AdmissionGate::Ticket& AdmissionGate::Ticket::operator=(
+    Ticket&& other) noexcept {
+  if (this != &other) {
+    release();
+    gate_ = std::exchange(other.gate_, nullptr);
+  }
+  return *this;
+}
+
+void AdmissionGate::Ticket::release() {
+  if (gate_ == nullptr) return;
+  const std::lock_guard<std::mutex> lock(gate_->mutex_);
+  --gate_->in_flight_;
+  gate_ = nullptr;
+}
+
+AdmissionGate::Ticket AdmissionGate::try_enter() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (limit_ != 0 && in_flight_ >= limit_) {
+    ++shed_;
+    return Ticket(nullptr);
+  }
+  ++in_flight_;
+  return Ticket(this);
+}
+
+std::size_t AdmissionGate::in_flight() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+std::uint64_t AdmissionGate::shed_total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+ServiceResult ServiceResult::success(net::MessageType type,
+                                     std::vector<std::uint8_t> payload) {
+  ServiceResult result;
+  result.ok = true;
+  result.response_type = type;
+  result.response_payload = std::move(payload);
+  return result;
+}
+
+ServiceResult ServiceResult::failure(net::ErrorCode code, std::string detail,
+                                     std::uint8_t subcode) {
+  ServiceResult result;
+  result.ok = false;
+  result.error = code;
+  result.error_subcode = subcode;
+  result.detail = std::move(detail);
+  return result;
+}
+
+void Dispatcher::add(net::MessageType type, Handler handler) {
+  handlers_[static_cast<std::uint8_t>(type)] = std::move(handler);
+}
+
+const Dispatcher::Handler* Dispatcher::find(net::MessageType type) const {
+  const auto it = handlers_.find(static_cast<std::uint8_t>(type));
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::MessageType> Dispatcher::registered() const {
+  std::vector<net::MessageType> types;
+  types.reserve(handlers_.size());
+  for (const auto& [key, handler] : handlers_)
+    types.push_back(static_cast<net::MessageType>(key));
+  std::sort(types.begin(), types.end(),
+            [](net::MessageType a, net::MessageType b) {
+              return static_cast<std::uint8_t>(a) <
+                     static_cast<std::uint8_t>(b);
+            });
+  return types;
+}
+
+}  // namespace medsen::cloud

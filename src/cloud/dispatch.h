@@ -1,0 +1,135 @@
+#pragma once
+// The cloud's service plumbing, independent of what the handlers do:
+//
+//  - DeviceRegistry: device_id -> per-device MAC key, so one server
+//    serves many provisioned sensors (multi-tenant; keys are shared out
+//    of band at provisioning, exactly like the single-key scheme the
+//    paper describes, just one per dongle).
+//  - AdmissionGate: a bounded in-flight counter. Past the limit the
+//    server sheds requests with an `overloaded` error instead of
+//    queueing unboundedly on the shared analysis pool.
+//  - RequestContext: per-request scratch (identity, quality report,
+//    timing) so nothing request-scoped ever lives in a server-wide
+//    member — the fix for the old racy `last_quality_`.
+//  - ServiceResult: a handler's outcome as data. Failures are values
+//    that become kError envelopes at the boundary; exceptions are
+//    reserved for programmer errors.
+//  - Dispatcher: MessageType -> handler registry behind the single
+//    CloudServer::handle() entrypoint.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/quality.h"
+#include "net/messages.h"
+
+namespace medsen::cloud {
+
+/// Thread-safe map of provisioned devices to their transport MAC keys.
+class DeviceRegistry {
+ public:
+  /// Install (or rotate) a device's MAC key.
+  void provision(std::uint64_t device_id, std::vector<std::uint8_t> mac_key);
+  /// Remove a device; returns false when it was never provisioned.
+  bool revoke(std::uint64_t device_id);
+  /// The device's key, or nullopt when unknown.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> lookup(
+      std::uint64_t device_id) const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> keys_;
+};
+
+/// Bounded admission: at most `max_inflight` requests are inside the
+/// service at once (0 = unbounded). Excess requests are shed immediately
+/// — the caller turns a failed ticket into an `overloaded` error.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(std::size_t max_inflight = 0)
+      : limit_(max_inflight) {}
+
+  /// RAII admission slot; releases on destruction.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept;
+    Ticket& operator=(Ticket&& other) noexcept;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { release(); }
+
+    [[nodiscard]] bool admitted() const { return gate_ != nullptr; }
+    void release();
+
+   private:
+    friend class AdmissionGate;
+    explicit Ticket(AdmissionGate* gate) : gate_(gate) {}
+    AdmissionGate* gate_ = nullptr;
+  };
+
+  /// Try to enter; the ticket reports whether admission succeeded.
+  [[nodiscard]] Ticket try_enter();
+
+  [[nodiscard]] std::size_t limit() const { return limit_; }
+  [[nodiscard]] std::size_t in_flight() const;
+  /// Requests shed since construction.
+  [[nodiscard]] std::uint64_t shed_total() const;
+
+ private:
+  std::size_t limit_;
+  mutable std::mutex mutex_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+/// Per-request state threaded through a handler: who is asking, what the
+/// quality gate concluded, and how long the handler ran. Owned by the
+/// dispatching thread — never shared, never a server member.
+struct RequestContext {
+  std::uint64_t device_id = 0;
+  std::uint64_t session_id = 0;
+  std::vector<std::uint8_t> mac_key;  ///< resolved from the registry
+  QualityReport quality;              ///< filled by the upload handler
+  double processing_time_s = 0.0;     ///< filled by the dispatcher
+};
+
+/// A handler's outcome. Success carries the response payload; failure
+/// carries the structured error that becomes a kError envelope.
+struct ServiceResult {
+  bool ok = false;
+  net::MessageType response_type = net::MessageType::kError;
+  std::vector<std::uint8_t> response_payload;
+  net::ErrorCode error = net::ErrorCode::kMalformed;
+  std::uint8_t error_subcode = 0;
+  std::string detail;
+
+  static ServiceResult success(net::MessageType type,
+                               std::vector<std::uint8_t> payload);
+  static ServiceResult failure(net::ErrorCode code, std::string detail,
+                               std::uint8_t subcode = 0);
+};
+
+/// MessageType -> handler registry. Handlers run after admission, device
+/// resolution and MAC verification, so they only see authenticated
+/// requests from known devices.
+class Dispatcher {
+ public:
+  using Handler =
+      std::function<ServiceResult(const net::Envelope&, RequestContext&)>;
+
+  void add(net::MessageType type, Handler handler);
+  [[nodiscard]] const Handler* find(net::MessageType type) const;
+  [[nodiscard]] std::vector<net::MessageType> registered() const;
+
+ private:
+  std::unordered_map<std::uint8_t, Handler> handlers_;
+};
+
+}  // namespace medsen::cloud

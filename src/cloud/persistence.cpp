@@ -84,7 +84,8 @@ auth::EnrollmentDatabase load_enrollments(const std::string& path) {
 
 void save_records(const RecordStore& store, const std::string& path) {
   util::ByteWriter body;
-  const auto& entries = store.entries();
+  // snapshot(): a consistent copy even while the server keeps serving.
+  const auto entries = store.snapshot();
   body.u32(static_cast<std::uint32_t>(entries.size()));
   for (const auto& [key, records] : entries) {
     body.str(key);
@@ -100,7 +101,7 @@ void save_records(const RecordStore& store, const std::string& path) {
 RecordStore load_records(const std::string& path) {
   const auto body = unseal(kRecordMagic, util::read_file(path));
   util::ByteReader in(body);
-  RecordStore store;
+  std::map<std::string, std::vector<StoredRecord>> entries;
   const std::uint32_t identifiers = in.u32();
   for (std::uint32_t i = 0; i < identifiers; ++i) {
     const std::string key = in.str();
@@ -113,9 +114,9 @@ RecordStore load_records(const std::string& path) {
       record.encrypted_result = in.blob();
       records.push_back(std::move(record));
     }
-    store.restore(key, std::move(records));
+    entries[key] = std::move(records);
   }
-  return store;
+  return RecordStore(std::move(entries));
 }
 
 }  // namespace medsen::cloud

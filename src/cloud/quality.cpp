@@ -53,11 +53,25 @@ ChannelQuality assess_channel(const util::TimeSeries& channel,
 
 }  // namespace
 
+const char* to_string(QualityReason reason) {
+  switch (reason) {
+    case QualityReason::kNone: return "acceptable";
+    case QualityReason::kNoChannels: return "no channels";
+    case QualityReason::kEmptyChannel: return "empty channel";
+    case QualityReason::kSaturated: return "saturated";
+    case QualityReason::kDropout: return "dropout";
+    case QualityReason::kNoiseFloor: return "noise floor";
+    case QualityReason::kDrift: return "drift";
+  }
+  return "unknown";
+}
+
 QualityReport assess_quality(const util::MultiChannelSeries& series,
                              const QualityConfig& config) {
   QualityReport report;
   if (series.channels.empty()) {
     report.acceptable = false;
+    report.reason_code = QualityReason::kNoChannels;
     report.reason = "no channels";
     return report;
   }
@@ -68,18 +82,23 @@ QualityReport assess_quality(const util::MultiChannelSeries& series,
     const std::string label = "channel " + std::to_string(c) + ": ";
     if (series.channels[c].empty()) {
       report.acceptable = false;
+      report.reason_code = QualityReason::kEmptyChannel;
       report.reason = label + "empty";
     } else if (quality.saturated) {
       report.acceptable = false;
+      report.reason_code = QualityReason::kSaturated;
       report.reason = label + "saturated/implausible samples";
     } else if (quality.dropout_fraction > config.max_dropout_fraction) {
       report.acceptable = false;
+      report.reason_code = QualityReason::kDropout;
       report.reason = label + "dropouts (pinned samples)";
     } else if (quality.noise_rms > config.max_noise_rms) {
       report.acceptable = false;
+      report.reason_code = QualityReason::kNoiseFloor;
       report.reason = label + "noise floor too high";
     } else if (quality.drift_span > config.max_drift_span) {
       report.acceptable = false;
+      report.reason_code = QualityReason::kDrift;
       report.reason = label + "baseline drift out of range";
     }
   }

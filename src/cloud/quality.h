@@ -6,6 +6,7 @@
 // disconnected dongle, an air bubble, clipped electronics — are rejected
 // with a reason instead of silently producing a wrong diagnosis.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,9 +21,25 @@ struct ChannelQuality {
   bool saturated = false;        ///< raw samples outside plausible range
 };
 
+/// Machine-readable failure category (first failing check wins). The
+/// numeric values travel on the wire as the ErrorPayload subcode of a
+/// quality-rejected upload, so they are part of the protocol.
+enum class QualityReason : std::uint8_t {
+  kNone = 0,          ///< acceptable
+  kNoChannels = 1,    ///< acquisition carries no channels at all
+  kEmptyChannel = 2,  ///< a channel has zero samples
+  kSaturated = 3,     ///< implausible/clipped samples
+  kDropout = 4,       ///< pinned (stuck-ADC) samples
+  kNoiseFloor = 5,    ///< broadband noise above threshold
+  kDrift = 6,         ///< baseline wander out of range
+};
+
+[[nodiscard]] const char* to_string(QualityReason reason);
+
 struct QualityReport {
   std::vector<ChannelQuality> channels;
   bool acceptable = true;
+  QualityReason reason_code = QualityReason::kNone;  ///< first failure
   std::string reason;  ///< first failure, empty when acceptable
 };
 

@@ -1,6 +1,7 @@
 #include "cloud/server.h"
 
-#include <stdexcept>
+#include <chrono>
+#include <cmath>
 
 #include "compress/codec.h"
 #include "util/csv.h"
@@ -11,19 +12,25 @@ CloudServer::CloudServer(AnalysisConfig analysis_config,
                          auth::CytoAlphabet alphabet,
                          auth::ParticleClassifier classifier,
                          auth::VerifierConfig verifier_config,
-                         std::shared_ptr<util::ThreadPool> pool)
+                         std::shared_ptr<util::ThreadPool> pool,
+                         ServiceConfig service)
     : analysis_(analysis_config, std::move(pool)),
       db_(alphabet),
-      verifier_(std::move(alphabet), std::move(classifier), verifier_config) {}
+      verifier_(std::move(alphabet), std::move(classifier), verifier_config),
+      admission_(service.max_inflight),
+      quality_gate_(service.quality_gate) {
+  dispatch_.add(net::MessageType::kSignalUpload,
+                [this](const net::Envelope& request, RequestContext& context) {
+                  return serve_upload(request, context);
+                });
+  dispatch_.add(net::MessageType::kAuthPass,
+                [this](const net::Envelope& request, RequestContext& context) {
+                  return serve_auth_pass(request, context);
+                });
+}
 
-util::MultiChannelSeries CloudServer::decode_upload(
-    const net::Envelope& request, std::span<const std::uint8_t> mac_key) {
-  if (!net::verify_envelope(request, mac_key))
-    throw std::runtime_error("CloudServer: envelope MAC verification failed");
-  if (request.type != net::MessageType::kSignalUpload)
-    throw std::runtime_error("CloudServer: unexpected message type");
-  const auto payload =
-      net::SignalUploadPayload::deserialize(request.payload);
+util::MultiChannelSeries CloudServer::decode_series(
+    const net::SignalUploadPayload& payload) const {
   const std::vector<std::uint8_t> raw =
       payload.compressed ? compress::decompress(payload.data) : payload.data;
   if (payload.format == net::UploadFormat::kCsv) {
@@ -33,60 +40,181 @@ util::MultiChannelSeries CloudServer::decode_upload(
   return net::deserialize_series(raw);
 }
 
-std::optional<net::Envelope> CloudServer::cached_response(
+net::Envelope CloudServer::error_response(const net::Envelope& request,
+                                          std::span<const std::uint8_t>
+                                              mac_key,
+                                          net::ErrorCode code,
+                                          std::uint8_t subcode,
+                                          std::string detail) {
+  net::ErrorPayload payload;
+  payload.code = code;
+  payload.subcode = subcode;
+  payload.detail = std::move(detail);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.errors_returned;
+  }
+  return net::make_envelope(net::MessageType::kError, request.session_id,
+                            request.device_id, payload.serialize(), mac_key);
+}
+
+CloudServer::CacheHit CloudServer::cached_response(
     const net::Envelope& request) {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
-  const auto it = session_cache_.find(request.session_id);
-  if (it == session_cache_.end()) return std::nullopt;
-  if (!crypto::digest_equal(it->second.request_mac, request.mac))
-    throw std::runtime_error(
-        "CloudServer: session " + std::to_string(request.session_id) +
-        " replayed with a different payload");
-  ++replays_served_;
-  return it->second.response;
+  const auto it =
+      session_cache_.find({request.device_id, request.session_id});
+  CacheHit hit;
+  if (it == session_cache_.end()) return hit;
+  if (!crypto::digest_equal(it->second.request_mac, request.mac)) {
+    // A replay that is not byte-identical is a protocol violation, not a
+    // transport retry.
+    hit.state = CacheLookup::kConflict;
+    return hit;
+  }
+  hit.state = CacheLookup::kReplay;
+  hit.response = it->second.response;
+  return hit;
 }
 
 void CloudServer::cache_response(const net::Envelope& request,
                                  const net::Envelope& response) {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
-  ++requests_processed_;
-  session_cache_.insert({request.session_id, {request.mac, response}});
+  session_cache_.insert(
+      {{request.device_id, request.session_id}, {request.mac, response}});
+}
+
+ServiceStats CloudServer::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  auto snapshot = stats_;
+  return snapshot;
 }
 
 std::uint64_t CloudServer::requests_processed() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  return requests_processed_;
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_.requests_processed;
 }
 
 std::uint64_t CloudServer::replays_served() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  return replays_served_;
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_.replays_served;
 }
 
-net::Envelope CloudServer::handle_upload(
-    const net::Envelope& request, std::span<const std::uint8_t> mac_key) {
-  if (auto cached = cached_response(request)) return *cached;
-  const auto series = decode_upload(request, mac_key);
-  if (quality_gate_) {
-    last_quality_ = assess_quality(series);
-    if (!last_quality_.acceptable)
-      throw std::runtime_error("CloudServer: acquisition rejected (" +
-                               last_quality_.reason + ")");
+net::Envelope CloudServer::handle(const net::Envelope& request) {
+  // 1. Admission: shed instead of queueing unboundedly on the pool. The
+  // error is signed with the device key when the sender is known (an
+  // unknown-device envelope would be shed before its key is resolved).
+  auto ticket = admission_.try_enter();
+  if (!ticket.admitted()) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests_shed;
+    }
+    const auto key = devices_.lookup(request.device_id);
+    return error_response(
+        request, key ? std::span<const std::uint8_t>(*key)
+                     : std::span<const std::uint8_t>(),
+        net::ErrorCode::kOverloaded, 0, "admission limit reached");
   }
-  const core::PeakReport report = analysis_.analyze(series);
-  const auto response =
-      net::make_envelope(net::MessageType::kAnalysisResult,
-                         request.session_id, report.serialize(), mac_key);
+
+  // 2. Tenant resolution: the MAC key comes from the registry, never
+  // from the caller. Errors to unknown devices are unsigned (empty key)
+  // — the server has no credential to speak for them.
+  const auto mac_key = devices_.lookup(request.device_id);
+  if (!mac_key) {
+    return error_response(request, {}, net::ErrorCode::kUnknownDevice, 0,
+                          "device " + std::to_string(request.device_id) +
+                              " is not provisioned");
+  }
+
+  // 3. Integrity: a tampering relay is detected here.
+  if (!net::verify_envelope(request, *mac_key)) {
+    return error_response(request, *mac_key, net::ErrorCode::kBadMac, 0,
+                          "envelope MAC verification failed");
+  }
+
+  // 4. Idempotency: the reliable transport re-uploads when a response is
+  // lost; byte-identical replays are served from the cache without a
+  // second analysis.
+  const auto cached = cached_response(request);
+  if (cached.state == CacheLookup::kConflict) {
+    return error_response(request, *mac_key, net::ErrorCode::kSessionConflict,
+                          0,
+                          "session " + std::to_string(request.session_id) +
+                              " replayed with a different payload");
+  }
+  if (cached.state == CacheLookup::kReplay) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.replays_served;
+    return cached.response;
+  }
+
+  // 5. Dispatch through the handler registry. Handlers report failures
+  // as ServiceResult values; decoder throws on MAC-valid garbage are
+  // converted to kMalformed at this boundary.
+  RequestContext context;
+  context.device_id = request.device_id;
+  context.session_id = request.session_id;
+  context.mac_key = *mac_key;
+
+  ServiceResult result;
+  const auto started = std::chrono::steady_clock::now();
+  if (const auto* handler = dispatch_.find(request.type)) {
+    try {
+      result = (*handler)(request, context);
+    } catch (const std::exception& e) {
+      result = ServiceResult::failure(net::ErrorCode::kMalformed, e.what());
+    }
+  } else {
+    result = ServiceResult::failure(
+        net::ErrorCode::kMalformed,
+        "no handler for message type " +
+            std::to_string(static_cast<unsigned>(request.type)));
+  }
+  context.processing_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+
+  if (!result.ok) {
+    return error_response(request, *mac_key, result.error,
+                          result.error_subcode, std::move(result.detail));
+  }
+
+  const auto response = net::make_envelope(
+      result.response_type, request.session_id, request.device_id,
+      std::move(result.response_payload), *mac_key);
   cache_response(request, response);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests_processed;
+    stats_.processing_time_s += context.processing_time_s;
+  }
   return response;
 }
 
-net::Envelope CloudServer::handle_auth(const net::Envelope& request,
-                                       double volume_ul,
-                                       std::span<const std::uint8_t> mac_key,
-                                       double duration_s) {
-  if (auto cached = cached_response(request)) return *cached;
-  const auto series = decode_upload(request, mac_key);
+ServiceResult CloudServer::serve_upload(const net::Envelope& request,
+                                        RequestContext& context) {
+  const auto payload = net::SignalUploadPayload::deserialize(request.payload);
+  const auto series = decode_series(payload);
+  if (quality_gate_.load(std::memory_order_relaxed)) {
+    context.quality = assess_quality(series);
+    if (!context.quality.acceptable) {
+      return ServiceResult::failure(
+          net::ErrorCode::kQualityRejected,
+          "acquisition rejected (" + context.quality.reason + ")",
+          static_cast<std::uint8_t>(context.quality.reason_code));
+    }
+  }
+  const core::PeakReport report = analysis_.analyze(series);
+  return ServiceResult::success(net::MessageType::kAnalysisResult,
+                                report.serialize());
+}
+
+ServiceResult CloudServer::serve_auth_pass(const net::Envelope& request,
+                                           RequestContext& context) {
+  (void)context;
+  const auto pass = net::AuthPassPayload::deserialize(request.payload);
+  const auto series = decode_series(pass.upload);
   const core::PeakReport report = analysis_.analyze(series);
 
   // Plaintext pass: amplitudes are unscaled, so decoded peaks can be
@@ -114,17 +242,14 @@ net::Envelope CloudServer::handle_auth(const net::Envelope& request,
     peaks.push_back(std::move(d));
   }
 
-  const auth::AuthResult result =
-      verifier_.authenticate_peaks(peaks, volume_ul, db_, duration_s);
+  const auth::AuthResult result = verifier_.authenticate_peaks(
+      peaks, pass.volume_ul, db_, pass.duration_s);
   net::AuthDecisionPayload payload;
   payload.authenticated = result.authenticated;
   payload.user_id = result.user_id;
   payload.distance = result.distance;
-  const auto response =
-      net::make_envelope(net::MessageType::kAuthDecision, request.session_id,
-                         payload.serialize(), mac_key);
-  cache_response(request, response);
-  return response;
+  return ServiceResult::success(net::MessageType::kAuthDecision,
+                                payload.serialize());
 }
 
 }  // namespace medsen::cloud

@@ -1,23 +1,49 @@
 #pragma once
-// The cloud server endpoint: receives protocol envelopes, runs the
-// analysis service on uploaded (encrypted) acquisitions, authenticates
-// auth-pass submissions against the enrollment database, and stores
-// results under cyto-coded identifiers. Curious-but-honest: it follows
-// the protocol faithfully but sees only ciphertext cytometry.
+// The cloud service endpoint. One CloudServer serves many provisioned
+// MedSen dongles: `handle()` is the single request/response entrypoint —
+// it admits (or sheds) the request, resolves the sender's MAC key from
+// the device registry, verifies the envelope, consults the idempotent
+// session cache, and routes through the handler registry. Every failure
+// travels back as a kError envelope with a structured ErrorPayload;
+// exceptions never cross the service boundary. Curious-but-honest: the
+// server follows the protocol faithfully but sees only ciphertext
+// cytometry.
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 
 #include "auth/verifier.h"
 #include "cloud/analysis_service.h"
+#include "cloud/dispatch.h"
 #include "cloud/quality.h"
 #include "cloud/storage.h"
 #include "net/messages.h"
 
 namespace medsen::cloud {
+
+/// Service-boundary knobs (the analysis knobs live in AnalysisConfig).
+struct ServiceConfig {
+  /// Quality gate applied to every upload; disable for raw benchmarks.
+  bool quality_gate = true;
+  /// Admission limit: at most this many requests inside the service at
+  /// once; excess requests are shed with an `overloaded` error
+  /// (0 = unbounded).
+  std::size_t max_inflight = 0;
+};
+
+/// Aggregate service counters (all monotonic).
+struct ServiceStats {
+  std::uint64_t requests_processed = 0;  ///< cache-miss successes
+  std::uint64_t replays_served = 0;      ///< idempotent cache hits
+  std::uint64_t errors_returned = 0;     ///< kError responses sent
+  std::uint64_t requests_shed = 0;       ///< refused by the admission gate
+  double processing_time_s = 0.0;        ///< summed handler wall-clock
+};
 
 class CloudServer {
  public:
@@ -29,30 +55,31 @@ class CloudServer {
   CloudServer(AnalysisConfig analysis_config, auth::CytoAlphabet alphabet,
               auth::ParticleClassifier classifier,
               auth::VerifierConfig verifier_config = {},
-              std::shared_ptr<util::ThreadPool> pool = nullptr);
+              std::shared_ptr<util::ThreadPool> pool = nullptr,
+              ServiceConfig service = {});
 
-  /// Handle a signal-upload envelope: decompress/deserialize, run the
-  /// quality gate, analyze, and return the analysis-result envelope
-  /// (serialized PeakReport). Throws std::runtime_error on MAC failure or
-  /// a rejected (unusable) acquisition.
-  net::Envelope handle_upload(const net::Envelope& request,
-                              std::span<const std::uint8_t> mac_key);
+  /// The service boundary: route any request envelope to its handler and
+  /// return the response envelope. Thread-safe; call it from as many
+  /// client threads as you like. Failures (unknown device, bad MAC,
+  /// quality rejection, malformed payload, overload, session conflict)
+  /// come back as kError envelopes carrying a net::ErrorPayload — this
+  /// method only throws on programmer errors.
+  net::Envelope handle(const net::Envelope& request);
 
-  /// Quality gate applied to every upload; disable for raw benchmarks.
-  void set_quality_gate(bool enabled) { quality_gate_ = enabled; }
-  [[nodiscard]] const QualityReport& last_quality() const {
-    return last_quality_;
+  /// The device registry: provision each dongle's MAC key before it may
+  /// talk to this server.
+  [[nodiscard]] DeviceRegistry& devices() { return devices_; }
+  /// Shorthand for devices().provision().
+  void provision_device(std::uint64_t device_id,
+                        std::vector<std::uint8_t> mac_key) {
+    devices_.provision(device_id, std::move(mac_key));
   }
 
-  /// Authenticate a plaintext (encryption-off) auth pass: analyze, build
-  /// the bead census with the classifier, match against enrollments.
-  /// `volume_ul` and `duration_s` are announced by the sensor in the
-  /// clear (neither reveals cytometry); the duration enables the
-  /// verifier's coincidence (dead-time) correction. Returns the
-  /// auth-decision envelope.
-  net::Envelope handle_auth(const net::Envelope& request, double volume_ul,
-                            std::span<const std::uint8_t> mac_key,
-                            double duration_s = 0.0);
+  /// The admission gate (exposed so tests and load shedders can hold
+  /// slots directly).
+  [[nodiscard]] AdmissionGate& admission() { return admission_; }
+
+  void set_quality_gate(bool enabled) { quality_gate_ = enabled; }
 
   /// Store an encrypted result under an identifier.
   void store_result(const auth::CytoCode& code, StoredRecord record) {
@@ -68,6 +95,8 @@ class CloudServer {
   [[nodiscard]] const auth::Verifier& verifier() const { return verifier_; }
   [[nodiscard]] RecordStore& records() { return store_; }
 
+  /// Snapshot of the aggregate counters.
+  [[nodiscard]] ServiceStats stats() const;
   /// Requests fully processed (cache misses) and replays served from the
   /// session cache. The reliable transport retries lost responses by
   /// re-uploading, so duplicate session_ids are expected in normal
@@ -76,12 +105,28 @@ class CloudServer {
   [[nodiscard]] std::uint64_t replays_served() const;
 
  private:
-  util::MultiChannelSeries decode_upload(const net::Envelope& request,
-                                         std::span<const std::uint8_t> mac_key);
-  /// Cached response for a replayed session, if any. Throws if the
-  /// session_id was seen before with a *different* request MAC (a replay
-  /// that is not byte-identical is a protocol violation, not a retry).
-  std::optional<net::Envelope> cached_response(const net::Envelope& request);
+  /// Handlers (registered on MessageType in the constructor). They run
+  /// after admission + device resolution + MAC verification.
+  ServiceResult serve_upload(const net::Envelope& request,
+                             RequestContext& context);
+  ServiceResult serve_auth_pass(const net::Envelope& request,
+                                RequestContext& context);
+
+  util::MultiChannelSeries decode_series(
+      const net::SignalUploadPayload& payload) const;
+  net::Envelope error_response(const net::Envelope& request,
+                               std::span<const std::uint8_t> mac_key,
+                               net::ErrorCode code, std::uint8_t subcode,
+                               std::string detail);
+
+  /// Idempotent session cache, keyed per tenant on (device_id,
+  /// session_id).
+  enum class CacheLookup { kMiss, kReplay, kConflict };
+  struct CacheHit {
+    CacheLookup state = CacheLookup::kMiss;
+    net::Envelope response;
+  };
+  CacheHit cached_response(const net::Envelope& request);
   void cache_response(const net::Envelope& request,
                       const net::Envelope& response);
 
@@ -89,17 +134,20 @@ class CloudServer {
   auth::EnrollmentDatabase db_;
   auth::Verifier verifier_;
   RecordStore store_;
-  bool quality_gate_ = true;
-  QualityReport last_quality_;
+  DeviceRegistry devices_;
+  AdmissionGate admission_;
+  Dispatcher dispatch_;
+  std::atomic<bool> quality_gate_{true};
 
   struct CachedExchange {
     crypto::Sha256Digest request_mac{};
     net::Envelope response;
   };
   mutable std::mutex cache_mutex_;
-  std::unordered_map<std::uint64_t, CachedExchange> session_cache_;
-  std::uint64_t requests_processed_ = 0;
-  std::uint64_t replays_served_ = 0;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, CachedExchange>
+      session_cache_;
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
 };
 
 }  // namespace medsen::cloud

@@ -3,11 +3,13 @@
 namespace medsen::cloud {
 
 void RecordStore::store(const auth::CytoCode& code, StoredRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   store_[code.to_string()].push_back(std::move(record));
 }
 
 std::vector<StoredRecord> RecordStore::fetch(
     const auth::CytoCode& code) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = store_.find(code.to_string());
   if (it == store_.end()) return {};
   return it->second;
@@ -15,15 +17,42 @@ std::vector<StoredRecord> RecordStore::fetch(
 
 std::optional<StoredRecord> RecordStore::latest(
     const auth::CytoCode& code) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = store_.find(code.to_string());
   if (it == store_.end() || it->second.empty()) return std::nullopt;
   return it->second.back();
 }
 
+std::size_t RecordStore::identifier_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_.size();
+}
+
 std::size_t RecordStore::record_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t n = 0;
   for (const auto& [key, records] : store_) n += records.size();
   return n;
+}
+
+std::map<std::string, std::vector<StoredRecord>> RecordStore::snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_;
+}
+
+void RecordStore::visit(
+    const std::function<void(const std::string&,
+                             const std::vector<StoredRecord>&)>& visitor)
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, records] : store_) visitor(key, records);
+}
+
+void RecordStore::restore(std::string key,
+                          std::vector<StoredRecord> records) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  store_[std::move(key)] = std::move(records);
 }
 
 }  // namespace medsen::cloud

@@ -3,9 +3,15 @@
 // patient's cyto-coded identifier (paper Section V), so a practitioner
 // with the patient's code — but no biometric, no account password — can
 // fetch the history. Records are opaque ciphertext blobs to the cloud.
+//
+// Thread-safe: a server handling concurrent requests stores and fetches
+// through an internal mutex, and readers only ever see snapshots — the
+// internal map is never leaked by reference.
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +27,12 @@ struct StoredRecord {
 
 class RecordStore {
  public:
+  RecordStore() = default;
+  /// Build a store from pre-keyed entries (persistence layer).
+  explicit RecordStore(
+      std::map<std::string, std::vector<StoredRecord>> entries)
+      : store_(std::move(entries)) {}
+
   /// Append a record under an identifier.
   void store(const auth::CytoCode& code, StoredRecord record);
 
@@ -32,20 +44,23 @@ class RecordStore {
   [[nodiscard]] std::optional<StoredRecord> latest(
       const auth::CytoCode& code) const;
 
-  [[nodiscard]] std::size_t identifier_count() const { return store_.size(); }
+  [[nodiscard]] std::size_t identifier_count() const;
   [[nodiscard]] std::size_t record_count() const;
 
-  /// Raw entries, keyed by the code's text form (persistence layer).
-  [[nodiscard]] const std::map<std::string, std::vector<StoredRecord>>&
-  entries() const {
-    return store_;
-  }
+  /// Consistent copy of all entries, keyed by the code's text form
+  /// (persistence layer; replaces the old by-reference entries()).
+  [[nodiscard]] std::map<std::string, std::vector<StoredRecord>> snapshot()
+      const;
+  /// Visit every (key, records) pair under the lock, in key order. The
+  /// callback must not reenter the store.
+  void visit(const std::function<void(const std::string&,
+                                      const std::vector<StoredRecord>&)>&
+                 visitor) const;
   /// Reinstall one identifier's record list (persistence layer).
-  void restore(std::string key, std::vector<StoredRecord> records) {
-    store_[std::move(key)] = std::move(records);
-  }
+  void restore(std::string key, std::vector<StoredRecord> records);
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, std::vector<StoredRecord>> store_;  // key: code text
 };
 

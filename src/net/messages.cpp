@@ -9,10 +9,12 @@ namespace medsen::net {
 namespace {
 
 std::vector<std::uint8_t> mac_input(MessageType type, std::uint64_t session,
+                                    std::uint64_t device,
                                     std::span<const std::uint8_t> payload) {
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(type));
   w.u64(session);
+  w.u64(device);
   w.bytes(payload);
   return w.take();
 }
@@ -23,6 +25,7 @@ std::vector<std::uint8_t> Envelope::serialize() const {
   util::ByteWriter out;
   out.u8(static_cast<std::uint8_t>(type));
   out.u64(session_id);
+  out.u64(device_id);
   out.blob(payload);
   out.bytes(mac);
   return out.take();
@@ -33,6 +36,7 @@ Envelope Envelope::deserialize(std::span<const std::uint8_t> bytes) {
   Envelope e;
   e.type = static_cast<MessageType>(in.u8());
   e.session_id = in.u64();
+  e.device_id = in.u64();
   e.payload = in.blob();
   if (in.remaining() < e.mac.size())
     throw std::runtime_error("Envelope: truncated MAC");
@@ -43,22 +47,24 @@ Envelope Envelope::deserialize(std::span<const std::uint8_t> bytes) {
 }
 
 Envelope make_envelope(MessageType type, std::uint64_t session_id,
+                       std::uint64_t device_id,
                        std::vector<std::uint8_t> payload,
                        std::span<const std::uint8_t> mac_key) {
   Envelope e;
   e.type = type;
   e.session_id = session_id;
+  e.device_id = device_id;
   e.payload = std::move(payload);
-  e.mac = crypto::hmac_sha256(mac_key,
-                              mac_input(type, session_id, e.payload));
+  e.mac = crypto::hmac_sha256(
+      mac_key, mac_input(type, session_id, device_id, e.payload));
   return e;
 }
 
 bool verify_envelope(const Envelope& envelope,
                      std::span<const std::uint8_t> mac_key) {
   const auto expected = crypto::hmac_sha256(
-      mac_key,
-      mac_input(envelope.type, envelope.session_id, envelope.payload));
+      mac_key, mac_input(envelope.type, envelope.session_id,
+                         envelope.device_id, envelope.payload));
   return crypto::digest_equal(expected, envelope.mac);
 }
 
@@ -79,6 +85,24 @@ SignalUploadPayload SignalUploadPayload::deserialize(
   p.format = static_cast<UploadFormat>(in.u8());
   p.sample_rate_hz = in.f64();
   p.data = in.blob();
+  return p;
+}
+
+std::vector<std::uint8_t> AuthPassPayload::serialize() const {
+  util::ByteWriter out;
+  out.f64(volume_ul);
+  out.f64(duration_s);
+  out.blob(upload.serialize());
+  return out.take();
+}
+
+AuthPassPayload AuthPassPayload::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader in(bytes);
+  AuthPassPayload p;
+  p.volume_ul = in.f64();
+  p.duration_s = in.f64();
+  p.upload = SignalUploadPayload::deserialize(in.blob());
   return p;
 }
 
@@ -125,6 +149,35 @@ AuthDecisionPayload AuthDecisionPayload::deserialize(
   p.authenticated = in.u8() != 0;
   p.user_id = in.str();
   p.distance = in.f64();
+  return p;
+}
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadMac: return "bad MAC";
+    case ErrorCode::kQualityRejected: return "quality rejected";
+    case ErrorCode::kUnknownDevice: return "unknown device";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kMalformed: return "malformed request";
+    case ErrorCode::kSessionConflict: return "session conflict";
+  }
+  return "unknown error";
+}
+
+std::vector<std::uint8_t> ErrorPayload::serialize() const {
+  util::ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(code));
+  out.u8(subcode);
+  out.str(detail);
+  return out.take();
+}
+
+ErrorPayload ErrorPayload::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader in(bytes);
+  ErrorPayload p;
+  p.code = static_cast<ErrorCode>(in.u8());
+  p.subcode = in.u8();
+  p.detail = in.str();
   return p;
 }
 

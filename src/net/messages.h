@@ -2,9 +2,14 @@
 // Protocol messages exchanged between the MedSen controller, the phone
 // relay, and the cloud server. Payloads are opaque to the phone (it only
 // relays); message envelopes carry an HMAC-SHA256 tag keyed by a
-// per-session transport key so the untrusted relay cannot tamper
+// per-device transport key so the untrusted relay cannot tamper
 // undetected. (Confidentiality needs no transport cipher: the signal is
 // already encrypted in the analog domain.)
+//
+// The cloud is multi-tenant: every envelope names the sending device
+// (`device_id`, covered by the MAC) and the server resolves the MAC key
+// from its device registry. Server-side failures travel back as kError
+// envelopes carrying a structured ErrorPayload — never as exceptions.
 
 #include <cstdint>
 #include <span>
@@ -21,14 +26,16 @@ enum class MessageType : std::uint8_t {
   kAnalysisResult = 2, ///< cloud -> sensor: serialized PeakReport
   kAuthDecision = 3,   ///< cloud -> sensor: authentication outcome
   kProgress = 4,       ///< cloud/phone -> app UI
-  kError = 5,
+  kError = 5,          ///< cloud -> sensor: structured ErrorPayload
+  kAuthPass = 6,       ///< sensor -> cloud: plaintext pass (AuthPassPayload)
 };
 
 struct Envelope {
   MessageType type = MessageType::kError;
   std::uint64_t session_id = 0;
+  std::uint64_t device_id = 0;  ///< sending/addressed device, MAC-covered
   std::vector<std::uint8_t> payload;
-  crypto::Sha256Digest mac{};  ///< HMAC over type|session|payload
+  crypto::Sha256Digest mac{};  ///< HMAC over type|session|device|payload
 
   /// Serialize (without framing; see net/frame.h).
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
@@ -37,6 +44,7 @@ struct Envelope {
 
 /// Build an authenticated envelope.
 Envelope make_envelope(MessageType type, std::uint64_t session_id,
+                       std::uint64_t device_id,
                        std::vector<std::uint8_t> payload,
                        std::span<const std::uint8_t> mac_key);
 
@@ -59,6 +67,20 @@ struct SignalUploadPayload {
   static SignalUploadPayload deserialize(std::span<const std::uint8_t> bytes);
 };
 
+/// AuthPass payload: a plaintext (encryption-off) acquisition plus the
+/// side-channel parameters the verifier needs. `volume_ul` and
+/// `duration_s` used to be announced as bare function arguments; carrying
+/// them inside the MAC'd envelope means a tampering relay cannot skew the
+/// census concentration or the dead-time correction undetected.
+struct AuthPassPayload {
+  SignalUploadPayload upload;
+  double volume_ul = 0.0;
+  double duration_s = 0.0;  ///< 0 disables the dead-time correction
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static AuthPassPayload deserialize(std::span<const std::uint8_t> bytes);
+};
+
 /// Binary serialization of a multi-channel acquisition.
 std::vector<std::uint8_t> serialize_series(
     const util::MultiChannelSeries& series);
@@ -73,6 +95,30 @@ struct AuthDecisionPayload {
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static AuthDecisionPayload deserialize(std::span<const std::uint8_t> bytes);
+};
+
+/// Why the server refused a request (kError envelopes).
+enum class ErrorCode : std::uint8_t {
+  kBadMac = 1,           ///< envelope MAC verification failed
+  kQualityRejected = 2,  ///< acquisition failed the quality gate
+  kUnknownDevice = 3,    ///< device_id not in the registry
+  kOverloaded = 4,       ///< admission gate shed the request
+  kMalformed = 5,        ///< undecodable payload / unroutable type
+  kSessionConflict = 6,  ///< session_id replayed with different bytes
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code);
+
+/// Error payload: the machine-readable reason a request was refused.
+/// `subcode` refines kQualityRejected with a cloud::QualityReason value
+/// (0 otherwise); `detail` is a human-readable elaboration.
+struct ErrorPayload {
+  ErrorCode code = ErrorCode::kMalformed;
+  std::uint8_t subcode = 0;
+  std::string detail;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static ErrorPayload deserialize(std::span<const std::uint8_t> bytes);
 };
 
 }  // namespace medsen::net

@@ -25,9 +25,8 @@ void PhoneRelay::report(const std::string& message) {
   if (progress_) progress_(message);
 }
 
-net::Envelope PhoneRelay::build_upload(const util::MultiChannelSeries& series,
-                                       std::uint64_t session_id,
-                                       std::span<const std::uint8_t> mac_key) {
+net::SignalUploadPayload PhoneRelay::build_payload(
+    const util::MultiChannelSeries& series) {
   timing_ = RelayTiming{};
   report("receiving measurement from sensor");
   std::vector<std::uint8_t> raw;
@@ -58,8 +57,7 @@ net::Envelope PhoneRelay::build_upload(const util::MultiChannelSeries& series,
     payload.data = std::move(raw);
   }
   last_upload_bytes_ = payload.data.size();
-  return net::make_envelope(net::MessageType::kSignalUpload, session_id,
-                            payload.serialize(), mac_key);
+  return payload;
 }
 
 std::optional<net::Envelope> PhoneRelay::reliable_exchange(
@@ -105,14 +103,16 @@ core::PeakReport PhoneRelay::run_local_analysis(
 net::Envelope PhoneRelay::relay_analysis(
     const util::MultiChannelSeries& series, std::uint64_t session_id,
     cloud::CloudServer& server, std::span<const std::uint8_t> mac_key) {
-  const auto upload = build_upload(series, session_id, mac_key);
+  const auto payload = build_payload(series);
+  const auto upload =
+      net::make_envelope(net::MessageType::kSignalUpload, session_id,
+                         config_.device_id, payload.serialize(), mac_key);
   report("uploading to cloud");
 
   net::Envelope response;
   if (config_.reliable_transport) {
-    auto exchanged = reliable_exchange(upload, [&](const net::Envelope& req) {
-      return server.handle_upload(req, mac_key);
-    });
+    auto exchanged = reliable_exchange(
+        upload, [&](const net::Envelope& req) { return server.handle(req); });
     if (!exchanged.has_value()) {
       // Retry budget exhausted: the cloud is unreachable. Degrade
       // gracefully to the on-phone analysis path (paper Fig. 14
@@ -122,14 +122,13 @@ net::Envelope PhoneRelay::relay_analysis(
       const auto local = run_local_analysis(series, config_.local_analysis);
       report("local analysis complete");
       return net::make_envelope(net::MessageType::kAnalysisResult, session_id,
-                                local.serialize(), mac_key);
+                                config_.device_id, local.serialize(), mac_key);
     }
     response = std::move(*exchanged);
   } else {
     timing_.uplink_s =
         config_.uplink.transfer_time_s(upload.payload.size());
-    const double t =
-        measure([&] { response = server.handle_upload(upload, mac_key); });
+    const double t = measure([&] { response = server.handle(upload); });
     timing_.analysis_s = t;
     timing_.downlink_s =
         config_.downlink.transfer_time_s(response.payload.size());
@@ -147,14 +146,19 @@ net::Envelope PhoneRelay::relay_auth(const util::MultiChannelSeries& series,
                                      cloud::CloudServer& server,
                                      std::span<const std::uint8_t> mac_key,
                                      double duration_s) {
-  const auto upload = build_upload(series, session_id, mac_key);
+  net::AuthPassPayload pass;
+  pass.upload = build_payload(series);
+  pass.volume_ul = volume_ul;
+  pass.duration_s = duration_s;
+  const auto upload =
+      net::make_envelope(net::MessageType::kAuthPass, session_id,
+                         config_.device_id, pass.serialize(), mac_key);
   report("uploading authentication pass");
 
   net::Envelope response;
   if (config_.reliable_transport) {
-    auto exchanged = reliable_exchange(upload, [&](const net::Envelope& req) {
-      return server.handle_auth(req, volume_ul, mac_key, duration_s);
-    });
+    auto exchanged = reliable_exchange(
+        upload, [&](const net::Envelope& req) { return server.handle(req); });
     if (!exchanged.has_value())
       // Unlike diagnostics, authentication cannot fall back to the
       // phone: the enrollment database lives in the cloud.
@@ -164,9 +168,7 @@ net::Envelope PhoneRelay::relay_auth(const util::MultiChannelSeries& series,
   } else {
     timing_.uplink_s =
         config_.uplink.transfer_time_s(upload.payload.size());
-    const double t = measure([&] {
-      response = server.handle_auth(upload, volume_ul, mac_key, duration_s);
-    });
+    const double t = measure([&] { response = server.handle(upload); });
     timing_.analysis_s = t;
     timing_.downlink_s =
         config_.downlink.transfer_time_s(response.payload.size());

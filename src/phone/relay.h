@@ -40,6 +40,9 @@ struct RelayTiming {
 };
 
 struct RelayConfig {
+  /// Tenant identity stamped on every envelope; the server only accepts
+  /// devices provisioned in its DeviceRegistry under this id.
+  std::uint64_t device_id = 1;
   bool compress_uploads = true;
   /// Upload in the prototype's CSV format instead of compact binary
   /// (larger, but matches the recorded-file workflow of the paper).
@@ -99,9 +102,10 @@ class PhoneRelay {
   }
 
  private:
-  net::Envelope build_upload(const util::MultiChannelSeries& series,
-                             std::uint64_t session_id,
-                             std::span<const std::uint8_t> mac_key);
+  /// Serialize (and maybe compress) the acquisition; resets and fills
+  /// the USB/compression timing fields.
+  net::SignalUploadPayload build_payload(
+      const util::MultiChannelSeries& series);
   /// Run one request/response exchange over the lossy reliable links.
   /// Returns the response envelope, or nullopt when the retry budget was
   /// exhausted in either direction; fills the transport timing fields.

@@ -1,0 +1,138 @@
+#include "cloud/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace medsen::cloud {
+namespace {
+
+TEST(DeviceRegistry, ProvisionLookupRevoke) {
+  DeviceRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_FALSE(registry.lookup(7).has_value());
+
+  registry.provision(7, {1, 2, 3});
+  ASSERT_TRUE(registry.lookup(7).has_value());
+  EXPECT_EQ(*registry.lookup(7), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(registry.size(), 1u);
+
+  // Re-provisioning rotates the key in place.
+  registry.provision(7, {9});
+  EXPECT_EQ(*registry.lookup(7), (std::vector<std::uint8_t>{9}));
+  EXPECT_EQ(registry.size(), 1u);
+
+  EXPECT_TRUE(registry.revoke(7));
+  EXPECT_FALSE(registry.revoke(7));
+  EXPECT_FALSE(registry.lookup(7).has_value());
+}
+
+TEST(DeviceRegistry, ConcurrentProvisionAndLookup) {
+  DeviceRegistry registry;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&registry, t] {
+      for (int i = 0; i < 50; ++i) {
+        const auto id = static_cast<std::uint64_t>(t * 50 + i);
+        registry.provision(id, {static_cast<std::uint8_t>(t)});
+        (void)registry.lookup(id);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(registry.size(), 200u);
+}
+
+TEST(AdmissionGate, UnboundedAdmitsEverything) {
+  AdmissionGate gate(0);
+  auto a = gate.try_enter();
+  auto b = gate.try_enter();
+  EXPECT_TRUE(a.admitted());
+  EXPECT_TRUE(b.admitted());
+  EXPECT_EQ(gate.shed_total(), 0u);
+}
+
+TEST(AdmissionGate, ShedsPastTheLimitAndRecovers) {
+  AdmissionGate gate(2);
+  auto a = gate.try_enter();
+  auto b = gate.try_enter();
+  EXPECT_TRUE(a.admitted());
+  EXPECT_TRUE(b.admitted());
+  EXPECT_EQ(gate.in_flight(), 2u);
+
+  auto c = gate.try_enter();
+  EXPECT_FALSE(c.admitted());
+  EXPECT_EQ(gate.shed_total(), 1u);
+
+  a.release();
+  EXPECT_EQ(gate.in_flight(), 1u);
+  auto d = gate.try_enter();
+  EXPECT_TRUE(d.admitted());
+}
+
+TEST(AdmissionGate, TicketReleaseIsIdempotentAndMoveSafe) {
+  AdmissionGate gate(1);
+  auto a = gate.try_enter();
+  EXPECT_TRUE(a.admitted());
+  auto moved = std::move(a);
+  EXPECT_TRUE(moved.admitted());
+  EXPECT_FALSE(a.admitted());  // NOLINT(bugprone-use-after-move): on purpose
+  moved.release();
+  moved.release();  // double release must not underflow
+  EXPECT_EQ(gate.in_flight(), 0u);
+}
+
+TEST(AdmissionGate, TicketReleasesOnScopeExit) {
+  AdmissionGate gate(1);
+  {
+    auto a = gate.try_enter();
+    EXPECT_TRUE(a.admitted());
+    EXPECT_EQ(gate.in_flight(), 1u);
+  }
+  EXPECT_EQ(gate.in_flight(), 0u);
+}
+
+TEST(ServiceResult, SuccessAndFailureFactories) {
+  auto ok = ServiceResult::success(net::MessageType::kAnalysisResult,
+                                   {1, 2, 3});
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.response_type, net::MessageType::kAnalysisResult);
+  EXPECT_EQ(ok.response_payload, (std::vector<std::uint8_t>{1, 2, 3}));
+
+  auto bad = ServiceResult::failure(net::ErrorCode::kQualityRejected,
+                                    "saturated", 3);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, net::ErrorCode::kQualityRejected);
+  EXPECT_EQ(bad.error_subcode, 3u);
+  EXPECT_EQ(bad.detail, "saturated");
+}
+
+TEST(Dispatcher, RoutesByMessageType) {
+  Dispatcher dispatcher;
+  dispatcher.add(net::MessageType::kSignalUpload,
+                 [](const net::Envelope&, RequestContext&) {
+                   return ServiceResult::success(
+                       net::MessageType::kAnalysisResult, {0xAA});
+                 });
+  dispatcher.add(net::MessageType::kAuthPass,
+                 [](const net::Envelope&, RequestContext&) {
+                   return ServiceResult::failure(net::ErrorCode::kMalformed,
+                                                 "nope");
+                 });
+
+  EXPECT_EQ(dispatcher.registered().size(), 2u);
+  EXPECT_EQ(dispatcher.find(net::MessageType::kProgress), nullptr);
+
+  net::Envelope request;
+  RequestContext context;
+  const auto* upload = dispatcher.find(net::MessageType::kSignalUpload);
+  ASSERT_NE(upload, nullptr);
+  EXPECT_TRUE((*upload)(request, context).ok);
+  const auto* auth = dispatcher.find(net::MessageType::kAuthPass);
+  ASSERT_NE(auth, nullptr);
+  EXPECT_FALSE((*auth)(request, context).ok);
+}
+
+}  // namespace
+}  // namespace medsen::cloud

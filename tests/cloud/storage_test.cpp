@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 namespace medsen::cloud {
 namespace {
 
@@ -50,6 +52,61 @@ TEST(RecordStore, BlobContentPreserved) {
   const std::vector<std::uint8_t> blob = {1, 2, 3, 255};
   store.store(code_of({2, 2}), {7, blob});
   EXPECT_EQ(store.latest(code_of({2, 2}))->encrypted_result, blob);
+}
+
+TEST(RecordStore, SnapshotIsAConsistentCopy) {
+  RecordStore store;
+  store.store(code_of({1, 2}), {10, {0xAA}});
+  auto snapshot = store.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  // Mutating the snapshot (or the store) must not affect the other.
+  snapshot.begin()->second.push_back({99, {}});
+  store.store(code_of({1, 2}), {11, {0xBB}});
+  EXPECT_EQ(snapshot.begin()->second.size(), 2u);
+  EXPECT_EQ(store.fetch(code_of({1, 2})).size(), 2u);
+  EXPECT_EQ(store.fetch(code_of({1, 2})).back().session_id, 11u);
+}
+
+TEST(RecordStore, VisitSeesEveryEntryInKeyOrder) {
+  RecordStore store;
+  store.store(code_of({2, 1}), {1, {}});
+  store.store(code_of({0, 1}), {2, {}});
+  std::vector<std::string> keys;
+  std::size_t records = 0;
+  store.visit([&](const std::string& key,
+                  const std::vector<StoredRecord>& list) {
+    keys.push_back(key);
+    records += list.size();
+  });
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_LT(keys[0], keys[1]);
+  EXPECT_EQ(records, 2u);
+}
+
+TEST(RecordStore, EntriesConstructorRestoresState) {
+  RecordStore original;
+  original.store(code_of({1, 1}), {5, {0xCC}});
+  RecordStore rebuilt(original.snapshot());
+  EXPECT_EQ(rebuilt.record_count(), 1u);
+  EXPECT_EQ(rebuilt.latest(code_of({1, 1}))->session_id, 5u);
+}
+
+TEST(RecordStore, ConcurrentStoreAndReadIsRaceFree) {
+  RecordStore store;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&store, t] {
+      for (int i = 0; i < 25; ++i) {
+        store.store(code_of({static_cast<std::uint8_t>(t), 1}),
+                    {static_cast<std::uint64_t>(i), {0xEE}});
+        (void)store.record_count();
+        (void)store.snapshot();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(store.record_count(), 100u);
+  EXPECT_EQ(store.identifier_count(), 4u);
 }
 
 }  // namespace

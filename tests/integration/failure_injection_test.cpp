@@ -1,6 +1,8 @@
 // Failure injection across module boundaries: corrupted frames, truncated
 // envelopes, compression bombs of garbage, mismatched sessions — the
-// pipeline must fail loudly (exceptions), never silently decode garbage.
+// pipeline must fail loudly, never silently decode garbage. At the cloud
+// service boundary "loudly" means a structured kError envelope; inside a
+// module it means an exception.
 
 #include <gtest/gtest.h>
 
@@ -66,19 +68,25 @@ TEST(FailureInjection, GarbageUploadPayloadRejected) {
   auto server = cloud::CloudServer(cloud::AnalysisConfig{},
                                    auth::CytoAlphabet{},
                                    auth::ParticleClassifier::train({}));
+  server.provision_device(1, kMacKey);
   crypto::ChaChaRng rng(407);
   std::vector<std::uint8_t> junk(300);
   rng.fill(junk);
   const auto envelope = net::make_envelope(net::MessageType::kSignalUpload,
-                                           1, std::move(junk), kMacKey);
-  // MAC passes (attacker owns the junk) but deserialization must throw.
-  EXPECT_THROW(server.handle_upload(envelope, kMacKey), std::exception);
+                                           1, 1, std::move(junk), kMacKey);
+  // MAC passes (attacker owns the junk) but the decoder throw must be
+  // converted to a malformed error at the service boundary, never escape.
+  const auto response = server.handle(envelope);
+  ASSERT_EQ(response.type, net::MessageType::kError);
+  EXPECT_EQ(net::ErrorPayload::deserialize(response.payload).code,
+            net::ErrorCode::kMalformed);
 }
 
 TEST(FailureInjection, CompressedFlagOnUncompressedDataRejected) {
   auto server = cloud::CloudServer(cloud::AnalysisConfig{},
                                    auth::CytoAlphabet{},
                                    auth::ParticleClassifier::train({}));
+  server.provision_device(1, kMacKey);
   util::MultiChannelSeries series;
   series.carrier_frequencies_hz = {5.0e5};
   series.channels.emplace_back(450.0, std::vector<double>(100, 1.0));
@@ -86,8 +94,11 @@ TEST(FailureInjection, CompressedFlagOnUncompressedDataRejected) {
   payload.compressed = true;  // lie: data is raw
   payload.data = net::serialize_series(series);
   const auto envelope = net::make_envelope(net::MessageType::kSignalUpload,
-                                           1, payload.serialize(), kMacKey);
-  EXPECT_THROW(server.handle_upload(envelope, kMacKey), std::exception);
+                                           1, 1, payload.serialize(), kMacKey);
+  const auto response = server.handle(envelope);
+  ASSERT_EQ(response.type, net::MessageType::kError);
+  EXPECT_EQ(net::ErrorPayload::deserialize(response.payload).code,
+            net::ErrorCode::kMalformed);
 }
 
 TEST(FailureInjection, KeyScheduleDeserializeRejectsTruncation) {

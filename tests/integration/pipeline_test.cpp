@@ -46,6 +46,7 @@ TEST(Pipeline, EncryptedDiagnosisEndToEnd) {
                                    auth::CytoAlphabet{},
                                    auth::ParticleClassifier::train({}));
   phone::PhoneRelay relay;
+  server.provision_device(relay.config().device_id, kMacKey);
 
   const double duration = 60.0;
   (void)controller.begin_session(duration);
@@ -107,6 +108,7 @@ TEST(Pipeline, AuthenticationPassIdentifiesUser) {
       sample, controller.session_key_schedule_for_testing(), duration, 9);
 
   phone::PhoneRelay relay;
+  server.provision_device(relay.config().device_id, kMacKey);
   const double volume = controller.session_volume_ul();
   const auto response =
       relay.relay_auth(enc.signals, 2, volume, server, kMacKey, duration);
@@ -137,6 +139,7 @@ TEST(Pipeline, WrongBeadMixtureRejected) {
       blank, controller.session_key_schedule_for_testing(), 60.0, 10);
 
   phone::PhoneRelay relay;
+  server.provision_device(relay.config().device_id, kMacKey);
   const auto response = relay.relay_auth(
       enc.signals, 3, controller.session_volume_ul(), server, kMacKey,
       60.0);

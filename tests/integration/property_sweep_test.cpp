@@ -115,7 +115,7 @@ TEST(SerializationFuzz, TruncationsNeverCrash) {
   const std::vector<std::uint8_t> secret = {1, 2, 3};
   const auto package = core::escrow_key_schedule(schedule, secret, 5);
   const auto envelope = net::make_envelope(
-      net::MessageType::kSignalUpload, 7, {1, 2, 3, 4}, secret);
+      net::MessageType::kSignalUpload, 7, 1, {1, 2, 3, 4}, secret);
 
   struct Artifact {
     const char* name;

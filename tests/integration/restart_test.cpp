@@ -44,8 +44,10 @@ TEST(Restart, AuthenticationSurvivesServerRestart) {
     for (const auto& record : db.records())
       server.enrollments().enroll(record.user_id, record.code);
     const auto store = cloud::load_records(records_path);
-    for (const auto& [key, records] : store.entries())
+    store.visit([&](const std::string& key,
+                    const std::vector<cloud::StoredRecord>& records) {
       server.records().restore(key, records);
+    });
   }
   EXPECT_EQ(server.enrollments().lookup(code), "alice");
   EXPECT_EQ(server.records().latest(code)->session_id, 1u);
@@ -73,6 +75,7 @@ TEST(Restart, AuthenticationSurvivesServerRestart) {
 
   phone::PhoneRelay relay;
   const std::vector<std::uint8_t> mac_key = {0x33};
+  server.provision_device(relay.config().device_id, mac_key);
   const auto response =
       relay.relay_auth(enc.signals, 5, controller.session_volume_ul(),
                        server, mac_key, duration);

@@ -57,7 +57,7 @@ TEST(Threaded, FullProtocolOverMessageQueues) {
     payload.sample_rate_hz = 450.0;
     payload.data = net::serialize_series(enc.signals);
     const auto envelope = net::make_envelope(
-        net::MessageType::kSignalUpload, 7, payload.serialize(), kMacKey);
+        net::MessageType::kSignalUpload, 7, 1, payload.serialize(), kMacKey);
     sensor_phone.a_to_b.send(net::frame_encode(envelope.serialize()));
 
     const auto frame = sensor_phone.b_to_a.receive();
@@ -84,11 +84,12 @@ TEST(Threaded, FullProtocolOverMessageQueues) {
     auto server = cloud::CloudServer(cloud::AnalysisConfig{},
                                      auth::CytoAlphabet{},
                                      auth::ParticleClassifier::train({}));
+    server.provision_device(1, kMacKey);
     const auto frame = phone_cloud.a_to_b.receive();
     ASSERT_TRUE(frame.has_value());
     const auto request =
         net::Envelope::deserialize(net::frame_decode(*frame));
-    const auto response = server.handle_upload(request, kMacKey);
+    const auto response = server.handle(request);
     phone_cloud.b_to_a.send(net::frame_encode(response.serialize()));
   });
 
@@ -107,15 +108,19 @@ TEST(Threaded, PhoneCannotForgeWithoutKey) {
   auto server = cloud::CloudServer(cloud::AnalysisConfig{},
                                    auth::CytoAlphabet{},
                                    auth::ParticleClassifier::train({}));
+  server.provision_device(1, kMacKey);
   util::MultiChannelSeries series;
   series.carrier_frequencies_hz = {5.0e5};
   series.channels.emplace_back(450.0, std::vector<double>(1000, 1.0));
   net::SignalUploadPayload payload;
   payload.data = net::serialize_series(series);
-  auto envelope = net::make_envelope(net::MessageType::kSignalUpload, 1,
+  auto envelope = net::make_envelope(net::MessageType::kSignalUpload, 1, 1,
                                      payload.serialize(), kMacKey);
   envelope.payload[envelope.payload.size() / 2] ^= 0x01;  // phone tampers
-  EXPECT_THROW(server.handle_upload(envelope, kMacKey), std::runtime_error);
+  const auto response = server.handle(envelope);
+  ASSERT_EQ(response.type, net::MessageType::kError);
+  const auto error = net::ErrorPayload::deserialize(response.payload);
+  EXPECT_EQ(error.code, net::ErrorCode::kBadMac);
 }
 
 }  // namespace

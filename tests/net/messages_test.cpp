@@ -9,29 +9,38 @@ const std::vector<std::uint8_t> kKey = {1, 2, 3, 4, 5, 6, 7, 8};
 
 TEST(Messages, EnvelopeRoundTrip) {
   const auto envelope =
-      make_envelope(MessageType::kSignalUpload, 42, {9, 8, 7}, kKey);
+      make_envelope(MessageType::kSignalUpload, 42, 17, {9, 8, 7}, kKey);
   const auto restored = Envelope::deserialize(envelope.serialize());
   EXPECT_EQ(restored.type, MessageType::kSignalUpload);
   EXPECT_EQ(restored.session_id, 42u);
+  EXPECT_EQ(restored.device_id, 17u);
   EXPECT_EQ(restored.payload, (std::vector<std::uint8_t>{9, 8, 7}));
   EXPECT_TRUE(verify_envelope(restored, kKey));
 }
 
 TEST(Messages, TamperedPayloadFailsMac) {
-  auto envelope = make_envelope(MessageType::kSignalUpload, 1, {1, 2}, kKey);
+  auto envelope = make_envelope(MessageType::kSignalUpload, 1, 1, {1, 2}, kKey);
   envelope.payload[0] ^= 0xFF;
   EXPECT_FALSE(verify_envelope(envelope, kKey));
 }
 
 TEST(Messages, TamperedSessionIdFailsMac) {
-  auto envelope = make_envelope(MessageType::kSignalUpload, 1, {1, 2}, kKey);
+  auto envelope = make_envelope(MessageType::kSignalUpload, 1, 1, {1, 2}, kKey);
   envelope.session_id = 2;
+  EXPECT_FALSE(verify_envelope(envelope, kKey));
+}
+
+TEST(Messages, TamperedDeviceIdFailsMac) {
+  // The device_id binds the envelope to its tenant; a relay must not be
+  // able to re-attribute a request to another dongle.
+  auto envelope = make_envelope(MessageType::kSignalUpload, 1, 4, {1, 2}, kKey);
+  envelope.device_id = 5;
   EXPECT_FALSE(verify_envelope(envelope, kKey));
 }
 
 TEST(Messages, WrongKeyFailsMac) {
   const auto envelope =
-      make_envelope(MessageType::kSignalUpload, 1, {1, 2}, kKey);
+      make_envelope(MessageType::kSignalUpload, 1, 1, {1, 2}, kKey);
   const std::vector<std::uint8_t> other = {9, 9, 9};
   EXPECT_FALSE(verify_envelope(envelope, other));
 }
@@ -46,6 +55,40 @@ TEST(Messages, SignalUploadPayloadRoundTrip) {
   EXPECT_TRUE(restored.compressed);
   EXPECT_DOUBLE_EQ(restored.sample_rate_hz, 450.0);
   EXPECT_EQ(restored.data, payload.data);
+}
+
+TEST(Messages, AuthPassPayloadRoundTrip) {
+  AuthPassPayload pass;
+  pass.upload.compressed = true;
+  pass.upload.sample_rate_hz = 450.0;
+  pass.upload.data = {4, 5, 6};
+  pass.volume_ul = 0.75;
+  pass.duration_s = 420.0;
+  const auto restored = AuthPassPayload::deserialize(pass.serialize());
+  EXPECT_TRUE(restored.upload.compressed);
+  EXPECT_EQ(restored.upload.data, pass.upload.data);
+  EXPECT_DOUBLE_EQ(restored.volume_ul, 0.75);
+  EXPECT_DOUBLE_EQ(restored.duration_s, 420.0);
+}
+
+TEST(Messages, ErrorPayloadRoundTrip) {
+  ErrorPayload error;
+  error.code = ErrorCode::kQualityRejected;
+  error.subcode = 3;
+  error.detail = "acquisition rejected (saturated)";
+  const auto restored = ErrorPayload::deserialize(error.serialize());
+  EXPECT_EQ(restored.code, ErrorCode::kQualityRejected);
+  EXPECT_EQ(restored.subcode, 3u);
+  EXPECT_EQ(restored.detail, "acquisition rejected (saturated)");
+}
+
+TEST(Messages, ErrorCodeNames) {
+  EXPECT_STREQ(to_string(ErrorCode::kBadMac), "bad MAC");
+  EXPECT_STREQ(to_string(ErrorCode::kQualityRejected), "quality rejected");
+  EXPECT_STREQ(to_string(ErrorCode::kUnknownDevice), "unknown device");
+  EXPECT_STREQ(to_string(ErrorCode::kOverloaded), "overloaded");
+  EXPECT_STREQ(to_string(ErrorCode::kMalformed), "malformed request");
+  EXPECT_STREQ(to_string(ErrorCode::kSessionConflict), "session conflict");
 }
 
 TEST(Messages, SeriesRoundTrip) {
@@ -77,7 +120,7 @@ TEST(Messages, AuthDecisionRoundTrip) {
 
 TEST(Messages, EnvelopeTrailingBytesRejected) {
   const auto envelope =
-      make_envelope(MessageType::kSignalUpload, 7, {1, 2, 3}, kKey);
+      make_envelope(MessageType::kSignalUpload, 7, 1, {1, 2, 3}, kKey);
   auto bytes = envelope.serialize();
   bytes.push_back(0xAB);  // garbage after the MAC
   EXPECT_THROW(Envelope::deserialize(bytes), std::runtime_error);
@@ -87,7 +130,7 @@ TEST(Messages, EnvelopeTrailingBytesRejected) {
 
 TEST(Messages, TruncatedEnvelopeThrows) {
   const auto envelope =
-      make_envelope(MessageType::kSignalUpload, 1, {1, 2, 3}, kKey);
+      make_envelope(MessageType::kSignalUpload, 1, 1, {1, 2, 3}, kKey);
   const auto bytes = envelope.serialize();
   const std::span<const std::uint8_t> cut(bytes.data(), bytes.size() - 10);
   EXPECT_THROW(Envelope::deserialize(cut), std::runtime_error);

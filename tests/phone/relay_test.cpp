@@ -37,6 +37,7 @@ cloud::CloudServer make_server() {
 
 TEST(PhoneRelay, RelaysAndReturnsReport) {
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   PhoneRelay relay;
   const auto response =
       relay.relay_analysis(dip_series(3), 11, server, kMacKey);
@@ -47,6 +48,7 @@ TEST(PhoneRelay, RelaysAndReturnsReport) {
 
 TEST(PhoneRelay, TimingBreakdownPopulated) {
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   PhoneRelay relay;
   (void)relay.relay_analysis(dip_series(2), 1, server, kMacKey);
   const RelayTiming& timing = relay.timing();
@@ -62,6 +64,7 @@ TEST(PhoneRelay, TimingBreakdownPopulated) {
 
 TEST(PhoneRelay, CompressionShrinksUpload) {
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   RelayConfig with;
   with.compress_uploads = true;
   RelayConfig without;
@@ -75,6 +78,7 @@ TEST(PhoneRelay, CompressionShrinksUpload) {
 
 TEST(PhoneRelay, SmallUploadSkipsCompression) {
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   PhoneRelay relay;
   (void)relay.relay_analysis(dip_series(0, 100), 1, server, kMacKey);
   EXPECT_DOUBLE_EQ(relay.timing().compression_s, 0.0);
@@ -82,6 +86,7 @@ TEST(PhoneRelay, SmallUploadSkipsCompression) {
 
 TEST(PhoneRelay, ProgressEventsEmitted) {
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   PhoneRelay relay;
   std::vector<std::string> events;
   relay.set_progress_callback(
@@ -103,6 +108,7 @@ TEST(PhoneRelay, LocalAnalysisScaledByProfile) {
 
 TEST(PhoneRelay, CsvFormatRoundTrips) {
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   RelayConfig config;
   config.csv_format = true;
   PhoneRelay relay(config);
@@ -114,6 +120,7 @@ TEST(PhoneRelay, CsvFormatRoundTrips) {
 
 TEST(PhoneRelay, CsvUploadLargerThanBinary) {
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   RelayConfig csv;
   csv.csv_format = true;
   csv.compress_uploads = false;
@@ -128,6 +135,7 @@ TEST(PhoneRelay, CsvUploadLargerThanBinary) {
 
 TEST(PhoneRelay, CompressedCsvRoundTrips) {
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   RelayConfig config;
   config.csv_format = true;
   config.compress_uploads = true;
@@ -157,11 +165,13 @@ TEST(PhoneRelay, LossyLinkRoundTripBitIdenticalToLossless) {
   const auto series = dip_series(3);
 
   auto lossless_server = make_server();
+  lossless_server.provision_device(RelayConfig{}.device_id, kMacKey);
   PhoneRelay lossless;
   const auto clean =
       lossless.relay_analysis(series, 31, lossless_server, kMacKey);
 
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   PhoneRelay relay(lossy_config(0.10));
   const auto response = relay.relay_analysis(series, 31, server, kMacKey);
 
@@ -179,6 +189,7 @@ TEST(PhoneRelay, LossyLinkRoundTripBitIdenticalToLossless) {
 
 TEST(PhoneRelay, RetryBudgetExhaustionFallsBackToLocalAnalysis) {
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   auto config = lossy_config(1.0);  // black hole
   config.reliable.retry_budget = 4;
   PhoneRelay relay(config);
@@ -206,6 +217,7 @@ TEST(PhoneRelay, RetryBudgetExhaustionFallsBackToLocalAnalysis) {
 
 TEST(PhoneRelay, LossyAuthThrowsWhenBudgetExhausted) {
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   auto config = lossy_config(1.0);
   config.reliable.retry_budget = 2;
   PhoneRelay relay(config);
@@ -215,6 +227,7 @@ TEST(PhoneRelay, LossyAuthThrowsWhenBudgetExhausted) {
 
 TEST(PhoneRelay, AuthProgressReportsDownload) {
   auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
   PhoneRelay relay;
   std::vector<std::string> events;
   relay.set_progress_callback(
@@ -225,6 +238,35 @@ TEST(PhoneRelay, AuthProgressReportsDownload) {
     download_reported |= e == "downloading auth decision";
   EXPECT_TRUE(download_reported);
   EXPECT_EQ(events.back(), "authentication complete");
+}
+
+TEST(PhoneRelay, QualityRejectionArrivesAsStructuredError) {
+  auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
+  // A clipped acquisition: the relay still completes the round trip, and
+  // the client can read the machine-readable reason from the envelope.
+  util::MultiChannelSeries series;
+  series.carrier_frequencies_hz = {5.0e5};
+  series.channels.emplace_back(450.0, std::vector<double>(5000, 2.5));
+  PhoneRelay relay;
+  const auto response = relay.relay_analysis(series, 41, server, kMacKey);
+  EXPECT_EQ(response.type, net::MessageType::kError);
+  const auto error = net::ErrorPayload::deserialize(response.payload);
+  EXPECT_EQ(error.code, net::ErrorCode::kQualityRejected);
+  EXPECT_EQ(error.subcode,
+            static_cast<std::uint8_t>(cloud::QualityReason::kSaturated));
+}
+
+TEST(PhoneRelay, UnprovisionedDeviceArrivesAsError) {
+  auto server = make_server();
+  server.provision_device(RelayConfig{}.device_id, kMacKey);
+  RelayConfig config;
+  config.device_id = 99;  // never provisioned
+  PhoneRelay relay(config);
+  const auto response = relay.relay_analysis(dip_series(1), 1, server, kMacKey);
+  EXPECT_EQ(response.type, net::MessageType::kError);
+  const auto error = net::ErrorPayload::deserialize(response.payload);
+  EXPECT_EQ(error.code, net::ErrorCode::kUnknownDevice);
 }
 
 TEST(PhoneRelay, Profiles) {
