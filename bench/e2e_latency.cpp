@@ -83,19 +83,19 @@ int main() {
   const auto enc = encryptor.acquire(
       sample, controller.session_key_schedule_for_testing(), duration, 900);
   for (const double drop_pct : {0.0, 2.0, 5.0, 10.0, 20.0, 100.0}) {
-    phone::RelayConfig config;
-    config.reliable_transport = true;
-    config.uplink_faults.drop_rate = drop_pct / 100.0;
-    config.uplink_faults.corrupt_rate = 0.02;
-    config.uplink_faults.duplicate_rate = 0.01;
-    config.uplink_faults.reorder_rate = 0.01;
-    config.uplink_faults.seed = 31 + static_cast<std::uint64_t>(drop_pct);
-    config.downlink_faults = config.uplink_faults;
-    config.downlink_faults.seed += 1000;
-    config.reliable.chunk_bytes = 4096;
-    config.reliable.retry_budget = drop_pct >= 100.0 ? 8 : 500;
+    phone::RelayConfig relay_config;
+    relay_config.reliable_transport = true;
+    relay_config.uplink_faults.drop_rate = drop_pct / 100.0;
+    relay_config.uplink_faults.corrupt_rate = 0.02;
+    relay_config.uplink_faults.duplicate_rate = 0.01;
+    relay_config.uplink_faults.reorder_rate = 0.01;
+    relay_config.uplink_faults.seed = 31 + static_cast<std::uint64_t>(drop_pct);
+    relay_config.downlink_faults = relay_config.uplink_faults;
+    relay_config.downlink_faults.seed += 1000;
+    relay_config.reliable.chunk_bytes = 4096;
+    relay_config.reliable.retry_budget = drop_pct >= 100.0 ? 8 : 500;
 
-    phone::PhoneRelay lossy(config);
+    phone::PhoneRelay lossy(relay_config);
     const auto session =
         1000 + static_cast<std::uint64_t>(drop_pct * 10.0);
     const auto response =

@@ -6,6 +6,14 @@
 
 namespace medsen::auth {
 
+std::vector<sim::ParticleType> default_bead_types() {
+  std::vector<sim::ParticleType> types;
+  types.reserve(2);
+  types.push_back(sim::ParticleType::kBead358);
+  types.push_back(sim::ParticleType::kBead780);
+  return types;
+}
+
 std::uint64_t CytoAlphabet::space_size() const {
   std::uint64_t size = 1;
   for (std::size_t i = 0; i < characters(); ++i) size *= levels();

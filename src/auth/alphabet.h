@@ -13,11 +13,15 @@
 
 namespace medsen::auth {
 
+/// The paper's two-bead default character set, out of line because a
+/// brace-init default member of a byte-sized enum vector trips GCC 12's
+/// -Wmaybe-uninitialized false positive in every including TU at -O2.
+[[nodiscard]] std::vector<sim::ParticleType> default_bead_types();
+
 struct CytoAlphabet {
   /// Bead types usable as password characters (blood cells are never part
   /// of a password; they are the diagnostic payload).
-  std::vector<sim::ParticleType> bead_types = {sim::ParticleType::kBead358,
-                                               sim::ParticleType::kBead780};
+  std::vector<sim::ParticleType> bead_types = default_bead_types();
   /// Quantized concentration levels (beads/uL). Level 0 conventionally
   /// means "type absent". The paper observes lower concentrations have
   /// less variance, so levels are denser at the low end.

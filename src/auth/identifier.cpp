@@ -119,9 +119,10 @@ std::vector<std::uint8_t> serialize_code(const CytoCode& code) {
 CytoCode deserialize_code(std::span<const std::uint8_t> bytes) {
   util::ByteReader in(bytes);
   CytoCode code;
-  const std::uint32_t n = in.u32();
+  const std::uint32_t n = in.count_u32(1);
   code.levels.resize(n);
   for (auto& level : code.levels) level = in.u8();
+  in.expect_done("CytoCode");
   return code;
 }
 

@@ -1,5 +1,6 @@
 #include "compress/codec.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <stdexcept>
@@ -137,9 +138,16 @@ std::vector<std::uint8_t> decompress_impl(
   const HuffmanDecoder lit_dec(lit_lengths);
   const HuffmanDecoder dist_dec(dist_lengths);
 
+  // `original_size` comes off the wire: reserve only what a genuine
+  // stream could produce (the compressed body bounds it) so a tiny
+  // corrupt header cannot demand a multi-gigabyte allocation up front.
+  constexpr std::size_t kMaxUpfrontReserve = std::size_t{1} << 20;
   std::vector<std::uint8_t> out;
-  out.reserve(original_size);
+  out.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(original_size, kMaxUpfrontReserve)));
   for (;;) {
+    if (out.size() > original_size)
+      throw std::runtime_error("decompress: size mismatch");
     const std::uint16_t sym = lit_dec.decode(bits);
     if (sym == kEndOfBlock) break;
     if (sym < 256) {
@@ -163,6 +171,11 @@ std::vector<std::uint8_t> decompress_impl(
     throw std::runtime_error("decompress: size mismatch");
   if (crc32(out) != expected_crc)
     throw std::runtime_error("decompress: CRC mismatch");
+  // Strictness: the container must end where the bit stream ends (plus
+  // byte-boundary padding) — appended garbage is rejected, not ignored.
+  const std::size_t stream_bytes = (bits.bits_consumed() + 7) / 8;
+  if (packed.size() - 16 > stream_bytes)
+    throw std::runtime_error("decompress: trailing bytes");
   return out;
 }
 

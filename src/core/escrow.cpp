@@ -45,6 +45,7 @@ EscrowPackage EscrowPackage::deserialize(
   for (auto& b : package.nonce) b = in.u8();
   package.ciphertext = in.blob();
   for (auto& b : package.mac) b = in.u8();
+  in.expect_done("EscrowPackage");
   return package;
 }
 

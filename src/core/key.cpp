@@ -194,19 +194,22 @@ KeySchedule KeySchedule::deserialize(std::span<const std::uint8_t> bytes) {
   params.period_s = in.f64();
   params.min_active_electrodes = in.u32();
   params.avoid_successive_electrodes = in.u8() != 0;
-  const std::uint32_t count = in.u32();
+  // Minimum wire size per key: t_start (8) + electrodes (4) + gain
+  // count (4) + flow code (1); per gain code: one byte.
+  const std::uint32_t count = in.count_u32(17);
   std::vector<TimedKey> keys;
   keys.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     TimedKey tk;
     tk.t_start_s = in.f64();
     tk.key.electrodes = in.u32();
-    const std::uint32_t gains = in.u32();
+    const std::uint32_t gains = in.count_u32(1);
     tk.key.gain_codes.resize(gains);
     for (auto& code : tk.key.gain_codes) code = in.u8();
     tk.key.flow_code = in.u8();
     keys.push_back(std::move(tk));
   }
+  in.expect_done("KeySchedule");
   return KeySchedule(params, std::move(keys));
 }
 

@@ -40,12 +40,15 @@ std::vector<std::uint8_t> PeakReport::serialize() const {
 PeakReport PeakReport::deserialize(std::span<const std::uint8_t> bytes) {
   util::ByteReader in(bytes);
   PeakReport report;
-  const std::uint32_t nch = in.u32();
+  // Minimum wire size per channel: carrier (8) + peak count (4); per
+  // peak: three f64 fields + u64 index (32). count_u32 rejects counts
+  // the buffer cannot hold before the reserve below can allocate.
+  const std::uint32_t nch = in.count_u32(12);
   report.channels.reserve(nch);
   for (std::uint32_t c = 0; c < nch; ++c) {
     ChannelPeaks ch;
     ch.carrier_hz = in.f64();
-    const std::uint32_t np = in.u32();
+    const std::uint32_t np = in.count_u32(32);
     ch.peaks.reserve(np);
     for (std::uint32_t i = 0; i < np; ++i) {
       dsp::Peak p;
@@ -57,6 +60,7 @@ PeakReport PeakReport::deserialize(std::span<const std::uint8_t> bytes) {
     }
     report.channels.push_back(std::move(ch));
   }
+  in.expect_done("PeakReport");
   return report;
 }
 

@@ -12,7 +12,10 @@ Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
   if (key.size() > kBlock) {
     const auto digest = sha256(key);
     std::memcpy(k.data(), digest.data(), digest.size());
-  } else {
+  } else if (!key.empty()) {
+    // An empty span carries a null data() pointer, and memcpy's
+    // arguments must never be null even for zero sizes — the empty key
+    // (used to sign unknown-device errors) hits that edge.
     std::memcpy(k.data(), key.data(), key.size());
   }
 

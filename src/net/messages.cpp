@@ -85,6 +85,7 @@ SignalUploadPayload SignalUploadPayload::deserialize(
   p.format = static_cast<UploadFormat>(in.u8());
   p.sample_rate_hz = in.f64();
   p.data = in.blob();
+  in.expect_done("SignalUploadPayload");
   return p;
 }
 
@@ -102,7 +103,9 @@ AuthPassPayload AuthPassPayload::deserialize(
   AuthPassPayload p;
   p.volume_ul = in.f64();
   p.duration_s = in.f64();
-  p.upload = SignalUploadPayload::deserialize(in.blob());
+  const auto upload_bytes = in.blob();
+  in.expect_done("AuthPassPayload");
+  p.upload = SignalUploadPayload::deserialize(upload_bytes);
   return p;
 }
 
@@ -124,13 +127,15 @@ util::MultiChannelSeries deserialize_series(
     std::span<const std::uint8_t> bytes) {
   util::ByteReader in(bytes);
   util::MultiChannelSeries series;
-  const std::uint32_t n = in.u32();
+  // Each channel needs at least carrier + rate + start + count.
+  const std::uint32_t n = in.count_u32(3 * sizeof(double) + 4);
   for (std::uint32_t i = 0; i < n; ++i) {
     series.carrier_frequencies_hz.push_back(in.f64());
     const double rate = in.f64();
     const double start = in.f64();
     series.channels.emplace_back(rate, in.f64_vec(), start);
   }
+  in.expect_done("deserialize_series");
   return series;
 }
 
@@ -149,6 +154,7 @@ AuthDecisionPayload AuthDecisionPayload::deserialize(
   p.authenticated = in.u8() != 0;
   p.user_id = in.str();
   p.distance = in.f64();
+  in.expect_done("AuthDecisionPayload");
   return p;
 }
 
@@ -178,6 +184,7 @@ ErrorPayload ErrorPayload::deserialize(std::span<const std::uint8_t> bytes) {
   p.code = static_cast<ErrorCode>(in.u8());
   p.subcode = in.u8();
   p.detail = in.str();
+  in.expect_done("ErrorPayload");
   return p;
 }
 

@@ -97,11 +97,24 @@ std::string ByteReader::str() {
 }
 
 std::vector<double> ByteReader::f64_vec() {
-  const std::uint32_t n = u32();
+  const std::uint32_t n = count_u32(sizeof(double));
   std::vector<double> out;
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.push_back(f64());
   return out;
+}
+
+std::uint32_t ByteReader::count_u32(std::size_t min_elem_bytes) {
+  const std::uint32_t n = u32();
+  if (min_elem_bytes > 0 &&
+      static_cast<std::uint64_t>(n) * min_elem_bytes > remaining())
+    throw std::out_of_range("ByteReader: element count exceeds buffer");
+  return n;
+}
+
+void ByteReader::expect_done(const char* what) const {
+  if (!done())
+    throw std::runtime_error(std::string(what) + ": trailing bytes");
 }
 
 }  // namespace medsen::util

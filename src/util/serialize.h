@@ -53,6 +53,17 @@ class ByteReader {
   std::string str();
   std::vector<double> f64_vec();
 
+  /// Reads a u32 element count and validates it against the bytes left:
+  /// each element needs at least `min_elem_bytes`, so a count the buffer
+  /// cannot possibly satisfy is rejected *before* any allocation — a
+  /// 20-byte frame must not be able to demand a multi-gigabyte reserve.
+  std::uint32_t count_u32(std::size_t min_elem_bytes);
+
+  /// Throws std::runtime_error("<what>: trailing bytes") unless the
+  /// buffer is fully consumed. Strict decoders call this last so that
+  /// appended garbage is rejected instead of silently ignored.
+  void expect_done(const char* what) const;
+
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool done() const { return pos_ == data_.size(); }
 

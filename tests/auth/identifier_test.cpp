@@ -114,5 +114,20 @@ TEST(Identifier, SerializationRoundTrip) {
   EXPECT_EQ(restored, code);
 }
 
+TEST(Identifier, TrailingBytesRejected) {
+  CytoCode code;
+  code.levels = {0, 3, 1, 4};
+  auto bytes = serialize_code(code);
+  bytes.push_back(0x09);
+  EXPECT_THROW(deserialize_code(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(deserialize_code(bytes));
+}
+
+TEST(Identifier, HostileLevelCountRejectedBeforeAllocation) {
+  const std::vector<std::uint8_t> bytes = {0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_THROW(deserialize_code(bytes), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace medsen::auth

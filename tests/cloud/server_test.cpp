@@ -168,6 +168,65 @@ TEST(CloudServer, UndecodablePayloadGetsMalformedError) {
   expect_error(server.handle(envelope), net::ErrorCode::kMalformed);
 }
 
+TEST(CloudServer, TruncatedPayloadGetsMalformedError) {
+  auto server = make_server();
+  server.provision_device(kDevice, kMacKey);
+  net::SignalUploadPayload payload;
+  payload.data = net::serialize_series(dip_series(1));
+  auto bytes = payload.serialize();
+  bytes.resize(bytes.size() / 2);  // cut mid-payload, then re-MAC
+  const auto envelope = net::make_envelope(net::MessageType::kSignalUpload, 3,
+                                           kDevice, std::move(bytes), kMacKey);
+  expect_error(server.handle(envelope), net::ErrorCode::kMalformed);
+}
+
+TEST(CloudServer, TrailingPayloadBytesGetMalformedError) {
+  auto server = make_server();
+  server.provision_device(kDevice, kMacKey);
+  net::SignalUploadPayload payload;
+  payload.data = net::serialize_series(dip_series(1));
+  auto bytes = payload.serialize();
+  bytes.push_back(0x00);  // strict decoders refuse appended garbage
+  const auto envelope = net::make_envelope(net::MessageType::kSignalUpload, 4,
+                                           kDevice, std::move(bytes), kMacKey);
+  expect_error(server.handle(envelope), net::ErrorCode::kMalformed);
+}
+
+TEST(CloudServer, BitFlippedPayloadNeverEscapesAsException) {
+  // Re-MAC a bit-flipped payload (a hostile relay could do the same with
+  // a stolen key): whatever the decoder makes of it, the service
+  // boundary must answer with an envelope, not throw.
+  auto server = make_server();
+  server.provision_device(kDevice, kMacKey);
+  net::SignalUploadPayload payload;
+  payload.sample_rate_hz = 450.0;
+  payload.data = net::serialize_series(dip_series(1));
+  const auto bytes = payload.serialize();
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    auto corrupted = bytes;
+    corrupted[(bit * 131) % corrupted.size()] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto envelope =
+        net::make_envelope(net::MessageType::kSignalUpload, 100 + bit,
+                           kDevice, std::move(corrupted), kMacKey);
+    net::Envelope response;
+    EXPECT_NO_THROW(response = server.handle(envelope)) << "bit " << bit;
+  }
+}
+
+TEST(CloudServer, HostileSeriesCountGetsMalformedError) {
+  // A payload declaring 2^32-1 channels must be shot down by the decoder
+  // bounds check and surface as kMalformed — not as an OOM.
+  auto server = make_server();
+  server.provision_device(kDevice, kMacKey);
+  net::SignalUploadPayload payload;
+  payload.data = {0xFF, 0xFF, 0xFF, 0xFF};
+  const auto envelope =
+      net::make_envelope(net::MessageType::kSignalUpload, 6, kDevice,
+                         payload.serialize(), kMacKey);
+  expect_error(server.handle(envelope), net::ErrorCode::kMalformed);
+}
+
 TEST(CloudServer, CompressedUploadAccepted) {
   auto server = make_server();
   server.provision_device(kDevice, kMacKey);

@@ -102,5 +102,38 @@ INSTANTIATE_TEST_SUITE_P(Sizes, CodecSizeSweep,
                          ::testing::Values(1, 2, 3, 15, 16, 17, 255, 256,
                                            1000, 65536));
 
+TEST(Codec, TrailingBytesRejected) {
+  auto packed = compress_string("strict containers end where they end");
+  packed.push_back(0x00);
+  EXPECT_THROW(decompress(packed), std::runtime_error);
+  packed.pop_back();
+  EXPECT_NO_THROW(decompress(packed));
+}
+
+TEST(Codec, HostileOriginalSizeDoesNotPreallocate) {
+  // Corrupt the header's original-size field to 2^60: the decoder must
+  // fail with size/CRC mismatch, not attempt an exabyte reserve().
+  auto packed = compress_string("header fields are attacker-controlled");
+  for (std::size_t i = 4; i < 12; ++i) packed[i] = 0xFF;
+  EXPECT_THROW(decompress(packed), std::runtime_error);
+}
+
+TEST(Codec, BitFlipSweepNeverCrashes) {
+  // Any single-bit corruption anywhere in the container must surface as
+  // the structured corruption error, never UB or a crash.
+  const auto packed = compress_string("bit flip sweep over the container");
+  for (std::size_t bit = 0; bit < packed.size() * 8; ++bit) {
+    auto corrupted = packed;
+    corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    try {
+      const auto out = decompress(corrupted);
+      // A flip that survives CRC+size checks must decode identically.
+      EXPECT_EQ(out.size(), std::string("bit flip sweep over the container")
+                                .size());
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
 }  // namespace
 }  // namespace medsen::compress

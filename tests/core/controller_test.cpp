@@ -31,8 +31,8 @@ TEST(Controller, BeginSessionReturnsControlTrace) {
 TEST(Controller, OperationsBeforeSessionThrow) {
   auto controller = make_controller();
   EXPECT_FALSE(controller.session_active());
-  EXPECT_THROW(controller.session_volume_ul(), std::logic_error);
-  EXPECT_THROW(controller.session_key_bits(), std::logic_error);
+  EXPECT_THROW((void)controller.session_volume_ul(), std::logic_error);
+  EXPECT_THROW((void)controller.session_key_bits(), std::logic_error);
   EXPECT_THROW(controller.decrypt(PeakReport{}), std::logic_error);
 }
 

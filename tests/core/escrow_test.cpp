@@ -69,6 +69,22 @@ TEST(Escrow, SerializationRoundTrip) {
   EXPECT_NO_THROW((void)recover_key_schedule(restored, secret()));
 }
 
+TEST(Escrow, TrailingBytesRejected) {
+  const auto package = escrow_key_schedule(sample_schedule(), secret(), 6);
+  auto bytes = package.serialize();
+  bytes.push_back(0x01);
+  EXPECT_THROW(EscrowPackage::deserialize(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(EscrowPackage::deserialize(bytes));
+}
+
+TEST(Escrow, TruncatedDeserializationThrows) {
+  const auto package = escrow_key_schedule(sample_schedule(), secret(), 6);
+  const auto bytes = package.serialize();
+  const std::span<const std::uint8_t> cut(bytes.data(), bytes.size() - 1);
+  EXPECT_THROW(EscrowPackage::deserialize(cut), std::out_of_range);
+}
+
 TEST(Escrow, PractitionerDecodesStoredReport) {
   // Full practitioner flow: the controller escrows the session key; the
   // practitioner later unwraps it and decodes the cloud's stored report.

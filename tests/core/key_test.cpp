@@ -110,6 +110,38 @@ TEST(KeySchedule, SerializationRoundTrip) {
   EXPECT_EQ(restored.params().avoid_successive_electrodes, true);
 }
 
+TEST(KeySchedule, TrailingBytesRejected) {
+  crypto::ChaChaRng rng(7);
+  const auto schedule =
+      KeySchedule::generate(nine_electrode_params(), 4.0, rng);
+  auto bytes = schedule.serialize();
+  bytes.push_back(0x55);
+  EXPECT_THROW(KeySchedule::deserialize(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(KeySchedule::deserialize(bytes));
+}
+
+TEST(KeySchedule, TruncatedDeserializationThrows) {
+  crypto::ChaChaRng rng(7);
+  const auto schedule =
+      KeySchedule::generate(nine_electrode_params(), 4.0, rng);
+  const auto bytes = schedule.serialize();
+  const std::span<const std::uint8_t> cut(bytes.data(), bytes.size() - 3);
+  EXPECT_THROW(KeySchedule::deserialize(cut), std::out_of_range);
+}
+
+TEST(KeySchedule, HostileKeyCountRejectedBeforeAllocation) {
+  crypto::ChaChaRng rng(7);
+  const auto schedule =
+      KeySchedule::generate(nine_electrode_params(), 4.0, rng);
+  auto bytes = schedule.serialize();
+  // The key count lives right after the 51-byte params block; claim
+  // 2^32-1 keys and drop the body.
+  bytes.resize(55);
+  bytes[51] = bytes[52] = bytes[53] = bytes[54] = 0xFF;
+  EXPECT_THROW(KeySchedule::deserialize(bytes), std::out_of_range);
+}
+
 TEST(KeySchedule, SizeBitsFormula) {
   KeyParams p = nine_electrode_params();  // 9 + 9*4 + 4 = 49 bits/key
   p.period_s = 1.0;

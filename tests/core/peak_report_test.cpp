@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/serialize.h"
+
 namespace medsen::core {
 namespace {
 
@@ -31,7 +33,7 @@ TEST(PeakReport, ReferencePeakCount) {
 
 TEST(PeakReport, EmptyReportThrows) {
   const PeakReport report;
-  EXPECT_THROW(report.nearest_channel(5.0e5), std::logic_error);
+  EXPECT_THROW((void)report.nearest_channel(5.0e5), std::logic_error);
 }
 
 TEST(PeakReport, SerializationRoundTrip) {
@@ -56,6 +58,29 @@ TEST(PeakReport, TruncatedDeserializationThrows) {
   const auto bytes = sample_report().serialize();
   const std::span<const std::uint8_t> cut(bytes.data(), bytes.size() / 2);
   EXPECT_THROW(PeakReport::deserialize(cut), std::out_of_range);
+}
+
+TEST(PeakReport, TrailingBytesRejected) {
+  auto bytes = sample_report().serialize();
+  bytes.push_back(0x7F);
+  EXPECT_THROW(PeakReport::deserialize(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(PeakReport::deserialize(bytes));
+}
+
+TEST(PeakReport, HostileChannelCountRejectedBeforeAllocation) {
+  // Four bytes claiming 2^32-1 channels: count_u32 must reject the count
+  // against the (empty) remainder instead of reserving gigabytes.
+  const std::vector<std::uint8_t> bytes = {0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_THROW(PeakReport::deserialize(bytes), std::out_of_range);
+}
+
+TEST(PeakReport, HostilePeakCountRejectedBeforeAllocation) {
+  util::ByteWriter w;
+  w.u32(1);           // one channel
+  w.f64(5.0e5);       // carrier
+  w.u32(0x40000000);  // 2^30 peaks with no bytes behind them
+  EXPECT_THROW(PeakReport::deserialize(w.data()), std::out_of_range);
 }
 
 }  // namespace

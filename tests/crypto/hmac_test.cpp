@@ -45,6 +45,23 @@ TEST(Hmac, Rfc4231Case6LongKey) {
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
+// Empty key, empty data — the well-known HMAC-SHA256 vector. The cloud
+// signs unknown-device error envelopes with an empty key, and an empty
+// std::span has a null data() pointer, which once hit memcpy UB inside
+// hmac_sha256; this pins the output so the guard can't regress.
+TEST(Hmac, EmptyKeyEmptyDataPinned) {
+  const auto mac = hmac_sha256({}, {});
+  EXPECT_EQ(to_hex(mac),
+            "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+}
+
+TEST(Hmac, EmptyKeyMatchesZeroLengthKey) {
+  const std::vector<std::uint8_t> no_bytes;
+  const auto from_empty_span = hmac_sha256({}, as_bytes("payload"));
+  const auto from_empty_vec = hmac_sha256(no_bytes, as_bytes("payload"));
+  EXPECT_TRUE(digest_equal(from_empty_span, from_empty_vec));
+}
+
 TEST(Hmac, DifferentKeysDifferentMacs) {
   const std::vector<std::uint8_t> k1(16, 1), k2(16, 2);
   const auto m1 = hmac_sha256(k1, as_bytes("payload"));

@@ -1,0 +1,73 @@
+// Fuzz target: net::Envelope::deserialize, plus the per-type payload
+// decoders an accepted envelope routes to — the exact code path a
+// hostile relay reaches at the CloudServer boundary.
+//
+// Properties checked on accepted inputs:
+//   * serialize(deserialize(x)) == x  (strict decoding is a bijection
+//     between accepted byte strings and envelopes)
+//   * the payload decoder for the envelope's type either succeeds or
+//     throws one of the two structured rejection types
+
+#include "fuzz_target.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <stdexcept>
+
+#include "net/messages.h"
+
+namespace {
+
+void try_payload(const medsen::net::Envelope& envelope) {
+  using medsen::net::MessageType;
+  const std::span<const std::uint8_t> payload(envelope.payload);
+  switch (envelope.type) {
+    case MessageType::kSignalUpload:
+      (void)medsen::net::SignalUploadPayload::deserialize(payload);
+      break;
+    case MessageType::kAnalysisResult:
+      // PeakReport decoding has its own target; the envelope target
+      // stops at the envelope layer for this type.
+      break;
+    case MessageType::kAuthDecision:
+      (void)medsen::net::AuthDecisionPayload::deserialize(payload);
+      break;
+    case MessageType::kError:
+      (void)medsen::net::ErrorPayload::deserialize(payload);
+      break;
+    case MessageType::kAuthPass:
+      (void)medsen::net::AuthPassPayload::deserialize(payload);
+      break;
+    case MessageType::kProgress:
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> input(data, size);
+  medsen::net::Envelope envelope;
+  try {
+    envelope = medsen::net::Envelope::deserialize(input);
+  } catch (const std::out_of_range&) {
+    return 0;  // truncated
+  } catch (const std::runtime_error&) {
+    return 0;  // strictness rejection
+  }
+
+  const auto round_trip = envelope.serialize();
+  if (round_trip.size() != size ||
+      !std::equal(round_trip.begin(), round_trip.end(), data))
+    std::abort();  // accepted input failed to round-trip bit-identically
+
+  try {
+    try_payload(envelope);
+  } catch (const std::out_of_range&) {
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fuzz target: net::frame_decode — the outermost parser every byte
+// from the transport hits first.
+//
+// Property checked on accepted inputs: frame_encode(frame_decode(x))
+// reproduces x exactly (the frame format has a single canonical
+// encoding per payload).
+
+#include "fuzz_target.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <stdexcept>
+
+#include "net/frame.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> input(data, size);
+  std::vector<std::uint8_t> payload;
+  try {
+    payload = medsen::net::frame_decode(input);
+  } catch (const std::out_of_range&) {
+    return 0;
+  } catch (const std::runtime_error&) {
+    return 0;
+  }
+  const auto re_encoded = medsen::net::frame_encode(payload);
+  if (re_encoded.size() != size ||
+      !std::equal(re_encoded.begin(), re_encoded.end(), data))
+    std::abort();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fuzz target: core::PeakReport::deserialize — the analysis result the
+// sensor decodes from the untrusted cloud, so the decoder runs inside
+// the device TCB and must be unconditionally safe on hostile bytes.
+//
+// Property checked on accepted inputs: serialize(deserialize(x)) == x
+// bit-for-bit (doubles travel as IEEE-754 bit patterns, so even NaN
+// payloads must round-trip).
+
+#include "fuzz_target.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <stdexcept>
+
+#include "core/peak_report.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> input(data, size);
+  medsen::core::PeakReport report;
+  try {
+    report = medsen::core::PeakReport::deserialize(input);
+  } catch (const std::out_of_range&) {
+    return 0;
+  } catch (const std::runtime_error&) {
+    return 0;
+  }
+  const auto round_trip = report.serialize();
+  if (round_trip.size() != size ||
+      !std::equal(round_trip.begin(), round_trip.end(), data))
+    std::abort();
+  return 0;
+}

@@ -1,0 +1,21 @@
+#pragma once
+// Common entry-point contract for the MedSen fuzz harnesses.
+//
+// Every target defines LLVMFuzzerTestOneInput (the libFuzzer ABI). With
+// clang the CMake config links -fsanitize=fuzzer and libFuzzer drives
+// the loop; elsewhere (the CI default toolchain is gcc, which ships no
+// libFuzzer) the target links standalone_driver.cpp, which replays
+// corpus files and runs a seeded, deterministic mutational smoke fuzz
+// against the same entry point.
+//
+// Targets must treat *only* the two structured exception types as
+// "input rejected": std::out_of_range (truncation, hostile counts) and
+// std::runtime_error (strictness: magic/CRC/MAC/trailing-byte checks).
+// Anything else — std::bad_alloc from an unbounded reserve, a
+// std::logic_error, a sanitizer report, a crash — is a finding.
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);

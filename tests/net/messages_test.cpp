@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/serialize.h"
+
 namespace medsen::net {
 namespace {
 
@@ -134,6 +136,118 @@ TEST(Messages, TruncatedEnvelopeThrows) {
   const auto bytes = envelope.serialize();
   const std::span<const std::uint8_t> cut(bytes.data(), bytes.size() - 10);
   EXPECT_THROW(Envelope::deserialize(cut), std::runtime_error);
+}
+
+// --- Malformed-input rejection ----------------------------------------
+// Every payload decoder is strict: truncated input and trailing bytes
+// both throw rather than yielding a partially-initialized message.
+
+TEST(Messages, SignalUploadPayloadTrailingBytesRejected) {
+  SignalUploadPayload payload;
+  payload.data = {1, 2, 3};
+  auto bytes = payload.serialize();
+  bytes.push_back(0x00);
+  EXPECT_THROW(SignalUploadPayload::deserialize(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(SignalUploadPayload::deserialize(bytes));
+}
+
+TEST(Messages, SignalUploadPayloadTruncatedThrows) {
+  SignalUploadPayload payload;
+  payload.data = {1, 2, 3};
+  const auto bytes = payload.serialize();
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::span<const std::uint8_t> cut(bytes.data(), n);
+    EXPECT_THROW(SignalUploadPayload::deserialize(cut), std::out_of_range)
+        << "prefix of " << n << " bytes";
+  }
+}
+
+TEST(Messages, AuthPassPayloadTrailingBytesRejected) {
+  AuthPassPayload pass;
+  pass.upload.data = {4, 5, 6};
+  pass.volume_ul = 0.75;
+  auto bytes = pass.serialize();
+  bytes.push_back(0xFF);
+  EXPECT_THROW(AuthPassPayload::deserialize(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(AuthPassPayload::deserialize(bytes));
+}
+
+TEST(Messages, AuthPassPayloadTruncatedThrows) {
+  AuthPassPayload pass;
+  pass.upload.data = {4, 5, 6};
+  const auto bytes = pass.serialize();
+  const std::span<const std::uint8_t> cut(bytes.data(), bytes.size() - 1);
+  EXPECT_THROW(AuthPassPayload::deserialize(cut), std::out_of_range);
+}
+
+TEST(Messages, AuthDecisionPayloadTrailingBytesRejected) {
+  AuthDecisionPayload payload;
+  payload.user_id = "alice";
+  auto bytes = payload.serialize();
+  bytes.push_back(0x01);
+  EXPECT_THROW(AuthDecisionPayload::deserialize(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(AuthDecisionPayload::deserialize(bytes));
+}
+
+TEST(Messages, ErrorPayloadTrailingBytesRejected) {
+  ErrorPayload error;
+  error.detail = "rejected";
+  auto bytes = error.serialize();
+  bytes.push_back(0x42);
+  EXPECT_THROW(ErrorPayload::deserialize(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(ErrorPayload::deserialize(bytes));
+}
+
+TEST(Messages, SeriesTrailingBytesRejected) {
+  util::MultiChannelSeries series;
+  series.carrier_frequencies_hz = {5e5};
+  series.channels.emplace_back(450.0, std::vector<double>{1.0, 2.0}, 0.0);
+  auto bytes = serialize_series(series);
+  bytes.push_back(0x00);
+  EXPECT_THROW(deserialize_series(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(deserialize_series(bytes));
+}
+
+TEST(Messages, SeriesHostileChannelCountRejectedBeforeAllocation) {
+  // A 4-byte body declaring 2^32-1 channels must be rejected up front
+  // (count_u32), not trusted as a reserve() size.
+  const std::vector<std::uint8_t> bytes = {0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_THROW(deserialize_series(bytes), std::out_of_range);
+}
+
+TEST(Messages, SeriesHostileSampleCountRejectedBeforeAllocation) {
+  util::ByteWriter w;
+  w.u32(1);       // one channel
+  w.f64(5e5);     // carrier
+  w.f64(450.0);   // rate
+  w.f64(0.0);     // start
+  w.u32(0xFFFFFFFF);  // 2^32-1 samples, no bytes behind it
+  EXPECT_THROW(deserialize_series(w.data()), std::out_of_range);
+}
+
+TEST(Messages, BitFlippedUploadStillDecodesOrThrows) {
+  // Bit flips inside the envelope body are caught by the MAC; flips
+  // inside a payload must never crash the decoder — they either decode
+  // to different field values or throw one of the two structured types.
+  SignalUploadPayload payload;
+  payload.compressed = true;
+  payload.sample_rate_hz = 450.0;
+  payload.data = {10, 20, 30, 40};
+  const auto bytes = payload.serialize();
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    auto corrupted = bytes;
+    corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    try {
+      (void)SignalUploadPayload::deserialize(corrupted);
+    } catch (const std::out_of_range&) {
+    } catch (const std::runtime_error&) {
+    }
+  }
 }
 
 }  // namespace

@@ -39,7 +39,7 @@ TEST(RingBuffer, AtIndexesFromOldest) {
   rb.push(40);
   EXPECT_EQ(rb.at(0), 20);
   EXPECT_EQ(rb.at(2), 40);
-  EXPECT_THROW(rb.at(3), std::out_of_range);
+  EXPECT_THROW((void)rb.at(3), std::out_of_range);
 }
 
 TEST(RingBuffer, PopEmptyThrows) {

@@ -76,5 +76,41 @@ TEST(Serialize, SpecialDoublesSurvive) {
   EXPECT_TRUE(std::signbit(neg_zero));
 }
 
+TEST(ByteReader, CountU32RejectsImpossibleCounts) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 elements, but nothing follows
+  ByteReader r(w.data());
+  EXPECT_THROW(r.count_u32(8), std::out_of_range);
+}
+
+TEST(ByteReader, CountU32AcceptsSatisfiableCounts) {
+  ByteWriter w;
+  w.u32(3);
+  w.u8(1);
+  w.u8(2);
+  w.u8(3);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.count_u32(1), 3u);
+}
+
+TEST(ByteReader, CountU32HandlesMaxCountWithoutOverflow) {
+  // 2^32-1 elements x 8 bytes must not wrap around in 64-bit math.
+  ByteWriter w;
+  w.u32(0xFFFFFFFF);
+  ByteReader r(w.data());
+  EXPECT_THROW(r.count_u32(8), std::out_of_range);
+}
+
+TEST(ByteReader, ExpectDoneThrowsOnLeftovers) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.data());
+  (void)r.u8();
+  EXPECT_THROW(r.expect_done("unit"), std::runtime_error);
+  (void)r.u8();
+  EXPECT_NO_THROW(r.expect_done("unit"));
+}
+
 }  // namespace
 }  // namespace medsen::util

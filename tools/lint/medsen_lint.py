@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""MedSen invariant linter.
+
+Enforces project-specific correctness contracts that generic tooling
+(clang-tidy, sanitizers) cannot express:
+
+  determinism       No wall-clock or ambient-entropy calls (rand,
+                    random_device, system_clock, time(), ...) in the
+                    deterministic subsystems `src/sim`, `src/core`,
+                    `src/cloud`. Bit-identical replay of an acquisition
+                    is part of the security argument: the sensor-side
+                    key schedule and the cloud analysis must agree on
+                    every bit, so ambient entropy is confined to
+                    explicitly seeded RNGs and the SimulatedClock.
+
+  decoder-tests     Every wire decoder (a function named `deserialize*`
+                    or `*_decode` declared in a public header) must have
+                    a test that rejects trailing bytes. Strict decoding
+                    is the cloud's first line of defense against a
+                    hostile relay; a decoder nobody fuzzes for trailing
+                    garbage regresses silently.
+
+  unordered-serial  No iteration over an unordered container feeding
+                    serialized output. Hash-map order is
+                    implementation-defined, so such loops break the
+                    bit-deterministic wire format.
+
+Suppress a finding by appending `// medsen-lint: allow(<rule>)` to the
+offending line, where <rule> is one of: determinism, decoder-tests,
+unordered-serial.
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors. Run from anywhere: `python3 tools/lint/medsen_lint.py [--root DIR]`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+DETERMINISTIC_DIRS = ("src/sim", "src/core", "src/cloud")
+
+# Ambient entropy / wall-clock tokens banned in deterministic subsystems.
+# `time(` needs care: `start_time(`, `.time(` and `time_series` are all
+# legitimate, so the pattern requires a true call of the free function.
+DETERMINISM_PATTERNS = [
+    (re.compile(r"(?<![\w.:])rand\s*\("), "rand()"),
+    (re.compile(r"(?<![\w.:])srand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time()"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
+    (re.compile(r"\bgetentropy\b"), "getentropy()"),
+]
+
+DECODER_DECL = re.compile(
+    r"\b(?P<name>deserialize(?:_[a-z0-9_]+)?|[a-z0-9_]+_decode)\s*\(")
+
+CLASS_DECL = re.compile(r"^\s*(?:class|struct)\s+(?P<name>\w+)")
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(?P<name>\w+)\s*[;{=]")
+
+RANGE_FOR = re.compile(r"\bfor\s*\(.*?:\s*(?P<seq>[\w.\->]+)\s*\)")
+
+# Writing into the wire format: ByteWriter primitives or serialize calls.
+SERIAL_SINK = re.compile(
+    r"ByteWriter|serialize|\.u8\(|\.u16\(|\.u32\(|\.u64\(|\.f64\(|"
+    r"\.blob\(|\.str\(|\.bytes\(|frame_encode")
+
+ALLOW = re.compile(r"//\s*medsen-lint:\s*allow\((?P<rules>[\w\-, ]+)\)")
+
+TEST_BLOCK = re.compile(r"^TEST(?:_F|_P)?\s*\(", re.MULTILINE)
+
+
+def allowed(line: str, rule: str) -> bool:
+    m = ALLOW.search(line)
+    return bool(m) and rule in [r.strip() for r in m.group("rules").split(",")]
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of string literals and // comments so banned
+    tokens inside log messages or comments do not trip the linter."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//", 1)[0]
+
+
+def check_determinism(root: Path, findings: list[str]) -> None:
+    for sub in DETERMINISTIC_DIRS:
+        for path in sorted((root / sub).rglob("*")):
+            if path.suffix not in (".h", ".cpp"):
+                continue
+            for lineno, raw in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if allowed(raw, "determinism"):
+                    continue
+                code = strip_comments_and_strings(raw)
+                for pattern, label in DETERMINISM_PATTERNS:
+                    if pattern.search(code):
+                        findings.append(
+                            f"{path.relative_to(root)}:{lineno}: "
+                            f"[determinism] {label} in a deterministic "
+                            f"subsystem; use the seeded RNG / "
+                            f"SimulatedClock utilities")
+
+
+def collect_decoders(root: Path) -> list[tuple[Path, int, str]]:
+    """Find (header, line, qualified-callname) for every public decoder."""
+    decoders = []
+    for path in sorted((root / "src").rglob("*.h")):
+        enclosing: list[tuple[str, int]] = []  # (class name, depth at open)
+        depth = 0
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            code = strip_comments_and_strings(raw)
+            m = CLASS_DECL.match(code)
+            if m and "{" in code and ";" not in code.split("{", 1)[0]:
+                enclosing.append((m.group("name"), depth))
+            dm = DECODER_DECL.search(code)
+            if dm and not allowed(raw, "decoder-tests"):
+                name = dm.group("name")
+                if enclosing and name == "deserialize":
+                    callname = f"{enclosing[-1][0]}::deserialize"
+                else:
+                    callname = name
+                decoders.append((path, lineno, callname))
+            depth += code.count("{") - code.count("}")
+            while enclosing and depth <= enclosing[-1][1]:
+                enclosing.pop()
+    return decoders
+
+
+def check_decoder_tests(root: Path, findings: list[str]) -> None:
+    test_blocks: list[str] = []
+    for path in sorted((root / "tests").rglob("*.cpp")):
+        text = path.read_text()
+        starts = [m.start() for m in TEST_BLOCK.finditer(text)]
+        for i, start in enumerate(starts):
+            end = starts[i + 1] if i + 1 < len(starts) else len(text)
+            test_blocks.append(text[start:end])
+    for path, lineno, callname in collect_decoders(root):
+        covered = any(
+            callname in block and re.search(r"trailing", block, re.IGNORECASE)
+            for block in test_blocks)
+        if not covered:
+            findings.append(
+                f"{path.relative_to(root)}:{lineno}: [decoder-tests] "
+                f"`{callname}` has no trailing-bytes rejection test; add a "
+                f"TEST that feeds it valid bytes plus appended garbage and "
+                f"expects a throw")
+
+
+def check_unordered_serialization(root: Path, findings: list[str]) -> None:
+    # Names declared with an unordered container type, scoped per file
+    # stem: a member declared in foo.h is visible to foo.h and foo.cpp.
+    # (Member names repeat across classes — `keys_` is an unordered map
+    # in the device registry but a vector in the key schedule — so a
+    # repo-wide name pool would cross wires.)
+    sources = [p for p in sorted((root / "src").rglob("*"))
+               if p.suffix in (".h", ".cpp")]
+    names_by_stem: dict[Path, set[str]] = {}
+    for path in sources:
+        for raw in path.read_text().splitlines():
+            m = UNORDERED_DECL.search(strip_comments_and_strings(raw))
+            if m:
+                names_by_stem.setdefault(
+                    path.parent / path.stem, set()).add(m.group("name"))
+    if not names_by_stem:
+        return
+    for path in sources:
+        unordered_names = names_by_stem.get(path.parent / path.stem, set())
+        if not unordered_names:
+            continue
+        lines = path.read_text().splitlines()
+        for lineno, raw in enumerate(lines, start=1):
+            if allowed(raw, "unordered-serial"):
+                continue
+            m = RANGE_FOR.search(strip_comments_and_strings(raw))
+            if not m:
+                continue
+            seq = m.group("seq").split(".")[-1].split(">")[-1]
+            if seq not in unordered_names:
+                continue
+            # Does the loop feed the wire format? Look at the loop body
+            # (a window is enough: serialization loops are short).
+            body = "\n".join(lines[lineno - 1:lineno + 14])
+            if SERIAL_SINK.search(body):
+                findings.append(
+                    f"{path.relative_to(root)}:{lineno}: "
+                    f"[unordered-serial] iteration over unordered "
+                    f"container `{seq}` feeds serialized output; hash "
+                    f"order is not deterministic — sort first or use an "
+                    f"ordered container")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--list-decoders", action="store_true",
+                        help="print discovered decoders and exit")
+    args = parser.parse_args()
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"medsen_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    if args.list_decoders:
+        for path, lineno, callname in collect_decoders(root):
+            print(f"{path.relative_to(root)}:{lineno}: {callname}")
+        return 0
+
+    findings: list[str] = []
+    check_determinism(root, findings)
+    check_decoder_tests(root, findings)
+    check_unordered_serialization(root, findings)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"medsen_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("medsen_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
