@@ -77,13 +77,15 @@ ServiceResult ServiceResult::success(net::MessageType type,
   return result;
 }
 
-ServiceResult ServiceResult::failure(net::ErrorCode code, std::string detail,
-                                     std::uint8_t subcode) {
+ServiceResult ServiceResult::failure(
+    net::ErrorCode code, std::string detail, std::uint8_t subcode,
+    std::vector<std::uint8_t> channel_reasons) {
   ServiceResult result;
   result.ok = false;
   result.error = code;
   result.error_subcode = subcode;
   result.detail = std::move(detail);
+  result.error_channel_reasons = std::move(channel_reasons);
   return result;
 }
 

@@ -109,11 +109,15 @@ struct ServiceResult {
   net::ErrorCode error = net::ErrorCode::kMalformed;
   std::uint8_t error_subcode = 0;
   std::string detail;
+  /// Per-channel QualityReason bytes for quality failures (empty
+  /// otherwise); copied into ErrorPayload::channel_reasons.
+  std::vector<std::uint8_t> error_channel_reasons;
 
   static ServiceResult success(net::MessageType type,
                                std::vector<std::uint8_t> payload);
   static ServiceResult failure(net::ErrorCode code, std::string detail,
-                               std::uint8_t subcode = 0);
+                               std::uint8_t subcode = 0,
+                               std::vector<std::uint8_t> channel_reasons = {});
 };
 
 /// MessageType -> handler registry. Handlers run after admission, device

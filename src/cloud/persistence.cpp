@@ -66,7 +66,8 @@ void save_enrollments(const auth::EnrollmentDatabase& db,
     body.str(record.user_id);
     body.blob(auth::serialize_code(record.code));
   }
-  util::write_file(path, seal(kEnrollMagic, body.take()));
+  // Temp-then-rename: a crash mid-save must not tear the live database.
+  util::write_file_atomic(path, seal(kEnrollMagic, body.take()));
 }
 
 auth::EnrollmentDatabase load_enrollments(const std::string& path) {
@@ -95,7 +96,7 @@ void save_records(const RecordStore& store, const std::string& path) {
       body.blob(record.encrypted_result);
     }
   }
-  util::write_file(path, seal(kRecordMagic, body.take()));
+  util::write_file_atomic(path, seal(kRecordMagic, body.take()));
 }
 
 RecordStore load_records(const std::string& path) {

@@ -9,11 +9,21 @@ namespace medsen::cloud {
 
 namespace {
 
+void record_failure(ChannelQuality& quality, QualityReason reason) {
+  quality.failure_bits |= 1u << static_cast<std::uint8_t>(reason);
+  if (more_severe(reason, quality.worst)) quality.worst = reason;
+}
+
 ChannelQuality assess_channel(const util::TimeSeries& channel,
                               const QualityConfig& config) {
   ChannelQuality quality;
   const auto samples = channel.samples();
-  if (samples.empty()) return quality;
+  if (samples.empty()) {
+    // An empty channel cannot be scored by the other checks; it carries
+    // exactly one (severe) failure.
+    record_failure(quality, QualityReason::kEmptyChannel);
+    return quality;
+  }
 
   quality.drift_span =
       util::max_value(samples) - util::min_value(samples);
@@ -48,22 +58,55 @@ ChannelQuality assess_channel(const util::TimeSeries& channel,
   if (detrended.size() > 1)
     quality.noise_rms =
         std::sqrt(acc / static_cast<double>(detrended.size() - 1));
+
+  // Every check is scored — a channel that is both saturated and noisy
+  // reports both failures so recovery can reason about the combination.
+  if (quality.saturated)
+    record_failure(quality, QualityReason::kSaturated);
+  if (quality.dropout_fraction > config.max_dropout_fraction)
+    record_failure(quality, QualityReason::kDropout);
+  if (quality.noise_rms > config.max_noise_rms)
+    record_failure(quality, QualityReason::kNoiseFloor);
+  if (quality.drift_span > config.max_drift_span)
+    record_failure(quality, QualityReason::kDrift);
   return quality;
+}
+
+std::string describe(std::size_t channel, QualityReason reason) {
+  const std::string label = "channel " + std::to_string(channel) + ": ";
+  switch (reason) {
+    case QualityReason::kEmptyChannel:
+      return label + "empty";
+    case QualityReason::kSaturated:
+      return label + "saturated/implausible samples";
+    case QualityReason::kDropout:
+      return label + "dropouts (pinned samples)";
+    case QualityReason::kNoiseFloor:
+      return label + "noise floor too high";
+    case QualityReason::kDrift:
+      return label + "baseline drift out of range";
+    default:
+      return label + to_string(reason);
+  }
 }
 
 }  // namespace
 
-const char* to_string(QualityReason reason) {
-  switch (reason) {
-    case QualityReason::kNone: return "acceptable";
-    case QualityReason::kNoChannels: return "no channels";
-    case QualityReason::kEmptyChannel: return "empty channel";
-    case QualityReason::kSaturated: return "saturated";
-    case QualityReason::kDropout: return "dropout";
-    case QualityReason::kNoiseFloor: return "noise floor";
-    case QualityReason::kDrift: return "drift";
-  }
-  return "unknown";
+std::vector<std::uint8_t> QualityReport::channel_reason_bytes() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(channels.size());
+  for (const auto& channel : channels)
+    bytes.push_back(static_cast<std::uint8_t>(channel.worst));
+  return bytes;
+}
+
+std::vector<std::uint8_t> QualityReport::channel_failure_bytes() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(channels.size());
+  // All QualityReason values are < 8, so the bitmask fits one byte.
+  for (const auto& channel : channels)
+    bytes.push_back(static_cast<std::uint8_t>(channel.failure_bits));
+  return bytes;
 }
 
 QualityReport assess_quality(const util::MultiChannelSeries& series,
@@ -75,32 +118,28 @@ QualityReport assess_quality(const util::MultiChannelSeries& series,
     report.reason = "no channels";
     return report;
   }
+  // Score every channel against every check; the summary code is the
+  // single highest-severity failure (ties broken toward the lowest
+  // channel index) for wire compatibility with the subcode byte.
+  std::size_t worst_channel = 0;
   for (std::size_t c = 0; c < series.channels.size(); ++c) {
     const auto quality = assess_channel(series.channels[c], config);
-    report.channels.push_back(quality);
-    if (!report.acceptable) continue;
-    const std::string label = "channel " + std::to_string(c) + ": ";
-    if (series.channels[c].empty()) {
-      report.acceptable = false;
-      report.reason_code = QualityReason::kEmptyChannel;
-      report.reason = label + "empty";
-    } else if (quality.saturated) {
-      report.acceptable = false;
-      report.reason_code = QualityReason::kSaturated;
-      report.reason = label + "saturated/implausible samples";
-    } else if (quality.dropout_fraction > config.max_dropout_fraction) {
-      report.acceptable = false;
-      report.reason_code = QualityReason::kDropout;
-      report.reason = label + "dropouts (pinned samples)";
-    } else if (quality.noise_rms > config.max_noise_rms) {
-      report.acceptable = false;
-      report.reason_code = QualityReason::kNoiseFloor;
-      report.reason = label + "noise floor too high";
-    } else if (quality.drift_span > config.max_drift_span) {
-      report.acceptable = false;
-      report.reason_code = QualityReason::kDrift;
-      report.reason = label + "baseline drift out of range";
+    if (more_severe(quality.worst, report.reason_code)) {
+      report.reason_code = quality.worst;
+      worst_channel = c;
     }
+    report.channels.push_back(quality);
+  }
+  if (report.reason_code != QualityReason::kNone) {
+    report.acceptable = false;
+    report.reason = describe(worst_channel, report.reason_code);
+    std::size_t failing = 0;
+    for (const auto& channel : report.channels)
+      if (channel.worst != QualityReason::kNone) ++failing;
+    if (failing > 1)
+      report.reason += " (+" + std::to_string(failing - 1) +
+                       " more failing channel" +
+                       (failing > 2 ? "s)" : ")");
   }
   return report;
 }

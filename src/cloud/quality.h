@@ -5,42 +5,59 @@
 // dropout detection, and per-channel consistency. Bad uploads — a
 // disconnected dongle, an air bubble, clipped electronics — are rejected
 // with a reason instead of silently producing a wrong diagnosis.
+//
+// Every channel is scored against every check: a multi-fault upload (one
+// electrode open, another drifting) is fully characterized so the
+// controller can plan recovery per channel. The summary `reason_code`
+// stays the single highest-severity failure for wire compatibility.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "net/messages.h"
 #include "util/time_series.h"
 
 namespace medsen::cloud {
+
+/// The QualityReason values are part of the wire protocol and live in
+/// net/messages.h; the cloud-side alias keeps existing call sites.
+using QualityReason = net::QualityReason;
+using net::more_severe;
+using net::to_string;
 
 struct ChannelQuality {
   double noise_rms = 0.0;        ///< detrended high-frequency residual
   double drift_span = 0.0;       ///< max-min of the raw baseline
   double dropout_fraction = 0.0; ///< samples pinned at a constant value
   bool saturated = false;        ///< raw samples outside plausible range
-};
+  /// Highest-severity failing check for this channel (kNone = clean).
+  QualityReason worst = QualityReason::kNone;
+  /// Bitmask of every failing check: bit (1u << reason) set per failure.
+  std::uint32_t failure_bits = 0;
 
-/// Machine-readable failure category (first failing check wins). The
-/// numeric values travel on the wire as the ErrorPayload subcode of a
-/// quality-rejected upload, so they are part of the protocol.
-enum class QualityReason : std::uint8_t {
-  kNone = 0,          ///< acceptable
-  kNoChannels = 1,    ///< acquisition carries no channels at all
-  kEmptyChannel = 2,  ///< a channel has zero samples
-  kSaturated = 3,     ///< implausible/clipped samples
-  kDropout = 4,       ///< pinned (stuck-ADC) samples
-  kNoiseFloor = 5,    ///< broadband noise above threshold
-  kDrift = 6,         ///< baseline wander out of range
+  [[nodiscard]] bool failed(QualityReason reason) const {
+    return (failure_bits &
+            (1u << static_cast<std::uint8_t>(reason))) != 0;
+  }
 };
-
-[[nodiscard]] const char* to_string(QualityReason reason);
 
 struct QualityReport {
   std::vector<ChannelQuality> channels;
   bool acceptable = true;
-  QualityReason reason_code = QualityReason::kNone;  ///< first failure
-  std::string reason;  ///< first failure, empty when acceptable
+  /// Highest-severity failure across all channels and checks.
+  QualityReason reason_code = QualityReason::kNone;
+  std::string reason;  ///< describes the worst channel, empty when clean
+
+  /// Per-channel worst reasons as raw bytes (telemetry / logs).
+  [[nodiscard]] std::vector<std::uint8_t> channel_reason_bytes() const;
+
+  /// Per-channel failure bitmasks for ErrorPayload::channel_reasons: one
+  /// byte per channel, bit (1u << reason) set for every failing check.
+  /// The full signature matters: a channel whose worst failure is
+  /// saturation may ALSO carry the systemic drift of a bubble transit,
+  /// and recovery planning must see both to blame the right component.
+  [[nodiscard]] std::vector<std::uint8_t> channel_failure_bytes() const;
 };
 
 struct QualityConfig {

@@ -40,16 +40,15 @@ util::MultiChannelSeries CloudServer::decode_series(
   return net::deserialize_series(raw);
 }
 
-net::Envelope CloudServer::error_response(const net::Envelope& request,
-                                          std::span<const std::uint8_t>
-                                              mac_key,
-                                          net::ErrorCode code,
-                                          std::uint8_t subcode,
-                                          std::string detail) {
+net::Envelope CloudServer::error_response(
+    const net::Envelope& request, std::span<const std::uint8_t> mac_key,
+    net::ErrorCode code, std::uint8_t subcode, std::string detail,
+    std::vector<std::uint8_t> channel_reasons) {
   net::ErrorPayload payload;
   payload.code = code;
   payload.subcode = subcode;
   payload.detail = std::move(detail);
+  payload.channel_reasons = std::move(channel_reasons);
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.errors_returned;
@@ -177,7 +176,8 @@ net::Envelope CloudServer::handle(const net::Envelope& request) {
 
   if (!result.ok) {
     return error_response(request, *mac_key, result.error,
-                          result.error_subcode, std::move(result.detail));
+                          result.error_subcode, std::move(result.detail),
+                          std::move(result.error_channel_reasons));
   }
 
   const auto response = net::make_envelope(
@@ -202,7 +202,8 @@ ServiceResult CloudServer::serve_upload(const net::Envelope& request,
       return ServiceResult::failure(
           net::ErrorCode::kQualityRejected,
           "acquisition rejected (" + context.quality.reason + ")",
-          static_cast<std::uint8_t>(context.quality.reason_code));
+          static_cast<std::uint8_t>(context.quality.reason_code),
+          context.quality.channel_failure_bytes());
     }
   }
   const core::PeakReport report = analysis_.analyze(series);

@@ -117,7 +117,8 @@ class CloudServer {
   net::Envelope error_response(const net::Envelope& request,
                                std::span<const std::uint8_t> mac_key,
                                net::ErrorCode code, std::uint8_t subcode,
-                               std::string detail);
+                               std::string detail,
+                               std::vector<std::uint8_t> channel_reasons = {});
 
   /// Idempotent session cache, keyed per tenant on (device_id,
   /// session_id).

@@ -8,21 +8,62 @@ namespace medsen::core {
 
 Controller::Controller(KeyParams key_params,
                        sim::ElectrodeArrayDesign design,
-                       DiagnosticProfile profile, std::uint64_t entropy_seed)
+                       DiagnosticProfile profile, std::uint64_t entropy_seed,
+                       RetryPolicy retry_policy)
     : key_params_(key_params),
       design_(design),
       profile_(std::move(profile)),
-      rng_(entropy_seed) {
+      rng_(entropy_seed),
+      retry_policy_(retry_policy),
+      ledger_(key_params.num_electrodes, retry_policy.quarantine_strikes) {
   if (key_params_.num_electrodes != design_.num_outputs)
     throw std::invalid_argument(
         "Controller: key electrode count must match the array design");
 }
 
+void Controller::apply_recovery_state() {
+  // Both calls are no-ops for a clean ledger at nominal flow, so a
+  // healthy session's schedule is bit-identical to one generated before
+  // recovery existed.
+  schedule_->mask_electrodes(ledger_.excluded());
+  schedule_->derate_flow(flow_scale_);
+}
+
+sim::ElectrodeMask Controller::session_active_union() const {
+  if (!schedule_) return 0;
+  sim::ElectrodeMask mask = 0;
+  for (const auto& tk : schedule_->keys()) mask |= tk.key.electrodes;
+  return mask;
+}
+
 std::vector<sim::ControlSegment> Controller::begin_session(
+    double duration_s) {
+  ledger_.begin_loop();
+  flow_scale_ = 1.0;
+  schedule_ = KeySchedule::generate(key_params_, duration_s, rng_);
+  session_duration_s_ = duration_s;
+  apply_recovery_state();
+  return schedule_->control_trace();
+}
+
+std::vector<sim::ControlSegment> Controller::begin_retry_session(
     double duration_s) {
   schedule_ = KeySchedule::generate(key_params_, duration_s, rng_);
   session_duration_s_ = duration_s;
+  apply_recovery_state();
   return schedule_->control_trace();
+}
+
+RecoveryPlan Controller::plan_recovery(const net::ErrorPayload& error) {
+  if (!schedule_) throw std::logic_error("Controller: no active session");
+  RecoveryContext context;
+  context.num_electrodes = key_params_.num_electrodes;
+  context.session_active_union = session_active_union();
+  context.flow_scale = flow_scale_;
+  RecoveryPlan plan =
+      core::plan_recovery(error, context, ledger_, retry_policy_);
+  flow_scale_ = plan.flow_scale;
+  return plan;
 }
 
 std::vector<sim::ControlSegment> Controller::begin_plaintext_session(
@@ -48,6 +89,12 @@ DecryptionResult Controller::decrypt(const PeakReport& report) const {
 Diagnosis Controller::conclude(const PeakReport& report) {
   const DecryptionResult decoded = decrypt(report);
   return diagnose(profile_, decoded.estimated_count, session_volume_ul());
+}
+
+Diagnosis Controller::conclude_degraded(const PeakReport& report) {
+  Diagnosis diagnosis = conclude(report);
+  diagnosis.confidence = retry_policy_.degraded_confidence;
+  return diagnosis;
 }
 
 std::uint64_t Controller::session_key_bits() const {

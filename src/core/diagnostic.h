@@ -46,6 +46,10 @@ struct Diagnosis {
   double concentration_per_ul = 0.0;
   std::string condition;
   bool alert = false;
+  /// 1.0 for a clean session; the recovery orchestrator downgrades it
+  /// when it had to give up on a fully healthy acquisition and deliver a
+  /// best-effort result (see core/recovery.h).
+  double confidence = 1.0;
 };
 
 /// Build a diagnosis from a decoded count and pumped volume.

@@ -150,6 +150,44 @@ std::size_t KeySchedule::multiplication_factor(
   return design.peaks_per_particle(key_at(t).electrodes);
 }
 
+sim::ElectrodeMask KeySchedule::mask_electrodes(sim::ElectrodeMask excluded) {
+  if (excluded == 0) return 0;
+  const auto full =
+      params_.num_electrodes >= 32
+          ? ~sim::ElectrodeMask{0}
+          : ((sim::ElectrodeMask{1} << params_.num_electrodes) - 1);
+  sim::ElectrodeMask cleared = 0;
+  for (auto& tk : keys_) {
+    const sim::ElectrodeMask before = tk.key.electrodes & full;
+    sim::ElectrodeMask after = before & ~excluded;
+    if (after == 0) {
+      // Never go fully dark: fall back to the lowest electrode outside
+      // the exclusion so the attempt still counts particles.
+      const sim::ElectrodeMask candidates = full & ~excluded;
+      after = candidates & (~candidates + 1);  // lowest set bit (or 0)
+      if (after == 0) after = before;          // everything excluded: keep
+    }
+    cleared |= before & ~after;
+    tk.key.electrodes = after;
+  }
+  return cleared;
+}
+
+void KeySchedule::derate_flow(double scale) {
+  if (scale >= 1.0) return;
+  for (auto& tk : keys_) {
+    const double target = scale * flow_value(params_, tk.key.flow_code);
+    std::uint8_t best = 0;
+    for (std::uint32_t c = 0; c < params_.flow_levels(); ++c) {
+      const auto code = static_cast<std::uint8_t>(c);
+      if (flow_value(params_, code) <= target &&
+          flow_value(params_, code) >= flow_value(params_, best))
+        best = code;
+    }
+    tk.key.flow_code = best;
+  }
+}
+
 std::uint64_t KeySchedule::size_bits() const {
   const std::uint64_t per_key =
       params_.num_electrodes +

@@ -95,6 +95,20 @@ class KeySchedule {
   /// crypto::total_key_bits for the ideal scheme).
   [[nodiscard]] std::uint64_t size_bits() const;
 
+  /// Remove `excluded` electrodes from every key's E(t) — the recovery
+  /// path's re-key after electrodes are implicated in a fault. A key
+  /// whose mask would become empty falls back to the lowest admissible
+  /// electrode outside the exclusion (an all-dark sensor counts
+  /// nothing). No-op when `excluded` is 0. Returns the electrodes that
+  /// were actually cleared somewhere in the schedule.
+  sim::ElectrodeMask mask_electrodes(sim::ElectrodeMask excluded);
+
+  /// Scale every key's flow speed down to at most `scale` times its
+  /// original value (snapped to the quantized flow codes, floored at
+  /// code 0) — the recovery response to clog/saturation signatures.
+  /// No-op when scale >= 1.
+  void derate_flow(double scale);
+
   /// Binary serialization (stored only on the controller).
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static KeySchedule deserialize(std::span<const std::uint8_t> bytes);

@@ -1,0 +1,164 @@
+#include "core/recovery.h"
+
+#include <algorithm>
+#include <array>
+
+namespace medsen::core {
+
+const char* to_string(RecoveryAction action) {
+  switch (action) {
+    case RecoveryAction::kNone: return "none";
+    case RecoveryAction::kRetry: return "retry";
+    case RecoveryAction::kFlush: return "flush";
+    case RecoveryAction::kReduceFlow: return "reduce flow";
+    case RecoveryAction::kMaskElectrodes: return "mask electrodes";
+    case RecoveryAction::kGiveUp: return "give up";
+  }
+  return "unknown";
+}
+
+ElectrodeHealthLedger::ElectrodeHealthLedger(std::size_t num_electrodes,
+                                             std::size_t quarantine_strikes)
+    : quarantine_strikes_(std::max<std::size_t>(1, quarantine_strikes)),
+      strikes_(num_electrodes, 0) {}
+
+void ElectrodeHealthLedger::begin_loop() { suspects_ = 0; }
+
+void ElectrodeHealthLedger::strike(sim::ElectrodeMask electrodes) {
+  for (std::size_t e = 0; e < strikes_.size(); ++e) {
+    if (((electrodes >> e) & 1u) == 0) continue;
+    suspects_ |= sim::ElectrodeMask{1} << e;
+    if (++strikes_[e] >= quarantine_strikes_)
+      quarantined_ |= sim::ElectrodeMask{1} << e;
+  }
+}
+
+std::size_t ElectrodeHealthLedger::strikes(std::size_t electrode) const {
+  return electrode < strikes_.size() ? strikes_[electrode] : 0;
+}
+
+namespace {
+
+using net::QualityReason;
+
+constexpr std::size_t kReasonCount = 7;  // kNone..kDrift
+
+constexpr std::uint8_t reason_bit(QualityReason reason) {
+  return static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(reason));
+}
+
+/// Reasons that can implicate an electrode when they fail in isolation.
+/// Empty-channel / no-channel verdicts are transport or server problems;
+/// blaming hardware for them would quarantine innocents.
+constexpr std::uint8_t kStrikeableBits =
+    reason_bit(QualityReason::kSaturated) |
+    reason_bit(QualityReason::kDropout) |
+    reason_bit(QualityReason::kNoiseFloor) |
+    reason_bit(QualityReason::kDrift);
+
+}  // namespace
+
+RecoveryPlan plan_recovery(const net::ErrorPayload& error,
+                           const RecoveryContext& context,
+                           ElectrodeHealthLedger& ledger,
+                           const RetryPolicy& policy) {
+  RecoveryPlan plan;
+  plan.flow_scale = context.flow_scale;
+
+  if (error.code != net::ErrorCode::kQualityRejected) {
+    plan.action = RecoveryAction::kRetry;
+    plan.rationale = std::string("non-quality error (") +
+                     net::to_string(error.code) + "), plain retry";
+    return plan;
+  }
+
+  const auto& reasons = error.channel_reasons;
+  const std::size_t n_channels = reasons.size();
+  if (n_channels == 0) {
+    // Legacy verdict with only a summary subcode: no channel to blame.
+    plan.action = RecoveryAction::kFlush;
+    plan.rationale = "quality rejection without channel detail, flushing";
+    return plan;
+  }
+
+  // A reason failing on most channels is systemic — the fluidics or the
+  // sample, not any one electrode. On a single-channel upload every
+  // failure is systemic (one channel can never isolate an electrode).
+  const std::size_t systemic_threshold =
+      n_channels < 2
+          ? 1
+          : std::max<std::size_t>(2, (n_channels + 1) / 2);
+  // Each byte is a failure bitmask; count per-reason failing channels.
+  std::array<std::size_t, kReasonCount> failing_per_reason{};
+  for (std::uint8_t raw : reasons)
+    for (std::size_t r = 1; r < kReasonCount; ++r)
+      if ((raw & (1u << r)) != 0) ++failing_per_reason[r];
+
+  bool systemic_clog_signature = false;   // saturation / dropout
+  bool systemic_flush_signature = false;  // noise / drift
+  std::uint8_t systemic_bits = 0;
+  for (std::size_t r = 1; r < kReasonCount; ++r) {
+    if (failing_per_reason[r] < systemic_threshold) continue;
+    systemic_bits |= static_cast<std::uint8_t>(1u << r);
+    const auto reason = static_cast<QualityReason>(r);
+    if (reason == QualityReason::kSaturated ||
+        reason == QualityReason::kDropout)
+      systemic_clog_signature = true;
+    else if (reason == QualityReason::kNoiseFloor ||
+             reason == QualityReason::kDrift)
+      systemic_flush_signature = true;
+  }
+
+  // A failure that is NOT systemic points at the channel's bound
+  // electrodes: strike every active, not-yet-excluded electrode wired to
+  // it. A bubble's systemic drift on a channel does not exonerate the
+  // same channel's isolated saturation — the bitmask keeps both visible.
+  // Only the key holder knows `session_active_union`, so this inversion
+  // is possible nowhere but the TCB.
+  sim::ElectrodeMask suspects = 0;
+  for (std::size_t c = 0; c < n_channels; ++c) {
+    const std::uint8_t isolated =
+        static_cast<std::uint8_t>(reasons[c] & kStrikeableBits &
+                                  ~systemic_bits);
+    if (isolated == 0) continue;
+    for (std::size_t e = 0; e < context.num_electrodes; ++e) {
+      if (sim::carrier_channel_of_electrode(e, n_channels) != c) continue;
+      const auto bit = sim::ElectrodeMask{1} << e;
+      const bool active = (context.session_active_union & bit) != 0;
+      // A previously masked suspect whose channel STILL fails is the
+      // prime stuck-ON candidate: the mux cannot actually disconnect
+      // it. Re-striking it is the path into quarantine.
+      const bool prior_suspect = (ledger.suspects() & bit) != 0;
+      if (!active && !prior_suspect) continue;
+      if ((ledger.quarantined() & bit) != 0) continue;
+      suspects |= bit;
+    }
+  }
+  if (suspects != 0) {
+    ledger.strike(suspects);
+    plan.newly_suspect = suspects;
+  }
+
+  if (systemic_clog_signature) {
+    plan.action = RecoveryAction::kReduceFlow;
+    plan.flow_scale = std::max(policy.min_flow_scale,
+                               context.flow_scale * policy.flow_derate);
+    plan.rationale = "systemic saturation/dropout (clog or stall), "
+                     "derating flow";
+    if (suspects != 0)
+      plan.rationale += " and masking isolated-channel suspects";
+  } else if (suspects != 0) {
+    plan.action = RecoveryAction::kMaskElectrodes;
+    plan.rationale =
+        "isolated channel failure, masking suspect electrodes";
+  } else if (systemic_flush_signature) {
+    plan.action = RecoveryAction::kFlush;
+    plan.rationale = "systemic noise/drift (bubbles or debris), flushing";
+  } else {
+    plan.action = RecoveryAction::kRetry;
+    plan.rationale = "no actionable channel signature, plain retry";
+  }
+  return plan;
+}
+
+}  // namespace medsen::core

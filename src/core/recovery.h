@@ -1,0 +1,129 @@
+#pragma once
+// Self-healing session recovery — the TCB side of the fault loop. The
+// cloud's quality gate reports *which carrier channels* failed and why
+// (net::ErrorPayload::channel_reasons); only the controller, holding the
+// secret key schedule, can map a failing channel back to the physical
+// electrodes that were active on it. This module turns that verdict into
+// a bounded recovery plan:
+//
+//   reason (per channel)            action
+//   ------------------------------  --------------------------------------
+//   systemic saturation / dropout   kReduceFlow — clog/stall signature:
+//   (>= half the channels)          derate the pump on the next attempt
+//                                   (lower flow packs a clog more slowly)
+//   systemic noise / drift          kFlush — bubbles or debris: flush and
+//                                   re-acquire, nothing to re-key
+//   isolated channel failure        kMaskElectrodes — strike every active
+//                                   electrode bound to the channel and
+//                                   re-key the next attempt without them
+//   non-quality error               kRetry — transport/service transient
+//
+// Strikes accumulate in a persistent ElectrodeHealthLedger: after
+// `quarantine_strikes` an electrode is quarantined and never re-enabled
+// within the session (suspects are re-tried across session loops;
+// quarantine is not). When RetryPolicy::max_attempts is exhausted the
+// orchestrator degrades to a best-effort diagnosis with an explicit
+// confidence downgrade instead of throwing.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/messages.h"
+#include "sim/electrode_array.h"
+
+namespace medsen::core {
+
+/// Bounds on the self-healing retry loop.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;        ///< acquisition attempts per session
+  std::size_t quarantine_strikes = 2;  ///< strikes before quarantine
+  double flow_derate = 0.75;           ///< pump scale per clog/sat retry
+  double min_flow_scale = 0.5;         ///< floor on the cumulative derate
+  double degraded_confidence = 0.4;    ///< confidence once retries exhaust
+};
+
+/// What the controller decided to do about a failed attempt.
+enum class RecoveryAction : std::uint8_t {
+  kNone = 0,
+  kRetry = 1,           ///< plain retry (transient / non-quality error)
+  kFlush = 2,           ///< systemic drift/noise: flush and re-acquire
+  kReduceFlow = 3,      ///< clog/stall signature: derate the pump
+  kMaskElectrodes = 4,  ///< isolated channel fault: re-key without suspects
+  kGiveUp = 5,          ///< retries exhausted: degrade to best effort
+};
+
+[[nodiscard]] const char* to_string(RecoveryAction action);
+
+/// One recovery decision. Besides the primary action, a plan may both
+/// strike electrodes and derate flow (a clogged channel and a dead
+/// electrode can fail the same attempt).
+struct RecoveryPlan {
+  RecoveryAction action = RecoveryAction::kNone;
+  sim::ElectrodeMask newly_suspect = 0;  ///< electrodes struck this time
+  double flow_scale = 1.0;  ///< cumulative derate after this plan
+  std::string rationale;    ///< human-readable trace of the decision
+};
+
+/// Persistent per-electrode health. Strikes accumulate across attempts
+/// and session loops; `suspects` are the electrodes masked for the rest
+/// of the *current* session loop (cleared by begin_loop), `quarantined`
+/// electrodes crossed the strike threshold and are never re-enabled.
+class ElectrodeHealthLedger {
+ public:
+  ElectrodeHealthLedger() = default;
+  ElectrodeHealthLedger(std::size_t num_electrodes,
+                        std::size_t quarantine_strikes);
+
+  /// Start a new session loop: suspects get another chance, quarantine
+  /// and strike counters persist.
+  void begin_loop();
+
+  /// Implicate electrodes; each gains a strike and becomes suspect.
+  /// Electrodes reaching the threshold move to quarantine.
+  void strike(sim::ElectrodeMask electrodes);
+
+  [[nodiscard]] sim::ElectrodeMask suspects() const { return suspects_; }
+  [[nodiscard]] sim::ElectrodeMask quarantined() const {
+    return quarantined_;
+  }
+  /// Everything the next re-key must exclude.
+  [[nodiscard]] sim::ElectrodeMask excluded() const {
+    return suspects_ | quarantined_;
+  }
+  [[nodiscard]] std::size_t strikes(std::size_t electrode) const;
+  [[nodiscard]] std::size_t num_electrodes() const {
+    return strikes_.size();
+  }
+
+ private:
+  std::size_t quarantine_strikes_ = 2;
+  std::vector<std::size_t> strikes_;
+  sim::ElectrodeMask suspects_ = 0;
+  sim::ElectrodeMask quarantined_ = 0;
+};
+
+/// Everything the planner needs besides the error itself. The
+/// `session_active_union` is secret-derived (the union of E(t) over the
+/// schedule) — callers outside the TCB cannot construct it.
+struct RecoveryContext {
+  std::size_t num_electrodes = 0;
+  /// Union of active electrodes across the failed attempt's schedule.
+  sim::ElectrodeMask session_active_union = 0;
+  double flow_scale = 1.0;  ///< cumulative derate entering this plan
+};
+
+/// Map a failed attempt's error to a recovery plan, striking implicated
+/// electrodes in `ledger`. `error.channel_reasons[c]` is a failure
+/// bitmask (bit `1u << reason` per failing check). Channel c's suspects
+/// are the active, not-yet-excluded electrodes with
+/// carrier_channel_of_electrode(e, C) == c. A reason failing on at least
+/// max(2, ceil(C/2)) channels (or on a single-channel upload) is
+/// *systemic* — no electrode can be blamed for it, and an isolated
+/// failure is only struck for the non-systemic bits.
+RecoveryPlan plan_recovery(const net::ErrorPayload& error,
+                           const RecoveryContext& context,
+                           ElectrodeHealthLedger& ledger,
+                           const RetryPolicy& policy);
+
+}  // namespace medsen::core

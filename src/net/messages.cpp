@@ -158,6 +158,25 @@ AuthDecisionPayload AuthDecisionPayload::deserialize(
   return p;
 }
 
+const char* to_string(QualityReason reason) {
+  switch (reason) {
+    case QualityReason::kNone: return "acceptable";
+    case QualityReason::kNoChannels: return "no channels";
+    case QualityReason::kEmptyChannel: return "empty channel";
+    case QualityReason::kSaturated: return "saturated";
+    case QualityReason::kDropout: return "dropout";
+    case QualityReason::kNoiseFloor: return "noise floor";
+    case QualityReason::kDrift: return "drift";
+  }
+  return "unknown";
+}
+
+bool more_severe(QualityReason a, QualityReason b) {
+  if (a == QualityReason::kNone) return false;
+  if (b == QualityReason::kNone) return true;
+  return static_cast<std::uint8_t>(a) < static_cast<std::uint8_t>(b);
+}
+
 const char* to_string(ErrorCode code) {
   switch (code) {
     case ErrorCode::kBadMac: return "bad MAC";
@@ -175,6 +194,7 @@ std::vector<std::uint8_t> ErrorPayload::serialize() const {
   out.u8(static_cast<std::uint8_t>(code));
   out.u8(subcode);
   out.str(detail);
+  out.blob(channel_reasons);
   return out.take();
 }
 
@@ -184,6 +204,7 @@ ErrorPayload ErrorPayload::deserialize(std::span<const std::uint8_t> bytes) {
   p.code = static_cast<ErrorCode>(in.u8());
   p.subcode = in.u8();
   p.detail = in.str();
+  p.channel_reasons = in.blob();
   in.expect_done("ErrorPayload");
   return p;
 }

@@ -97,6 +97,28 @@ struct AuthDecisionPayload {
   static AuthDecisionPayload deserialize(std::span<const std::uint8_t> bytes);
 };
 
+/// Machine-readable quality-failure category. The numeric values travel
+/// on the wire (the ErrorPayload subcode carries the worst reason, and
+/// the per-channel vector carries `1u << reason` bitmasks), so they are
+/// part of the protocol. Lower
+/// nonzero values are more severe: a saturated channel says more about
+/// the hardware than a drifting one, and the highest-severity failure is
+/// the one reported as the summary `subcode`.
+enum class QualityReason : std::uint8_t {
+  kNone = 0,          ///< acceptable
+  kNoChannels = 1,    ///< acquisition carries no channels at all
+  kEmptyChannel = 2,  ///< a channel has zero samples
+  kSaturated = 3,     ///< implausible/clipped samples
+  kDropout = 4,       ///< pinned (stuck-ADC) samples
+  kNoiseFloor = 5,    ///< broadband noise above threshold
+  kDrift = 6,         ///< baseline wander out of range
+};
+
+[[nodiscard]] const char* to_string(QualityReason reason);
+
+/// True when `a` outranks `b` in severity (kNone never outranks).
+[[nodiscard]] bool more_severe(QualityReason a, QualityReason b);
+
 /// Why the server refused a request (kError envelopes).
 enum class ErrorCode : std::uint8_t {
   kBadMac = 1,           ///< envelope MAC verification failed
@@ -110,12 +132,24 @@ enum class ErrorCode : std::uint8_t {
 [[nodiscard]] const char* to_string(ErrorCode code);
 
 /// Error payload: the machine-readable reason a request was refused.
-/// `subcode` refines kQualityRejected with a cloud::QualityReason value
-/// (0 otherwise); `detail` is a human-readable elaboration.
+/// `subcode` refines kQualityRejected with a QualityReason value (0
+/// otherwise); `detail` is a human-readable elaboration.
+///
+/// `channel_reasons[c]` is a failure bitmask for carrier channel c: bit
+/// `1u << r` is set for every QualityReason r that channel failed (0 for
+/// a clean channel); the vector is empty for non-quality errors. The
+/// full bitmask matters — a channel whose most severe failure is
+/// saturation may simultaneously carry the systemic drift of a bubble,
+/// and recovery planning must see both to blame the right component.
+/// Carrier channels are anonymous to the relay and the cloud — only the
+/// controller, holding the secret key schedule, can map them back to
+/// physical electrodes, so publishing the vector leaks nothing about
+/// E(t).
 struct ErrorPayload {
   ErrorCode code = ErrorCode::kMalformed;
   std::uint8_t subcode = 0;
   std::string detail;
+  std::vector<std::uint8_t> channel_reasons;  ///< failure bits per channel
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static ErrorPayload deserialize(std::span<const std::uint8_t> bytes);

@@ -1,5 +1,6 @@
 #include "phone/relay.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "compress/codec.h"
@@ -178,6 +179,68 @@ net::Envelope PhoneRelay::relay_auth(const util::MultiChannelSeries& series,
   timing_.usb_out_s = config_.usb.transfer_time_s(response.payload.size());
   report("authentication complete");
   return response;
+}
+
+SessionOutcome PhoneRelay::run_diagnostic_session(
+    core::Controller& controller, double duration_s, const AcquireFn& acquire,
+    std::uint64_t session_base_id, cloud::CloudServer& server,
+    std::span<const std::uint8_t> mac_key) {
+  SessionOutcome outcome;
+  const std::size_t max_attempts =
+      std::max<std::size_t>(1, controller.retry_policy().max_attempts);
+  util::MultiChannelSeries last_series;
+
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const auto control = attempt == 0
+                             ? controller.begin_session(duration_s)
+                             : controller.begin_retry_session(duration_s);
+    report("acquiring (attempt " + std::to_string(attempt + 1) + ")");
+    last_series = acquire(control, duration_s, attempt);
+    ++outcome.attempts;
+
+    // Each attempt gets its own session id: the server's idempotency
+    // cache would flag a re-acquisition under the old id as a replay
+    // with a different payload (kSessionConflict).
+    outcome.last_response = relay_analysis(
+        last_series, session_base_id + attempt, server, mac_key);
+    outcome.retransmissions += timing_.retransmissions;
+    outcome.timeouts += timing_.timeouts;
+
+    if (outcome.last_response.type == net::MessageType::kAnalysisResult) {
+      const auto peaks =
+          core::PeakReport::deserialize(outcome.last_response.payload);
+      outcome.diagnosis = controller.conclude(peaks);
+      outcome.recovered = outcome.quality_rejections > 0;
+      report("session complete (attempt " + std::to_string(attempt + 1) +
+             ")");
+      return outcome;
+    }
+
+    const auto error =
+        net::ErrorPayload::deserialize(outcome.last_response.payload);
+    if (error.code == net::ErrorCode::kQualityRejected)
+      ++outcome.quality_rejections;
+    if (attempt + 1 >= max_attempts) break;  // no budget left to plan for
+
+    const core::RecoveryPlan plan = controller.plan_recovery(error);
+    outcome.actions.push_back(plan.action);
+    report("attempt " + std::to_string(attempt + 1) + " rejected (" +
+           error.detail + "); recovery: " + core::to_string(plan.action));
+  }
+
+  // Retry budget exhausted: degrade to a best-effort on-phone analysis
+  // of the last acquisition rather than throwing the session away. The
+  // local service has no quality gate, so it always yields a report.
+  outcome.actions.push_back(core::RecoveryAction::kGiveUp);
+  outcome.degraded = true;
+  report("retries exhausted; degrading to on-phone analysis");
+  timing_.local_fallback = true;
+  const auto local = run_local_analysis(last_series, config_.local_analysis);
+  outcome.last_response = net::make_envelope(
+      net::MessageType::kAnalysisResult, session_base_id + outcome.attempts,
+      config_.device_id, local.serialize(), mac_key);
+  outcome.diagnosis = controller.conclude_degraded(local);
+  return outcome;
 }
 
 core::PeakReport PhoneRelay::analyze_locally(

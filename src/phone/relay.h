@@ -11,10 +11,13 @@
 #include <vector>
 
 #include "cloud/server.h"
+#include "core/controller.h"
+#include "core/recovery.h"
 #include "net/link.h"
 #include "net/messages.h"
 #include "net/reliable.h"
 #include "phone/profile.h"
+#include "sim/acquisition.h"
 
 namespace medsen::phone {
 
@@ -67,6 +70,31 @@ struct RelayConfig {
 
 using ProgressCallback = std::function<void(const std::string&)>;
 
+/// Outcome and counters of one self-healing diagnostic session (the
+/// RelayTiming-style bookkeeping for the retry loop).
+struct SessionOutcome {
+  core::Diagnosis diagnosis;
+  std::size_t attempts = 0;            ///< acquisitions performed
+  std::size_t quality_rejections = 0;  ///< structured quality errors seen
+  bool recovered = false;   ///< succeeded after at least one rejection
+  bool degraded = false;    ///< retry budget exhausted, best-effort result
+  /// The controller's recovery action after each failed attempt (ends
+  /// with kGiveUp when the session degraded).
+  std::vector<core::RecoveryAction> actions;
+  std::size_t retransmissions = 0;  ///< summed across all attempts
+  std::size_t timeouts = 0;         ///< summed across all attempts
+  net::Envelope last_response;      ///< final analysis (or local) envelope
+};
+
+/// How the relay asks the sensor for an acquisition attempt: given the
+/// control trace of the (re-keyed) schedule, the session duration and
+/// the 0-based attempt index, return the lock-in output. Tests and
+/// benches back this with sim::acquire(); `attempt` feeds
+/// sim::FaultConfig::attempt so transient faults can clear on retry.
+using AcquireFn = std::function<util::MultiChannelSeries(
+    std::span<const sim::ControlSegment> control, double duration_s,
+    std::size_t attempt)>;
+
 class PhoneRelay {
  public:
   explicit PhoneRelay(RelayConfig config = {});
@@ -91,6 +119,20 @@ class PhoneRelay {
   /// Returns the report and records the profile-scaled analysis time.
   core::PeakReport analyze_locally(const util::MultiChannelSeries& series,
                                    const cloud::AnalysisConfig& config);
+
+  /// Drive one complete self-healing diagnostic session end to end:
+  /// acquire under the controller's control trace, upload, and on a
+  /// structured quality rejection let the controller plan recovery
+  /// (re-key with suspects masked, derate flow, flush) and re-acquire,
+  /// up to RetryPolicy::max_attempts. Distinct attempts use session ids
+  /// `session_base_id + attempt` so the server's idempotency cache never
+  /// conflates them. When the budget is exhausted the session degrades
+  /// to an on-phone best-effort analysis with the policy's confidence
+  /// downgrade — it does not throw.
+  SessionOutcome run_diagnostic_session(
+      core::Controller& controller, double duration_s,
+      const AcquireFn& acquire, std::uint64_t session_base_id,
+      cloud::CloudServer& server, std::span<const std::uint8_t> mac_key);
 
   void set_progress_callback(ProgressCallback cb) { progress_ = std::move(cb); }
 

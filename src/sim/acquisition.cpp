@@ -35,22 +35,40 @@ AcquisitionResult acquire(const SampleSpec& sample,
   for (const auto& seg : control)
     flow.push_back({seg.t_start_s, seg.flow_ul_min});
 
+  // Fault injection: a progressive clog degrades the delivered flow
+  // before particle transits are simulated; the plan is forwarded so the
+  // rendered output's stall artifact matches the degraded profile. The
+  // plan draws only from config.faults.seed — when no fault is enabled
+  // this is a no-op and the acquisition is bit-identical to a fault-free
+  // build.
+  FaultPlan plan = FaultPlan::plan(config.faults, duration_s, design,
+                                   config.carriers_hz.size());
+  plan.degrade_flow(flow, duration_s);
+
   auto transits = simulate_transits(sample, channel, flow, duration_s, rng);
   return render_acquisition(std::move(transits), design, config, control,
-                            duration_s, seed + 0x5eed);
+                            duration_s, seed + 0x5eed, &plan);
 }
 
 AcquisitionResult render_acquisition(std::vector<TransitEvent> transits,
                                      const ElectrodeArrayDesign& design,
                                      const AcquisitionConfig& config,
                                      std::span<const ControlSegment> control,
-                                     double duration_s, std::uint64_t seed) {
+                                     double duration_s, std::uint64_t seed,
+                                     const FaultPlan* plan) {
   if (control.empty())
     throw std::invalid_argument(
         "render_acquisition: control trace must be non-empty");
   if (config.carriers_hz.empty())
     throw std::invalid_argument(
         "render_acquisition: need at least one carrier");
+
+  FaultPlan local_plan;
+  if (plan == nullptr && config.faults.any_enabled()) {
+    local_plan = FaultPlan::plan(config.faults, duration_s, design,
+                                 config.carriers_hz.size());
+    plan = &local_plan;
+  }
 
   crypto::ChaChaRng rng(seed);
   AcquisitionResult result;
@@ -66,8 +84,14 @@ AcquisitionResult render_acquisition(std::vector<TransitEvent> transits,
   result.truth.transits.reserve(transits.size());
   for (const auto& transit : transits) {
     const ControlSegment& seg = control_at(control, transit.enter_time_s);
+    // The commanded mask passes through the physical array's health:
+    // open electrodes and stuck mux bits override the key's E(t).
+    ElectrodeMask realized = seg.active_mask;
+    if (plan != nullptr && plan->active())
+      realized =
+          apply_health(realized, plan->electrode_health(transit.enter_time_s));
     const auto electrode_pulses = particle_pulses(
-        design, seg.active_mask, transit.enter_time_s, transit.speed_um_s);
+        design, realized, transit.enter_time_s, transit.speed_um_s);
     for (const auto& ep : electrode_pulses) {
       RenderedPulse rp;
       rp.time_s = ep.time_s;
@@ -112,6 +136,11 @@ AcquisitionResult render_acquisition(std::vector<TransitEvent> transits,
     result.signals.channels.push_back(
         lockin_output(baseline, 0.0, config.lockin));
   }
+  // Signal-level fault artifacts land on the rendered output after the
+  // lock-in chain — they model electrical faults in the front end, not
+  // fluidics (those were applied to transits/flow above).
+  if (plan != nullptr && plan->active())
+    plan->corrupt_output(result.signals, control);
   return result;
 }
 

@@ -19,6 +19,7 @@
 
 #include "sim/channel.h"
 #include "sim/electrode_array.h"
+#include "sim/faults.h"
 #include "sim/impedance_model.h"
 #include "sim/lockin.h"
 #include "sim/particle.h"
@@ -43,6 +44,11 @@ struct AcquisitionConfig {
   DriftConfig drift;
   ElectrodePairModel pair_model;
   double noise_sigma = 1.2e-4;
+  /// Hardware fault injection (sim/faults.h). Defaults to all-disabled;
+  /// fault realizations draw from FaultConfig::seed only, never from the
+  /// acquisition seed, so enabling faults perturbs neither the particle
+  /// arrivals nor the noise realization.
+  FaultConfig faults;
 };
 
 /// Ground truth for one particle transit.
@@ -81,11 +87,17 @@ AcquisitionResult acquire(const SampleSpec& sample,
 /// IV-A assigns a fresh key to each cell, which requires knowing the
 /// transit times before building the control trace. `seed` drives the
 /// noise/drift randomness only.
+///
+/// `plan` optionally supplies a pre-built fault realization (acquire()
+/// passes its own so flow degradation and signal corruption agree on the
+/// stall time); when null and config.faults enables faults, a plan is
+/// built internally.
 AcquisitionResult render_acquisition(std::vector<TransitEvent> transits,
                                      const ElectrodeArrayDesign& design,
                                      const AcquisitionConfig& config,
                                      std::span<const ControlSegment> control,
-                                     double duration_s, std::uint64_t seed);
+                                     double duration_s, std::uint64_t seed,
+                                     const FaultPlan* plan = nullptr);
 
 /// The control segment in effect at time t (last segment whose start <= t).
 const ControlSegment& control_at(std::span<const ControlSegment> control,

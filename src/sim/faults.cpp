@@ -1,0 +1,302 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/chacha20.h"
+#include "sim/acquisition.h"
+#include "sim/pump.h"
+
+namespace medsen::sim {
+
+namespace {
+
+// Per-fault stream tags: every fault draws from ChaChaRng(seed ^ tag),
+// so each realization is independent of which other faults are enabled
+// and of the base simulation's RNG.
+constexpr std::uint64_t kOpenTag = 0x6f70656e'00000001ULL;
+constexpr std::uint64_t kShortTag = 0x73687274'00000002ULL;
+constexpr std::uint64_t kMuxTag = 0x6d757862'00000003ULL;
+constexpr std::uint64_t kBubbleTag = 0x6275626c'00000004ULL;
+constexpr std::uint64_t kClogTag = 0x636c6f67'00000005ULL;
+constexpr std::uint64_t kAdcTag = 0x61646373'00000006ULL;
+constexpr std::uint64_t kDriftTag = 0x64726674'00000007ULL;
+constexpr std::uint64_t kSatTag = 0x73617467'00000008ULL;
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+double draw_onset(crypto::ChaChaRng& rng, const FaultOnset& onset,
+                  double duration_s) {
+  const double lo = std::clamp(onset.min_frac, 0.0, 1.0);
+  const double hi = std::clamp(onset.max_frac, lo, 1.0);
+  return duration_s * (lo + rng.uniform_double() * (hi - lo));
+}
+
+/// Arrival times of a Poisson process over [window_start, duration).
+std::vector<double> draw_events(crypto::ChaChaRng& rng, double rate_hz,
+                                double window_start_s, double duration_s) {
+  std::vector<double> times;
+  const double window = duration_s - window_start_s;
+  if (window <= 0.0 || rate_hz <= 0.0) return times;
+  const auto count = rng.poisson(rate_hz * window);
+  times.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i)
+    times.push_back(window_start_s + rng.uniform_double() * window);
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+/// Raised-cosine multiplicative dip centered at `center_s`: the sample
+/// at the center drops by `depth`, tapering smoothly to the edges.
+void apply_dip(util::TimeSeries& channel, double center_s, double width_s,
+               double depth) {
+  if (width_s <= 0.0 || channel.empty()) return;
+  const double half = width_s / 2.0;
+  const std::size_t begin = channel.index_at(center_s - half);
+  const std::size_t end =
+      std::min(channel.index_at(center_s + half) + 1, channel.size());
+  auto samples = channel.samples_mut();
+  for (std::size_t i = begin; i < end; ++i) {
+    const double dt = channel.time_at(i) - center_s;
+    if (std::fabs(dt) > half) continue;
+    const double shape = 0.5 * (1.0 + std::cos(M_PI * dt / half));
+    samples[i] *= 1.0 - depth * shape;
+  }
+}
+
+bool selects(std::span<const ControlSegment> control, double t,
+             std::size_t electrode) {
+  return ((control_at(control, t).active_mask >> electrode) & 1u) != 0;
+}
+
+}  // namespace
+
+bool FaultConfig::any_enabled() const {
+  return open.enabled || short_circuit.enabled || stuck_mux.enabled ||
+         bubbles.enabled || clog.enabled || adc_stuck.enabled ||
+         gain_drift.enabled || saturation.enabled;
+}
+
+FaultPlan FaultPlan::plan(const FaultConfig& config, double duration_s,
+                          const ElectrodeArrayDesign& design,
+                          std::size_t num_channels) {
+  (void)design;
+  FaultPlan p;
+  if (!config.any_enabled() || duration_s <= 0.0) return p;
+  p.active_ = true;
+  p.config_ = config;
+  p.num_channels_ = num_channels;
+
+  // Persistent faults draw their onsets from attempt-independent
+  // streams (the hardware stays broken the same way across retries);
+  // stochastic event trains and transient faults mix the attempt index
+  // so each retry sees a fresh — but still deterministic — realization.
+  const std::uint64_t attempt_mix =
+      kGolden * (static_cast<std::uint64_t>(config.attempt) + 1);
+
+  if (config.open.enabled) {
+    crypto::ChaChaRng rng(config.seed ^ kOpenTag);
+    p.open_onset_s_ = draw_onset(rng, config.open.onset, duration_s);
+  }
+  if (config.short_circuit.enabled) {
+    crypto::ChaChaRng rng(config.seed ^ kShortTag);
+    p.short_onset_s_ =
+        draw_onset(rng, config.short_circuit.onset, duration_s);
+    crypto::ChaChaRng events(config.seed ^ kShortTag ^ attempt_mix);
+    p.short_burst_times_s_ =
+        draw_events(events, config.short_circuit.burst_rate_hz,
+                    p.short_onset_s_, duration_s);
+  }
+  if (config.stuck_mux.enabled) {
+    crypto::ChaChaRng rng(config.seed ^ kMuxTag);
+    p.mux_onset_s_ = draw_onset(rng, config.stuck_mux.onset, duration_s);
+    if (config.stuck_mux.stuck_on) {
+      crypto::ChaChaRng events(config.seed ^ kMuxTag ^ attempt_mix);
+      p.mux_chatter_times_s_ =
+          draw_events(events, config.stuck_mux.chatter_rate_hz,
+                      p.mux_onset_s_, duration_s);
+    }
+  }
+  if (config.bubbles.enabled &&
+      config.attempt < config.bubbles.attempts_affected) {
+    crypto::ChaChaRng events(config.seed ^ kBubbleTag ^ attempt_mix);
+    p.bubble_times_s_ =
+        draw_events(events, config.bubbles.rate_hz, 0.0, duration_s);
+  }
+  if (config.clog.enabled) {
+    crypto::ChaChaRng rng(config.seed ^ kClogTag);
+    p.clog_onset_s_ = draw_onset(rng, config.clog.onset, duration_s);
+  }
+  if (config.adc_stuck.enabled &&
+      (config.adc_stuck.attempts_affected == 0 ||
+       config.attempt < config.adc_stuck.attempts_affected)) {
+    crypto::ChaChaRng rng(config.seed ^ kAdcTag);
+    p.adc_onset_s_ = draw_onset(rng, config.adc_stuck.onset, duration_s);
+    p.adc_window_s_ =
+        std::clamp(config.adc_stuck.window_frac, 0.0, 1.0) * duration_s;
+  }
+  if (config.gain_drift.enabled) {
+    crypto::ChaChaRng rng(config.seed ^ kDriftTag);
+    p.drift_onset_s_ = draw_onset(rng, config.gain_drift.onset, duration_s);
+  }
+  if (config.saturation.enabled) {
+    crypto::ChaChaRng rng(config.seed ^ kSatTag);
+    p.saturation_onset_s_ =
+        draw_onset(rng, config.saturation.onset, duration_s);
+  }
+  return p;
+}
+
+ElectrodeHealth FaultPlan::electrode_health(double t) const {
+  ElectrodeHealth health;
+  if (!active_) return health;
+  if (config_.open.enabled && t >= open_onset_s_)
+    health.forced_off |= ElectrodeMask{1} << config_.open.electrode;
+  if (config_.stuck_mux.enabled && t >= mux_onset_s_) {
+    const auto bit = ElectrodeMask{1} << config_.stuck_mux.electrode;
+    if (config_.stuck_mux.stuck_on)
+      health.forced_on |= bit;
+    else
+      health.forced_off |= bit;
+  }
+  if (stall_time_s_ && t >= *stall_time_s_) {
+    // A stalled pump delivers no particles; the channel output falls to
+    // the stalled baseline regardless of electrode state. Force the
+    // array dark so no phantom pulses render after the stall.
+    health.forced_off = ~ElectrodeMask{0};
+    health.forced_on = 0;
+  }
+  return health;
+}
+
+void FaultPlan::degrade_flow(std::vector<FlowSegment>& profile,
+                             double duration_s, double resolution_s) {
+  if (!active_ || !config_.clog.enabled || profile.empty() ||
+      duration_s <= 0.0 || resolution_s <= 0.0)
+    return;
+  const auto& clog = config_.clog;
+  std::vector<FlowSegment> degraded;
+  for (const auto& segment : profile)
+    if (segment.t_start_s < clog_onset_s_) degraded.push_back(segment);
+  if (degraded.empty())
+    degraded.push_back({0.0, flow_at(profile, 0.0)});
+
+  // Integrate the occlusion: the decay multiplier accumulates with a
+  // rate set by the *commanded* flow at each instant (lower commanded
+  // rates pack the clog more slowly), so a flow derate on retry
+  // genuinely postpones — and can avoid — the stall.
+  double multiplier = 1.0;
+  for (double t = clog_onset_s_; t < duration_s; t += resolution_s) {
+    const double commanded = flow_at(profile, t);
+    const double decayed =
+        clogged_flow(commanded, t + resolution_s, t, clog.tau_s,
+                     clog.nominal_ul_min);
+    if (commanded > 0.0) multiplier *= decayed / commanded;
+    const double delivered = commanded * multiplier;
+    if (delivered < clog.stall_below_ul_min) {
+      stall_time_s_ = t;
+      degraded.push_back({t, 0.0});
+      break;
+    }
+    degraded.push_back({t, delivered});
+  }
+  profile = std::move(degraded);
+}
+
+void FaultPlan::corrupt_output(util::MultiChannelSeries& signals,
+                               std::span<const ControlSegment> control) const {
+  if (!active_) return;
+  const std::size_t n_channels = signals.channels.size();
+  for (std::size_t c = 0; c < n_channels; ++c) {
+    auto& channel = signals.channels[c];
+    if (channel.empty()) continue;
+    auto samples = channel.samples_mut();
+
+    // Transient bubbles dip every channel (the bubble displaces the
+    // conductive medium across the whole array).
+    for (double tc : bubble_times_s_)
+      apply_dip(channel, tc, config_.bubbles.width_s, config_.bubbles.depth);
+
+    // Shorted electrode: burst excursions on its bound channel, gated
+    // on the commanded E(t) selecting it (the short sits downstream of
+    // the mux) — masking the electrode removes the artifact.
+    if (config_.short_circuit.enabled &&
+        carrier_channel_of_electrode(config_.short_circuit.electrode,
+                                     n_channels) == c) {
+      for (double tc : short_burst_times_s_)
+        if (selects(control, tc, config_.short_circuit.electrode))
+          apply_dip(channel, tc, config_.short_circuit.burst_width_s,
+                    config_.short_circuit.burst_depth);
+    }
+
+    // Stuck-ON mux bit: contact chatter on the bound channel regardless
+    // of E(t) — the one artifact masking cannot remove.
+    if (config_.stuck_mux.enabled && config_.stuck_mux.stuck_on &&
+        carrier_channel_of_electrode(config_.stuck_mux.electrode,
+                                     n_channels) == c) {
+      for (double tc : mux_chatter_times_s_)
+        apply_dip(channel, tc, config_.stuck_mux.chatter_width_s,
+                  config_.stuck_mux.chatter_depth);
+    }
+
+    // Gain drift: slow multiplicative ramp.
+    if (config_.gain_drift.enabled && config_.gain_drift.channel == c) {
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double t = channel.time_at(i);
+        if (t >= drift_onset_s_)
+          samples[i] *=
+              1.0 + config_.gain_drift.drift_per_s * (t - drift_onset_s_);
+      }
+    }
+
+    // Front-end saturation: runaway gain clipped at the rail.
+    if (config_.saturation.enabled && config_.saturation.channel == c) {
+      const std::size_t begin = channel.index_at(saturation_onset_s_);
+      for (std::size_t i = begin; i < samples.size(); ++i)
+        if (channel.time_at(i) >= saturation_onset_s_)
+          samples[i] *= config_.saturation.extra_gain;
+      clamp_rail(samples.subspan(begin), config_.saturation.rail_low,
+                 config_.saturation.rail_high);
+    }
+
+    // Open electrode (or stuck-OFF mux bit): selected-but-dead — the
+    // channel rails low whenever the commanded mask selects the dead
+    // electrode. Masking it out of E(t) heals the channel.
+    const bool open_here =
+        config_.open.enabled &&
+        carrier_channel_of_electrode(config_.open.electrode, n_channels) == c;
+    const bool stuck_off_here =
+        config_.stuck_mux.enabled && !config_.stuck_mux.stuck_on &&
+        carrier_channel_of_electrode(config_.stuck_mux.electrode,
+                                     n_channels) == c;
+    if (open_here || stuck_off_here) {
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double t = channel.time_at(i);
+        const bool open_dead = open_here && t >= open_onset_s_ &&
+                               selects(control, t, config_.open.electrode);
+        const bool mux_dead =
+            stuck_off_here && t >= mux_onset_s_ &&
+            selects(control, t, config_.stuck_mux.electrode);
+        if (open_dead || mux_dead) samples[i] = config_.open.dead_level;
+      }
+    }
+
+    // ADC stuck code: a window pinned to the conversion at its start.
+    if (config_.adc_stuck.enabled && config_.adc_stuck.channel == c &&
+        adc_window_s_ > 0.0) {
+      const std::size_t begin = channel.index_at(adc_onset_s_);
+      const std::size_t end =
+          channel.index_at(adc_onset_s_ + adc_window_s_) + 1;
+      pin_samples(samples, begin, end, samples[begin]);
+    }
+
+    // Pump stall: every channel falls to the stalled baseline (no flow,
+    // no conduction modulation). Applied last — it overrides everything.
+    if (stall_time_s_) {
+      const std::size_t begin = channel.index_at(*stall_time_s_);
+      pin_samples(samples, begin, samples.size(),
+                  config_.clog.stalled_baseline);
+    }
+  }
+}
+
+}  // namespace medsen::sim

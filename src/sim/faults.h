@@ -1,0 +1,214 @@
+#pragma once
+// Deterministic sensor fault injection. The paper's trusted sensor is
+// physical hardware that fails in physical ways — air bubbles, channel
+// clogs, fouled/open electrodes, pump stalls, stuck multiplexer bits,
+// stuck ADC codes — and the self-healing session loop (core/recovery.h)
+// exists to survive them. This layer realizes each fault as a
+// deterministic corruption of the simulated acquisition:
+//
+//   open electrode      selected-but-dead: its carrier channel rails low
+//                       while the key's E(t) selects it; its pulses are
+//                       dropped. Masking the electrode out of E(t) heals
+//                       the channel (the mux disconnects the fault).
+//   shorted electrode   large burst excursions on its carrier channel,
+//                       gated on selection — also healed by masking.
+//   stuck mux bit       stuck-ON: the electrode conducts (and chatters
+//                       on its channel) regardless of E(t), so masking
+//                       does NOT heal it — the strike counter walks it
+//                       into quarantine. stuck-OFF behaves like an open.
+//   bubble transits     transient multiplicative dips on all channels;
+//                       re-drawn per attempt and cleared after
+//                       `attempts_affected` (a flush carries them out).
+//   progressive clog    delivered flow decays from an onset; below the
+//                       stall threshold the pump stalls and every
+//                       channel falls to a stalled baseline. Lower
+//                       commanded flow slows the decay, which is why
+//                       the recovery policy's flow derate helps.
+//   ADC stuck code      a window of one channel pinned to a constant.
+//   gain drift          a slow multiplicative ramp on one channel.
+//   front-end saturation extra gain on one channel, clipped at the rail.
+//
+// Every fault draws exclusively from its own ChaChaRng stream seeded
+// from FaultConfig::seed (never from the base simulation's RNG), so
+// enabling a fault — or changing which faults are enabled — perturbs
+// neither the particle arrivals nor the noise realization, and with all
+// faults disabled the rendered output is bit-identical to a build
+// without this layer. Electrode faults surface on the carrier channel
+// given by carrier_channel_of_electrode(); only the controller, holding
+// the secret key schedule, can map a failing channel back to candidate
+// electrodes.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/electrode_array.h"
+#include "util/time_series.h"
+
+namespace medsen::sim {
+
+struct ControlSegment;  // sim/acquisition.h
+
+/// Onset window as fractions of the acquisition duration; the actual
+/// onset is drawn uniformly from [min_frac, max_frac] * duration using
+/// the fault's own RNG stream.
+struct FaultOnset {
+  double min_frac = 0.05;
+  double max_frac = 0.35;
+};
+
+struct OpenElectrodeFault {
+  bool enabled = false;
+  std::size_t electrode = 0;
+  FaultOnset onset;
+  /// Channel output while the dead electrode is selected (rails low,
+  /// well outside the quality gate's plausible range).
+  double dead_level = 0.05;
+};
+
+struct ShortedElectrodeFault {
+  bool enabled = false;
+  std::size_t electrode = 0;
+  FaultOnset onset;
+  double burst_depth = 0.8;    ///< fractional dip per burst
+  double burst_rate_hz = 3.0;  ///< mean bursts per second post-onset
+  double burst_width_s = 0.02;
+};
+
+struct StuckMuxFault {
+  bool enabled = false;
+  std::size_t electrode = 0;
+  /// true: bit stuck ON — the electrode conducts regardless of E(t) and
+  /// its channel carries ungated contact chatter (masking cannot heal
+  /// it). false: stuck OFF — behaves like an open electrode.
+  bool stuck_on = true;
+  FaultOnset onset;
+  double chatter_depth = 0.35;
+  double chatter_rate_hz = 12.0;
+  double chatter_width_s = 0.01;
+};
+
+struct BubbleFault {
+  bool enabled = false;
+  double rate_hz = 0.4;   ///< mean bubble transits per second
+  double depth = 0.5;     ///< multiplicative dip amplitude
+  double width_s = 0.25;
+  /// Attempts (0-based) still affected; a flush/retry carries the
+  /// bubbles out after this many. 1 = only the first attempt.
+  std::size_t attempts_affected = 1;
+};
+
+struct ClogFault {
+  bool enabled = false;
+  FaultOnset onset{0.1, 0.3};
+  double tau_s = 6.0;               ///< decay constant at nominal flow
+  double nominal_ul_min = 0.08;     ///< rate the tau is specified at
+  double stall_below_ul_min = 0.01; ///< delivered flow below this stalls
+  double stalled_baseline = 0.15;   ///< all-channel level after a stall
+};
+
+struct AdcStuckFault {
+  bool enabled = false;
+  std::size_t channel = 0;
+  FaultOnset onset;
+  double window_frac = 0.3;  ///< fraction of the record pinned
+  /// 0 = persists on every attempt; otherwise cleared (reseated
+  /// connector) once `attempt >= attempts_affected`.
+  std::size_t attempts_affected = 0;
+};
+
+struct GainDriftFault {
+  bool enabled = false;
+  std::size_t channel = 0;
+  FaultOnset onset;
+  double drift_per_s = 0.05;  ///< multiplicative ramp slope
+};
+
+struct SaturationFault {
+  bool enabled = false;
+  std::size_t channel = 0;
+  FaultOnset onset;
+  double extra_gain = 1.9;  ///< runaway front-end gain
+  double rail_high = 1.75;  ///< clip level
+  double rail_low = 0.0;
+};
+
+/// Which faults are enabled and how. Each fault's realization (onset,
+/// burst times, ...) is drawn from ChaChaRng(seed ^ fault_tag), so the
+/// faults are independent of each other and of the base simulation.
+struct FaultConfig {
+  std::uint64_t seed = 0x1457;
+  /// Session attempt index (0-based). Transient faults (bubbles, a
+  /// transient ADC glitch) mix it into their stream and clear after
+  /// their `attempts_affected`; persistent hardware faults ignore it.
+  std::size_t attempt = 0;
+
+  OpenElectrodeFault open;
+  ShortedElectrodeFault short_circuit;
+  StuckMuxFault stuck_mux;
+  BubbleFault bubbles;
+  ClogFault clog;
+  AdcStuckFault adc_stuck;
+  GainDriftFault gain_drift;
+  SaturationFault saturation;
+
+  [[nodiscard]] bool any_enabled() const;
+};
+
+/// A fully drawn fault realization for one acquisition attempt. Built
+/// once per acquisition; inert (and allocation-free) when no fault is
+/// enabled, so the fault-free path is bit-identical to a build without
+/// fault support.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  static FaultPlan plan(const FaultConfig& config, double duration_s,
+                        const ElectrodeArrayDesign& design,
+                        std::size_t num_channels);
+
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Electrode-level overrides in effect at time t (open electrodes,
+  /// stuck mux bits). Applied to the commanded mask via apply_health().
+  [[nodiscard]] ElectrodeHealth electrode_health(double t) const;
+
+  /// Degrade a commanded flow profile in place (clog decay, stall) and
+  /// record the stall time for corrupt_output(). Resamples the profile
+  /// at `resolution_s` once the clog's onset has passed.
+  void degrade_flow(std::vector<FlowSegment>& profile, double duration_s,
+                    double resolution_s = 0.25);
+
+  /// Time the pump stalled, if the clog progressed that far.
+  [[nodiscard]] std::optional<double> stall_time_s() const {
+    return stall_time_s_;
+  }
+
+  /// Apply all signal-level corruptions to the rendered lock-in output.
+  /// `control` is the commanded trace (selection-gated artifacts follow
+  /// the commanded E(t), not the realized mask).
+  void corrupt_output(util::MultiChannelSeries& signals,
+                      std::span<const ControlSegment> control) const;
+
+ private:
+  bool active_ = false;
+  FaultConfig config_;
+  std::size_t num_channels_ = 0;
+
+  double open_onset_s_ = 0.0;
+  double short_onset_s_ = 0.0;
+  std::vector<double> short_burst_times_s_;
+  double mux_onset_s_ = 0.0;
+  std::vector<double> mux_chatter_times_s_;
+  std::vector<double> bubble_times_s_;
+  double clog_onset_s_ = 0.0;
+  double adc_onset_s_ = 0.0;
+  double adc_window_s_ = 0.0;
+  double drift_onset_s_ = 0.0;
+  double saturation_onset_s_ = 0.0;
+  std::optional<double> stall_time_s_;
+};
+
+}  // namespace medsen::sim

@@ -1,5 +1,7 @@
 #include "sim/lockin.h"
 
+#include <algorithm>
+
 namespace medsen::sim {
 
 util::TimeSeries lockin_output(const std::vector<double>& oversampled,
@@ -17,6 +19,20 @@ util::TimeSeries lockin_output(const std::vector<double>& oversampled,
   for (double x : oversampled) filtered.push_back(lpf.step(x));
   const auto decimated = dsp::decimate(filtered, config.oversample);
   return util::TimeSeries(config.output_rate_hz, decimated, start_time_s);
+}
+
+void clamp_rail(std::span<double> samples, double lo, double hi) {
+  for (double& x : samples) {
+    if (x < lo) x = lo;
+    if (x > hi) x = hi;
+  }
+}
+
+void pin_samples(std::span<double> samples, std::size_t begin,
+                 std::size_t end, double value) {
+  begin = std::min(begin, samples.size());
+  end = std::min(end, samples.size());
+  for (std::size_t i = begin; i < end; ++i) samples[i] = value;
 }
 
 }  // namespace medsen::sim

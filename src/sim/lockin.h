@@ -5,6 +5,7 @@
 // which is then low-pass filtered (120 Hz cutoff) and decimated to the
 // 450 Hz output rate the paper records.
 
+#include <span>
 #include <vector>
 
 #include "dsp/filters.h"
@@ -29,5 +30,16 @@ struct LockInConfig {
 util::TimeSeries lockin_output(const std::vector<double>& oversampled,
                                double start_time_s,
                                const LockInConfig& config);
+
+/// Clamp samples to the front-end rails [lo, hi] — the saturation
+/// behaviour of the transimpedance stage when its input range is
+/// exceeded. Used by the fault layer.
+void clamp_rail(std::span<double> samples, double lo, double hi);
+
+/// Pin samples[begin, end) to a constant value — a stuck ADC code or a
+/// dead front-end holding its last conversion. Indices are clamped to
+/// the valid range. Used by the fault layer.
+void pin_samples(std::span<double> samples, std::size_t begin,
+                 std::size_t end, double value);
 
 }  // namespace medsen::sim

@@ -61,6 +61,17 @@ std::vector<FlowSegment> PumpProgram::compile(
   return segments;
 }
 
+double clogged_flow(double commanded_ul_min, double t, double onset_s,
+                    double tau_s, double nominal_ul_min) {
+  if (t < onset_s || commanded_ul_min <= 0.0 || tau_s <= 0.0)
+    return commanded_ul_min;
+  const double tau_eff =
+      nominal_ul_min > 0.0
+          ? tau_s * (nominal_ul_min / commanded_ul_min)
+          : tau_s;
+  return commanded_ul_min * std::exp(-(t - onset_s) / tau_eff);
+}
+
 double flow_at(const std::vector<FlowSegment>& profile, double t) {
   if (profile.empty())
     throw std::invalid_argument("flow_at: empty profile");

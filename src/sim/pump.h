@@ -55,4 +55,12 @@ class PumpProgram {
 /// the channel simulation applies).
 double flow_at(const std::vector<FlowSegment>& profile, double t);
 
+/// Delivered flow under a progressive clog: from `onset_s` the channel
+/// resistance grows and the delivered rate decays exponentially. Lower
+/// commanded rates pack the occlusion more slowly, so the decay constant
+/// scales inversely with the commanded rate relative to `nominal_ul_min`
+/// — which is exactly why the recovery policy's flow derate helps.
+double clogged_flow(double commanded_ul_min, double t, double onset_s,
+                    double tau_s, double nominal_ul_min);
+
 }  // namespace medsen::sim

@@ -1,5 +1,6 @@
 #include "util/fileio.h"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -12,6 +13,28 @@ void write_file(const std::string& path,
   out.write(reinterpret_cast<const char*>(data.data()),
             static_cast<std::streamsize>(data.size()));
   if (!out) throw std::runtime_error("write_file: write failed: " + path);
+}
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("write_file_atomic: cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write_file_atomic: write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_file_atomic: rename failed: " + path);
+  }
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {

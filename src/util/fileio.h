@@ -12,6 +12,13 @@ namespace medsen::util {
 /// Throws std::runtime_error on I/O failure.
 void write_file(const std::string& path, std::span<const std::uint8_t> data);
 
+/// Atomically replace `path` with `data`: writes `path + ".tmp"` first
+/// and renames it over the target, so a crash mid-write leaves the
+/// previous file intact (at worst an orphaned .tmp). Throws
+/// std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> data);
+
 /// Read a whole file; throws std::runtime_error if it cannot be opened.
 std::vector<std::uint8_t> read_file(const std::string& path);
 

@@ -88,5 +88,52 @@ TEST(Quality, ReportsFirstBadChannel) {
   EXPECT_NE(report.reason.find("channel 1"), std::string::npos);
 }
 
+TEST(Quality, EveryCheckIsScoredNotJustTheFirstFailure) {
+  // A channel both saturated AND full of dropouts must report both
+  // failures: recovery planning needs the full signature, not the first
+  // check that happened to trip.
+  auto series = healthy_series(8);
+  for (std::size_t i = 0; i < 2500; ++i) series.channels[0][i] = 2.5;
+  const auto report = assess_quality(series);
+  ASSERT_EQ(report.channels.size(), 1u);
+  const auto& channel = report.channels[0];
+  EXPECT_TRUE(channel.failed(QualityReason::kSaturated));
+  EXPECT_TRUE(channel.failed(QualityReason::kDropout));
+  // The summary stays the single most severe reason for wire compat.
+  EXPECT_EQ(report.reason_code, QualityReason::kSaturated);
+  EXPECT_EQ(channel.worst, QualityReason::kSaturated);
+}
+
+TEST(Quality, PerChannelReasonBytesMatchWorstPerChannel) {
+  auto series = healthy_series(9);
+  auto bad = healthy_series(10);
+  crypto::ChaChaRng rng(11);
+  sim::add_white_noise(bad.channels[0].storage(), 5e-3, rng);
+  series.channels.push_back(bad.channels[0]);
+  series.carrier_frequencies_hz.push_back(2.0e6);
+
+  const auto report = assess_quality(series);
+  EXPECT_FALSE(report.acceptable);
+  const auto bytes = report.channel_reason_bytes();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0],
+            static_cast<std::uint8_t>(QualityReason::kNone));
+  EXPECT_EQ(bytes[1],
+            static_cast<std::uint8_t>(QualityReason::kNoiseFloor));
+}
+
+TEST(Quality, MultipleFailingChannelsNotedInSummary) {
+  auto series = healthy_series(12);
+  series.channels.push_back(series.channels[0]);
+  series.carrier_frequencies_hz.push_back(2.0e6);
+  for (auto& channel : series.channels)
+    for (std::size_t i = 0; i < 500; ++i) channel[i] = 2.5;
+  const auto report = assess_quality(series);
+  EXPECT_FALSE(report.acceptable);
+  EXPECT_NE(report.reason.find("channel 0"), std::string::npos);
+  EXPECT_NE(report.reason.find("+1 more failing channel"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace medsen::cloud

@@ -1,0 +1,258 @@
+// The TCB side of the self-healing loop: the health ledger's strike /
+// quarantine lifecycle, the reason->action mapping of plan_recovery, and
+// the controller's re-key with suspects masked and flow derated.
+
+#include "core/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/diagnostic.h"
+
+namespace medsen::core {
+namespace {
+
+net::ErrorPayload quality_error(std::vector<std::uint8_t> reasons) {
+  net::ErrorPayload error;
+  error.code = net::ErrorCode::kQualityRejected;
+  error.detail = "test verdict";
+  error.channel_reasons = std::move(reasons);
+  return error;
+}
+
+// channel_reasons bytes are failure bitmasks: bit (1 << reason).
+constexpr std::uint8_t bit(net::QualityReason reason) {
+  return static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(reason));
+}
+constexpr auto kSat = bit(net::QualityReason::kSaturated);
+constexpr auto kNoise = bit(net::QualityReason::kNoiseFloor);
+constexpr auto kDrift = bit(net::QualityReason::kDrift);
+constexpr std::uint8_t kOk = 0;
+
+TEST(HealthLedger, StrikesAccumulateIntoQuarantine) {
+  ElectrodeHealthLedger ledger(4, 2);
+  EXPECT_EQ(ledger.excluded(), 0u);
+
+  ledger.strike(0b0001);
+  EXPECT_EQ(ledger.suspects(), 0b0001u);
+  EXPECT_EQ(ledger.quarantined(), 0u);
+  EXPECT_EQ(ledger.strikes(0), 1u);
+
+  ledger.strike(0b0001);
+  EXPECT_EQ(ledger.quarantined(), 0b0001u);
+
+  // A new session loop forgives suspects but never quarantine.
+  ledger.strike(0b0010);
+  ledger.begin_loop();
+  EXPECT_EQ(ledger.suspects(), 0u);
+  EXPECT_EQ(ledger.quarantined(), 0b0001u);
+  EXPECT_EQ(ledger.excluded(), 0b0001u);
+  EXPECT_EQ(ledger.strikes(1), 1u);  // the counter itself persists
+}
+
+TEST(PlanRecovery, NonQualityErrorIsAPlainRetry) {
+  net::ErrorPayload error;
+  error.code = net::ErrorCode::kOverloaded;
+  ElectrodeHealthLedger ledger(4, 2);
+  const auto plan = plan_recovery(error, {4, 0b1111, 1.0}, ledger, {});
+  EXPECT_EQ(plan.action, RecoveryAction::kRetry);
+  EXPECT_EQ(plan.newly_suspect, 0u);
+  EXPECT_EQ(ledger.excluded(), 0u);
+}
+
+TEST(PlanRecovery, LegacyVerdictWithoutChannelsFlushes) {
+  ElectrodeHealthLedger ledger(4, 2);
+  const auto plan =
+      plan_recovery(quality_error({}), {4, 0b1111, 1.0}, ledger, {});
+  EXPECT_EQ(plan.action, RecoveryAction::kFlush);
+}
+
+TEST(PlanRecovery, IsolatedFailureStrikesBoundActiveElectrodes) {
+  // 4 electrodes over 2 carriers: electrodes 0 and 2 feed channel 0.
+  ElectrodeHealthLedger ledger(4, 2);
+  const auto plan =
+      plan_recovery(quality_error({kSat, kOk}), {4, 0b1111, 1.0}, ledger,
+                    {});
+  EXPECT_EQ(plan.action, RecoveryAction::kMaskElectrodes);
+  EXPECT_EQ(plan.newly_suspect, 0b0101u);
+  EXPECT_EQ(ledger.suspects(), 0b0101u);
+}
+
+TEST(PlanRecovery, InactiveElectrodesAreNotBlamed) {
+  // Only electrode 0 was ever active on the failing channel; electrode 2
+  // never touched the signal and must not be struck.
+  ElectrodeHealthLedger ledger(4, 2);
+  const auto plan =
+      plan_recovery(quality_error({kSat, kOk}), {4, 0b0011, 1.0}, ledger,
+                    {});
+  EXPECT_EQ(plan.newly_suspect, 0b0001u);
+}
+
+TEST(PlanRecovery, SystemicSaturationDeratesFlow) {
+  ElectrodeHealthLedger ledger(4, 2);
+  RetryPolicy policy;
+  auto plan = plan_recovery(quality_error({kSat, kSat}), {4, 0b1111, 1.0},
+                            ledger, policy);
+  EXPECT_EQ(plan.action, RecoveryAction::kReduceFlow);
+  EXPECT_DOUBLE_EQ(plan.flow_scale, policy.flow_derate);
+  EXPECT_EQ(plan.newly_suspect, 0u);  // systemic: no electrode blamed
+
+  // The cumulative derate floors at min_flow_scale.
+  plan = plan_recovery(quality_error({kSat, kSat}),
+                       {4, 0b1111, policy.min_flow_scale}, ledger, policy);
+  EXPECT_DOUBLE_EQ(plan.flow_scale, policy.min_flow_scale);
+}
+
+TEST(PlanRecovery, SystemicNoiseFlushes) {
+  ElectrodeHealthLedger ledger(4, 2);
+  const auto plan = plan_recovery(quality_error({kNoise, kNoise}),
+                                  {4, 0b1111, 1.0}, ledger, {});
+  EXPECT_EQ(plan.action, RecoveryAction::kFlush);
+  EXPECT_EQ(plan.newly_suspect, 0u);
+}
+
+TEST(PlanRecovery, SystemicBitsDoNotShadowIsolatedOnes) {
+  // The dead-electrode-plus-bubbles signature: bubbles put drift on BOTH
+  // channels (systemic), while the dead electrode additionally saturates
+  // its own channel (isolated). The planner must strike only channel 0's
+  // electrodes — the systemic drift exonerates channel 1 — even though
+  // channel 0's bitmask carries both failures.
+  ElectrodeHealthLedger ledger(4, 2);
+  const auto plan = plan_recovery(
+      quality_error({static_cast<std::uint8_t>(kSat | kDrift), kDrift}),
+      {4, 0b1111, 1.0}, ledger, {});
+  EXPECT_EQ(plan.action, RecoveryAction::kMaskElectrodes);
+  EXPECT_EQ(plan.newly_suspect, 0b0101u);
+}
+
+TEST(PlanRecovery, SingleChannelUploadIsAlwaysSystemic) {
+  // One carrier cannot isolate an electrode; even a saturated verdict
+  // must be treated as systemic rather than striking every electrode.
+  ElectrodeHealthLedger ledger(4, 2);
+  const auto plan =
+      plan_recovery(quality_error({kSat}), {4, 0b1111, 1.0}, ledger, {});
+  EXPECT_EQ(plan.action, RecoveryAction::kReduceFlow);
+  EXPECT_EQ(plan.newly_suspect, 0u);
+}
+
+TEST(PlanRecovery, PersistentFailureWalksPriorSuspectIntoQuarantine) {
+  // Attempt 1: channel 0 fails, electrode 0 (the only bound active one)
+  // is struck and masked.
+  ElectrodeHealthLedger ledger(4, 2);
+  (void)plan_recovery(quality_error({kSat, kOk}), {4, 0b0011, 1.0}, ledger,
+                      {});
+  ASSERT_EQ(ledger.suspects(), 0b0001u);
+  ASSERT_EQ(ledger.quarantined(), 0u);
+
+  // Attempt 2: electrode 0 is masked out of the schedule (active union
+  // excludes it) yet its channel STILL fails — the stuck-ON signature.
+  // The prior suspect is re-struck and crosses into quarantine.
+  const auto plan = plan_recovery(quality_error({kSat, kOk}),
+                                  {4, 0b0010, 1.0}, ledger, {});
+  EXPECT_EQ(plan.newly_suspect, 0b0001u);
+  EXPECT_EQ(ledger.quarantined(), 0b0001u);
+
+  // Attempt 3: quarantined electrodes are never struck again.
+  const auto plan3 = plan_recovery(quality_error({kSat, kOk}),
+                                   {4, 0b0010, 1.0}, ledger, {});
+  EXPECT_EQ(plan3.newly_suspect, 0u);
+  EXPECT_EQ(ledger.strikes(0), 2u);
+}
+
+TEST(RecoveryAction, Names) {
+  EXPECT_STREQ(to_string(RecoveryAction::kFlush), "flush");
+  EXPECT_STREQ(to_string(RecoveryAction::kReduceFlow), "reduce flow");
+  EXPECT_STREQ(to_string(RecoveryAction::kMaskElectrodes),
+               "mask electrodes");
+  EXPECT_STREQ(to_string(RecoveryAction::kGiveUp), "give up");
+}
+
+class ControllerRecoveryTest : public ::testing::Test {
+ protected:
+  ControllerRecoveryTest()
+      : controller_(make_params(), sim::standard_design(9),
+                    DiagnosticProfile::cd4_staging(), 21) {}
+
+  static KeyParams make_params() {
+    KeyParams params;
+    params.num_electrodes = 9;
+    params.period_s = 2.0;
+    return params;
+  }
+
+  Controller controller_;
+};
+
+TEST_F(ControllerRecoveryTest, RetrySessionMasksSuspects) {
+  (void)controller_.begin_session(20.0);
+
+  // Channel 0 saturated, channel 1 clean: the controller should blame
+  // its active electrodes bound to channel 0 and re-key without them.
+  const auto plan =
+      controller_.plan_recovery(quality_error({kSat, kOk}));
+  EXPECT_EQ(plan.action, RecoveryAction::kMaskElectrodes);
+  EXPECT_NE(controller_.health().suspects(), 0u);
+
+  (void)controller_.begin_retry_session(20.0);
+  const auto& schedule = controller_.session_key_schedule_for_testing();
+  for (const auto& timed : schedule.keys())
+    EXPECT_EQ(timed.key.electrodes & controller_.health().excluded(), 0u);
+}
+
+TEST_F(ControllerRecoveryTest, SystemicVerdictDeratesRetryFlow) {
+  (void)controller_.begin_session(20.0);
+  const auto before = controller_.session_key_schedule_for_testing();
+
+  const auto plan = controller_.plan_recovery(quality_error({kSat, kSat}));
+  EXPECT_EQ(plan.action, RecoveryAction::kReduceFlow);
+  EXPECT_LT(controller_.flow_scale(), 1.0);
+
+  (void)controller_.begin_retry_session(20.0);
+  const auto& after = controller_.session_key_schedule_for_testing();
+  double sum_before = 0.0, sum_after = 0.0;
+  for (const auto& timed : before.keys())
+    sum_before += flow_value(before.params(), timed.key.flow_code);
+  for (const auto& timed : after.keys())
+    sum_after += flow_value(after.params(), timed.key.flow_code);
+  EXPECT_LT(sum_after / static_cast<double>(after.keys().size()),
+            sum_before / static_cast<double>(before.keys().size()));
+}
+
+TEST_F(ControllerRecoveryTest, FreshSessionResetsLoopButKeepsQuarantine) {
+  (void)controller_.begin_session(20.0);
+  // Two strikes on the same channel with the electrode still implicated
+  // (prior-suspect path) force a quarantine.
+  (void)controller_.plan_recovery(quality_error({kSat, kOk}));
+  (void)controller_.begin_retry_session(20.0);
+  (void)controller_.plan_recovery(quality_error({kSat, kOk}));
+  const auto quarantined = controller_.health().quarantined();
+  EXPECT_NE(quarantined, 0u);
+
+  (void)controller_.begin_session(20.0);
+  EXPECT_EQ(controller_.health().suspects(), 0u);
+  EXPECT_EQ(controller_.health().quarantined(), quarantined);
+  EXPECT_DOUBLE_EQ(controller_.flow_scale(), 1.0);
+  // The fresh schedule still excludes the quarantined electrodes.
+  for (const auto& timed :
+       controller_.session_key_schedule_for_testing().keys())
+    EXPECT_EQ(timed.key.electrodes & quarantined, 0u);
+}
+
+TEST_F(ControllerRecoveryTest, HealthyRecoveryStateIsANoOp) {
+  // With a clean ledger at nominal flow the recovery plumbing must not
+  // change the schedule: same entropy seed, same keys as a controller
+  // that never heard of recovery.
+  Controller twin(make_params(), sim::standard_design(9),
+                  DiagnosticProfile::cd4_staging(), 21);
+  const auto a = controller_.begin_session(20.0);
+  const auto b = twin.begin_session(20.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].active_mask, b[i].active_mask);
+    EXPECT_EQ(a[i].flow_ul_min, b[i].flow_ul_min);
+    EXPECT_EQ(a[i].gains, b[i].gains);
+  }
+}
+
+}  // namespace
+}  // namespace medsen::core

@@ -9,6 +9,7 @@
 
 #include "cloud/persistence.h"
 #include "cloud/server.h"
+#include "util/fileio.h"
 #include "core/controller.h"
 #include "core/encryptor.h"
 #include "phone/relay.h"
@@ -86,6 +87,47 @@ TEST(Restart, AuthenticationSurvivesServerRestart) {
 
   std::remove(enroll_path.c_str());
   std::remove(records_path.c_str());
+}
+
+// A crash between opening the output file and finishing the write must
+// not destroy the previous good database. save_enrollments/save_records
+// write a sibling .tmp and rename it into place, so the worst a crash
+// can leave behind is a truncated .tmp next to an intact live file.
+TEST(Restart, TornWriteLeavesPreviousDatabaseLoadable) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/medsen_torn_enroll.bin";
+
+  auth::CytoAlphabet alphabet;
+  auth::CytoCode code;
+  code.levels = {1, 2};
+  auth::EnrollmentDatabase db(alphabet);
+  db.enroll("bob", code);
+  cloud::save_enrollments(db, path);
+
+  // Simulate a crash mid-save: a later save got as far as writing a
+  // truncated temp file and died before the rename.
+  {
+    const auto good = util::read_file(path);
+    std::vector<std::uint8_t> torn(good.begin(),
+                                   good.begin() + good.size() / 2);
+    util::write_file(path + ".tmp", torn);
+  }
+
+  // The live file is untouched and still loads.
+  const auto reloaded = cloud::load_enrollments(path);
+  EXPECT_EQ(reloaded.lookup(code), "bob");
+  // The torn temp file itself is rejected by the sealed-format check.
+  EXPECT_THROW((void)cloud::load_enrollments(path + ".tmp"),
+               std::exception);
+
+  // A subsequent successful save replaces the target and reuses the
+  // temp path, leaving no stale .tmp behind.
+  db.enroll("carol", auth::CytoCode{{2, 2}});
+  cloud::save_enrollments(db, path);
+  EXPECT_FALSE(util::file_exists(path + ".tmp"));
+  EXPECT_EQ(cloud::load_enrollments(path).lookup(code), "bob");
+
+  std::remove(path.c_str());
 }
 
 }  // namespace

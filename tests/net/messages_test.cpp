@@ -82,6 +82,37 @@ TEST(Messages, ErrorPayloadRoundTrip) {
   EXPECT_EQ(restored.code, ErrorCode::kQualityRejected);
   EXPECT_EQ(restored.subcode, 3u);
   EXPECT_EQ(restored.detail, "acquisition rejected (saturated)");
+  EXPECT_TRUE(restored.channel_reasons.empty());
+}
+
+TEST(Messages, ErrorPayloadChannelReasonsRoundTrip) {
+  ErrorPayload error;
+  error.code = ErrorCode::kQualityRejected;
+  error.subcode = static_cast<std::uint8_t>(QualityReason::kSaturated);
+  error.detail = "channel 0: saturated/implausible samples";
+  // One failure bitmask per channel: bit (1 << reason).
+  error.channel_reasons = {
+      static_cast<std::uint8_t>(
+          1u << static_cast<std::uint8_t>(QualityReason::kSaturated)),
+      0,
+      static_cast<std::uint8_t>(
+          (1u << static_cast<std::uint8_t>(QualityReason::kNoiseFloor)) |
+          (1u << static_cast<std::uint8_t>(QualityReason::kDrift)))};
+  const auto restored = ErrorPayload::deserialize(error.serialize());
+  EXPECT_EQ(restored.channel_reasons, error.channel_reasons);
+}
+
+TEST(Messages, QualityReasonSeverityOrdering) {
+  // Lower nonzero wire value = more severe; kNone never wins.
+  EXPECT_TRUE(
+      more_severe(QualityReason::kSaturated, QualityReason::kDrift));
+  EXPECT_TRUE(
+      more_severe(QualityReason::kNoiseFloor, QualityReason::kNone));
+  EXPECT_FALSE(
+      more_severe(QualityReason::kNone, QualityReason::kDrift));
+  EXPECT_FALSE(
+      more_severe(QualityReason::kDrift, QualityReason::kSaturated));
+  EXPECT_STREQ(to_string(QualityReason::kDropout), "dropout");
 }
 
 TEST(Messages, ErrorCodeNames) {

@@ -1,0 +1,237 @@
+// The fault-injection layer's contract: deterministic, independently
+// seeded, and strictly inert when disabled — enabling a fault must not
+// perturb the base simulation's randomness, and disabling all faults
+// must reproduce the fault-free output bit for bit.
+
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/acquisition.h"
+#include "sim/pump.h"
+
+namespace medsen::sim {
+namespace {
+
+AcquisitionConfig fast_config() {
+  AcquisitionConfig config;
+  config.carriers_hz = {5.0e5, 2.0e6};
+  config.noise_sigma = 5e-5;
+  config.drift.slow_amplitude = 0.002;
+  config.drift.random_walk_sigma = 1e-6;
+  return config;
+}
+
+ControlSegment fixed_segment(ElectrodeMask mask, double flow = 0.08) {
+  ControlSegment seg;
+  seg.t_start_s = 0.0;
+  seg.active_mask = mask;
+  seg.flow_ul_min = flow;
+  return seg;
+}
+
+AcquisitionResult run(const AcquisitionConfig& config,
+                      ElectrodeMask mask = 0b1, double duration = 20.0) {
+  SampleSpec sample;
+  sample.components = {{ParticleType::kBead780, 300.0}};
+  ChannelConfig channel;
+  channel.loss.enabled = false;
+  const auto design = standard_design(9);
+  const std::vector<ControlSegment> control = {fixed_segment(mask)};
+  return acquire(sample, channel, design, config, control, duration, 42);
+}
+
+void expect_bit_identical(const util::MultiChannelSeries& a,
+                          const util::MultiChannelSeries& b) {
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  for (std::size_t c = 0; c < a.channels.size(); ++c) {
+    ASSERT_EQ(a.channels[c].size(), b.channels[c].size());
+    for (std::size_t i = 0; i < a.channels[c].size(); ++i)
+      ASSERT_EQ(a.channels[c][i], b.channels[c][i])
+          << "channel " << c << " sample " << i;
+  }
+}
+
+TEST(Faults, DisabledLayerIsBitIdentical) {
+  // A fault config with every fault off — even with a different fault
+  // seed — must not change a single output bit.
+  const auto baseline = run(fast_config());
+  auto config = fast_config();
+  config.faults.seed = 0xDEADBEEF;
+  config.faults.attempt = 7;
+  const auto with_layer = run(config);
+  expect_bit_identical(baseline.signals, with_layer.signals);
+  EXPECT_EQ(baseline.truth.total_particles(),
+            with_layer.truth.total_particles());
+}
+
+TEST(Faults, EnablingFaultDoesNotPerturbArrivals) {
+  // The fault stream is isolated from the base simulation's RNG: the
+  // same particles transit at the same times whether or not a fault is
+  // injected.
+  const auto clean = run(fast_config());
+  auto config = fast_config();
+  config.faults.open.enabled = true;
+  config.faults.open.electrode = 0;
+  const auto faulty = run(config);
+  ASSERT_EQ(clean.truth.transits.size(), faulty.truth.transits.size());
+  for (std::size_t i = 0; i < clean.truth.transits.size(); ++i)
+    EXPECT_EQ(clean.truth.transits[i].event.enter_time_s,
+              faulty.truth.transits[i].event.enter_time_s);
+}
+
+TEST(Faults, DeterministicForSameFaultSeed) {
+  auto config = fast_config();
+  config.faults.bubbles.enabled = true;
+  config.faults.short_circuit.enabled = true;
+  config.faults.short_circuit.electrode = 0;
+  const auto a = run(config);
+  const auto b = run(config);
+  expect_bit_identical(a.signals, b.signals);
+}
+
+TEST(Faults, OpenElectrodeRailsItsBoundChannelOnly) {
+  auto config = fast_config();
+  config.faults.open.enabled = true;
+  config.faults.open.electrode = 0;  // bound to carrier channel 0 % 2
+  config.faults.open.onset = {0.2, 0.2};
+  const auto result = run(config);  // electrode 0 always selected
+
+  const auto& bound = result.signals.channels[0];
+  const auto& other = result.signals.channels[1];
+  std::size_t bound_dead = 0, other_dead = 0;
+  const std::size_t onset_index = bound.size() / 5;
+  for (std::size_t i = onset_index; i < bound.size(); ++i) {
+    if (bound[i] < 0.3) ++bound_dead;
+    if (other[i] < 0.3) ++other_dead;
+  }
+  // Post-onset the dead electrode rails its channel while selected;
+  // the unrelated carrier keeps a normal baseline.
+  EXPECT_GT(bound_dead, (bound.size() - onset_index) / 2);
+  EXPECT_LT(other_dead, (other.size() - onset_index) / 20);
+}
+
+TEST(Faults, StallPinsEveryChannelToStalledBaseline) {
+  auto config = fast_config();
+  config.faults.clog.enabled = true;
+  config.faults.clog.onset = {0.1, 0.1};
+  config.faults.clog.tau_s = 1.0;  // aggressive clog: stalls quickly
+  const auto result = run(config, 0b1, 30.0);
+
+  for (const auto& channel : result.signals.channels) {
+    ASSERT_GT(channel.size(), 0u);
+    // The tail of the record is after the stall: exactly the stalled
+    // baseline, no noise (the ADC sees a dead fluidic channel).
+    const std::size_t tail_start = channel.size() - channel.size() / 10;
+    for (std::size_t i = tail_start; i < channel.size(); ++i)
+      ASSERT_DOUBLE_EQ(channel[i], config.faults.clog.stalled_baseline);
+  }
+}
+
+TEST(Faults, ClogStallsLaterAtLowerCommandedFlow) {
+  // The physical rationale for the recovery policy's flow derate: a
+  // lower commanded flow packs the clog more slowly (tau scales up), so
+  // the delivered flow crosses the stall threshold later or never.
+  ClogFault clog;
+  clog.enabled = true;
+  const double onset = 2.0, tau = 6.0, nominal = 0.08;
+  const double fast = clogged_flow(nominal, 10.0, onset, tau, nominal);
+  const double slow = clogged_flow(nominal / 2, 10.0, onset, tau, nominal);
+  EXPECT_LT(fast, nominal);
+  // Same elapsed time, half the commanded rate: less relative decay.
+  EXPECT_GT(slow / (nominal / 2), fast / nominal);
+}
+
+TEST(Faults, BubblesClearAfterConfiguredAttempts) {
+  auto config = fast_config();
+  config.faults.bubbles.enabled = true;
+  config.faults.bubbles.attempts_affected = 1;
+
+  const auto clean = run(fast_config());
+  const auto first_attempt = run(config);
+  // Attempt 0 is affected: at least one all-channel dip must appear.
+  double clean_min = 1e9, faulty_min = 1e9;
+  for (std::size_t i = 0; i < clean.signals.channels[0].size(); ++i) {
+    clean_min = std::min(clean_min, clean.signals.channels[0][i]);
+    faulty_min = std::min(faulty_min, first_attempt.signals.channels[0][i]);
+  }
+  EXPECT_LT(faulty_min, clean_min - 0.05);
+
+  // Attempt 1 is past attempts_affected: the flush carried the bubbles
+  // out and the output is bit-identical to the fault-free run.
+  config.faults.attempt = 1;
+  const auto second_attempt = run(config);
+  expect_bit_identical(clean.signals, second_attempt.signals);
+}
+
+TEST(Faults, SaturationClipsAtTheRail) {
+  auto config = fast_config();
+  config.faults.saturation.enabled = true;
+  config.faults.saturation.channel = 1;
+  config.faults.saturation.onset = {0.1, 0.1};
+  const auto result = run(config);
+
+  const auto& sat = result.signals.channels[1];
+  double max_v = 0.0;
+  std::size_t railed = 0;
+  for (std::size_t i = 0; i < sat.size(); ++i) {
+    max_v = std::max(max_v, sat[i]);
+    if (sat[i] == config.faults.saturation.rail_high) ++railed;
+  }
+  EXPECT_LE(max_v, config.faults.saturation.rail_high);
+  EXPECT_GT(railed, sat.size() / 10);  // visibly clipped, not borderline
+}
+
+TEST(Faults, AdcStuckPinsAContiguousWindow) {
+  auto config = fast_config();
+  config.faults.adc_stuck.enabled = true;
+  config.faults.adc_stuck.channel = 0;
+  config.faults.adc_stuck.window_frac = 0.3;
+  const auto result = run(config);
+
+  const auto& pinned = result.signals.channels[0];
+  std::size_t longest = 0, current = 0;
+  for (std::size_t i = 1; i < pinned.size(); ++i) {
+    current = pinned[i] == pinned[i - 1] ? current + 1 : 0;
+    longest = std::max(longest, current);
+  }
+  EXPECT_GE(longest, static_cast<std::size_t>(
+                         static_cast<double>(pinned.size()) * 0.25));
+}
+
+TEST(Faults, StuckOnMuxOverridesCommandedMask) {
+  const auto design = standard_design(9);
+  FaultConfig config;
+  config.stuck_mux.enabled = true;
+  config.stuck_mux.electrode = 3;
+  config.stuck_mux.stuck_on = true;
+  config.stuck_mux.onset = {0.2, 0.2};
+  const auto plan = FaultPlan::plan(config, 10.0, design, 2);
+  ASSERT_TRUE(plan.active());
+
+  EXPECT_TRUE(plan.electrode_health(0.0).healthy());  // before onset
+  const auto health = plan.electrode_health(5.0);
+  EXPECT_EQ(health.forced_on, ElectrodeMask{1} << 3);
+  // The commanded mask cannot turn the stuck bit off.
+  EXPECT_EQ(apply_health(0b0, health), ElectrodeMask{0b1000});
+}
+
+TEST(Faults, InactivePlanLeavesFlowProfileUntouched) {
+  const auto design = standard_design(9);
+  const auto plan = FaultPlan::plan(FaultConfig{}, 10.0, design, 2);
+  EXPECT_FALSE(plan.active());
+  std::vector<FlowSegment> profile = {{0.0, 0.08}, {5.0, 0.12}};
+  auto copy = profile;
+  FaultPlan mutable_plan = plan;
+  mutable_plan.degrade_flow(copy, 10.0);
+  EXPECT_EQ(copy.size(), profile.size());
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    EXPECT_EQ(copy[i].t_start_s, profile[i].t_start_s);
+    EXPECT_EQ(copy[i].flow_ul_min, profile[i].flow_ul_min);
+  }
+}
+
+}  // namespace
+}  // namespace medsen::sim

@@ -25,9 +25,19 @@ Enforces project-specific correctness contracts that generic tooling
                     implementation-defined, so such loops break the
                     bit-deterministic wire format.
 
+  fault-stream      The fault-injection API (src/sim/faults.h) must
+                    draw every realization from its own streams built
+                    from FaultConfig::seed: no public signature may
+                    accept a `ChaChaRng&` from a caller. Sharing the
+                    base simulation's RNG would advance it, perturbing
+                    the particle arrivals and noise whenever a fault is
+                    toggled — and the faults-disabled golden outputs are
+                    required to be bit-identical. (Internal helpers in
+                    faults.cpp may pass locally built fault streams.)
+
 Suppress a finding by appending `// medsen-lint: allow(<rule>)` to the
 offending line, where <rule> is one of: determinism, decoder-tests,
-unordered-serial.
+unordered-serial, fault-stream.
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage
 errors. Run from anywhere: `python3 tools/lint/medsen_lint.py [--root DIR]`.
@@ -54,7 +64,16 @@ DETERMINISM_PATTERNS = [
      "time()"),
     (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
     (re.compile(r"\bgetentropy\b"), "getentropy()"),
+    (re.compile(r"\bmt19937(?:_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bdefault_random_engine\b"), "std::default_random_engine"),
 ]
+
+# The fault layer must own its RNG streams (seeded from FaultConfig::seed);
+# a public signature accepting a caller's ChaChaRng would let fault draws
+# advance the base simulation's stream. The header is the contract; the
+# .cpp may pass locally built fault streams between internal helpers.
+FAULT_STREAM_FILES = ("src/sim/faults.h",)
+FAULT_STREAM_PARAM = re.compile(r"ChaChaRng\s*&")
 
 DECODER_DECL = re.compile(
     r"\b(?P<name>deserialize(?:_[a-z0-9_]+)?|[a-z0-9_]+_decode)\s*\(")
@@ -105,6 +124,22 @@ def check_determinism(root: Path, findings: list[str]) -> None:
                             f"[determinism] {label} in a deterministic "
                             f"subsystem; use the seeded RNG / "
                             f"SimulatedClock utilities")
+
+
+def check_fault_streams(root: Path, findings: list[str]) -> None:
+    for rel in FAULT_STREAM_FILES:
+        path = root / rel
+        if not path.is_file():
+            continue
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            if allowed(raw, "fault-stream"):
+                continue
+            if FAULT_STREAM_PARAM.search(strip_comments_and_strings(raw)):
+                findings.append(
+                    f"{path.relative_to(root)}:{lineno}: [fault-stream] "
+                    f"the fault API must not take a ChaChaRng& — build "
+                    f"its own stream from FaultConfig::seed so fault draws "
+                    f"never advance the base simulation's RNG")
 
 
 def collect_decoders(root: Path) -> list[tuple[Path, int, str]]:
@@ -215,6 +250,7 @@ def main() -> int:
 
     findings: list[str] = []
     check_determinism(root, findings)
+    check_fault_streams(root, findings)
     check_decoder_tests(root, findings)
     check_unordered_serialization(root, findings)
 
