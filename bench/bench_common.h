@@ -5,6 +5,11 @@
 // blood cells.
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/controller.h"
 #include "core/encryptor.h"
@@ -51,5 +56,57 @@ inline void header(const char* figure, const char* claim) {
   std::printf("== %s ==\n", figure);
   std::printf("paper: %s\n", claim);
 }
+
+/// Shared JSON counter artifact for the benches: every bench that wants
+/// a machine-scrapable trajectory emits the same schema,
+///
+///   {"bench": "<name>", "counters": {"<dotted.key>": <value>, ...}}
+///
+/// into `BENCH_<name>.json` (insertion-ordered keys, so diffs across
+/// runs line up). Nested groups are spelled with dotted keys
+/// ("scaling.speedup") instead of nested objects — flat files make
+/// regression floors one-line comparisons for CI.
+class JsonCounters {
+ public:
+  explicit JsonCounters(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void set(const std::string& key, double value) {
+    std::ostringstream formatted;
+    formatted.precision(6);
+    formatted << std::fixed << value;
+    entries_.emplace_back(key, formatted.str());
+  }
+  void set_count(const std::string& key, std::uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set_text(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string json = "{\n  \"bench\": \"" + bench_name_ +
+                       "\",\n  \"counters\": {\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      json += "    \"" + entries_[i].first + "\": " + entries_[i].second;
+      json += i + 1 < entries_.size() ? ",\n" : "\n";
+    }
+    json += "  }\n}\n";
+    return json;
+  }
+
+  /// Write `BENCH_<name>.json` (or an explicit path) and echo to stdout.
+  void write(const std::string& path = "") const {
+    const std::string target =
+        path.empty() ? "BENCH_" + bench_name_ + ".json" : path;
+    std::ofstream out(target);
+    out << str();
+    std::printf("json artifact: %s\n%s", target.c_str(), str().c_str());
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace medsen::bench

@@ -2,8 +2,9 @@
 // fault scenario over many seeded sessions and reports how often the
 // detect -> re-key -> retry -> quarantine loop converges to a
 // full-confidence diagnosis, how many attempts it needs, and how many
-// electrodes end up quarantined. Emits both a CSV table and a JSON
-// counter block for dashboard scraping.
+// electrodes end up quarantined. Emits both a CSV table and the shared
+// bench::JsonCounters artifact (BENCH_fault_recovery.json) for
+// dashboard scraping.
 
 #include <cmath>
 #include <cstdio>
@@ -136,30 +137,28 @@ int main() {
   std::printf(
       "scenario,sessions,success_rate,recovered_rate,degraded_rate,"
       "mean_attempts,mean_rejections,quarantined_electrodes\n");
-  std::string json = "{\n  \"sessions_per_scenario\": " +
-                     std::to_string(sessions) + ",\n  \"scenarios\": {\n";
-  for (std::size_t s = 0; s < scenarios.size(); ++s) {
-    const auto c = sweep(scenarios[s].setup, sessions);
+  bench::JsonCounters json("fault_recovery");
+  json.set_count("sessions_per_scenario", sessions);
+  for (const auto& scenario : scenarios) {
+    const auto c = sweep(scenario.setup, sessions);
     const double n = static_cast<double>(c.sessions);
     const double success_rate = static_cast<double>(c.successes) / n;
     const double recovered_rate = static_cast<double>(c.recovered) / n;
     const double degraded_rate = static_cast<double>(c.degraded) / n;
     const double mean_attempts = static_cast<double>(c.attempts) / n;
     const double mean_rejections = static_cast<double>(c.rejections) / n;
-    std::printf("%s,%zu,%.2f,%.2f,%.2f,%.2f,%.2f,%zu\n", scenarios[s].name,
+    std::printf("%s,%zu,%.2f,%.2f,%.2f,%.2f,%.2f,%zu\n", scenario.name,
                 c.sessions, success_rate, recovered_rate, degraded_rate,
                 mean_attempts, mean_rejections, c.quarantined);
-    json += std::string("    \"") + scenarios[s].name + "\": {" +
-            "\"success_rate\": " + std::to_string(success_rate) +
-            ", \"recovered_rate\": " + std::to_string(recovered_rate) +
-            ", \"degraded_rate\": " + std::to_string(degraded_rate) +
-            ", \"mean_attempts\": " + std::to_string(mean_attempts) +
-            ", \"quarantined_electrodes\": " +
-            std::to_string(c.quarantined) + "}" +
-            (s + 1 < scenarios.size() ? ",\n" : "\n");
+    const std::string prefix = scenario.name;
+    json.set(prefix + ".success_rate", success_rate);
+    json.set(prefix + ".recovered_rate", recovered_rate);
+    json.set(prefix + ".degraded_rate", degraded_rate);
+    json.set(prefix + ".mean_attempts", mean_attempts);
+    json.set(prefix + ".mean_rejections", mean_rejections);
+    json.set_count(prefix + ".quarantined_electrodes", c.quarantined);
   }
-  json += "  }\n}";
-  std::printf("json: %s\n", json.c_str());
+  json.write();
   std::printf(
       "note: success_rate counts full-confidence diagnoses; degraded "
       "sessions still produce a best-effort diagnosis with confidence "

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "cloud/analysis_service.h"
 #include "crypto/chacha20.h"
 #include "phone/profile.h"
@@ -151,6 +152,42 @@ BENCHMARK(BM_PeakAnalysis_Threads)
     ->ArgsProduct({{962428}, {1, 2, 4, 8}, {4}})
     ->Unit(benchmark::kMillisecond);
 
+/// Console output as usual, plus every finished run folded into the
+/// shared bench::JsonCounters artifact: per run, its adjusted time and
+/// user counters under dotted keys
+/// ("BM_PeakAnalysis_Threads.962428.4.1.speedup_vs_serial").
+class JsonArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  JsonArtifactReporter() : json_("fig14_analysis_perf") {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string key = run.benchmark_name();
+      for (char& c : key)
+        if (c == '/') c = '.';
+      json_.set(key + ".time_ms", run.GetAdjustedRealTime());
+      for (const auto& [counter_name, counter] : run.counters)
+        json_.set(key + "." + counter_name,
+                  static_cast<double>(counter.value));
+    }
+  }
+
+  void write_artifact() const { json_.write(); }
+
+ private:
+  medsen::bench::JsonCounters json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, &argv[0]);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonArtifactReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.write_artifact();
+  benchmark::Shutdown();
+  return 0;
+}

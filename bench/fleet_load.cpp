@@ -1,0 +1,541 @@
+// Fleet-scale closed-loop load harness for the sharded cloud service
+// layer (ROADMAP open item 1). Provisions 10^4..10^6 devices, then
+// drives mixed traffic — fresh uploads, idempotent replays, auth passes,
+// malformed payloads, bad MACs, unknown devices — from a configurable
+// worker count with Poisson or bursty arrivals, optionally through a
+// lossy net::FaultyLink. Reports throughput, p50/p99/p999 latency, and
+// the server's shed/replay/eviction counters as BENCH_fleet_load.json
+// (the shared bench::JsonCounters schema), seeding the perf trajectory
+// future re-anchors regress against.
+//
+// A second scaling phase isolates the service layer itself: a replay
+// storm (registry lookup + MAC verify + session-cache hit, no analysis)
+// measured with shards=1 — the old single-mutex layout — versus the
+// sharded default, emitting `scaling.speedup`. On a multi-core host the
+// sharded layout must win by >2x; on one core the two are equivalent.
+//
+// Everything is deterministic for a fixed seed and worker count except
+// wall-clock timing itself.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/server.h"
+#include "net/faulty_link.h"
+
+using namespace medsen;
+
+namespace {
+
+struct Options {
+  std::size_t devices = 100000;
+  std::size_t workers = 0;  ///< 0 = hardware concurrency
+  std::size_t shards = 0;   ///< mixed-phase shard count (0 = default)
+  std::size_t requests = 200000;
+  std::size_t cache_capacity = 1u << 16;
+  std::size_t max_inflight = 0;
+  std::uint64_t seed = 0x464C4545544C44ull;  // "FLEETLD"
+  std::string arrivals = "poisson";          // poisson | bursty
+  double mean_think_us = 0.0;  ///< Poisson think time (0 = saturating)
+  bool faulty = false;
+  bool quality_gate = false;
+  bool scaling = true;
+  std::size_t scaling_devices = 20000;
+  std::size_t scaling_requests = 100000;
+  std::string out = "BENCH_fleet_load.json";
+};
+
+[[noreturn]] void usage() {
+  std::printf(
+      "fleet_load [--devices N] [--workers N] [--shards N] [--requests N]\n"
+      "           [--cache-capacity N] [--max-inflight N] [--seed S]\n"
+      "           [--arrivals poisson|bursty] [--mean-think-us U]\n"
+      "           [--faulty] [--quality-gate] [--no-scaling]\n"
+      "           [--scaling-devices N] [--scaling-requests N]\n"
+      "           [--out PATH] [--smoke]\n"
+      "--smoke: short deterministic CI preset (10^4 devices, fixed seed)\n");
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  const auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage();
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--devices") {
+      options.devices = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--workers") {
+      options.workers = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--shards") {
+      options.shards = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--requests") {
+      options.requests = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--cache-capacity") {
+      options.cache_capacity = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--max-inflight") {
+      options.max_inflight = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--arrivals") {
+      options.arrivals = next_value(i);
+    } else if (arg == "--mean-think-us") {
+      options.mean_think_us = std::strtod(next_value(i), nullptr);
+    } else if (arg == "--faulty") {
+      options.faulty = true;
+    } else if (arg == "--quality-gate") {
+      options.quality_gate = true;
+    } else if (arg == "--no-scaling") {
+      options.scaling = false;
+    } else if (arg == "--scaling-devices") {
+      options.scaling_devices = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--scaling-requests") {
+      options.scaling_requests = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--out") {
+      options.out = next_value(i);
+    } else if (arg == "--smoke") {
+      options.devices = 10000;
+      options.requests = 20000;
+      options.scaling_devices = 2000;
+      options.scaling_requests = 20000;
+      options.workers = options.workers == 0 ? 2 : options.workers;
+    } else {
+      usage();
+    }
+  }
+  if (options.arrivals != "poisson" && options.arrivals != "bursty") usage();
+  return options;
+}
+
+/// Deterministic per-worker RNG (SplitMix64): the lint-approved seeded
+/// generators live in src/crypto; the bench only needs cheap uniform
+/// draws with no cross-run drift.
+struct SplitMix {
+  std::uint64_t state;
+
+  std::uint64_t next() {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  /// Exponential with the given mean (Poisson inter-arrival think time).
+  double exponential(double mean) {
+    return -mean * std::log(1.0 - uniform());
+  }
+};
+
+std::vector<std::uint8_t> device_key(std::uint64_t device_id,
+                                     std::uint64_t seed) {
+  SplitMix rng{device_id ^ seed};
+  std::vector<std::uint8_t> key(16);
+  for (std::size_t i = 0; i < key.size(); ++i)
+    key[i] = static_cast<std::uint8_t>(rng.next() & 0xFF);
+  return key;
+}
+
+/// A small but analyzable acquisition: one carrier, ~2 s at 450 Hz, a
+/// couple of particle dips plus ADC-grain noise so the quality gate (when
+/// enabled) sees a live signal. Built once and shared by every upload —
+/// the harness measures the service layer, not series generation.
+util::MultiChannelSeries upload_series() {
+  util::MultiChannelSeries series;
+  series.carrier_frequencies_hz = {5.0e5};
+  util::TimeSeries ts(450.0);
+  const std::size_t n = 900;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / 450.0;
+    double v = 1.0;
+    for (const double center : {0.6, 1.3}) {
+      const double z = (t - center) / 0.008;
+      v *= 1.0 - 0.01 * std::exp(-0.5 * z * z);
+    }
+    v += 1e-5 * static_cast<double>(static_cast<int>((i * 7) % 11) - 5);
+    ts.push_back(v);
+  }
+  series.channels.push_back(std::move(ts));
+  return series;
+}
+
+cloud::CloudServer make_server(const Options& options, std::size_t shards,
+                               std::size_t cache_capacity) {
+  cloud::ServiceConfig service;
+  service.quality_gate = options.quality_gate;
+  service.max_inflight = options.max_inflight;
+  service.shards = shards;
+  service.session_cache_capacity = cache_capacity;
+  cloud::AnalysisConfig analysis;
+  analysis.threads = 1;  // the workers are the parallelism under test
+  return cloud::CloudServer(analysis, auth::CytoAlphabet{},
+                            auth::ParticleClassifier::train({}),
+                            auth::VerifierConfig{}, nullptr, service);
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_us;
+  std::uint64_t sent = 0;
+  std::uint64_t transport_dropped = 0;  ///< FaultyLink ate the request
+  std::uint64_t transport_garbled = 0;  ///< arrived undecodable
+};
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+Percentiles percentiles(std::vector<double>& values) {
+  Percentiles result;
+  if (values.empty()) return result;
+  std::sort(values.begin(), values.end());
+  const auto at = [&](double q) {
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1));
+    return values[rank];
+  };
+  result.p50 = at(0.50);
+  result.p99 = at(0.99);
+  result.p999 = at(0.999);
+  return result;
+}
+
+/// One closed-loop worker: pick a device, build (or replay) a request,
+/// optionally push it through a lossy link, time handle(), think, loop.
+WorkerResult run_worker(cloud::CloudServer& server, const Options& options,
+                        std::size_t worker_index, std::size_t request_count,
+                        const std::vector<std::uint8_t>& upload_payload,
+                        const std::vector<std::uint8_t>& auth_payload) {
+  WorkerResult result;
+  result.latencies_us.reserve(request_count);
+  SplitMix rng{options.seed ^ (0xABCD0000ull + worker_index)};
+
+  // Session ids are globally unique: the worker index occupies the top
+  // bits so no two workers (or phases) ever collide in the cache.
+  std::uint64_t next_session = (worker_index + 1) << 40;
+
+  // The worker's recent successful uploads, replayed byte-identically to
+  // model the reliable transport's retries.
+  std::vector<net::Envelope> history;
+  constexpr std::size_t kHistory = 64;
+  std::size_t history_next = 0;
+
+  std::unique_ptr<net::FaultyLink> link;
+  if (options.faulty) {
+    net::FaultConfig faults;
+    faults.drop_rate = 0.01;
+    faults.corrupt_rate = 0.01;
+    faults.duplicate_rate = 0.005;
+    faults.seed = options.seed ^ (0x11E7u + worker_index);
+    link = std::make_unique<net::FaultyLink>(net::lte_uplink(), faults,
+                                             nullptr);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto burst_epoch = Clock::now();
+
+  for (std::size_t i = 0; i < request_count; ++i) {
+    // Arrival pacing. Poisson: exponential think time between closed-loop
+    // requests (0 = saturating). Bursty: 50 ms on at full rate, 50 ms off.
+    if (options.arrivals == "poisson") {
+      if (options.mean_think_us > 0.0) {
+        const double think = rng.exponential(options.mean_think_us);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::micro>(think));
+      }
+    } else {
+      const double phase_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    burst_epoch)
+              .count();
+      const double in_period = std::fmod(phase_ms, 100.0);
+      if (in_period >= 50.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(100.0 - in_period));
+      }
+    }
+
+    const std::uint64_t device =
+        rng.next() % static_cast<std::uint64_t>(options.devices);
+    const auto key = device_key(device, options.seed);
+    const double op = rng.uniform();
+
+    net::Envelope request;
+    bool cacheable_upload = false;
+    if (op < 0.20 && !history.empty()) {
+      // Replay: byte-identical re-send of an earlier success.
+      request = history[rng.next() % history.size()];
+    } else if (op < 0.75) {
+      request = net::make_envelope(net::MessageType::kSignalUpload,
+                                   next_session++, device, upload_payload,
+                                   key);
+      cacheable_upload = true;
+    } else if (op < 0.80) {
+      request = net::make_envelope(net::MessageType::kAuthPass,
+                                   next_session++, device, auth_payload, key);
+    } else if (op < 0.90) {
+      // MAC-valid garbage: exercises the kMalformed conversion path.
+      request = net::make_envelope(net::MessageType::kSignalUpload,
+                                   next_session++, device, {0xDE, 0xAD}, key);
+    } else if (op < 0.95) {
+      request = net::make_envelope(net::MessageType::kSignalUpload,
+                                   next_session++, device, upload_payload,
+                                   key);
+      request.payload[0] ^= 0xFF;  // tampering relay: kBadMac
+    } else {
+      const std::vector<std::uint8_t> stray_key = {0x55, 0x66};
+      request = net::make_envelope(
+          net::MessageType::kSignalUpload, next_session++,
+          static_cast<std::uint64_t>(options.devices) + 1 +
+              (rng.next() % 1000),
+          upload_payload, stray_key);  // never provisioned
+    }
+
+    ++result.sent;
+    const auto start = Clock::now();
+    if (link) {
+      link->send(request.serialize());
+      bool handled = false;
+      while (auto datagram = link->try_receive()) {
+        try {
+          const auto arrived = net::Envelope::deserialize(*datagram);
+          const auto response = server.handle(arrived);
+          handled = true;
+          if (cacheable_upload &&
+              response.type == net::MessageType::kAnalysisResult) {
+            if (history.size() < kHistory) {
+              history.push_back(arrived);
+            } else {
+              history[history_next] = arrived;
+              history_next = (history_next + 1) % kHistory;
+            }
+          }
+        } catch (const std::exception&) {
+          ++result.transport_garbled;  // structural corruption
+        }
+      }
+      if (!handled && result.transport_garbled == 0) ++result.transport_dropped;
+    } else {
+      const auto response = server.handle(request);
+      if (cacheable_upload &&
+          response.type == net::MessageType::kAnalysisResult) {
+        if (history.size() < kHistory) {
+          history.push_back(request);
+        } else {
+          history[history_next] = request;
+          history_next = (history_next + 1) % kHistory;
+        }
+      }
+    }
+    result.latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count());
+  }
+  return result;
+}
+
+/// Replay-storm throughput at a given shard count: the pure service-layer
+/// path (admission + registry lookup + MAC verify + cache hit), no
+/// analysis, so shard-lock contention is the dominant cost and the
+/// shards=1 baseline exposes the old single-mutex layout.
+double replay_storm_rps(const Options& options, std::size_t shards,
+                        std::size_t workers,
+                        const std::vector<std::uint8_t>& upload_payload) {
+  auto server = make_server(options, shards,
+                            /*cache_capacity=*/0);  // unbounded: no evictions
+  const std::size_t devices = options.scaling_devices;
+  std::vector<net::Envelope> replays(devices);
+  for (std::uint64_t device = 0; device < devices; ++device) {
+    const auto key = device_key(device, options.seed);
+    server.provision_device(device, key);
+    replays[device] =
+        net::make_envelope(net::MessageType::kSignalUpload,
+                           (1ull << 62) + device, device, upload_payload, key);
+  }
+  // Prime: one processed exchange per device fills the cache.
+  {
+    std::vector<std::thread> primers;
+    std::atomic<std::size_t> cursor{0};
+    for (std::size_t w = 0; w < workers; ++w) {
+      primers.emplace_back([&] {
+        for (std::size_t i = cursor.fetch_add(1); i < devices;
+             i = cursor.fetch_add(1))
+          (void)server.handle(replays[i]);
+      });
+    }
+    for (auto& primer : primers) primer.join();
+  }
+
+  const std::size_t per_worker = options.scaling_requests / workers;
+  std::vector<std::thread> storm;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t w = 0; w < workers; ++w) {
+    storm.emplace_back([&, w] {
+      SplitMix rng{options.seed ^ (0x5708Au + w)};
+      for (std::size_t i = 0; i < per_worker; ++i)
+        (void)server.handle(replays[rng.next() % devices]);
+    });
+  }
+  for (auto& thread : storm) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const auto stats = server.stats();
+  if (stats.replays_served <
+      static_cast<std::uint64_t>(per_worker * workers)) {
+    std::printf("warning: replay storm had %llu non-replay responses\n",
+                static_cast<unsigned long long>(
+                    per_worker * workers - stats.replays_served));
+  }
+  return static_cast<double>(per_worker * workers) / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_options(argc, argv);
+  const std::size_t workers =
+      options.workers != 0
+          ? options.workers
+          : std::max(1u, std::thread::hardware_concurrency());
+
+  bench::header("Fleet-scale load harness",
+                "the sharded service layer absorbs fleet traffic without "
+                "serializing on global locks (ROADMAP item 1)");
+
+  const auto series = upload_series();
+  net::SignalUploadPayload upload;
+  upload.compressed = false;
+  upload.sample_rate_hz = 450.0;
+  upload.data = net::serialize_series(series);
+  const auto upload_payload = upload.serialize();
+  net::AuthPassPayload pass;
+  pass.upload = upload;
+  pass.volume_ul = 1.0;
+  const auto auth_payload = pass.serialize();
+
+  auto server = make_server(options, options.shards, options.cache_capacity);
+
+  // Phase 1: provision the fleet.
+  const auto provision_start = std::chrono::steady_clock::now();
+  for (std::uint64_t device = 0; device < options.devices; ++device)
+    server.provision_device(device, device_key(device, options.seed));
+  const double provision_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    provision_start)
+          .count();
+  std::printf("provisioned %zu devices in %.2f s (%zu registry shards)\n",
+              options.devices, provision_s, server.devices().shard_count());
+
+  // Phase 2: mixed closed-loop traffic.
+  std::vector<WorkerResult> results(workers);
+  std::vector<std::thread> threads;
+  const std::size_t per_worker = options.requests / workers;
+  const auto mixed_start = std::chrono::steady_clock::now();
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      results[w] = run_worker(server, options, w, per_worker, upload_payload,
+                              auth_payload);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double mixed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    mixed_start)
+          .count();
+
+  std::vector<double> latencies;
+  std::uint64_t sent = 0, dropped = 0, garbled = 0;
+  for (auto& result : results) {
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
+    sent += result.sent;
+    dropped += result.transport_dropped;
+    garbled += result.transport_garbled;
+  }
+  const auto tail = percentiles(latencies);
+  const double throughput = static_cast<double>(sent) / mixed_s;
+  const auto stats = server.stats();
+
+  std::printf(
+      "mixed phase: %llu requests, %zu workers, %.2f s -> %.0f req/s\n"
+      "  latency p50 %.1f us  p99 %.1f us  p999 %.1f us\n"
+      "  processed %llu  replays %llu  errors %llu  shed %llu\n"
+      "  cache size %zu  evictions %llu\n",
+      static_cast<unsigned long long>(sent), workers, mixed_s, throughput,
+      tail.p50, tail.p99, tail.p999,
+      static_cast<unsigned long long>(stats.requests_processed),
+      static_cast<unsigned long long>(stats.replays_served),
+      static_cast<unsigned long long>(stats.errors_returned),
+      static_cast<unsigned long long>(stats.requests_shed),
+      server.session_cache().size(),
+      static_cast<unsigned long long>(server.session_cache().evictions()));
+
+  bench::JsonCounters json("fleet_load");
+  json.set_count("devices", options.devices);
+  json.set_count("workers", workers);
+  json.set_count("shards", server.devices().shard_count());
+  json.set_count("cache_capacity", options.cache_capacity);
+  json.set_text("arrivals", options.arrivals);
+  json.set_count("faulty", options.faulty ? 1 : 0);
+  json.set("provision_s", provision_s);
+  json.set_count("requests_sent", sent);
+  json.set("elapsed_s", mixed_s);
+  json.set("throughput_rps", throughput);
+  json.set("latency_p50_us", tail.p50);
+  json.set("latency_p99_us", tail.p99);
+  json.set("latency_p999_us", tail.p999);
+  json.set_count("processed", stats.requests_processed);
+  json.set_count("replays", stats.replays_served);
+  json.set_count("errors", stats.errors_returned);
+  json.set_count("shed", stats.requests_shed);
+  json.set_count("cache_entries", server.session_cache().size());
+  json.set_count("cache_evictions", server.session_cache().evictions());
+  json.set_count("transport_dropped", dropped);
+  json.set_count("transport_garbled", garbled);
+
+  // Phase 3: shard-scaling proof. shards=1 is the pre-sharding layout
+  // (every request on one registry mutex and one cache mutex).
+  if (options.scaling) {
+    const std::size_t sharded = util::default_shard_count();
+    const double rps_single =
+        replay_storm_rps(options, 1, workers, upload_payload);
+    const double rps_sharded =
+        replay_storm_rps(options, sharded, workers, upload_payload);
+    const double speedup = rps_single > 0.0 ? rps_sharded / rps_single : 0.0;
+    std::printf(
+        "scaling: replay storm, %zu workers, %zu devices\n"
+        "  shards=1   %.0f req/s\n"
+        "  shards=%-3zu %.0f req/s\n"
+        "  speedup %.2fx (expect >2x on a multi-core host; ~1x on 1 core)\n",
+        workers, options.scaling_devices, rps_single, sharded, rps_sharded,
+        speedup);
+    json.set_count("scaling.devices", options.scaling_devices);
+    json.set_count("scaling.requests", options.scaling_requests);
+    json.set_count("scaling.workers", workers);
+    json.set_count("scaling.shards_baseline", 1);
+    json.set_count("scaling.shards_sharded", sharded);
+    json.set("scaling.throughput_shards1_rps", rps_single);
+    json.set("scaling.throughput_sharded_rps", rps_sharded);
+    json.set("scaling.speedup", speedup);
+  }
+
+  json.write(options.out);
+  return 0;
+}

@@ -70,16 +70,27 @@ core::PeakReport AnalysisService::analyze(
   fresh.processing_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_ = fresh;
-  }
+  // Last-analyze snapshot as independent relaxed atomics: the hot path
+  // never takes a stats lock; concurrent readers may mix fields from two
+  // analyses but never observe a torn value.
+  samples_processed_.store(fresh.samples_processed,
+                           std::memory_order_relaxed);
+  peaks_found_.store(fresh.peaks_found, std::memory_order_relaxed);
+  processing_time_ns_.store(
+      static_cast<std::uint64_t>(fresh.processing_time_s * 1e9),
+      std::memory_order_relaxed);
   return report;
 }
 
 AnalysisStats AnalysisService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  AnalysisStats snapshot;
+  snapshot.samples_processed =
+      samples_processed_.load(std::memory_order_relaxed);
+  snapshot.peaks_found = peaks_found_.load(std::memory_order_relaxed);
+  snapshot.processing_time_s =
+      static_cast<double>(processing_time_ns_.load(std::memory_order_relaxed)) *
+      1e-9;
+  return snapshot;
 }
 
 }  // namespace medsen::cloud

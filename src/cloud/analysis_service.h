@@ -11,10 +11,10 @@
 // and the parallel result is bit-identical to a serial run — see the
 // "Threading model" section of DESIGN.md.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "core/peak_report.h"
 #include "dsp/detrend.h"
@@ -54,7 +54,9 @@ class AnalysisService {
   /// Safe to call from several request threads concurrently.
   core::PeakReport analyze(const util::MultiChannelSeries& series);
 
-  /// Snapshot of the last analyze()'s statistics (mutex-guarded copy).
+  /// Snapshot of the last analyze()'s statistics. Lock-free: the fields
+  /// are independent relaxed atomics, so a read racing a concurrent
+  /// analyze() may mix two analyses' fields — never tear one value.
   [[nodiscard]] AnalysisStats stats() const;
   [[nodiscard]] const AnalysisConfig& config() const { return config_; }
   /// The pool driving this service (null = serial), shared across
@@ -66,8 +68,9 @@ class AnalysisService {
  private:
   AnalysisConfig config_;
   std::shared_ptr<util::ThreadPool> pool_;
-  mutable std::mutex stats_mutex_;
-  AnalysisStats stats_;
+  std::atomic<std::uint64_t> samples_processed_{0};
+  std::atomic<std::uint64_t> peaks_found_{0};
+  std::atomic<std::uint64_t> processing_time_ns_{0};
 };
 
 }  // namespace medsen::cloud

@@ -7,26 +7,32 @@ namespace medsen::cloud {
 
 void DeviceRegistry::provision(std::uint64_t device_id,
                                std::vector<std::uint8_t> mac_key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  keys_[device_id] = std::move(mac_key);
+  shards_.with(device_id, [&](KeyMap& keys) {
+    keys[device_id] = std::move(mac_key);
+  });
 }
 
 bool DeviceRegistry::revoke(std::uint64_t device_id) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return keys_.erase(device_id) > 0;
+  return shards_.with(device_id, [&](KeyMap& keys) {
+    return keys.erase(device_id) > 0;
+  });
 }
 
 std::optional<std::vector<std::uint8_t>> DeviceRegistry::lookup(
     std::uint64_t device_id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = keys_.find(device_id);
-  if (it == keys_.end()) return std::nullopt;
-  return it->second;
+  return shards_.with(
+      device_id,
+      [&](const KeyMap& keys) -> std::optional<std::vector<std::uint8_t>> {
+        const auto it = keys.find(device_id);
+        if (it == keys.end()) return std::nullopt;
+        return it->second;
+      });
 }
 
 std::size_t DeviceRegistry::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return keys_.size();
+  std::size_t total = 0;
+  shards_.for_each_shard([&](const KeyMap& keys) { total += keys.size(); });
+  return total;
 }
 
 AdmissionGate::Ticket::Ticket(Ticket&& other) noexcept
@@ -43,29 +49,74 @@ AdmissionGate::Ticket& AdmissionGate::Ticket::operator=(
 
 void AdmissionGate::Ticket::release() {
   if (gate_ == nullptr) return;
-  const std::lock_guard<std::mutex> lock(gate_->mutex_);
-  --gate_->in_flight_;
+  gate_->in_flight_.fetch_sub(1, std::memory_order_release);
   gate_ = nullptr;
 }
 
 AdmissionGate::Ticket AdmissionGate::try_enter() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (limit_ != 0 && in_flight_ >= limit_) {
-    ++shed_;
+  const std::size_t prior = in_flight_.fetch_add(1, std::memory_order_acquire);
+  if (limit_ != 0 && prior >= limit_) {
+    // Back out: the transient overshoot is invisible to correctness —
+    // no ticket was issued, and concurrent try_enter() calls that lose
+    // the race shed exactly as the mutex version did.
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    shed_.fetch_add(1, std::memory_order_relaxed);
     return Ticket(nullptr);
   }
-  ++in_flight_;
   return Ticket(this);
 }
 
 std::size_t AdmissionGate::in_flight() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return in_flight_;
+  return in_flight_.load(std::memory_order_acquire);
 }
 
 std::uint64_t AdmissionGate::shed_total() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return shed_;
+  return shed_.load(std::memory_order_relaxed);
+}
+
+ServiceCounters::ServiceCounters(std::size_t shards)
+    : count_(shards == 0 ? util::default_shard_count()
+                         : util::round_up_pow2(shards)),
+      shards_(std::make_unique<Shard[]>(count_)) {}
+
+void ServiceCounters::count_processed(std::uint64_t device_id,
+                                      double processing_time_s) {
+  Shard& shard = shard_for(device_id);
+  shard.requests_processed.fetch_add(1, std::memory_order_relaxed);
+  shard.processing_time_ns.fetch_add(
+      static_cast<std::uint64_t>(processing_time_s * 1e9),
+      std::memory_order_relaxed);
+}
+
+void ServiceCounters::count_replay(std::uint64_t device_id) {
+  shard_for(device_id).replays_served.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceCounters::count_error(std::uint64_t device_id) {
+  shard_for(device_id).errors_returned.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceCounters::count_shed(std::uint64_t device_id) {
+  shard_for(device_id).requests_shed.fetch_add(1, std::memory_order_relaxed);
+}
+
+ServiceStats ServiceCounters::aggregate() const {
+  ServiceStats stats;
+  std::uint64_t time_ns = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Shard& shard = shards_[i];
+    stats.requests_processed +=
+        shard.requests_processed.load(std::memory_order_relaxed);
+    stats.replays_served +=
+        shard.replays_served.load(std::memory_order_relaxed);
+    stats.errors_returned +=
+        shard.errors_returned.load(std::memory_order_relaxed);
+    stats.requests_shed +=
+        shard.requests_shed.load(std::memory_order_relaxed);
+    time_ns += shard.processing_time_ns.load(std::memory_order_relaxed);
+  }
+  stats.processing_time_s = static_cast<double>(time_ns) * 1e-9;
+  return stats;
 }
 
 ServiceResult ServiceResult::success(net::MessageType type,

@@ -4,10 +4,16 @@
 //  - DeviceRegistry: device_id -> per-device MAC key, so one server
 //    serves many provisioned sensors (multi-tenant; keys are shared out
 //    of band at provisioning, exactly like the single-key scheme the
-//    paper describes, just one per dongle).
-//  - AdmissionGate: a bounded in-flight counter. Past the limit the
-//    server sheds requests with an `overloaded` error instead of
-//    queueing unboundedly on the shared analysis pool.
+//    paper describes, just one per dongle). Sharded by device_id: a
+//    lookup only locks the key's shard, so a fleet of devices never
+//    serializes on one registry mutex.
+//  - AdmissionGate: a bounded in-flight counter, lock-free. Past the
+//    limit the server sheds requests with an `overloaded` error instead
+//    of queueing unboundedly on the shared analysis pool.
+//  - ServiceCounters: per-shard relaxed std::atomic service counters,
+//    aggregated on read — the hot path never takes a stats lock, and a
+//    stats() snapshot is eventually consistent (it may miss an update
+//    racing the read, never report a torn one).
 //  - RequestContext: per-request scratch (identity, quality report,
 //    timing) so nothing request-scoped ever lives in a server-wide
 //    member — the fix for the old racy `last_quality_`.
@@ -17,9 +23,10 @@
 //  - Dispatcher: MessageType -> handler registry behind the single
 //    CloudServer::handle() entrypoint.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -27,12 +34,18 @@
 
 #include "cloud/quality.h"
 #include "net/messages.h"
+#include "util/sharded.h"
 
 namespace medsen::cloud {
 
-/// Thread-safe map of provisioned devices to their transport MAC keys.
+/// Thread-safe, sharded map of provisioned devices to their transport
+/// MAC keys. Routing is deterministic (util::Sharded FNV-1a): the same
+/// device always lands on the same shard for a given shard count.
 class DeviceRegistry {
  public:
+  /// `shards` 0 = hardware default; rounded up to a power of two.
+  explicit DeviceRegistry(std::size_t shards = 0) : shards_(shards) {}
+
   /// Install (or rotate) a device's MAC key.
   void provision(std::uint64_t device_id, std::vector<std::uint8_t> mac_key);
   /// Remove a device; returns false when it was never provisioned.
@@ -42,14 +55,25 @@ class DeviceRegistry {
       std::uint64_t device_id) const;
   [[nodiscard]] std::size_t size() const;
 
+  [[nodiscard]] std::size_t shard_count() const {
+    return shards_.shard_count();
+  }
+  /// Which shard a device routes to (deterministic; exposed for tests
+  /// and for operators debugging shard balance).
+  [[nodiscard]] std::size_t shard_of(std::uint64_t device_id) const {
+    return shards_.shard_index(device_id);
+  }
+
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> keys_;
+  using KeyMap = std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>;
+  util::Sharded<KeyMap> shards_;
 };
 
 /// Bounded admission: at most `max_inflight` requests are inside the
 /// service at once (0 = unbounded). Excess requests are shed immediately
 /// — the caller turns a failed ticket into an `overloaded` error.
+/// Lock-free: entering is one fetch_add on a shared atomic, so admission
+/// never becomes the global serialization point the mutex version was.
 class AdmissionGate {
  public:
   explicit AdmissionGate(std::size_t max_inflight = 0)
@@ -75,6 +99,9 @@ class AdmissionGate {
   };
 
   /// Try to enter; the ticket reports whether admission succeeded.
+  /// Never admits more than `limit()` concurrent holders (the counter
+  /// may transiently overshoot while a shed request backs out, but a
+  /// ticket is only issued when the post-increment count is in bounds).
   [[nodiscard]] Ticket try_enter();
 
   [[nodiscard]] std::size_t limit() const { return limit_; }
@@ -84,9 +111,53 @@ class AdmissionGate {
 
  private:
   std::size_t limit_;
-  mutable std::mutex mutex_;
-  std::size_t in_flight_ = 0;
-  std::uint64_t shed_ = 0;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> shed_{0};
+};
+
+/// Aggregate service counters (all monotonic).
+struct ServiceStats {
+  std::uint64_t requests_processed = 0;  ///< cache-miss successes
+  std::uint64_t replays_served = 0;      ///< idempotent cache hits
+  std::uint64_t errors_returned = 0;     ///< kError responses sent
+  std::uint64_t requests_shed = 0;       ///< refused by the admission gate
+  double processing_time_s = 0.0;        ///< summed handler wall-clock
+};
+
+/// Per-shard relaxed atomic counters behind ServiceStats. Increments
+/// route by device_id so a hot device's counters stay on one cache line
+/// and fleets spread across shards; aggregate() sums the shards, giving
+/// an eventually-consistent (never torn) snapshot. Wall-clock is summed
+/// in integer nanoseconds — atomic<double> accumulation isn't portable
+/// and the hot path must stay a plain fetch_add.
+class ServiceCounters {
+ public:
+  explicit ServiceCounters(std::size_t shards = 0);
+
+  void count_processed(std::uint64_t device_id, double processing_time_s);
+  void count_replay(std::uint64_t device_id);
+  void count_error(std::uint64_t device_id);
+  void count_shed(std::uint64_t device_id);
+
+  [[nodiscard]] ServiceStats aggregate() const;
+  [[nodiscard]] std::size_t shard_count() const { return count_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> requests_processed{0};
+    std::atomic<std::uint64_t> replays_served{0};
+    std::atomic<std::uint64_t> errors_returned{0};
+    std::atomic<std::uint64_t> requests_shed{0};
+    std::atomic<std::uint64_t> processing_time_ns{0};
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t device_id) {
+    return shards_[static_cast<std::size_t>(util::fnv1a64(device_id)) &
+                   (count_ - 1)];
+  }
+
+  std::size_t count_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 /// Per-request state threaded through a handler: who is asking, what the

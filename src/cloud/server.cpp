@@ -17,8 +17,12 @@ CloudServer::CloudServer(AnalysisConfig analysis_config,
     : analysis_(analysis_config, std::move(pool)),
       db_(alphabet),
       verifier_(std::move(alphabet), std::move(classifier), verifier_config),
+      store_(service.shards),
+      devices_(service.shards),
       admission_(service.max_inflight),
-      quality_gate_(service.quality_gate) {
+      quality_gate_(service.quality_gate),
+      cache_({service.shards, service.session_cache_capacity}),
+      counters_(service.shards) {
   dispatch_.add(net::MessageType::kSignalUpload,
                 [this](const net::Envelope& request, RequestContext& context) {
                   return serve_upload(request, context);
@@ -49,65 +53,33 @@ net::Envelope CloudServer::error_response(
   payload.subcode = subcode;
   payload.detail = std::move(detail);
   payload.channel_reasons = std::move(channel_reasons);
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.errors_returned;
-  }
+  counters_.count_error(request.device_id);
   return net::make_envelope(net::MessageType::kError, request.session_id,
                             request.device_id, payload.serialize(), mac_key);
 }
 
-CloudServer::CacheHit CloudServer::cached_response(
-    const net::Envelope& request) {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  const auto it =
-      session_cache_.find({request.device_id, request.session_id});
-  CacheHit hit;
-  if (it == session_cache_.end()) return hit;
-  if (!crypto::digest_equal(it->second.request_mac, request.mac)) {
-    // A replay that is not byte-identical is a protocol violation, not a
-    // transport retry.
-    hit.state = CacheLookup::kConflict;
-    return hit;
-  }
-  hit.state = CacheLookup::kReplay;
-  hit.response = it->second.response;
-  return hit;
-}
-
-void CloudServer::cache_response(const net::Envelope& request,
-                                 const net::Envelope& response) {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  session_cache_.insert(
-      {{request.device_id, request.session_id}, {request.mac, response}});
-}
-
-ServiceStats CloudServer::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  auto snapshot = stats_;
-  return snapshot;
-}
+ServiceStats CloudServer::stats() const { return counters_.aggregate(); }
 
 std::uint64_t CloudServer::requests_processed() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_.requests_processed;
+  return counters_.aggregate().requests_processed;
 }
 
 std::uint64_t CloudServer::replays_served() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_.replays_served;
+  return counters_.aggregate().replays_served;
 }
 
 net::Envelope CloudServer::handle(const net::Envelope& request) {
+  // The whole request runs shard-local: admission is a lock-free atomic,
+  // and the registry lookup, session-cache traffic, and stats increments
+  // below all route on request.device_id — no cross-shard lock is ever
+  // taken while a request is in flight.
+  //
   // 1. Admission: shed instead of queueing unboundedly on the pool. The
   // error is signed with the device key when the sender is known (an
   // unknown-device envelope would be shed before its key is resolved).
   auto ticket = admission_.try_enter();
   if (!ticket.admitted()) {
-    {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.requests_shed;
-    }
+    counters_.count_shed(request.device_id);
     const auto key = devices_.lookup(request.device_id);
     return error_response(
         request, key ? std::span<const std::uint8_t>(*key)
@@ -133,17 +105,17 @@ net::Envelope CloudServer::handle(const net::Envelope& request) {
 
   // 4. Idempotency: the reliable transport re-uploads when a response is
   // lost; byte-identical replays are served from the cache without a
-  // second analysis.
-  const auto cached = cached_response(request);
-  if (cached.state == CacheLookup::kConflict) {
+  // second analysis. The cache is LRU-bounded — a replay of an evicted
+  // session is simply processed again.
+  const auto cached = cache_.lookup(request);
+  if (cached.state == SessionCache::Lookup::kConflict) {
     return error_response(request, *mac_key, net::ErrorCode::kSessionConflict,
                           0,
                           "session " + std::to_string(request.session_id) +
                               " replayed with a different payload");
   }
-  if (cached.state == CacheLookup::kReplay) {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.replays_served;
+  if (cached.state == SessionCache::Lookup::kReplay) {
+    counters_.count_replay(request.device_id);
     return cached.response;
   }
 
@@ -183,12 +155,8 @@ net::Envelope CloudServer::handle(const net::Envelope& request) {
   const auto response = net::make_envelope(
       result.response_type, request.session_id, request.device_id,
       std::move(result.response_payload), *mac_key);
-  cache_response(request, response);
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.requests_processed;
-    stats_.processing_time_s += context.processing_time_s;
-  }
+  cache_.insert(request, response);
+  counters_.count_processed(request.device_id, context.processing_time_s);
   return response;
 }
 

@@ -8,12 +8,16 @@
 // exceptions never cross the service boundary. Curious-but-honest: the
 // server follows the protocol faithfully but sees only ciphertext
 // cytometry.
+//
+// The service layer is sharded by device_id (see DESIGN.md "Sharded
+// service layer"): the registry, the session cache, and the stats
+// counters all route a request to per-device shards, so handling a
+// request never takes a process-wide lock and never touches a shard
+// another device's request is using.
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -21,6 +25,7 @@
 #include "cloud/analysis_service.h"
 #include "cloud/dispatch.h"
 #include "cloud/quality.h"
+#include "cloud/session_cache.h"
 #include "cloud/storage.h"
 #include "net/messages.h"
 
@@ -34,15 +39,13 @@ struct ServiceConfig {
   /// once; excess requests are shed with an `overloaded` error
   /// (0 = unbounded).
   std::size_t max_inflight = 0;
-};
-
-/// Aggregate service counters (all monotonic).
-struct ServiceStats {
-  std::uint64_t requests_processed = 0;  ///< cache-miss successes
-  std::uint64_t replays_served = 0;      ///< idempotent cache hits
-  std::uint64_t errors_returned = 0;     ///< kError responses sent
-  std::uint64_t requests_shed = 0;       ///< refused by the admission gate
-  double processing_time_s = 0.0;        ///< summed handler wall-clock
+  /// Shard count for the registry, session cache, record store and
+  /// stats (0 = hardware default, rounded up to a power of two; 1
+  /// reproduces the old single-lock layout as a contention baseline).
+  std::size_t shards = 0;
+  /// Total session-cache capacity in cached exchanges; past it the
+  /// least recently replayed sessions are evicted (0 = unbounded).
+  std::size_t session_cache_capacity = 1u << 16;
 };
 
 class CloudServer {
@@ -94,8 +97,13 @@ class CloudServer {
   [[nodiscard]] auth::EnrollmentDatabase& enrollments() { return db_; }
   [[nodiscard]] const auth::Verifier& verifier() const { return verifier_; }
   [[nodiscard]] RecordStore& records() { return store_; }
+  /// The idempotent session cache (exposed so tests and capacity
+  /// planners can watch occupancy and evictions).
+  [[nodiscard]] SessionCache& session_cache() { return cache_; }
 
-  /// Snapshot of the aggregate counters.
+  /// Snapshot of the aggregate counters. Aggregated from per-shard
+  /// atomics on read: eventually consistent while requests are in
+  /// flight, exact once they drain.
   [[nodiscard]] ServiceStats stats() const;
   /// Requests fully processed (cache misses) and replays served from the
   /// session cache. The reliable transport retries lost responses by
@@ -120,17 +128,6 @@ class CloudServer {
                                std::string detail,
                                std::vector<std::uint8_t> channel_reasons = {});
 
-  /// Idempotent session cache, keyed per tenant on (device_id,
-  /// session_id).
-  enum class CacheLookup { kMiss, kReplay, kConflict };
-  struct CacheHit {
-    CacheLookup state = CacheLookup::kMiss;
-    net::Envelope response;
-  };
-  CacheHit cached_response(const net::Envelope& request);
-  void cache_response(const net::Envelope& request,
-                      const net::Envelope& response);
-
   AnalysisService analysis_;
   auth::EnrollmentDatabase db_;
   auth::Verifier verifier_;
@@ -139,16 +136,8 @@ class CloudServer {
   AdmissionGate admission_;
   Dispatcher dispatch_;
   std::atomic<bool> quality_gate_{true};
-
-  struct CachedExchange {
-    crypto::Sha256Digest request_mac{};
-    net::Envelope response;
-  };
-  mutable std::mutex cache_mutex_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, CachedExchange>
-      session_cache_;
-  mutable std::mutex stats_mutex_;
-  ServiceStats stats_;
+  SessionCache cache_;
+  ServiceCounters counters_;
 };
 
 }  // namespace medsen::cloud

@@ -1,0 +1,65 @@
+#include "cloud/session_cache.h"
+
+namespace medsen::cloud {
+
+SessionCache::SessionCache(Config config) : shards_(config.shards) {
+  if (config.capacity == 0) {
+    per_shard_capacity_ = 0;  // unbounded
+  } else {
+    const std::size_t per_shard = config.capacity / shards_.shard_count();
+    per_shard_capacity_ = per_shard == 0 ? 1 : per_shard;
+  }
+}
+
+SessionCache::Hit SessionCache::lookup(const net::Envelope& request) {
+  const SessionKey key{request.device_id, request.session_id};
+  return shards_.with(request.device_id, [&](ShardState& shard) {
+    Hit hit;
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) return hit;
+    if (!crypto::digest_equal(it->second->request_mac, request.mac)) {
+      // A replay that is not byte-identical is a protocol violation, not
+      // a transport retry.
+      hit.state = Lookup::kConflict;
+      return hit;
+    }
+    // Touch: a session the transport is actively retrying must outlive
+    // colder entries.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hit.state = Lookup::kReplay;
+    hit.response = it->second->response;
+    return hit;
+  });
+}
+
+void SessionCache::insert(const net::Envelope& request,
+                          const net::Envelope& response) {
+  const SessionKey key{request.device_id, request.session_id};
+  shards_.with(request.device_id, [&](ShardState& shard) {
+    if (shard.index.find(key) != shard.index.end()) return;
+    shard.lru.push_front(Entry{key, request.mac, response});
+    shard.index.emplace(key, shard.lru.begin());
+    if (per_shard_capacity_ == 0) return;
+    while (shard.lru.size() > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  });
+}
+
+std::size_t SessionCache::size() const {
+  std::size_t total = 0;
+  shards_.for_each_shard(
+      [&](const ShardState& shard) { total += shard.index.size(); });
+  return total;
+}
+
+std::uint64_t SessionCache::evictions() const {
+  std::uint64_t total = 0;
+  shards_.for_each_shard(
+      [&](const ShardState& shard) { total += shard.evictions; });
+  return total;
+}
+
+}  // namespace medsen::cloud

@@ -1,58 +1,84 @@
 #include "cloud/storage.h"
 
+#include <utility>
+
 namespace medsen::cloud {
 
+RecordStore::RecordStore(
+    std::map<std::string, std::vector<StoredRecord>> entries,
+    std::size_t shards)
+    : shards_(shards) {
+  for (auto& [key, records] : entries)
+    restore(key, std::move(records));
+}
+
 void RecordStore::store(const auth::CytoCode& code, StoredRecord record) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  store_[code.to_string()].push_back(std::move(record));
+  const std::string key = code.to_string();
+  shards_.with(route(key), [&](Entries& entries) {
+    entries[key].push_back(std::move(record));
+  });
 }
 
 std::vector<StoredRecord> RecordStore::fetch(
     const auth::CytoCode& code) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = store_.find(code.to_string());
-  if (it == store_.end()) return {};
-  return it->second;
+  const std::string key = code.to_string();
+  return shards_.with(
+      route(key), [&](const Entries& entries) -> std::vector<StoredRecord> {
+        const auto it = entries.find(key);
+        if (it == entries.end()) return {};
+        return it->second;
+      });
 }
 
 std::optional<StoredRecord> RecordStore::latest(
     const auth::CytoCode& code) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = store_.find(code.to_string());
-  if (it == store_.end() || it->second.empty()) return std::nullopt;
-  return it->second.back();
+  const std::string key = code.to_string();
+  return shards_.with(
+      route(key), [&](const Entries& entries) -> std::optional<StoredRecord> {
+        const auto it = entries.find(key);
+        if (it == entries.end() || it->second.empty()) return std::nullopt;
+        return it->second.back();
+      });
 }
 
 std::size_t RecordStore::identifier_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return store_.size();
+  std::size_t total = 0;
+  shards_.for_each_shard(
+      [&](const Entries& entries) { total += entries.size(); });
+  return total;
 }
 
 std::size_t RecordStore::record_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t n = 0;
-  for (const auto& [key, records] : store_) n += records.size();
-  return n;
+  std::size_t total = 0;
+  shards_.for_each_shard([&](const Entries& entries) {
+    for (const auto& [key, records] : entries) total += records.size();
+  });
+  return total;
 }
 
 std::map<std::string, std::vector<StoredRecord>> RecordStore::snapshot()
     const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return store_;
+  Entries merged;
+  shards_.for_each_shard([&](const Entries& entries) {
+    for (const auto& [key, records] : entries) merged[key] = records;
+  });
+  return merged;
 }
 
 void RecordStore::visit(
     const std::function<void(const std::string&,
                              const std::vector<StoredRecord>&)>& visitor)
     const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& [key, records] : store_) visitor(key, records);
+  const auto merged = snapshot();
+  for (const auto& [key, records] : merged) visitor(key, records);
 }
 
 void RecordStore::restore(std::string key,
                           std::vector<StoredRecord> records) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  store_[std::move(key)] = std::move(records);
+  const std::uint64_t route_key = route(key);
+  shards_.with(route_key, [&](Entries& entries) {
+    entries[std::move(key)] = std::move(records);
+  });
 }
 
 }  // namespace medsen::cloud

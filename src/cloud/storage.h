@@ -4,19 +4,23 @@
 // with the patient's code — but no biometric, no account password — can
 // fetch the history. Records are opaque ciphertext blobs to the cloud.
 //
-// Thread-safe: a server handling concurrent requests stores and fetches
-// through an internal mutex, and readers only ever see snapshots — the
-// internal map is never leaked by reference.
+// Thread-safe and sharded: identifiers route deterministically to one of
+// N independently-locked shards (util::Sharded, FNV-1a over the code's
+// text form), so concurrent stores for different patients never contend.
+// Readers only ever see snapshots — the internal maps are never leaked
+// by reference. Cross-shard reads (snapshot, counts, visit) lock one
+// shard at a time: each shard's view is consistent, the whole is
+// eventually consistent while writers are active.
 
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "auth/identifier.h"
+#include "util/sharded.h"
 
 namespace medsen::cloud {
 
@@ -27,11 +31,11 @@ struct StoredRecord {
 
 class RecordStore {
  public:
-  RecordStore() = default;
+  /// `shards` 0 = hardware default; rounded up to a power of two.
+  explicit RecordStore(std::size_t shards = 0) : shards_(shards) {}
   /// Build a store from pre-keyed entries (persistence layer).
-  explicit RecordStore(
-      std::map<std::string, std::vector<StoredRecord>> entries)
-      : store_(std::move(entries)) {}
+  explicit RecordStore(std::map<std::string, std::vector<StoredRecord>> entries,
+                       std::size_t shards = 0);
 
   /// Append a record under an identifier.
   void store(const auth::CytoCode& code, StoredRecord record);
@@ -47,21 +51,32 @@ class RecordStore {
   [[nodiscard]] std::size_t identifier_count() const;
   [[nodiscard]] std::size_t record_count() const;
 
-  /// Consistent copy of all entries, keyed by the code's text form
-  /// (persistence layer; replaces the old by-reference entries()).
+  /// Consistent-per-shard copy of all entries, keyed by the code's text
+  /// form and merged in key order (persistence layer; replaces the old
+  /// by-reference entries()).
   [[nodiscard]] std::map<std::string, std::vector<StoredRecord>> snapshot()
       const;
-  /// Visit every (key, records) pair under the lock, in key order. The
-  /// callback must not reenter the store.
+  /// Visit every (key, records) pair of a snapshot, in key order. The
+  /// callback sees a copy, so it may reenter the store.
   void visit(const std::function<void(const std::string&,
                                       const std::vector<StoredRecord>&)>&
                  visitor) const;
   /// Reinstall one identifier's record list (persistence layer).
   void restore(std::string key, std::vector<StoredRecord> records);
 
+  [[nodiscard]] std::size_t shard_count() const {
+    return shards_.shard_count();
+  }
+
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::vector<StoredRecord>> store_;  // key: code text
+  using Entries = std::map<std::string, std::vector<StoredRecord>>;
+
+  /// Identifier text -> shard route key (deterministic across runs).
+  [[nodiscard]] static std::uint64_t route(const std::string& key) {
+    return util::fnv1a64(std::string_view(key));
+  }
+
+  util::Sharded<Entries> shards_;  // each shard keyed by code text
 };
 
 }  // namespace medsen::cloud

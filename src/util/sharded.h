@@ -1,0 +1,138 @@
+#pragma once
+// util::Sharded<T>: N independently-locked copies of a state type, with
+// deterministic FNV-1a routing from a 64-bit key to a shard. This is the
+// building block the cloud service layer uses to stop serializing every
+// request on process-wide singleton locks: each (device, session) only
+// ever touches the shard its key routes to, so requests for different
+// devices proceed on different mutexes, and a snapshot walks the shards
+// one at a time (readers see a per-shard-consistent, eventually-
+// consistent view — never a torn entry).
+//
+// Routing is deterministic: the same key maps to the same shard for a
+// given shard count, across runs, hosts, and processes (FNV-1a is fixed,
+// no per-process hash seeding). Shard counts are rounded up to a power
+// of two so routing is a mask, and default to a small multiple of the
+// hardware concurrency.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+namespace medsen::util {
+
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// FNV-1a over the 8 little-endian bytes of `key`. Used as the shard
+/// router: std::hash<uint64_t> is identity on common implementations,
+/// which would route sequential device ids to sequential shards of a
+/// power-of-two table — fine — but is not pinned by the standard, and
+/// routing must be deterministic across toolchains.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::uint64_t key) {
+  std::uint64_t hash = kFnv1aOffset;
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (key >> (8 * byte)) & 0xFFu;
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// FNV-1a over a byte string (record-store keys are identifier text).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = kFnv1aOffset;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// Smallest power of two >= n (n = 0 or 1 gives 1).
+[[nodiscard]] constexpr std::size_t round_up_pow2(std::size_t n) {
+  std::size_t pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  return pow2;
+}
+
+/// Default shard count: enough shards that threads rarely collide
+/// (4x the core count, rounded to a power of two), bounded so a
+/// million-device deployment on a big box doesn't allocate absurdly.
+[[nodiscard]] inline std::size_t default_shard_count() {
+  const std::size_t cores = std::thread::hardware_concurrency();
+  const std::size_t shards = round_up_pow2(cores == 0 ? 4 : 4 * cores);
+  return shards > 256 ? 256 : shards;
+}
+
+template <typename T>
+class Sharded {
+ public:
+  /// `shard_count` 0 picks the hardware default; anything else is
+  /// rounded up to a power of two (1 = the old single-lock behavior,
+  /// useful as a baseline and in tests).
+  explicit Sharded(std::size_t shard_count = 0)
+      : count_(shard_count == 0 ? default_shard_count()
+                                : round_up_pow2(shard_count)),
+        shards_(std::make_unique<Shard[]>(count_)) {}
+
+  Sharded(Sharded&&) noexcept = default;
+  Sharded& operator=(Sharded&&) noexcept = default;
+
+  [[nodiscard]] std::size_t shard_count() const { return count_; }
+
+  /// Deterministic key -> shard routing (same key, same shard, always).
+  [[nodiscard]] std::size_t shard_index(std::uint64_t route_key) const {
+    return static_cast<std::size_t>(fnv1a64(route_key)) & (count_ - 1);
+  }
+
+  /// Run `fn(T&)` holding only the routed shard's lock. No other shard
+  /// is touched, so two keys on different shards never contend.
+  template <typename Fn>
+  decltype(auto) with(std::uint64_t route_key, Fn&& fn) {
+    Shard& shard = shards_[shard_index(route_key)];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    return std::forward<Fn>(fn)(shard.state);
+  }
+
+  template <typename Fn>
+  decltype(auto) with(std::uint64_t route_key, Fn&& fn) const {
+    const Shard& shard = shards_[shard_index(route_key)];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    return std::forward<Fn>(fn)(shard.state);
+  }
+
+  /// Visit every shard in index order, locking one at a time. The view
+  /// is consistent per shard, eventually consistent across shards: a
+  /// concurrent writer to an already-visited shard is not seen.
+  template <typename Fn>
+  void for_each_shard(Fn&& fn) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      const std::lock_guard<std::mutex> lock(shards_[i].mutex);
+      fn(static_cast<const T&>(shards_[i].state));
+    }
+  }
+
+  template <typename Fn>
+  void for_each_shard(Fn&& fn) {
+    for (std::size_t i = 0; i < count_; ++i) {
+      const std::lock_guard<std::mutex> lock(shards_[i].mutex);
+      fn(shards_[i].state);
+    }
+  }
+
+ private:
+  // One cache line per shard: the mutex and the head of the state never
+  // false-share with a neighboring shard.
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    T state{};
+  };
+
+  std::size_t count_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace medsen::util

@@ -1,0 +1,117 @@
+#include "util/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace medsen::util {
+namespace {
+
+TEST(Fnv1a, MatchesReferenceVectors) {
+  // The canonical FNV-1a test vectors (string form).
+  EXPECT_EQ(fnv1a64(std::string_view("")), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64(std::string_view("a")), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64(std::string_view("foobar")), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, IntegerFormHashesLittleEndianBytes) {
+  // fnv1a64(uint64) is defined as FNV-1a over the 8 LE bytes, so it must
+  // agree with the string form over those bytes.
+  const std::uint64_t key = 0x0123456789ABCDEFull;
+  char bytes[8];
+  for (int i = 0; i < 8; ++i)
+    bytes[i] = static_cast<char>((key >> (8 * i)) & 0xFF);
+  EXPECT_EQ(fnv1a64(key), fnv1a64(std::string_view(bytes, 8)));
+  // Pinned value: routing is part of the deployment contract.
+  EXPECT_EQ(fnv1a64(std::uint64_t{0}), fnv1a64(std::string_view("\0\0\0\0\0\0\0\0", 8)));
+}
+
+TEST(RoundUpPow2, RoundsUp) {
+  EXPECT_EQ(round_up_pow2(0), 1u);
+  EXPECT_EQ(round_up_pow2(1), 1u);
+  EXPECT_EQ(round_up_pow2(2), 2u);
+  EXPECT_EQ(round_up_pow2(3), 4u);
+  EXPECT_EQ(round_up_pow2(8), 8u);
+  EXPECT_EQ(round_up_pow2(9), 16u);
+  EXPECT_EQ(round_up_pow2(250), 256u);
+}
+
+TEST(DefaultShardCount, PowerOfTwoAndBounded) {
+  const std::size_t shards = default_shard_count();
+  EXPECT_GE(shards, 4u);
+  EXPECT_LE(shards, 256u);
+  EXPECT_EQ(shards & (shards - 1), 0u);
+}
+
+TEST(Sharded, RoundsRequestedCountToPowerOfTwo) {
+  EXPECT_EQ(Sharded<int>(1).shard_count(), 1u);
+  EXPECT_EQ(Sharded<int>(5).shard_count(), 8u);
+  EXPECT_EQ(Sharded<int>(64).shard_count(), 64u);
+}
+
+TEST(Sharded, RoutingIsDeterministicAcrossInstances) {
+  const Sharded<int> a(16);
+  const Sharded<int> b(16);
+  for (std::uint64_t key = 0; key < 1000; ++key)
+    EXPECT_EQ(a.shard_index(key), b.shard_index(key)) << key;
+}
+
+TEST(Sharded, RoutingCoversAllShards) {
+  const Sharded<int> sharded(8);
+  std::set<std::size_t> seen;
+  for (std::uint64_t key = 0; key < 1000; ++key)
+    seen.insert(sharded.shard_index(key));
+  EXPECT_EQ(seen.size(), sharded.shard_count());
+}
+
+TEST(Sharded, WithMutatesOnlyTheRoutedShard) {
+  Sharded<int> sharded(4);
+  sharded.with(7, [](int& state) { state = 42; });
+  int sum = 0;
+  int nonzero = 0;
+  sharded.for_each_shard([&](const int& state) {
+    sum += state;
+    if (state != 0) ++nonzero;
+  });
+  EXPECT_EQ(sum, 42);
+  EXPECT_EQ(nonzero, 1);
+}
+
+TEST(Sharded, WithReturnsTheCallbackValue) {
+  Sharded<std::vector<int>> sharded(2);
+  sharded.with(1, [](std::vector<int>& v) { v.push_back(5); });
+  const std::size_t size =
+      sharded.with(1, [](std::vector<int>& v) { return v.size(); });
+  EXPECT_EQ(size, 1u);
+}
+
+TEST(Sharded, SingleShardStillRoutesEverythingToIt) {
+  Sharded<int> sharded(1);
+  for (std::uint64_t key = 0; key < 100; ++key)
+    EXPECT_EQ(sharded.shard_index(key), 0u);
+}
+
+TEST(Sharded, ConcurrentIncrementsAreNotLost) {
+  Sharded<std::uint64_t> sharded(8);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        sharded.with(static_cast<std::uint64_t>(t) * kPerThread + i,
+                     [](std::uint64_t& count) { ++count; });
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::uint64_t total = 0;
+  sharded.for_each_shard([&](const std::uint64_t& count) { total += count; });
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace medsen::util

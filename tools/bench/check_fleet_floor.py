@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Regression floor check for the fleet_load bench artifact.
+
+Compares the smoke run's throughput against the checked-in floor
+(tools/bench/fleet_load_floor.json) and fails when it regresses more
+than the allowed fraction. The floor is deliberately conservative — a
+single-core container measurement — so the check catches "someone
+reintroduced a global lock" (an integer-factor collapse), not runner
+jitter.
+
+Usage: check_fleet_floor.py BENCH_fleet_load.json [--floor FLOOR.json]
+Exit status: 0 ok, 1 regression or malformed artifact, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_KEYS = (
+    "throughput_rps",
+    "latency_p50_us",
+    "latency_p99_us",
+    "latency_p999_us",
+    "requests_sent",
+    "replays",
+    "shed",
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", type=Path,
+                        help="BENCH_fleet_load.json from the smoke run")
+    parser.add_argument("--floor", type=Path,
+                        default=Path(__file__).with_name(
+                            "fleet_load_floor.json"))
+    args = parser.parse_args()
+
+    try:
+        artifact = json.loads(args.artifact.read_text())
+        floor = json.loads(args.floor.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_fleet_floor: cannot read inputs: {err}",
+              file=sys.stderr)
+        return 1
+
+    counters = artifact.get("counters", {})
+    missing = [key for key in REQUIRED_KEYS if key not in counters]
+    if artifact.get("bench") != "fleet_load" or missing:
+        print(f"check_fleet_floor: malformed artifact "
+              f"(bench={artifact.get('bench')!r}, missing={missing})",
+              file=sys.stderr)
+        return 1
+
+    throughput = float(counters["throughput_rps"])
+    baseline = float(floor["throughput_rps"])
+    tolerance = float(floor.get("allowed_regression", 0.30))
+    minimum = baseline * (1.0 - tolerance)
+
+    print(f"throughput {throughput:.0f} req/s "
+          f"(floor {baseline:.0f}, minimum after {tolerance:.0%} "
+          f"tolerance: {minimum:.0f})")
+    if throughput < minimum:
+        print(f"check_fleet_floor: REGRESSION — {throughput:.0f} req/s is "
+              f"more than {tolerance:.0%} below the {baseline:.0f} req/s "
+              f"floor", file=sys.stderr)
+        return 1
+    print("check_fleet_floor: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

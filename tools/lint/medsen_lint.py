@@ -35,9 +35,19 @@ Enforces project-specific correctness contracts that generic tooling
                     required to be bit-identical. (Internal helpers in
                     faults.cpp may pass locally built fault streams.)
 
+  cloud-mutex       No `std::mutex` (or timed/recursive/shared variants)
+                    members or globals in `src/cloud`. The service layer
+                    is sharded: all locking lives behind util::Sharded's
+                    per-shard mutexes, and counters are relaxed atomics.
+                    A stray mutex member reintroduces exactly the
+                    process-wide serialization point the sharding refactor
+                    removed, and it does so silently — throughput decays,
+                    nothing fails. (util::Sharded itself lives in
+                    src/util, outside the rule's scope.)
+
 Suppress a finding by appending `// medsen-lint: allow(<rule>)` to the
 offending line, where <rule> is one of: determinism, decoder-tests,
-unordered-serial, fault-stream.
+unordered-serial, fault-stream, cloud-mutex.
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage
 errors. Run from anywhere: `python3 tools/lint/medsen_lint.py [--root DIR]`.
@@ -90,6 +100,15 @@ SERIAL_SINK = re.compile(
     r"ByteWriter|serialize|\.u8\(|\.u16\(|\.u32\(|\.u64\(|\.f64\(|"
     r"\.blob\(|\.str\(|\.bytes\(|frame_encode")
 
+# A mutex-flavored member/global declaration in the sharded service
+# layer: `std::mutex m_;`, `mutable std::shared_mutex lock;`, etc.
+# Matching the declaration (type then identifier then ; or {}) skips
+# lock_guard/unique_lock *uses*, which name the type in template args.
+CLOUD_MUTEX_DIRS = ("src/cloud",)
+CLOUD_MUTEX_DECL = re.compile(
+    r"\bstd\s*::\s*(?:timed_|recursive_|shared_)*mutex\b"
+    r"\s+\w+\s*(?:;|\{\s*\})")
+
 ALLOW = re.compile(r"//\s*medsen-lint:\s*allow\((?P<rules>[\w\-, ]+)\)")
 
 TEST_BLOCK = re.compile(r"^TEST(?:_F|_P)?\s*\(", re.MULTILINE)
@@ -140,6 +159,23 @@ def check_fault_streams(root: Path, findings: list[str]) -> None:
                     f"the fault API must not take a ChaChaRng& — build "
                     f"its own stream from FaultConfig::seed so fault draws "
                     f"never advance the base simulation's RNG")
+
+
+def check_cloud_mutex(root: Path, findings: list[str]) -> None:
+    for sub in CLOUD_MUTEX_DIRS:
+        for path in sorted((root / sub).rglob("*")):
+            if path.suffix not in (".h", ".cpp"):
+                continue
+            for lineno, raw in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if allowed(raw, "cloud-mutex"):
+                    continue
+                if CLOUD_MUTEX_DECL.search(strip_comments_and_strings(raw)):
+                    findings.append(
+                        f"{path.relative_to(root)}:{lineno}: [cloud-mutex] "
+                        f"std::mutex member in the sharded service layer; "
+                        f"route state through util::Sharded (per-shard "
+                        f"locks) or use relaxed atomics for counters")
 
 
 def collect_decoders(root: Path) -> list[tuple[Path, int, str]]:
@@ -250,6 +286,7 @@ def main() -> int:
 
     findings: list[str] = []
     check_determinism(root, findings)
+    check_cloud_mutex(root, findings)
     check_fault_streams(root, findings)
     check_decoder_tests(root, findings)
     check_unordered_serialization(root, findings)
