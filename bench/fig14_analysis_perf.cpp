@@ -23,6 +23,11 @@ namespace {
 
 using namespace medsen;
 
+/// The instrument's aggregate output rate: 450 Hz lock-in output times
+/// the 8-carrier frequency-division multiplex. `real_time_factor` is how
+/// many times faster than this hardware rate one core analyzes.
+constexpr double kHardwareSamplesPerSec = 450.0 * 8.0;
+
 /// Synthetic acquisition of n total samples (split evenly over
 /// `channels` carriers) with realistic peak density.
 util::MultiChannelSeries make_series(std::size_t n_samples,
@@ -66,17 +71,32 @@ double serial_seconds(const util::MultiChannelSeries& series) {
 }
 
 void BM_PeakAnalysis_Computer(benchmark::State& state) {
-  const auto series = make_series(static_cast<std::size_t>(state.range(0)));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto series = make_series(n);
   // Paper's Fig. 14 computer curve is a single-core i7: keep serial.
   cloud::AnalysisConfig config;
   config.threads = 1;
   cloud::AnalysisService service(config);
+  double total_s = 0.0;
+  std::size_t iterations = 0;
   for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
     auto report = service.analyze(series);
     benchmark::DoNotOptimize(report);
+    total_s += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    ++iterations;
   }
-  state.counters["samples"] = static_cast<double>(state.range(0));
+  const double per_core =
+      iterations > 0 && total_s > 0.0
+          ? static_cast<double>(n) /
+                (total_s / static_cast<double>(iterations))
+          : 0.0;
+  state.counters["samples"] = static_cast<double>(n);
   state.counters["profile_scale"] = phone::computer_profile().slowdown;
+  state.counters["samples_per_sec_per_core"] = per_core;
+  state.counters["real_time_factor"] = per_core / kHardwareSamplesPerSec;
 }
 
 void BM_PeakAnalysis_Nexus5Model(benchmark::State& state) {
@@ -85,6 +105,8 @@ void BM_PeakAnalysis_Nexus5Model(benchmark::State& state) {
   config.threads = 1;
   cloud::AnalysisService service(config);
   const auto profile = phone::nexus5_profile();
+  double total_scaled_s = 0.0;
+  std::size_t iterations = 0;
   for (auto _ : state) {
     const auto start = std::chrono::steady_clock::now();
     auto report = service.analyze(series);
@@ -94,9 +116,19 @@ void BM_PeakAnalysis_Nexus5Model(benchmark::State& state) {
                             .count();
     // Report the profile-scaled time as this iteration's duration.
     state.SetIterationTime(profile.scale(real));
+    total_scaled_s += profile.scale(real);
+    ++iterations;
   }
-  state.counters["samples"] = static_cast<double>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double per_core =
+      iterations > 0 && total_scaled_s > 0.0
+          ? static_cast<double>(n) /
+                (total_scaled_s / static_cast<double>(iterations))
+          : 0.0;
+  state.counters["samples"] = static_cast<double>(n);
   state.counters["profile_scale"] = profile.slowdown;
+  state.counters["samples_per_sec_per_core"] = per_core;
+  state.counters["real_time_factor"] = per_core / kHardwareSamplesPerSec;
 }
 
 /// Thread-count sweep over the paper's workloads. range(0) = total
@@ -123,13 +155,18 @@ void BM_PeakAnalysis_Threads(benchmark::State& state) {
                    .count();
     ++iterations;
   }
+  const double mean_s =
+      iterations > 0 ? total_s / static_cast<double>(iterations) : 0.0;
+  const double per_core =
+      mean_s > 0.0
+          ? static_cast<double>(n) / mean_s / static_cast<double>(threads)
+          : 0.0;
   state.counters["samples"] = static_cast<double>(n);
   state.counters["channels"] = static_cast<double>(channels);
   state.counters["threads"] = static_cast<double>(threads);
-  state.counters["speedup_vs_serial"] =
-      iterations > 0 && total_s > 0.0
-          ? serial_s / (total_s / static_cast<double>(iterations))
-          : 0.0;
+  state.counters["speedup_vs_serial"] = mean_s > 0.0 ? serial_s / mean_s : 0.0;
+  state.counters["samples_per_sec_per_core"] = per_core;
+  state.counters["real_time_factor"] = per_core / kHardwareSamplesPerSec;
 }
 
 BENCHMARK(BM_PeakAnalysis_Computer)
@@ -183,8 +220,26 @@ class JsonArtifactReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, &argv[0]);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // `--smoke`: CI preset — run only the paper's smallest computer-curve
+  // workload so bench-smoke gets the headline samples_per_sec_per_core /
+  // real_time_factor counters in seconds, not minutes.
+  std::vector<char*> args(argv, argv + argc);
+  std::string smoke_filter =
+      "--benchmark_filter=BM_PeakAnalysis_Computer/240607";
+  bool smoke = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::string(*it) == "--smoke") {
+      smoke = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (smoke) args.push_back(smoke_filter.data());
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data()))
+    return 1;
   JsonArtifactReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   reporter.write_artifact();

@@ -6,6 +6,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "cloud/streaming.h"
@@ -15,17 +18,34 @@
 
 using namespace medsen;
 
-int main() {
+namespace {
+
+/// 450 Hz lock-in output times the 8-carrier multiplex: the rate the
+/// hardware actually produces. real_time_factor = how many times faster
+/// than the instrument one core churns through the samples.
+constexpr double kHardwareSamplesPerSec = 450.0 * 8.0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // `--smoke`: CI preset — only the 10-minute workload.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
   bench::header("Streaming analysis (600 MB-class workloads)",
                 "peak analysis of hours-long acquisitions runs in bounded "
                 "memory with batch-identical results");
 
   const double rate = 450.0;
   util::ThreadPool pool;  // pipelined mode: detrend k+1 overlaps detect k
+  bench::JsonCounters json("streaming_analysis");
+  const std::vector<double> workloads =
+      smoke ? std::vector<double>{10.0} : std::vector<double>{10.0, 30.0, 60.0};
   std::printf(
       "duration_min,samples,batch_peaks,stream_peaks,pipe_peaks,batch_MB,"
       "working_MB,batch_Msamp_per_s,stream_Msamp_per_s,pipe_Msamp_per_s\n");
-  for (double minutes : {10.0, 30.0, 60.0}) {
+  for (double minutes : workloads) {
     const auto n = static_cast<std::size_t>(minutes * 60.0 * rate);
     crypto::ChaChaRng rng(static_cast<std::uint64_t>(minutes));
     // ~1 peak every 2 s.
@@ -76,7 +96,29 @@ int main() {
                 static_cast<double>(n) / 1e6 / batch_s,
                 static_cast<double>(n) / 1e6 / stream_s,
                 static_cast<double>(n) / 1e6 / pipe_s);
+
+    // Fold into the JSON artifact. Batch and serial streaming run on the
+    // caller's core alone; the pipelined path uses the pool's workers
+    // plus the caller, so its per-core figure divides by that count.
+    const std::string prefix = "min" + std::to_string(static_cast<int>(minutes));
+    const double batch_rate = static_cast<double>(n) / batch_s;
+    const double stream_rate = static_cast<double>(n) / stream_s;
+    const double pipe_rate = static_cast<double>(n) / pipe_s /
+                             static_cast<double>(pool.concurrency());
+    json.set(prefix + ".batch.samples_per_sec_per_core", batch_rate);
+    json.set(prefix + ".batch.real_time_factor",
+             batch_rate / kHardwareSamplesPerSec);
+    json.set(prefix + ".stream.samples_per_sec_per_core", stream_rate);
+    json.set(prefix + ".stream.real_time_factor",
+             stream_rate / kHardwareSamplesPerSec);
+    json.set(prefix + ".pipe.samples_per_sec_per_core", pipe_rate);
+    json.set(prefix + ".pipe.real_time_factor",
+             pipe_rate / kHardwareSamplesPerSec);
+    json.set_count(prefix + ".batch_peaks", batch.size());
+    json.set_count(prefix + ".stream_peaks", streamed.size());
+    json.set_count(prefix + ".pipe_peaks", piped.size());
   }
+  json.write();
   std::printf("note: working set is the fixed chunk size regardless of "
               "acquisition length; peak counts must match batch.\n");
   return 0;

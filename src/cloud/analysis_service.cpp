@@ -1,5 +1,6 @@
 #include "cloud/analysis_service.h"
 
+#include <span>
 #include <thread>
 
 #include "dsp/noise.h"
@@ -40,14 +41,21 @@ core::PeakReport AnalysisService::analyze(
     const auto& channel = series.channels[i];
     core::ChannelPeaks& out = report.channels[i];
     out.carrier_hz = series.carrier_frequencies_hz.at(i);
-    const auto detrended =
-        dsp::detrend(channel.samples(), config_.detrend, pool_.get());
+    // Lease working memory for this channel task; every buffer below is
+    // reused across requests instead of allocated per channel.
+    auto scratch = scratch_pool_.acquire();
+    scratch->detrended.resize(channel.size());
+    const std::span<double> detrended(scratch->detrended.data(),
+                                      channel.size());
+    dsp::detrend_into(channel.samples(), config_.detrend, detrended,
+                      pool_.get(), scratch->detrend);
     dsp::PeakDetectConfig detect = config_.peak_detect;
     if (config_.adaptive_threshold)
       detect.threshold =
           dsp::adaptive_threshold(detrended, config_.adaptive_k_sigma);
-    out.peaks = dsp::detect_peaks(detrended, channel.sample_rate(),
-                                  channel.start_time(), detect);
+    out.peaks =
+        dsp::detect_peaks(detrended, channel.sample_rate(),
+                          channel.start_time(), detect, scratch->peak_detect);
     samples[i] = channel.size();
     peaks[i] = out.peaks.size();
   };

@@ -16,9 +16,12 @@
 #include <cstdint>
 #include <memory>
 
+#include <vector>
+
 #include "core/peak_report.h"
 #include "dsp/detrend.h"
 #include "dsp/peak_detect.h"
+#include "util/scratch_pool.h"
 #include "util/thread_pool.h"
 #include "util/time_series.h"
 
@@ -66,8 +69,21 @@ class AnalysisService {
   }
 
  private:
+  /// Everything one channel task needs: the detrended-signal buffer and
+  /// the detrend/peak-detect workspaces. Leased from scratch_pool_ per
+  /// channel task, so steady-state requests analyze with no per-channel
+  /// allocation (buffers warm up to the largest channel seen). A pool —
+  /// not thread_local — because ThreadPool's help-while-waiting can run
+  /// a nested task on a thread whose outer frame still uses its scratch.
+  struct ChannelScratch {
+    std::vector<double> detrended;
+    dsp::DetrendWorkspace detrend;
+    dsp::PeakDetectScratch peak_detect;
+  };
+
   AnalysisConfig config_;
   std::shared_ptr<util::ThreadPool> pool_;
+  util::ScratchPool<ChannelScratch> scratch_pool_;
   std::atomic<std::uint64_t> samples_processed_{0};
   std::atomic<std::uint64_t> peaks_found_{0};
   std::atomic<std::uint64_t> processing_time_ns_{0};

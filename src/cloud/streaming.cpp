@@ -1,5 +1,6 @@
 #include "cloud/streaming.h"
 
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -36,11 +37,20 @@ void StreamingAnalyzer::start_block_async() {
   PendingBlock next;
   next.start_index = buffer_start_index_;
   next.len = len;
-  std::vector<double> block(buffer_.begin(),
-                            buffer_.begin() + static_cast<long>(len));
+  // Lease block scratch: input copy, detrend output and workspace all
+  // come from the pool, so steady-state streaming allocates nothing per
+  // block (the pool holds at most two scratches — one completing, one
+  // in flight).
+  auto scratch = block_pool_.acquire();
+  scratch->block.assign(buffer_.begin(),
+                        buffer_.begin() + static_cast<long>(len));
   next.detrended = pool_->submit(
-      [block = std::move(block), config = config_.detrend]() {
-        return dsp::detrend(block, config);
+      [scratch = std::move(scratch), config = config_.detrend]() mutable {
+        scratch->detrended.resize(scratch->block.size());
+        dsp::detrend_into(scratch->block, config,
+                          std::span<double>(scratch->detrended), nullptr,
+                          scratch->detrend);
+        return std::move(scratch);
       });
 
   // Advance past the block, keeping the overlap margin (same bookkeeping
@@ -57,10 +67,12 @@ void StreamingAnalyzer::complete_pending() {
   if (!pending_) return;
   PendingBlock block = std::move(*pending_);
   pending_.reset();
-  const auto detrended = block.detrended.get();  // rethrows task errors
+  const auto scratch = block.detrended.get();  // rethrows task errors
+  const std::span<const double> detrended(scratch->detrended.data(),
+                                          block.len);
   const double start_time = static_cast<double>(block.start_index) / rate_;
-  auto peaks =
-      dsp::detect_peaks(detrended, rate_, start_time, config_.peak_detect);
+  auto peaks = dsp::detect_peaks(detrended, rate_, start_time,
+                                 config_.peak_detect, peak_scratch_);
   for (auto& peak : peaks) peak.index += block.start_index;
   // Pending blocks are never final: defer peaks in the trailing overlap
   // margin to the next block exactly as the serial path does.
@@ -78,11 +90,14 @@ void StreamingAnalyzer::process_block(bool final_block) {
                   : std::min(config_.chunk_samples, buffer_.size());
   if (len == 0) return;
   const std::span<const double> block(buffer_.data(), len);
-  const auto detrended = dsp::detrend(block, config_.detrend);
+  serial_scratch_.detrended.resize(len);
+  const std::span<double> detrended(serial_scratch_.detrended.data(), len);
+  dsp::detrend_into(block, config_.detrend, detrended, nullptr,
+                    serial_scratch_.detrend);
   const double start_time =
       static_cast<double>(buffer_start_index_) / rate_;
   auto peaks = dsp::detect_peaks(detrended, rate_, start_time,
-                                 config_.peak_detect);
+                                 config_.peak_detect, peak_scratch_);
   // Correct the indices to global sample positions.
   for (auto& peak : peaks) peak.index += buffer_start_index_;
   if (!final_block) {

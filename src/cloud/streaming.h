@@ -19,6 +19,7 @@
 
 #include "dsp/detrend.h"
 #include "dsp/peak_detect.h"
+#include "util/scratch_pool.h"
 #include "util/thread_pool.h"
 
 namespace medsen::cloud {
@@ -53,11 +54,24 @@ class StreamingAnalyzer {
   void complete_pending();
   void emit(std::vector<dsp::Peak> peaks);
 
-  /// A full-size block whose detrend is in flight on the pool.
+  /// Working memory for one block: the pipelined input copy, the
+  /// detrended output, and the detrend workspace. Leased per in-flight
+  /// block from block_pool_ — two blocks' detrends can overlap in
+  /// pipelined mode (block k+1 is submitted before block k completes),
+  /// so the scratch must travel with the block, not live in one member.
+  struct BlockScratch {
+    std::vector<double> block;
+    std::vector<double> detrended;
+    dsp::DetrendWorkspace detrend;
+  };
+
+  /// A full-size block whose detrend is in flight on the pool. The
+  /// future carries the block's scratch lease; its `detrended` buffer
+  /// holds `len` valid samples once ready.
   struct PendingBlock {
     std::size_t start_index = 0;  ///< global index of the block's sample 0
     std::size_t len = 0;
-    std::future<std::vector<double>> detrended;
+    std::future<util::ScratchPool<BlockScratch>::Lease> detrended;
   };
 
   double rate_;
@@ -69,6 +83,9 @@ class StreamingAnalyzer {
   double last_emitted_time_ = -1.0;
   std::vector<dsp::Peak> results_;
   std::optional<PendingBlock> pending_;
+  util::ScratchPool<BlockScratch> block_pool_;
+  BlockScratch serial_scratch_;        ///< serial/final-block path only
+  dsp::PeakDetectScratch peak_scratch_;  ///< caller-thread peak detection
 };
 
 }  // namespace medsen::cloud

@@ -6,51 +6,194 @@
 
 namespace medsen::dsp {
 
-QuadratureDemodulator::QuadratureDemodulator(double carrier_hz,
-                                             double sample_rate_hz,
-                                             double lowpass_cutoff_hz)
-    : carrier_hz_(carrier_hz),
-      sample_rate_hz_(sample_rate_hz),
-      lpf_i_(lowpass_cutoff_hz, sample_rate_hz),
-      lpf_q_(lowpass_cutoff_hz, sample_rate_hz) {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Samples per batch block: long enough that the vector passes amortize
+/// the loop bookkeeping, short enough that the mix scratch stays in L1.
+constexpr std::size_t kBlock = 2048;
+
+/// Validate the carrier before any member construction so the thrown
+/// error is the documented Nyquist one even when the cutoff is also bad.
+double checked_carrier(double carrier_hz, double sample_rate_hz) {
   if (carrier_hz <= 0.0 || carrier_hz >= sample_rate_hz / 2.0)
     throw std::invalid_argument(
         "QuadratureDemodulator: carrier violates Nyquist");
+  return carrier_hz;
 }
 
+}  // namespace
+
+QuadratureDemodulator::QuadratureDemodulator(double carrier_hz,
+                                             double sample_rate_hz,
+                                             double lowpass_cutoff_hz)
+    : carrier_hz_(checked_carrier(carrier_hz, sample_rate_hz)),
+      sample_rate_hz_(sample_rate_hz),
+      osc_(carrier_hz, sample_rate_hz),
+      lpf_i_(lowpass_cutoff_hz, sample_rate_hz),
+      lpf_q_(lowpass_cutoff_hz, sample_rate_hz) {}
+
 double QuadratureDemodulator::step(double x) {
-  const double phase = 2.0 * std::numbers::pi * carrier_hz_ *
-                       static_cast<double>(n_) / sample_rate_hz_;
-  ++n_;
-  const double i = lpf_i_.step(x * std::sin(phase));
-  const double q = lpf_q_.step(x * std::cos(phase));
+  const double s = osc_.sin_value();
+  const double c = osc_.cos_value();
+  osc_.advance();
+  const double i = lpf_i_.step(x * s);
+  const double q = lpf_q_.step(x * c);
   // Mixing halves the envelope; restore with the factor 2.
   return 2.0 * std::sqrt(i * i + q * q);
 }
 
+void QuadratureDemodulator::demod_into(std::span<const double> xs,
+                                       std::span<double> out) {
+  if (out.size() != xs.size())
+    throw std::invalid_argument("demod_into: output size mismatch");
+  mix_i_.resize(kBlock);
+  mix_q_.resize(kBlock);
+  for (std::size_t base = 0; base < xs.size(); base += kBlock) {
+    const std::size_t len = std::min(kBlock, xs.size() - base);
+    const std::span<double> ib(mix_i_.data(), len);
+    const std::span<double> qb(mix_q_.data(), len);
+    // Reference carriers for the block — recurrence, no per-sample trig.
+    osc_.fill(ib, qb);
+    // Mix (vectorizes: contiguous, no branches).
+    for (std::size_t j = 0; j < len; ++j) ib[j] *= xs[base + j];
+    for (std::size_t j = 0; j < len; ++j) qb[j] *= xs[base + j];
+    // The two low-pass recurrences are serial but register-resident.
+    lpf_i_.step_buffer(ib);
+    lpf_q_.step_buffer(qb);
+    // Magnitude (vectorizes).
+    for (std::size_t j = 0; j < len; ++j)
+      out[base + j] = 2.0 * std::sqrt(ib[j] * ib[j] + qb[j] * qb[j]);
+  }
+}
+
 std::vector<double> QuadratureDemodulator::apply(std::span<const double> xs) {
-  std::vector<double> out;
-  out.reserve(xs.size());
-  for (double x : xs) out.push_back(step(x));
+  std::vector<double> out(xs.size());
+  demod_into(xs, out);
   return out;
 }
 
 void QuadratureDemodulator::reset() {
-  n_ = 0;
+  osc_.reset();
   lpf_i_.reset();
   lpf_q_.reset();
+}
+
+MultiCarrierDemodulator::MultiCarrierDemodulator(
+    std::span<const double> carriers_hz, double sample_rate_hz,
+    double lowpass_cutoff_hz)
+    : sample_rate_hz_(sample_rate_hz),
+      lpf_(butterworth2_design(lowpass_cutoff_hz, sample_rate_hz)),
+      carriers_hz_(carriers_hz.begin(), carriers_hz.end()) {
+  if (carriers_hz_.empty())
+    throw std::invalid_argument("MultiCarrierDemodulator: no carriers");
+  const std::size_t n = carriers_hz_.size();
+  dphi_.resize(n);
+  sd_.resize(n);
+  cd_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    checked_carrier(carriers_hz_[k], sample_rate_hz);
+    dphi_[k] = kTwoPi * carriers_hz_[k] / sample_rate_hz;
+    // Construction-time only, once per carrier — not per sample.
+    sd_[k] = std::sin(dphi_[k]);  // medsen-lint: allow(dsp-transcendental)
+    cd_[k] = std::cos(dphi_[k]);  // medsen-lint: allow(dsp-transcendental)
+  }
+  phase_.resize(n);
+  s_.resize(n);
+  c_.resize(n);
+  z1i_.resize(n);
+  z2i_.resize(n);
+  z1q_.resize(n);
+  z2q_.resize(n);
+  row_i_.resize(n);
+  row_q_.resize(n);
+  reset();
+}
+
+void MultiCarrierDemodulator::reset() {
+  for (std::size_t k = 0; k < carriers(); ++k) {
+    phase_[k] = 0.0;
+    s_[k] = 0.0;
+    c_[k] = 1.0;
+    z1i_[k] = z2i_[k] = z1q_[k] = z2q_[k] = 0.0;
+  }
+  since_resync_ = 0;
+}
+
+void MultiCarrierDemodulator::resync() {
+  // Block-cadence trig (every kResyncInterval samples), matching
+  // PhaseOscillator so each carrier stays bit-identical to a standalone
+  // QuadratureDemodulator.
+  for (std::size_t k = 0; k < carriers(); ++k) {
+    s_[k] = std::sin(phase_[k]);  // medsen-lint: allow(dsp-transcendental)
+    c_[k] = std::cos(phase_[k]);  // medsen-lint: allow(dsp-transcendental)
+  }
+}
+
+void MultiCarrierDemodulator::demod_into(std::span<const double> xs,
+                                         std::span<double> out) {
+  const std::size_t n = xs.size();
+  const std::size_t nc = carriers();
+  if (out.size() != n * nc)
+    throw std::invalid_argument(
+        "MultiCarrierDemodulator::demod_into: output size mismatch");
+  const double b0 = lpf_.b0, b1 = lpf_.b1, b2 = lpf_.b2;
+  const double a1 = lpf_.a1, a2 = lpf_.a2;
+  double* const s = s_.data();
+  double* const c = c_.data();
+  double* const phase = phase_.data();
+  const double* const sd = sd_.data();
+  const double* const cd = cd_.data();
+  const double* const dphi = dphi_.data();
+  double* const z1i = z1i_.data();
+  double* const z2i = z2i_.data();
+  double* const z1q = z1q_.data();
+  double* const z2q = z2q_.data();
+  double* const row_i = row_i_.data();
+  double* const row_q = row_q_.data();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = xs[i];
+    // One pass over the carrier lanes: mix, filter, rotate. Contiguous
+    // SoA arrays, no branches — the whole body vectorizes across lanes.
+    for (std::size_t k = 0; k < nc; ++k) {
+      const double sv = s[k], cv = c[k];
+      const double xi = x * sv;
+      const double xq = x * cv;
+      const double yi = b0 * xi + z1i[k];
+      z1i[k] = b1 * xi - a1 * yi + z2i[k];
+      z2i[k] = b2 * xi - a2 * yi;
+      const double yq = b0 * xq + z1q[k];
+      z1q[k] = b1 * xq - a1 * yq + z2q[k];
+      z2q[k] = b2 * xq - a2 * yq;
+      row_i[k] = yi;
+      row_q[k] = yq;
+      s[k] = sv * cd[k] + cv * sd[k];
+      c[k] = cv * cd[k] - sv * sd[k];
+      const double p = phase[k] + dphi[k];
+      phase[k] = p >= kTwoPi ? p - kTwoPi : p;
+    }
+    // Magnitude into the carrier-major output planes.
+    for (std::size_t k = 0; k < nc; ++k)
+      out[k * n + i] =
+          2.0 * std::sqrt(row_i[k] * row_i[k] + row_q[k] * row_q[k]);
+    if (++since_resync_ == PhaseOscillator::kResyncInterval) {
+      resync();
+      since_resync_ = 0;
+    }
+  }
 }
 
 std::vector<double> modulate(std::span<const double> envelope,
                              double carrier_hz, double sample_rate_hz,
                              double phase) {
+  PhaseOscillator osc(carrier_hz, sample_rate_hz, phase);
   std::vector<double> out;
   out.reserve(envelope.size());
-  for (std::size_t n = 0; n < envelope.size(); ++n) {
-    const double arg = 2.0 * std::numbers::pi * carrier_hz *
-                           static_cast<double>(n) / sample_rate_hz +
-                       phase;
-    out.push_back(envelope[n] * std::sin(arg));
+  for (const double e : envelope) {
+    out.push_back(e * osc.sin_value());
+    osc.advance();
   }
   return out;
 }

@@ -5,11 +5,21 @@
 // current with in-phase/quadrature references and low-pass filtering —
 // so the shortcut can be validated against the real signal chain
 // (tests/dsp/demod_test.cpp, tests/sim/modulated_chain_test.cpp).
+//
+// Hot-path layout (DESIGN.md "DSP kernel layout"): the reference
+// carriers come from a phase-wrapped recurrence oscillator instead of a
+// per-sample std::sin/std::cos, and the batch kernels (demod_into, the
+// SoA MultiCarrierDemodulator) run the mix/magnitude passes over
+// contiguous buffers so they auto-vectorize. The per-sample step() is
+// the scalar reference: every batch kernel is bit-identical to it (see
+// the golden-identity tests).
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "dsp/filters.h"
+#include "dsp/oscillator.h"
 
 namespace medsen::dsp {
 
@@ -17,15 +27,23 @@ namespace medsen::dsp {
 class QuadratureDemodulator {
  public:
   /// `carrier_hz` must satisfy Nyquist at `sample_rate_hz`; the low-pass
-  /// cutoff bounds the recovered envelope bandwidth.
+  /// cutoff bounds the recovered envelope bandwidth. A Nyquist violation
+  /// throws std::invalid_argument("...carrier violates Nyquist") — the
+  /// carrier is validated before the filter members are constructed, so
+  /// that is the error callers see even when the cutoff is also bad.
   QuadratureDemodulator(double carrier_hz, double sample_rate_hz,
                         double lowpass_cutoff_hz);
 
   /// Feed one raw sample; returns the current envelope (amplitude)
-  /// estimate: 2 * |LPF(x * e^{-jwt})|.
+  /// estimate: 2 * |LPF(x * e^{-jwt})|. Scalar reference kernel.
   double step(double x);
 
-  /// Demodulate a whole buffer.
+  /// Batch kernel: demodulate xs into out (out.size() == xs.size());
+  /// state persists across calls, and the output is bit-identical to
+  /// feeding the same samples through step() one at a time.
+  void demod_into(std::span<const double> xs, std::span<double> out);
+
+  /// Demodulate a whole buffer (allocating convenience over demod_into).
   std::vector<double> apply(std::span<const double> xs);
 
   void reset();
@@ -33,13 +51,51 @@ class QuadratureDemodulator {
  private:
   double carrier_hz_;
   double sample_rate_hz_;
-  std::size_t n_ = 0;
+  PhaseOscillator osc_;
   ButterworthLowPass2 lpf_i_;
   ButterworthLowPass2 lpf_q_;
+  std::vector<double> mix_i_, mix_q_;  ///< per-block mix scratch
+};
+
+/// SoA multi-carrier demodulator: the instrument drives all 8 carriers
+/// over one wire and demodulates them in parallel. State is laid out as
+/// structure-of-arrays across carriers (phase increments, oscillator
+/// sin/cos, biquad delay lines), so the per-sample inner loop over
+/// carriers is contiguous, branch-free, and auto-vectorizes. Each
+/// carrier's output is bit-identical to a standalone
+/// QuadratureDemodulator with the same parameters.
+class MultiCarrierDemodulator {
+ public:
+  /// All carriers share the sample rate and low-pass cutoff; every
+  /// carrier must satisfy Nyquist.
+  MultiCarrierDemodulator(std::span<const double> carriers_hz,
+                          double sample_rate_hz, double lowpass_cutoff_hz);
+
+  /// Demodulate the shared input against every carrier at once.
+  /// `out` is carrier-major: out[c * xs.size() + i] is carrier c's
+  /// envelope at sample i (out.size() == carriers() * xs.size()).
+  /// State persists across calls.
+  void demod_into(std::span<const double> xs, std::span<double> out);
+
+  [[nodiscard]] std::size_t carriers() const { return dphi_.size(); }
+  void reset();
+
+ private:
+  void resync();
+
+  double sample_rate_hz_;
+  BiquadCoeffs lpf_;                   ///< shared biquad design
+  std::vector<double> carriers_hz_;
+  std::vector<double> dphi_, sd_, cd_;  ///< per-carrier rotation
+  std::vector<double> phase_, s_, c_;   ///< per-carrier oscillator state
+  std::vector<double> z1i_, z2i_, z1q_, z2q_;  ///< per-carrier delay lines
+  std::vector<double> row_i_, row_q_;  ///< per-sample I/Q rows (SoA scratch)
+  std::size_t since_resync_ = 0;
 };
 
 /// Amplitude-modulate an envelope onto a carrier (test/validation aid):
-/// y[n] = envelope[n] * sin(2 pi f n / rate).
+/// y[n] = envelope[n] * sin(2 pi f n / rate + phase). Uses the same
+/// recurrence oscillator as demodulation — no per-sample trig.
 std::vector<double> modulate(std::span<const double> envelope,
                              double carrier_hz, double sample_rate_hz,
                              double phase = 0.0);

@@ -11,20 +11,26 @@ namespace medsen::dsp {
 
 namespace {
 
-/// Per-task workspace: the fitted-baseline buffer plus the polyfit
-/// scratch, reused across every window the task processes.
-struct DetrendScratch {
-  std::vector<double> fitted;
-  PolyfitScratch poly;
-};
+/// Normalize one sample against its fitted baseline (guarding a
+/// near-zero fit) and accumulate the weighted contribution.
+inline void accumulate_sample(std::span<const double> chunk,
+                              const double* fitted, std::size_t i, double w,
+                              std::size_t offset, double* acc,
+                              double* weight_sum) {
+  const double baseline = fitted[i];
+  const double normalized =
+      std::fabs(baseline) > 1e-12 ? chunk[i] / baseline : 1.0;
+  acc[offset + i] += w * normalized;
+  weight_sum[offset + i] += w;
+}
 
 /// Fit one window and accumulate its weighted contribution into
 /// acc/weight_sum, which are offset so index `base` maps to element 0
 /// (base = 0 for the global arrays, base = slab start for task slabs).
 void process_window(std::span<const double> signal, std::size_t start,
                     std::size_t window, std::size_t overlap, unsigned degree,
-                    DetrendScratch& scratch, double* acc, double* weight_sum,
-                    std::size_t base) {
+                    DetrendWorkspace::FitScratch& scratch, double* acc,
+                    double* weight_sum, std::size_t base) {
   const std::size_t n = signal.size();
   const std::size_t end = std::min(start + window, n);
   const std::size_t len = end - start;
@@ -39,31 +45,46 @@ void process_window(std::span<const double> signal, std::size_t start,
               util::mean(chunk));
   }
 
+  // Triangular weight: full in the window interior, ramping across the
+  // overlap margins so adjacent windows cross-fade (minimizes polynomial
+  // edge error, as the paper prescribes). The common case — ramps that
+  // do not meet — splits into three branch-free segments so each inner
+  // loop vectorizes; the weights are exactly those of the per-sample
+  // min() formulation, which remains below as the short-window fallback.
+  const double* const fitted = scratch.fitted.data();
+  const std::size_t offset = start - base;
+  const std::size_t left = (overlap > 0 && start > 0) ? overlap : 0;
+  const std::size_t right = (overlap > 0 && end < n) ? overlap : 0;
+  if (left + right <= len) {
+    const double ramp = static_cast<double>(overlap);
+    for (std::size_t i = 0; i < left; ++i)
+      accumulate_sample(chunk, fitted, i, (static_cast<double>(i) + 1.0) / ramp,
+                        offset, acc, weight_sum);
+    for (std::size_t i = left; i < len - right; ++i)
+      accumulate_sample(chunk, fitted, i, 1.0, offset, acc, weight_sum);
+    for (std::size_t i = len - right; i < len; ++i)
+      accumulate_sample(chunk, fitted, i,
+                        (static_cast<double>(len - 1 - i) + 1.0) / ramp,
+                        offset, acc, weight_sum);
+    return;
+  }
   for (std::size_t i = 0; i < len; ++i) {
-    const double baseline = scratch.fitted[i];
-    const double normalized =
-        std::fabs(baseline) > 1e-12 ? chunk[i] / baseline : 1.0;
-    // Triangular weight: full in the window interior, ramping across
-    // the overlap margins so adjacent windows cross-fade (minimizes
-    // polynomial edge error, as the paper prescribes).
     double w = 1.0;
-    if (overlap > 0) {
-      const double ramp = static_cast<double>(overlap);
-      if (i < overlap && start > 0)
-        w = (static_cast<double>(i) + 1.0) / ramp;
-      const std::size_t from_end = len - 1 - i;
-      if (from_end < overlap && end < n)
-        w = std::min(w, (static_cast<double>(from_end) + 1.0) / ramp);
-    }
-    acc[start + i - base] += w * normalized;
-    weight_sum[start + i - base] += w;
+    const double ramp = static_cast<double>(overlap);
+    if (i < overlap && start > 0)
+      w = (static_cast<double>(i) + 1.0) / ramp;
+    const std::size_t from_end = len - 1 - i;
+    if (from_end < overlap && end < n)
+      w = std::min(w, (static_cast<double>(from_end) + 1.0) / ramp);
+    accumulate_sample(chunk, fitted, i, w, offset, acc, weight_sum);
   }
 }
 
 }  // namespace
 
 void detrend_into(std::span<const double> signal, const DetrendConfig& config,
-                  std::span<double> out, util::ThreadPool* pool) {
+                  std::span<double> out, util::ThreadPool* pool,
+                  DetrendWorkspace& workspace) {
   const std::size_t n = signal.size();
   if (out.size() != n)
     throw std::invalid_argument("detrend_into: output size mismatch");
@@ -73,56 +94,61 @@ void detrend_into(std::span<const double> signal, const DetrendConfig& config,
   const std::size_t overlap = std::min(config.overlap, window / 2);
   const std::size_t stride = window - overlap;
 
-  std::vector<std::size_t> starts;
+  std::vector<std::size_t>& starts = workspace.starts;
+  starts.clear();
   for (std::size_t s = 0; s < n; s += stride) {
     starts.push_back(s);
     if (std::min(s + window, n) == n) break;
   }
   const std::size_t num_windows = starts.size();
 
-  std::vector<double> acc(n, 0.0);
-  std::vector<double> weight_sum(n, 0.0);
+  workspace.acc.assign(n, 0.0);
+  workspace.weight_sum.assign(n, 0.0);
+  std::vector<double>& acc = workspace.acc;
+  std::vector<double>& weight_sum = workspace.weight_sum;
 
   std::size_t tasks = 1;
   if (pool != nullptr && num_windows > 1)
     tasks = std::min(num_windows,
                      static_cast<std::size_t>(pool->concurrency()) * 2);
+  if (workspace.tasks.size() < tasks) workspace.tasks.resize(tasks);
 
   if (tasks <= 1) {
-    DetrendScratch scratch;
     for (const std::size_t s : starts)
-      process_window(signal, s, window, overlap, config.poly_degree, scratch,
-                     acc.data(), weight_sum.data(), 0);
+      process_window(signal, s, window, overlap, config.poly_degree,
+                     workspace.tasks[0], acc.data(), weight_sum.data(), 0);
   } else {
     // Each task owns a contiguous run of windows and accumulates into a
     // private slab covering exactly the samples those windows touch.
     // Slabs start at 0.0 and are added to the global arrays serially in
     // window order below, so every sample receives its contributions in
     // the same order as the serial loop — bit-identical output.
-    struct Slab {
-      std::size_t lo = 0;
-      std::vector<double> acc, weight_sum;
-    };
-    std::vector<Slab> slabs(tasks);
+    if (workspace.slabs.size() < tasks) workspace.slabs.resize(tasks);
+    std::vector<DetrendWorkspace::Slab>& slabs = workspace.slabs;
     pool->parallel_for(
         tasks, 1, [&](std::size_t task_begin, std::size_t task_end) {
-          DetrendScratch scratch;
           for (std::size_t t = task_begin; t < task_end; ++t) {
             const std::size_t wb = t * num_windows / tasks;
             const std::size_t we = (t + 1) * num_windows / tasks;
-            if (wb >= we) continue;
-            Slab& slab = slabs[t];
+            DetrendWorkspace::Slab& slab = slabs[t];
+            if (wb >= we) {
+              slab.acc.clear();
+              slab.weight_sum.clear();
+              continue;
+            }
             slab.lo = starts[wb];
             const std::size_t hi = std::min(starts[we - 1] + window, n);
             slab.acc.assign(hi - slab.lo, 0.0);
             slab.weight_sum.assign(hi - slab.lo, 0.0);
             for (std::size_t w = wb; w < we; ++w)
               process_window(signal, starts[w], window, overlap,
-                             config.poly_degree, scratch, slab.acc.data(),
-                             slab.weight_sum.data(), slab.lo);
+                             config.poly_degree, workspace.tasks[t],
+                             slab.acc.data(), slab.weight_sum.data(),
+                             slab.lo);
           }
         });
-    for (const Slab& slab : slabs) {
+    for (std::size_t t = 0; t < tasks; ++t) {
+      const DetrendWorkspace::Slab& slab = slabs[t];
       for (std::size_t i = 0; i < slab.acc.size(); ++i) {
         acc[slab.lo + i] += slab.acc[i];
         weight_sum[slab.lo + i] += slab.weight_sum[i];
@@ -132,6 +158,12 @@ void detrend_into(std::span<const double> signal, const DetrendConfig& config,
 
   for (std::size_t i = 0; i < n; ++i)
     out[i] = weight_sum[i] > 0.0 ? acc[i] / weight_sum[i] : 1.0;
+}
+
+void detrend_into(std::span<const double> signal, const DetrendConfig& config,
+                  std::span<double> out, util::ThreadPool* pool) {
+  DetrendWorkspace workspace;
+  detrend_into(signal, config, out, pool, workspace);
 }
 
 std::vector<double> detrend(std::span<const double> signal,

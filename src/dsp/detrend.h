@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "dsp/polyfit.h"
 #include "util/thread_pool.h"
 #include "util/time_series.h"
 
@@ -25,6 +26,34 @@ struct DetrendConfig {
   unsigned poly_degree = 2;       ///< paper: second order found optimal
   std::size_t window = 2048;      ///< sub-sequence length in samples
   std::size_t overlap = 256;      ///< overlap between adjacent windows
+};
+
+/// Reusable cross-call arena for detrend_into: owns every buffer the
+/// window loop needs (window starts, the two accumulation arrays, per-task
+/// fit scratch and per-task reduction slabs). A caller that threads one
+/// workspace through repeated calls — AnalysisService per channel task,
+/// StreamingAnalyzer per block — detrends with zero per-call allocation
+/// once the buffers have grown to the workload's high-water mark.
+/// Contents are scratch: any state left by a previous call is
+/// overwritten, never read. Not safe for concurrent calls; use one
+/// workspace per in-flight detrend (the internal window fan-out of a
+/// single call is fine — tasks use disjoint slots).
+struct DetrendWorkspace {
+  /// Per-task fit scratch: the fitted-baseline buffer plus polyfit sums.
+  struct FitScratch {
+    std::vector<double> fitted;
+    PolyfitScratch poly;
+  };
+  /// Per-task private accumulation slab (parallel path reduction).
+  struct Slab {
+    std::size_t lo = 0;
+    std::vector<double> acc, weight_sum;
+  };
+
+  std::vector<std::size_t> starts;
+  std::vector<double> acc, weight_sum;
+  std::vector<FitScratch> tasks;
+  std::vector<Slab> slabs;
 };
 
 /// Detrend a raw signal; the result has baseline ~= 1.0 with peaks as
@@ -39,6 +68,12 @@ std::vector<double> detrend(std::span<const double> signal,
 /// out may alias signal — it is written only after all fits complete).
 void detrend_into(std::span<const double> signal, const DetrendConfig& config,
                   std::span<double> out, util::ThreadPool* pool = nullptr);
+
+/// Allocation-free overload: all working memory comes from (and stays
+/// in) the caller's workspace. Bit-identical to the plain overload.
+void detrend_into(std::span<const double> signal, const DetrendConfig& config,
+                  std::span<double> out, util::ThreadPool* pool,
+                  DetrendWorkspace& workspace);
 
 /// Detrend a TimeSeries in place (preserves rate/start metadata); computes
 /// directly into the series' sample buffer, no copy-back.

@@ -24,9 +24,14 @@ double SinglePoleLowPass::step(double x) {
   return state_;
 }
 
+void SinglePoleLowPass::reset() {
+  state_ = 0.0;
+  primed_ = false;
+}
+
 void SinglePoleLowPass::reset(double initial) {
   state_ = initial;
-  primed_ = false;
+  primed_ = true;
 }
 
 std::vector<double> SinglePoleLowPass::apply(std::span<const double> xs) {
@@ -36,29 +41,41 @@ std::vector<double> SinglePoleLowPass::apply(std::span<const double> xs) {
   return out;
 }
 
-ButterworthLowPass2::ButterworthLowPass2(double cutoff_hz,
-                                         double sample_rate_hz) {
+BiquadCoeffs butterworth2_design(double cutoff_hz, double sample_rate_hz) {
   if (cutoff_hz <= 0.0 || cutoff_hz >= sample_rate_hz / 2.0)
     throw std::invalid_argument("ButterworthLowPass2: bad cutoff");
   const double k = std::tan(std::numbers::pi * cutoff_hz / sample_rate_hz);
   const double sqrt2 = std::numbers::sqrt2;
   const double norm = 1.0 / (1.0 + sqrt2 * k + k * k);
-  b0_ = k * k * norm;
-  b1_ = 2.0 * b0_;
-  b2_ = b0_;
-  a1_ = 2.0 * (k * k - 1.0) * norm;
-  a2_ = (1.0 - sqrt2 * k + k * k) * norm;
+  BiquadCoeffs coeffs{};
+  coeffs.b0 = k * k * norm;
+  coeffs.b1 = 2.0 * coeffs.b0;
+  coeffs.b2 = coeffs.b0;
+  coeffs.a1 = 2.0 * (k * k - 1.0) * norm;
+  coeffs.a2 = (1.0 - sqrt2 * k + k * k) * norm;
+  return coeffs;
 }
 
-double ButterworthLowPass2::step(double x) {
-  // Transposed direct form II.
-  const double y = b0_ * x + z1_;
-  z1_ = b1_ * x - a1_ * y + z2_;
-  z2_ = b2_ * x - a2_ * y;
-  return y;
+ButterworthLowPass2::ButterworthLowPass2(double cutoff_hz,
+                                         double sample_rate_hz) {
+  const BiquadCoeffs coeffs = butterworth2_design(cutoff_hz, sample_rate_hz);
+  b0_ = coeffs.b0;
+  b1_ = coeffs.b1;
+  b2_ = coeffs.b2;
+  a1_ = coeffs.a1;
+  a2_ = coeffs.a2;
 }
 
 void ButterworthLowPass2::reset() { z1_ = z2_ = 0.0; }
+
+void ButterworthLowPass2::reset(double dc) {
+  // Exact DC steady state: with constant input dc the transposed DF-II
+  // delay line settles at z1 = (1 - b0)*dc, z2 = (b2 - a2)*dc, so the
+  // next step(dc) returns dc (up to one rounding) instead of ramping
+  // through the start-up transient.
+  z1_ = (1.0 - b0_) * dc;
+  z2_ = (b2_ - a2_) * dc;
+}
 
 std::vector<double> ButterworthLowPass2::apply(std::span<const double> xs) {
   std::vector<double> out;
@@ -69,9 +86,12 @@ std::vector<double> ButterworthLowPass2::apply(std::span<const double> xs) {
 
 std::vector<double> moving_average(std::span<const double> xs,
                                    std::size_t window) {
+  if (window % 2 == 0)
+    throw std::invalid_argument(
+        "moving_average: window must be odd (centered kernel)");
   const std::size_t n = xs.size();
   std::vector<double> out(n, 0.0);
-  if (n == 0 || window == 0) return out;
+  if (n == 0) return out;
   const std::size_t half = window / 2;
   // Prefix sums for O(n).
   std::vector<double> prefix(n + 1, 0.0);

@@ -16,7 +16,12 @@ class SinglePoleLowPass {
   SinglePoleLowPass(double cutoff_hz, double sample_rate_hz);
 
   double step(double x);
-  void reset(double initial = 0.0);
+  /// Return to the unprimed state: the next step() adopts its input as
+  /// the filter state (transient-free start on an unknown signal).
+  void reset();
+  /// Prime the filter at `initial`: the next step() filters normally from
+  /// that state instead of adopting its input.
+  void reset(double initial);
   [[nodiscard]] double alpha() const { return alpha_; }
 
   /// Filter a whole buffer (state persists across calls).
@@ -34,8 +39,33 @@ class ButterworthLowPass2 {
  public:
   ButterworthLowPass2(double cutoff_hz, double sample_rate_hz);
 
-  double step(double x);
+  double step(double x) {
+    // Transposed direct form II.
+    const double y = b0_ * x + z1_;
+    z1_ = b1_ * x - a1_ * y + z2_;
+    z2_ = b2_ * x - a2_ * y;
+    return y;
+  }
+  /// Filter a buffer in place (batch form of step(); bit-identical). The
+  /// delay line is copied to locals for the loop so the recurrence stays
+  /// in registers instead of round-tripping through memory each sample.
+  void step_buffer(std::span<double> xs) {
+    double z1 = z1_, z2 = z2_;
+    for (double& x : xs) {
+      const double y = b0_ * x + z1;
+      z1 = b1_ * x - a1_ * y + z2;
+      z2 = b2_ * x - a2_ * y;
+      x = y;
+    }
+    z1_ = z1;
+    z2_ = z2;
+  }
+  /// Zero the delay line (start-up transient on a non-zero signal).
   void reset();
+  /// Prime the delay line at the exact DC steady state for input `dc`:
+  /// a constant input `dc` then passes through unchanged from the very
+  /// first sample (replaces approximate warm-up priming loops).
+  void reset(double dc);
   std::vector<double> apply(std::span<const double> xs);
 
  private:
@@ -43,7 +73,18 @@ class ButterworthLowPass2 {
   double z1_ = 0.0, z2_ = 0.0;
 };
 
-/// Centered moving average with the given odd window (edges truncated).
+/// Second-order Butterworth low-pass coefficients (bilinear transform),
+/// shared by ButterworthLowPass2 and the SoA multi-carrier demodulator so
+/// the two paths are bit-identical. Throws on cutoff outside (0, rate/2).
+struct BiquadCoeffs {
+  double b0, b1, b2, a1, a2;
+};
+BiquadCoeffs butterworth2_design(double cutoff_hz, double sample_rate_hz);
+
+/// Centered moving average with the given window (edges truncated). The
+/// window must be odd — a centered even kernel does not exist, and the
+/// old silent acceptance produced an asymmetric (phase-shifting) filter.
+/// Throws std::invalid_argument on even (including zero) windows.
 std::vector<double> moving_average(std::span<const double> xs,
                                    std::size_t window);
 

@@ -1,0 +1,55 @@
+#include "dsp/oscillator.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace medsen::dsp {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}  // namespace
+
+PhaseOscillator::PhaseOscillator(double freq_hz, double sample_rate_hz,
+                                 double initial_phase) {
+  if (sample_rate_hz <= 0.0 || freq_hz < 0.0 || freq_hz >= sample_rate_hz)
+    throw std::invalid_argument("PhaseOscillator: bad frequency/rate");
+  dphi_ = kTwoPi * freq_hz / sample_rate_hz;
+  sd_ = std::sin(dphi_);
+  cd_ = std::cos(dphi_);
+  reset(initial_phase);
+}
+
+void PhaseOscillator::reset(double initial_phase) {
+  phase_ = std::fmod(initial_phase, kTwoPi);
+  if (phase_ < 0.0) phase_ += kTwoPi;
+  s_ = std::sin(phase_);
+  c_ = std::cos(phase_);
+  since_resync_ = 0;
+}
+
+void PhaseOscillator::advance() {
+  const double s = s_, c = c_;
+  s_ = s * cd_ + c * sd_;
+  c_ = c * cd_ - s * sd_;
+  phase_ += dphi_;
+  if (phase_ >= kTwoPi) phase_ -= kTwoPi;
+  if (++since_resync_ == kResyncInterval) {
+    s_ = std::sin(phase_);
+    c_ = std::cos(phase_);
+    since_resync_ = 0;
+  }
+}
+
+void PhaseOscillator::fill(std::span<double> sin_out,
+                           std::span<double> cos_out) {
+  if (sin_out.size() != cos_out.size())
+    throw std::invalid_argument("PhaseOscillator::fill: size mismatch");
+  for (std::size_t i = 0; i < sin_out.size(); ++i) {
+    sin_out[i] = s_;
+    cos_out[i] = c_;
+    advance();
+  }
+}
+
+}  // namespace medsen::dsp

@@ -1,0 +1,54 @@
+#pragma once
+// Phase-wrapped recurrence oscillator: generates sin/cos(2*pi*f*n/fs + p0)
+// without a per-sample std::sin/std::cos call. The per-sample step is one
+// 2x2 rotation (4 multiplies, 2 adds); accumulated rounding drift is
+// bounded by re-synchronizing from the wrapped phase accumulator every
+// kResyncInterval samples (see DESIGN.md "DSP kernel layout" for the
+// drift bound). The phase accumulator itself is kept in [0, 2*pi), so —
+// unlike the old `2*pi*f*n/fs` formula — precision does not degrade as
+// the stream index grows without bound.
+
+#include <cstddef>
+#include <span>
+
+namespace medsen::dsp {
+
+class PhaseOscillator {
+ public:
+  /// Samples between exact trig re-synchronizations. Between resyncs the
+  /// rotation recurrence drifts by at most ~kResyncInterval ulps
+  /// (~6e-14), far below every envelope tolerance in the pipeline.
+  static constexpr std::size_t kResyncInterval = 256;
+
+  /// `freq_hz` may be any non-negative frequency below `sample_rate_hz`
+  /// (callers own their Nyquist policy); `initial_phase` in radians.
+  PhaseOscillator(double freq_hz, double sample_rate_hz,
+                  double initial_phase = 0.0);
+
+  /// sin/cos of the *current* sample's phase.
+  [[nodiscard]] double sin_value() const { return s_; }
+  [[nodiscard]] double cos_value() const { return c_; }
+
+  /// Advance to the next sample (rotation step + wrapped phase update,
+  /// with an exact resync every kResyncInterval advances).
+  void advance();
+
+  /// Batch kernel: write sin/cos of the next sin_out.size() samples into
+  /// the two buffers (cos_out.size() must match) and leave the oscillator
+  /// advanced past them. Bit-identical to calling sin_value()/cos_value()
+  /// + advance() in a loop; the contiguous outputs exist so downstream
+  /// mix loops vectorize.
+  void fill(std::span<double> sin_out, std::span<double> cos_out);
+
+  /// Restart at sample 0 with a (possibly new) initial phase.
+  void reset(double initial_phase = 0.0);
+
+ private:
+  double dphi_;  ///< per-sample phase increment
+  double sd_, cd_;  ///< sin/cos of dphi_ (the rotation)
+  double phase_;    ///< wrapped accumulator in [0, 2*pi)
+  double s_, c_;    ///< current sample's sin/cos
+  std::size_t since_resync_ = 0;
+};
+
+}  // namespace medsen::dsp

@@ -6,9 +6,7 @@ namespace medsen::dsp {
 
 namespace {
 
-struct Region {
-  std::size_t begin, end;  // [begin, end)
-};
+using Region = PeakDetectScratch::Region;
 
 /// Local maxima of depth within [begin, end), plateau-tolerant.
 std::vector<std::size_t> local_maxima(std::span<const double> depth,
@@ -91,15 +89,29 @@ std::vector<std::size_t> prune_maxima(std::span<const double> depth,
 std::vector<Peak> detect_peaks(std::span<const double> detrended,
                                double sample_rate_hz, double start_time_s,
                                const PeakDetectConfig& config) {
+  PeakDetectScratch scratch;
+  return detect_peaks(detrended, sample_rate_hz, start_time_s, config,
+                      scratch);
+}
+
+std::vector<Peak> detect_peaks(std::span<const double> detrended,
+                               double sample_rate_hz, double start_time_s,
+                               const PeakDetectConfig& config,
+                               PeakDetectScratch& scratch) {
   std::vector<Peak> peaks;
   const std::size_t n = detrended.size();
   if (n == 0) return peaks;
 
-  std::vector<double> depth(n);
-  for (std::size_t i = 0; i < n; ++i) depth[i] = 1.0 - detrended[i];
+  // Depth pass: contiguous, branch-free, vectorizes. Reuses the scratch
+  // buffer so a repeated analysis loop pays no O(n) allocation here.
+  scratch.depth.resize(n);
+  std::span<const double> depth(scratch.depth.data(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    scratch.depth[i] = 1.0 - detrended[i];
 
   // Contiguous regions where the depth exceeds the threshold.
-  std::vector<Region> regions;
+  std::vector<Region>& regions = scratch.regions;
+  regions.clear();
   bool in_region = false;
   std::size_t region_start = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -116,7 +128,8 @@ std::vector<Peak> detect_peaks(std::span<const double> detrended,
 
   // Merge regions separated by small gaps (single noisy samples splitting
   // one physical transit into two).
-  std::vector<Region> merged;
+  std::vector<Region>& merged = scratch.merged;
+  merged.clear();
   for (const Region& r : regions) {
     if (!merged.empty() && r.begin - merged.back().end <= config.merge_gap) {
       merged.back().end = r.end;

@@ -34,10 +34,29 @@ struct PeakDetectConfig {
   double valley_split_ratio = 0.6;
 };
 
+/// Reusable buffers for detect_peaks: the signal-length depth array
+/// (the 1 - x pass over the full acquisition — the only O(n) allocation)
+/// plus the threshold-region lists. Thread one instance through repeated
+/// calls to detect with no per-call heap traffic for those passes.
+/// Contents are scratch: overwritten each call, never read.
+struct PeakDetectScratch {
+  struct Region {
+    std::size_t begin, end;  // [begin, end)
+  };
+  std::vector<double> depth;
+  std::vector<Region> regions, merged;
+};
+
 /// Detect peaks in an already detrended signal (baseline ~= 1.0).
 std::vector<Peak> detect_peaks(std::span<const double> detrended,
                                double sample_rate_hz, double start_time_s,
                                const PeakDetectConfig& config = {});
+
+/// Scratch-reusing overload; identical output to the plain overload.
+std::vector<Peak> detect_peaks(std::span<const double> detrended,
+                               double sample_rate_hz, double start_time_s,
+                               const PeakDetectConfig& config,
+                               PeakDetectScratch& scratch);
 
 /// Convenience overload for a detrended TimeSeries.
 std::vector<Peak> detect_peaks(const util::TimeSeries& detrended,

@@ -37,9 +37,20 @@ Polynomial polyfit(std::span<const double> ys, unsigned degree);
 /// Allocation-free fit over the implicit index domain x = 0..ys.size()-1.
 /// Returns a view of scratch.coeffs (degree+1 values), valid until the
 /// scratch is next used. Identical arithmetic to polyfit(ys, degree).
+/// Degree 2 — the paper's detrend order and the only degree on the hot
+/// path — dispatches to an unrolled register-resident accumulator whose
+/// operation order matches the generic loop exactly (bit-identical; see
+/// polyfit_indices_reference and its golden test).
 std::span<const double> polyfit_indices(std::span<const double> ys,
                                         unsigned degree,
                                         PolyfitScratch& scratch);
+
+/// Scalar reference kernel: the generic power-sum loop for any degree,
+/// with no fast-path dispatch. Kept so tests can pin the optimized
+/// kernels bit-for-bit against it.
+std::span<const double> polyfit_indices_reference(std::span<const double> ys,
+                                                  unsigned degree,
+                                                  PolyfitScratch& scratch);
 
 /// Evaluate a polynomial at x (Horner's method).
 double polyval(std::span<const double> coeffs, double x);

@@ -9,13 +9,13 @@ util::TimeSeries lockin_output(const std::vector<double>& oversampled,
                                const LockInConfig& config) {
   dsp::ButterworthLowPass2 lpf(config.lowpass_cutoff_hz,
                                config.internal_rate_hz());
-  // Prime the filter on the first sample so start-up transients do not
-  // masquerade as peaks.
+  // Prime the filter at the first sample so start-up transients do not
+  // masquerade as peaks. reset(dc) places the delay line exactly at the
+  // DC steady state — what the old 64-iteration warm-up loop only
+  // converged toward.
   std::vector<double> filtered;
   filtered.reserve(oversampled.size());
-  if (!oversampled.empty()) {
-    for (unsigned i = 0; i < 64; ++i) lpf.step(oversampled.front());
-  }
+  if (!oversampled.empty()) lpf.reset(oversampled.front());
   for (double x : oversampled) filtered.push_back(lpf.step(x));
   const auto decimated = dsp::decimate(filtered, config.oversample);
   return util::TimeSeries(config.output_rate_hz, decimated, start_time_s);

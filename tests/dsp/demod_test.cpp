@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numbers>
+#include <string>
 #include <vector>
 
 namespace medsen::dsp {
@@ -13,6 +15,20 @@ TEST(Demod, RejectsNyquistViolation) {
                std::invalid_argument);
   EXPECT_THROW(QuadratureDemodulator(0.0, 100000.0, 100.0),
                std::invalid_argument);
+}
+
+TEST(Demod, NyquistErrorThrownBeforeFilterValidation) {
+  // Regression: the carrier check used to run in the constructor body,
+  // after the low-pass members were built — with a bad cutoff AND a bad
+  // carrier, callers saw the filter's error instead of the documented
+  // Nyquist one.
+  try {
+    QuadratureDemodulator demod(60000.0, 100000.0, /*cutoff*/ 90000.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("Nyquist"), std::string::npos)
+        << "got: " << err.what();
+  }
 }
 
 TEST(Demod, RecoversConstantEnvelope) {
@@ -95,6 +111,113 @@ TEST(Demod, MultiCarrierSeparation) {
   const auto out2 = d2.apply(mixed);
   EXPECT_NEAR(out1.back(), 0.7, 0.02);
   EXPECT_NEAR(out2.back(), 0.3, 0.02);
+}
+
+TEST(Demod, BatchMatchesStepBitExactly) {
+  // The batch kernel (block mix + step_buffer) must reproduce the scalar
+  // step() reference bit-for-bit, including at odd lengths that leave a
+  // partial final block.
+  const double rate = 100000.0, carrier = 10000.0;
+  const std::size_t n = 9973;  // odd, not a multiple of the block size
+  std::vector<double> envelope(n);
+  for (std::size_t i = 0; i < n; ++i)
+    envelope[i] = 1.0 + 0.2 * std::sin(static_cast<double>(i) * 0.001);
+  const auto xs = modulate(envelope, carrier, rate);
+
+  QuadratureDemodulator scalar(carrier, rate, 300.0);
+  QuadratureDemodulator batch(carrier, rate, 300.0);
+  std::vector<double> expected(n), got(n);
+  for (std::size_t i = 0; i < n; ++i) expected[i] = scalar.step(xs[i]);
+  batch.demod_into(xs, got);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(got[i], expected[i]);
+}
+
+TEST(Demod, SplitBatchesMatchOneBatchBitExactly) {
+  // State must persist across demod_into calls: splitting the input at an
+  // arbitrary odd boundary changes nothing.
+  const double rate = 100000.0, carrier = 10000.0;
+  const std::vector<double> envelope(5000, 0.9);
+  const auto xs = modulate(envelope, carrier, rate);
+
+  QuadratureDemodulator whole(carrier, rate, 300.0);
+  QuadratureDemodulator split(carrier, rate, 300.0);
+  std::vector<double> a(xs.size()), b(xs.size());
+  whole.demod_into(xs, a);
+  const std::size_t cut = 1237;
+  split.demod_into(std::span(xs).first(cut), std::span(b).first(cut));
+  split.demod_into(std::span(xs).subspan(cut), std::span(b).subspan(cut));
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_DOUBLE_EQ(b[i], a[i]);
+}
+
+TEST(Demod, MultiCarrierMatchesSingleCarrierBitExactly) {
+  // Each lane of the SoA kernel must equal a standalone demodulator.
+  const double rate = 200000.0;
+  const std::vector<double> carriers = {10000.0, 31000.0, 47000.0};
+  std::vector<double> mixed(20011);  // odd length
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    const double t = static_cast<double>(i) / rate;
+    mixed[i] = 0.7 * std::sin(2.0 * std::numbers::pi * carriers[0] * t) +
+               0.3 * std::sin(2.0 * std::numbers::pi * carriers[1] * t) +
+               0.5 * std::sin(2.0 * std::numbers::pi * carriers[2] * t);
+  }
+  MultiCarrierDemodulator multi(carriers, rate, 150.0);
+  std::vector<double> planes(carriers.size() * mixed.size());
+  multi.demod_into(mixed, planes);
+  for (std::size_t c = 0; c < carriers.size(); ++c) {
+    QuadratureDemodulator single(carriers[c], rate, 150.0);
+    std::vector<double> expected(mixed.size());
+    single.demod_into(mixed, expected);
+    for (std::size_t i = 0; i < mixed.size(); ++i)
+      EXPECT_DOUBLE_EQ(planes[c * mixed.size() + i], expected[i])
+          << "carrier " << c << " sample " << i;
+  }
+}
+
+TEST(Demod, MultiCarrierRejectsAnyNyquistViolation) {
+  const std::vector<double> bad = {10000.0, 60000.0};
+  EXPECT_THROW(MultiCarrierDemodulator(bad, 100000.0, 100.0),
+               std::invalid_argument);
+  const std::vector<double> none = {};
+  EXPECT_THROW(MultiCarrierDemodulator(none, 100000.0, 100.0),
+               std::invalid_argument);
+}
+
+TEST(Demod, LongStreamStaysLockedAfterTenMillionSamples) {
+  // Regression for the unbounded phase accumulator: with phase tracked as
+  // carrier * sample_index, the envelope drifted once the index grew
+  // large. The wrapped recurrence (with periodic resync) must hold the
+  // envelope at 10^7 samples. Processed in chunks to bound memory.
+  const double rate = 100000.0, carrier = 10000.0;
+  const std::size_t total = 10'000'000, chunk = 500'000;
+  QuadratureDemodulator demod(carrier, rate, 200.0);
+  const std::vector<double> envelope(chunk, 0.8);
+  std::vector<double> recovered(chunk);
+  const double dphi = 2.0 * std::numbers::pi * carrier / rate;
+  for (std::size_t base = 0; base < total; base += chunk) {
+    // Continue the carrier phase across chunks.
+    const double phase =
+        std::fmod(dphi * static_cast<double>(base), 2.0 * std::numbers::pi);
+    const auto xs = modulate(envelope, carrier, rate, phase);
+    demod.demod_into(xs, recovered);
+  }
+  // After 10^7 samples the envelope must still be exact to the same
+  // tolerance as at the start of the stream.
+  for (std::size_t i = 0; i < chunk; i += 997)
+    EXPECT_NEAR(recovered[i], 0.8, 0.02) << i;
+}
+
+TEST(Demod, ModulateMatchesDirectTrig) {
+  // The recurrence oscillator must track sin(2 pi f n / rate + phase)
+  // to far below the signal tolerances used across the test suite.
+  const double rate = 100000.0, carrier = 12345.0, phase = 0.7;
+  const std::vector<double> envelope(100000, 1.0);
+  const auto xs = modulate(envelope, carrier, rate, phase);
+  for (std::size_t i = 0; i < xs.size(); i += 1009) {
+    const double direct = std::sin(
+        2.0 * std::numbers::pi * carrier * static_cast<double>(i) / rate +
+        phase);
+    EXPECT_NEAR(xs[i], direct, 1e-9) << i;
+  }
 }
 
 }  // namespace

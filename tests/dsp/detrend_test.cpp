@@ -88,5 +88,73 @@ TEST_P(DetrendWindowSweep, BaselineNormalizedForAnyWindow) {
 INSTANTIATE_TEST_SUITE_P(Windows, DetrendWindowSweep,
                          ::testing::Values(256, 512, 1024, 2048, 4096));
 
+std::vector<double> drifting_signal(std::size_t n, double jitter_scale) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    xs[i] = 2.0 + 1e-4 * x + jitter_scale * std::sin(0.7 * x) -
+            0.01 * std::exp(-0.5 * std::pow((x - 0.3 * n) / 4.0, 2.0));
+  }
+  return xs;
+}
+
+TEST(Detrend, WorkspaceOverloadBitIdenticalToPlain) {
+  // The allocation-free workspace overload must not change a single bit,
+  // across odd lengths, signals shorter than one window, and lengths
+  // landing exactly on window/overlap edges.
+  DetrendConfig config;
+  config.window = 512;
+  config.overlap = 64;
+  DetrendWorkspace workspace;
+  for (std::size_t n : {7u, 100u, 511u, 512u, 575u, 10007u}) {
+    const auto xs = drifting_signal(n, 1e-3);
+    std::vector<double> plain(n), pooled(n);
+    detrend_into(xs, config, plain, nullptr);
+    detrend_into(xs, config, pooled, nullptr, workspace);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_DOUBLE_EQ(pooled[i], plain[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(Detrend, WorkspaceReuseAcrossSignalsLeavesNoResidue) {
+  // A workspace warmed on one signal must give the same answer on the
+  // next signal as a fresh workspace (scratch contents are never read).
+  DetrendConfig config;
+  config.window = 256;
+  config.overlap = 32;
+  const auto first = drifting_signal(9000, 2e-3);
+  const auto second = drifting_signal(4001, 5e-4);
+  DetrendWorkspace reused, fresh;
+  std::vector<double> scratch_out(first.size());
+  detrend_into(first, config, scratch_out, nullptr, reused);
+
+  std::vector<double> warm(second.size()), cold(second.size());
+  detrend_into(second, config, warm, nullptr, reused);
+  detrend_into(second, config, cold, nullptr, fresh);
+  for (std::size_t i = 0; i < second.size(); ++i)
+    EXPECT_DOUBLE_EQ(warm[i], cold[i]) << i;
+}
+
+TEST(Detrend, WorkspaceBitIdenticalAcrossThreadCounts) {
+  // Serial, 2-way and 8-way pools must all produce the serial result
+  // bit-for-bit, with and without a reused workspace.
+  DetrendConfig config;
+  config.window = 1024;
+  config.overlap = 128;
+  const auto xs = drifting_signal(50021, 1e-3);  // odd length
+  std::vector<double> serial(xs.size());
+  detrend_into(xs, config, serial, nullptr);
+
+  DetrendWorkspace workspace;
+  for (unsigned workers : {1u, 3u, 7u}) {  // concurrency 2, 4, 8
+    util::ThreadPool pool(workers);
+    std::vector<double> pooled(xs.size());
+    detrend_into(xs, config, pooled, &pool, workspace);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      EXPECT_DOUBLE_EQ(pooled[i], serial[i])
+          << "workers=" << workers << " i=" << i;
+  }
+}
+
 }  // namespace
 }  // namespace medsen::dsp

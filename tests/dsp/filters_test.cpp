@@ -50,6 +50,40 @@ TEST(SinglePoleLowPass, PrimingAvoidsStartupStep) {
   EXPECT_DOUBLE_EQ(lpf.step(5.0), 5.0);  // primed on first sample
 }
 
+TEST(SinglePoleLowPass, ResetWithInitialPrimesAtThatValue) {
+  // Regression: reset(initial) used to discard its argument and leave the
+  // filter unprimed, so the next step() adopted its input instead of
+  // filtering from `initial`.
+  SinglePoleLowPass primed(10.0, 450.0);
+  primed.step(123.0);  // arbitrary history to clear
+  primed.reset(2.0);
+
+  // Equivalent construction: a fresh filter whose first (priming) sample
+  // is 2.0. Every subsequent output must match bit-for-bit.
+  SinglePoleLowPass fresh(10.0, 450.0);
+  fresh.step(2.0);
+  for (double x : {10.0, -4.0, 2.0, 0.5})
+    EXPECT_DOUBLE_EQ(primed.step(x), fresh.step(x));
+}
+
+TEST(SinglePoleLowPass, ResetWithInitialFiltersNotAdopts) {
+  SinglePoleLowPass lpf(10.0, 450.0);
+  lpf.reset(2.0);
+  const double y = lpf.step(10.0);
+  // A primed filter moves only alpha of the way toward the input; the
+  // old bug made this return 10.0 exactly.
+  EXPECT_GT(y, 2.0);
+  EXPECT_LT(y, 10.0);
+  EXPECT_DOUBLE_EQ(y, 2.0 + lpf.alpha() * (10.0 - 2.0));
+}
+
+TEST(SinglePoleLowPass, ResetNoArgReturnsToUnprimed) {
+  SinglePoleLowPass lpf(10.0, 450.0);
+  lpf.step(3.0);
+  lpf.reset();
+  EXPECT_DOUBLE_EQ(lpf.step(7.0), 7.0);  // adopts input again
+}
+
 TEST(ButterworthLowPass2, PassesDc) {
   ButterworthLowPass2 lpf(120.0, 4500.0);
   double y = 0.0;
@@ -76,6 +110,26 @@ TEST(ButterworthLowPass2, PassbandNearlyUnity) {
               rms(std::span(input).subspan(10000)), 0.01);
 }
 
+TEST(ButterworthLowPass2, ResetToDcIsExactSteadyState) {
+  ButterworthLowPass2 lpf(120.0, 4500.0);
+  lpf.step(50.0);  // arbitrary history
+  lpf.reset(0.7);
+  // The delay line sits at the DC fixed point: a constant input passes
+  // through from the very first sample, no warm-up transient.
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(lpf.step(0.7), 0.7, 1e-12);
+}
+
+TEST(ButterworthLowPass2, StepBufferMatchesStepExactly) {
+  ButterworthLowPass2 scalar(120.0, 4500.0);
+  ButterworthLowPass2 batch(120.0, 4500.0);
+  auto xs = sine(30.0, 4500.0, 1003);  // odd length
+  std::vector<double> expected(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) expected[i] = scalar.step(xs[i]);
+  batch.step_buffer(xs);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_DOUBLE_EQ(xs[i], expected[i]) << i;
+}
+
 TEST(MovingAverage, SmoothsConstantPerfectly) {
   const std::vector<double> xs(100, 3.0);
   const auto out = moving_average(xs, 7);
@@ -94,6 +148,16 @@ TEST(MovingAverage, CenterValueAveragesNeighbours) {
   const auto out = moving_average(xs, 3);
   EXPECT_NEAR(out[2], 3.0, 1e-12);
   EXPECT_NEAR(out[1], 3.0, 1e-12);
+}
+
+TEST(MovingAverage, EvenWindowThrows) {
+  // A centered even kernel does not exist; the old code silently produced
+  // an asymmetric (phase-shifting) filter. Pinned: even windows throw.
+  const std::vector<double> xs(16, 1.0);
+  EXPECT_THROW(moving_average(xs, 2), std::invalid_argument);
+  EXPECT_THROW(moving_average(xs, 4), std::invalid_argument);
+  EXPECT_THROW(moving_average(xs, 0), std::invalid_argument);
+  EXPECT_NO_THROW(moving_average(xs, 5));
 }
 
 TEST(Decimate, KeepsEveryNth) {

@@ -113,5 +113,26 @@ TEST_P(PeakCountSweep, DetectsExactlyNPeaks) {
 INSTANTIATE_TEST_SUITE_P(Counts, PeakCountSweep,
                          ::testing::Values(1, 2, 5, 10, 25, 50));
 
+TEST(PeakDetect, ScratchOverloadIdenticalToPlain) {
+  // The scratch-reusing overload must produce exactly the same peaks as
+  // the plain call, and reuse across differently-sized signals must
+  // leave no residue from the previous run.
+  PeakDetectScratch scratch;
+  const PeakDetectConfig config;
+  for (std::size_t n : {503u, 2000u, 1201u}) {
+    const auto xs = baseline_with_dips(
+        n, {n / 4, n / 2, (3 * n) / 4}, 0.01, 3.0);
+    const auto plain = detect_peaks(xs, 450.0, 0.0, config);
+    const auto pooled = detect_peaks(xs, 450.0, 0.0, config, scratch);
+    ASSERT_EQ(pooled.size(), plain.size()) << "n=" << n;
+    for (std::size_t k = 0; k < plain.size(); ++k) {
+      EXPECT_EQ(pooled[k].index, plain[k].index);
+      EXPECT_DOUBLE_EQ(pooled[k].time_s, plain[k].time_s);
+      EXPECT_DOUBLE_EQ(pooled[k].amplitude, plain[k].amplitude);
+      EXPECT_DOUBLE_EQ(pooled[k].width_s, plain[k].width_s);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace medsen::dsp

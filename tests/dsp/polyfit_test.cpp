@@ -91,5 +91,47 @@ TEST(Polyval, IndicesVector) {
   EXPECT_DOUBLE_EQ(v[2], 7.0);
 }
 
+TEST(Polyfit, Degree2FastPathMatchesReferenceBitExactly) {
+  // The register-resident degree-2 accumulator must reproduce the generic
+  // rolling-power-sum loop bit-for-bit — the detrend hot path dispatches
+  // to it, and the golden sim outputs depend on exact equality. Sweep odd
+  // and even lengths including the minimum fit size.
+  for (std::size_t n : {3u, 7u, 64u, 1001u, 2048u, 9973u}) {
+    std::vector<double> ys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>(i);
+      ys[i] = 1.0 + 3e-4 * x - 2e-8 * x * x +
+              0.01 * std::sin(0.37 * x) + 1e-3 * std::cos(1.9 * x);
+    }
+    PolyfitScratch fast, ref;
+    const auto got = polyfit_indices(ys, 2, fast);
+    const auto expected = polyfit_indices_reference(ys, 2, ref);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t k = 0; k < got.size(); ++k)
+      EXPECT_DOUBLE_EQ(got[k], expected[k]) << "n=" << n << " coeff " << k;
+  }
+}
+
+TEST(Polyfit, NonHotDegreesStillUseGenericPath) {
+  // Degrees other than 2 share one code path; sanity-pin a cubic.
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    const double x = static_cast<double>(i);
+    ys.push_back(1.0 - 2.0 * x + 0.5 * x * x - 0.01 * x * x * x);
+  }
+  PolyfitScratch scratch;
+  const auto c = polyfit_indices(ys, 3, scratch);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_NEAR(c[3], -0.01, 1e-9);
+}
+
+TEST(Polyval, QuadraticFastPathMatchesHornerBitExactly) {
+  const Polynomial p = {1.5, -0.25, 3e-6};
+  std::vector<double> out(1003);
+  polyval_indices_into(p, out);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_DOUBLE_EQ(out[i], polyval(p, static_cast<double>(i))) << i;
+}
+
 }  // namespace
 }  // namespace medsen::dsp

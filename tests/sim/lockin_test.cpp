@@ -26,6 +26,18 @@ TEST(LockIn, DcPassesUnchanged) {
     EXPECT_NEAR(out[i], 0.75, 1e-3);
 }
 
+TEST(LockIn, PrimingIsExactFromFirstSample) {
+  // The filter is primed at the exact DC steady state for the first
+  // input sample (dsp::ButterworthLowPass2::reset(dc)), so a constant
+  // input passes through with no startup transient at all — the old
+  // 64-iteration warm-up loop only approximated this.
+  LockInConfig config;
+  const std::vector<double> input(4500, 0.75);
+  const auto out = lockin_output(input, 0.0, config);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], 0.75, 1e-12) << i;
+}
+
 TEST(LockIn, HighFrequencyRippleSuppressed) {
   LockInConfig config;
   std::vector<double> input(45000);

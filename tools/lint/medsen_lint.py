@@ -45,9 +45,22 @@ Enforces project-specific correctness contracts that generic tooling
                     nothing fails. (util::Sharded itself lives in
                     src/util, outside the rule's scope.)
 
+  dsp-transcendental
+                    No std::sin/std::cos inside loop bodies in the DSP
+                    kernel files (src/dsp demod/oscillator/detrend/
+                    polyfit/peak_detect/filters). The analysis hot path
+                    generates reference carriers with the PhaseOscillator
+                    rotation recurrence; a per-sample libm trig call is a
+                    ~20x slowdown that creeps back in silently. The
+                    oscillator's block-cadence resync (every 256 samples)
+                    is the sanctioned exception and carries an allow
+                    comment. Trig-heavy modules that are not sample
+                    kernels (fft.cpp twiddles, noise.cpp) are out of
+                    scope.
+
 Suppress a finding by appending `// medsen-lint: allow(<rule>)` to the
 offending line, where <rule> is one of: determinism, decoder-tests,
-unordered-serial, fault-stream, cloud-mutex.
+unordered-serial, fault-stream, cloud-mutex, dsp-transcendental.
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage
 errors. Run from anywhere: `python3 tools/lint/medsen_lint.py [--root DIR]`.
@@ -108,6 +121,21 @@ CLOUD_MUTEX_DIRS = ("src/cloud",)
 CLOUD_MUTEX_DECL = re.compile(
     r"\bstd\s*::\s*(?:timed_|recursive_|shared_)*mutex\b"
     r"\s+\w+\s*(?:;|\{\s*\})")
+
+# DSP sample-kernel files where per-sample trig is banned inside loops.
+# FFT twiddle factors and noise synthesis are inherently trigonometric
+# and deliberately out of scope.
+DSP_KERNEL_FILES = (
+    "src/dsp/oscillator.h", "src/dsp/oscillator.cpp",
+    "src/dsp/filters.h", "src/dsp/filters.cpp",
+    "src/dsp/demod.h", "src/dsp/demod.cpp",
+    "src/dsp/detrend.h", "src/dsp/detrend.cpp",
+    "src/dsp/polyfit.h", "src/dsp/polyfit.cpp",
+    "src/dsp/peak_detect.h", "src/dsp/peak_detect.cpp",
+)
+TRIG_CALL = re.compile(r"\bstd\s*::\s*(?:sin|cos)\s*\(")
+LOOP_HEAD = re.compile(r"\b(?:for|while)\s*\(")
+LOOP_TOKEN = re.compile(r"\b(?:for|while)\s*\(|[{}]")
 
 ALLOW = re.compile(r"//\s*medsen-lint:\s*allow\((?P<rules>[\w\-, ]+)\)")
 
@@ -176,6 +204,58 @@ def check_cloud_mutex(root: Path, findings: list[str]) -> None:
                         f"std::mutex member in the sharded service layer; "
                         f"route state through util::Sharded (per-shard "
                         f"locks) or use relaxed atomics for counters")
+
+
+def check_dsp_transcendental(root: Path, findings: list[str]) -> None:
+    """Flag std::sin/std::cos inside loop bodies of DSP kernel files.
+
+    Brace-depth tracking: a loop head (`for (`/`while (`) arms a pending
+    marker; the next `{` pushes the loop body's depth. A trig call while
+    any loop body is open (or on a loop-head / braceless-body line) is a
+    finding unless the line carries an allow comment.
+    """
+    for rel in DSP_KERNEL_FILES:
+        path = root / rel
+        if not path.is_file():
+            continue
+        depth = 0
+        loop_stack: list[int] = []  # depths at which loop bodies opened
+        pending = 0                 # loop heads awaiting their open brace
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            code = strip_comments_and_strings(raw)
+            in_loop = bool(loop_stack) or pending or LOOP_HEAD.search(code)
+            if (TRIG_CALL.search(code) and in_loop
+                    and not allowed(raw, "dsp-transcendental")):
+                findings.append(
+                    f"{path.relative_to(root)}:{lineno}: "
+                    f"[dsp-transcendental] per-sample std::sin/std::cos "
+                    f"in a DSP kernel loop; use the PhaseOscillator "
+                    f"recurrence (block-cadence resyncs may carry "
+                    f"`// medsen-lint: allow(dsp-transcendental)`)")
+            for m in LOOP_TOKEN.finditer(code):
+                tok = m.group(0)
+                if tok == "{":
+                    depth += 1
+                    if pending:
+                        loop_stack.append(depth)
+                        pending -= 1
+                elif tok == "}":
+                    if loop_stack and loop_stack[-1] == depth:
+                        loop_stack.pop()
+                    depth -= 1
+                else:
+                    pending += 1
+            if pending and "{" not in code:
+                # A braceless single-statement body ends at `;` outside
+                # the loop-head parentheses.
+                flat = code
+                while True:
+                    reduced = re.sub(r"\([^()]*\)", "", flat)
+                    if reduced == flat:
+                        break
+                    flat = reduced
+                if ";" in flat:
+                    pending = 0
 
 
 def collect_decoders(root: Path) -> list[tuple[Path, int, str]]:
@@ -288,6 +368,7 @@ def main() -> int:
     check_determinism(root, findings)
     check_cloud_mutex(root, findings)
     check_fault_streams(root, findings)
+    check_dsp_transcendental(root, findings)
     check_decoder_tests(root, findings)
     check_unordered_serialization(root, findings)
 
