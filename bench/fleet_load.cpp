@@ -14,6 +14,14 @@
 // sharded default, emitting `scaling.speedup`. On a multi-core host the
 // sharded layout must win by >2x; on one core the two are equivalent.
 //
+// Session phases exercise the EV2-style session plane: a handshake
+// storm over an enrolled (zero-stored-secret) fleet emitting
+// `session.handshakes_per_sec`, then a rekey storm that rotates the
+// master key between rounds — every rotation stampedes the fleet
+// through kAuthRequired -> re-handshake -> resend — while a slice of
+// traffic replays burned command counters and must be rejected
+// (`session.counter_rejections`).
+//
 // Everything is deterministic for a fixed seed and worker count except
 // wall-clock timing itself.
 
@@ -32,6 +40,8 @@
 
 #include "bench_common.h"
 #include "cloud/server.h"
+#include "core/session_crypto.h"
+#include "crypto/cmac.h"
 #include "net/faulty_link.h"
 
 using namespace medsen;
@@ -53,6 +63,10 @@ struct Options {
   bool scaling = true;
   std::size_t scaling_devices = 20000;
   std::size_t scaling_requests = 100000;
+  bool session = true;
+  std::size_t session_devices = 5000;
+  std::size_t session_commands = 50000;
+  std::size_t rekey_rounds = 3;
   std::string out = "BENCH_fleet_load.json";
 };
 
@@ -63,6 +77,8 @@ struct Options {
       "           [--arrivals poisson|bursty] [--mean-think-us U]\n"
       "           [--faulty] [--quality-gate] [--no-scaling]\n"
       "           [--scaling-devices N] [--scaling-requests N]\n"
+      "           [--no-session] [--session-devices N]\n"
+      "           [--session-commands N] [--rekey-rounds N]\n"
       "           [--out PATH] [--smoke]\n"
       "--smoke: short deterministic CI preset (10^4 devices, fixed seed)\n");
   std::exit(2);
@@ -104,6 +120,14 @@ Options parse_options(int argc, char** argv) {
       options.scaling_devices = std::strtoull(next_value(i), nullptr, 10);
     } else if (arg == "--scaling-requests") {
       options.scaling_requests = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--no-session") {
+      options.session = false;
+    } else if (arg == "--session-devices") {
+      options.session_devices = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--session-commands") {
+      options.session_commands = std::strtoull(next_value(i), nullptr, 10);
+    } else if (arg == "--rekey-rounds") {
+      options.rekey_rounds = std::strtoull(next_value(i), nullptr, 10);
     } else if (arg == "--out") {
       options.out = next_value(i);
     } else if (arg == "--smoke") {
@@ -111,6 +135,8 @@ Options parse_options(int argc, char** argv) {
       options.requests = 20000;
       options.scaling_devices = 2000;
       options.scaling_requests = 20000;
+      options.session_devices = 1000;
+      options.session_commands = 10000;
       options.workers = options.workers == 0 ? 2 : options.workers;
     } else {
       usage();
@@ -406,6 +432,172 @@ double replay_storm_rps(const Options& options, std::size_t shards,
   return static_cast<double>(per_worker * workers) / elapsed;
 }
 
+/// Outcome of the session-plane phases (handshake storm + rekey storm).
+struct SessionPhaseResult {
+  double handshake_elapsed_s = 0.0;
+  double handshakes_per_sec = 0.0;
+  std::uint64_t handshakes = 0;
+  double rekey_elapsed_s = 0.0;
+  double commands_per_sec = 0.0;
+  std::uint64_t commands_ok = 0;
+  std::uint64_t rehandshakes = 0;
+  std::uint64_t auth_required_errors = 0;
+  std::uint64_t stale_attacks = 0;
+  std::uint64_t counter_rejections = 0;  ///< server-side, from stats()
+};
+
+/// Phase 4+5: the EV2-style session plane under fleet load.
+///
+/// Handshake storm: every device is *enrolled* (diversified keys — the
+/// registry stores zero per-device secrets) and runs a full
+/// AuthChallenge/AuthResponse handshake; throughput is
+/// `handshakes_per_sec`. Rekey storm: the fleet drives session-plane
+/// commands while the master key rotates every round, so each rotation
+/// stampedes every device through kAuthRequired -> re-handshake ->
+/// resend; a slice of traffic deliberately replays burned counters and
+/// must die with kStaleCounter (`counter_rejections`).
+SessionPhaseResult run_session_phases(
+    const Options& options, std::size_t workers,
+    const std::vector<std::uint8_t>& upload_payload) {
+  SessionPhaseResult result;
+  // A small idempotency cache on purpose: replayed counters whose cached
+  // exchange is still resident are answered as conflicts/replays by the
+  // cache layer, so to exercise the anti-replay *window* (kStaleCounter)
+  // the storm must churn entries out first. Nothing in this phase relies
+  // on ARQ replays, so eviction costs nothing.
+  auto server = make_server(options, options.shards, /*cache_capacity=*/512);
+  const std::vector<std::uint8_t> master(16, 0x5A);
+  constexpr std::uint32_t kEpoch = 1;
+  server.rotate_master_key(kEpoch, master);
+
+  const std::size_t devices = options.session_devices;
+  std::vector<std::unique_ptr<core::SessionCrypto>> cryptos;
+  cryptos.reserve(devices);
+  for (std::uint64_t id = 0; id < devices; ++id) {
+    server.enroll_device(id);
+    cryptos.push_back(std::make_unique<core::SessionCrypto>(
+        id, crypto::diversify_device_key(master, id, kEpoch), kEpoch,
+        options.seed ^ id));
+  }
+
+  // Session ids live far above the other phases' ranges; each device
+  // re-keys at (base + device * rounds + rekey_count).
+  const auto session_base = [&](std::uint64_t id) {
+    return (1ull << 52) + id * (options.rekey_rounds + 2);
+  };
+  const auto handshake = [&](std::uint64_t id, std::uint64_t ordinal) {
+    auto& crypto = *cryptos[id];
+    crypto.invalidate();
+    return crypto.complete(
+        server.handle(crypto.make_challenge(session_base(id) + ordinal)));
+  };
+
+  // --- Handshake storm ------------------------------------------------
+  std::atomic<std::uint64_t> completed{0};
+  {
+    std::vector<std::thread> threads;
+    std::atomic<std::size_t> cursor{0};
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&] {
+        for (std::size_t id = cursor.fetch_add(1); id < devices;
+             id = cursor.fetch_add(1))
+          if (handshake(id, 0)) completed.fetch_add(1);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    result.handshake_elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+  result.handshakes = completed.load();
+  result.handshakes_per_sec =
+      static_cast<double>(result.handshakes) / result.handshake_elapsed_s;
+
+  // --- Rekey storm ----------------------------------------------------
+  // Device id space is partitioned across workers (each SessionCrypto is
+  // single-threaded state); the master rotation between rounds is the
+  // fleet-wide synchronization point.
+  std::atomic<std::uint64_t> ok{0}, rehandshakes{0}, auth_required{0},
+      stale{0};
+  const std::size_t rounds = options.rekey_rounds;
+  const std::size_t per_round =
+      std::max<std::size_t>(1, options.session_commands / (rounds + 1));
+  std::uint32_t next_epoch = kEpoch + 1;
+  const auto rekey_start = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round <= rounds; ++round) {
+    if (round > 0) {
+      // Rotate: every live session dies; devices (still personalized
+      // under kEpoch) must re-handshake through the grace window.
+      server.rotate_master_key(next_epoch++, master);
+    }
+    std::vector<std::thread> threads;
+    const std::size_t per_worker = per_round / workers + 1;
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w, round] {
+        SplitMix rng{options.seed ^ (0x5E55u + w * 131 + round)};
+        for (std::size_t i = 0; i < per_worker; ++i) {
+          const std::uint64_t id = w + workers * (rng.next() %
+                                                  (devices / workers + 1));
+          if (id >= devices) continue;
+          auto& crypto = *cryptos[id];
+          if (!crypto.active()) continue;  // handshake failed earlier
+          const double op = rng.uniform();
+          if (op < 0.05 && crypto.last_counter() > 1) {
+            // Replay attack: a *fresh* envelope reusing a burned
+            // counter (not byte-identical to the cached exchange, so
+            // the idempotency cache cannot answer it).
+            auto attack = net::make_envelope(
+                net::MessageType::kSignalUpload, crypto.session_id(),
+                id, {0xDE, 0xAD, 0xBE, 0xEF}, crypto.session_mac_key(),
+                /*counter=*/1);
+            const auto response = server.handle(attack);
+            stale.fetch_add(1);
+            (void)response;
+            continue;
+          }
+          auto request = net::make_envelope(
+              net::MessageType::kSignalUpload, crypto.session_id(), id,
+              upload_payload, crypto.session_mac_key(),
+              crypto.next_counter());
+          auto response = server.handle(request);
+          if (response.type == net::MessageType::kError) {
+            const auto error =
+                net::ErrorPayload::deserialize(response.payload);
+            if (error.code == net::ErrorCode::kAuthRequired) {
+              auth_required.fetch_add(1);
+              if (handshake(id, 1 + round)) {
+                rehandshakes.fetch_add(1);
+                request = net::make_envelope(
+                    net::MessageType::kSignalUpload, crypto.session_id(),
+                    id, upload_payload, crypto.session_mac_key(),
+                    crypto.next_counter());
+                response = server.handle(request);
+              }
+            }
+          }
+          if (response.type == net::MessageType::kAnalysisResult)
+            ok.fetch_add(1);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  result.rekey_elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    rekey_start)
+          .count();
+  result.commands_ok = ok.load();
+  result.rehandshakes = rehandshakes.load();
+  result.auth_required_errors = auth_required.load();
+  result.stale_attacks = stale.load();
+  result.commands_per_sec =
+      static_cast<double>(result.commands_ok) / result.rekey_elapsed_s;
+  result.counter_rejections = server.stats().counter_rejections;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -534,6 +726,40 @@ int main(int argc, char** argv) {
     json.set("scaling.throughput_shards1_rps", rps_single);
     json.set("scaling.throughput_sharded_rps", rps_sharded);
     json.set("scaling.speedup", speedup);
+  }
+
+  // Phases 4+5: the session plane — handshake storm, then a rekey storm
+  // with master rotations and deliberate stale-counter replays.
+  if (options.session) {
+    const auto session =
+        run_session_phases(options, workers, upload_payload);
+    std::printf(
+        "session: %zu devices, %zu commands, %zu rekey rounds\n"
+        "  handshakes   %llu in %.2fs (%.0f/s)\n"
+        "  commands ok  %llu (%.0f/s), rehandshakes %llu, "
+        "auth-required %llu\n"
+        "  stale attacks sent %llu, counter rejections %llu\n",
+        options.session_devices, options.session_commands,
+        options.rekey_rounds,
+        static_cast<unsigned long long>(session.handshakes),
+        session.handshake_elapsed_s, session.handshakes_per_sec,
+        static_cast<unsigned long long>(session.commands_ok),
+        session.commands_per_sec,
+        static_cast<unsigned long long>(session.rehandshakes),
+        static_cast<unsigned long long>(session.auth_required_errors),
+        static_cast<unsigned long long>(session.stale_attacks),
+        static_cast<unsigned long long>(session.counter_rejections));
+    json.set_count("session.devices", options.session_devices);
+    json.set_count("session.rekey_rounds", options.rekey_rounds);
+    json.set_count("session.handshakes", session.handshakes);
+    json.set("session.handshakes_per_sec", session.handshakes_per_sec);
+    json.set_count("session.commands_ok", session.commands_ok);
+    json.set("session.commands_per_sec", session.commands_per_sec);
+    json.set_count("session.rehandshakes", session.rehandshakes);
+    json.set_count("session.auth_required", session.auth_required_errors);
+    json.set_count("session.stale_attacks", session.stale_attacks);
+    json.set_count("session.counter_rejections",
+                   session.counter_rejections);
   }
 
   json.write(options.out);

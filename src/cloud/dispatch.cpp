@@ -3,36 +3,167 @@
 #include <algorithm>
 #include <utility>
 
+#include "crypto/cmac.h"
+
 namespace medsen::cloud {
 
-void DeviceRegistry::provision(std::uint64_t device_id,
-                               std::vector<std::uint8_t> mac_key) {
-  shards_.with(device_id, [&](KeyMap& keys) {
-    keys[device_id] = std::move(mac_key);
+DeviceRegistry::ProvisionResult DeviceRegistry::provision(
+    std::uint64_t device_id, std::vector<std::uint8_t> mac_key) {
+  return shards_.with(device_id, [&](DeviceShard& shard) {
+    const bool known = shard.legacy.find(device_id) != shard.legacy.end() ||
+                       shard.enrolled.find(device_id) != shard.enrolled.end();
+    shard.legacy[device_id] = std::move(mac_key);
+    shard.revoked.erase(device_id);
+    return known ? ProvisionResult::kRotated : ProvisionResult::kNew;
   });
 }
 
 bool DeviceRegistry::revoke(std::uint64_t device_id) {
-  return shards_.with(device_id, [&](KeyMap& keys) {
-    return keys.erase(device_id) > 0;
+  return shards_.with(device_id, [&](DeviceShard& shard) {
+    const bool known = shard.legacy.erase(device_id) > 0 ||
+                       shard.enrolled.erase(device_id) > 0;
+    if (known) shard.revoked.insert(device_id);
+    return known;
+  });
+}
+
+void DeviceRegistry::enroll(std::uint64_t device_id) {
+  shards_.with(device_id, [&](DeviceShard& shard) {
+    shard.enrolled.insert(device_id);
+    shard.revoked.erase(device_id);
+  });
+}
+
+bool DeviceRegistry::is_revoked(std::uint64_t device_id) const {
+  return shards_.with(device_id, [&](const DeviceShard& shard) {
+    return shard.revoked.find(device_id) != shard.revoked.end();
+  });
+}
+
+bool DeviceRegistry::has_legacy_key(std::uint64_t device_id) const {
+  return shards_.with(device_id, [&](const DeviceShard& shard) {
+    return shard.legacy.find(device_id) != shard.legacy.end();
   });
 }
 
 std::optional<std::vector<std::uint8_t>> DeviceRegistry::lookup(
     std::uint64_t device_id) const {
-  return shards_.with(
+  const auto direct = shards_.with(
       device_id,
-      [&](const KeyMap& keys) -> std::optional<std::vector<std::uint8_t>> {
-        const auto it = keys.find(device_id);
-        if (it == keys.end()) return std::nullopt;
+      [&](const DeviceShard& shard)
+          -> std::optional<std::optional<std::vector<std::uint8_t>>> {
+        if (shard.revoked.find(device_id) != shard.revoked.end())
+          return std::optional<std::vector<std::uint8_t>>{};
+        const auto it = shard.legacy.find(device_id);
+        if (it != shard.legacy.end())
+          return std::optional<std::vector<std::uint8_t>>{it->second};
+        if (shard.enrolled.find(device_id) == shard.enrolled.end())
+          return std::optional<std::vector<std::uint8_t>>{};
+        return std::nullopt;  // enrolled: derive below, outside the lock
+      });
+  if (direct.has_value()) return *direct;
+  return lookup_epoch(device_id, current_epoch());
+}
+
+std::optional<std::vector<std::uint8_t>> DeviceRegistry::lookup_epoch(
+    std::uint64_t device_id, std::uint32_t key_epoch) const {
+  const bool derivable = shards_.with(device_id, [&](const DeviceShard& s) {
+    return s.revoked.find(device_id) == s.revoked.end() &&
+           s.enrolled.find(device_id) != s.enrolled.end();
+  });
+  if (!derivable) return std::nullopt;
+  const auto master = masters_.with(
+      0, [&](const MasterState& m) -> std::optional<std::vector<std::uint8_t>> {
+        const auto it = m.by_epoch.find(key_epoch);
+        if (it == m.by_epoch.end()) return std::nullopt;
         return it->second;
       });
+  if (!master.has_value()) return std::nullopt;
+  // Derivation runs outside every lock: CMAC cost must never extend a
+  // shard's critical section.
+  return crypto::diversify_device_key(*master, device_id, key_epoch);
+}
+
+void DeviceRegistry::set_master_key(std::uint32_t epoch,
+                                    std::vector<std::uint8_t> master) {
+  masters_.with(0, [&](MasterState& m) {
+    m.by_epoch[epoch] = std::move(master);
+    m.current_epoch = epoch;
+  });
+}
+
+bool DeviceRegistry::retire_epoch(std::uint32_t epoch) {
+  return masters_.with(0, [&](MasterState& m) {
+    return m.by_epoch.erase(epoch) > 0;
+  });
+}
+
+std::uint32_t DeviceRegistry::current_epoch() const {
+  return masters_.with(0, [&](const MasterState& m) {
+    return m.current_epoch;
+  });
+}
+
+bool DeviceRegistry::has_epoch(std::uint32_t epoch) const {
+  return masters_.with(0, [&](const MasterState& m) {
+    return m.by_epoch.find(epoch) != m.by_epoch.end();
+  });
 }
 
 std::size_t DeviceRegistry::size() const {
   std::size_t total = 0;
-  shards_.for_each_shard([&](const KeyMap& keys) { total += keys.size(); });
+  shards_.for_each_shard([&](const DeviceShard& shard) {
+    total += shard.legacy.size();
+    for (const std::uint64_t id : shard.enrolled)
+      if (shard.legacy.find(id) == shard.legacy.end()) ++total;
+  });
   return total;
+}
+
+std::size_t DeviceRegistry::stored_secret_count() const {
+  std::size_t total = 0;
+  shards_.for_each_shard(
+      [&](const DeviceShard& shard) { total += shard.legacy.size(); });
+  return total;
+}
+
+RegistrySnapshot DeviceRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  shards_.for_each_shard([&](const DeviceShard& shard) {
+    for (const auto& [id, key] : shard.legacy)
+      snap.legacy_keys.emplace_back(id, key);
+    snap.enrolled.insert(snap.enrolled.end(), shard.enrolled.begin(),
+                         shard.enrolled.end());
+    snap.revoked.insert(snap.revoked.end(), shard.revoked.begin(),
+                        shard.revoked.end());
+  });
+  masters_.with(0, [&](const MasterState& m) {
+    for (const auto& [epoch, key] : m.by_epoch)
+      snap.masters.emplace_back(epoch, key);
+    snap.current_epoch = m.current_epoch;
+  });
+  // Sort everything: snapshots feed serialization, which must be
+  // byte-identical across runs regardless of hash-table iteration order.
+  std::sort(snap.legacy_keys.begin(), snap.legacy_keys.end());
+  std::sort(snap.masters.begin(), snap.masters.end());
+  std::sort(snap.enrolled.begin(), snap.enrolled.end());
+  std::sort(snap.revoked.begin(), snap.revoked.end());
+  return snap;
+}
+
+void DeviceRegistry::restore(const RegistrySnapshot& snapshot) {
+  shards_.for_each_shard([&](DeviceShard& shard) { shard = DeviceShard{}; });
+  for (const auto& [id, key] : snapshot.legacy_keys)
+    shards_.with(id, [&, id = id](DeviceShard& s) { s.legacy[id] = key; });
+  for (const std::uint64_t id : snapshot.enrolled)
+    shards_.with(id, [&](DeviceShard& s) { s.enrolled.insert(id); });
+  for (const std::uint64_t id : snapshot.revoked)
+    shards_.with(id, [&](DeviceShard& s) { s.revoked.insert(id); });
+  masters_.with(0, [&](MasterState& m) {
+    m = MasterState{};
+    for (const auto& [epoch, key] : snapshot.masters) m.by_epoch[epoch] = key;
+    m.current_epoch = snapshot.current_epoch;
+  });
 }
 
 AdmissionGate::Ticket::Ticket(Ticket&& other) noexcept
@@ -100,6 +231,16 @@ void ServiceCounters::count_shed(std::uint64_t device_id) {
   shard_for(device_id).requests_shed.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServiceCounters::count_handshake(std::uint64_t device_id) {
+  shard_for(device_id).handshakes_completed.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void ServiceCounters::count_counter_rejection(std::uint64_t device_id) {
+  shard_for(device_id).counter_rejections.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
 ServiceStats ServiceCounters::aggregate() const {
   ServiceStats stats;
   std::uint64_t time_ns = 0;
@@ -113,6 +254,10 @@ ServiceStats ServiceCounters::aggregate() const {
         shard.errors_returned.load(std::memory_order_relaxed);
     stats.requests_shed +=
         shard.requests_shed.load(std::memory_order_relaxed);
+    stats.handshakes_completed +=
+        shard.handshakes_completed.load(std::memory_order_relaxed);
+    stats.counter_rejections +=
+        shard.counter_rejections.load(std::memory_order_relaxed);
     time_ns += shard.processing_time_ns.load(std::memory_order_relaxed);
   }
   stats.processing_time_s = static_cast<double>(time_ns) * 1e-9;

@@ -30,6 +30,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cloud/quality.h"
@@ -38,22 +40,95 @@
 
 namespace medsen::cloud {
 
-/// Thread-safe, sharded map of provisioned devices to their transport
-/// MAC keys. Routing is deterministic (util::Sharded FNV-1a): the same
-/// device always lands on the same shard for a given shard count.
+/// A consistent, deterministic dump of registry state for persistence:
+/// every collection is sorted, so serialization never iterates an
+/// unordered container (the unordered-serial lint rule) and sealed
+/// snapshots are byte-identical across runs.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+      legacy_keys;  ///< sorted by device id
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>
+      masters;  ///< sorted by epoch
+  std::uint32_t current_epoch = 0;
+  std::vector<std::uint64_t> enrolled;  ///< sorted device ids
+  std::vector<std::uint64_t> revoked;   ///< sorted device ids
+};
+
+/// Thread-safe, sharded device registry with two keying planes:
+///
+///  - Legacy: an explicit per-device MAC key stored at provision time
+///    (the original scheme; kept as a fallback mode so mixed fleets
+///    upgrade incrementally).
+///  - Diversified: the registry stores one 16-byte *master key per
+///    epoch* plus id-only enrollment and revocation sets, and derives a
+///    device's long-term key on demand as
+///    crypto::diversify_device_key(master[epoch], id, epoch). A
+///    million-device fleet holds zero per-device secrets
+///    (stored_secret_count() == 0), and rotating the master key — a new
+///    epoch — re-keys the whole fleet in one operation.
+///
+/// lookup() prefers the legacy key when both exist, so explicitly
+/// provisioned overrides win. Revoked devices resolve to nothing on
+/// either plane until re-provisioned/re-enrolled.
+///
+/// Routing is deterministic (util::Sharded FNV-1a): the same device
+/// always lands on the same shard for a given shard count.
 class DeviceRegistry {
  public:
-  /// `shards` 0 = hardware default; rounded up to a power of two.
-  explicit DeviceRegistry(std::size_t shards = 0) : shards_(shards) {}
+  /// Whether provision() installed a first key or rotated an existing
+  /// one. A rotation invalidates every session negotiated under the old
+  /// key — the server must drop the device's session state.
+  enum class ProvisionResult : std::uint8_t { kNew = 0, kRotated = 1 };
 
-  /// Install (or rotate) a device's MAC key.
-  void provision(std::uint64_t device_id, std::vector<std::uint8_t> mac_key);
-  /// Remove a device; returns false when it was never provisioned.
+  /// `shards` 0 = hardware default; rounded up to a power of two.
+  explicit DeviceRegistry(std::size_t shards = 0)
+      : shards_(shards), masters_(1) {}
+
+  /// Install (or rotate) a device's legacy MAC key. Re-provisioning an
+  /// already-known device is an explicit rotation: the old key is
+  /// invalid from this call on, and the result tells the caller to tear
+  /// down any session negotiated under it. Clears revocation.
+  ProvisionResult provision(std::uint64_t device_id,
+                            std::vector<std::uint8_t> mac_key);
+  /// Remove a device from both planes and put it on the revocation
+  /// list; returns false when it was never provisioned/enrolled.
   bool revoke(std::uint64_t device_id);
-  /// The device's key, or nullopt when unknown.
+  /// Diversified enrollment: record the id (no secret). Clears
+  /// revocation. The device's key is derived on demand.
+  void enroll(std::uint64_t device_id);
+  [[nodiscard]] bool is_revoked(std::uint64_t device_id) const;
+  /// Whether the device has an explicit (epoch-less) legacy key.
+  [[nodiscard]] bool has_legacy_key(std::uint64_t device_id) const;
+
+  /// The device's long-term key under the *current* epoch, or nullopt
+  /// when unknown or revoked. Legacy keys win over derivation.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> lookup(
       std::uint64_t device_id) const;
+  /// Like lookup(), but derives under a specific epoch — the rotation
+  /// grace path for devices still personalized under an older master.
+  /// nullopt when that epoch's master is gone (retired) or the device
+  /// is not enrolled. Legacy keys are epoch-less and never returned.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> lookup_epoch(
+      std::uint64_t device_id, std::uint32_t key_epoch) const;
+
+  /// Install the master key for an epoch (16 bytes) and make it
+  /// current. Old epochs stay derivable until retire_epoch().
+  void set_master_key(std::uint32_t epoch, std::vector<std::uint8_t> master);
+  /// Drop an epoch's master: devices personalized under it can no
+  /// longer authenticate until re-personalized.
+  bool retire_epoch(std::uint32_t epoch);
+  [[nodiscard]] std::uint32_t current_epoch() const;
+  [[nodiscard]] bool has_epoch(std::uint32_t epoch) const;
+
+  /// Devices known to either plane (revoked ones excluded).
   [[nodiscard]] std::size_t size() const;
+  /// Per-device secrets held server-side — the diversification pitch is
+  /// that this stays 0 for an enrolled-only fleet.
+  [[nodiscard]] std::size_t stored_secret_count() const;
+
+  /// Deterministic full-state dump / restore for persistence.
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+  void restore(const RegistrySnapshot& snapshot);
 
   [[nodiscard]] std::size_t shard_count() const {
     return shards_.shard_count();
@@ -65,8 +140,21 @@ class DeviceRegistry {
   }
 
  private:
-  using KeyMap = std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>;
-  util::Sharded<KeyMap> shards_;
+  /// Per-device state, sharded by device id.
+  struct DeviceShard {
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> legacy;
+    std::unordered_set<std::uint64_t> enrolled;
+    std::unordered_set<std::uint64_t> revoked;
+  };
+  /// Fleet-wide keying state: tiny and rarely written, so it lives in a
+  /// single-shard Sharded (routed with key 0) rather than a bare mutex.
+  struct MasterState {
+    std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> by_epoch;
+    std::uint32_t current_epoch = 0;
+  };
+
+  util::Sharded<DeviceShard> shards_;
+  util::Sharded<MasterState> masters_;
 };
 
 /// Bounded admission: at most `max_inflight` requests are inside the
@@ -121,6 +209,8 @@ struct ServiceStats {
   std::uint64_t replays_served = 0;      ///< idempotent cache hits
   std::uint64_t errors_returned = 0;     ///< kError responses sent
   std::uint64_t requests_shed = 0;       ///< refused by the admission gate
+  std::uint64_t handshakes_completed = 0;  ///< sessions established
+  std::uint64_t counter_rejections = 0;  ///< stale/replayed command counters
   double processing_time_s = 0.0;        ///< summed handler wall-clock
 };
 
@@ -138,6 +228,8 @@ class ServiceCounters {
   void count_replay(std::uint64_t device_id);
   void count_error(std::uint64_t device_id);
   void count_shed(std::uint64_t device_id);
+  void count_handshake(std::uint64_t device_id);
+  void count_counter_rejection(std::uint64_t device_id);
 
   [[nodiscard]] ServiceStats aggregate() const;
   [[nodiscard]] std::size_t shard_count() const { return count_; }
@@ -148,6 +240,8 @@ class ServiceCounters {
     std::atomic<std::uint64_t> replays_served{0};
     std::atomic<std::uint64_t> errors_returned{0};
     std::atomic<std::uint64_t> requests_shed{0};
+    std::atomic<std::uint64_t> handshakes_completed{0};
+    std::atomic<std::uint64_t> counter_rejections{0};
     std::atomic<std::uint64_t> processing_time_ns{0};
   };
 

@@ -10,8 +10,9 @@ namespace medsen::cloud {
 
 namespace {
 
-constexpr std::uint32_t kEnrollMagic = 0x4D53454E;  // "MSEN"
-constexpr std::uint32_t kRecordMagic = 0x4D535243;  // "MSRC"
+constexpr std::uint32_t kEnrollMagic = 0x4D53454E;    // "MSEN"
+constexpr std::uint32_t kRecordMagic = 0x4D535243;    // "MSRC"
+constexpr std::uint32_t kRegistryMagic = 0x4D535247;  // "MSRG"
 constexpr std::uint32_t kVersion = 1;
 
 std::vector<std::uint8_t> seal(std::uint32_t magic,
@@ -97,6 +98,53 @@ void save_records(const RecordStore& store, const std::string& path) {
     }
   }
   util::write_file_atomic(path, seal(kRecordMagic, body.take()));
+}
+
+void save_registry(const DeviceRegistry& registry, const std::string& path) {
+  // snapshot() hands back fully sorted collections, so this body is
+  // byte-identical across runs whatever the hash tables did.
+  const RegistrySnapshot snap = registry.snapshot();
+  util::ByteWriter body;
+  body.u32(static_cast<std::uint32_t>(snap.legacy_keys.size()));
+  for (const auto& [id, key] : snap.legacy_keys) {
+    body.u64(id);
+    body.blob(key);
+  }
+  body.u32(static_cast<std::uint32_t>(snap.masters.size()));
+  for (const auto& [epoch, key] : snap.masters) {
+    body.u32(epoch);
+    body.blob(key);
+  }
+  body.u32(snap.current_epoch);
+  body.u32(static_cast<std::uint32_t>(snap.enrolled.size()));
+  for (const std::uint64_t id : snap.enrolled) body.u64(id);
+  body.u32(static_cast<std::uint32_t>(snap.revoked.size()));
+  for (const std::uint64_t id : snap.revoked) body.u64(id);
+  util::write_file_atomic(path, seal(kRegistryMagic, body.take()));
+}
+
+void load_registry(DeviceRegistry& registry, const std::string& path) {
+  const auto body = unseal(kRegistryMagic, util::read_file(path));
+  util::ByteReader in(body);
+  RegistrySnapshot snap;
+  const std::uint32_t legacy = in.count_u32(8 + 4);
+  for (std::uint32_t i = 0; i < legacy; ++i) {
+    const std::uint64_t id = in.u64();
+    snap.legacy_keys.emplace_back(id, in.blob());
+  }
+  const std::uint32_t masters = in.count_u32(4 + 4);
+  for (std::uint32_t i = 0; i < masters; ++i) {
+    const std::uint32_t epoch = in.u32();
+    snap.masters.emplace_back(epoch, in.blob());
+  }
+  snap.current_epoch = in.u32();
+  const std::uint32_t enrolled = in.count_u32(8);
+  for (std::uint32_t i = 0; i < enrolled; ++i)
+    snap.enrolled.push_back(in.u64());
+  const std::uint32_t revoked = in.count_u32(8);
+  for (std::uint32_t i = 0; i < revoked; ++i) snap.revoked.push_back(in.u64());
+  in.expect_done("load_registry");
+  registry.restore(snap);
 }
 
 RecordStore load_records(const std::string& path) {

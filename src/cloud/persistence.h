@@ -7,6 +7,7 @@
 #include <string>
 
 #include "auth/enrollment.h"
+#include "cloud/dispatch.h"
 #include "cloud/storage.h"
 
 namespace medsen::cloud {
@@ -20,5 +21,12 @@ auth::EnrollmentDatabase load_enrollments(const std::string& path);
 /// Save / load the record store.
 void save_records(const RecordStore& store, const std::string& path);
 RecordStore load_records(const std::string& path);
+
+/// Save / load the device registry's keying state: legacy keys,
+/// master-key epochs, enrollment and revocation lists. Negotiated
+/// sessions are deliberately NOT persisted — a restarted server answers
+/// in-session traffic with kAuthRequired and devices re-handshake.
+void save_registry(const DeviceRegistry& registry, const std::string& path);
+void load_registry(DeviceRegistry& registry, const std::string& path);
 
 }  // namespace medsen::cloud

@@ -1,10 +1,13 @@
 #include "cloud/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
 #include "compress/codec.h"
+#include "crypto/cmac.h"
 #include "util/csv.h"
+#include "util/serialize.h"
 
 namespace medsen::cloud {
 
@@ -22,7 +25,10 @@ CloudServer::CloudServer(AnalysisConfig analysis_config,
       admission_(service.max_inflight),
       quality_gate_(service.quality_gate),
       cache_({service.shards, service.session_cache_capacity}),
-      counters_(service.shards) {
+      sessions_(service.shards),
+      counters_(service.shards),
+      challenge_seed_(service.challenge_seed),
+      allow_legacy_plane_(service.allow_legacy_plane) {
   dispatch_.add(net::MessageType::kSignalUpload,
                 [this](const net::Envelope& request, RequestContext& context) {
                   return serve_upload(request, context);
@@ -30,6 +36,10 @@ CloudServer::CloudServer(AnalysisConfig analysis_config,
   dispatch_.add(net::MessageType::kAuthPass,
                 [this](const net::Envelope& request, RequestContext& context) {
                   return serve_auth_pass(request, context);
+                });
+  dispatch_.add(net::MessageType::kAuthChallenge,
+                [this](const net::Envelope& request, RequestContext& context) {
+                  return serve_handshake(request, context);
                 });
 }
 
@@ -55,7 +65,8 @@ net::Envelope CloudServer::error_response(
   payload.channel_reasons = std::move(channel_reasons);
   counters_.count_error(request.device_id);
   return net::make_envelope(net::MessageType::kError, request.session_id,
-                            request.device_id, payload.serialize(), mac_key);
+                            request.device_id, payload.serialize(), mac_key,
+                            request.counter);
 }
 
 ServiceStats CloudServer::stats() const { return counters_.aggregate(); }
@@ -66,6 +77,100 @@ std::uint64_t CloudServer::requests_processed() const {
 
 std::uint64_t CloudServer::replays_served() const {
   return counters_.aggregate().replays_served;
+}
+
+CloudServer::ResolvedKey CloudServer::resolve_mac_key(
+    const net::Envelope& request) {
+  ResolvedKey resolved;
+  // Revocation outranks every keying plane: a revoked device gets the
+  // explicit kRevoked (unsigned — the server no longer speaks for it).
+  if (devices_.is_revoked(request.device_id)) {
+    resolved.error = error_response(
+        request, {}, net::ErrorCode::kRevoked, 0,
+        "device " + std::to_string(request.device_id) + " is revoked");
+    return resolved;
+  }
+
+  if (request.type == net::MessageType::kAuthChallenge) {
+    // Handshakes verify under the long-term key of the epoch the device
+    // was personalized under. The payload is decoded before MAC
+    // verification only to learn that epoch; a forgery still dies at
+    // the MAC check below.
+    std::uint32_t epoch = 0;
+    try {
+      epoch =
+          net::AuthChallengePayload::deserialize(request.payload).key_epoch;
+    } catch (const std::exception& e) {
+      resolved.error =
+          error_response(request, {}, net::ErrorCode::kMalformed, 0, e.what());
+      return resolved;
+    }
+    std::optional<std::vector<std::uint8_t>> key;
+    if (devices_.has_legacy_key(request.device_id)) {
+      key = devices_.lookup(request.device_id);  // legacy keys are epoch-less
+    } else {
+      key = devices_.lookup_epoch(request.device_id, epoch);
+      if (!key && devices_.lookup(request.device_id).has_value()) {
+        // Enrolled, but the named epoch's master is retired/unknown.
+        resolved.error = error_response(
+            request, {}, net::ErrorCode::kBadEpoch, 0,
+            "key epoch " + std::to_string(epoch) + " is not derivable");
+        return resolved;
+      }
+    }
+    if (!key) {
+      resolved.error = error_response(
+          request, {}, net::ErrorCode::kUnknownDevice, 0,
+          "device " + std::to_string(request.device_id) +
+              " is not provisioned");
+      return resolved;
+    }
+    resolved.key = std::move(key);
+    return resolved;
+  }
+
+  if (request.counter != 0) {
+    // Session plane: the envelope claims a negotiated session. Its MAC
+    // key is the derived session key — never a registry key.
+    resolved.session_plane = true;
+    auto key = sessions_.session_key(request.device_id, request.session_id);
+    if (!key) {
+      const auto longterm = devices_.lookup(request.device_id);
+      resolved.error = error_response(
+          request,
+          longterm ? std::span<const std::uint8_t>(*longterm)
+                   : std::span<const std::uint8_t>(),
+          net::ErrorCode::kAuthRequired, 0,
+          "no negotiated session for session_id " +
+              std::to_string(request.session_id));
+      return resolved;
+    }
+    resolved.key = std::move(key);
+    return resolved;
+  }
+
+  // Legacy static-key plane (counter 0): the original scheme, kept as
+  // the incremental-upgrade fallback and closable per deployment.
+  if (!allow_legacy_plane_) {
+    const auto longterm = devices_.lookup(request.device_id);
+    resolved.error = error_response(
+        request,
+        longterm ? std::span<const std::uint8_t>(*longterm)
+                 : std::span<const std::uint8_t>(),
+        net::ErrorCode::kAuthRequired, 0,
+        "legacy static-key plane is disabled; negotiate a session");
+    return resolved;
+  }
+  auto key = devices_.lookup(request.device_id);
+  if (!key) {
+    resolved.error = error_response(
+        request, {}, net::ErrorCode::kUnknownDevice, 0,
+        "device " + std::to_string(request.device_id) +
+            " is not provisioned");
+    return resolved;
+  }
+  resolved.key = std::move(key);
+  return resolved;
 }
 
 net::Envelope CloudServer::handle(const net::Envelope& request) {
@@ -87,15 +192,13 @@ net::Envelope CloudServer::handle(const net::Envelope& request) {
         net::ErrorCode::kOverloaded, 0, "admission limit reached");
   }
 
-  // 2. Tenant resolution: the MAC key comes from the registry, never
-  // from the caller. Errors to unknown devices are unsigned (empty key)
-  // — the server has no credential to speak for them.
-  const auto mac_key = devices_.lookup(request.device_id);
-  if (!mac_key) {
-    return error_response(request, {}, net::ErrorCode::kUnknownDevice, 0,
-                          "device " + std::to_string(request.device_id) +
-                              " is not provisioned");
-  }
+  // 2. Key resolution: the MAC key comes from the registry (legacy or
+  // epoch-derived) or the negotiated-session table — never from the
+  // caller. Errors to unknown devices are unsigned (empty key) — the
+  // server has no credential to speak for them.
+  auto resolved = resolve_mac_key(request);
+  if (resolved.error.has_value()) return *std::move(resolved.error);
+  const auto& mac_key = resolved.key;
 
   // 3. Integrity: a tampering relay is detected here.
   if (!net::verify_envelope(request, *mac_key)) {
@@ -105,8 +208,8 @@ net::Envelope CloudServer::handle(const net::Envelope& request) {
 
   // 4. Idempotency: the reliable transport re-uploads when a response is
   // lost; byte-identical replays are served from the cache without a
-  // second analysis. The cache is LRU-bounded — a replay of an evicted
-  // session is simply processed again.
+  // second analysis. The cache is LRU-bounded; what a miss means differs
+  // by plane — see the counter check below.
   const auto cached = cache_.lookup(request);
   if (cached.state == SessionCache::Lookup::kConflict) {
     return error_response(request, *mac_key, net::ErrorCode::kSessionConflict,
@@ -117,6 +220,24 @@ net::Envelope CloudServer::handle(const net::Envelope& request) {
   if (cached.state == SessionCache::Lookup::kReplay) {
     counters_.count_replay(request.device_id);
     return cached.response;
+  }
+
+  // 4b. Anti-replay: on the session plane every command counter is
+  // checked against the device's sliding window. A counter the window
+  // has already seen whose cached response was LRU-evicted is *not*
+  // reprocessed — unlike the legacy plane, replaying an old command is
+  // indistinguishable from an attack, so it dies here with
+  // kStaleCounter rather than re-running the analysis.
+  if (resolved.session_plane) {
+    const auto status = sessions_.classify(
+        request.device_id, request.session_id, request.counter);
+    if (status != CounterStatus::kFresh) {
+      counters_.count_counter_rejection(request.device_id);
+      return error_response(
+          request, *mac_key, net::ErrorCode::kStaleCounter, 0,
+          "command counter " + std::to_string(request.counter) +
+              " is outside the anti-replay window");
+    }
   }
 
   // 5. Dispatch through the handler registry. Handlers report failures
@@ -154,8 +275,13 @@ net::Envelope CloudServer::handle(const net::Envelope& request) {
 
   const auto response = net::make_envelope(
       result.response_type, request.session_id, request.device_id,
-      std::move(result.response_payload), *mac_key);
+      std::move(result.response_payload), *mac_key, request.counter);
   cache_.insert(request, response);
+  // Burn the counter only now that the exchange is cached: a shed or
+  // rejected command keeps its counter retryable, and an ARQ
+  // retransmission of this one finds the cached response above.
+  if (resolved.session_plane)
+    sessions_.commit(request.device_id, request.session_id, request.counter);
   counters_.count_processed(request.device_id, context.processing_time_s);
   return response;
 }
@@ -219,6 +345,44 @@ ServiceResult CloudServer::serve_auth_pass(const net::Envelope& request,
   payload.distance = result.distance;
   return ServiceResult::success(net::MessageType::kAuthDecision,
                                 payload.serialize());
+}
+
+ServiceResult CloudServer::serve_handshake(const net::Envelope& request,
+                                           RequestContext& context) {
+  if (request.counter != 0) {
+    return ServiceResult::failure(net::ErrorCode::kMalformed,
+                                  "handshake envelopes must use counter 0");
+  }
+  const auto challenge =
+      net::AuthChallengePayload::deserialize(request.payload);
+
+  // RndB: KDF'd from the device key so it is unpredictable to anyone
+  // off the key, salted with a per-device handshake ordinal so repeated
+  // handshakes never reuse a nonce, and free of OS entropy so the whole
+  // exchange replays bit-identically in tests.
+  const std::uint64_t seq = sessions_.next_handshake_seq(request.device_id);
+  util::ByteWriter nonce_context;
+  nonce_context.u64(challenge_seed_);
+  nonce_context.u64(request.device_id);
+  nonce_context.u64(seq);
+  nonce_context.bytes(challenge.challenge);
+  const auto rnd_b_bytes = crypto::kdf_cmac(
+      crypto::normalize_cmac_key(context.mac_key), "medsen-chal",
+      nonce_context.data(), net::AuthResponsePayload::kNonceSize);
+
+  net::AuthResponsePayload response;
+  std::copy(rnd_b_bytes.begin(), rnd_b_bytes.end(),
+            response.challenge.begin());
+  response.proof = crypto::session_proof(context.mac_key, challenge.challenge,
+                                         response.challenge);
+
+  sessions_.establish(
+      request.device_id, request.session_id,
+      crypto::derive_session_mac_key(context.mac_key, challenge.challenge,
+                                     response.challenge));
+  counters_.count_handshake(request.device_id);
+  return ServiceResult::success(net::MessageType::kAuthResponse,
+                                response.serialize());
 }
 
 }  // namespace medsen::cloud

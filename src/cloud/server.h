@@ -25,6 +25,7 @@
 #include "cloud/analysis_service.h"
 #include "cloud/dispatch.h"
 #include "cloud/quality.h"
+#include "cloud/session_auth.h"
 #include "cloud/session_cache.h"
 #include "cloud/storage.h"
 #include "net/messages.h"
@@ -46,6 +47,18 @@ struct ServiceConfig {
   /// Total session-cache capacity in cached exchanges; past it the
   /// least recently replayed sessions are evicted (0 = unbounded).
   std::size_t session_cache_capacity = 1u << 16;
+  /// Seed for the server's deterministic handshake-nonce (RndB)
+  /// derivation. The nonce is KDF'd from the *device key* with this
+  /// seed, the device id, a per-device handshake ordinal and the
+  /// device's RndA in the context, so it is unpredictable to anyone
+  /// without the key yet fully reproducible in tests (no OS entropy —
+  /// the determinism lint applies to the cloud too).
+  std::uint64_t challenge_seed = 0x9e3779b97f4a7c15ull;
+  /// When false, counter-0 command traffic on the legacy static-key
+  /// plane is refused with kAuthRequired — only the handshake itself
+  /// rides counter 0, and every command needs a negotiated session.
+  /// Defaults to true so mixed fleets upgrade incrementally.
+  bool allow_legacy_plane = true;
 };
 
 class CloudServer {
@@ -72,10 +85,33 @@ class CloudServer {
   /// The device registry: provision each dongle's MAC key before it may
   /// talk to this server.
   [[nodiscard]] DeviceRegistry& devices() { return devices_; }
-  /// Shorthand for devices().provision().
-  void provision_device(std::uint64_t device_id,
-                        std::vector<std::uint8_t> mac_key) {
-    devices_.provision(device_id, std::move(mac_key));
+  /// Provision (or rotate) a device's legacy key. A rotation tears down
+  /// the device's negotiated session: envelopes MAC'd under keys derived
+  /// from the old long-term key are rejected from this call on.
+  DeviceRegistry::ProvisionResult provision_device(
+      std::uint64_t device_id, std::vector<std::uint8_t> mac_key) {
+    const auto result = devices_.provision(device_id, std::move(mac_key));
+    if (result == DeviceRegistry::ProvisionResult::kRotated)
+      sessions_.drop(device_id);
+    return result;
+  }
+  /// Diversified enrollment: the registry records only the id; the
+  /// device's key is derived on demand from the epoch master.
+  void enroll_device(std::uint64_t device_id) { devices_.enroll(device_id); }
+  /// Revoke a device on both keying planes and kill its live session.
+  bool revoke_device(std::uint64_t device_id) {
+    const bool known = devices_.revoke(device_id);
+    sessions_.drop(device_id);
+    return known;
+  }
+  /// Install a new master-key epoch and re-key the fleet: every live
+  /// session is dropped, forcing fresh handshakes under the new epoch
+  /// (old epochs keep deriving until retired, so devices still
+  /// personalized under them can hand-shake through the grace window).
+  void rotate_master_key(std::uint32_t epoch,
+                         std::vector<std::uint8_t> master) {
+    devices_.set_master_key(epoch, std::move(master));
+    sessions_.drop_all();
   }
 
   /// The admission gate (exposed so tests and load shedders can hold
@@ -100,6 +136,8 @@ class CloudServer {
   /// The idempotent session cache (exposed so tests and capacity
   /// planners can watch occupancy and evictions).
   [[nodiscard]] SessionCache& session_cache() { return cache_; }
+  /// The negotiated-session table (keys + anti-replay windows).
+  [[nodiscard]] SessionAuthTable& sessions() { return sessions_; }
 
   /// Snapshot of the aggregate counters. Aggregated from per-shard
   /// atomics on read: eventually consistent while requests are in
@@ -119,6 +157,18 @@ class CloudServer {
                              RequestContext& context);
   ServiceResult serve_auth_pass(const net::Envelope& request,
                                 RequestContext& context);
+  ServiceResult serve_handshake(const net::Envelope& request,
+                                RequestContext& context);
+
+  /// Resolve the key that must verify `request` (long-term, epoch
+  /// derivation for handshakes, or the negotiated session key), or the
+  /// kError envelope to return when resolution fails.
+  struct ResolvedKey {
+    std::optional<std::vector<std::uint8_t>> key;
+    std::optional<net::Envelope> error;
+    bool session_plane = false;
+  };
+  ResolvedKey resolve_mac_key(const net::Envelope& request);
 
   util::MultiChannelSeries decode_series(
       const net::SignalUploadPayload& payload) const;
@@ -137,7 +187,10 @@ class CloudServer {
   Dispatcher dispatch_;
   std::atomic<bool> quality_gate_{true};
   SessionCache cache_;
+  SessionAuthTable sessions_;
   ServiceCounters counters_;
+  std::uint64_t challenge_seed_;
+  bool allow_legacy_plane_;
 };
 
 }  // namespace medsen::cloud

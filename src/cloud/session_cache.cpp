@@ -12,7 +12,8 @@ SessionCache::SessionCache(Config config) : shards_(config.shards) {
 }
 
 SessionCache::Hit SessionCache::lookup(const net::Envelope& request) {
-  const SessionKey key{request.device_id, request.session_id};
+  const SessionKey key{request.device_id, request.session_id,
+                       request.counter};
   return shards_.with(request.device_id, [&](ShardState& shard) {
     Hit hit;
     const auto it = shard.index.find(key);
@@ -34,7 +35,8 @@ SessionCache::Hit SessionCache::lookup(const net::Envelope& request) {
 
 void SessionCache::insert(const net::Envelope& request,
                           const net::Envelope& response) {
-  const SessionKey key{request.device_id, request.session_id};
+  const SessionKey key{request.device_id, request.session_id,
+                       request.counter};
   shards_.with(request.device_id, [&](ShardState& shard) {
     if (shard.index.find(key) != shard.index.end()) return;
     shard.lru.push_front(Entry{key, request.mac, response});

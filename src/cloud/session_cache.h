@@ -16,8 +16,8 @@
 
 #include <cstdint>
 #include <list>
+#include <tuple>
 #include <unordered_map>
-#include <utility>
 
 #include "net/messages.h"
 #include "util/sharded.h"
@@ -68,12 +68,18 @@ class SessionCache {
   }
 
  private:
-  using SessionKey = std::pair<std::uint64_t, std::uint64_t>;
+  // Keyed (device, session, counter): the session-crypto plane keeps one
+  // session_id across the whole retry ladder and disambiguates attempts
+  // by command counter, so each counter value is its own idempotency
+  // slot. Legacy traffic carries counter 0 and degrades to the old
+  // (device, session) behavior unchanged.
+  using SessionKey = std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>;
 
   struct KeyHash {
     std::size_t operator()(const SessionKey& key) const {
-      return static_cast<std::size_t>(
-          util::fnv1a64(util::fnv1a64(key.first) ^ key.second));
+      return static_cast<std::size_t>(util::fnv1a64(
+          util::fnv1a64(std::get<0>(key) ^ std::get<2>(key)) ^
+          std::get<1>(key)));
     }
   };
 

@@ -15,10 +15,18 @@ Controller::Controller(KeyParams key_params,
       profile_(std::move(profile)),
       rng_(entropy_seed),
       retry_policy_(retry_policy),
-      ledger_(key_params.num_electrodes, retry_policy.quarantine_strikes) {
+      ledger_(key_params.num_electrodes, retry_policy.quarantine_strikes),
+      entropy_seed_(entropy_seed) {
   if (key_params_.num_electrodes != design_.num_outputs)
     throw std::invalid_argument(
         "Controller: key electrode count must match the array design");
+}
+
+void Controller::enable_session_crypto(std::uint64_t device_id,
+                                       std::vector<std::uint8_t> device_key,
+                                       std::uint32_t key_epoch) {
+  session_crypto_ = std::make_unique<SessionCrypto>(
+      device_id, std::move(device_key), key_epoch, entropy_seed_);
 }
 
 void Controller::apply_recovery_state() {

@@ -8,6 +8,7 @@
 // the prototype.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/decryptor.h"
@@ -15,6 +16,7 @@
 #include "core/key.h"
 #include "core/peak_report.h"
 #include "core/recovery.h"
+#include "core/session_crypto.h"
 #include "net/messages.h"
 #include "sim/electrode_array.h"
 
@@ -92,6 +94,19 @@ class Controller {
   /// Cumulative flow derate the next retry will apply (1.0 = nominal).
   [[nodiscard]] double flow_scale() const { return flow_scale_; }
 
+  /// Arm the EV2-style transport-session plane: the controller holds
+  /// the device's long-term (diversified) key and will negotiate
+  /// derived session keys with the cloud via the phone relay. The
+  /// session-crypto RNG draws from its own lane of the entropy seed, so
+  /// arming it never perturbs the acquisition key schedule.
+  void enable_session_crypto(std::uint64_t device_id,
+                             std::vector<std::uint8_t> device_key,
+                             std::uint32_t key_epoch = 0);
+  /// The session-crypto engine, or nullptr when not armed.
+  [[nodiscard]] SessionCrypto* session_crypto() {
+    return session_crypto_.get();
+  }
+
  private:
   /// Apply exclusion mask + flow derate to the freshly generated
   /// schedule (no-ops for a healthy ledger at nominal flow, keeping
@@ -108,6 +123,8 @@ class Controller {
   RetryPolicy retry_policy_;
   ElectrodeHealthLedger ledger_;
   double flow_scale_ = 1.0;
+  std::uint64_t entropy_seed_;
+  std::unique_ptr<SessionCrypto> session_crypto_;
 };
 
 }  // namespace medsen::core

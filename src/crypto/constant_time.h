@@ -1,0 +1,25 @@
+#pragma once
+// Constant-time byte comparison — the single primitive every MAC/key
+// verifier in the tree goes through. A data-dependent early exit in a
+// tag comparison leaks the position of the first mismatching byte
+// through timing, which is exactly the oracle a byte-at-a-time MAC
+// forgery needs; accumulating the XOR of every byte pair costs the same
+// handful of cycles regardless of where (or whether) the inputs differ.
+//
+// medsen_lint's `ct-compare` rule bans memcmp and operator== on
+// MAC/key/digest material in the crypto/net/cloud layers; this is the
+// sanctioned replacement.
+
+#include <cstdint>
+#include <span>
+
+namespace medsen::crypto {
+
+/// True when `a` and `b` hold identical bytes. Runs in time dependent
+/// only on the lengths (a length mismatch returns false, but lengths
+/// are public — both sides of every comparison in this codebase are
+/// fixed-size tags or keys whose sizes the protocol already reveals).
+[[nodiscard]] bool constant_time_equal(std::span<const std::uint8_t> a,
+                                       std::span<const std::uint8_t> b);
+
+}  // namespace medsen::crypto

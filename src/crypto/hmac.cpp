@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "crypto/constant_time.h"
+
 namespace medsen::crypto {
 
 Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
@@ -38,9 +40,7 @@ Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
 }
 
 bool digest_equal(const Sha256Digest& a, const Sha256Digest& b) {
-  std::uint8_t diff = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
-  return diff == 0;
+  return constant_time_equal(a, b);
 }
 
 }  // namespace medsen::crypto

@@ -14,7 +14,8 @@ namespace medsen::crypto {
 Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
                          std::span<const std::uint8_t> data);
 
-/// Constant-time digest comparison.
+/// Constant-time digest comparison (delegates to
+/// crypto::constant_time_equal, the tree-wide verifier primitive).
 bool digest_equal(const Sha256Digest& a, const Sha256Digest& b);
 
 }  // namespace medsen::crypto

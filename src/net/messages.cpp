@@ -10,11 +10,13 @@ namespace {
 
 std::vector<std::uint8_t> mac_input(MessageType type, std::uint64_t session,
                                     std::uint64_t device,
+                                    std::uint32_t counter,
                                     std::span<const std::uint8_t> payload) {
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(type));
   w.u64(session);
   w.u64(device);
+  w.u32(counter);
   w.bytes(payload);
   return w.take();
 }
@@ -26,6 +28,7 @@ std::vector<std::uint8_t> Envelope::serialize() const {
   out.u8(static_cast<std::uint8_t>(type));
   out.u64(session_id);
   out.u64(device_id);
+  out.u32(counter);
   out.blob(payload);
   out.bytes(mac);
   return out.take();
@@ -37,6 +40,7 @@ Envelope Envelope::deserialize(std::span<const std::uint8_t> bytes) {
   e.type = static_cast<MessageType>(in.u8());
   e.session_id = in.u64();
   e.device_id = in.u64();
+  e.counter = in.u32();
   e.payload = in.blob();
   if (in.remaining() < e.mac.size())
     throw std::runtime_error("Envelope: truncated MAC");
@@ -49,14 +53,16 @@ Envelope Envelope::deserialize(std::span<const std::uint8_t> bytes) {
 Envelope make_envelope(MessageType type, std::uint64_t session_id,
                        std::uint64_t device_id,
                        std::vector<std::uint8_t> payload,
-                       std::span<const std::uint8_t> mac_key) {
+                       std::span<const std::uint8_t> mac_key,
+                       std::uint32_t counter) {
   Envelope e;
   e.type = type;
   e.session_id = session_id;
   e.device_id = device_id;
+  e.counter = counter;
   e.payload = std::move(payload);
   e.mac = crypto::hmac_sha256(
-      mac_key, mac_input(type, session_id, device_id, e.payload));
+      mac_key, mac_input(type, session_id, device_id, counter, e.payload));
   return e;
 }
 
@@ -64,7 +70,8 @@ bool verify_envelope(const Envelope& envelope,
                      std::span<const std::uint8_t> mac_key) {
   const auto expected = crypto::hmac_sha256(
       mac_key, mac_input(envelope.type, envelope.session_id,
-                         envelope.device_id, envelope.payload));
+                         envelope.device_id, envelope.counter,
+                         envelope.payload));
   return crypto::digest_equal(expected, envelope.mac);
 }
 
@@ -106,6 +113,44 @@ AuthPassPayload AuthPassPayload::deserialize(
   const auto upload_bytes = in.blob();
   in.expect_done("AuthPassPayload");
   p.upload = SignalUploadPayload::deserialize(upload_bytes);
+  return p;
+}
+
+std::vector<std::uint8_t> AuthChallengePayload::serialize() const {
+  util::ByteWriter out;
+  out.u32(key_epoch);
+  out.bytes(challenge);
+  return out.take();
+}
+
+AuthChallengePayload AuthChallengePayload::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader in(bytes);
+  AuthChallengePayload p;
+  p.key_epoch = in.u32();
+  if (in.remaining() < p.challenge.size())
+    throw std::runtime_error("AuthChallengePayload: truncated challenge");
+  for (auto& b : p.challenge) b = in.u8();
+  in.expect_done("AuthChallengePayload");
+  return p;
+}
+
+std::vector<std::uint8_t> AuthResponsePayload::serialize() const {
+  util::ByteWriter out;
+  out.bytes(challenge);
+  out.bytes(proof);
+  return out.take();
+}
+
+AuthResponsePayload AuthResponsePayload::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader in(bytes);
+  AuthResponsePayload p;
+  if (in.remaining() < p.challenge.size() + p.proof.size())
+    throw std::runtime_error("AuthResponsePayload: truncated");
+  for (auto& b : p.challenge) b = in.u8();
+  for (auto& b : p.proof) b = in.u8();
+  in.expect_done("AuthResponsePayload");
   return p;
 }
 
@@ -185,6 +230,10 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kMalformed: return "malformed request";
     case ErrorCode::kSessionConflict: return "session conflict";
+    case ErrorCode::kStaleCounter: return "stale counter";
+    case ErrorCode::kAuthRequired: return "authentication required";
+    case ErrorCode::kRevoked: return "device revoked";
+    case ErrorCode::kBadEpoch: return "bad key epoch";
   }
   return "unknown error";
 }

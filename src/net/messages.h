@@ -11,6 +11,7 @@
 // from its device registry. Server-side failures travel back as kError
 // envelopes carrying a structured ErrorPayload — never as exceptions.
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -28,25 +29,35 @@ enum class MessageType : std::uint8_t {
   kProgress = 4,       ///< cloud/phone -> app UI
   kError = 5,          ///< cloud -> sensor: structured ErrorPayload
   kAuthPass = 6,       ///< sensor -> cloud: plaintext pass (AuthPassPayload)
+  kAuthChallenge = 7,  ///< sensor -> cloud: EV2 handshake opener
+  kAuthResponse = 8,   ///< cloud -> sensor: handshake nonce + key proof
 };
 
 struct Envelope {
   MessageType type = MessageType::kError;
   std::uint64_t session_id = 0;
   std::uint64_t device_id = 0;  ///< sending/addressed device, MAC-covered
+  /// Monotonic command counter, MAC-covered. 0 marks the legacy
+  /// static-key plane (and the handshake itself); session-keyed
+  /// commands count from 1 and the server validates them against a
+  /// sliding anti-replay window (see cloud::SessionAuthTable).
+  std::uint32_t counter = 0;
   std::vector<std::uint8_t> payload;
-  crypto::Sha256Digest mac{};  ///< HMAC over type|session|device|payload
+  crypto::Sha256Digest mac{};  ///< HMAC over type|session|device|ctr|payload
 
   /// Serialize (without framing; see net/frame.h).
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static Envelope deserialize(std::span<const std::uint8_t> bytes);
 };
 
-/// Build an authenticated envelope.
+/// Build an authenticated envelope. `counter` stays 0 on the legacy
+/// static-key plane; session-keyed traffic stamps the device's next
+/// command counter.
 Envelope make_envelope(MessageType type, std::uint64_t session_id,
                        std::uint64_t device_id,
                        std::vector<std::uint8_t> payload,
-                       std::span<const std::uint8_t> mac_key);
+                       std::span<const std::uint8_t> mac_key,
+                       std::uint32_t counter = 0);
 
 /// Verify the envelope's MAC.
 bool verify_envelope(const Envelope& envelope,
@@ -79,6 +90,35 @@ struct AuthPassPayload {
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
   static AuthPassPayload deserialize(std::span<const std::uint8_t> bytes);
+};
+
+/// AuthChallenge payload (sensor -> cloud, opens the EV2-style
+/// handshake): the device's fresh 16-byte nonce plus the master-key
+/// epoch its diversified key was personalized under, so the server
+/// derives with the matching master during a rotation grace window.
+/// The envelope carrying it is MAC'd with the device's *long-term*
+/// key and counter 0; everything after the handshake runs on derived
+/// session keys.
+struct AuthChallengePayload {
+  static constexpr std::size_t kNonceSize = 16;
+  std::uint32_t key_epoch = 0;
+  std::array<std::uint8_t, kNonceSize> challenge{};  ///< RndA
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static AuthChallengePayload deserialize(std::span<const std::uint8_t> bytes);
+};
+
+/// AuthResponse payload (cloud -> sensor, closes the handshake): the
+/// server's 16-byte nonce and CMAC(device_key, RndB || RndA) — proof the
+/// server actually holds (or can derive) the device key. The device
+/// verifies the proof in constant time before deriving session keys.
+struct AuthResponsePayload {
+  static constexpr std::size_t kNonceSize = 16;
+  std::array<std::uint8_t, kNonceSize> challenge{};  ///< RndB
+  std::array<std::uint8_t, 16> proof{};
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static AuthResponsePayload deserialize(std::span<const std::uint8_t> bytes);
 };
 
 /// Binary serialization of a multi-channel acquisition.
@@ -127,6 +167,10 @@ enum class ErrorCode : std::uint8_t {
   kOverloaded = 4,       ///< admission gate shed the request
   kMalformed = 5,        ///< undecodable payload / unroutable type
   kSessionConflict = 6,  ///< session_id replayed with different bytes
+  kStaleCounter = 7,     ///< command counter outside the anti-replay window
+  kAuthRequired = 8,     ///< no session for this (device, session_id)
+  kRevoked = 9,          ///< device on the revocation list
+  kBadEpoch = 10,        ///< handshake named a retired/unknown key epoch
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code);

@@ -91,6 +91,34 @@ std::optional<net::Envelope> PhoneRelay::reliable_exchange(
   return net::Envelope::deserialize(*result);
 }
 
+bool PhoneRelay::establish_session(core::Controller& controller,
+                                   std::uint64_t session_id,
+                                   cloud::CloudServer& server) {
+  auto* crypto = controller.session_crypto();
+  if (crypto == nullptr) return false;
+  report("negotiating session keys");
+  const auto challenge = crypto->make_challenge(session_id);
+
+  net::Envelope response;
+  if (config_.reliable_transport) {
+    auto exchanged = reliable_exchange(
+        challenge,
+        [&](const net::Envelope& req) { return server.handle(req); });
+    if (!exchanged.has_value()) {
+      report("session negotiation failed: cloud unreachable");
+      return false;
+    }
+    response = std::move(*exchanged);
+  } else {
+    response = server.handle(challenge);
+  }
+
+  const bool ok = crypto->complete(response);
+  report(ok ? "session keys established"
+            : "session negotiation failed: proof rejected");
+  return ok;
+}
+
 core::PeakReport PhoneRelay::run_local_analysis(
     const util::MultiChannelSeries& series,
     const cloud::AnalysisConfig& config) {
@@ -103,11 +131,20 @@ core::PeakReport PhoneRelay::run_local_analysis(
 
 net::Envelope PhoneRelay::relay_analysis(
     const util::MultiChannelSeries& series, std::uint64_t session_id,
-    cloud::CloudServer& server, std::span<const std::uint8_t> mac_key) {
+    cloud::CloudServer& server, std::span<const std::uint8_t> mac_key,
+    core::SessionCrypto* crypto) {
   const auto payload = build_payload(series);
-  const auto upload =
-      net::make_envelope(net::MessageType::kSignalUpload, session_id,
-                         config_.device_id, payload.serialize(), mac_key);
+  std::uint32_t counter = 0;
+  std::vector<std::uint8_t> session_key;
+  if (crypto != nullptr && crypto->active()) {
+    session_id = crypto->session_id();
+    counter = crypto->next_counter();
+    session_key = crypto->session_mac_key();
+    mac_key = session_key;
+  }
+  const auto upload = net::make_envelope(
+      net::MessageType::kSignalUpload, session_id, config_.device_id,
+      payload.serialize(), mac_key, counter);
   report("uploading to cloud");
 
   net::Envelope response;
@@ -146,14 +183,23 @@ net::Envelope PhoneRelay::relay_auth(const util::MultiChannelSeries& series,
                                      double volume_ul,
                                      cloud::CloudServer& server,
                                      std::span<const std::uint8_t> mac_key,
-                                     double duration_s) {
+                                     double duration_s,
+                                     core::SessionCrypto* crypto) {
   net::AuthPassPayload pass;
   pass.upload = build_payload(series);
   pass.volume_ul = volume_ul;
   pass.duration_s = duration_s;
+  std::uint32_t counter = 0;
+  std::vector<std::uint8_t> session_key;
+  if (crypto != nullptr && crypto->active()) {
+    session_id = crypto->session_id();
+    counter = crypto->next_counter();
+    session_key = crypto->session_mac_key();
+    mac_key = session_key;
+  }
   const auto upload =
       net::make_envelope(net::MessageType::kAuthPass, session_id,
-                         config_.device_id, pass.serialize(), mac_key);
+                         config_.device_id, pass.serialize(), mac_key, counter);
   report("uploading authentication pass");
 
   net::Envelope response;
@@ -190,6 +236,19 @@ SessionOutcome PhoneRelay::run_diagnostic_session(
       std::max<std::size_t>(1, controller.retry_policy().max_attempts);
   util::MultiChannelSeries last_series;
 
+  // Session-crypto plane: handshake once up front; all attempts then
+  // share the negotiated session, distinguished by command counter. The
+  // handshake (and each re-handshake) consumes its own id above
+  // session_base_id so the server's idempotency cache never sees two
+  // different challenges under one key.
+  core::SessionCrypto* crypto = controller.session_crypto();
+  std::uint64_t handshakes = 0;
+  if (crypto != nullptr && !crypto->active()) {
+    if (!establish_session(controller, session_base_id + handshakes, server))
+      report("continuing on the legacy static-key plane");
+    ++handshakes;
+  }
+
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
     const auto control = attempt == 0
                              ? controller.begin_session(duration_s)
@@ -198,13 +257,36 @@ SessionOutcome PhoneRelay::run_diagnostic_session(
     last_series = acquire(control, duration_s, attempt);
     ++outcome.attempts;
 
-    // Each attempt gets its own session id: the server's idempotency
-    // cache would flag a re-acquisition under the old id as a replay
-    // with a different payload (kSessionConflict).
+    // Each attempt gets its own session id (legacy plane) or its own
+    // command counter (session plane): the server's idempotency cache
+    // would flag a re-acquisition under the old key as a replay with a
+    // different payload (kSessionConflict).
     outcome.last_response = relay_analysis(
-        last_series, session_base_id + attempt, server, mac_key);
+        last_series, session_base_id + attempt, server, mac_key, crypto);
     outcome.retransmissions += timing_.retransmissions;
     outcome.timeouts += timing_.timeouts;
+
+    // kAuthRequired means the server no longer holds our session — it
+    // restarted or the fleet was re-keyed. Re-handshake under a fresh
+    // id (counters restart under the new key) and resend this attempt.
+    if (crypto != nullptr && crypto->active() &&
+        outcome.last_response.type == net::MessageType::kError) {
+      const auto probe =
+          net::ErrorPayload::deserialize(outcome.last_response.payload);
+      if (probe.code == net::ErrorCode::kAuthRequired) {
+        report("server dropped the session; re-keying");
+        crypto->invalidate();
+        if (establish_session(controller, session_base_id + handshakes,
+                              server)) {
+          outcome.last_response = relay_analysis(
+              last_series, session_base_id + attempt, server, mac_key,
+              crypto);
+          outcome.retransmissions += timing_.retransmissions;
+          outcome.timeouts += timing_.timeouts;
+        }
+        ++handshakes;
+      }
+    }
 
     if (outcome.last_response.type == net::MessageType::kAnalysisResult) {
       const auto peaks =

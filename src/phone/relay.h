@@ -99,21 +99,37 @@ class PhoneRelay {
  public:
   explicit PhoneRelay(RelayConfig config = {});
 
+  /// Run the controller's AuthChallenge/AuthResponse handshake against
+  /// the cloud (over the reliable links when configured) and leave its
+  /// SessionCrypto holding derived session keys. Returns false — with
+  /// no session active — when the controller has no session crypto
+  /// armed, the exchange could not be delivered, or the server's
+  /// key-possession proof failed verification.
+  bool establish_session(core::Controller& controller,
+                         std::uint64_t session_id,
+                         cloud::CloudServer& server);
+
   /// Relay an encrypted acquisition to the cloud for analysis and return
   /// the cloud's analysis-result envelope. Populates timing().
+  /// With an *active* `crypto`, the envelope rides the session plane:
+  /// MAC'd with the derived session key, stamped with the next command
+  /// counter, and addressed to the negotiated session id (the
+  /// `session_id` argument is ignored then).
   net::Envelope relay_analysis(const util::MultiChannelSeries& series,
                                std::uint64_t session_id,
                                cloud::CloudServer& server,
-                               std::span<const std::uint8_t> mac_key);
+                               std::span<const std::uint8_t> mac_key,
+                               core::SessionCrypto* crypto = nullptr);
 
   /// Relay a plaintext auth pass; returns the auth-decision envelope.
   /// `duration_s` (when nonzero) lets the server correct coincidence
-  /// losses in the bead census.
+  /// losses in the bead census. `crypto` works as in relay_analysis().
   net::Envelope relay_auth(const util::MultiChannelSeries& series,
                            std::uint64_t session_id, double volume_ul,
                            cloud::CloudServer& server,
                            std::span<const std::uint8_t> mac_key,
-                           double duration_s = 0.0);
+                           double duration_s = 0.0,
+                           core::SessionCrypto* crypto = nullptr);
 
   /// Run the peak analysis locally on the phone (small-sample mode).
   /// Returns the report and records the profile-scaled analysis time.
@@ -129,6 +145,15 @@ class PhoneRelay {
   /// conflates them. When the budget is exhausted the session degrades
   /// to an on-phone best-effort analysis with the policy's confidence
   /// downgrade — it does not throw.
+  ///
+  /// When the controller has session crypto armed, the loop handshakes
+  /// once up front and every attempt rides the *same* negotiated
+  /// session with incrementing command counters (the cache keys on the
+  /// counter, so attempts never conflate). A kAuthRequired error —
+  /// the server lost the session to a restart or key rotation —
+  /// triggers one re-handshake under a fresh session id and a resend,
+  /// with counters restarting under the new key. A handshake that
+  /// cannot complete at all degrades to the legacy static-key plane.
   SessionOutcome run_diagnostic_session(
       core::Controller& controller, double duration_s,
       const AcquireFn& acquire, std::uint64_t session_base_id,

@@ -377,7 +377,7 @@ TEST(CloudServer, DeviceRevocationTakesEffect) {
             net::MessageType::kAnalysisResult);
   server.devices().revoke(kDevice);
   expect_error(server.handle(upload_of(dip_series(1), 2)),
-               net::ErrorCode::kUnknownDevice);
+               net::ErrorCode::kRevoked);
 }
 
 // The TSan regression for the old racy `last_quality_` member: one

@@ -39,6 +39,12 @@ void try_payload(const medsen::net::Envelope& envelope) {
     case MessageType::kAuthPass:
       (void)medsen::net::AuthPassPayload::deserialize(payload);
       break;
+    case MessageType::kAuthChallenge:
+      (void)medsen::net::AuthChallengePayload::deserialize(payload);
+      break;
+    case MessageType::kAuthResponse:
+      (void)medsen::net::AuthResponsePayload::deserialize(payload);
+      break;
     case MessageType::kProgress:
     default:
       break;

@@ -1,0 +1,44 @@
+// Fuzz target: the AuthChallenge/AuthResponse handshake payload
+// decoders — the two messages a hostile relay can feed either end of
+// the EV2-style session handshake. The first input byte selects the
+// decoder (even = challenge, odd = response); the rest is the payload.
+//
+// Properties checked on accepted inputs:
+//   * serialize(deserialize(x)) == x  (strict decoding is a bijection)
+//   * rejection is always one of the two structured exception types
+//     (trailing bytes and truncation must throw, never mis-decode)
+
+#include "fuzz_target.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/messages.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::span<const std::uint8_t> body(data + 1, size - 1);
+  std::vector<std::uint8_t> round_trip;
+  try {
+    if ((data[0] & 1) == 0) {
+      const auto challenge = medsen::net::AuthChallengePayload::deserialize(body);
+      round_trip = challenge.serialize();
+    } else {
+      const auto response = medsen::net::AuthResponsePayload::deserialize(body);
+      round_trip = response.serialize();
+    }
+  } catch (const std::out_of_range&) {
+    return 0;  // truncated
+  } catch (const std::runtime_error&) {
+    return 0;  // strictness rejection (trailing bytes)
+  }
+
+  if (round_trip.size() != body.size() ||
+      !std::equal(round_trip.begin(), round_trip.end(), body.begin()))
+    std::abort();  // accepted input failed to round-trip bit-identically
+  return 0;
+}

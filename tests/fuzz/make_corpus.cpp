@@ -81,6 +81,60 @@ int main(int argc, char** argv) {
         medsen::net::make_envelope(MessageType::kProgress, 0, 0, {}, key)
             .serialize());
 
+  medsen::net::AuthChallengePayload challenge;
+  challenge.key_epoch = 1;
+  for (std::size_t i = 0; i < challenge.challenge.size(); ++i)
+    challenge.challenge[i] = static_cast<std::uint8_t>(0xA0 + i);
+  write(root / "envelope", "auth_challenge.bin",
+        medsen::net::make_envelope(MessageType::kAuthChallenge, 11, 5,
+                                   challenge.serialize(), key)
+            .serialize());
+
+  medsen::net::AuthResponsePayload handshake_response;
+  for (std::size_t i = 0; i < handshake_response.challenge.size(); ++i) {
+    handshake_response.challenge[i] = static_cast<std::uint8_t>(0xB0 + i);
+    handshake_response.proof[i] = static_cast<std::uint8_t>(0xC0 + i);
+  }
+  write(root / "envelope", "auth_response.bin",
+        medsen::net::make_envelope(MessageType::kAuthResponse, 11, 5,
+                                   handshake_response.serialize(), key)
+            .serialize());
+
+  // A session-plane command: nonzero counter, MAC-covered.
+  write(root / "envelope", "counter_upload.bin",
+        medsen::net::make_envelope(MessageType::kSignalUpload, 11, 5,
+                                   upload.serialize(), key, /*counter=*/3)
+            .serialize());
+
+  // --- handshake ------------------------------------------------------
+  // First corpus byte selects the decoder: even = challenge, odd =
+  // response (matching fuzz_handshake.cpp).
+  {
+    std::vector<std::uint8_t> seed;
+    seed.push_back(0);
+    const auto chal_bytes = challenge.serialize();
+    seed.insert(seed.end(), chal_bytes.begin(), chal_bytes.end());
+    write(root / "handshake", "challenge.bin", seed);
+
+    seed.clear();
+    seed.push_back(1);
+    const auto resp_bytes = handshake_response.serialize();
+    seed.insert(seed.end(), resp_bytes.begin(), resp_bytes.end());
+    write(root / "handshake", "response.bin", seed);
+
+    // Strictness probes: truncated and trailing-byte variants.
+    seed.clear();
+    seed.push_back(0);
+    seed.insert(seed.end(), chal_bytes.begin(), chal_bytes.end() - 1);
+    write(root / "handshake", "challenge_truncated.bin", seed);
+
+    seed.clear();
+    seed.push_back(1);
+    seed.insert(seed.end(), resp_bytes.begin(), resp_bytes.end());
+    seed.push_back(0xFF);
+    write(root / "handshake", "response_trailing.bin", seed);
+  }
+
   // --- frame ----------------------------------------------------------
   write(root / "frame", "empty.bin", medsen::net::frame_encode({}));
   write(root / "frame", "short.bin",

@@ -89,6 +89,83 @@ TEST(Restart, AuthenticationSurvivesServerRestart) {
   std::remove(records_path.c_str());
 }
 
+// The keying plane across a restart: the device registry (legacy keys,
+// master epochs, enrollment/revocation) persists and reloads, but
+// negotiated sessions deliberately do NOT — the restarted server answers
+// in-session traffic with kAuthRequired and the device re-handshakes,
+// with counter state starting fresh under the new session key.
+TEST(Restart, SessionsDieButRegistrySurvivesRestart) {
+  const std::string registry_path =
+      std::string(::testing::TempDir()) + "/medsen_restart_registry.bin";
+
+  const std::vector<std::uint8_t> mac_key = {0x44, 0x55};
+  const auto design = sim::standard_design(9);
+  core::KeyParams params;
+  params.num_electrodes = 9;
+  core::Controller controller(params, design,
+                              core::DiagnosticProfile::cd4_staging(), 3);
+  phone::PhoneRelay relay;
+  controller.enable_session_crypto(relay.config().device_id, mac_key);
+
+  util::MultiChannelSeries series;
+  series.carrier_frequencies_hz = {5.0e5};
+  util::TimeSeries ts(450.0);
+  for (std::size_t i = 0; i < 9000; ++i) {
+    const double t = static_cast<double>(i) / 450.0;
+    const double z = (t - 5.0) / 0.008;
+    double v = 1.0 - 0.01 * std::exp(-0.5 * z * z);
+    v += 1e-5 * static_cast<double>(static_cast<int>((i * 7) % 11) - 5);
+    ts.push_back(v);
+  }
+  series.channels.push_back(std::move(ts));
+
+  // --- First lifetime: provision, handshake, run session commands,
+  // persist the registry (sessions are not persisted by design).
+  {
+    auto server = cloud::CloudServer(cloud::AnalysisConfig{},
+                                     auth::CytoAlphabet{},
+                                     auth::ParticleClassifier::train({}));
+    server.provision_device(relay.config().device_id, mac_key);
+    server.rotate_master_key(1, std::vector<std::uint8_t>(16, 0x5a));
+    server.enroll_device(99);
+
+    ASSERT_TRUE(relay.establish_session(controller, 100, server));
+    const auto response = relay.relay_analysis(series, 0, server, {},
+                                               controller.session_crypto());
+    ASSERT_EQ(response.type, net::MessageType::kAnalysisResult);
+    EXPECT_EQ(response.counter, 1u);
+
+    cloud::save_registry(server.devices(), registry_path);
+  }
+
+  // --- Second lifetime: reload the registry into a fresh server.
+  auto server = cloud::CloudServer(cloud::AnalysisConfig{},
+                                   auth::CytoAlphabet{},
+                                   auth::ParticleClassifier::train({}));
+  cloud::load_registry(server.devices(), registry_path);
+  EXPECT_EQ(server.devices().current_epoch(), 1u);
+  EXPECT_TRUE(server.devices().lookup(99).has_value());
+
+  // The old session died with the process: its counters resume mid-way
+  // and the server, holding no session, demands a fresh handshake.
+  auto* crypto = controller.session_crypto();
+  ASSERT_TRUE(crypto->active());
+  const auto stale = relay.relay_analysis(series, 0, server, {}, crypto);
+  ASSERT_EQ(stale.type, net::MessageType::kError);
+  EXPECT_EQ(net::ErrorPayload::deserialize(stale.payload).code,
+            net::ErrorCode::kAuthRequired);
+
+  // Re-handshake against the reloaded registry; counters restart at 1.
+  crypto->invalidate();
+  ASSERT_TRUE(relay.establish_session(controller, 101, server));
+  const auto fresh = relay.relay_analysis(series, 0, server, {}, crypto);
+  ASSERT_EQ(fresh.type, net::MessageType::kAnalysisResult);
+  EXPECT_EQ(fresh.counter, 1u);
+  EXPECT_TRUE(net::verify_envelope(fresh, crypto->session_mac_key()));
+
+  std::remove(registry_path.c_str());
+}
+
 // A crash between opening the output file and finishing the write must
 // not destroy the previous good database. save_enrollments/save_records
 // write a sibling .tmp and rename it into place, so the worst a crash

@@ -40,6 +40,23 @@ TEST(Messages, TamperedDeviceIdFailsMac) {
   EXPECT_FALSE(verify_envelope(envelope, kKey));
 }
 
+TEST(Messages, EnvelopeCounterRoundTrip) {
+  const auto envelope =
+      make_envelope(MessageType::kSignalUpload, 42, 17, {9, 8, 7}, kKey, 31);
+  const auto restored = Envelope::deserialize(envelope.serialize());
+  EXPECT_EQ(restored.counter, 31u);
+  EXPECT_TRUE(verify_envelope(restored, kKey));
+}
+
+TEST(Messages, TamperedCounterFailsMac) {
+  // The command counter is the anti-replay ordinal; a relay must not be
+  // able to rewrite it without breaking the MAC.
+  auto envelope =
+      make_envelope(MessageType::kSignalUpload, 1, 1, {1, 2}, kKey, 5);
+  envelope.counter = 6;
+  EXPECT_FALSE(verify_envelope(envelope, kKey));
+}
+
 TEST(Messages, WrongKeyFailsMac) {
   const auto envelope =
       make_envelope(MessageType::kSignalUpload, 1, 1, {1, 2}, kKey);
@@ -122,6 +139,33 @@ TEST(Messages, ErrorCodeNames) {
   EXPECT_STREQ(to_string(ErrorCode::kOverloaded), "overloaded");
   EXPECT_STREQ(to_string(ErrorCode::kMalformed), "malformed request");
   EXPECT_STREQ(to_string(ErrorCode::kSessionConflict), "session conflict");
+  EXPECT_STREQ(to_string(ErrorCode::kStaleCounter), "stale counter");
+  EXPECT_STREQ(to_string(ErrorCode::kAuthRequired), "authentication required");
+  EXPECT_STREQ(to_string(ErrorCode::kRevoked), "device revoked");
+  EXPECT_STREQ(to_string(ErrorCode::kBadEpoch), "bad key epoch");
+}
+
+TEST(Messages, AuthChallengePayloadRoundTrip) {
+  AuthChallengePayload payload;
+  payload.key_epoch = 3;
+  for (std::size_t i = 0; i < payload.challenge.size(); ++i)
+    payload.challenge[i] = static_cast<std::uint8_t>(i * 7);
+  const auto restored =
+      AuthChallengePayload::deserialize(payload.serialize());
+  EXPECT_EQ(restored.key_epoch, 3u);
+  EXPECT_EQ(restored.challenge, payload.challenge);
+}
+
+TEST(Messages, AuthResponsePayloadRoundTrip) {
+  AuthResponsePayload payload;
+  for (std::size_t i = 0; i < payload.challenge.size(); ++i) {
+    payload.challenge[i] = static_cast<std::uint8_t>(i + 1);
+    payload.proof[i] = static_cast<std::uint8_t>(0xF0 - i);
+  }
+  const auto restored =
+      AuthResponsePayload::deserialize(payload.serialize());
+  EXPECT_EQ(restored.challenge, payload.challenge);
+  EXPECT_EQ(restored.proof, payload.proof);
 }
 
 TEST(Messages, SeriesRoundTrip) {
@@ -231,6 +275,45 @@ TEST(Messages, ErrorPayloadTrailingBytesRejected) {
   EXPECT_THROW(ErrorPayload::deserialize(bytes), std::runtime_error);
   bytes.pop_back();
   EXPECT_NO_THROW(ErrorPayload::deserialize(bytes));
+}
+
+TEST(Messages, AuthChallengePayloadTrailingBytesRejected) {
+  AuthChallengePayload payload;
+  payload.key_epoch = 1;
+  auto bytes = payload.serialize();
+  bytes.push_back(0x99);
+  EXPECT_THROW(AuthChallengePayload::deserialize(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(AuthChallengePayload::deserialize(bytes));
+}
+
+TEST(Messages, AuthChallengePayloadTruncatedThrows) {
+  AuthChallengePayload payload;
+  const auto bytes = payload.serialize();
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::span<const std::uint8_t> cut(bytes.data(), n);
+    EXPECT_ANY_THROW(AuthChallengePayload::deserialize(cut))
+        << "prefix of " << n << " bytes";
+  }
+}
+
+TEST(Messages, AuthResponsePayloadTrailingBytesRejected) {
+  AuthResponsePayload payload;
+  auto bytes = payload.serialize();
+  bytes.push_back(0x77);
+  EXPECT_THROW(AuthResponsePayload::deserialize(bytes), std::runtime_error);
+  bytes.pop_back();
+  EXPECT_NO_THROW(AuthResponsePayload::deserialize(bytes));
+}
+
+TEST(Messages, AuthResponsePayloadTruncatedThrows) {
+  AuthResponsePayload payload;
+  const auto bytes = payload.serialize();
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::span<const std::uint8_t> cut(bytes.data(), n);
+    EXPECT_ANY_THROW(AuthResponsePayload::deserialize(cut))
+        << "prefix of " << n << " bytes";
+  }
 }
 
 TEST(Messages, SeriesTrailingBytesRejected) {

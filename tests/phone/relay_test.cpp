@@ -269,6 +269,170 @@ TEST(PhoneRelay, UnprovisionedDeviceArrivesAsError) {
   EXPECT_EQ(error.code, net::ErrorCode::kUnknownDevice);
 }
 
+// --- Session-plane (EV2-style) relay tests ----------------------------
+
+core::Controller make_controller(std::uint64_t seed = 11) {
+  core::KeyParams key_params;
+  key_params.num_electrodes = 9;
+  key_params.period_s = 4.0;
+  return core::Controller(key_params, sim::standard_design(9),
+                          core::DiagnosticProfile::cd4_staging(), seed);
+}
+
+// AcquireFn that ignores the control trace and hands back a clean
+// acquisition — these tests exercise the session plane, not the sensor.
+AcquireFn clean_acquire() {
+  return [](std::span<const sim::ControlSegment>, double, std::size_t) {
+    return dip_series(3);
+  };
+}
+
+TEST(PhoneRelay, EstablishSessionDerivesMatchingKeys) {
+  auto server = make_server();
+  auto controller = make_controller();
+  PhoneRelay relay;
+  server.provision_device(relay.config().device_id, kMacKey);
+  controller.enable_session_crypto(relay.config().device_id, kMacKey);
+
+  ASSERT_TRUE(relay.establish_session(controller, 100, server));
+  auto* crypto = controller.session_crypto();
+  ASSERT_NE(crypto, nullptr);
+  EXPECT_TRUE(crypto->active());
+  const auto server_key =
+      server.sessions().session_key(relay.config().device_id, 100);
+  ASSERT_TRUE(server_key.has_value());
+  EXPECT_EQ(*server_key, crypto->session_mac_key());
+}
+
+TEST(PhoneRelay, EstablishSessionFailsWithoutArmedCrypto) {
+  auto server = make_server();
+  auto controller = make_controller();
+  PhoneRelay relay;
+  server.provision_device(relay.config().device_id, kMacKey);
+  EXPECT_FALSE(relay.establish_session(controller, 100, server));
+}
+
+TEST(PhoneRelay, SessionPlaneRelayStampsCounters) {
+  auto server = make_server();
+  auto controller = make_controller();
+  PhoneRelay relay;
+  server.provision_device(relay.config().device_id, kMacKey);
+  controller.enable_session_crypto(relay.config().device_id, kMacKey);
+  ASSERT_TRUE(relay.establish_session(controller, 100, server));
+  auto* crypto = controller.session_crypto();
+
+  const auto series = dip_series(3);
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    const auto response =
+        relay.relay_analysis(series, /*session_id=*/0, server, {}, crypto);
+    ASSERT_EQ(response.type, net::MessageType::kAnalysisResult);
+    EXPECT_EQ(response.counter, i);
+    EXPECT_EQ(response.session_id, 100u);
+    EXPECT_TRUE(net::verify_envelope(response, crypto->session_mac_key()));
+  }
+}
+
+TEST(PhoneRelay, SessionLossSurfacesAuthRequired) {
+  auto server = make_server();
+  auto controller = make_controller();
+  PhoneRelay relay;
+  server.provision_device(relay.config().device_id, kMacKey);
+  controller.enable_session_crypto(relay.config().device_id, kMacKey);
+  ASSERT_TRUE(relay.establish_session(controller, 100, server));
+  auto* crypto = controller.session_crypto();
+
+  // The server forgets the session (restart / rotation)...
+  server.sessions().drop(relay.config().device_id);
+  const auto response =
+      relay.relay_analysis(dip_series(3), 0, server, {}, crypto);
+  ASSERT_EQ(response.type, net::MessageType::kError);
+  EXPECT_EQ(net::ErrorPayload::deserialize(response.payload).code,
+            net::ErrorCode::kAuthRequired);
+
+  // ...and a fresh handshake restores service with counters reset.
+  crypto->invalidate();
+  ASSERT_TRUE(relay.establish_session(controller, 101, server));
+  const auto again = relay.relay_analysis(dip_series(3), 0, server, {}, crypto);
+  EXPECT_EQ(again.type, net::MessageType::kAnalysisResult);
+  EXPECT_EQ(again.counter, 1u);
+}
+
+TEST(PhoneRelay, DiagnosticSessionRidesSessionPlane) {
+  auto server = make_server();
+  auto controller = make_controller();
+  PhoneRelay relay;
+  server.provision_device(relay.config().device_id, kMacKey);
+  controller.enable_session_crypto(relay.config().device_id, kMacKey);
+
+  const auto outcome = relay.run_diagnostic_session(
+      controller, 20.0, clean_acquire(), /*session_base_id=*/100, server,
+      kMacKey);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_FALSE(outcome.degraded);
+  // One handshake, and the analysis rode the negotiated session with a
+  // MAC under the derived key, not the static kMacKey.
+  EXPECT_EQ(server.stats().handshakes_completed, 1u);
+  EXPECT_EQ(outcome.last_response.counter, 1u);
+  auto* crypto = controller.session_crypto();
+  ASSERT_NE(crypto, nullptr);
+  EXPECT_TRUE(
+      net::verify_envelope(outcome.last_response, crypto->session_mac_key()));
+}
+
+// Mid-session re-key: the server drops the session between the
+// handshake and the first command (the AcquireFn is the hook that runs
+// in exactly that gap). The loop must re-handshake and resend instead
+// of failing the attempt.
+TEST(PhoneRelay, DiagnosticSessionRekeysAfterServerSessionLoss) {
+  auto server = make_server();
+  auto controller = make_controller();
+  PhoneRelay relay;
+  server.provision_device(relay.config().device_id, kMacKey);
+  controller.enable_session_crypto(relay.config().device_id, kMacKey);
+
+  bool dropped = false;
+  const AcquireFn acquire =
+      [&](std::span<const sim::ControlSegment>, double, std::size_t) {
+        if (!dropped) {
+          server.sessions().drop(relay.config().device_id);
+          dropped = true;
+        }
+        return dip_series(3);
+      };
+
+  const auto outcome = relay.run_diagnostic_session(
+      controller, 20.0, acquire, /*session_base_id=*/100, server, kMacKey);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_FALSE(outcome.degraded);
+  EXPECT_EQ(server.stats().handshakes_completed, 2u);
+  // The resend restarted counters under the re-keyed session.
+  EXPECT_EQ(outcome.last_response.counter, 1u);
+  auto* crypto = controller.session_crypto();
+  EXPECT_TRUE(
+      net::verify_envelope(outcome.last_response, crypto->session_mac_key()));
+}
+
+// ARQ retransmissions on lossy links must never trip the anti-replay
+// window: a retransmitted command finds the cached response; only a
+// *new* envelope reusing a burned counter is rejected.
+TEST(PhoneRelay, SessionPlaneSurvivesLossyTransport) {
+  auto server = make_server();
+  auto controller = make_controller();
+  auto config = lossy_config(0.08);
+  config.reliable.retry_budget = 400;
+  PhoneRelay relay(config);
+  server.provision_device(relay.config().device_id, kMacKey);
+  controller.enable_session_crypto(relay.config().device_id, kMacKey);
+
+  ASSERT_TRUE(relay.establish_session(controller, 100, server));
+  auto* crypto = controller.session_crypto();
+  const auto response =
+      relay.relay_analysis(dip_series(3), 0, server, {}, crypto);
+  ASSERT_EQ(response.type, net::MessageType::kAnalysisResult);
+  EXPECT_EQ(response.counter, 1u);
+  EXPECT_EQ(server.stats().counter_rejections, 0u);
+}
+
 TEST(PhoneRelay, Profiles) {
   EXPECT_DOUBLE_EQ(computer_profile().slowdown, 1.0);
   EXPECT_GT(nexus5_profile().slowdown, 3.0);

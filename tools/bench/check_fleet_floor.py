@@ -27,6 +27,9 @@ REQUIRED_KEYS = (
     "requests_sent",
     "replays",
     "shed",
+    "session.handshakes_per_sec",
+    "session.rehandshakes",
+    "session.counter_rejections",
 )
 
 
@@ -55,18 +58,36 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
-    throughput = float(counters["throughput_rps"])
-    baseline = float(floor["throughput_rps"])
     tolerance = float(floor.get("allowed_regression", 0.30))
-    minimum = baseline * (1.0 - tolerance)
+    floors = (
+        ("throughput_rps", "throughput_rps", "req/s"),
+        ("session.handshakes_per_sec", "session_handshakes_per_sec",
+         "handshakes/s"),
+    )
+    failed = False
+    for counter_key, floor_key, unit in floors:
+        measured = float(counters[counter_key])
+        baseline = float(floor[floor_key])
+        minimum = baseline * (1.0 - tolerance)
+        print(f"{counter_key} {measured:.0f} {unit} "
+              f"(floor {baseline:.0f}, minimum after {tolerance:.0%} "
+              f"tolerance: {minimum:.0f})")
+        if measured < minimum:
+            print(f"check_fleet_floor: REGRESSION — {measured:.0f} {unit} "
+                  f"is more than {tolerance:.0%} below the {baseline:.0f} "
+                  f"{unit} floor for {counter_key}", file=sys.stderr)
+            failed = True
 
-    print(f"throughput {throughput:.0f} req/s "
-          f"(floor {baseline:.0f}, minimum after {tolerance:.0%} "
-          f"tolerance: {minimum:.0f})")
-    if throughput < minimum:
-        print(f"check_fleet_floor: REGRESSION — {throughput:.0f} req/s is "
-              f"more than {tolerance:.0%} below the {baseline:.0f} req/s "
-              f"floor", file=sys.stderr)
+    # The rekey storm must actually exercise its paths: rotations force
+    # re-handshakes and the stale-counter replays must be rejected. Zero
+    # here means the session plane silently stopped doing its job.
+    for counter_key in ("session.rehandshakes", "session.counter_rejections"):
+        if int(counters[counter_key]) == 0:
+            print(f"check_fleet_floor: {counter_key} is 0 — the rekey "
+                  f"storm exercised nothing", file=sys.stderr)
+            failed = True
+
+    if failed:
         return 1
     print("check_fleet_floor: ok")
     return 0

@@ -45,6 +45,17 @@ Enforces project-specific correctness contracts that generic tooling
                     nothing fails. (util::Sharded itself lives in
                     src/util, outside the rule's scope.)
 
+  ct-compare        No variable-time comparison of MAC/key material in
+                    `src/crypto`, `src/cloud`, `src/net`: memcmp() and
+                    ==/!= on identifiers that look like secrets (mac,
+                    digest, proof, tag, *_key) are banned. Early-exit
+                    comparison is a byte-granular timing oracle on the
+                    very tags that authenticate the untrusted relay's
+                    traffic; every verifier must route through
+                    crypto::constant_time_equal (or digest_equal, which
+                    delegates to it). Container self-management
+                    (`key != keys.end()`, `== nullptr`) is out of scope.
+
   dsp-transcendental
                     No std::sin/std::cos inside loop bodies in the DSP
                     kernel files (src/dsp demod/oscillator/detrend/
@@ -60,7 +71,8 @@ Enforces project-specific correctness contracts that generic tooling
 
 Suppress a finding by appending `// medsen-lint: allow(<rule>)` to the
 offending line, where <rule> is one of: determinism, decoder-tests,
-unordered-serial, fault-stream, cloud-mutex, dsp-transcendental.
+unordered-serial, fault-stream, cloud-mutex, dsp-transcendental,
+ct-compare.
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage
 errors. Run from anywhere: `python3 tools/lint/medsen_lint.py [--root DIR]`.
@@ -121,6 +133,21 @@ CLOUD_MUTEX_DIRS = ("src/cloud",)
 CLOUD_MUTEX_DECL = re.compile(
     r"\bstd\s*::\s*(?:timed_|recursive_|shared_)*mutex\b"
     r"\s+\w+\s*(?:;|\{\s*\})")
+
+# Secret-bearing comparison sites: memcmp anywhere in the security
+# plane, and ==/!= where either operand names MAC/key material. The
+# identifier heuristic intentionally skips iterator/pointer idioms
+# (`!= keys.end()`, `== nullptr`) and size fields (`mac_key.size()`).
+CT_COMPARE_DIRS = ("src/crypto", "src/cloud", "src/net")
+CT_MEMCMP = re.compile(r"(?<![\w.:])(?:std\s*::\s*)?memcmp\s*\(")
+CT_SECRET_NAME = (
+    r"[A-Za-z_]*(?:mac|digest|proof|tag)[A-Za-z0-9_]*|[A-Za-z_]\w*_key\w*")
+CT_SECRET_CMP = re.compile(
+    r"(?:(?:" + CT_SECRET_NAME + r")(?:\.\w+)*\s*[=!]=|"
+    r"[=!]=\s*(?:" + CT_SECRET_NAME + r")\b)")
+CT_CMP_EXEMPT = re.compile(
+    r"[=!]=\s*(?:nullptr|NULL\b)|\.(?:end|begin|size|empty|length)\s*\(|"
+    r"\.has_value\s*\(|[=!]=\s*0\b")
 
 # DSP sample-kernel files where per-sample trig is banned inside loops.
 # FFT twiddle factors and noise synthesis are inherently trigonometric
@@ -204,6 +231,31 @@ def check_cloud_mutex(root: Path, findings: list[str]) -> None:
                         f"std::mutex member in the sharded service layer; "
                         f"route state through util::Sharded (per-shard "
                         f"locks) or use relaxed atomics for counters")
+
+
+def check_ct_compare(root: Path, findings: list[str]) -> None:
+    for sub in CT_COMPARE_DIRS:
+        for path in sorted((root / sub).rglob("*")):
+            if path.suffix not in (".h", ".cpp"):
+                continue
+            for lineno, raw in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if allowed(raw, "ct-compare"):
+                    continue
+                code = strip_comments_and_strings(raw)
+                if CT_MEMCMP.search(code):
+                    findings.append(
+                        f"{path.relative_to(root)}:{lineno}: [ct-compare] "
+                        f"memcmp in the security plane is a byte-granular "
+                        f"timing oracle; compare MAC/key material with "
+                        f"crypto::constant_time_equal")
+                    continue
+                if CT_SECRET_CMP.search(code) and not CT_CMP_EXEMPT.search(
+                        code):
+                    findings.append(
+                        f"{path.relative_to(root)}:{lineno}: [ct-compare] "
+                        f"==/!= on MAC/key material leaks a timing oracle; "
+                        f"use crypto::constant_time_equal (or digest_equal)")
 
 
 def check_dsp_transcendental(root: Path, findings: list[str]) -> None:
@@ -368,6 +420,7 @@ def main() -> int:
     check_determinism(root, findings)
     check_cloud_mutex(root, findings)
     check_fault_streams(root, findings)
+    check_ct_compare(root, findings)
     check_dsp_transcendental(root, findings)
     check_decoder_tests(root, findings)
     check_unordered_serialization(root, findings)
