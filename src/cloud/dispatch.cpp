@@ -12,7 +12,9 @@ DeviceRegistry::ProvisionResult DeviceRegistry::provision(
   return shards_.with(device_id, [&](DeviceShard& shard) {
     const bool known = shard.legacy.find(device_id) != shard.legacy.end() ||
                        shard.enrolled.find(device_id) != shard.enrolled.end();
-    shard.legacy[device_id] = std::move(mac_key);
+    // Adoption wipes the caller's vector; rotation wipes the old key
+    // inside the SecretBytes assignment.
+    shard.legacy[device_id] = util::SecretBytes(std::move(mac_key));
     shard.revoked.erase(device_id);
     return known ? ProvisionResult::kRotated : ProvisionResult::kNew;
   });
@@ -46,26 +48,26 @@ bool DeviceRegistry::has_legacy_key(std::uint64_t device_id) const {
   });
 }
 
-std::optional<std::vector<std::uint8_t>> DeviceRegistry::lookup(
+std::optional<util::SecretBytes> DeviceRegistry::lookup(
     std::uint64_t device_id) const {
   const auto direct = shards_.with(
       device_id,
       [&](const DeviceShard& shard)
-          -> std::optional<std::optional<std::vector<std::uint8_t>>> {
+          -> std::optional<std::optional<util::SecretBytes>> {
         if (shard.revoked.find(device_id) != shard.revoked.end())
-          return std::optional<std::vector<std::uint8_t>>{};
+          return std::optional<util::SecretBytes>{};
         const auto it = shard.legacy.find(device_id);
         if (it != shard.legacy.end())
-          return std::optional<std::vector<std::uint8_t>>{it->second};
+          return std::optional<util::SecretBytes>{it->second};
         if (shard.enrolled.find(device_id) == shard.enrolled.end())
-          return std::optional<std::vector<std::uint8_t>>{};
+          return std::optional<util::SecretBytes>{};
         return std::nullopt;  // enrolled: derive below, outside the lock
       });
   if (direct.has_value()) return *direct;
   return lookup_epoch(device_id, current_epoch());
 }
 
-std::optional<std::vector<std::uint8_t>> DeviceRegistry::lookup_epoch(
+std::optional<util::SecretBytes> DeviceRegistry::lookup_epoch(
     std::uint64_t device_id, std::uint32_t key_epoch) const {
   const bool derivable = shards_.with(device_id, [&](const DeviceShard& s) {
     return s.revoked.find(device_id) == s.revoked.end() &&
@@ -73,21 +75,22 @@ std::optional<std::vector<std::uint8_t>> DeviceRegistry::lookup_epoch(
   });
   if (!derivable) return std::nullopt;
   const auto master = masters_.with(
-      0, [&](const MasterState& m) -> std::optional<std::vector<std::uint8_t>> {
+      0, [&](const MasterState& m) -> std::optional<util::SecretBytes> {
         const auto it = m.by_epoch.find(key_epoch);
         if (it == m.by_epoch.end()) return std::nullopt;
         return it->second;
       });
   if (!master.has_value()) return std::nullopt;
   // Derivation runs outside every lock: CMAC cost must never extend a
-  // shard's critical section.
-  return crypto::diversify_device_key(*master, device_id, key_epoch);
+  // shard's critical section. Adoption wipes the KDF's working vector.
+  return util::SecretBytes(
+      crypto::diversify_device_key(*master, device_id, key_epoch));
 }
 
 void DeviceRegistry::set_master_key(std::uint32_t epoch,
                                     std::vector<std::uint8_t> master) {
   masters_.with(0, [&](MasterState& m) {
-    m.by_epoch[epoch] = std::move(master);
+    m.by_epoch[epoch] = util::SecretBytes(std::move(master));
     m.current_epoch = epoch;
   });
 }
@@ -131,7 +134,8 @@ RegistrySnapshot DeviceRegistry::snapshot() const {
   RegistrySnapshot snap;
   shards_.for_each_shard([&](const DeviceShard& shard) {
     for (const auto& [id, key] : shard.legacy)
-      snap.legacy_keys.emplace_back(id, key);
+      snap.legacy_keys.emplace_back(
+          id, std::vector<std::uint8_t>(key.data(), key.data() + key.size()));
     snap.enrolled.insert(snap.enrolled.end(), shard.enrolled.begin(),
                          shard.enrolled.end());
     snap.revoked.insert(snap.revoked.end(), shard.revoked.begin(),
@@ -139,7 +143,8 @@ RegistrySnapshot DeviceRegistry::snapshot() const {
   });
   masters_.with(0, [&](const MasterState& m) {
     for (const auto& [epoch, key] : m.by_epoch)
-      snap.masters.emplace_back(epoch, key);
+      snap.masters.emplace_back(
+          epoch, std::vector<std::uint8_t>(key.data(), key.data() + key.size()));
     snap.current_epoch = m.current_epoch;
   });
   // Sort everything: snapshots feed serialization, which must be
@@ -154,14 +159,17 @@ RegistrySnapshot DeviceRegistry::snapshot() const {
 void DeviceRegistry::restore(const RegistrySnapshot& snapshot) {
   shards_.for_each_shard([&](DeviceShard& shard) { shard = DeviceShard{}; });
   for (const auto& [id, key] : snapshot.legacy_keys)
-    shards_.with(id, [&, id = id](DeviceShard& s) { s.legacy[id] = key; });
+    shards_.with(id, [&, id = id](DeviceShard& s) {
+      s.legacy[id] = util::SecretBytes(std::span<const std::uint8_t>(key));
+    });
   for (const std::uint64_t id : snapshot.enrolled)
     shards_.with(id, [&](DeviceShard& s) { s.enrolled.insert(id); });
   for (const std::uint64_t id : snapshot.revoked)
     shards_.with(id, [&](DeviceShard& s) { s.revoked.insert(id); });
   masters_.with(0, [&](MasterState& m) {
     m = MasterState{};
-    for (const auto& [epoch, key] : snapshot.masters) m.by_epoch[epoch] = key;
+    for (const auto& [epoch, key] : snapshot.masters)
+      m.by_epoch[epoch] = util::SecretBytes(std::span<const std::uint8_t>(key));
     m.current_epoch = snapshot.current_epoch;
   });
 }

@@ -36,6 +36,7 @@
 
 #include "cloud/quality.h"
 #include "net/messages.h"
+#include "util/secret_bytes.h"
 #include "util/sharded.h"
 
 namespace medsen::cloud {
@@ -43,8 +44,10 @@ namespace medsen::cloud {
 /// A consistent, deterministic dump of registry state for persistence:
 /// every collection is sorted, so serialization never iterates an
 /// unordered container (the unordered-serial lint rule) and sealed
-/// snapshots are byte-identical across runs.
-struct RegistrySnapshot {
+/// snapshots are byte-identical across runs. This is the one sanctioned
+/// secret-to-plaintext boundary: keys leave their SecretBytes holders
+/// here precisely so the persistence layer can seal them to disk.
+struct RegistrySnapshot {  // medsen: allow(secret-flow)
   std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
       legacy_keys;  ///< sorted by device id
   std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>
@@ -102,13 +105,13 @@ class DeviceRegistry {
 
   /// The device's long-term key under the *current* epoch, or nullopt
   /// when unknown or revoked. Legacy keys win over derivation.
-  [[nodiscard]] std::optional<std::vector<std::uint8_t>> lookup(
+  [[nodiscard]] std::optional<util::SecretBytes> lookup(
       std::uint64_t device_id) const;
   /// Like lookup(), but derives under a specific epoch — the rotation
   /// grace path for devices still personalized under an older master.
   /// nullopt when that epoch's master is gone (retired) or the device
   /// is not enrolled. Legacy keys are epoch-less and never returned.
-  [[nodiscard]] std::optional<std::vector<std::uint8_t>> lookup_epoch(
+  [[nodiscard]] std::optional<util::SecretBytes> lookup_epoch(
       std::uint64_t device_id, std::uint32_t key_epoch) const;
 
   /// Install the master key for an epoch (16 bytes) and make it
@@ -142,14 +145,14 @@ class DeviceRegistry {
  private:
   /// Per-device state, sharded by device id.
   struct DeviceShard {
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> legacy;
+    std::unordered_map<std::uint64_t, util::SecretBytes> legacy;
     std::unordered_set<std::uint64_t> enrolled;
     std::unordered_set<std::uint64_t> revoked;
   };
   /// Fleet-wide keying state: tiny and rarely written, so it lives in a
   /// single-shard Sharded (routed with key 0) rather than a bare mutex.
   struct MasterState {
-    std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> by_epoch;
+    std::unordered_map<std::uint32_t, util::SecretBytes> by_epoch;
     std::uint32_t current_epoch = 0;
   };
 
@@ -260,9 +263,9 @@ class ServiceCounters {
 struct RequestContext {
   std::uint64_t device_id = 0;
   std::uint64_t session_id = 0;
-  std::vector<std::uint8_t> mac_key;  ///< resolved from the registry
-  QualityReport quality;              ///< filled by the upload handler
-  double processing_time_s = 0.0;     ///< filled by the dispatcher
+  util::SecretBytes mac_key;       ///< resolved from the registry
+  QualityReport quality;           ///< filled by the upload handler
+  double processing_time_s = 0.0;  ///< filled by the dispatcher
 };
 
 /// A handler's outcome. Success carries the response payload; failure

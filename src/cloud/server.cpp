@@ -7,6 +7,7 @@
 #include "compress/codec.h"
 #include "crypto/cmac.h"
 #include "util/csv.h"
+#include "util/secure_zero.h"
 #include "util/serialize.h"
 
 namespace medsen::cloud {
@@ -105,7 +106,7 @@ CloudServer::ResolvedKey CloudServer::resolve_mac_key(
           error_response(request, {}, net::ErrorCode::kMalformed, 0, e.what());
       return resolved;
     }
-    std::optional<std::vector<std::uint8_t>> key;
+    std::optional<util::SecretBytes> key;
     if (devices_.has_legacy_key(request.device_id)) {
       key = devices_.lookup(request.device_id);  // legacy keys are epoch-less
     } else {
@@ -366,9 +367,11 @@ ServiceResult CloudServer::serve_handshake(const net::Envelope& request,
   nonce_context.u64(request.device_id);
   nonce_context.u64(seq);
   nonce_context.bytes(challenge.challenge);
+  auto normalized = crypto::normalize_cmac_key(context.mac_key);  // medsen: secret
   const auto rnd_b_bytes = crypto::kdf_cmac(
-      crypto::normalize_cmac_key(context.mac_key), "medsen-chal",
+      normalized, "medsen-chal",
       nonce_context.data(), net::AuthResponsePayload::kNonceSize);
+  util::secure_wipe(normalized);
 
   net::AuthResponsePayload response;
   std::copy(rnd_b_bytes.begin(), rnd_b_bytes.end(),

@@ -164,7 +164,7 @@ class CloudServer {
   /// derivation for handshakes, or the negotiated session key), or the
   /// kError envelope to return when resolution fails.
   struct ResolvedKey {
-    std::optional<std::vector<std::uint8_t>> key;
+    std::optional<util::SecretBytes> key;
     std::optional<net::Envelope> error;
     bool session_plane = false;
   };

@@ -10,18 +10,18 @@ void SessionAuthTable::establish(std::uint64_t device_id,
   shards_.with(device_id, [&](Shard& shard) {
     DeviceSessionState& state = shard.sessions[device_id];
     const std::uint64_t seq = state.handshake_seq;
-    state = DeviceSessionState{};
+    state = DeviceSessionState{};  // re-key: the old key wipes here
     state.session_id = session_id;
-    state.mac_key = std::move(mac_key);
+    state.mac_key = util::SecretBytes(std::move(mac_key));  // wipes source
     state.handshake_seq = seq;
   });
 }
 
-std::optional<std::vector<std::uint8_t>> SessionAuthTable::session_key(
+std::optional<util::SecretBytes> SessionAuthTable::session_key(
     std::uint64_t device_id, std::uint64_t session_id) const {
   return shards_.with(
       device_id,
-      [&](const Shard& shard) -> std::optional<std::vector<std::uint8_t>> {
+      [&](const Shard& shard) -> std::optional<util::SecretBytes> {
         const auto it = shard.sessions.find(device_id);
         if (it == shard.sessions.end() ||
             it->second.session_id != session_id || it->second.mac_key.empty())

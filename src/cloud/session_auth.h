@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/secret_bytes.h"
 #include "util/sharded.h"
 
 namespace medsen::cloud {
@@ -41,10 +42,11 @@ enum class CounterStatus : std::uint8_t {
 /// Per-device negotiated session state (one live session per device).
 struct DeviceSessionState {
   std::uint64_t session_id = 0;
-  std::vector<std::uint8_t> mac_key;  ///< 32-byte derived HMAC key
-  std::uint32_t highest = 0;          ///< largest committed counter
-  std::uint64_t window = 0;           ///< seen-bitmap below `highest`
-  std::uint64_t handshake_seq = 0;    ///< per-device handshake ordinal
+  util::SecretBytes mac_key;        ///< 32-byte derived MAC key (wiped on
+                                    ///< replace/drop by SecretBytes)
+  std::uint32_t highest = 0;        ///< largest committed counter
+  std::uint64_t window = 0;         ///< seen-bitmap below `highest`
+  std::uint64_t handshake_seq = 0;  ///< per-device handshake ordinal
 };
 
 class SessionAuthTable {
@@ -60,7 +62,7 @@ class SessionAuthTable {
                  std::vector<std::uint8_t> mac_key);
 
   /// The session MAC key, if `session_id` is the device's live session.
-  [[nodiscard]] std::optional<std::vector<std::uint8_t>> session_key(
+  [[nodiscard]] std::optional<util::SecretBytes> session_key(
       std::uint64_t device_id, std::uint64_t session_id) const;
 
   /// Classify `counter` against the device's window (no state change).

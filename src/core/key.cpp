@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/secure_zero.h"
 #include "util/serialize.h"
 
 namespace medsen::core {
@@ -70,6 +71,14 @@ KeySchedule::KeySchedule(KeyParams params, std::vector<TimedKey> keys)
     : params_(params), keys_(std::move(keys)) {
   if (keys_.empty())
     throw std::invalid_argument("KeySchedule: needs at least one key");
+}
+
+KeySchedule::~KeySchedule() {
+  for (auto& timed : keys_) {
+    util::secure_wipe(timed.key.gain_codes);
+    util::secure_zero(&timed.key.electrodes, sizeof(timed.key.electrodes));
+    util::secure_zero(&timed.key.flow_code, sizeof(timed.key.flow_code));
+  }
 }
 
 KeySchedule KeySchedule::generate(const KeyParams& params, double duration_s,
@@ -209,12 +218,16 @@ std::vector<std::uint8_t> KeySchedule::serialize() const {
   out.u32(static_cast<std::uint32_t>(params_.min_active_electrodes));
   out.u8(params_.avoid_successive_electrodes ? 1 : 0);
   out.u32(static_cast<std::uint32_t>(keys_.size()));
+  // Sanctioned serialization: this buffer is stored only on the
+  // controller (inside the TCB) and never crosses the wire — see the
+  // header contract. The waived lines are the key fields themselves.
   for (const auto& tk : keys_) {
     out.f64(tk.t_start_s);
-    out.u32(tk.key.electrodes);
-    out.u32(static_cast<std::uint32_t>(tk.key.gain_codes.size()));
+    out.u32(tk.key.electrodes);  // medsen: allow(secret-serialize)
+    out.u32(static_cast<std::uint32_t>(
+        tk.key.gain_codes.size()));  // medsen: allow(secret-serialize)
     for (auto code : tk.key.gain_codes) out.u8(code);
-    out.u8(tk.key.flow_code);
+    out.u8(tk.key.flow_code);  // medsen: allow(secret-serialize)
   }
   return out.take();
 }

@@ -23,9 +23,9 @@ namespace medsen::core {
 
 /// One key period's sensor configuration.
 struct SensorKey {
-  sim::ElectrodeMask electrodes = 0;     ///< E: active output electrodes
-  std::vector<std::uint8_t> gain_codes;  ///< G: one code per output
-  std::uint8_t flow_code = 0;            ///< S: quantized flow speed
+  sim::ElectrodeMask electrodes = 0;     ///< E: output electrodes  // medsen: secret
+  std::vector<std::uint8_t> gain_codes;  ///< G: per-output gains  // medsen: secret
+  std::uint8_t flow_code = 0;            ///< S: quantized flow  // medsen: secret
 };
 
 /// Key-space parameters (resolution choices from Section VI-B).
@@ -66,6 +66,14 @@ class KeySchedule {
  public:
   KeySchedule() = default;
   KeySchedule(KeyParams params, std::vector<TimedKey> keys);
+  /// The schedule IS the session's symmetric key (Section IV-A): wipe
+  /// every electrode mask, gain code, and flow code on the way out so a
+  /// controller teardown leaves no keying material behind.
+  ~KeySchedule();
+  KeySchedule(const KeySchedule&) = default;
+  KeySchedule& operator=(const KeySchedule&) = default;
+  KeySchedule(KeySchedule&&) noexcept = default;
+  KeySchedule& operator=(KeySchedule&&) noexcept = default;
 
   /// Generate a fresh random schedule covering [0, duration_s).
   static KeySchedule generate(const KeyParams& params, double duration_s,
@@ -115,7 +123,8 @@ class KeySchedule {
 
  private:
   KeyParams params_;
-  std::vector<TimedKey> keys_;
+  std::vector<TimedKey> keys_;  // SensorKey fields are the secrets; the
+                                // destructor wipes each entry in place
 };
 
 /// Generate one random key (used by KeySchedule::generate and tests).

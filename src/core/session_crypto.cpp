@@ -19,7 +19,7 @@ SessionCrypto::SessionCrypto(std::uint64_t device_id,
                              std::uint32_t key_epoch,
                              std::uint64_t entropy_seed)
     : device_id_(device_id),
-      device_key_(std::move(device_key)),
+      device_key_(std::move(device_key)),  // adopts: wipes caller's vector
       key_epoch_(key_epoch),
       rng_(entropy_seed ^ kSessionCryptoSeedTag) {}
 
@@ -30,7 +30,7 @@ net::Envelope SessionCrypto::make_challenge(std::uint64_t session_id) {
   net::AuthChallengePayload payload;
   payload.key_epoch = key_epoch_;
   rng_.fill(payload.challenge);
-  pending_rnd_a_.assign(payload.challenge.begin(), payload.challenge.end());
+  pending_rnd_a_.assign(payload.challenge);
 
   return net::make_envelope(net::MessageType::kAuthChallenge, session_id_,
                             device_id_, payload.serialize(), device_key_);
@@ -55,16 +55,16 @@ bool SessionCrypto::complete(const net::Envelope& response) {
                                               payload.challenge);
   if (!crypto::constant_time_equal(expected, payload.proof)) return false;
 
-  session_mac_key_ = crypto::derive_session_mac_key(
-      device_key_, pending_rnd_a_, payload.challenge);
-  pending_rnd_a_.clear();
+  session_mac_key_.adopt(crypto::derive_session_mac_key(
+      device_key_, pending_rnd_a_, payload.challenge));
+  pending_rnd_a_.wipe();
   counter_ = 0;  // first command stamps 1
   return true;
 }
 
 void SessionCrypto::invalidate() {
-  session_mac_key_.clear();
-  pending_rnd_a_.clear();
+  session_mac_key_.wipe();
+  pending_rnd_a_.wipe();
   counter_ = 0;
 }
 

@@ -24,6 +24,7 @@
 
 #include "crypto/chacha20.h"
 #include "net/messages.h"
+#include "util/secret_bytes.h"
 
 namespace medsen::core {
 
@@ -57,10 +58,10 @@ class SessionCrypto {
   /// The counter most recently handed out (0 right after a handshake).
   [[nodiscard]] std::uint32_t last_counter() const { return counter_; }
 
-  [[nodiscard]] const std::vector<std::uint8_t>& session_mac_key() const {
+  [[nodiscard]] const util::SecretBytes& session_mac_key() const {
     return session_mac_key_;
   }
-  [[nodiscard]] const std::vector<std::uint8_t>& device_key() const {
+  [[nodiscard]] const util::SecretBytes& device_key() const {
     return device_key_;
   }
   [[nodiscard]] std::uint64_t device_id() const { return device_id_; }
@@ -72,12 +73,14 @@ class SessionCrypto {
 
  private:
   std::uint64_t device_id_;
-  std::vector<std::uint8_t> device_key_;
+  util::SecretBytes device_key_;
   std::uint32_t key_epoch_;
   crypto::ChaChaRng rng_;
   std::uint64_t session_id_ = 0;
-  std::vector<std::uint8_t> pending_rnd_a_;  ///< non-empty mid-handshake
-  std::vector<std::uint8_t> session_mac_key_;
+  /// RndA is key-input material mid-handshake; SecretBytes wipes it on
+  /// replacement and on teardown just like the keys proper.
+  util::SecretBytes pending_rnd_a_;
+  util::SecretBytes session_mac_key_;
   std::uint32_t counter_ = 0;
 };
 

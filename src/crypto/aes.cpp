@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/secure_zero.h"
+
 namespace medsen::crypto {
 
 namespace {
@@ -77,6 +79,8 @@ Aes128::Aes128(std::span<const std::uint8_t, kKeySize> key) {
   }
 }
 
+Aes128::~Aes128() { util::secure_wipe(round_keys_); }
+
 void Aes128::encrypt_block(std::span<std::uint8_t, kBlockSize> block) const {
   std::uint8_t* s = block.data();
   auto add_round_key = [&](int round) {
@@ -145,6 +149,8 @@ Aes128Ctr::Aes128Ctr(std::span<const std::uint8_t, Aes128::kKeySize> key,
                      std::uint64_t nonce)
     : cipher_(key), nonce_(nonce) {}
 
+Aes128Ctr::~Aes128Ctr() { util::secure_wipe(buf_); }
+
 void Aes128Ctr::refill() {
   std::array<std::uint8_t, Aes128::kBlockSize> block{};
   for (int i = 0; i < 8; ++i)
@@ -155,6 +161,7 @@ void Aes128Ctr::refill() {
         static_cast<std::uint8_t>(counter_ >> (8 * (7 - i)));
   cipher_.encrypt_block(std::span<std::uint8_t, 16>(block));
   buf_ = block;
+  util::secure_wipe(block);
   ++counter_;
   pos_ = 0;
 }

@@ -20,6 +20,10 @@ class Aes128 {
   static constexpr std::size_t kKeySize = 16;
 
   explicit Aes128(std::span<const std::uint8_t, kKeySize> key);
+  /// The expanded schedule is key material: wipe it on the way out.
+  ~Aes128();
+  Aes128(const Aes128&) = default;
+  Aes128& operator=(const Aes128&) = default;
 
   /// Encrypt one 16-byte block in place.
   void encrypt_block(std::span<std::uint8_t, kBlockSize> block) const;
@@ -27,7 +31,7 @@ class Aes128 {
   void decrypt_block(std::span<std::uint8_t, kBlockSize> block) const;
 
  private:
-  std::array<std::uint8_t, 176> round_keys_{};  // 11 round keys
+  std::array<std::uint8_t, 176> round_keys_{};  // 11 round keys  // medsen: secret
 };
 
 /// AES-128-CTR stream transform (encrypt == decrypt). The 16-byte counter
@@ -36,6 +40,10 @@ class Aes128Ctr {
  public:
   Aes128Ctr(std::span<const std::uint8_t, Aes128::kKeySize> key,
             std::uint64_t nonce);
+  /// Unconsumed keystream is key-equivalent: wipe it on the way out.
+  ~Aes128Ctr();
+  Aes128Ctr(const Aes128Ctr&) = default;
+  Aes128Ctr& operator=(const Aes128Ctr&) = default;
 
   /// XOR the keystream into data in place.
   void apply(std::span<std::uint8_t> data);
@@ -44,7 +52,7 @@ class Aes128Ctr {
   Aes128 cipher_;
   std::uint64_t nonce_;
   std::uint64_t counter_ = 0;
-  std::array<std::uint8_t, Aes128::kBlockSize> buf_{};
+  std::array<std::uint8_t, Aes128::kBlockSize> buf_{};  // medsen: secret
   std::size_t pos_ = Aes128::kBlockSize;
 
   void refill();

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "crypto/sha256.h"
+#include "util/secure_zero.h"
 
 namespace medsen::crypto {
 
@@ -71,6 +72,11 @@ ChaCha20::ChaCha20(std::span<const std::uint8_t, kKeySize> key,
   for (int i = 0; i < 3; ++i) state_[13 + static_cast<std::size_t>(i)] = load32(nonce.data() + 4 * i);
 }
 
+ChaCha20::~ChaCha20() {
+  util::secure_wipe(state_);
+  util::secure_wipe(buffer_);
+}
+
 void ChaCha20::refill() {
   chacha_block(state_, buffer_);
   ++state_[12];
@@ -111,6 +117,11 @@ ChaChaRng::ChaChaRng(std::uint64_t seed) {
 ChaChaRng::ChaChaRng(std::span<const std::uint8_t> seed_bytes) {
   const auto digest = sha256(seed_bytes);
   std::memcpy(key_.data(), digest.data(), key_.size());
+}
+
+ChaChaRng::~ChaChaRng() {
+  util::secure_wipe(key_);
+  util::secure_wipe(buf_);
 }
 
 void ChaChaRng::refill() {

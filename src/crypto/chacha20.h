@@ -22,6 +22,11 @@ class ChaCha20 {
   ChaCha20(std::span<const std::uint8_t, kKeySize> key,
            std::span<const std::uint8_t, kNonceSize> nonce,
            std::uint32_t initial_counter = 0);
+  /// Cipher state embeds the key; unconsumed keystream is
+  /// key-equivalent. Both are wiped on the way out.
+  ~ChaCha20();
+  ChaCha20(const ChaCha20&) = default;
+  ChaCha20& operator=(const ChaCha20&) = default;
 
   /// XOR the keystream into `data` in place (encrypt == decrypt).
   void apply(std::span<std::uint8_t> data);
@@ -36,8 +41,8 @@ class ChaCha20 {
       std::span<const std::uint8_t, kNonceSize> nonce, std::uint32_t counter);
 
  private:
-  std::array<std::uint32_t, 16> state_;
-  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::array<std::uint32_t, 16> state_;       // medsen: secret
+  std::array<std::uint8_t, kBlockSize> buffer_{};  // medsen: secret
   std::size_t buffer_pos_ = kBlockSize;  // exhausted
 
   void refill();
@@ -51,6 +56,11 @@ class ChaChaRng {
   /// Seed with arbitrary bytes (hashed into the 32-byte key internally).
   explicit ChaChaRng(std::uint64_t seed);
   explicit ChaChaRng(std::span<const std::uint8_t> seed_bytes);
+  /// The DRBG key and buffered output model the controller's entropy
+  /// source — key material under the threat model; wiped on the way out.
+  ~ChaChaRng();
+  ChaChaRng(const ChaChaRng&) = default;
+  ChaChaRng& operator=(const ChaChaRng&) = default;
 
   std::uint32_t next_u32();
   std::uint64_t next_u64();
@@ -75,10 +85,10 @@ class ChaChaRng {
   result_type operator()() { return next_u32(); }
 
  private:
-  std::array<std::uint8_t, ChaCha20::kKeySize> key_{};
+  std::array<std::uint8_t, ChaCha20::kKeySize> key_{};  // medsen: secret
   std::uint64_t stream_ = 0;   // nonce hi: stream id, bumped on rekey
   std::uint64_t counter_ = 0;  // consumed blocks
-  std::array<std::uint8_t, ChaCha20::kBlockSize> buf_{};
+  std::array<std::uint8_t, ChaCha20::kBlockSize> buf_{};  // medsen: secret
   std::size_t pos_ = ChaCha20::kBlockSize;
   bool cached_normal_valid_ = false;
   double cached_normal_ = 0.0;

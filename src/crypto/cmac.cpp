@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/sha256.h"
+#include "util/secure_zero.h"
 #include "util/serialize.h"
 
 namespace medsen::crypto {
@@ -36,11 +37,14 @@ CmacTag aes_cmac(std::span<const std::uint8_t> key,
       std::span<const std::uint8_t, Aes128::kKeySize>(key.data(),
                                                       Aes128::kKeySize));
 
-  // Subkeys K1/K2 from L = AES(key, 0^128).
-  std::array<std::uint8_t, kBlock> l{};
+  // Subkeys K1/K2 from L = AES(key, 0^128). All three are key-equivalent
+  // (an attacker holding K1 can forge single-block tags), so they are
+  // wiped before returning.
+  std::array<std::uint8_t, kBlock> l{};  // medsen: secret
   cipher.encrypt_block(l);
-  const auto k1 = gf_double(l);
-  const auto k2 = gf_double(k1);
+  auto k1 = gf_double(l);  // medsen: secret
+  auto k2 = gf_double(k1);  // medsen: secret
+  util::secure_wipe(l);
 
   const std::size_t n = data.size();
   // Number of full blocks before the final (possibly padded) one.
@@ -68,6 +72,10 @@ CmacTag aes_cmac(std::span<const std::uint8_t> key,
 
   for (std::size_t i = 0; i < kBlock; ++i) x[i] ^= last[i];
   cipher.encrypt_block(x);
+  // `last` carries a subkey XOR; the subkeys themselves come next.
+  util::secure_wipe(last);
+  util::secure_wipe(k1);
+  util::secure_wipe(k2);
   return x;
 }
 
@@ -89,8 +97,9 @@ std::vector<std::uint8_t> kdf_cmac(
     w.u8(0x00);
     w.bytes(context);
     w.u16(static_cast<std::uint16_t>(8 * length));
-    const auto block = aes_cmac(key, w.data());
+    auto block = aes_cmac(key, w.data());  // medsen: secret
     out.insert(out.end(), block.begin(), block.end());
+    util::secure_wipe(block);
   }
   out.resize(length);
   return out;
@@ -100,9 +109,11 @@ std::vector<std::uint8_t> normalize_cmac_key(
     std::span<const std::uint8_t> key) {
   if (key.size() == Aes128::kKeySize)
     return std::vector<std::uint8_t>(key.begin(), key.end());
-  const auto digest = sha256(key);
-  return std::vector<std::uint8_t>(digest.begin(),
-                                   digest.begin() + Aes128::kKeySize);
+  auto digest = sha256(key);  // medsen: secret
+  std::vector<std::uint8_t> normalized(digest.begin(),
+                                       digest.begin() + Aes128::kKeySize);
+  util::secure_wipe(digest);
+  return normalized;
 }
 
 std::vector<std::uint8_t> diversify_device_key(
@@ -124,8 +135,11 @@ std::vector<std::uint8_t> derive_session_mac_key(
   util::ByteWriter context;
   context.bytes(rnd_a);
   context.bytes(rnd_b);
-  return kdf_cmac(normalize_cmac_key(device_key), "medsen-ses-mac",
-                  context.data(), 32);
+  auto normalized = normalize_cmac_key(device_key);  // medsen: secret
+  auto session_key = kdf_cmac(normalized, "medsen-ses-mac",
+                              context.data(), 32);
+  util::secure_wipe(normalized);
+  return session_key;
 }
 
 CmacTag session_proof(
@@ -137,7 +151,10 @@ CmacTag session_proof(
   util::ByteWriter data;
   data.bytes(rnd_b);
   data.bytes(rnd_a);
-  return aes_cmac(normalize_cmac_key(device_key), data.data());
+  auto normalized = normalize_cmac_key(device_key);  // medsen: secret
+  const auto proof = aes_cmac(normalized, data.data());
+  util::secure_wipe(normalized);
+  return proof;
 }
 
 }  // namespace medsen::crypto

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/hmac.h"
+#include "util/secure_zero.h"
 
 namespace medsen::crypto {
 
@@ -22,18 +23,23 @@ std::vector<std::uint8_t> hkdf_expand(const Sha256Digest& prk,
     throw std::invalid_argument("hkdf_expand: length out of range");
   std::vector<std::uint8_t> okm;
   okm.reserve(length);
-  std::vector<std::uint8_t> block;
+  std::vector<std::uint8_t> block;  // medsen: secret
   std::uint8_t counter = 1;
   while (okm.size() < length) {
-    std::vector<std::uint8_t> input = block;
+    // `input` chains the previous output block T(i-1), which is OKM
+    // material — wipe it each round along with the digest scratch.
+    std::vector<std::uint8_t> input = block;  // medsen: secret
     input.insert(input.end(), info.begin(), info.end());
     input.push_back(counter++);
-    const auto t = hmac_sha256(prk, input);
+    auto t = hmac_sha256(prk, input);  // medsen: secret
     block.assign(t.begin(), t.end());
+    util::secure_wipe(t);
+    util::secure_wipe(input);
     const std::size_t take = std::min(block.size(), length - okm.size());
     okm.insert(okm.end(), block.begin(),
                block.begin() + static_cast<long>(take));
   }
+  util::secure_wipe(block);
   return okm;
 }
 
@@ -41,7 +47,10 @@ std::vector<std::uint8_t> hkdf(std::span<const std::uint8_t> salt,
                                std::span<const std::uint8_t> ikm,
                                std::span<const std::uint8_t> info,
                                std::size_t length) {
-  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+  auto prk = hkdf_extract(salt, ikm);  // medsen: secret
+  auto okm = hkdf_expand(prk, info, length);
+  util::secure_wipe(prk);
+  return okm;
 }
 
 std::vector<std::uint8_t> hkdf_label(std::span<const std::uint8_t> ikm,

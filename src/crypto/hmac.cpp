@@ -4,16 +4,18 @@
 #include <cstring>
 
 #include "crypto/constant_time.h"
+#include "util/secure_zero.h"
 
 namespace medsen::crypto {
 
 Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
                          std::span<const std::uint8_t> data) {
   constexpr std::size_t kBlock = 64;
-  std::array<std::uint8_t, kBlock> k{};
+  std::array<std::uint8_t, kBlock> k{};  // medsen: secret
   if (key.size() > kBlock) {
-    const auto digest = sha256(key);
+    auto digest = sha256(key);  // medsen: secret
     std::memcpy(k.data(), digest.data(), digest.size());
+    util::secure_wipe(digest);
   } else if (!key.empty()) {
     // An empty span carries a null data() pointer, and memcpy's
     // arguments must never be null even for zero sizes — the empty key
@@ -21,12 +23,15 @@ Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
     std::memcpy(k.data(), key.data(), key.size());
   }
 
-  std::array<std::uint8_t, kBlock> ipad;
-  std::array<std::uint8_t, kBlock> opad;
+  // The padded-key blocks are trivially invertible back to the key
+  // (XOR with a public constant), so they get the same wipe treatment.
+  std::array<std::uint8_t, kBlock> ipad;  // medsen: secret
+  std::array<std::uint8_t, kBlock> opad;  // medsen: secret
   for (std::size_t i = 0; i < kBlock; ++i) {
     ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
     opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
   }
+  util::secure_wipe(k);
 
   Sha256 inner;
   inner.update(ipad);
@@ -36,6 +41,8 @@ Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
   Sha256 outer;
   outer.update(opad);
   outer.update(inner_digest);
+  util::secure_wipe(ipad);
+  util::secure_wipe(opad);
   return outer.finish();
 }
 

@@ -121,6 +121,9 @@ Sha256Digest sha256(std::span<const std::uint8_t> data) {
   return h.finish();
 }
 
+// Overload delegation to the span variant, not self-recursion — the
+// analyzer's tokenizer frontend cannot distinguish overloads.
+// medsen: allow(tcb-recursion)
 Sha256Digest sha256(const std::string& data) {
   return sha256(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
@@ -128,11 +131,10 @@ Sha256Digest sha256(const std::string& data) {
 
 std::string to_hex(const Sha256Digest& digest) {
   static const char* kHex = "0123456789abcdef";
-  std::string out;
-  out.reserve(64);
-  for (std::uint8_t b : digest) {
-    out.push_back(kHex[b >> 4]);
-    out.push_back(kHex[b & 0xF]);
+  std::string out(2 * digest.size(), '\0');
+  for (std::size_t i = 0; i < digest.size(); ++i) {
+    out[2 * i] = kHex[digest[i] >> 4];
+    out[2 * i + 1] = kHex[digest[i] & 0xF];
   }
   return out;
 }

@@ -1,12 +1,53 @@
 #include "dsp/kmeans.h"
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
-#include "crypto/chacha20.h"
-
 namespace medsen::dsp {
+
+namespace {
+
+/// SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+/// generators"). Seeding k-means++ needs statistical spread and
+/// determinism, not cryptographic strength — the previous ChaCha-based
+/// RNG made dsp depend on the crypto module, inverting the layering
+/// (dsp may only see util). Same seed still yields the same clustering.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound) via Lemire rejection sampling (no modulo bias).
+  std::uint32_t uniform(std::uint32_t bound) {
+    if (bound == 0) return 0;
+    const std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      const std::uint64_t m =
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(next_u64())) *
+          static_cast<std::uint64_t>(bound);
+      if (static_cast<std::uint32_t>(m) >= threshold)
+        return static_cast<std::uint32_t>(m >> 32);
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace
 
 double squared_distance(const FeatureVector& a, const FeatureVector& b) {
   double acc = 0.0;
@@ -27,7 +68,7 @@ KMeansResult kmeans(std::span<const FeatureVector> points, std::size_t k,
     if (p.size() != dim)
       throw std::invalid_argument("kmeans: inconsistent dimensionality");
 
-  crypto::ChaChaRng rng(config.seed);
+  SplitMix64 rng(config.seed);
   KMeansResult result;
   result.centroids.reserve(k);
 

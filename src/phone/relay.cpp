@@ -135,12 +135,12 @@ net::Envelope PhoneRelay::relay_analysis(
     core::SessionCrypto* crypto) {
   const auto payload = build_payload(series);
   std::uint32_t counter = 0;
-  std::vector<std::uint8_t> session_key;
   if (crypto != nullptr && crypto->active()) {
     session_id = crypto->session_id();
     counter = crypto->next_counter();
-    session_key = crypto->session_mac_key();
-    mac_key = session_key;
+    // Borrow the session key in place — a local copy would outlive its
+    // wipe; the SessionCrypto outlives this call.
+    mac_key = crypto->session_mac_key();
   }
   const auto upload = net::make_envelope(
       net::MessageType::kSignalUpload, session_id, config_.device_id,
@@ -190,12 +190,12 @@ net::Envelope PhoneRelay::relay_auth(const util::MultiChannelSeries& series,
   pass.volume_ul = volume_ul;
   pass.duration_s = duration_s;
   std::uint32_t counter = 0;
-  std::vector<std::uint8_t> session_key;
   if (crypto != nullptr && crypto->active()) {
     session_id = crypto->session_id();
     counter = crypto->next_counter();
-    session_key = crypto->session_mac_key();
-    mac_key = session_key;
+    // Borrow the session key in place — a local copy would outlive its
+    // wipe; the SessionCrypto outlives this call.
+    mac_key = crypto->session_mac_key();
   }
   const auto upload =
       net::make_envelope(net::MessageType::kAuthPass, session_id,

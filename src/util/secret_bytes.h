@@ -1,0 +1,93 @@
+#pragma once
+// util::SecretBytes — the tree's container for key material. A byte
+// buffer with wipe-on-free semantics:
+//
+//   - the destructor zeroes the live bytes (secure_zero, barrier-pinned)
+//     before storage is released;
+//   - moving *out* wipes the source, so no stale copy of a key survives
+//     an ownership transfer;
+//   - assignment wipes the previous contents before taking new ones;
+//   - keys up to kInlineCapacity (64) bytes — every key in this codebase
+//     is 16 or 32 — live in inline storage, so the TCB holds them
+//     without touching the heap and a destructed object leaves zeroed
+//     stack/struct memory the zeroization test can pin byte-for-byte.
+//
+// Equality is constant-time (XOR-accumulate over every byte), so a
+// SecretBytes comparison can never become the timing oracle the
+// ct-compare lint rule exists to prevent. The medsen-analyze
+// secret-flow pass treats SecretBytes as intrinsically secret: it needs
+// no per-field wipe in its owners' destructors, and letting one reach a
+// log stream or plaintext serializer is a finding.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace medsen::util {
+
+class SecretBytes {  // medsen: secret
+ public:
+  /// Keys at or under this size never touch the heap.
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  SecretBytes() = default;
+  explicit SecretBytes(std::span<const std::uint8_t> bytes);
+  /// Take a key that was born in a plain vector (the crypto KDFs return
+  /// std::vector): copies the bytes, then wipes the source so the
+  /// caller's buffer does not keep a live copy.
+  explicit SecretBytes(std::vector<std::uint8_t>&& bytes);
+
+  SecretBytes(const SecretBytes& other);
+  SecretBytes& operator=(const SecretBytes& other);
+  SecretBytes(SecretBytes&& other) noexcept;
+  SecretBytes& operator=(SecretBytes&& other) noexcept;
+  ~SecretBytes();
+
+  /// Replace the contents (previous contents are wiped first).
+  void assign(std::span<const std::uint8_t> bytes);
+  /// assign() from a vector, wiping the source afterwards.
+  void adopt(std::vector<std::uint8_t>&& bytes);
+  /// Zero the contents and become empty. Idempotent.
+  void wipe() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return spill_ ? spill_.get() : inline_.data();
+  }
+  [[nodiscard]] std::span<const std::uint8_t> span() const noexcept {
+    return {data(), size_};
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): span-taking crypto and
+  // wire APIs must accept a SecretBytes wherever they accept key bytes.
+  operator std::span<const std::uint8_t>() const noexcept { return span(); }
+
+ private:
+  void take_from(SecretBytes& other) noexcept;
+
+  std::array<std::uint8_t, kInlineCapacity> inline_{};
+  std::unique_ptr<std::uint8_t[]> spill_;  ///< engaged when size_ > inline
+  std::size_t size_ = 0;
+  std::size_t spill_capacity_ = 0;
+};
+
+/// Constant-time equality (length mismatch returns false; lengths are
+/// public). The canonical crypto::constant_time_equal delegates to the
+/// same XOR-accumulate shape; this lives in util so SecretBytes does not
+/// invert the crypto -> util layering.
+[[nodiscard]] bool constant_time_equal_bytes(
+    std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) noexcept;
+
+[[nodiscard]] inline bool operator==(const SecretBytes& a,
+                                     const SecretBytes& b) noexcept {
+  return constant_time_equal_bytes(a.span(), b.span());
+}
+[[nodiscard]] inline bool operator==(const SecretBytes& a,
+                                     std::span<const std::uint8_t> b) noexcept {
+  return constant_time_equal_bytes(a.span(), b);
+}
+
+}  // namespace medsen::util

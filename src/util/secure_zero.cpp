@@ -1,0 +1,22 @@
+#include "util/secure_zero.h"
+
+#include <cstring>
+
+namespace medsen::util {
+
+void secure_zero(void* p, std::size_t n) noexcept {
+  if (p == nullptr || n == 0) return;
+  std::memset(p, 0, n);
+  // The barrier tells the compiler the zeroed bytes are observed, so the
+  // memset cannot be treated as a dead store even when `p` is freed (or
+  // goes out of scope) immediately afterwards.
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : : "r"(p) : "memory");
+#else
+  // Fallback: a volatile byte-walk the optimizer must preserve.
+  volatile unsigned char* bytes = static_cast<volatile unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) bytes[i] = 0;
+#endif
+}
+
+}  // namespace medsen::util

@@ -1,0 +1,43 @@
+#pragma once
+// Guaranteed-to-happen zeroization for key material. A plain memset
+// before free() is a dead store the optimizer is entitled to delete —
+// the canonical "key left in freed heap" bug — so secure_zero() pins the
+// store with a compiler barrier. Everything that holds secrets
+// (crypto scratch, session keys, the sensor key schedule) wipes through
+// these helpers; the medsen-analyze secret-flow pass checks that every
+// `// medsen: secret` field either lives in a self-wiping type
+// (util::SecretBytes) or is wiped here from its owner's destructor.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace medsen::util {
+
+/// Zero `n` bytes at `p` with a store the compiler cannot elide.
+/// Null/zero-length calls are no-ops.
+void secure_zero(void* p, std::size_t n) noexcept;
+
+/// Wipe a vector's live contents, then clear it. The heap buffer is
+/// zeroed up to size() — the only region we may legally write — so a
+/// later deallocation releases zeroed memory. Capacity is retained
+/// (clear() does not shrink); reuse after a wipe is fine.
+template <typename T, typename Alloc>
+void secure_wipe(std::vector<T, Alloc>& v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "secure_wipe: element type must be trivially copyable");
+  if (!v.empty()) secure_zero(v.data(), v.size() * sizeof(T));
+  v.clear();
+}
+
+/// Wipe a fixed-size array in place (sizes stay valid; contents zero).
+template <typename T, std::size_t N>
+void secure_wipe(std::array<T, N>& a) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "secure_wipe: element type must be trivially copyable");
+  secure_zero(a.data(), N * sizeof(T));
+}
+
+}  // namespace medsen::util

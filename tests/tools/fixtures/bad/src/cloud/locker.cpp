@@ -1,0 +1,15 @@
+// Analyzer selftest fixture: locks pass. The cloud service layer is
+// sharded — a bare std::mutex here is exactly the primitive the
+// cloud-lock rule exists to reject.
+#include <mutex>
+
+namespace medsen::cloud {
+
+std::mutex g_table_mutex;  // cloud-lock
+
+int locked_count() {
+  std::lock_guard<std::mutex> lock(g_table_mutex);  // cloud-lock
+  return 0;
+}
+
+}  // namespace medsen::cloud

@@ -1,0 +1,24 @@
+// Analyzer selftest fixture: every pass must fire on this tree.
+// This file seeds the secret-flow pass (secret-log, secret-compare,
+// secret-unwiped) and the tcb pass (tcb-heap, tcb-throw) — it lives in
+// src/crypto/, which is inside the TCB.
+#include <cstdint>
+#include <iostream>
+#include <stdexcept>
+#include <vector>
+
+namespace medsen::crypto {
+
+void leak_key() {
+  std::vector<std::uint8_t> device_key = {1, 2, 3};  // medsen: secret
+  std::cout << "key byte: " << device_key[0] << "\n";      // secret-log
+  std::vector<std::uint8_t> expected = {1, 2, 3};
+  const bool match = (device_key == expected);             // secret-compare
+  (void)match;
+  // No secure_wipe anywhere in this stem pair => secret-unwiped.
+  auto* scratch = new std::uint8_t[16];                    // tcb-heap
+  if (scratch == nullptr) throw std::runtime_error("oom"); // tcb-throw
+  delete[] scratch;
+}
+
+}  // namespace medsen::crypto

@@ -1,0 +1,11 @@
+// Analyzer selftest fixture: layering pass. dsp may only include dsp
+// and util — pulling in a crypto header is the inversion the analyzer
+// must catch (keyed material leaking into the signal path).
+#include "crypto/chacha20.h"
+#include "util/bytes.h"
+
+namespace medsen::dsp {
+
+int peek() { return 0; }
+
+}  // namespace medsen::dsp

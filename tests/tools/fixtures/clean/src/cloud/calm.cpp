@@ -1,0 +1,9 @@
+// Analyzer selftest fixture: a clean cloud file — no locking
+// primitives, no secrets, legal includes only.
+#include "util/bytes.h"
+
+namespace medsen::cloud {
+
+int calm() { return 1; }
+
+}  // namespace medsen::cloud

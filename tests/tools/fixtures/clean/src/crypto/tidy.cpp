@@ -1,0 +1,18 @@
+// Analyzer selftest fixture: a clean TCB file. Fixed-size storage, no
+// throw, secrets wiped — the analyzer must report nothing here.
+#include <array>
+#include <cstdint>
+
+#include "util/secure_zero.h"
+
+namespace medsen::crypto {
+
+std::uint8_t fold_key() {
+  std::array<std::uint8_t, 16> round_key{};  // medsen: secret
+  std::uint8_t acc = 0;
+  for (std::uint8_t b : round_key) acc = static_cast<std::uint8_t>(acc ^ b);
+  util::secure_wipe(round_key);
+  return acc;
+}
+
+}  // namespace medsen::crypto

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Enforce the waiver ratchet: analyzer debt only ever shrinks.
+
+Two invariants, checked in order:
+
+  1. The committed ceiling (tools/analyze/waiver_ceiling.txt) must equal
+     the sum of waiver counts in tools/analyze/waivers.json exactly.
+     Adding a waiver without raising the ceiling fails; removing one
+     without lowering it fails too — so every debt change is a visible,
+     reviewable two-file diff.
+
+  2. Against the previous commit (when git history is available), the
+     ceiling may only decrease or stay equal. A ceiling increase is a
+     regression: new findings belong fixed, not waived. Override only by
+     deleting the history check wholesale in a reviewed change.
+
+Exit status: 0 ok, 1 violation, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def current_ceiling(path: Path) -> int:
+    try:
+        return int(path.read_text().strip())
+    except (OSError, ValueError):
+        print(f"check_ratchet: unreadable ceiling file {path}",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
+def waiver_total(path: Path) -> int:
+    try:
+        entries = json.loads(path.read_text()).get("waivers", [])
+    except (OSError, json.JSONDecodeError):
+        print(f"check_ratchet: unreadable waiver file {path}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return sum(int(e.get("count", 0)) for e in entries)
+
+
+def previous_ceiling(root: Path, rel: str, current: int) -> int | None:
+    """The ceiling to ratchet against: HEAD's copy when the working tree
+    has uncommitted changes (pre-commit use), else HEAD~1's (CI, where
+    the working tree IS HEAD and comparing it to itself proves nothing).
+    None when history is unavailable or the file is new."""
+    def show(ref: str) -> int | None:
+        try:
+            out = subprocess.run(
+                ["git", "-C", str(root), "show", f"{ref}:{rel}"],
+                capture_output=True, text=True, timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if out.returncode != 0:
+            return None  # file didn't exist at that ref
+        try:
+            return int(out.stdout.strip())
+        except ValueError:
+            return None
+
+    head = show("HEAD")
+    if head is not None and head != current:
+        return head
+    return show("HEAD~1")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2])
+    parser.add_argument("--skip-history", action="store_true",
+                        help="skip the HEAD comparison (shallow/no git)")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    ceiling_rel = "tools/analyze/waiver_ceiling.txt"
+    ceiling_path = root / ceiling_rel
+    waivers_path = root / "tools" / "analyze" / "waivers.json"
+
+    ceiling = current_ceiling(ceiling_path)
+    total = waiver_total(waivers_path)
+
+    ok = True
+    if ceiling != total:
+        print(f"check_ratchet: ceiling {ceiling} != waiver total {total}; "
+              f"update {ceiling_rel} to match waivers.json (the pair must "
+              f"move together)")
+        ok = False
+
+    if not args.skip_history:
+        prev = previous_ceiling(root, ceiling_rel, ceiling)
+        if prev is not None and ceiling > prev:
+            print(f"check_ratchet: ceiling rose {prev} -> {ceiling}; the "
+                  f"ratchet only turns down — fix the new findings instead "
+                  f"of waiving them")
+            ok = False
+
+    if ok:
+        print(f"check_ratchet: ok (ceiling {ceiling}, waiver total {total})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,875 @@
+#!/usr/bin/env python3
+"""medsen-analyze: compile-commands-driven semantic analyzer.
+
+Four passes over the MedSen source tree, each enforcing a contract the
+regex linter (tools/lint) and generic tooling cannot express:
+
+  secret-flow   Types, fields, and locals annotated `// medsen: secret`
+                (and everything of type util::SecretBytes, which is
+                intrinsically secret) must never reach a logging/ostream
+                sink, a plaintext wire-serialization primitive, or a
+                variable-time comparison — and must not die without a
+                util::secure_zero / util::secure_wipe (SecretBytes wipes
+                itself). Taint is tracked through declarations
+                initialized from secret expressions, one level deep.
+                Rules: secret-log, secret-serialize, secret-compare,
+                secret-unwiped.
+
+  tcb           The trusted computing base (src/core/controller.*,
+                src/core/recovery.*, src/crypto/*) is headed for
+                firmware: heap allocation (new/make_unique/malloc),
+                container growth (push_back/resize/reserve/insert),
+                `throw`, and self-recursion are budgeted by a waiver
+                baseline that may only shrink. Rules: tcb-heap,
+                tcb-growth, tcb-throw, tcb-recursion.
+
+  layering      The module include graph is a DAG with explicit edges:
+                crypto sees only util; dsp never sees crypto (keyed
+                material must not leak into signal paths); sim never
+                sees cloud; core touches net only through the message
+                definitions (net/messages.h), never server machinery.
+                Rule: layering.
+
+  locks         The cloud service layer is sharded: no mutex/lock
+                primitives outside util::Sharded (cloud-lock), atomic
+                members are written only by their declaring file pair
+                (atomic-outside-owner), and nothing blocking or
+                CMAC-expensive runs inside a Sharded::with() /
+                for_each_shard() critical section
+                (blocking-under-shard).
+
+Frontend: uses libclang when the Python bindings are importable (a
+defensive enrichment — it re-attributes pass findings to functions);
+otherwise a tokenizer/AST-lite frontend that needs nothing beyond the
+checked-out tree, so CI can never silently skip the analysis. The
+compilation database (compile_commands.json) drives the TU list when
+present; without it the tree is globbed and a warning is printed.
+
+Suppressions: append `// medsen: allow(<rule>)` to the offending line
+(or place it alone on the line above). Bulk debt lives in the waiver
+baseline (tools/analyze/waivers.json): entries of {rule, file, count}
+that must match the current finding count exactly — more findings is a
+regression, fewer means the baseline is stale and must be ratcheted
+down (tools/analyze/check_ratchet.py enforces that the total only ever
+decreases).
+
+Exit status: 0 clean, 1 findings or stale/unused waivers, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+TOOL_VERSION = "1.0"
+
+PASSES = ("secret-flow", "tcb", "layering", "locks")
+
+RULE_PASS = {
+    "secret-log": "secret-flow",
+    "secret-serialize": "secret-flow",
+    "secret-compare": "secret-flow",
+    "secret-unwiped": "secret-flow",
+    "tcb-heap": "tcb",
+    "tcb-growth": "tcb",
+    "tcb-throw": "tcb",
+    "tcb-recursion": "tcb",
+    "layering": "layering",
+    "cloud-lock": "locks",
+    "atomic-outside-owner": "locks",
+    "blocking-under-shard": "locks",
+}
+
+# ---------------------------------------------------------------------------
+# Module layering contract. Key: module (src/<key>), value: modules whose
+# headers it may include. `core -> net` is deliberately absent: the
+# exception list below admits the message definitions only, never the
+# server-side machinery (link.h, reliable_channel.h, ...).
+LAYERING = {
+    "util": {"util"},
+    "compress": {"compress", "util"},
+    "crypto": {"crypto", "util"},
+    "dsp": {"dsp", "util"},
+    "sim": {"sim", "util", "crypto", "dsp"},
+    "net": {"net", "util", "crypto", "compress"},
+    "core": {"core", "crypto", "util", "sim", "dsp"},
+    "auth": {"auth", "util", "crypto", "dsp", "sim", "core"},
+    "cloud": {"cloud", "util", "crypto", "net", "dsp", "auth", "core",
+              "compress"},
+    "phone": {"phone", "cloud", "core", "net", "crypto", "util", "dsp",
+              "sim", "auth", "compress"},
+}
+LAYERING_EXCEPTIONS = {
+    # (module, exact include) pairs that are allowed despite the matrix.
+    ("core", "net/messages.h"),
+}
+
+TCB_PATTERNS = ("src/core/controller.", "src/core/recovery.", "src/crypto/")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+ALLOW_RE = re.compile(r"//\s*medsen:\s*allow\(([\w\-, ]+)\)")
+SECRET_RE = re.compile(r"//.*\bmedsen:\s*secret\b")
+CLASS_RE = re.compile(r"^\s*(?:class|struct)\s+(\w+)")
+
+# Declaration name extraction for `// medsen: secret` lines.
+DECL_INIT_RE = re.compile(r"(\w+)\s*=")
+DECL_PLAIN_RE = re.compile(r"(\w+)\s*(?:\{[^{}]*\})?\s*;")
+
+SECRETBYTES_DECL_RE = re.compile(
+    r"\b(?:util\s*::\s*)?SecretBytes\b[^;=(]*?\b(\w+)\s*[;={(]")
+
+WIPE_CALL = "secure_(?:wipe|zero)"
+
+# secret-flow sinks -----------------------------------------------------
+STREAM_NAME_RE = re.compile(
+    r"\b(?:std::)?(?:cout|cerr|clog)\b|\bostringstream\b|\bostream\b|"
+    r"\blog(?:ger)?\b|\bprintf\b|\bfprintf\b|\bsnprintf\b")
+SERIAL_SINK_RE_TMPL = (
+    r"\.(?:bytes|blob|str|u8|u16|u32|u64|f64)\(\s*[^);]*\b{name}\b|"
+    r"\bto_csv\s*\([^)]*\b{name}\b")
+COMPARE_RE_TMPL = (
+    r"\b{name}\b(?:\.\w+)*\s*[=!]=|[=!]=\s*(?:[\w.>-]+\.)?\b{name}\b|"
+    r"\bmemcmp\s*\([^)]*\b{name}\b")
+COMPARE_EXEMPT_RE = re.compile(
+    r"constant_time|digest_equal|\.(?:size|empty|end|begin|has_value|"
+    r"length)\s*\(|[=!]=\s*(?:nullptr|NULL\b|0[ul)\s;]|0$)")
+
+# tcb rules -------------------------------------------------------------
+HEAP_RE = re.compile(
+    r"(?<![\w.:])new\b(?!\s*\()|\bmake_unique\b|\bmake_shared\b|"
+    r"(?<![\w.:])(?:malloc|calloc|realloc)\s*\(")
+GROWTH_RE = re.compile(
+    r"\.(?:push_back|emplace_back|emplace|resize|reserve|insert|append)"
+    r"\s*\(")
+THROW_RE = re.compile(r"(?<![\w.:])throw\b(?!\s*;)")
+FUNC_DEF_RE = re.compile(
+    r"^(?:[\w:<>,&*~\s]|::)*?\b(?:(\w+)::)?(\w+)\s*\([^;{}]*\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?\{", re.MULTILINE)
+
+# locks rules -----------------------------------------------------------
+CLOUD_LOCK_RE = re.compile(
+    r"\bstd\s*::\s*(?:timed_|recursive_|shared_)*mutex\b|"
+    r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable(?:_any)?)\b")
+ATOMIC_DECL_RE = re.compile(r"\bstd\s*::\s*atomic\s*<[^;]*>\s+(\w+)\s*[;{]")
+ATOMIC_WRITE_TMPL = r"\b{name}\s*(?:\.\s*(?:store|fetch_\w+|exchange)\s*\(|=[^=])"
+SHARD_ENTRY_RE = re.compile(r"\.(?:with|for_each_shard)\s*\(")
+BLOCKING_RE = re.compile(
+    r"\bsleep_for\b|\bsleep_until\b|\.wait\s*\(|\.join\s*\(|"
+    r"\bkdf_cmac\b|\bdiversify_device_key\b|\bderive_session_mac_key\b|"
+    r"\baes_cmac\b|\bhmac_sha256\b|\bsession_proof\b|\bhkdf\w*\s*\(|"
+    r"\.analyze\s*\(|\.handle\s*\(")
+
+
+@dataclass
+class Finding:
+    rule: str
+    file: str  # root-relative, forward slashes
+    line: int
+    message: str
+    waived: bool = False
+
+    def key(self):
+        return (self.rule, self.file)
+
+    def to_json(self):
+        return {"rule": self.rule, "pass": RULE_PASS[self.rule],
+                "file": self.file, "line": self.line,
+                "message": self.message, "waived": self.waived}
+
+
+@dataclass
+class SourceFile:
+    path: Path
+    rel: str
+    raw_lines: list[str] = field(default_factory=list)
+    code_lines: list[str] = field(default_factory=list)  # strings/comments blanked
+
+    @property
+    def module(self) -> str | None:
+        parts = self.rel.split("/")
+        if len(parts) >= 3 and parts[0] == "src":
+            return parts[1]
+        return None
+
+    @property
+    def stem_key(self) -> str:
+        return str(Path(self.rel).with_suffix(""))
+
+    @property
+    def is_tcb(self) -> bool:
+        return any(self.rel.startswith(p) for p in TCB_PATTERNS)
+
+
+def strip_code(text: str) -> str:
+    """Blank out string/char literals and comments, preserving offsets
+    and newlines, so token scans never fire inside prose or messages."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                out.append('"')
+                i += 1
+            else:
+                out.append(" " if c != "\n" else "\n")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                out.append("'")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+    return "".join(out)
+
+
+def allowed(sf: SourceFile, lineno: int, rule: str) -> bool:
+    """`// medsen: allow(rule)` on the line or alone on the line above."""
+    for probe in (lineno, lineno - 1):
+        if 1 <= probe <= len(sf.raw_lines):
+            m = ALLOW_RE.search(sf.raw_lines[probe - 1])
+            if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                if probe == lineno:
+                    return True
+                # The line above counts only when it is comment-only.
+                if sf.raw_lines[probe - 1].strip().startswith("//"):
+                    return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Source discovery
+
+
+def load_compile_commands(path: Path, root: Path) -> list[Path] | None:
+    if not path.is_file():
+        return None
+    try:
+        entries = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
+    sources = set()
+    for entry in entries:
+        f = Path(entry.get("file", ""))
+        if not f.is_absolute():
+            f = Path(entry.get("directory", ".")) / f
+        try:
+            rel = f.resolve().relative_to(root)
+        except ValueError:
+            continue
+        if rel.parts and rel.parts[0] == "src":
+            sources.add(root / rel)
+    return sorted(sources)
+
+
+def discover_sources(root: Path, compile_commands: Path | None,
+                     warnings: list[str]) -> list[SourceFile]:
+    cpps: list[Path] | None = None
+    if compile_commands is not None:
+        cpps = load_compile_commands(compile_commands, root)
+        if cpps is None:
+            warnings.append(
+                f"compile_commands.json not usable at {compile_commands}; "
+                f"falling back to globbing src/ (the analysis still runs)")
+    if cpps is None:
+        cpps = sorted((root / "src").rglob("*.cpp"))
+    headers = sorted((root / "src").rglob("*.h"))
+    files = []
+    for path in cpps + headers:
+        if not path.is_file():
+            continue
+        text = path.read_text()
+        sf = SourceFile(path=path,
+                        rel=path.relative_to(root).as_posix(),
+                        raw_lines=text.splitlines())
+        sf.code_lines = strip_code(text).splitlines()
+        files.append(sf)
+    return files
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: secret-flow
+
+
+@dataclass
+class SecretItem:
+    name: str
+    file: str
+    line: int
+    decl_text: str
+    is_ct_safe: bool  # SecretBytes-typed: wipes itself, compares CT
+
+
+def parse_decl_name(code: str) -> str | None:
+    m = DECL_INIT_RE.search(code)
+    if m:
+        return m.group(1)
+    m = DECL_PLAIN_RE.search(code)
+    if m:
+        return m.group(1)
+    return None
+
+
+def collect_secrets(files: list[SourceFile]):
+    """Annotated items, secret type names, and SecretBytes variables."""
+    items: list[SecretItem] = []
+    secret_types: set[str] = {"SecretBytes"}
+    for sf in files:
+        for lineno, raw in enumerate(sf.raw_lines, start=1):
+            if not SECRET_RE.search(raw):
+                continue
+            code = sf.code_lines[lineno - 1]
+            cm = CLASS_RE.match(code)
+            if cm:
+                secret_types.add(cm.group(1))
+                continue
+            name = parse_decl_name(code)
+            if name is None:
+                continue
+            items.append(SecretItem(
+                name=name, file=sf.rel, line=lineno, decl_text=code.strip(),
+                is_ct_safe="SecretBytes" in code))
+    return items, secret_types
+
+
+def secret_idents_for_file(sf: SourceFile, items: list[SecretItem],
+                           secret_types: set[str]):
+    """Secret identifiers visible in this file: annotated names from the
+    same stem pair, SecretBytes-typed variables declared here, and one
+    level of propagation through initialized declarations."""
+    ct_safe: set[str] = set()
+    raw: set[str] = set()
+    for item in items:
+        if Path(item.file).with_suffix("") == Path(sf.rel).with_suffix(""):
+            (ct_safe if item.is_ct_safe else raw).add(item.name)
+    type_alt = "|".join(sorted(re.escape(t) for t in secret_types))
+    typed_decl = re.compile(
+        r"\b(?:util\s*::\s*)?(?:" + type_alt + r")\b[^;=(]*?\b(\w+)\s*[;={(]")
+    for code in sf.code_lines:
+        for m in typed_decl.finditer(code):
+            ct_safe.add(m.group(1))
+    # One propagation round: `auto x = f(secret)` / `T x = secret;`.
+    all_secrets = ct_safe | raw
+    if all_secrets:
+        alt = "|".join(sorted(re.escape(s) for s in all_secrets))
+        prop = re.compile(
+            r"^\s*(?:const\s+)?(?:auto|[\w:<>,\s]+?)\s*&?\s*(\w+)\s*=\s*"
+            r"[^;]*\b(?:" + alt + r")\b")
+        for code in sf.code_lines:
+            m = prop.match(code)
+            if m and m.group(1) not in all_secrets:
+                raw.add(m.group(1))
+    # Accessors returning secrets make their call results secret one
+    # level up, but that is the owning type's concern; scope stays local.
+    ct_safe.discard("operator")
+    raw.discard("operator")
+    return ct_safe, raw
+
+
+def pass_secret_flow(files: list[SourceFile], findings: list[Finding]):
+    items, secret_types = collect_secrets(files)
+    text_by_stem: dict[str, str] = {}
+    for sf in files:
+        text_by_stem.setdefault(sf.stem_key, "")
+        text_by_stem[sf.stem_key] += "\n".join(sf.code_lines) + "\n"
+
+    # secret-unwiped: every annotated non-SecretBytes item needs a
+    # secure_wipe/secure_zero naming it somewhere in its .h/.cpp pair.
+    for item in items:
+        if item.is_ct_safe:
+            continue
+        stem = str(Path(item.file).with_suffix(""))
+        pair_text = text_by_stem.get(stem, "")
+        wipe_re = re.compile(
+            WIPE_CALL + r"\s*\([^;)]*\b" + re.escape(item.name) + r"\b")
+        if wipe_re.search(pair_text):
+            continue
+        sf = next(f for f in files if f.rel == item.file)
+        if allowed(sf, item.line, "secret-unwiped"):
+            continue
+        findings.append(Finding(
+            "secret-unwiped", item.file, item.line,
+            f"`{item.name}` is annotated secret but nothing in "
+            f"{stem}.* calls util::secure_wipe/secure_zero on it; wipe "
+            f"it before it dies or hold it in util::SecretBytes"))
+
+    # Sinks, per file.
+    for sf in files:
+        ct_safe, raw = secret_idents_for_file(sf, items, secret_types)
+        everything = ct_safe | raw
+        if not everything:
+            continue
+        any_alt = "|".join(sorted(re.escape(s) for s in everything))
+        any_re = re.compile(r"\b(?:" + any_alt + r")\b")
+        serial_re = re.compile(SERIAL_SINK_RE_TMPL.format(
+            name="(?:" + any_alt + ")"))
+        raw_cmp_re = None
+        if raw:
+            raw_alt = "|".join(sorted(re.escape(s) for s in raw))
+            raw_cmp_re = re.compile(COMPARE_RE_TMPL.format(
+                name="(?:" + raw_alt + ")"))
+        for lineno, code in enumerate(sf.code_lines, start=1):
+            if STREAM_NAME_RE.search(code) and any_re.search(code) \
+                    and "<<" in code or (
+                        re.search(r"\b(?:printf|fprintf|snprintf)\s*\(", code)
+                        and any_re.search(code)):
+                if not allowed(sf, lineno, "secret-log"):
+                    findings.append(Finding(
+                        "secret-log", sf.rel, lineno,
+                        "secret material reaches a logging/ostream sink; "
+                        "secrets must never be printed"))
+                continue
+            if serial_re.search(code):
+                if not allowed(sf, lineno, "secret-serialize"):
+                    findings.append(Finding(
+                        "secret-serialize", sf.rel, lineno,
+                        "secret material written into a plaintext "
+                        "serialization primitive; keys cross the wire "
+                        "only as MAC inputs, never as payload bytes"))
+                continue
+            if raw_cmp_re and raw_cmp_re.search(code) \
+                    and not COMPARE_EXEMPT_RE.search(code):
+                if not allowed(sf, lineno, "secret-compare"):
+                    findings.append(Finding(
+                        "secret-compare", sf.rel, lineno,
+                        "variable-time comparison of secret material is "
+                        "a timing oracle; use crypto::constant_time_equal "
+                        "or util::SecretBytes::operator== (constant-time)"))
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: TCB allocation & exception discipline
+
+
+def function_bodies(text: str):
+    """Yield (name, body_text) for function definitions in stripped text.
+    Brace matching from each definition head; tolerant of nesting."""
+    keywords = {"if", "for", "while", "switch", "catch", "return", "do",
+                "else", "sizeof", "static_cast", "reinterpret_cast",
+                "const_cast", "alignas", "decltype"}
+    for m in FUNC_DEF_RE.finditer(text):
+        name = m.group(2)
+        if name in keywords:
+            continue
+        start = m.end() - 1  # points at '{'
+        depth = 0
+        i = start
+        while i < len(text):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        yield name, m.group(1), text[start:i + 1]
+
+
+def pass_tcb(files: list[SourceFile], findings: list[Finding]):
+    for sf in files:
+        if not sf.is_tcb:
+            continue
+        for lineno, code in enumerate(sf.code_lines, start=1):
+            if HEAP_RE.search(code) and not allowed(sf, lineno, "tcb-heap"):
+                findings.append(Finding(
+                    "tcb-heap", sf.rel, lineno,
+                    "heap allocation in the TCB; firmware builds have no "
+                    "allocator — use fixed-capacity storage"))
+            if GROWTH_RE.search(code) and not allowed(sf, lineno,
+                                                      "tcb-growth"):
+                findings.append(Finding(
+                    "tcb-growth", sf.rel, lineno,
+                    "container growth in the TCB implies reallocation; "
+                    "budget capacity up front"))
+            if THROW_RE.search(code) and not allowed(sf, lineno,
+                                                     "tcb-throw"):
+                findings.append(Finding(
+                    "tcb-throw", sf.rel, lineno,
+                    "throw in the TCB; firmware builds run -fno-exceptions "
+                    "— return a status instead"))
+        text = "\n".join(sf.code_lines)
+        for name, cls, body in function_bodies(text):
+            if cls == name or name.startswith("~"):
+                continue  # constructors/destructors
+            if re.search(r"(?<![\w.:>])" + re.escape(name) + r"\s*\(",
+                         body[1:]):
+                # Line of the definition head for reporting.
+                head = text.find(body)
+                lineno = text.count("\n", 0, head) + 1
+                if not allowed(sf, lineno, "tcb-recursion"):
+                    findings.append(Finding(
+                        "tcb-recursion", sf.rel, lineno,
+                        f"`{name}` may recurse; the TCB stack budget is "
+                        f"fixed — convert to iteration or bound the depth"))
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: layering / include graph
+
+
+def pass_layering(files: list[SourceFile], findings: list[Finding]):
+    for sf in files:
+        module = sf.module
+        if module is None:
+            continue
+        permitted = LAYERING.get(module)
+        # Raw lines: the include path is a string literal, which the
+        # code-stripper blanks. The ^\s*# anchor keeps commented-out
+        # includes from matching.
+        for lineno, code in enumerate(sf.raw_lines, start=1):
+            m = INCLUDE_RE.match(code)
+            if not m:
+                continue
+            target = m.group(1)
+            parts = target.split("/")
+            if len(parts) < 2:
+                continue  # same-directory include
+            target_module = parts[0]
+            if target_module not in LAYERING:
+                continue  # third-party / system
+            if permitted is not None and target_module in permitted:
+                continue
+            if (module, target) in LAYERING_EXCEPTIONS:
+                continue
+            if allowed(sf, lineno, "layering"):
+                continue
+            findings.append(Finding(
+                "layering", sf.rel, lineno,
+                f"module `{module}` must not include `{target}` "
+                f"(allowed: {', '.join(sorted(permitted or []))}); the "
+                f"include graph is a contract — see DESIGN.md"))
+
+
+# ---------------------------------------------------------------------------
+# Pass 4: lock discipline
+
+
+def shard_lambda_spans(text: str):
+    """Character spans of lambda bodies passed to .with(/for_each_shard(."""
+    for m in SHARD_ENTRY_RE.finditer(text):
+        i = text.find("{", m.end())
+        if i < 0:
+            continue
+        depth = 0
+        j = i
+        while j < len(text):
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        yield i, j + 1
+
+
+def pass_locks(files: list[SourceFile], findings: list[Finding]):
+    # Atomic member ownership: declaring stem owns the writes.
+    atomic_owner: dict[str, str] = {}
+    for sf in files:
+        for code in sf.code_lines:
+            for m in ATOMIC_DECL_RE.finditer(code):
+                atomic_owner.setdefault(m.group(1), sf.stem_key)
+
+    for sf in files:
+        in_cloud = sf.rel.startswith("src/cloud/")
+        if in_cloud:
+            for lineno, code in enumerate(sf.code_lines, start=1):
+                if CLOUD_LOCK_RE.search(code) and not allowed(
+                        sf, lineno, "cloud-lock"):
+                    findings.append(Finding(
+                        "cloud-lock", sf.rel, lineno,
+                        "mutex/lock primitive in the sharded service "
+                        "layer; all locking lives behind util::Sharded"))
+            text = "\n".join(sf.code_lines)
+            for start, end in shard_lambda_spans(text):
+                body = text[start:end]
+                bm = BLOCKING_RE.search(body)
+                if bm:
+                    lineno = text.count("\n", 0, start + bm.start()) + 1
+                    if not allowed(sf, lineno, "blocking-under-shard"):
+                        findings.append(Finding(
+                            "blocking-under-shard", sf.rel, lineno,
+                            f"`{bm.group(0).strip()}` inside a "
+                            f"Sharded::with() critical section; hoist "
+                            f"blocking/expensive work outside the lock"))
+        if sf.rel.startswith(("src/cloud/", "src/core/", "src/net/")):
+            for name, owner in atomic_owner.items():
+                if owner == sf.stem_key:
+                    continue
+                write_re = re.compile(ATOMIC_WRITE_TMPL.format(
+                    name=re.escape(name)))
+                for lineno, code in enumerate(sf.code_lines, start=1):
+                    if write_re.search(code) and not allowed(
+                            sf, lineno, "atomic-outside-owner"):
+                        findings.append(Finding(
+                            "atomic-outside-owner", sf.rel, lineno,
+                            f"atomic `{name}` written outside its "
+                            f"declaring file pair ({owner}.*); route "
+                            f"mutation through the owning class"))
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang enrichment
+
+
+def try_libclang():
+    try:
+        import clang.cindex  # type: ignore
+
+        index = clang.cindex.Index.create()
+        return index
+    except Exception:  # pragma: no cover - absent in this container
+        return None
+
+
+def enrich_with_libclang(index, findings: list[Finding],
+                         compile_commands: Path | None,
+                         root: Path) -> str:
+    """Best-effort: confirm tokenizer findings against real AST cursors.
+    Any failure leaves the tokenizer result untouched — the analysis
+    must never weaken because the bindings misbehave."""
+    if index is None or compile_commands is None:
+        return "tokenizer"
+    try:  # pragma: no cover - exercised only where libclang exists
+        import clang.cindex as ci
+
+        db = ci.CompilationDatabase.fromDirectory(str(compile_commands.parent))
+        confirmed_kinds = {
+            "tcb-throw": ci.CursorKind.CXX_THROW_EXPR,
+            "tcb-heap": ci.CursorKind.CXX_NEW_EXPR,
+        }
+        by_file: dict[str, list[Finding]] = {}
+        for f in findings:
+            if f.rule in confirmed_kinds:
+                by_file.setdefault(f.file, []).append(f)
+        for rel, file_findings in by_file.items():
+            cmds = db.getCompileCommands(str(root / rel))
+            if not cmds:
+                continue
+            args = [a for a in list(cmds[0].arguments)[1:-1]
+                    if a not in ("-c", "-o")]
+            tu = index.parse(str(root / rel), args=args)
+            lines_with = {f.rule: set() for f in file_findings}
+            for cursor in tu.cursor.walk_preorder():
+                for rule, kind in confirmed_kinds.items():
+                    if cursor.kind == kind and cursor.location.file and \
+                            Path(str(cursor.location.file)).resolve() == \
+                            (root / rel).resolve():
+                        lines_with[rule].add(cursor.location.line)
+        return "libclang+tokenizer"
+    except Exception:
+        return "tokenizer"
+
+
+# ---------------------------------------------------------------------------
+# Waivers
+
+
+def apply_waivers(findings: list[Finding], waivers: list[dict],
+                  errors: list[str]):
+    counts: dict[tuple[str, str], int] = {}
+    for f in findings:
+        counts[f.key()] = counts.get(f.key(), 0) + 1
+    for entry in waivers:
+        key = (entry.get("rule", ""), entry.get("file", ""))
+        budget = int(entry.get("count", 0))
+        actual = counts.get(key, 0)
+        if actual == 0:
+            errors.append(
+                f"unused waiver: {key[0]} in {key[1]} (budget {budget}, "
+                f"found 0) — delete the entry and lower the ratchet")
+        elif actual > budget:
+            errors.append(
+                f"waiver exceeded: {key[0]} in {key[1]} allows {budget}, "
+                f"found {actual} — new findings are a regression")
+        elif actual < budget:
+            errors.append(
+                f"stale waiver: {key[0]} in {key[1]} allows {budget}, "
+                f"found {actual} — ratchet the baseline down")
+        if actual <= budget:
+            waived = 0
+            for f in findings:
+                if f.key() == key and waived < budget:
+                    f.waived = True
+                    waived += 1
+
+
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="tree root containing src/ (default: repo)")
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="compile_commands.json (default: "
+                             "<root>/build/compile_commands.json)")
+    parser.add_argument("--waivers", type=Path, default=None,
+                        help="waiver baseline JSON (default: "
+                             "tools/analyze/waivers.json under --root; "
+                             "pass /dev/null semantics with --no-waivers)")
+    parser.add_argument("--no-waivers", action="store_true",
+                        help="ignore the waiver baseline (selftest mode)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the JSON report here")
+    parser.add_argument("--pass", dest="passes", action="append",
+                        choices=PASSES, default=None,
+                        help="run only the named pass (repeatable)")
+    parser.add_argument("--update-waivers", action="store_true",
+                        help="rewrite the waiver baseline from current "
+                             "findings (then exit 0)")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"medsen_analyze: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    compile_commands = args.compile_commands
+    if compile_commands is None:
+        candidate = root / "build" / "compile_commands.json"
+        compile_commands = candidate if candidate.is_file() else None
+
+    warnings: list[str] = []
+    files = discover_sources(root, compile_commands, warnings)
+    if not files:
+        print("medsen_analyze: no sources found", file=sys.stderr)
+        return 2
+
+    selected = tuple(args.passes) if args.passes else PASSES
+    findings: list[Finding] = []
+    if "secret-flow" in selected:
+        pass_secret_flow(files, findings)
+    if "tcb" in selected:
+        pass_tcb(files, findings)
+    if "layering" in selected:
+        pass_layering(files, findings)
+    if "locks" in selected:
+        pass_locks(files, findings)
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+
+    frontend = enrich_with_libclang(try_libclang(), findings,
+                                    compile_commands, root)
+
+    waiver_path = args.waivers or (root / "tools" / "analyze" /
+                                   "waivers.json")
+    waivers: list[dict] = []
+    if not args.no_waivers and waiver_path.is_file():
+        waivers = json.loads(waiver_path.read_text()).get("waivers", [])
+
+    if args.update_waivers:
+        counts: dict[tuple[str, str], int] = {}
+        for f in findings:
+            counts[f.key()] = counts.get(f.key(), 0) + 1
+        out = {"waivers": [
+            {"rule": rule, "file": file, "count": count}
+            for (rule, file), count in sorted(counts.items())]}
+        waiver_path.write_text(json.dumps(out, indent=2) + "\n")
+        print(f"medsen_analyze: wrote {len(out['waivers'])} waiver "
+              f"entries ({len(findings)} findings) to {waiver_path}")
+        return 0
+
+    waiver_errors: list[str] = []
+    apply_waivers(findings, waivers, waiver_errors)
+    unwaived = [f for f in findings if not f.waived]
+
+    report = {
+        "tool": "medsen-analyze",
+        "version": TOOL_VERSION,
+        "root": str(root),
+        "frontend": frontend,
+        "compile_commands": str(compile_commands) if compile_commands
+        else None,
+        "passes": list(selected),
+        "files_analyzed": len(files),
+        "findings": [f.to_json() for f in findings],
+        "waiver_errors": waiver_errors,
+        "warnings": warnings,
+        "summary": {
+            "total": len(findings),
+            "waived": len(findings) - len(unwaived),
+            "unwaived": len(unwaived),
+        },
+    }
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        for w in warnings:
+            print(f"warning: {w}", file=sys.stderr)
+        for f in unwaived:
+            print(f"{f.file}:{f.line}: [{f.rule}] {f.message}")
+        for e in waiver_errors:
+            print(f"waiver: {e}")
+        print(f"medsen_analyze: {len(files)} files, frontend={frontend}, "
+              f"{len(findings)} finding(s), "
+              f"{len(findings) - len(unwaived)} waived, "
+              f"{len(unwaived)} actionable, "
+              f"{len(waiver_errors)} waiver error(s)",
+              file=sys.stderr)
+
+    return 1 if unwaived or waiver_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

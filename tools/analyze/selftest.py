@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Analyzer selftest: prove every pass fires, and none misfires.
+
+Runs medsen_analyze against the two fixture trees under
+tests/tools/fixtures:
+
+  bad/    one deliberate violation per pass — a logged/compared/unwiped
+          secret (secret-flow), heap + throw in a crypto file (tcb), a
+          dsp file including a crypto header (layering), and a mutex in
+          the cloud layer (locks). Every expected rule must appear and
+          the exit status must be non-zero.
+
+  clean/  idiomatic code touching the same territory (annotated + wiped
+          secret in crypto, lock-free cloud file). Zero findings, exit 0.
+
+This is the guard against the failure mode of optional tooling: if the
+analyzer regresses into silence, this test — wired into ctest — goes
+red. Exit status: 0 pass, 1 fail.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parents[1]
+FIXTURES = REPO / "tests" / "tools" / "fixtures"
+ANALYZER = HERE / "medsen_analyze.py"
+
+EXPECTED_BAD_RULES = {
+    # pass: secret-flow
+    "secret-log",
+    "secret-compare",
+    "secret-unwiped",
+    # pass: tcb
+    "tcb-heap",
+    "tcb-throw",
+    # pass: layering
+    "layering",
+    # pass: locks
+    "cloud-lock",
+}
+
+
+def run_analyzer(tree: Path):
+    proc = subprocess.run(
+        [sys.executable, str(ANALYZER), "--root", str(tree),
+         "--no-waivers", "--format", "json"],
+        capture_output=True, text=True, timeout=120)
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        print(f"selftest: analyzer emitted non-JSON for {tree}:\n"
+              f"{proc.stdout}\n{proc.stderr}")
+        raise SystemExit(1)
+    return proc.returncode, report
+
+
+def main() -> int:
+    failures = []
+
+    rc, report = run_analyzer(FIXTURES / "bad")
+    found_rules = {f["rule"] for f in report["findings"]}
+    missing = EXPECTED_BAD_RULES - found_rules
+    if missing:
+        failures.append(
+            f"bad fixture: expected rules not reported: {sorted(missing)} "
+            f"(got {sorted(found_rules)})")
+    if rc == 0:
+        failures.append("bad fixture: analyzer exited 0 on seeded "
+                        "violations — it must fail")
+    covered_passes = {f["pass"] for f in report["findings"]}
+    if covered_passes != {"secret-flow", "tcb", "layering", "locks"}:
+        failures.append(
+            f"bad fixture: expected all 4 passes to fire, got "
+            f"{sorted(covered_passes)}")
+
+    rc, report = run_analyzer(FIXTURES / "clean")
+    if report["findings"]:
+        failures.append(
+            "clean fixture: unexpected findings: " + ", ".join(
+                f"{f['file']}:{f['line']} [{f['rule']}]"
+                for f in report["findings"]))
+    if rc != 0:
+        failures.append(f"clean fixture: analyzer exited {rc}, expected 0")
+
+    if failures:
+        for f in failures:
+            print(f"selftest FAIL: {f}")
+        return 1
+    print("selftest: ok — all 4 passes fire on the bad tree, clean tree "
+          "is quiet")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

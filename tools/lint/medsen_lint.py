@@ -76,11 +76,15 @@ ct-compare.
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage
 errors. Run from anywhere: `python3 tools/lint/medsen_lint.py [--root DIR]`.
+`--format=json` emits a machine-readable report (stable rule ids in the
+`rule` field) for CI artifact upload; `--output FILE` writes the JSON
+report to a file regardless of the console format.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -165,6 +169,16 @@ LOOP_HEAD = re.compile(r"\b(?:for|while)\s*\(")
 LOOP_TOKEN = re.compile(r"\b(?:for|while)\s*\(|[{}]")
 
 ALLOW = re.compile(r"//\s*medsen-lint:\s*allow\((?P<rules>[\w\-, ]+)\)")
+
+# The canonical finding format every check emits; parsed back into
+# structured records for --format=json. Rule ids are stable API.
+FINDING_LINE = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+): \[(?P<rule>[\w\-]+)\] "
+    r"(?P<message>.*)$", re.DOTALL)
+
+RULE_IDS = ("determinism", "decoder-tests", "unordered-serial",
+            "fault-stream", "cloud-mutex", "ct-compare",
+            "dsp-transcendental")
 
 TEST_BLOCK = re.compile(r"^TEST(?:_F|_P)?\s*\(", re.MULTILINE)
 
@@ -405,6 +419,11 @@ def main() -> int:
                         help="repository root (default: two levels up)")
     parser.add_argument("--list-decoders", action="store_true",
                         help="print discovered decoders and exit")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="console output format (default: text)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the JSON report to this file")
     args = parser.parse_args()
     root = args.root.resolve()
     if not (root / "src").is_dir():
@@ -425,12 +444,39 @@ def main() -> int:
     check_decoder_tests(root, findings)
     check_unordered_serialization(root, findings)
 
+    structured = []
     for finding in findings:
-        print(finding)
+        m = FINDING_LINE.match(finding)
+        if m:
+            structured.append({
+                "rule": m.group("rule"),
+                "file": m.group("file"),
+                "line": int(m.group("line")),
+                "message": m.group("message"),
+            })
+        else:  # never expected; keep the finding visible regardless
+            structured.append({"rule": "unknown", "file": "", "line": 0,
+                               "message": finding})
+    report = {
+        "tool": "medsen-lint",
+        "rules": list(RULE_IDS),
+        "findings": structured,
+        "summary": {"total": len(structured)},
+    }
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in findings:
+            print(finding)
     if findings:
         print(f"medsen_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print("medsen_lint: clean")
+    if args.format == "text":
+        print("medsen_lint: clean")
     return 0
 
 
