@@ -8,6 +8,14 @@
 // (the shared bench::JsonCounters schema), seeding the perf trajectory
 // future re-anchors regress against.
 //
+// The whole harness runs with `allow_legacy_plane = false`: every
+// command rides a negotiated session (devices handshake lazily on first
+// use, and the fleet is partitioned across workers because SessionCrypto
+// is single-threaded state). A slice of mixed traffic still sends
+// counter-0 static-key envelopes on purpose — the server must refuse
+// each one with kAuthRequired, and the harness fails if any slips
+// through.
+//
 // A second scaling phase isolates the service layer itself: a replay
 // storm (registry lookup + MAC verify + session-cache hit, no analysis)
 // measured with shards=1 — the old single-mutex layout — versus the
@@ -36,6 +44,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_common.h"
@@ -207,6 +216,7 @@ cloud::CloudServer make_server(const Options& options, std::size_t shards,
   service.max_inflight = options.max_inflight;
   service.shards = shards;
   service.session_cache_capacity = cache_capacity;
+  service.allow_legacy_plane = false;
   cloud::AnalysisConfig analysis;
   analysis.threads = 1;  // the workers are the parallelism under test
   return cloud::CloudServer(analysis, auth::CytoAlphabet{},
@@ -219,6 +229,10 @@ struct WorkerResult {
   std::uint64_t sent = 0;
   std::uint64_t transport_dropped = 0;  ///< FaultyLink ate the request
   std::uint64_t transport_garbled = 0;  ///< arrived undecodable
+  std::uint64_t handshakes = 0;         ///< lazy first-use negotiations
+  std::uint64_t handshake_failures = 0;
+  std::uint64_t legacy_attempts = 0;  ///< deliberate static-key sends
+  std::uint64_t legacy_refused = 0;   ///< ... answered kAuthRequired
 };
 
 struct Percentiles {
@@ -242,10 +256,12 @@ Percentiles percentiles(std::vector<double>& values) {
   return result;
 }
 
-/// One closed-loop worker: pick a device, build (or replay) a request,
+/// One closed-loop worker: pick a device from this worker's partition,
+/// negotiate a session on first use, build (or replay) a request,
 /// optionally push it through a lossy link, time handle(), think, loop.
 WorkerResult run_worker(cloud::CloudServer& server, const Options& options,
-                        std::size_t worker_index, std::size_t request_count,
+                        std::size_t worker_index, std::size_t worker_count,
+                        std::size_t request_count,
                         const std::vector<std::uint8_t>& upload_payload,
                         const std::vector<std::uint8_t>& auth_payload) {
   WorkerResult result;
@@ -255,6 +271,32 @@ WorkerResult run_worker(cloud::CloudServer& server, const Options& options,
   // Session ids are globally unique: the worker index occupies the top
   // bits so no two workers (or phases) ever collide in the cache.
   std::uint64_t next_session = (worker_index + 1) << 40;
+
+  // The worker's slice of the fleet (ids congruent to its index):
+  // SessionCrypto is single-threaded state, so devices are partitioned,
+  // never shared. Sessions are negotiated lazily the first time a device
+  // appears in the traffic mix; the handshake itself runs outside the
+  // per-request latency window (it models the device's app start-up, not
+  // a command round trip).
+  std::unordered_map<std::uint64_t, std::unique_ptr<core::SessionCrypto>>
+      sessions;
+  const auto session_for =
+      [&](std::uint64_t device) -> core::SessionCrypto* {
+    auto& slot = sessions[device];
+    if (slot == nullptr)
+      slot = std::make_unique<core::SessionCrypto>(
+          device, device_key(device, options.seed), /*key_epoch=*/0,
+          options.seed ^ device);
+    if (!slot->active()) {
+      ++result.handshakes;
+      if (!slot->complete(
+              server.handle(slot->make_challenge(next_session++)))) {
+        ++result.handshake_failures;
+        return nullptr;
+      }
+    }
+    return slot.get();
+  };
 
   // The worker's recent successful uploads, replayed byte-identically to
   // model the reliable transport's retries.
@@ -297,33 +339,60 @@ WorkerResult run_worker(cloud::CloudServer& server, const Options& options,
       }
     }
 
+    // Draw from this worker's partition only (ids congruent to the
+    // worker index modulo the worker count).
     const std::uint64_t device =
-        rng.next() % static_cast<std::uint64_t>(options.devices);
-    const auto key = device_key(device, options.seed);
+        worker_index +
+        worker_count * (rng.next() % (options.devices / worker_count));
     const double op = rng.uniform();
 
     net::Envelope request;
     bool cacheable_upload = false;
+    bool legacy_attempt = false;
+    core::SessionCrypto* crypto = nullptr;
     if (op < 0.20 && !history.empty()) {
-      // Replay: byte-identical re-send of an earlier success.
+      // Replay: byte-identical re-send of an earlier success. While the
+      // exchange is still cached this is answered from the idempotency
+      // cache; once evicted, the burned counter dies in the anti-replay
+      // window instead — both are correct session-plane behavior.
       request = history[rng.next() % history.size()];
-    } else if (op < 0.75) {
-      request = net::make_envelope(net::MessageType::kSignalUpload,
-                                   next_session++, device, upload_payload,
-                                   key);
-      cacheable_upload = true;
-    } else if (op < 0.80) {
-      request = net::make_envelope(net::MessageType::kAuthPass,
-                                   next_session++, device, auth_payload, key);
     } else if (op < 0.90) {
-      // MAC-valid garbage: exercises the kMalformed conversion path.
-      request = net::make_envelope(net::MessageType::kSignalUpload,
-                                   next_session++, device, {0xDE, 0xAD}, key);
+      crypto = session_for(device);
+      if (crypto == nullptr) continue;  // handshake failed; counted
+      if (op < 0.70) {
+        request = net::make_envelope(
+            net::MessageType::kSignalUpload, crypto->session_id(), device,
+            upload_payload, crypto->session_mac_key(),
+            crypto->next_counter());
+        cacheable_upload = true;
+      } else if (op < 0.75) {
+        request = net::make_envelope(
+            net::MessageType::kAuthPass, crypto->session_id(), device,
+            auth_payload, crypto->session_mac_key(),
+            crypto->next_counter());
+      } else if (op < 0.825) {
+        // MAC-valid garbage on the session: the kMalformed path. The
+        // client-side counter burns; the window accepts the gap.
+        request = net::make_envelope(
+            net::MessageType::kSignalUpload, crypto->session_id(), device,
+            {0xDE, 0xAD}, crypto->session_mac_key(),
+            crypto->next_counter());
+      } else {
+        request = net::make_envelope(
+            net::MessageType::kSignalUpload, crypto->session_id(), device,
+            upload_payload, crypto->session_mac_key(),
+            crypto->next_counter());
+        request.payload[0] ^= 0xFF;  // tampering relay: kBadMac
+      }
     } else if (op < 0.95) {
+      // Deliberate legacy-plane send: a counter-0 command on the
+      // provisioned static key. With allow_legacy_plane=false the server
+      // must refuse every one of these with kAuthRequired.
+      legacy_attempt = true;
+      ++result.legacy_attempts;
       request = net::make_envelope(net::MessageType::kSignalUpload,
                                    next_session++, device, upload_payload,
-                                   key);
-      request.payload[0] ^= 0xFF;  // tampering relay: kBadMac
+                                   device_key(device, options.seed));
     } else {
       const std::vector<std::uint8_t> stray_key = {0x55, 0x66};
       request = net::make_envelope(
@@ -332,6 +401,28 @@ WorkerResult run_worker(cloud::CloudServer& server, const Options& options,
               (rng.next() % 1000),
           upload_payload, stray_key);  // never provisioned
     }
+
+    const auto note_response = [&](const net::Envelope& arrived,
+                                   const net::Envelope& response) {
+      if (cacheable_upload &&
+          response.type == net::MessageType::kAnalysisResult) {
+        if (history.size() < kHistory) {
+          history.push_back(arrived);
+        } else {
+          history[history_next] = arrived;
+          history_next = (history_next + 1) % kHistory;
+        }
+      }
+      if (response.type == net::MessageType::kError &&
+          net::ErrorPayload::deserialize(response.payload).code ==
+              net::ErrorCode::kAuthRequired) {
+        if (legacy_attempt) {
+          ++result.legacy_refused;
+        } else if (crypto != nullptr) {
+          crypto->invalidate();  // session died server-side; re-handshake
+        }
+      }
+    };
 
     ++result.sent;
     const auto start = Clock::now();
@@ -343,31 +434,14 @@ WorkerResult run_worker(cloud::CloudServer& server, const Options& options,
           const auto arrived = net::Envelope::deserialize(*datagram);
           const auto response = server.handle(arrived);
           handled = true;
-          if (cacheable_upload &&
-              response.type == net::MessageType::kAnalysisResult) {
-            if (history.size() < kHistory) {
-              history.push_back(arrived);
-            } else {
-              history[history_next] = arrived;
-              history_next = (history_next + 1) % kHistory;
-            }
-          }
+          note_response(arrived, response);
         } catch (const std::exception&) {
           ++result.transport_garbled;  // structural corruption
         }
       }
       if (!handled && result.transport_garbled == 0) ++result.transport_dropped;
     } else {
-      const auto response = server.handle(request);
-      if (cacheable_upload &&
-          response.type == net::MessageType::kAnalysisResult) {
-        if (history.size() < kHistory) {
-          history.push_back(request);
-        } else {
-          history[history_next] = request;
-          history_next = (history_next + 1) % kHistory;
-        }
-      }
+      note_response(request, server.handle(request));
     }
     result.latencies_us.push_back(
         std::chrono::duration<double, std::micro>(Clock::now() - start)
@@ -379,7 +453,10 @@ WorkerResult run_worker(cloud::CloudServer& server, const Options& options,
 /// Replay-storm throughput at a given shard count: the pure service-layer
 /// path (admission + registry lookup + MAC verify + cache hit), no
 /// analysis, so shard-lock contention is the dominant cost and the
-/// shards=1 baseline exposes the old single-mutex layout.
+/// shards=1 baseline exposes the old single-mutex layout. Each device
+/// handshakes once during setup and the storm replays its first
+/// session-plane command byte-identically — a cache hit every time, the
+/// same hot path the old static-key storm measured.
 double replay_storm_rps(const Options& options, std::size_t shards,
                         std::size_t workers,
                         const std::vector<std::uint8_t>& upload_payload) {
@@ -390,9 +467,17 @@ double replay_storm_rps(const Options& options, std::size_t shards,
   for (std::uint64_t device = 0; device < devices; ++device) {
     const auto key = device_key(device, options.seed);
     server.provision_device(device, key);
-    replays[device] =
-        net::make_envelope(net::MessageType::kSignalUpload,
-                           (1ull << 62) + device, device, upload_payload, key);
+    core::SessionCrypto crypto(device, key, /*key_epoch=*/0,
+                               options.seed ^ device);
+    if (!crypto.complete(server.handle(
+            crypto.make_challenge((1ull << 62) + device)))) {
+      std::fprintf(stderr, "scaling: handshake failed for device %llu\n",
+                   static_cast<unsigned long long>(device));
+      std::exit(1);
+    }
+    replays[device] = net::make_envelope(
+        net::MessageType::kSignalUpload, crypto.session_id(), device,
+        upload_payload, crypto.session_mac_key(), crypto.next_counter());
   }
   // Prime: one processed exchange per device fills the cache.
   {
@@ -642,8 +727,8 @@ int main(int argc, char** argv) {
   const auto mixed_start = std::chrono::steady_clock::now();
   for (std::size_t w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
-      results[w] = run_worker(server, options, w, per_worker, upload_payload,
-                              auth_payload);
+      results[w] = run_worker(server, options, w, workers, per_worker,
+                              upload_payload, auth_payload);
     });
   }
   for (auto& thread : threads) thread.join();
@@ -654,12 +739,18 @@ int main(int argc, char** argv) {
 
   std::vector<double> latencies;
   std::uint64_t sent = 0, dropped = 0, garbled = 0;
+  std::uint64_t handshakes = 0, handshake_failures = 0;
+  std::uint64_t legacy_attempts = 0, legacy_refused = 0;
   for (auto& result : results) {
     latencies.insert(latencies.end(), result.latencies_us.begin(),
                      result.latencies_us.end());
     sent += result.sent;
     dropped += result.transport_dropped;
     garbled += result.transport_garbled;
+    handshakes += result.handshakes;
+    handshake_failures += result.handshake_failures;
+    legacy_attempts += result.legacy_attempts;
+    legacy_refused += result.legacy_refused;
   }
   const auto tail = percentiles(latencies);
   const double throughput = static_cast<double>(sent) / mixed_s;
@@ -669,7 +760,9 @@ int main(int argc, char** argv) {
       "mixed phase: %llu requests, %zu workers, %.2f s -> %.0f req/s\n"
       "  latency p50 %.1f us  p99 %.1f us  p999 %.1f us\n"
       "  processed %llu  replays %llu  errors %llu  shed %llu\n"
-      "  cache size %zu  evictions %llu\n",
+      "  cache size %zu  evictions %llu\n"
+      "  sessions: %llu handshakes (%llu failed); legacy plane: "
+      "%llu/%llu refused\n",
       static_cast<unsigned long long>(sent), workers, mixed_s, throughput,
       tail.p50, tail.p99, tail.p999,
       static_cast<unsigned long long>(stats.requests_processed),
@@ -677,7 +770,25 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.errors_returned),
       static_cast<unsigned long long>(stats.requests_shed),
       server.session_cache().size(),
-      static_cast<unsigned long long>(server.session_cache().evictions()));
+      static_cast<unsigned long long>(server.session_cache().evictions()),
+      static_cast<unsigned long long>(handshakes),
+      static_cast<unsigned long long>(handshake_failures),
+      static_cast<unsigned long long>(legacy_refused),
+      static_cast<unsigned long long>(legacy_attempts));
+  // Without link faults every deliberate static-key send must come back
+  // kAuthRequired; one slipping through means the legacy plane is open.
+  if (!options.faulty && legacy_refused != legacy_attempts) {
+    std::fprintf(stderr,
+                 "FAIL: %llu legacy-plane sends were not refused\n",
+                 static_cast<unsigned long long>(legacy_attempts -
+                                                 legacy_refused));
+    return 1;
+  }
+  if (handshake_failures != 0) {
+    std::fprintf(stderr, "FAIL: %llu session handshakes failed\n",
+                 static_cast<unsigned long long>(handshake_failures));
+    return 1;
+  }
 
   bench::JsonCounters json("fleet_load");
   json.set_count("devices", options.devices);
@@ -701,6 +812,10 @@ int main(int argc, char** argv) {
   json.set_count("cache_evictions", server.session_cache().evictions());
   json.set_count("transport_dropped", dropped);
   json.set_count("transport_garbled", garbled);
+  json.set_count("mixed.handshakes", handshakes);
+  json.set_count("mixed.handshake_failures", handshake_failures);
+  json.set_count("mixed.legacy_attempts", legacy_attempts);
+  json.set_count("mixed.legacy_refused", legacy_refused);
 
   // Phase 3: shard-scaling proof. shards=1 is the pre-sharding layout
   // (every request on one registry mutex and one cache mutex).

@@ -37,8 +37,13 @@ int main() {
               auth::birthday_collision_probability(alphabet, 10));
 
   // --- Enrollment: the clinic issues Alice a bead-coded pipette kit.
+  // The service refuses legacy static-key traffic: the bead census rides
+  // a negotiated session like any other command.
+  cloud::ServiceConfig service;
+  service.allow_legacy_plane = false;
   auto server = cloud::CloudServer(cloud::AnalysisConfig{}, alphabet,
-                                   auth::ParticleClassifier::train({}));
+                                   auth::ParticleClassifier::train({}),
+                                   auth::VerifierConfig{}, nullptr, service);
   crypto::ChaChaRng clinic_rng(99);
   const auth::CytoCode alice_code =
       server.enrollments().enroll_random("alice", clinic_rng);
@@ -65,9 +70,14 @@ int main() {
   phone::PhoneRelay relay;
   const std::vector<std::uint8_t> mac_key = {7, 7};
   server.provision_device(relay.config().device_id, mac_key);
+  controller.enable_session_crypto(relay.config().device_id, mac_key);
+  if (!relay.establish_session(controller, 1, server)) {
+    std::printf("session handshake failed\n");
+    return 1;
+  }
   const auto decision_envelope = relay.relay_auth(
-      acquisition.signals, 1, controller.session_volume_ul(), server,
-      mac_key, duration_s);
+      acquisition.signals, 0, controller.session_volume_ul(), server, {},
+      duration_s, controller.session_crypto());
   const auto decision =
       net::AuthDecisionPayload::deserialize(decision_envelope.payload);
   std::printf("authentication: %s (matched '%s', distance %.3f)\n",
@@ -96,9 +106,9 @@ int main() {
       impostor, controller.session_key_schedule_for_testing(), duration_s,
       77);
   const auto impostor_decision = net::AuthDecisionPayload::deserialize(
-      relay.relay_auth(impostor_acq.signals, 2,
-                       controller.session_volume_ul(), server, mac_key,
-                       duration_s)
+      relay.relay_auth(impostor_acq.signals, 0,
+                       controller.session_volume_ul(), server, {},
+                       duration_s, controller.session_crypto())
           .payload);
   std::printf("impostor with code %s: %s\n", guess.to_string().c_str(),
               impostor_decision.authenticated

@@ -34,14 +34,24 @@ int main() {
   acq.carriers_hz = {5.0e5, 8.0e5, 2.0e6, 2.5e6};
 
   auth::CytoAlphabet alphabet;
+  // Production posture: the legacy static-key plane is off, so both the
+  // auth pass and the diagnostic pass ride one negotiated session.
+  cloud::ServiceConfig service;
+  service.allow_legacy_plane = false;
   auto server = cloud::CloudServer(cloud::AnalysisConfig{}, alphabet,
                                    auth::ParticleClassifier::train(
-                                       {acq.carriers_hz, 300, 0.06, 7}));
+                                       {acq.carriers_hz, 300, 0.06, 7}),
+                                   auth::VerifierConfig{}, nullptr, service);
   core::Controller controller(key_params, design,
                               core::DiagnosticProfile::cd4_staging(), 404);
   phone::PhoneRelay relay;
   const std::vector<std::uint8_t> mac_key = {0xAB};
   server.provision_device(relay.config().device_id, mac_key);
+  controller.enable_session_crypto(relay.config().device_id, mac_key);
+  if (!relay.establish_session(controller, 1, server)) {
+    std::printf("session handshake failed\n");
+    return 1;
+  }
   const std::vector<std::uint8_t> practitioner_secret = {0x50, 0x4C};
 
   // --- 0. Enrollment (done once at the clinic).
@@ -77,9 +87,9 @@ int main() {
       assay_sample, controller.session_key_schedule_for_testing(),
       auth_duration, 11);
   const auto decision = net::AuthDecisionPayload::deserialize(
-      relay.relay_auth(auth_acq.signals, 1,
-                       controller.session_volume_ul(), server, mac_key,
-                       auth_duration)
+      relay.relay_auth(auth_acq.signals, 0,
+                       controller.session_volume_ul(), server, {},
+                       auth_duration, controller.session_crypto())
           .payload);
   std::printf("[cloud ] authentication: %s as '%s' (distance %.2f)\n",
               decision.authenticated ? "ACCEPTED" : "REJECTED",
@@ -98,8 +108,8 @@ int main() {
   const auto dx_acq = encryptor.acquire(
       dx_sample, controller.session_key_schedule_for_testing(),
       dx_duration, 13);
-  const auto response =
-      relay.relay_analysis(dx_acq.signals, 2, server, mac_key);
+  const auto response = relay.relay_analysis(dx_acq.signals, 0, server, {},
+                                             controller.session_crypto());
   const auto report = core::PeakReport::deserialize(response.payload);
   // The decoded peaks include the password beads. The controller
   // classifies each gain-corrected peak by its multi-frequency shape

@@ -6,6 +6,7 @@
 // for one patient whose count declines over visits.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "cloud/server.h"
 #include "core/controller.h"
@@ -16,8 +17,14 @@ using namespace medsen;
 
 namespace {
 
+// One at-home test. The device is provisioned once (in main); each
+// controller arms session crypto with the shared long-term key and
+// handshakes on its first visit, so repeat visits ride the same
+// negotiated session with advancing command counters.
 core::Diagnosis run_visit(core::Controller& controller,
                           cloud::CloudServer& server,
+                          phone::PhoneRelay& relay,
+                          const std::vector<std::uint8_t>& mac_key,
                           double cd4_per_ul, std::uint64_t seed) {
   const auto design = sim::standard_design(9);
   sim::ChannelConfig channel;
@@ -33,11 +40,15 @@ core::Diagnosis run_visit(core::Controller& controller,
       sample, controller.session_key_schedule_for_testing(), duration_s,
       seed);
 
-  phone::PhoneRelay relay;
-  const std::vector<std::uint8_t> mac_key = {1};
-  server.provision_device(relay.config().device_id, mac_key);
-  const auto response =
-      relay.relay_analysis(acquisition.signals, seed, server, mac_key);
+  if (controller.session_crypto() == nullptr)
+    controller.enable_session_crypto(relay.config().device_id, mac_key);
+  if (!controller.session_crypto()->active() &&
+      !relay.establish_session(controller, seed, server)) {
+    std::fprintf(stderr, "session handshake failed\n");
+    std::exit(1);
+  }
+  const auto response = relay.relay_analysis(acquisition.signals, 0, server,
+                                             {}, controller.session_crypto());
   return controller.conclude(
       core::PeakReport::deserialize(response.payload));
 }
@@ -50,9 +61,17 @@ int main() {
   key_params.num_electrodes = design.num_outputs;
   key_params.gain_min = 0.8;  // precision-safe gain range (Section VI-B)
   key_params.gain_max = 1.6;
+  // Legacy static-key traffic is refused: every visit authenticates
+  // through a negotiated session.
+  cloud::ServiceConfig service;
+  service.allow_legacy_plane = false;
   auto server = cloud::CloudServer(cloud::AnalysisConfig{},
                                    auth::CytoAlphabet{},
-                                   auth::ParticleClassifier::train({}));
+                                   auth::ParticleClassifier::train({}),
+                                   auth::VerifierConfig{}, nullptr, service);
+  phone::PhoneRelay relay;
+  const std::vector<std::uint8_t> mac_key = {1};
+  server.provision_device(relay.config().device_id, mac_key);
 
   std::printf("=== cross-sectional screening ===\n");
   struct PatientCase {
@@ -69,8 +88,8 @@ int main() {
     core::Controller controller(key_params, design,
                                 core::DiagnosticProfile::cd4_staging(),
                                 seed * 13);
-    const auto diagnosis =
-        run_visit(controller, server, patient.cd4_per_ul, seed++);
+    const auto diagnosis = run_visit(controller, server, relay, mac_key,
+                                     patient.cd4_per_ul, seed++);
     std::printf("%-22s true %4.0f/uL -> measured %6.0f/uL : %s%s\n",
                 patient.name, patient.cd4_per_ul,
                 diagnosis.concentration_per_ul, diagnosis.condition.c_str(),
@@ -83,7 +102,8 @@ int main() {
   std::printf("visit,true_cd4_per_ul,measured_per_ul,alert\n");
   double cd4 = 650.0;
   for (int visit = 0; visit < 6; ++visit) {
-    const auto diagnosis = run_visit(controller, server, cd4, 300 + visit);
+    const auto diagnosis =
+        run_visit(controller, server, relay, mac_key, cd4, 300 + visit);
     std::printf("%d,%.0f,%.0f,%s\n", visit, cd4,
                 diagnosis.concentration_per_ul,
                 diagnosis.alert ? "yes" : "no");

@@ -86,14 +86,22 @@ int cmd_diagnose(const Args& args) {
   core::Controller controller(params, design,
                               core::DiagnosticProfile::cd4_staging(),
                               args.seed * 7919);
+  cloud::ServiceConfig service;
+  service.allow_legacy_plane = false;
   auto server = cloud::CloudServer(cloud::AnalysisConfig{},
                                    auth::CytoAlphabet{},
-                                   auth::ParticleClassifier::train({}));
+                                   auth::ParticleClassifier::train({}),
+                                   auth::VerifierConfig{}, nullptr, service);
   phone::RelayConfig relay_config;
   relay_config.csv_format = args.csv;
   phone::PhoneRelay relay(relay_config);
   const std::vector<std::uint8_t> mac_key = {0x11};
   server.provision_device(relay.config().device_id, mac_key);
+  controller.enable_session_crypto(relay.config().device_id, mac_key);
+  if (!relay.establish_session(controller, args.seed, server)) {
+    std::fprintf(stderr, "session handshake failed\n");
+    return 1;
+  }
 
   sim::SampleSpec sample;
   sample.components = {{sim::ParticleType::kBloodCell, args.cells}};
@@ -106,7 +114,8 @@ int cmd_diagnose(const Args& args) {
         sample, channel, design, acq, params, args.duration, key_rng,
         args.seed);
     const auto response = relay.relay_analysis(
-        result.acquisition.signals, 1, server, mac_key);
+        result.acquisition.signals, 0, server, {},
+        controller.session_crypto());
     report = core::PeakReport::deserialize(response.payload);
     const auto decoded = core::decrypt_report(report, result.schedule,
                                               design, args.duration);
@@ -121,8 +130,8 @@ int cmd_diagnose(const Args& args) {
     const auto enc = encryptor.acquire(
         sample, controller.session_key_schedule_for_testing(),
         args.duration, args.seed);
-    const auto response =
-        relay.relay_analysis(enc.signals, 1, server, mac_key);
+    const auto response = relay.relay_analysis(
+        enc.signals, 0, server, {}, controller.session_crypto());
     report = core::PeakReport::deserialize(response.payload);
     diagnosis = controller.conclude(report);
     std::printf("scheme: periodic keys (%llu bits)\n",
@@ -161,8 +170,11 @@ int cmd_auth(const Args& args) {
     return 2;
   }
 
+  cloud::ServiceConfig service;
+  service.allow_legacy_plane = false;
   auto server = cloud::CloudServer(cloud::AnalysisConfig{}, alphabet,
-                                   auth::ParticleClassifier::train({}));
+                                   auth::ParticleClassifier::train({}),
+                                   auth::VerifierConfig{}, nullptr, service);
   server.enrollments().enroll("patient", code);
 
   const auto design = sim::standard_design(9);
@@ -185,9 +197,14 @@ int cmd_auth(const Args& args) {
   phone::PhoneRelay relay;
   const std::vector<std::uint8_t> mac_key = {0x22};
   server.provision_device(relay.config().device_id, mac_key);
+  controller.enable_session_crypto(relay.config().device_id, mac_key);
+  if (!relay.establish_session(controller, args.seed, server)) {
+    std::fprintf(stderr, "session handshake failed\n");
+    return 1;
+  }
   const auto response = relay.relay_auth(
-      enc.signals, 1, controller.session_volume_ul(), server, mac_key,
-      args.duration);
+      enc.signals, 0, controller.session_volume_ul(), server, {},
+      args.duration, controller.session_crypto());
   const auto decision =
       net::AuthDecisionPayload::deserialize(response.payload);
   std::printf("code %s -> %s (matched '%s', distance %.3f)\n",

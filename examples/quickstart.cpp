@@ -32,16 +32,29 @@ int main() {
                               core::DiagnosticProfile::cd4_staging(),
                               /*entropy_seed=*/20260707);
 
-  // 3. Untrusted parties: the phone relay and the cloud server.
+  // 3. Untrusted parties: the phone relay and the cloud server. The
+  //    service runs with the legacy static-key plane disabled: every
+  //    command must ride a negotiated session, so a stolen long-term MAC
+  //    key alone cannot replay or forge traffic.
+  cloud::ServiceConfig service;
+  service.allow_legacy_plane = false;
   auto server = cloud::CloudServer(cloud::AnalysisConfig{},
                                    auth::CytoAlphabet{},
-                                   auth::ParticleClassifier::train({}));
+                                   auth::ParticleClassifier::train({}),
+                                   auth::VerifierConfig{}, nullptr, service);
   phone::PhoneRelay relay;
   relay.set_progress_callback(
       [](const std::string& msg) { std::printf("  [app] %s\n", msg.c_str()); });
   const std::vector<std::uint8_t> mac_key = {0x42, 0x42};
-  // Provision this dongle's MAC key with the service (out-of-band step).
+  // Provision this dongle's MAC key with the service (out-of-band step),
+  // arm the controller's session crypto with the same long-term key, and
+  // negotiate derived session keys before any diagnostic traffic flows.
   server.provision_device(relay.config().device_id, mac_key);
+  controller.enable_session_crypto(relay.config().device_id, mac_key);
+  if (!relay.establish_session(controller, /*session=*/1, server)) {
+    std::printf("session handshake failed\n");
+    return 1;
+  }
 
   // 4. A patient's blood sample (simulated; CD4-like cells at 450/uL).
   sim::SampleSpec sample;
@@ -63,10 +76,12 @@ int main() {
               acquisition.signals.channel_count(),
               acquisition.truth.total_particles());
 
-  // 6. Phone relays to the cloud; the cloud counts ciphertext peaks.
+  // 6. Phone relays to the cloud over the negotiated session (the
+  //    session id and MAC key come from the handshake; the legacy
+  //    arguments are ignored when session crypto is active).
   const auto response =
-      relay.relay_analysis(acquisition.signals, /*session=*/1, server,
-                           mac_key);
+      relay.relay_analysis(acquisition.signals, /*session=*/0, server, {},
+                           controller.session_crypto());
   const auto report = core::PeakReport::deserialize(response.payload);
   std::printf("cloud saw %zu encrypted peaks (true count: %zu)\n",
               report.reference_peak_count(),

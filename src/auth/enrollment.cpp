@@ -10,8 +10,8 @@ EnrollmentDatabase::EnrollmentDatabase(CytoAlphabet alphabet)
   alphabet_.validate();
 }
 
-void EnrollmentDatabase::enroll(const std::string& user_id,
-                                const CytoCode& code) {
+void EnrollmentDatabase::check_enrollable(const std::string& user_id,
+                                          const CytoCode& code) const {
   if (code.levels.size() != alphabet_.characters())
     throw std::invalid_argument("enroll: code does not match alphabet");
   for (auto level : code.levels)
@@ -26,6 +26,11 @@ void EnrollmentDatabase::enroll(const std::string& user_id,
     if (r.user_id == user_id)
       throw std::invalid_argument("enroll: user already enrolled");
   }
+}
+
+void EnrollmentDatabase::enroll(const std::string& user_id,
+                                const CytoCode& code) {
+  check_enrollable(user_id, code);
   records_.push_back({user_id, code});
 }
 

@@ -29,6 +29,11 @@ class EnrollmentDatabase {
   /// code is malformed, all-zero, or already taken by another user.
   void enroll(const std::string& user_id, const CytoCode& code);
 
+  /// The validation half of enroll(), with no mutation: throws exactly
+  /// when enroll() would. Write-ahead callers (cloud durability) check
+  /// here first so an enrollment that cannot apply is never journaled.
+  void check_enrollable(const std::string& user_id, const CytoCode& code) const;
+
   /// Enroll with a freshly generated collision-free random code.
   CytoCode enroll_random(const std::string& user_id, crypto::ChaChaRng& rng);
 

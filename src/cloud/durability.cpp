@@ -1,0 +1,428 @@
+#include "cloud/durability.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "cloud/persistence.h"
+#include "cloud/server.h"
+#include "crypto/aes.h"
+#include "crypto/cmac.h"
+#include "util/crash_point.h"
+#include "util/fileio.h"
+#include "util/secure_zero.h"
+#include "util/serialize.h"
+
+namespace medsen::cloud {
+
+namespace {
+
+// Durable-snapshot magics, distinct from the legacy whole-file formats
+// (the bodies here carry an applied_lsn and a sealing flag).
+constexpr std::uint32_t kSnapRecordMagic = 0x4D445243;    // "MDRC"
+constexpr std::uint32_t kSnapEnrollMagic = 0x4D44454E;    // "MDEN"
+constexpr std::uint32_t kSnapRegistryMagic = 0x4D445247;  // "MDRG"
+constexpr std::uint32_t kSnapSessionMagic = 0x4D445353;   // "MDSS"
+
+std::string journal_file_for(const DurabilityConfig& config) {
+  util::ensure_directory(config.dir);
+  return config.dir + "/journal.wal";
+}
+
+template <typename Fn>
+auto replay_guard(const char* what, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const PersistenceError&) {
+    throw;
+  } catch (const util::SimulatedCrash&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw PersistenceError(std::string(what) + ": " + e.what());
+  }
+}
+
+/// Handshake-ordinal snapshot body: u32 count | (u64 device, u64 seq)*.
+/// Without this, compaction would truncate the kHandshake journal
+/// records and a later restart could rewind a device's RndB ordinal.
+std::vector<std::uint8_t> encode_sessions_body(const SessionAuthTable& table) {
+  const auto seqs = table.handshake_seqs();
+  util::ByteWriter body;
+  body.u32(static_cast<std::uint32_t>(seqs.size()));
+  for (const auto& [device, seq] : seqs) {
+    body.u64(device);
+    body.u64(seq);
+  }
+  return body.take();
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> decode_sessions_body(
+    std::span<const std::uint8_t> body) {
+  return replay_guard("decode_sessions_body", [&] {
+    util::ByteReader in(body);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> seqs;
+    const std::uint32_t count = in.count_u32(8 + 8);
+    seqs.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t device = in.u64();
+      seqs.emplace_back(device, in.u64());
+    }
+    in.expect_done("decode_sessions_body");
+    return seqs;
+  });
+}
+
+}  // namespace
+
+DurableState::DurableState(DurabilityConfig config)
+    : config_(std::move(config)),
+      journal_(journal_file_for(config_),
+               Journal::Config{config_.fsync}) {
+  if (!config_.storage_key.empty()) {
+    auto normalized =
+        crypto::normalize_cmac_key(config_.storage_key);  // medsen: secret
+    seal_key_.adopt(crypto::kdf_cmac(normalized, "medsen-store", {},
+                                     crypto::Aes128::kKeySize));
+    util::secure_wipe(normalized);
+  }
+}
+
+std::string DurableState::journal_path() const {
+  return config_.dir + "/journal.wal";
+}
+std::string DurableState::records_snapshot_path() const {
+  return config_.dir + "/records.snap";
+}
+std::string DurableState::enroll_snapshot_path() const {
+  return config_.dir + "/enroll.snap";
+}
+std::string DurableState::registry_snapshot_path() const {
+  return config_.dir + "/registry.snap";
+}
+std::string DurableState::sessions_snapshot_path() const {
+  return config_.dir + "/sessions.snap";
+}
+
+std::vector<std::uint8_t> DurableState::seal_payload(
+    std::vector<std::uint8_t> payload) {
+  util::ByteWriter out;
+  if (seal_key_.empty()) {
+    out.u8(0);
+    out.bytes(payload);
+    return out.take();
+  }
+  const std::uint64_t nonce =
+      nonce_.fetch_add(1, std::memory_order_relaxed);
+  crypto::Aes128Ctr ctr(
+      std::span<const std::uint8_t, crypto::Aes128::kKeySize>(
+          seal_key_.data(), crypto::Aes128::kKeySize),
+      nonce);
+  ctr.apply(payload);
+  out.u8(1);
+  out.u64(nonce);
+  out.bytes(payload);
+  return out.take();
+}
+
+std::vector<std::uint8_t> DurableState::unseal_payload(
+    std::span<const std::uint8_t> flagged) {
+  return replay_guard("unseal_payload", [&]() -> std::vector<std::uint8_t> {
+    util::ByteReader in(flagged);
+    const std::uint8_t sealed = in.u8();
+    if (sealed == 0) {
+      std::vector<std::uint8_t> plain(flagged.begin() + 1, flagged.end());
+      return plain;
+    }
+    if (sealed != 1)
+      throw PersistenceError("durability: unknown sealing flag");
+    if (seal_key_.empty())
+      throw PersistenceError(
+          "durability: sealed payload but no storage key configured");
+    const std::uint64_t nonce = in.u64();
+    // The nonce counter must stay ahead of every nonce ever written,
+    // including ones only visible through snapshots after compaction.
+    std::uint64_t expected = nonce_.load(std::memory_order_relaxed);
+    while (nonce + 1 > expected &&
+           !nonce_.compare_exchange_weak(expected, nonce + 1,
+                                         std::memory_order_relaxed)) {
+    }
+    std::vector<std::uint8_t> plain(flagged.begin() + 9, flagged.end());
+    crypto::Aes128Ctr ctr(
+        std::span<const std::uint8_t, crypto::Aes128::kKeySize>(
+            seal_key_.data(), crypto::Aes128::kKeySize),
+        nonce);
+    ctr.apply(plain);
+    return plain;
+  });
+}
+
+void DurableState::write_snapshot(const std::string& path,
+                                  std::uint32_t magic,
+                                  std::uint64_t applied_lsn,
+                                  std::vector<std::uint8_t> body) {
+  util::ByteWriter outer;
+  outer.u64(applied_lsn);
+  outer.blob(seal_payload(std::move(body)));
+  util::write_file_atomic(path, seal_blob(magic, outer.take()));
+}
+
+std::pair<std::uint64_t, std::vector<std::uint8_t>>
+DurableState::read_snapshot(const std::string& path, std::uint32_t magic) {
+  if (!util::file_exists(path)) return {0, {}};
+  const auto outer = unseal_blob(magic, util::read_file(path));
+  return replay_guard("read_snapshot", [&] {
+    util::ByteReader in(outer);
+    const std::uint64_t applied_lsn = in.u64();
+    const auto flagged = in.blob();
+    in.expect_done("read_snapshot");
+    return std::make_pair(applied_lsn, unseal_payload(flagged));
+  });
+}
+
+RecoveryStats DurableState::recover_into(CloudServer& server) {
+  const auto started = std::chrono::steady_clock::now();
+  RecoveryStats stats;
+  stats.tail_truncated = journal_.open_stats().tail_truncated;
+
+  // Snapshots first. Each store is gated on its own applied_lsn, so a
+  // crash between compaction's snapshot writes (mixed generations) still
+  // replays exactly the missing suffix per store.
+  const auto [records_lsn, records_body] =
+      read_snapshot(records_snapshot_path(), kSnapRecordMagic);
+  if (records_lsn != 0 || !records_body.empty()) {
+    for (auto& [key, records] : decode_records_body(records_body))
+      server.records().restore(key, std::move(records));
+    stats.snapshots_loaded = true;
+  }
+  const auto [enroll_lsn, enroll_body] =
+      read_snapshot(enroll_snapshot_path(), kSnapEnrollMagic);
+  if (enroll_lsn != 0 || !enroll_body.empty()) {
+    const auto db = decode_enrollments_body(enroll_body);
+    for (const auto& record : db.records())
+      server.enrollments().enroll(record.user_id, record.code);
+    stats.snapshots_loaded = true;
+  }
+  const auto [registry_lsn, registry_body] =
+      read_snapshot(registry_snapshot_path(), kSnapRegistryMagic);
+  if (registry_lsn != 0 || !registry_body.empty()) {
+    server.devices().restore(decode_registry_body(registry_body));
+    stats.snapshots_loaded = true;
+  }
+  const auto [sessions_lsn, sessions_body] =
+      read_snapshot(sessions_snapshot_path(), kSnapSessionMagic);
+  if (sessions_lsn != 0 || !sessions_body.empty()) {
+    for (const auto& [device, seq] : decode_sessions_body(sessions_body))
+      server.sessions().restore_handshake_seq(device, seq);
+    stats.snapshots_loaded = true;
+  }
+
+  // The snapshots are the only carrier of the LSN sequence across a
+  // crash that lands between compaction's truncate and the next append:
+  // push their high-water mark back into the journal before anything new
+  // is appended, or fresh records would reuse gated-out LSNs.
+  journal_.raise_lsn_floor(std::max({records_lsn, enroll_lsn, registry_lsn,
+                                     sessions_lsn}));
+
+  // Journal replay, LSN-gated per store.
+  for (const auto& record : journal_.take_recovered()) {
+    const auto payload = unseal_payload(record.payload);
+    replay_guard("journal replay", [&] {
+      util::ByteReader in(payload);
+      switch (record.type) {
+        case JournalRecordType::kRecordStored: {
+          const std::string key = in.str();
+          StoredRecord stored;
+          stored.session_id = in.u64();
+          stored.encrypted_result = in.blob();
+          in.expect_done("replay kRecordStored");
+          if (record.lsn <= records_lsn) return;
+          server.records().append(key, std::move(stored));
+          ++stats.stored_records;
+          break;
+        }
+        case JournalRecordType::kUserEnrolled: {
+          const std::string user = in.str();
+          const auto code = auth::deserialize_code(in.blob());
+          in.expect_done("replay kUserEnrolled");
+          if (record.lsn <= enroll_lsn) return;
+          server.enrollments().enroll(user, code);
+          ++stats.user_enrollments;
+          break;
+        }
+        case JournalRecordType::kDeviceProvisioned: {
+          const std::uint64_t id = in.u64();
+          auto key = in.blob();
+          in.expect_done("replay kDeviceProvisioned");
+          if (record.lsn <= registry_lsn) return;
+          server.devices().provision(id, std::move(key));
+          ++stats.registry_events;
+          break;
+        }
+        case JournalRecordType::kDeviceEnrolled: {
+          const std::uint64_t id = in.u64();
+          in.expect_done("replay kDeviceEnrolled");
+          if (record.lsn <= registry_lsn) return;
+          server.devices().enroll(id);
+          ++stats.registry_events;
+          break;
+        }
+        case JournalRecordType::kDeviceRevoked: {
+          const std::uint64_t id = in.u64();
+          in.expect_done("replay kDeviceRevoked");
+          if (record.lsn <= registry_lsn) return;
+          server.devices().revoke(id);
+          ++stats.registry_events;
+          break;
+        }
+        case JournalRecordType::kMasterRotated: {
+          const std::uint32_t epoch = in.u32();
+          auto master = in.blob();
+          in.expect_done("replay kMasterRotated");
+          if (record.lsn <= registry_lsn) return;
+          server.devices().set_master_key(epoch, std::move(master));
+          ++stats.registry_events;
+          break;
+        }
+        case JournalRecordType::kEpochRetired: {
+          const std::uint32_t epoch = in.u32();
+          in.expect_done("replay kEpochRetired");
+          if (record.lsn <= registry_lsn) return;
+          server.devices().retire_epoch(epoch);
+          ++stats.registry_events;
+          break;
+        }
+        case JournalRecordType::kHandshake: {
+          const std::uint64_t device = in.u64();
+          const std::uint64_t seq = in.u64();
+          in.expect_done("replay kHandshake");
+          if (record.lsn <= sessions_lsn) return;
+          server.sessions().restore_handshake_seq(device, seq);
+          ++stats.handshake_marks;
+          break;
+        }
+        default:
+          throw PersistenceError(
+              "journal: unknown record type " +
+              std::to_string(static_cast<unsigned>(record.type)));
+      }
+      ++stats.records_replayed;
+    });
+  }
+
+  stats.last_lsn = journal_.last_lsn();
+  stats.replay_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  recovery_ = stats;
+  util::crash_point("durability.recover.done");
+  return stats;
+}
+
+void DurableState::append_and_apply(JournalRecordType type,
+                                    std::vector<std::uint8_t> payload,
+                                    const std::function<void()>& apply) {
+  // Seal outside the gate (AES work off the lock), then journal and
+  // apply under it so compaction always sees memory == replay(journal).
+  auto sealed = seal_payload(std::move(payload));
+  gate_.with(0, [&](Gate&) {
+    journal_.append(type, sealed);
+    apply();
+  });
+}
+
+void DurableState::log_record(const std::string& key,
+                              const StoredRecord& record,
+                              const std::function<void()>& apply) {
+  util::ByteWriter payload;
+  payload.str(key);
+  payload.u64(record.session_id);
+  payload.blob(record.encrypted_result);
+  append_and_apply(JournalRecordType::kRecordStored, payload.take(), apply);
+}
+
+void DurableState::log_user_enrolled(const std::string& user_id,
+                                     const auth::CytoCode& code,
+                                     const std::function<void()>& apply) {
+  util::ByteWriter payload;
+  payload.str(user_id);
+  payload.blob(auth::serialize_code(code));
+  append_and_apply(JournalRecordType::kUserEnrolled, payload.take(), apply);
+}
+
+void DurableState::log_provision(std::uint64_t device_id,
+                                 std::span<const std::uint8_t> mac_key,
+                                 const std::function<void()>& apply) {
+  util::ByteWriter payload;
+  payload.u64(device_id);
+  payload.blob(mac_key);
+  append_and_apply(JournalRecordType::kDeviceProvisioned, payload.take(),
+                   apply);
+}
+
+void DurableState::log_enroll_device(std::uint64_t device_id,
+                                     const std::function<void()>& apply) {
+  util::ByteWriter payload;
+  payload.u64(device_id);
+  append_and_apply(JournalRecordType::kDeviceEnrolled, payload.take(), apply);
+}
+
+void DurableState::log_revoke(std::uint64_t device_id,
+                              const std::function<void()>& apply) {
+  util::ByteWriter payload;
+  payload.u64(device_id);
+  append_and_apply(JournalRecordType::kDeviceRevoked, payload.take(), apply);
+}
+
+void DurableState::log_master_rotated(std::uint32_t epoch,
+                                      std::span<const std::uint8_t> master,
+                                      const std::function<void()>& apply) {
+  util::ByteWriter payload;
+  payload.u32(epoch);
+  payload.blob(master);
+  append_and_apply(JournalRecordType::kMasterRotated, payload.take(), apply);
+}
+
+void DurableState::log_epoch_retired(std::uint32_t epoch,
+                                     const std::function<void()>& apply) {
+  util::ByteWriter payload;
+  payload.u32(epoch);
+  append_and_apply(JournalRecordType::kEpochRetired, payload.take(), apply);
+}
+
+void DurableState::log_handshake(std::uint64_t device_id, std::uint64_t seq) {
+  util::ByteWriter payload;
+  payload.u64(device_id);
+  payload.u64(seq);
+  append_and_apply(JournalRecordType::kHandshake, payload.take(), [] {});
+}
+
+void DurableState::compact(CloudServer& server) {
+  gate_.with(0, [&](Gate&) {
+    if (journal_.appended_since_compaction() == 0) return;
+    util::crash_point("durability.compact.begin");
+    const std::uint64_t lsn = journal_.last_lsn();
+    write_snapshot(records_snapshot_path(), kSnapRecordMagic, lsn,
+                   encode_records_body(server.records()));
+    util::crash_point("durability.compact.records_written");
+    write_snapshot(enroll_snapshot_path(), kSnapEnrollMagic, lsn,
+                   encode_enrollments_body(server.enrollments()));
+    write_snapshot(registry_snapshot_path(), kSnapRegistryMagic, lsn,
+                   encode_registry_body(server.devices()));
+    write_snapshot(sessions_snapshot_path(), kSnapSessionMagic, lsn,
+                   encode_sessions_body(server.sessions()));
+    util::crash_point("durability.compact.snapshots_written");
+    journal_.truncate_all();
+    util::crash_point("durability.compact.done");
+  });
+}
+
+void DurableState::maybe_compact(CloudServer& server) {
+  if (config_.compact_after_records == 0) return;
+  if (journal_.appended_since_compaction() < config_.compact_after_records)
+    return;
+  compact(server);
+}
+
+}  // namespace medsen::cloud

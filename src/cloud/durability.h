@@ -1,0 +1,159 @@
+#pragma once
+// cloud::DurableState — the crash-consistency layer for one CloudServer.
+// It owns a write-ahead journal plus four LSN-stamped compaction
+// snapshots (records, enrollments, registry, handshake ordinals), and
+// enforces the
+// ack ⇒ durable contract: every server-side mutation is appended (and
+// fsync'd) to the journal *and applied to memory under the same lock*
+// before the caller may acknowledge it, so a compaction snapshot can
+// never observe memory ahead of or behind the LSN it stamps.
+//
+// Recovery = load snapshots, then replay every journal record whose LSN
+// is newer than the matching snapshot's applied_lsn. Replay is
+// idempotent across mixed-generation snapshots because each store is
+// gated on its own applied_lsn.
+//
+// Secrets at rest: when `storage_key` is set, every journal payload and
+// every snapshot body is sealed with AES-128-CTR under a key derived
+// once from the storage key (nonces are a persisted monotonic counter,
+// never reused across restarts), so no plaintext key material, cyto-code
+// or enrollment record ever reaches disk — the chaos harness scans for
+// exactly that.
+//
+// Handshake ordinals are journaled too (kHandshake): the server's
+// deterministic RndB derivation must never rewind across a crash, or a
+// restarted server would re-issue an old nonce and an observer could
+// replay a recorded handshake — the "no duplicated auth decision"
+// invariant.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "auth/identifier.h"
+#include "cloud/journal.h"
+#include "cloud/storage.h"
+#include "util/secret_bytes.h"
+#include "util/sharded.h"
+
+namespace medsen::cloud {
+
+class CloudServer;
+
+struct DurabilityConfig {
+  /// State directory (created if missing). Holds journal.wal,
+  /// records.snap, enroll.snap, registry.snap, sessions.snap.
+  std::string dir;
+  /// fsync each journal append (the ack ⇒ durable contract); off only
+  /// for benches measuring the in-memory path.
+  bool fsync = true;
+  /// Compact (snapshot + truncate the journal) once this many records
+  /// have been appended since the last compaction (0 = manual only).
+  std::uint64_t compact_after_records = 4096;
+  /// When non-empty, seals journal payloads and snapshot bodies
+  /// (AES-128-CTR under a derived key). Empty = plaintext (tests only).
+  std::vector<std::uint8_t> storage_key;
+};
+
+/// What recovery found and how long replay took (the chaos harness
+/// exports these as recovery.replay_ms / recovery.records_replayed).
+struct RecoveryStats {
+  bool snapshots_loaded = false;
+  std::uint64_t records_replayed = 0;  ///< journal records applied
+  std::uint64_t stored_records = 0;
+  std::uint64_t registry_events = 0;
+  std::uint64_t user_enrollments = 0;
+  std::uint64_t handshake_marks = 0;
+  std::uint64_t last_lsn = 0;
+  bool tail_truncated = false;
+  double replay_ms = 0.0;
+};
+
+class DurableState {
+ public:
+  /// Opens (or creates) the journal under config.dir. Throws
+  /// PersistenceError on corrupt on-disk state.
+  explicit DurableState(DurabilityConfig config);
+
+  /// Load snapshots and replay the journal into the server's stores.
+  /// Call exactly once, before any log_* hook (CloudServer::
+  /// attach_durability does both in order).
+  RecoveryStats recover_into(CloudServer& server);
+
+  // Append hooks. Each one journals the event durably and then runs
+  // `apply` (the in-memory mutation) under the same lock, so snapshots
+  // taken by compact() are always consistent with the journal LSN.
+  void log_record(const std::string& key, const StoredRecord& record,
+                  const std::function<void()>& apply);
+  void log_user_enrolled(const std::string& user_id,
+                         const auth::CytoCode& code,
+                         const std::function<void()>& apply);
+  void log_provision(std::uint64_t device_id,
+                     std::span<const std::uint8_t> mac_key,
+                     const std::function<void()>& apply);
+  void log_enroll_device(std::uint64_t device_id,
+                         const std::function<void()>& apply);
+  void log_revoke(std::uint64_t device_id,
+                  const std::function<void()>& apply);
+  void log_master_rotated(std::uint32_t epoch,
+                          std::span<const std::uint8_t> master,
+                          const std::function<void()>& apply);
+  void log_epoch_retired(std::uint32_t epoch,
+                         const std::function<void()>& apply);
+  /// Handshake ordinal burned (already bumped in memory by the caller).
+  void log_handshake(std::uint64_t device_id, std::uint64_t seq);
+
+  /// Snapshot all stores (stamped with the journal's current LSN)
+  /// and truncate the journal. Blocks concurrent log_* calls for the
+  /// duration; crash-safe at every intermediate point.
+  void compact(CloudServer& server);
+  /// compact() iff the auto-compaction threshold has been reached.
+  void maybe_compact(CloudServer& server);
+
+  [[nodiscard]] std::uint64_t last_lsn() const { return journal_.last_lsn(); }
+  [[nodiscard]] const RecoveryStats& last_recovery() const {
+    return recovery_;
+  }
+  [[nodiscard]] std::string journal_path() const;
+  [[nodiscard]] std::string records_snapshot_path() const;
+  [[nodiscard]] std::string enroll_snapshot_path() const;
+  [[nodiscard]] std::string registry_snapshot_path() const;
+  /// Handshake-ordinal snapshot — without it, compaction would truncate
+  /// kHandshake records and a restart could rewind RndB freshness.
+  [[nodiscard]] std::string sessions_snapshot_path() const;
+
+ private:
+  /// One-shard Sharded (cloud-mutex rule) serializing append+apply
+  /// against compaction. The journal's own lock nests inside.
+  struct Gate {};
+
+  void append_and_apply(JournalRecordType type,
+                        std::vector<std::uint8_t> payload,
+                        const std::function<void()>& apply);
+  /// Flag-prefixed payload sealing: u8 0 | plaintext, or
+  /// u8 1 | u64 nonce | ciphertext when a storage key is configured.
+  [[nodiscard]] std::vector<std::uint8_t> seal_payload(
+      std::vector<std::uint8_t> payload);
+  [[nodiscard]] std::vector<std::uint8_t> unseal_payload(
+      std::span<const std::uint8_t> flagged);
+  void write_snapshot(const std::string& path, std::uint32_t magic,
+                      std::uint64_t applied_lsn,
+                      std::vector<std::uint8_t> body);
+  /// Returns (applied_lsn, body) or applied_lsn 0 when the file is
+  /// absent.
+  [[nodiscard]] std::pair<std::uint64_t, std::vector<std::uint8_t>>
+  read_snapshot(const std::string& path, std::uint32_t magic);
+
+  DurabilityConfig config_;
+  Journal journal_;
+  util::SecretBytes seal_key_;          ///< derived once; empty = plaintext
+  std::atomic<std::uint64_t> nonce_{1};  ///< next sealing nonce
+  util::Sharded<Gate> gate_{1};
+  RecoveryStats recovery_;
+};
+
+}  // namespace medsen::cloud

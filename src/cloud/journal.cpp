@@ -1,0 +1,165 @@
+#include "cloud/journal.h"
+
+#include <utility>
+
+#include "compress/crc32.h"
+#include "util/crash_point.h"
+#include "util/serialize.h"
+
+namespace medsen::cloud {
+
+namespace {
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t read_u64le(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(read_u32le(p)) |
+         (static_cast<std::uint64_t>(read_u32le(p + 4)) << 32);
+}
+
+std::vector<std::uint8_t> make_header() {
+  util::ByteWriter out;
+  out.u32(Journal::kMagic);
+  out.u32(Journal::kVersion);
+  out.u32(0);  // flags (reserved)
+  out.u32(0);  // reserved
+  return out.take();
+}
+
+/// A record body must hold at least its LSN and type byte.
+constexpr std::size_t kMinBodySize = 8 + 1;
+
+}  // namespace
+
+Journal::Journal(std::string path, Config config)
+    : path_(std::move(path)), config_(config) {
+  util::crash_point("journal.open");
+  const bool existed = util::file_exists(path_);
+  std::vector<std::uint8_t> bytes;
+  if (existed) bytes = util::read_file(path_);
+
+  // Scan phase: find the valid prefix. A file smaller than the header
+  // can only be a creation the crash interrupted before anything was
+  // acknowledged — reinitialize it. A *wrong* header is foreign or
+  // corrupt state and must not be silently wiped.
+  bool reinit = !existed || bytes.size() < kHeaderSize;
+  std::uint64_t scan_last_lsn = 0;
+  std::size_t keep = kHeaderSize;
+  if (!reinit) {
+    if (read_u32le(bytes.data()) != kMagic)
+      throw PersistenceError("journal: bad magic in " + path_);
+    if (read_u32le(bytes.data() + 4) != kVersion)
+      throw PersistenceError("journal: unsupported version in " + path_);
+    std::size_t offset = kHeaderSize;
+    while (offset < bytes.size()) {
+      const std::size_t rem = bytes.size() - offset;
+      if (rem < 8) break;  // torn length/CRC prefix
+      const std::uint32_t len = read_u32le(bytes.data() + offset);
+      const std::uint32_t crc = read_u32le(bytes.data() + offset + 4);
+      if (len > rem - 8) break;  // body extends past EOF: torn append
+      const std::span<const std::uint8_t> body{bytes.data() + offset + 8,
+                                               len};
+      const bool is_last = offset + 8 + len == bytes.size();
+      const bool valid =
+          len >= kMinBodySize && compress::crc32(body) == crc;
+      if (!valid) {
+        if (is_last) break;  // torn final record
+        throw PersistenceError(
+            "journal: interior corruption at offset " +
+            std::to_string(offset) + " in " + path_);
+      }
+      const std::uint64_t lsn = read_u64le(body.data());
+      if (lsn <= scan_last_lsn)
+        throw PersistenceError("journal: non-monotonic LSN " +
+                               std::to_string(lsn) + " in " + path_);
+      JournalRecord record;
+      record.lsn = lsn;
+      record.type = static_cast<JournalRecordType>(body[8]);
+      record.payload.assign(body.begin() + 9, body.end());
+      recovered_.push_back(std::move(record));
+      scan_last_lsn = lsn;
+      offset += 8 + len;
+    }
+    keep = offset;
+  }
+
+  stats_.records_recovered = recovered_.size();
+  stats_.last_lsn = scan_last_lsn;
+  stats_.tail_truncated = !reinit && keep < bytes.size();
+  stats_.truncated_bytes =
+      stats_.tail_truncated ? bytes.size() - keep : 0;
+
+  state_.with(0, [&](State& state) {
+    state.file = util::DurableFile::open_append(path_);
+    if (reinit) {
+      state.file.truncate(0);
+      state.file.append(make_header());
+      state.file.sync();
+    } else if (stats_.tail_truncated) {
+      util::crash_point("journal.open.truncate_tail");
+      state.file.truncate(keep);
+    }
+    state.next_lsn = scan_last_lsn + 1;
+    state.appended = recovered_.size();
+  });
+}
+
+std::vector<JournalRecord> Journal::take_recovered() {
+  return std::move(recovered_);
+}
+
+std::uint64_t Journal::append(JournalRecordType type,
+                              std::span<const std::uint8_t> payload) {
+  return state_.with(0, [&](State& state) {
+    util::ByteWriter body;
+    body.u64(state.next_lsn);
+    body.u8(static_cast<std::uint8_t>(type));
+    body.bytes(payload);
+    util::ByteWriter frame;
+    frame.u32(static_cast<std::uint32_t>(body.size()));
+    frame.u32(compress::crc32(body.data()));
+    frame.bytes(body.data());
+    const std::span<const std::uint8_t> out{frame.data()};
+    // Two half-appends around a crash site: the sweep gets a genuinely
+    // torn tail, which open() must truncate cleanly.
+    const std::size_t half = out.size() / 2;
+    state.file.append(out.first(half));
+    util::crash_point("journal.append.torn");
+    state.file.append(out.subspan(half));
+    util::crash_point("journal.append.unsynced");
+    if (config_.fsync_each_append) state.file.sync();
+    util::crash_point("journal.append.synced");
+    ++state.appended;
+    return state.next_lsn++;
+  });
+}
+
+void Journal::truncate_all() {
+  state_.with(0, [&](State& state) {
+    util::crash_point("journal.compact.before_truncate");
+    state.file.truncate(kHeaderSize);
+    state.appended = 0;
+  });
+}
+
+void Journal::raise_lsn_floor(std::uint64_t last_lsn) {
+  state_.with(0, [&](State& state) {
+    if (last_lsn + 1 > state.next_lsn) state.next_lsn = last_lsn + 1;
+  });
+}
+
+std::uint64_t Journal::last_lsn() const {
+  return state_.with(0,
+                     [](const State& state) { return state.next_lsn - 1; });
+}
+
+std::uint64_t Journal::appended_since_compaction() const {
+  return state_.with(0, [](const State& state) { return state.appended; });
+}
+
+}  // namespace medsen::cloud

@@ -1,6 +1,7 @@
 #include "cloud/persistence.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "compress/crc32.h"
 #include "util/fileio.h"
@@ -10,33 +11,20 @@ namespace medsen::cloud {
 
 namespace {
 
-constexpr std::uint32_t kEnrollMagic = 0x4D53454E;    // "MSEN"
-constexpr std::uint32_t kRecordMagic = 0x4D535243;    // "MSRC"
-constexpr std::uint32_t kRegistryMagic = 0x4D535247;  // "MSRG"
 constexpr std::uint32_t kVersion = 1;
 
-std::vector<std::uint8_t> seal(std::uint32_t magic,
-                               std::vector<std::uint8_t> body) {
-  util::ByteWriter out;
-  out.u32(magic);
-  out.u32(kVersion);
-  out.u32(compress::crc32(body));
-  out.blob(body);
-  return out.take();
-}
-
-std::vector<std::uint8_t> unseal(std::uint32_t magic,
-                                 std::span<const std::uint8_t> file) {
-  util::ByteReader in(file);
-  if (in.u32() != magic)
-    throw std::runtime_error("persistence: bad magic");
-  if (in.u32() != kVersion)
-    throw std::runtime_error("persistence: unsupported version");
-  const std::uint32_t crc = in.u32();
-  auto body = in.blob();
-  if (compress::crc32(body) != crc)
-    throw std::runtime_error("persistence: CRC mismatch");
-  return body;
+/// Run a decoder, converting any low-level throw (ByteReader underflow,
+/// hostile counts, code deserialization) into the typed PersistenceError
+/// so corrupt bytes never surface as an untyped internal error.
+template <typename Fn>
+auto decode_guard(const char* what, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const PersistenceError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw PersistenceError(std::string(what) + ": " + e.what());
+  }
 }
 
 void write_alphabet(util::ByteWriter& out, const auth::CytoAlphabet& a) {
@@ -47,7 +35,7 @@ void write_alphabet(util::ByteWriter& out, const auth::CytoAlphabet& a) {
 
 auth::CytoAlphabet read_alphabet(util::ByteReader& in) {
   auth::CytoAlphabet a;
-  const std::uint32_t types = in.u32();
+  const std::uint32_t types = in.count_u32(1);
   a.bead_types.clear();
   for (std::uint32_t i = 0; i < types; ++i)
     a.bead_types.push_back(static_cast<sim::ParticleType>(in.u8()));
@@ -57,8 +45,34 @@ auth::CytoAlphabet read_alphabet(util::ByteReader& in) {
 
 }  // namespace
 
-void save_enrollments(const auth::EnrollmentDatabase& db,
-                      const std::string& path) {
+std::vector<std::uint8_t> seal_blob(std::uint32_t magic,
+                                    std::vector<std::uint8_t> body) {
+  util::ByteWriter out;
+  out.u32(magic);
+  out.u32(kVersion);
+  out.u32(compress::crc32(body));
+  out.blob(body);
+  return out.take();
+}
+
+std::vector<std::uint8_t> unseal_blob(std::uint32_t magic,
+                                      std::span<const std::uint8_t> file) {
+  return decode_guard("unseal", [&] {
+    util::ByteReader in(file);
+    if (in.u32() != magic) throw PersistenceError("persistence: bad magic");
+    if (in.u32() != kVersion)
+      throw PersistenceError("persistence: unsupported version");
+    const std::uint32_t crc = in.u32();
+    auto body = in.blob();
+    if (compress::crc32(body) != crc)
+      throw PersistenceError("persistence: CRC mismatch");
+    in.expect_done("unseal");
+    return body;
+  });
+}
+
+std::vector<std::uint8_t> encode_enrollments_body(
+    const auth::EnrollmentDatabase& db) {
   util::ByteWriter body;
   write_alphabet(body, db.alphabet());
   const auto records = db.records();
@@ -67,24 +81,26 @@ void save_enrollments(const auth::EnrollmentDatabase& db,
     body.str(record.user_id);
     body.blob(auth::serialize_code(record.code));
   }
-  // Temp-then-rename: a crash mid-save must not tear the live database.
-  util::write_file_atomic(path, seal(kEnrollMagic, body.take()));
+  return body.take();
 }
 
-auth::EnrollmentDatabase load_enrollments(const std::string& path) {
-  const auto body = unseal(kEnrollMagic, util::read_file(path));
-  util::ByteReader in(body);
-  auth::EnrollmentDatabase db(read_alphabet(in));
-  const std::uint32_t count = in.u32();
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::string user = in.str();
-    const auto code = auth::deserialize_code(in.blob());
-    db.enroll(user, code);
-  }
-  return db;
+auth::EnrollmentDatabase decode_enrollments_body(
+    std::span<const std::uint8_t> body) {
+  return decode_guard("decode_enrollments_body", [&] {
+    util::ByteReader in(body);
+    auth::EnrollmentDatabase db(read_alphabet(in));
+    const std::uint32_t count = in.count_u32(4 + 4);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::string user = in.str();
+      const auto code = auth::deserialize_code(in.blob());
+      db.enroll(user, code);
+    }
+    in.expect_done("decode_enrollments_body");
+    return db;
+  });
 }
 
-void save_records(const RecordStore& store, const std::string& path) {
+std::vector<std::uint8_t> encode_records_body(const RecordStore& store) {
   util::ByteWriter body;
   // snapshot(): a consistent copy even while the server keeps serving.
   const auto entries = store.snapshot();
@@ -97,10 +113,35 @@ void save_records(const RecordStore& store, const std::string& path) {
       body.blob(record.encrypted_result);
     }
   }
-  util::write_file_atomic(path, seal(kRecordMagic, body.take()));
+  return body.take();
 }
 
-void save_registry(const DeviceRegistry& registry, const std::string& path) {
+std::map<std::string, std::vector<StoredRecord>> decode_records_body(
+    std::span<const std::uint8_t> body) {
+  return decode_guard("decode_records_body", [&] {
+    util::ByteReader in(body);
+    std::map<std::string, std::vector<StoredRecord>> entries;
+    const std::uint32_t identifiers = in.count_u32(4 + 4);
+    for (std::uint32_t i = 0; i < identifiers; ++i) {
+      const std::string key = in.str();
+      const std::uint32_t count = in.count_u32(8 + 4);
+      std::vector<StoredRecord> records;
+      records.reserve(count);
+      for (std::uint32_t k = 0; k < count; ++k) {
+        StoredRecord record;
+        record.session_id = in.u64();
+        record.encrypted_result = in.blob();
+        records.push_back(std::move(record));
+      }
+      entries[key] = std::move(records);
+    }
+    in.expect_done("decode_records_body");
+    return entries;
+  });
+}
+
+std::vector<std::uint8_t> encode_registry_body(
+    const DeviceRegistry& registry) {
   // snapshot() hands back fully sorted collections, so this body is
   // byte-identical across runs whatever the hash tables did.
   const RegistrySnapshot snap = registry.snapshot();
@@ -120,52 +161,65 @@ void save_registry(const DeviceRegistry& registry, const std::string& path) {
   for (const std::uint64_t id : snap.enrolled) body.u64(id);
   body.u32(static_cast<std::uint32_t>(snap.revoked.size()));
   for (const std::uint64_t id : snap.revoked) body.u64(id);
-  util::write_file_atomic(path, seal(kRegistryMagic, body.take()));
+  return body.take();
 }
 
-void load_registry(DeviceRegistry& registry, const std::string& path) {
-  const auto body = unseal(kRegistryMagic, util::read_file(path));
-  util::ByteReader in(body);
-  RegistrySnapshot snap;
-  const std::uint32_t legacy = in.count_u32(8 + 4);
-  for (std::uint32_t i = 0; i < legacy; ++i) {
-    const std::uint64_t id = in.u64();
-    snap.legacy_keys.emplace_back(id, in.blob());
-  }
-  const std::uint32_t masters = in.count_u32(4 + 4);
-  for (std::uint32_t i = 0; i < masters; ++i) {
-    const std::uint32_t epoch = in.u32();
-    snap.masters.emplace_back(epoch, in.blob());
-  }
-  snap.current_epoch = in.u32();
-  const std::uint32_t enrolled = in.count_u32(8);
-  for (std::uint32_t i = 0; i < enrolled; ++i)
-    snap.enrolled.push_back(in.u64());
-  const std::uint32_t revoked = in.count_u32(8);
-  for (std::uint32_t i = 0; i < revoked; ++i) snap.revoked.push_back(in.u64());
-  in.expect_done("load_registry");
-  registry.restore(snap);
+RegistrySnapshot decode_registry_body(std::span<const std::uint8_t> body) {
+  return decode_guard("decode_registry_body", [&] {
+    util::ByteReader in(body);
+    RegistrySnapshot snap;
+    const std::uint32_t legacy = in.count_u32(8 + 4);
+    for (std::uint32_t i = 0; i < legacy; ++i) {
+      const std::uint64_t id = in.u64();
+      snap.legacy_keys.emplace_back(id, in.blob());
+    }
+    const std::uint32_t masters = in.count_u32(4 + 4);
+    for (std::uint32_t i = 0; i < masters; ++i) {
+      const std::uint32_t epoch = in.u32();
+      snap.masters.emplace_back(epoch, in.blob());
+    }
+    snap.current_epoch = in.u32();
+    const std::uint32_t enrolled = in.count_u32(8);
+    for (std::uint32_t i = 0; i < enrolled; ++i)
+      snap.enrolled.push_back(in.u64());
+    const std::uint32_t revoked = in.count_u32(8);
+    for (std::uint32_t i = 0; i < revoked; ++i)
+      snap.revoked.push_back(in.u64());
+    in.expect_done("decode_registry_body");
+    return snap;
+  });
+}
+
+void save_enrollments(const auth::EnrollmentDatabase& db,
+                      const std::string& path) {
+  // Temp-then-rename: a crash mid-save must not tear the live database.
+  util::write_file_atomic(path,
+                          seal_blob(kEnrollMagic, encode_enrollments_body(db)));
+}
+
+auth::EnrollmentDatabase load_enrollments(const std::string& path) {
+  return decode_enrollments_body(
+      unseal_blob(kEnrollMagic, util::read_file(path)));
+}
+
+void save_records(const RecordStore& store, const std::string& path) {
+  util::write_file_atomic(path,
+                          seal_blob(kRecordMagic, encode_records_body(store)));
 }
 
 RecordStore load_records(const std::string& path) {
-  const auto body = unseal(kRecordMagic, util::read_file(path));
-  util::ByteReader in(body);
-  std::map<std::string, std::vector<StoredRecord>> entries;
-  const std::uint32_t identifiers = in.u32();
-  for (std::uint32_t i = 0; i < identifiers; ++i) {
-    const std::string key = in.str();
-    const std::uint32_t count = in.u32();
-    std::vector<StoredRecord> records;
-    records.reserve(count);
-    for (std::uint32_t k = 0; k < count; ++k) {
-      StoredRecord record;
-      record.session_id = in.u64();
-      record.encrypted_result = in.blob();
-      records.push_back(std::move(record));
-    }
-    entries[key] = std::move(records);
-  }
-  return RecordStore(std::move(entries));
+  return RecordStore(
+      decode_records_body(unseal_blob(kRecordMagic, util::read_file(path))));
+}
+
+void save_registry(const DeviceRegistry& registry, const std::string& path) {
+  util::write_file_atomic(
+      path, seal_blob(kRegistryMagic, encode_registry_body(registry)));
+}
+
+void load_registry(DeviceRegistry& registry, const std::string& path) {
+  registry.restore(
+      decode_registry_body(unseal_blob(kRegistryMagic, util::read_file(path))));
 }
 
 }  // namespace medsen::cloud

@@ -1,0 +1,19 @@
+#pragma once
+// cloud::PersistenceError — the typed failure for corrupt or
+// unloadable on-disk state (snapshots and the write-ahead journal).
+// Distinct from generic std::runtime_error so operators can tell "the
+// stored state is damaged — restore from backup" apart from transient
+// runtime failures, and so tests can assert that hostile bytes surface
+// as exactly this, never as UB or a silent partial load.
+
+#include <stdexcept>
+#include <string>
+
+namespace medsen::cloud {
+
+struct PersistenceError : std::runtime_error {
+  explicit PersistenceError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace medsen::cloud

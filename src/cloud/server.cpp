@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "cloud/durability.h"
 #include "compress/codec.h"
 #include "crypto/cmac.h"
 #include "util/csv.h"
@@ -42,6 +43,107 @@ CloudServer::CloudServer(AnalysisConfig analysis_config,
                 [this](const net::Envelope& request, RequestContext& context) {
                   return serve_handshake(request, context);
                 });
+}
+
+RecoveryStats CloudServer::attach_durability(DurableState& durable) {
+  const RecoveryStats stats = durable.recover_into(*this);
+  durable_ = &durable;  // mutations journal from here on
+  return stats;
+}
+
+DeviceRegistry::ProvisionResult CloudServer::provision_device(
+    std::uint64_t device_id, std::vector<std::uint8_t> mac_key) {
+  DeviceRegistry::ProvisionResult result{};
+  const auto apply = [&] {
+    result = devices_.provision(device_id, std::move(mac_key));
+    if (result == DeviceRegistry::ProvisionResult::kRotated)
+      sessions_.drop(device_id);
+  };
+  if (durable_) {
+    // log_provision copies the key bytes into the journal payload before
+    // apply() moves them into the registry.
+    durable_->log_provision(device_id, mac_key, apply);
+    durable_->maybe_compact(*this);
+  } else {
+    apply();
+  }
+  return result;
+}
+
+void CloudServer::enroll_device(std::uint64_t device_id) {
+  const auto apply = [&] { devices_.enroll(device_id); };
+  if (durable_) {
+    durable_->log_enroll_device(device_id, apply);
+    durable_->maybe_compact(*this);
+  } else {
+    apply();
+  }
+}
+
+bool CloudServer::revoke_device(std::uint64_t device_id) {
+  bool known = false;
+  const auto apply = [&] {
+    known = devices_.revoke(device_id);
+    sessions_.drop(device_id);
+  };
+  if (durable_) {
+    durable_->log_revoke(device_id, apply);
+    durable_->maybe_compact(*this);
+  } else {
+    apply();
+  }
+  return known;
+}
+
+void CloudServer::rotate_master_key(std::uint32_t epoch,
+                                    std::vector<std::uint8_t> master) {
+  const auto apply = [&] {
+    devices_.set_master_key(epoch, std::move(master));
+    sessions_.drop_all();
+  };
+  if (durable_) {
+    durable_->log_master_rotated(epoch, master, apply);
+    durable_->maybe_compact(*this);
+  } else {
+    apply();
+  }
+}
+
+bool CloudServer::retire_epoch(std::uint32_t epoch) {
+  bool known = false;
+  const auto apply = [&] { known = devices_.retire_epoch(epoch); };
+  if (durable_) {
+    durable_->log_epoch_retired(epoch, apply);
+    durable_->maybe_compact(*this);
+  } else {
+    apply();
+  }
+  return known;
+}
+
+void CloudServer::enroll_user(const std::string& user_id,
+                              const auth::CytoCode& code) {
+  if (!durable_) {
+    db_.enroll(user_id, code);
+    return;
+  }
+  // Validate before journaling: a journaled operation must replay
+  // cleanly, so an enrollment that would throw never reaches the WAL.
+  db_.check_enrollable(user_id, code);
+  durable_->log_user_enrolled(user_id, code,
+                              [&] { db_.enroll(user_id, code); });
+  durable_->maybe_compact(*this);
+}
+
+void CloudServer::store_result(const auth::CytoCode& code,
+                               StoredRecord record) {
+  if (!durable_) {
+    store_.store(code, std::move(record));
+    return;
+  }
+  durable_->log_record(code.to_string(), record,
+                       [&] { store_.store(code, std::move(record)); });
+  durable_->maybe_compact(*this);
 }
 
 util::MultiChannelSeries CloudServer::decode_series(
@@ -362,6 +464,10 @@ ServiceResult CloudServer::serve_handshake(const net::Envelope& request,
   // handshakes never reuse a nonce, and free of OS entropy so the whole
   // exchange replays bit-identically in tests.
   const std::uint64_t seq = sessions_.next_handshake_seq(request.device_id);
+  // Journal the burned ordinal before RndB is derived or leaves the
+  // building: a crash after the fsync but before the response means the
+  // ordinal is consumed on replay and the nonce is never re-issued.
+  if (durable_) durable_->log_handshake(request.device_id, seq);
   util::ByteWriter nonce_context;
   nonce_context.u64(challenge_seed_);
   nonce_context.u64(request.device_id);

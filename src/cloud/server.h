@@ -32,6 +32,9 @@
 
 namespace medsen::cloud {
 
+class DurableState;    // cloud/durability.h
+struct RecoveryStats;  // cloud/durability.h (complete at call sites)
+
 /// Service-boundary knobs (the analysis knobs live in AnalysisConfig).
 struct ServiceConfig {
   /// Quality gate applied to every upload; disable for raw benchmarks.
@@ -82,6 +85,14 @@ class CloudServer {
   /// method only throws on programmer errors.
   net::Envelope handle(const net::Envelope& request);
 
+  /// Attach a durability layer: first recovers the journal + snapshots
+  /// under `durable` into this server's stores, then journals every
+  /// subsequent mutation (provision/enroll/revoke/rotate/retire, user
+  /// enrollment, stored record, handshake ordinal) before it is applied
+  /// — the ack ⇒ durable contract. Call once, on a freshly constructed
+  /// server, before serving traffic. Returns what recovery found.
+  RecoveryStats attach_durability(DurableState& durable);
+
   /// The device registry: provision each dongle's MAC key before it may
   /// talk to this server.
   [[nodiscard]] DeviceRegistry& devices() { return devices_; }
@@ -89,30 +100,25 @@ class CloudServer {
   /// the device's negotiated session: envelopes MAC'd under keys derived
   /// from the old long-term key are rejected from this call on.
   DeviceRegistry::ProvisionResult provision_device(
-      std::uint64_t device_id, std::vector<std::uint8_t> mac_key) {
-    const auto result = devices_.provision(device_id, std::move(mac_key));
-    if (result == DeviceRegistry::ProvisionResult::kRotated)
-      sessions_.drop(device_id);
-    return result;
-  }
+      std::uint64_t device_id, std::vector<std::uint8_t> mac_key);
   /// Diversified enrollment: the registry records only the id; the
   /// device's key is derived on demand from the epoch master.
-  void enroll_device(std::uint64_t device_id) { devices_.enroll(device_id); }
+  void enroll_device(std::uint64_t device_id);
   /// Revoke a device on both keying planes and kill its live session.
-  bool revoke_device(std::uint64_t device_id) {
-    const bool known = devices_.revoke(device_id);
-    sessions_.drop(device_id);
-    return known;
-  }
+  bool revoke_device(std::uint64_t device_id);
   /// Install a new master-key epoch and re-key the fleet: every live
   /// session is dropped, forcing fresh handshakes under the new epoch
   /// (old epochs keep deriving until retired, so devices still
   /// personalized under them can hand-shake through the grace window).
   void rotate_master_key(std::uint32_t epoch,
-                         std::vector<std::uint8_t> master) {
-    devices_.set_master_key(epoch, std::move(master));
-    sessions_.drop_all();
-  }
+                         std::vector<std::uint8_t> master);
+  /// Drop a master-key epoch (devices personalized under it can no
+  /// longer handshake). Returns false when the epoch was unknown.
+  bool retire_epoch(std::uint32_t epoch);
+  /// Enroll a user's cyto-code in the identity database. Validation
+  /// failures throw std::invalid_argument *before* anything is
+  /// journaled, exactly like EnrollmentDatabase::enroll.
+  void enroll_user(const std::string& user_id, const auth::CytoCode& code);
 
   /// The admission gate (exposed so tests and load shedders can hold
   /// slots directly).
@@ -120,10 +126,10 @@ class CloudServer {
 
   void set_quality_gate(bool enabled) { quality_gate_ = enabled; }
 
-  /// Store an encrypted result under an identifier.
-  void store_result(const auth::CytoCode& code, StoredRecord record) {
-    store_.store(code, std::move(record));
-  }
+  /// Store an encrypted result under an identifier (journaled when a
+  /// durability layer is attached — the record is on disk when this
+  /// returns).
+  void store_result(const auth::CytoCode& code, StoredRecord record);
 
   [[nodiscard]] AnalysisService& analysis() { return analysis_; }
   /// The request-shared analysis pool (null when running serial).
@@ -191,6 +197,8 @@ class CloudServer {
   ServiceCounters counters_;
   std::uint64_t challenge_seed_;
   bool allow_legacy_plane_;
+  /// Optional WAL (attach_durability). Not owned; must outlive serving.
+  DurableState* durable_ = nullptr;
 };
 
 }  // namespace medsen::cloud

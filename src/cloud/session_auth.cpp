@@ -1,5 +1,6 @@
 #include "cloud/session_auth.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace medsen::cloud {
@@ -95,6 +96,25 @@ std::uint64_t SessionAuthTable::next_handshake_seq(std::uint64_t device_id) {
   return shards_.with(device_id, [&](Shard& shard) {
     return ++shard.sessions[device_id].handshake_seq;
   });
+}
+
+void SessionAuthTable::restore_handshake_seq(std::uint64_t device_id,
+                                             std::uint64_t seq) {
+  shards_.with(device_id, [&](Shard& shard) {
+    DeviceSessionState& state = shard.sessions[device_id];
+    if (seq > state.handshake_seq) state.handshake_seq = seq;
+  });
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+SessionAuthTable::handshake_seqs() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seqs;
+  shards_.for_each_shard([&](const Shard& shard) {
+    for (const auto& [id, state] : shard.sessions)
+      if (state.handshake_seq != 0) seqs.emplace_back(id, state.handshake_seq);
+  });
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
 }
 
 std::size_t SessionAuthTable::active_sessions() const {

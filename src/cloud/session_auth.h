@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/secret_bytes.h"
@@ -89,6 +90,16 @@ class SessionAuthTable {
   /// deterministic RndB derivation so repeated handshakes from one
   /// device never reuse a nonce).
   [[nodiscard]] std::uint64_t next_handshake_seq(std::uint64_t device_id);
+
+  /// Recovery: floor the device's handshake ordinal at `seq` (max with
+  /// the current value — replay may arrive in any snapshot/journal
+  /// interleaving, and the ordinal must never rewind).
+  void restore_handshake_seq(std::uint64_t device_id, std::uint64_t seq);
+
+  /// All non-zero handshake ordinals, sorted by device id (feeds the
+  /// durability layer's compaction snapshot).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  handshake_seqs() const;
 
   /// Live session count across all shards (snapshot).
   [[nodiscard]] std::size_t active_sessions() const;

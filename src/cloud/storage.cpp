@@ -73,6 +73,13 @@ void RecordStore::visit(
   for (const auto& [key, records] : merged) visitor(key, records);
 }
 
+void RecordStore::append(std::string key, StoredRecord record) {
+  const std::uint64_t route_key = route(key);
+  shards_.with(route_key, [&](Entries& entries) {
+    entries[std::move(key)].push_back(std::move(record));
+  });
+}
+
 void RecordStore::restore(std::string key,
                           std::vector<StoredRecord> records) {
   const std::uint64_t route_key = route(key);

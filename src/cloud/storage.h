@@ -63,6 +63,9 @@ class RecordStore {
                  visitor) const;
   /// Reinstall one identifier's record list (persistence layer).
   void restore(std::string key, std::vector<StoredRecord> records);
+  /// Append one record under a pre-keyed identifier (journal replay —
+  /// unlike restore(), existing records for the key are kept).
+  void append(std::string key, StoredRecord record);
 
   [[nodiscard]] std::size_t shard_count() const {
     return shards_.shard_count();

@@ -1,0 +1,104 @@
+#include "util/crash_point.h"
+
+namespace medsen::util {
+
+namespace {
+
+/// SplitMix64: the project's standard deterministic mixer (same shape as
+/// the bench harnesses). Good enough to schedule crashes, stateless
+/// beyond one u64, and free of the banned OS entropy sources.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CrashPoints& CrashPoints::instance() {
+  static CrashPoints registry;
+  return registry;
+}
+
+void CrashPoints::hit(const char* site) {
+  if (!active_.load(std::memory_order_relaxed)) return;
+  hit_slow(site);
+}
+
+void CrashPoints::hit_slow(const char* site) {
+  std::uint64_t nth = 0;
+  bool crash = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    nth = ++counts_[site];
+    if (armed_ && armed_site_ == site && nth == armed_nth_) crash = true;
+    if (!crash && random_armed_) {
+      const double draw =
+          static_cast<double>(splitmix64(rng_state_) >> 11) * 0x1.0p-53;
+      if (draw < threshold_) crash = true;
+    }
+  }
+  // Throw outside the lock: the harness catches this far up-stack and
+  // must be free to re-enter the registry while unwinding.
+  if (crash) throw SimulatedCrash{site};
+}
+
+void CrashPoints::arm(std::string site, std::uint64_t nth_hit) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  armed_ = true;
+  armed_site_ = std::move(site);
+  armed_nth_ = nth_hit == 0 ? 1 : nth_hit;
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void CrashPoints::arm_random(double probability, std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  random_armed_ = true;
+  threshold_ = probability;
+  rng_state_ = seed;
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void CrashPoints::disarm() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  armed_site_.clear();
+  armed_nth_ = 0;
+  random_armed_ = false;
+  threshold_ = 0.0;
+  active_.store(tracking_, std::memory_order_relaxed);
+}
+
+void CrashPoints::set_tracking(bool enabled) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  tracking_ = enabled;
+  active_.store(tracking_ || armed_ || random_armed_,
+                std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CrashPoints::discovered()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {counts_.begin(), counts_.end()};
+}
+
+std::uint64_t CrashPoints::hits(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void CrashPoints::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counts_.clear();
+  armed_ = false;
+  armed_site_.clear();
+  armed_nth_ = 0;
+  random_armed_ = false;
+  threshold_ = 0.0;
+  active_.store(tracking_, std::memory_order_relaxed);
+}
+
+}  // namespace medsen::util

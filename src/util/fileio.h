@@ -1,5 +1,11 @@
 #pragma once
-// Small binary file helpers for the persistence layer.
+// Durable binary file helpers for the persistence layer, built on POSIX
+// file descriptors so the fsync discipline is explicit (std::ofstream
+// can flush its own buffer but cannot ask the kernel to reach the
+// platter). Failures throw std::system_error carrying the errno, so a
+// full disk is distinguishable from a permissions problem at the call
+// site. Every durability boundary names a crash site (util/crash_point.h)
+// so the chaos harness can kill the process at each intermediate state.
 
 #include <cstdint>
 #include <span>
@@ -8,21 +14,67 @@
 
 namespace medsen::util {
 
-/// Write a byte buffer to a file, replacing any existing content.
-/// Throws std::runtime_error on I/O failure.
+/// Write a byte buffer to a file, replacing any existing content. No
+/// durability guarantee (no fsync) — use write_file_atomic for state
+/// that must survive a crash. Throws std::system_error on I/O failure.
 void write_file(const std::string& path, std::span<const std::uint8_t> data);
 
-/// Atomically replace `path` with `data`: writes `path + ".tmp"` first
-/// and renames it over the target, so a crash mid-write leaves the
-/// previous file intact (at worst an orphaned .tmp). Throws
-/// std::runtime_error on I/O failure.
+/// Atomically and durably replace `path` with `data`:
+///
+///   1. write `path + ".tmp"`, 2. fsync the tmp file, 3. rename it over
+///   the target, 4. fsync the parent directory.
+///
+/// A crash at any point leaves either the complete previous file or the
+/// complete new file (at worst plus an orphaned .tmp); after a normal
+/// return the new content survives power loss — the rename is not
+/// durable until the directory entry itself is synced. Throws
+/// std::system_error on I/O failure.
 void write_file_atomic(const std::string& path,
                        std::span<const std::uint8_t> data);
 
-/// Read a whole file; throws std::runtime_error if it cannot be opened.
+/// Read a whole file; throws std::system_error if it cannot be opened
+/// or read.
 std::vector<std::uint8_t> read_file(const std::string& path);
 
 /// Does the path exist and open readably?
 bool file_exists(const std::string& path);
+
+/// fsync the directory containing `path`, making renames/creations of
+/// entries inside it durable.
+void sync_parent_dir(const std::string& path);
+
+/// Create a directory (parents must exist). Existing directory is fine.
+void ensure_directory(const std::string& path);
+
+/// An append-only file handle with explicit durability: append() writes,
+/// sync() makes everything written so far durable, truncate() durably
+/// discards a suffix (journal compaction). Move-only; closes on
+/// destruction. All failures throw std::system_error.
+class DurableFile {
+ public:
+  DurableFile() = default;
+  ~DurableFile();
+  DurableFile(DurableFile&& other) noexcept;
+  DurableFile& operator=(DurableFile&& other) noexcept;
+  DurableFile(const DurableFile&) = delete;
+  DurableFile& operator=(const DurableFile&) = delete;
+
+  /// Open `path` for appending, creating it (and durably recording the
+  /// creation in the parent directory) if needed.
+  static DurableFile open_append(const std::string& path);
+
+  void append(std::span<const std::uint8_t> data);
+  void sync();
+  /// ftruncate to `size` bytes and fsync.
+  void truncate(std::uint64_t size);
+  [[nodiscard]] std::uint64_t size() const;
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
 
 }  // namespace medsen::util

@@ -1,0 +1,332 @@
+// cloud::DurableState end-to-end: WAL-backed server state survives
+// restart, compaction preserves exactly the journal's effects, handshake
+// ordinals never rewind, sealing keeps secret bytes off the disk, and
+// corrupt snapshots surface as the typed PersistenceError.
+
+#include "cloud/durability.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cloud/persistence_error.h"
+#include "cloud/server.h"
+#include "core/session_crypto.h"
+#include "crypto/cmac.h"
+#include "net/messages.h"
+#include "util/fileio.h"
+
+namespace medsen::cloud {
+namespace {
+
+constexpr std::uint64_t kDevice = 7;
+
+std::string temp_dir(const char* name) {
+  const auto dir =
+      std::string(::testing::TempDir()) + "/medsen_durability_" + name;
+  return dir;
+}
+
+void remove_state(const std::string& dir) {
+  for (const char* file : {"/journal.wal", "/records.snap", "/enroll.snap",
+                           "/registry.snap", "/sessions.snap"})
+    std::remove((dir + file).c_str());
+}
+
+std::vector<std::uint8_t> master_key(std::uint8_t fill) {
+  return std::vector<std::uint8_t>(16, fill);
+}
+
+DurabilityConfig config_for(const std::string& dir) {
+  DurabilityConfig config;
+  config.dir = dir;
+  return config;
+}
+
+/// One server lifetime: a DurableState and a CloudServer recovered from
+/// it. Destroying the rig and booting a new one from the same dir is the
+/// unit-test version of a process restart.
+struct Rig {
+  std::unique_ptr<DurableState> durable;  // outlives the server
+  std::unique_ptr<CloudServer> server;
+  RecoveryStats recovery;
+
+  explicit Rig(DurabilityConfig config) {
+    durable = std::make_unique<DurableState>(std::move(config));
+    server = std::make_unique<CloudServer>(
+        AnalysisConfig{}, auth::CytoAlphabet{},
+        auth::ParticleClassifier::train({}));
+    recovery = server->attach_durability(*durable);
+  }
+  ~Rig() { server.reset(); }  // server first: it points at durable
+};
+
+auth::CytoCode code_of(std::initializer_list<std::uint8_t> levels) {
+  auth::CytoCode code;
+  code.levels = levels;
+  return code;
+}
+
+/// Is `needle` a contiguous subsequence of any of the state files?
+bool on_disk(const std::string& dir, std::span<const std::uint8_t> needle) {
+  for (const char* file : {"/journal.wal", "/records.snap", "/enroll.snap",
+                           "/registry.snap", "/sessions.snap"}) {
+    const auto path = dir + file;
+    if (!util::file_exists(path)) continue;
+    const auto bytes = util::read_file(path);
+    if (std::search(bytes.begin(), bytes.end(), needle.begin(),
+                    needle.end()) != bytes.end())
+      return true;
+  }
+  return false;
+}
+
+TEST(Durability, StateSurvivesRestartViaJournalReplay) {
+  const auto dir = temp_dir("replay");
+  remove_state(dir);
+
+  const auto code = code_of({2, 1});
+  {
+    Rig rig(config_for(dir));
+    EXPECT_EQ(rig.recovery.records_replayed, 0u);
+    rig.server->provision_device(3, master_key(0x31));
+    rig.server->rotate_master_key(1, master_key(0x5A));
+    rig.server->enroll_device(kDevice);
+    rig.server->enroll_user("alice", code);
+    rig.server->store_result(code, {11, {0xAA, 0xBB}});
+    rig.server->store_result(code, {12, {0xCC}});
+    EXPECT_TRUE(rig.server->revoke_device(3));
+  }
+
+  Rig rig(config_for(dir));
+  EXPECT_EQ(rig.recovery.records_replayed, 7u);
+  EXPECT_EQ(rig.recovery.stored_records, 2u);
+  EXPECT_EQ(rig.recovery.user_enrollments, 1u);
+  EXPECT_EQ(rig.recovery.registry_events, 4u);
+  EXPECT_FALSE(rig.recovery.tail_truncated);
+  EXPECT_GE(rig.recovery.replay_ms, 0.0);
+
+  EXPECT_EQ(rig.server->enrollments().lookup(code), "alice");
+  const auto records = rig.server->records().fetch(code);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].session_id, 11u);
+  EXPECT_EQ(records[1].session_id, 12u);
+  EXPECT_TRUE(rig.server->devices().is_revoked(3));
+  EXPECT_FALSE(rig.server->devices().is_revoked(kDevice));
+  EXPECT_TRUE(
+      rig.server->devices().lookup_epoch(kDevice, 1).has_value());
+  remove_state(dir);
+}
+
+TEST(Durability, CompactionPreservesStateAndTruncatesJournal) {
+  const auto dir = temp_dir("compact");
+  remove_state(dir);
+
+  const auto code = code_of({1, 2});
+  {
+    Rig rig(config_for(dir));
+    rig.server->rotate_master_key(1, master_key(0x5A));
+    rig.server->enroll_device(kDevice);
+    rig.server->enroll_user("bob", code);
+    rig.server->store_result(code, {21, {0x01}});
+    rig.durable->compact(*rig.server);
+    EXPECT_TRUE(util::file_exists(rig.durable->records_snapshot_path()));
+    // Post-compaction mutations land in the (now short) journal.
+    rig.server->store_result(code, {22, {0x02}});
+  }
+
+  Rig rig(config_for(dir));
+  EXPECT_TRUE(rig.recovery.snapshots_loaded);
+  // Only the post-compaction record replays from the journal.
+  EXPECT_EQ(rig.recovery.stored_records, 1u);
+  const auto records = rig.server->records().fetch(code);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].session_id, 21u);
+  EXPECT_EQ(records[1].session_id, 22u);
+  EXPECT_EQ(rig.server->enrollments().lookup(code), "bob");
+  remove_state(dir);
+}
+
+TEST(Durability, AutoCompactionTriggersAtThreshold) {
+  const auto dir = temp_dir("autocompact");
+  remove_state(dir);
+  DurabilityConfig config = config_for(dir);
+  config.compact_after_records = 4;
+  {
+    Rig rig(config);
+    const auto code = code_of({2, 2});
+    rig.server->rotate_master_key(1, master_key(0x11));
+    rig.server->enroll_device(kDevice);
+    rig.server->enroll_user("carol", code);
+    rig.server->store_result(code, {1, {0x01}});  // 4th append: compacts
+    EXPECT_TRUE(util::file_exists(rig.durable->records_snapshot_path()));
+    EXPECT_EQ(rig.durable->last_recovery().records_replayed, 0u);
+  }
+  Rig rig(config);
+  EXPECT_TRUE(rig.recovery.snapshots_loaded);
+  EXPECT_EQ(rig.server->records().record_count(), 1u);
+  remove_state(dir);
+}
+
+TEST(Durability, HandshakeOrdinalsNeverRewindAcrossRestart) {
+  const auto dir = temp_dir("handshake");
+  remove_state(dir);
+
+  const auto device_key = crypto::diversify_device_key(master_key(0x5A),
+                                                       kDevice, 1);
+  const auto rnd_b_of = [&](Rig& rig, std::uint64_t session) {
+    core::SessionCrypto crypto(kDevice, device_key, 1, 0x1234);
+    const auto response = rig.server->handle(crypto.make_challenge(session));
+    EXPECT_EQ(response.type, net::MessageType::kAuthResponse);
+    const auto payload = net::AuthResponsePayload::deserialize(
+        response.payload);
+    return std::vector<std::uint8_t>(payload.challenge.begin(),
+                                     payload.challenge.end());
+  };
+
+  std::vector<std::vector<std::uint8_t>> nonces;
+  {
+    Rig rig(config_for(dir));
+    rig.server->rotate_master_key(1, master_key(0x5A));
+    rig.server->enroll_device(kDevice);
+    nonces.push_back(rnd_b_of(rig, 100));
+    nonces.push_back(rnd_b_of(rig, 101));
+  }
+  {
+    // Restart replays the kHandshake marks: the same device-side RndA
+    // must get a FRESH RndB, not a replay of nonce #1.
+    Rig rig(config_for(dir));
+    EXPECT_GE(rig.recovery.handshake_marks, 2u);
+    nonces.push_back(rnd_b_of(rig, 102));
+    // Compaction folds the ordinal into sessions.snap.
+    rig.durable->compact(*rig.server);
+  }
+  {
+    Rig rig(config_for(dir));
+    nonces.push_back(rnd_b_of(rig, 103));
+  }
+  for (std::size_t i = 0; i < nonces.size(); ++i)
+    for (std::size_t j = i + 1; j < nonces.size(); ++j)
+      EXPECT_NE(nonces[i], nonces[j]) << "RndB reuse between handshake "
+                                      << i << " and " << j;
+  remove_state(dir);
+}
+
+TEST(Durability, StorageKeySealsSecretsOnDisk) {
+  const auto plain_dir = temp_dir("plain");
+  const auto sealed_dir = temp_dir("sealed");
+  remove_state(plain_dir);
+  remove_state(sealed_dir);
+
+  // Distinctive byte patterns to scan for.
+  std::vector<std::uint8_t> legacy_key(16);
+  for (std::size_t i = 0; i < legacy_key.size(); ++i)
+    legacy_key[i] = static_cast<std::uint8_t>(0xA0 + i);
+  std::vector<std::uint8_t> master(16);
+  for (std::size_t i = 0; i < master.size(); ++i)
+    master[i] = static_cast<std::uint8_t>(0xC0 + i);
+
+  const auto run = [&](const std::string& dir,
+                       std::vector<std::uint8_t> storage_key) {
+    DurabilityConfig config = config_for(dir);
+    config.storage_key = std::move(storage_key);
+    Rig rig(config);
+    rig.server->provision_device(3, legacy_key);
+    rig.server->rotate_master_key(1, master);
+    rig.server->enroll_device(kDevice);
+    rig.durable->compact(*rig.server);
+    rig.server->provision_device(4, legacy_key);  // journal after compact
+  };
+
+  // Control: without a storage key the scan DOES find the key bytes —
+  // proving the scan itself works.
+  run(plain_dir, {});
+  EXPECT_TRUE(on_disk(plain_dir, legacy_key));
+  EXPECT_TRUE(on_disk(plain_dir, master));
+
+  run(sealed_dir, std::vector<std::uint8_t>(32, 0x7E));
+  EXPECT_FALSE(on_disk(sealed_dir, legacy_key));
+  EXPECT_FALSE(on_disk(sealed_dir, master));
+
+  // And the sealed state still recovers.
+  DurabilityConfig config = config_for(sealed_dir);
+  config.storage_key = std::vector<std::uint8_t>(32, 0x7E);
+  Rig rig(config);
+  EXPECT_TRUE(rig.server->devices().lookup(4).has_value());
+  EXPECT_TRUE(rig.server->devices().lookup_epoch(kDevice, 1).has_value());
+
+  // A sealed store without its key is unreadable, with the typed error.
+  EXPECT_THROW(Rig{config_for(sealed_dir)}, PersistenceError);
+  remove_state(plain_dir);
+  remove_state(sealed_dir);
+}
+
+TEST(Durability, LsnSequenceSurvivesCrashRightAfterCompaction) {
+  // A crash between compaction's truncate and the next append leaves an
+  // EMPTY journal next to snapshots stamped with LSN N. The restarted
+  // journal must continue above N (the snapshots carry the sequence):
+  // without the floor, the next acked record would reuse LSN 1 and a
+  // later recovery would gate it out behind the snapshot — a silently
+  // lost acknowledged write.
+  const auto dir = temp_dir("lsnfloor");
+  remove_state(dir);
+  const auto code = code_of({1, 1});
+  {
+    Rig rig(config_for(dir));
+    rig.server->enroll_user("frank", code);
+    rig.server->store_result(code, {31, {0x31}});
+    rig.durable->compact(*rig.server);  // journal now empty, snaps at LSN 2
+  }
+  {
+    Rig rig(config_for(dir));  // the post-crash restart
+    EXPECT_EQ(rig.durable->last_lsn(), 2u);
+    rig.server->store_result(code, {32, {0x32}});
+    EXPECT_EQ(rig.durable->last_lsn(), 3u);
+  }
+  Rig rig(config_for(dir));
+  const auto records = rig.server->records().fetch(code);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].session_id, 32u);
+  remove_state(dir);
+}
+
+TEST(Durability, CorruptSnapshotThrowsTyped) {
+  const auto dir = temp_dir("corruptsnap");
+  remove_state(dir);
+  {
+    Rig rig(config_for(dir));
+    rig.server->enroll_user("dave", code_of({2, 1}));
+    rig.durable->compact(*rig.server);
+  }
+  auto bytes = util::read_file(dir + "/enroll.snap");
+  bytes[bytes.size() / 2] ^= 0xFF;
+  util::write_file(dir + "/enroll.snap", bytes);
+  EXPECT_THROW(Rig{config_for(dir)}, PersistenceError);
+  remove_state(dir);
+}
+
+TEST(Durability, InvalidEnrollmentIsNeverJournaled) {
+  const auto dir = temp_dir("invalidenroll");
+  remove_state(dir);
+  {
+    Rig rig(config_for(dir));
+    rig.server->enroll_user("erin", code_of({2, 1}));
+    // Same code for another user: rejected before it reaches the WAL.
+    EXPECT_THROW(rig.server->enroll_user("mallory", code_of({2, 1})),
+                 std::invalid_argument);
+    EXPECT_EQ(rig.durable->last_lsn(), 1u);
+  }
+  // Replay is clean — the invalid enrollment left no journal record.
+  Rig rig(config_for(dir));
+  EXPECT_EQ(rig.recovery.user_enrollments, 1u);
+  EXPECT_EQ(rig.server->enrollments().lookup(code_of({2, 1})), "erin");
+  remove_state(dir);
+}
+
+}  // namespace
+}  // namespace medsen::cloud

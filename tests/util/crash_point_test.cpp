@@ -1,0 +1,127 @@
+// util::CrashPoints: the deterministic crash-injection registry the
+// restart-chaos harness drives. These tests pin the contract the harness
+// depends on: disarmed sites are free and silent, an armed site throws
+// on exactly its nth hit, tracking discovers sites without crashing, and
+// SimulatedCrash sails through catch(std::exception) boundaries.
+
+#include "util/crash_point.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace medsen::util {
+namespace {
+
+/// Every test starts and ends with a quiescent registry (it is
+/// process-global state).
+struct CrashPointTest : ::testing::Test {
+  void SetUp() override { CrashPoints::instance().reset(); }
+  void TearDown() override { CrashPoints::instance().reset(); }
+};
+
+TEST_F(CrashPointTest, DisarmedSitesDoNothing) {
+  crash_point("test.site.a");
+  crash_point("test.site.b");
+  // Not tracking, not armed: hits are not even counted.
+  EXPECT_EQ(CrashPoints::instance().hits("test.site.a"), 0u);
+}
+
+TEST_F(CrashPointTest, TrackingDiscoversSitesWithoutCrashing) {
+  CrashPoints::instance().set_tracking(true);
+  crash_point("test.site.a");
+  crash_point("test.site.a");
+  crash_point("test.site.b");
+  const auto discovered = CrashPoints::instance().discovered();
+  ASSERT_EQ(discovered.size(), 2u);
+  EXPECT_EQ(discovered[0].first, "test.site.a");
+  EXPECT_EQ(discovered[0].second, 2u);
+  EXPECT_EQ(discovered[1].first, "test.site.b");
+  EXPECT_EQ(discovered[1].second, 1u);
+}
+
+TEST_F(CrashPointTest, ArmedSiteThrowsOnExactlyNthHit) {
+  CrashPoints::instance().arm("test.site.a", 3);
+  crash_point("test.site.a");  // 1st
+  crash_point("test.site.b");  // other sites unaffected
+  crash_point("test.site.a");  // 2nd
+  EXPECT_THROW(crash_point("test.site.a"), SimulatedCrash);
+  // The count keeps advancing past the armed nth, so recovery can
+  // re-run the same code path without re-firing.
+  crash_point("test.site.a");
+}
+
+TEST_F(CrashPointTest, SimulatedCrashCarriesTheSiteName) {
+  CrashPoints::instance().arm("test.site.a", 1);
+  try {
+    crash_point("test.site.a");
+    FAIL() << "expected SimulatedCrash";
+  } catch (const SimulatedCrash& crash) {
+    EXPECT_EQ(crash.site, "test.site.a");
+  }
+}
+
+TEST_F(CrashPointTest, SimulatedCrashIsNotAStdException) {
+  // The service boundary converts std::exception into kError envelopes;
+  // a simulated crash must NOT be absorbed there — it has to unwind all
+  // the way out to the harness, like a real kill -9 would.
+  CrashPoints::instance().arm("test.site.a", 1);
+  bool reached_harness = false;
+  try {
+    try {
+      crash_point("test.site.a");
+    } catch (const std::exception&) {
+      FAIL() << "SimulatedCrash was caught as std::exception";
+    }
+  } catch (const SimulatedCrash&) {
+    reached_harness = true;
+  }
+  EXPECT_TRUE(reached_harness);
+}
+
+TEST_F(CrashPointTest, ScopedArmDisarmsOnExit) {
+  {
+    ScopedCrashArm armed("test.site.a", 1);
+    EXPECT_THROW(crash_point("test.site.a"), SimulatedCrash);
+  }
+  crash_point("test.site.a");  // disarmed again
+}
+
+TEST_F(CrashPointTest, RandomArmIsDeterministicUnderASeed) {
+  // Same seed => same crash schedule; the long-mode chaos run is
+  // reproducible from its --seed alone.
+  const auto schedule_for = [](std::uint64_t seed) {
+    CrashPoints::instance().reset();
+    CrashPoints::instance().arm_random(0.3, seed);
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        crash_point("test.site.a");
+        pattern += '.';
+      } catch (const SimulatedCrash&) {
+        pattern += 'X';
+        // A fired crash disarms; re-arm to keep sampling the stream.
+        CrashPoints::instance().arm_random(0.3, seed + i + 1);
+      }
+    }
+    return pattern;
+  };
+  const auto a = schedule_for(42);
+  const auto b = schedule_for(42);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find('X'), std::string::npos) << "p=0.3 over 64 draws";
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST_F(CrashPointTest, ResetClearsCountsAndArming) {
+  CrashPoints::instance().set_tracking(true);
+  crash_point("test.site.a");
+  CrashPoints::instance().arm("test.site.b", 1);
+  CrashPoints::instance().reset();
+  EXPECT_TRUE(CrashPoints::instance().discovered().empty());
+  crash_point("test.site.b");  // no throw
+}
+
+}  // namespace
+}  // namespace medsen::util

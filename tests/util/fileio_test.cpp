@@ -1,0 +1,141 @@
+// Durable file helpers: atomic replace semantics, errno propagation,
+// DurableFile append/truncate, and the crash-site contract the chaos
+// harness sweeps — a simulated crash at any point inside
+// write_file_atomic must leave either the complete old file or the
+// complete new file, never a torn target.
+
+#include "util/fileio.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "util/crash_point.h"
+
+namespace medsen::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/medsen_fileio_" + name;
+}
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> v) {
+  return std::vector<std::uint8_t>(v);
+}
+
+TEST(FileIo, WriteReadRoundTrip) {
+  const auto path = temp_path("roundtrip.bin");
+  const auto data = bytes({1, 2, 3, 0xFF, 0});
+  write_file(path, data);
+  EXPECT_EQ(read_file(path), data);
+  EXPECT_TRUE(file_exists(path));
+  std::remove(path.c_str());
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST(FileIo, AtomicWriteReplacesAndLeavesNoTmp) {
+  const auto path = temp_path("atomic.bin");
+  write_file_atomic(path, bytes({1, 2, 3}));
+  write_file_atomic(path, bytes({9, 8}));
+  EXPECT_EQ(read_file(path), bytes({9, 8}));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, ErrorsCarryErrno) {
+  // A missing parent directory must surface as std::system_error with a
+  // real errno, not silently succeed or abort.
+  const auto path = temp_path("no_such_dir") + "/x/y.bin";
+  try {
+    write_file_atomic(path, bytes({1}));
+    FAIL() << "expected std::system_error";
+  } catch (const std::system_error& e) {
+    EXPECT_NE(e.code().value(), 0);
+  }
+  EXPECT_THROW((void)read_file(temp_path("does_not_exist.bin")),
+               std::system_error);
+}
+
+TEST(FileIo, AtomicWriteCrashSitesNeverTearTheTarget) {
+  const auto path = temp_path("atomic_crash.bin");
+  const auto old_content = bytes({0xAA, 0xBB, 0xCC});
+  const auto new_content = bytes({0x11, 0x22, 0x33, 0x44});
+  const char* sites[] = {
+      "fileio.atomic.tmp_open",   "fileio.atomic.tmp_partial",
+      "fileio.atomic.tmp_written", "fileio.atomic.tmp_synced",
+      "fileio.atomic.renamed",
+  };
+  for (const char* site : sites) {
+    write_file_atomic(path, old_content);
+    {
+      ScopedCrashArm armed(site);
+      EXPECT_THROW(write_file_atomic(path, new_content), SimulatedCrash)
+          << site;
+    }
+    // The target is either fully old or fully new — the rename boundary
+    // decides which, and nothing in between is observable.
+    const auto after = read_file(path);
+    EXPECT_TRUE(after == old_content || after == new_content)
+        << "torn target after crash at " << site;
+    // And a retry (the recovery path) always converges on the new file.
+    write_file_atomic(path, new_content);
+    EXPECT_EQ(read_file(path), new_content);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(FileIo, EnsureDirectoryIsIdempotent) {
+  const auto dir = temp_path("made_dir");
+  ensure_directory(dir);
+  ensure_directory(dir);
+  write_file(dir + "/f.bin", bytes({1}));
+  EXPECT_TRUE(file_exists(dir + "/f.bin"));
+  std::remove((dir + "/f.bin").c_str());
+}
+
+TEST(DurableFile, AppendSyncTruncate) {
+  const auto path = temp_path("durable.bin");
+  std::remove(path.c_str());
+  {
+    auto file = DurableFile::open_append(path);
+    EXPECT_TRUE(file.is_open());
+    file.append(bytes({1, 2, 3}));
+    file.append(bytes({4, 5}));
+    file.sync();
+    EXPECT_EQ(file.size(), 5u);
+    file.truncate(3);
+    EXPECT_EQ(file.size(), 3u);
+  }
+  EXPECT_EQ(read_file(path), bytes({1, 2, 3}));
+
+  // Reopening appends after the existing content.
+  {
+    auto file = DurableFile::open_append(path);
+    file.append(bytes({9}));
+    file.sync();
+  }
+  EXPECT_EQ(read_file(path), bytes({1, 2, 3, 9}));
+  std::remove(path.c_str());
+}
+
+TEST(DurableFile, MoveTransfersOwnership) {
+  const auto path = temp_path("durable_move.bin");
+  std::remove(path.c_str());
+  auto a = DurableFile::open_append(path);
+  a.append(bytes({7}));
+  DurableFile b = std::move(a);
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move): moved-from
+  EXPECT_TRUE(b.is_open());
+  b.append(bytes({8}));
+  b.sync();
+  EXPECT_EQ(read_file(path), bytes({7, 8}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace medsen::util

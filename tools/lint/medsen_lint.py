@@ -69,10 +69,20 @@ Enforces project-specific correctness contracts that generic tooling
                     kernels (fft.cpp twiddles, noise.cpp) are out of
                     scope.
 
+  durable-write     No direct file writes (std::ofstream, std::fstream,
+                    fopen/FILE*) in `src/cloud`. Every byte the service
+                    persists must flow through the crash-safe helpers —
+                    the WAL (cloud::Journal on util::DurableFile) or
+                    util::write_file_atomic — so a power cut can never
+                    leave a half-written live file. A raw ofstream write
+                    reintroduces exactly the torn-state bug class the
+                    durability layer closed, and it passes every test
+                    that doesn't crash mid-write.
+
 Suppress a finding by appending `// medsen-lint: allow(<rule>)` to the
 offending line, where <rule> is one of: determinism, decoder-tests,
 unordered-serial, fault-stream, cloud-mutex, dsp-transcendental,
-ct-compare.
+ct-compare, durable-write.
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage
 errors. Run from anywhere: `python3 tools/lint/medsen_lint.py [--root DIR]`.
@@ -153,6 +163,18 @@ CT_CMP_EXEMPT = re.compile(
     r"[=!]=\s*(?:nullptr|NULL\b)|\.(?:end|begin|size|empty|length)\s*\(|"
     r"\.has_value\s*\(|[=!]=\s*0\b")
 
+# Direct file-write primitives banned in the durable service layer:
+# persistence must ride cloud::Journal / util::write_file_atomic, which
+# own the fsync + rename discipline. std::ifstream is allowed — reading
+# cannot tear state — but std::fstream is not (it opens for writing).
+DURABLE_WRITE_DIRS = ("src/cloud",)
+DURABLE_WRITE_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*w?(?:of|f)stream\b"),
+     "std::ofstream/std::fstream"),
+    (re.compile(r"(?<![\w.:])fopen\s*\("), "fopen()"),
+    (re.compile(r"\bFILE\s*\*"), "FILE*"),
+]
+
 # DSP sample-kernel files where per-sample trig is banned inside loops.
 # FFT twiddle factors and noise synthesis are inherently trigonometric
 # and deliberately out of scope.
@@ -178,7 +200,7 @@ FINDING_LINE = re.compile(
 
 RULE_IDS = ("determinism", "decoder-tests", "unordered-serial",
             "fault-stream", "cloud-mutex", "ct-compare",
-            "dsp-transcendental")
+            "dsp-transcendental", "durable-write")
 
 TEST_BLOCK = re.compile(r"^TEST(?:_F|_P)?\s*\(", re.MULTILINE)
 
@@ -270,6 +292,26 @@ def check_ct_compare(root: Path, findings: list[str]) -> None:
                         f"{path.relative_to(root)}:{lineno}: [ct-compare] "
                         f"==/!= on MAC/key material leaks a timing oracle; "
                         f"use crypto::constant_time_equal (or digest_equal)")
+
+
+def check_durable_write(root: Path, findings: list[str]) -> None:
+    for sub in DURABLE_WRITE_DIRS:
+        for path in sorted((root / sub).rglob("*")):
+            if path.suffix not in (".h", ".cpp"):
+                continue
+            for lineno, raw in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if allowed(raw, "durable-write"):
+                    continue
+                code = strip_comments_and_strings(raw)
+                for pattern, label in DURABLE_WRITE_PATTERNS:
+                    if pattern.search(code):
+                        findings.append(
+                            f"{path.relative_to(root)}:{lineno}: "
+                            f"[durable-write] {label} in the durable "
+                            f"service layer; persist through "
+                            f"cloud::Journal or util::write_file_atomic "
+                            f"so a crash can never tear a live file")
 
 
 def check_dsp_transcendental(root: Path, findings: list[str]) -> None:
@@ -440,6 +482,7 @@ def main() -> int:
     check_cloud_mutex(root, findings)
     check_fault_streams(root, findings)
     check_ct_compare(root, findings)
+    check_durable_write(root, findings)
     check_dsp_transcendental(root, findings)
     check_decoder_tests(root, findings)
     check_unordered_serialization(root, findings)
