@@ -18,6 +18,12 @@
 //      past an acknowledged write.
 //   5. No plaintext secret bytes on disk: device keys and the master
 //      key never appear in any state file (the store is sealed).
+//   6. No sealing-nonce reuse: across every file a crash leaves behind
+//      (including stranded .tmp snapshots recovery never reads), no
+//      AES-CTR nonce ever covers two different ciphertexts — keystream
+//      reuse would leak the sealed secrets (XOR of ciphertexts = XOR of
+//      plaintexts) without any plaintext substring for invariant 5's
+//      scan to find.
 //
 // The long mode adds seeded random crash schedules (arm_random) on top
 // of the exhaustive sweep; the same --seed replays the same schedule. A
@@ -45,8 +51,12 @@
 #include <string>
 #include <vector>
 
+#include <span>
+#include <utility>
+
 #include "bench_common.h"
 #include "cloud/durability.h"
+#include "compress/crc32.h"
 #include "cloud/persistence_error.h"
 #include "cloud/server.h"
 #include "core/session_crypto.h"
@@ -144,6 +154,8 @@ void remove_state(const std::string& dir) {
     std::remove((dir + file).c_str());
     std::remove((dir + file + ".tmp").c_str());
   }
+  std::remove((dir + "/seal.epoch").c_str());
+  std::remove((dir + "/seal.epoch.tmp").c_str());
 }
 
 /// Is `needle` a contiguous byte run in any state file (including torn
@@ -161,6 +173,73 @@ bool on_disk(const std::string& dir,
     }
   }
   return false;
+}
+
+// ---- Invariant 6: sealed-payload scanner ---------------------------
+// Reads the on-disk formats from the outside (docs/PROTOCOL.md), the
+// way an attacker with the disk would, so a regression in the sealing
+// layer cannot hide behind its own accessors.
+
+std::uint32_t le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(le32(p)) |
+         (static_cast<std::uint64_t>(le32(p + 4)) << 32);
+}
+
+/// One sealed payload observed on disk: its CTR nonce plus a ciphertext
+/// fingerprint (CRC32 + length) so the same nonce showing up again can
+/// be classified as "same bytes, still there" vs "reused keystream".
+struct SealedSighting {
+  std::uint64_t nonce = 0;
+  std::uint32_t crc = 0;
+  std::size_t len = 0;
+};
+
+/// Record one flag-prefixed payload (u8 flag | u64 nonce | ciphertext)
+/// if it is sealed and complete enough to fingerprint.
+void note_flagged(std::span<const std::uint8_t> flagged,
+                  std::vector<SealedSighting>& out) {
+  if (flagged.size() < 9 || flagged[0] != 1) return;
+  out.push_back({le64(flagged.data() + 1),
+                 compress::crc32(flagged.subspan(9)), flagged.size() - 9});
+}
+
+/// Walk a journal's frames, collecting the sealed payload of every
+/// CRC-complete record. A torn tail is skipped: its ciphertext cannot
+/// be fingerprinted — the nonce it consumed is exactly why sealing uses
+/// per-boot epoch partitions instead of max(observed)+1.
+void scan_journal(const std::vector<std::uint8_t>& bytes,
+                  std::vector<SealedSighting>& out) {
+  std::size_t offset = 16;  // file header
+  while (offset + 8 <= bytes.size()) {
+    const std::uint32_t len = le32(bytes.data() + offset);
+    const std::uint32_t crc = le32(bytes.data() + offset + 4);
+    if (len > bytes.size() - offset - 8) break;
+    const std::span<const std::uint8_t> body{bytes.data() + offset + 8, len};
+    if (compress::crc32(body) != crc) break;
+    if (len > 9) note_flagged(body.subspan(9), out);  // skip LSN + type
+    offset += 8 + len;
+  }
+}
+
+/// Parse one snapshot container (live or stranded .tmp): u32 magic |
+/// u32 version | u32 crc | blob(u64 applied_lsn | blob(flagged)). A
+/// torn prefix that does not reach the flagged payload is skipped.
+void scan_snapshot(const std::vector<std::uint8_t>& bytes,
+                   std::vector<SealedSighting>& out) {
+  if (bytes.size() < 16) return;
+  const std::uint32_t outer_len = le32(bytes.data() + 12);
+  if (outer_len < 12 || outer_len > bytes.size() - 16) return;
+  const std::uint8_t* outer = bytes.data() + 16;
+  const std::uint32_t flagged_len = le32(outer + 8);
+  if (flagged_len > outer_len - 12) return;
+  note_flagged({outer + 12, flagged_len}, out);
 }
 
 /// One server lifetime reconstructed from the state directory — the
@@ -208,6 +287,10 @@ struct Ledger {
   /// Every RndB this state-directory lineage has ever issued; invariant
   /// 3 is their global pairwise uniqueness.
   std::set<std::vector<std::uint8_t>> rnd_bs;
+  /// Sealing nonce -> ciphertext fingerprint, across every disk
+  /// observation of this lineage; invariant 6 is that no nonce ever
+  /// reappears over *different* ciphertext (CTR keystream reuse).
+  std::map<std::uint64_t, std::pair<std::uint32_t, std::size_t>> seal_nonces;
   std::uint64_t next_session = 100;
 };
 
@@ -218,13 +301,51 @@ struct Invariants {
   std::uint64_t duplicate_auth = 0;
   std::uint64_t counter_rewinds = 0;
   std::uint64_t secret_leaks = 0;
+  std::uint64_t nonce_reuse = 0;
   std::uint64_t recovery_errors = 0;
 
   [[nodiscard]] std::uint64_t total() const {
     return acked_lost + ghosts + duplicate_auth + counter_rewinds +
-           secret_leaks + recovery_errors;
+           secret_leaks + nonce_reuse + recovery_errors;
   }
 };
+
+/// Invariant 6: fold every sealed payload currently on disk (state
+/// files AND stranded .tmp snapshots) into the lineage's nonce map. The
+/// dangerous case this exists for: a crash after a snapshot tmp is
+/// fsync'd but before its rename leaves ciphertext under nonces that
+/// recovery never reads — a counter rebuilt from observed payloads
+/// would hand those nonces out again, and the reused keystream leaks
+/// the sealed secrets with no plaintext substring for invariant 5.
+std::size_t check_seal_nonces(const std::string& dir, Ledger& led,
+                              Invariants& inv, const char* label) {
+  std::vector<SealedSighting> sightings;
+  for (const char* file : kStateFiles) {
+    for (const char* suffix : {"", ".tmp"}) {
+      const auto path = dir + file + suffix;
+      if (!util::file_exists(path)) continue;
+      const auto bytes = util::read_file(path);
+      if (bytes.size() >= 4 && le32(bytes.data()) == 0x4D534A4CU)  // "MSJL"
+        scan_journal(bytes, sightings);
+      else
+        scan_snapshot(bytes, sightings);
+    }
+  }
+  std::size_t failures = 0;
+  for (const auto& sighting : sightings) {
+    const auto fingerprint = std::make_pair(sighting.crc, sighting.len);
+    const auto [it, fresh] =
+        led.seal_nonces.emplace(sighting.nonce, fingerprint);
+    if (!fresh && it->second != fingerprint) {
+      std::printf("INVARIANT 6 VIOLATED [%s]: sealing nonce %llu covers "
+                  "two different ciphertexts — CTR keystream reuse\n",
+                  label, static_cast<unsigned long long>(sighting.nonce));
+      ++inv.nonce_reuse;
+      ++failures;
+    }
+  }
+  return failures;
+}
 
 /// Run the device side of one handshake and return the server's RndB,
 /// or nullopt when the server (correctly) refuses. The device-side RndA
@@ -448,6 +569,9 @@ std::size_t verify(Rig& rig, Ledger& led, const std::string& dir,
       ++inv.secret_leaks;
     }
   }
+
+  // 6: no sealing-nonce reuse across the lineage's disk observations.
+  failures += check_seal_nonces(dir, led, inv, label);
   return failures;
 }
 
@@ -480,6 +604,13 @@ RunOutcome run_once(const Options& options,
     out.crash_site = crash.site;
   }
   rig.reset();  // process death
+
+  // Snapshot the nonce map from the crash wreckage BEFORE rebooting:
+  // recovery unlinks stranded .tmp files, so this is the only moment
+  // their sealed ciphertext (and the nonces it burned) is observable.
+  // A post-recovery append that recycled one of those nonces is then
+  // caught by the verify()-time scans against the same map.
+  out.failures += check_seal_nonces(options.dir, led, inv, "pre-reboot");
 
   // Reboot. The trigger stays armed: an nth-hit that falls inside
   // recovery kills the recovering process too, and the second reboot
@@ -661,6 +792,7 @@ int main(int argc, char** argv) {
   json.set_count("invariants.duplicate_auth", inv.duplicate_auth);
   json.set_count("invariants.counter_rewinds", inv.counter_rewinds);
   json.set_count("invariants.secret_leaks", inv.secret_leaks);
+  json.set_count("invariants.nonce_reuse", inv.nonce_reuse);
   json.set_count("invariants.recovery_errors", inv.recovery_errors);
   json.set_count("invariants.total_failures", inv.total());
   json.set_count("recovery.records_replayed", sizing.records_replayed);

@@ -24,6 +24,7 @@ constexpr std::uint32_t kSnapRecordMagic = 0x4D445243;    // "MDRC"
 constexpr std::uint32_t kSnapEnrollMagic = 0x4D44454E;    // "MDEN"
 constexpr std::uint32_t kSnapRegistryMagic = 0x4D445247;  // "MDRG"
 constexpr std::uint32_t kSnapSessionMagic = 0x4D445353;   // "MDSS"
+constexpr std::uint32_t kSealEpochMagic = 0x4D444550;     // "MDEP"
 
 std::string journal_file_for(const DurabilityConfig& config) {
   util::ensure_directory(config.dir);
@@ -79,13 +80,52 @@ DurableState::DurableState(DurabilityConfig config)
     : config_(std::move(config)),
       journal_(journal_file_for(config_),
                Journal::Config{config_.fsync}) {
+  // A crash between write_file_atomic's tmp fsync and its rename
+  // strands a fully sealed <store>.snap.tmp whose nonces recovery never
+  // reads; drop stale tmps before anything else so the stranded
+  // ciphertext cannot outlive the nonce accounting.
+  bool removed_tmp = false;
+  for (const auto& path :
+       {records_snapshot_path(), enroll_snapshot_path(),
+        registry_snapshot_path(), sessions_snapshot_path()})
+    removed_tmp |= util::remove_file(path + ".tmp");
+  if (removed_tmp) util::sync_parent_dir(records_snapshot_path());
   if (!config_.storage_key.empty()) {
     auto normalized =
         crypto::normalize_cmac_key(config_.storage_key);  // medsen: secret
     seal_key_.adopt(crypto::kdf_cmac(normalized, "medsen-store", {},
                                      crypto::Aes128::kKeySize));
     util::secure_wipe(normalized);
+    bump_seal_epoch();
   }
+}
+
+void DurableState::bump_seal_epoch() {
+  // Epoch-partitioned nonces: the durably persisted boot counter forms
+  // the high 32 bits of every nonce this process seals with, so this
+  // lifetime's nonce space is disjoint from every other's — including
+  // nonces that reached disk but are invisible to recovery (stranded
+  // snapshot tmps, torn journal tails). The bump is written *before*
+  // the first seal, so a crash mid-bump costs an epoch number, never a
+  // reuse.
+  std::uint64_t prior = 0;
+  const auto path = seal_epoch_path();
+  if (util::file_exists(path)) {
+    const auto body = unseal_blob(kSealEpochMagic, util::read_file(path));
+    prior = replay_guard("seal epoch", [&] {
+      util::ByteReader in(body);
+      const std::uint64_t epoch = in.u64();
+      in.expect_done("seal epoch");
+      return epoch;
+    });
+  }
+  if (prior >= 0xFFFFFFFFull)
+    throw PersistenceError("durability: seal epoch space exhausted");
+  seal_epoch_ = prior + 1;
+  util::ByteWriter body;
+  body.u64(seal_epoch_);
+  util::write_file_atomic(path, seal_blob(kSealEpochMagic, body.take()));
+  nonce_.store((seal_epoch_ << 32) | 1, std::memory_order_relaxed);
 }
 
 std::string DurableState::journal_path() const {
@@ -103,6 +143,9 @@ std::string DurableState::registry_snapshot_path() const {
 std::string DurableState::sessions_snapshot_path() const {
   return config_.dir + "/sessions.snap";
 }
+std::string DurableState::seal_epoch_path() const {
+  return config_.dir + "/seal.epoch";
+}
 
 std::vector<std::uint8_t> DurableState::seal_payload(
     std::vector<std::uint8_t> payload) {
@@ -114,6 +157,13 @@ std::vector<std::uint8_t> DurableState::seal_payload(
   }
   const std::uint64_t nonce =
       nonce_.fetch_add(1, std::memory_order_relaxed);
+  // A nonce outside this boot's epoch partition could collide with one
+  // issued by another lifetime; refuse to seal rather than risk CTR
+  // keystream reuse. Unreachable short of 2^32 seals in one process or
+  // a rewound seal.epoch file.
+  if ((nonce >> 32) != seal_epoch_)
+    throw PersistenceError("durability: sealing nonce outside this boot's "
+                           "epoch space");
   crypto::Aes128Ctr ctr(
       std::span<const std::uint8_t, crypto::Aes128::kKeySize>(
           seal_key_.data(), crypto::Aes128::kKeySize),
@@ -140,8 +190,11 @@ std::vector<std::uint8_t> DurableState::unseal_payload(
       throw PersistenceError(
           "durability: sealed payload but no storage key configured");
     const std::uint64_t nonce = in.u64();
-    // The nonce counter must stay ahead of every nonce ever written,
-    // including ones only visible through snapshots after compaction.
+    // Defense in depth: keep the counter ahead of every nonce actually
+    // observed. The real reuse guarantee is the epoch partition (state
+    // written by pre-epoch builds, or after a rewound seal.epoch file,
+    // can carry nonces at or above this boot's base — raising past them
+    // makes seal_payload fail closed rather than reuse).
     std::uint64_t expected = nonce_.load(std::memory_order_relaxed);
     while (nonce + 1 > expected &&
            !nonce_.compare_exchange_weak(expected, nonce + 1,
@@ -188,32 +241,44 @@ RecoveryStats DurableState::recover_into(CloudServer& server) {
   // Snapshots first. Each store is gated on its own applied_lsn, so a
   // crash between compaction's snapshot writes (mixed generations) still
   // replays exactly the missing suffix per store.
+  // Each apply loop runs under replay_guard like journal replay below:
+  // a snapshot/server mismatch (wrong alphabet, duplicate user) must
+  // surface as the typed PersistenceError the persistence contract
+  // documents, not a raw invalid_argument out of recovery.
   const auto [records_lsn, records_body] =
       read_snapshot(records_snapshot_path(), kSnapRecordMagic);
   if (records_lsn != 0 || !records_body.empty()) {
-    for (auto& [key, records] : decode_records_body(records_body))
-      server.records().restore(key, std::move(records));
+    replay_guard("snapshot restore (records)", [&] {
+      for (auto& [key, records] : decode_records_body(records_body))
+        server.records().restore(key, std::move(records));
+    });
     stats.snapshots_loaded = true;
   }
   const auto [enroll_lsn, enroll_body] =
       read_snapshot(enroll_snapshot_path(), kSnapEnrollMagic);
   if (enroll_lsn != 0 || !enroll_body.empty()) {
-    const auto db = decode_enrollments_body(enroll_body);
-    for (const auto& record : db.records())
-      server.enrollments().enroll(record.user_id, record.code);
+    replay_guard("snapshot restore (enrollments)", [&] {
+      const auto db = decode_enrollments_body(enroll_body);
+      for (const auto& record : db.records())
+        server.enrollments().enroll(record.user_id, record.code);
+    });
     stats.snapshots_loaded = true;
   }
   const auto [registry_lsn, registry_body] =
       read_snapshot(registry_snapshot_path(), kSnapRegistryMagic);
   if (registry_lsn != 0 || !registry_body.empty()) {
-    server.devices().restore(decode_registry_body(registry_body));
+    replay_guard("snapshot restore (registry)", [&] {
+      server.devices().restore(decode_registry_body(registry_body));
+    });
     stats.snapshots_loaded = true;
   }
   const auto [sessions_lsn, sessions_body] =
       read_snapshot(sessions_snapshot_path(), kSnapSessionMagic);
   if (sessions_lsn != 0 || !sessions_body.empty()) {
-    for (const auto& [device, seq] : decode_sessions_body(sessions_body))
-      server.sessions().restore_handshake_seq(device, seq);
+    replay_guard("snapshot restore (sessions)", [&] {
+      for (const auto& [device, seq] : decode_sessions_body(sessions_body))
+        server.sessions().restore_handshake_seq(device, seq);
+    });
     stats.snapshots_loaded = true;
   }
 
@@ -323,10 +388,22 @@ RecoveryStats DurableState::recover_into(CloudServer& server) {
 void DurableState::append_and_apply(JournalRecordType type,
                                     std::vector<std::uint8_t> payload,
                                     const std::function<void()>& apply) {
-  // Seal outside the gate (AES work off the lock), then journal and
-  // apply under it so compaction always sees memory == replay(journal).
+  append_and_apply(type, std::move(payload), {}, apply);
+}
+
+void DurableState::append_and_apply(JournalRecordType type,
+                                    std::vector<std::uint8_t> payload,
+                                    const std::function<void()>& validate,
+                                    const std::function<void()>& apply) {
+  // Seal outside the gate (AES work off the lock), then validate,
+  // journal and apply under it so compaction always sees memory ==
+  // replay(journal). Validation must be inside the gate: outside it,
+  // two racing mutations can both pass, both journal, and the loser's
+  // apply() throws *after* its record is durable — every later replay
+  // of that record then fails and the server can never boot.
   auto sealed = seal_payload(std::move(payload));
   gate_.with(0, [&](Gate&) {
+    if (validate) validate();
     journal_.append(type, sealed);
     apply();
   });
@@ -344,11 +421,13 @@ void DurableState::log_record(const std::string& key,
 
 void DurableState::log_user_enrolled(const std::string& user_id,
                                      const auth::CytoCode& code,
+                                     const std::function<void()>& validate,
                                      const std::function<void()>& apply) {
   util::ByteWriter payload;
   payload.str(user_id);
   payload.blob(auth::serialize_code(code));
-  append_and_apply(JournalRecordType::kUserEnrolled, payload.take(), apply);
+  append_and_apply(JournalRecordType::kUserEnrolled, payload.take(), validate,
+                   apply);
 }
 
 void DurableState::log_provision(std::uint64_t device_id,

@@ -15,10 +15,18 @@
 //
 // Secrets at rest: when `storage_key` is set, every journal payload and
 // every snapshot body is sealed with AES-128-CTR under a key derived
-// once from the storage key (nonces are a persisted monotonic counter,
-// never reused across restarts), so no plaintext key material, cyto-code
-// or enrollment record ever reaches disk — the chaos harness scans for
-// exactly that.
+// once from the storage key. Nonces are epoch-partitioned: a boot
+// counter persisted in seal.epoch is durably bumped at every open and
+// forms the high 32 bits of each nonce, so every process lifetime seals
+// in a disjoint nonce space. Counting only nonces *observed* during
+// recovery is not enough — a crash between write_file_atomic's tmp
+// fsync and its rename strands a fully sealed <store>.snap.tmp that
+// recovery never reads, and a torn final journal record consumes a
+// nonce the tail-truncation hides; either way a restart that resumed at
+// max(observed)+1 would re-issue a live nonce and two ciphertexts under
+// one keystream would coexist on disk (XOR of ciphertexts = XOR of
+// plaintexts). Stale .snap.tmp files are also unlinked at open so the
+// stranded ciphertext itself cannot linger.
 //
 // Handshake ordinals are journaled too (kHandshake): the server's
 // deterministic RndB derivation must never rewind across a crash, or a
@@ -89,8 +97,14 @@ class DurableState {
   // taken by compact() are always consistent with the journal LSN.
   void log_record(const std::string& key, const StoredRecord& record,
                   const std::function<void()>& apply);
+  /// `validate` runs under the gate, immediately before the journal
+  /// append: two racing enrollments of one code serialize there, so the
+  /// loser throws before its record reaches the WAL. Validating outside
+  /// the gate would let both pass and journal a record whose replay
+  /// throws on every later recovery — a permanently unbootable server.
   void log_user_enrolled(const std::string& user_id,
                          const auth::CytoCode& code,
+                         const std::function<void()>& validate,
                          const std::function<void()>& apply);
   void log_provision(std::uint64_t device_id,
                      std::span<const std::uint8_t> mac_key,
@@ -125,6 +139,9 @@ class DurableState {
   /// Handshake-ordinal snapshot — without it, compaction would truncate
   /// kHandshake records and a restart could rewind RndB freshness.
   [[nodiscard]] std::string sessions_snapshot_path() const;
+  /// The persisted sealing-nonce boot epoch (present only when a
+  /// storage key is configured).
+  [[nodiscard]] std::string seal_epoch_path() const;
 
  private:
   /// One-shard Sharded (cloud-mutex rule) serializing append+apply
@@ -134,6 +151,15 @@ class DurableState {
   void append_and_apply(JournalRecordType type,
                         std::vector<std::uint8_t> payload,
                         const std::function<void()>& apply);
+  /// As above, with `validate` run under the gate before the append so
+  /// a mutation that cannot apply is rejected before it is journaled.
+  void append_and_apply(JournalRecordType type,
+                        std::vector<std::uint8_t> payload,
+                        const std::function<void()>& validate,
+                        const std::function<void()>& apply);
+  /// Durably bump (and load) the seal.epoch boot counter; called once
+  /// at construction when sealing is enabled, before any seal_payload.
+  void bump_seal_epoch();
   /// Flag-prefixed payload sealing: u8 0 | plaintext, or
   /// u8 1 | u64 nonce | ciphertext when a storage key is configured.
   [[nodiscard]] std::vector<std::uint8_t> seal_payload(
@@ -150,8 +176,13 @@ class DurableState {
 
   DurabilityConfig config_;
   Journal journal_;
-  util::SecretBytes seal_key_;          ///< derived once; empty = plaintext
-  std::atomic<std::uint64_t> nonce_{1};  ///< next sealing nonce
+  util::SecretBytes seal_key_;  ///< derived once; empty = plaintext
+  /// This boot's sealing-nonce epoch (high 32 nonce bits), from
+  /// seal.epoch. 0 = sealing disabled.
+  std::uint64_t seal_epoch_ = 0;
+  /// Next sealing nonce: seal_epoch_ << 32 | in-boot counter. Disjoint
+  /// per process lifetime — see the header comment.
+  std::atomic<std::uint64_t> nonce_{1};
   util::Sharded<Gate> gate_{1};
   RecoveryStats recovery_;
 };

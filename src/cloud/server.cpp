@@ -129,9 +129,12 @@ void CloudServer::enroll_user(const std::string& user_id,
   }
   // Validate before journaling: a journaled operation must replay
   // cleanly, so an enrollment that would throw never reaches the WAL.
-  db_.check_enrollable(user_id, code);
-  durable_->log_user_enrolled(user_id, code,
-                              [&] { db_.enroll(user_id, code); });
+  // The check runs inside the durability gate (not here), so two racing
+  // enrollments of one code serialize and the loser is rejected before
+  // its record is durable.
+  durable_->log_user_enrolled(
+      user_id, code, [&] { db_.check_enrollable(user_id, code); },
+      [&] { db_.enroll(user_id, code); });
   durable_->maybe_compact(*this);
 }
 

@@ -133,7 +133,18 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
 }
 
 bool file_exists(const std::string& path) {
-  return ::access(path.c_str(), R_OK) == 0;
+  // stat, not access(R_OK): an existing-but-unreadable file must still
+  // report true, or a caller (Journal::open) would mistake a permissions
+  // problem for absence and reinitialize — destroying acknowledged
+  // state. The open/read that follows surfaces the real EACCES.
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) == 0) return true;
+  if (errno == ENOENT) return false;
+  throw_errno("unlink: " + path);
 }
 
 void sync_parent_dir(const std::string& path) {

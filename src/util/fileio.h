@@ -36,8 +36,18 @@ void write_file_atomic(const std::string& path,
 /// or read.
 std::vector<std::uint8_t> read_file(const std::string& path);
 
-/// Does the path exist and open readably?
+/// Does the path exist? stat-based on purpose: a file that exists but
+/// cannot be read (permissions) still reports true, so callers that
+/// would (re)initialize an absent file never wipe live state they
+/// merely failed to open — the subsequent open/read throws the real
+/// error instead. Follows symlinks; any stat-able entry counts.
 bool file_exists(const std::string& path);
+
+/// Unlink `path`. Returns true if a file was removed, false if the path
+/// did not exist; any other failure throws std::system_error. The
+/// caller decides whether the unlink needs a parent-directory fsync
+/// (sync_parent_dir) to be durable.
+bool remove_file(const std::string& path);
 
 /// fsync the directory containing `path`, making renames/creations of
 /// entries inside it durable.

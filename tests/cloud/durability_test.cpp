@@ -8,17 +8,23 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <optional>
+#include <set>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cloud/persistence_error.h"
 #include "cloud/server.h"
+#include "compress/crc32.h"
 #include "core/session_crypto.h"
 #include "crypto/cmac.h"
 #include "net/messages.h"
+#include "util/crash_point.h"
 #include "util/fileio.h"
 
 namespace medsen::cloud {
@@ -34,8 +40,11 @@ std::string temp_dir(const char* name) {
 
 void remove_state(const std::string& dir) {
   for (const char* file : {"/journal.wal", "/records.snap", "/enroll.snap",
-                           "/registry.snap", "/sessions.snap"})
+                           "/registry.snap", "/sessions.snap",
+                           "/seal.epoch"}) {
     std::remove((dir + file).c_str());
+    std::remove((dir + file + ".tmp").c_str());
+  }
 }
 
 std::vector<std::uint8_t> master_key(std::uint8_t fill) {
@@ -84,6 +93,53 @@ bool on_disk(const std::string& dir, std::span<const std::uint8_t> needle) {
       return true;
   }
   return false;
+}
+
+// ---- sealing-nonce extraction (outside-in, per docs/PROTOCOL.md) ----
+
+std::uint32_t le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(le32(p)) |
+         (static_cast<std::uint64_t>(le32(p + 4)) << 32);
+}
+
+/// The CTR nonce of a snapshot container's sealed body
+/// (u32 magic | u32 ver | u32 crc | blob(u64 lsn | blob(u8 1 | u64
+/// nonce | ct))), or nullopt if the file is torn or unsealed.
+std::optional<std::uint64_t> snapshot_nonce(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 16) return std::nullopt;
+  const std::uint32_t outer_len = le32(bytes.data() + 12);
+  if (outer_len < 12 || outer_len > bytes.size() - 16) return std::nullopt;
+  const std::uint8_t* outer = bytes.data() + 16;
+  const std::uint32_t flagged_len = le32(outer + 8);
+  if (flagged_len < 9 || flagged_len > outer_len - 12) return std::nullopt;
+  if (outer[12] != 1) return std::nullopt;  // not sealed
+  return le64(outer + 13);
+}
+
+/// Every CTR nonce in a journal's CRC-complete sealed records.
+std::vector<std::uint64_t> journal_nonces(
+    const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::uint64_t> nonces;
+  std::size_t offset = 16;  // file header
+  while (offset + 8 <= bytes.size()) {
+    const std::uint32_t len = le32(bytes.data() + offset);
+    const std::uint32_t crc = le32(bytes.data() + offset + 4);
+    if (len > bytes.size() - offset - 8) break;
+    const std::span<const std::uint8_t> body{bytes.data() + offset + 8, len};
+    if (compress::crc32(body) != crc) break;
+    // body = u64 lsn | u8 type | u8 flag | u64 nonce | ciphertext
+    if (len >= 9 + 9 && body[9] == 1) nonces.push_back(le64(body.data() + 10));
+    offset += 8 + len;
+  }
+  return nonces;
 }
 
 TEST(Durability, StateSurvivesRestartViaJournalReplay) {
@@ -307,6 +363,113 @@ TEST(Durability, CorruptSnapshotThrowsTyped) {
   bytes[bytes.size() / 2] ^= 0xFF;
   util::write_file(dir + "/enroll.snap", bytes);
   EXPECT_THROW(Rig{config_for(dir)}, PersistenceError);
+  remove_state(dir);
+}
+
+TEST(Durability, CrashDuringCompactionNeverReusesSealingNonces) {
+  // The reuse hole this pins: compaction crashes after records.snap.tmp
+  // is fully written and fsync'd but before the rename. The stranded
+  // tmp holds ciphertext under a nonce recovery never reads (it only
+  // unseals committed snapshots + the journal), so a counter rebuilt
+  // from observed payloads would re-issue that nonce on the next append
+  // — two ciphertexts under one AES-CTR keystream, XOR of ciphertexts =
+  // XOR of plaintexts. The fix is the per-boot epoch partition in
+  // seal.epoch plus dropping stale tmps at open.
+  const auto dir = temp_dir("noncereuse");
+  remove_state(dir);
+  DurabilityConfig config = config_for(dir);
+  config.storage_key = std::vector<std::uint8_t>(32, 0x42);
+  const auto code = code_of({2, 1});
+  {
+    Rig rig(config);
+    rig.server->enroll_user("grace", code);
+    rig.server->store_result(code, {41, {0x41}});
+    util::ScopedCrashArm armed("fileio.atomic.tmp_synced");
+    EXPECT_THROW(rig.durable->compact(*rig.server), util::SimulatedCrash);
+  }
+  const auto tmp = dir + "/records.snap.tmp";
+  ASSERT_TRUE(util::file_exists(tmp));
+  const auto stranded = snapshot_nonce(util::read_file(tmp));
+  ASSERT_TRUE(stranded.has_value());
+
+  {
+    Rig rig(config);
+    // Stale tmps are dropped at open, so the stranded ciphertext cannot
+    // outlive the nonce accounting either.
+    EXPECT_FALSE(util::file_exists(tmp));
+    rig.server->store_result(code, {42, {0x42}});
+  }
+
+  // Every sealed journal record — old boot and new — carries a nonce
+  // distinct from the stranded one and from each other.
+  const auto nonces = journal_nonces(util::read_file(dir + "/journal.wal"));
+  ASSERT_GE(nonces.size(), 3u);  // enroll, store 41, store 42
+  const std::set<std::uint64_t> unique(nonces.begin(), nonces.end());
+  EXPECT_EQ(unique.size(), nonces.size()) << "nonce reused inside journal";
+  EXPECT_EQ(unique.count(*stranded), 0u)
+      << "stranded snapshot nonce re-issued after restart";
+  remove_state(dir);
+}
+
+TEST(Durability, RacingEnrollmentsNeverPoisonTheJournal) {
+  // Validation must run inside the durability gate: if two racing
+  // enrollments of one code both pass a check done outside it, both
+  // journal kUserEnrolled and the loser's apply() throws only after its
+  // record is durable — every later replay then throws and the server
+  // can never boot again.
+  const auto dir = temp_dir("enrollrace");
+  remove_state(dir);
+  constexpr int kRounds = 12;
+  {
+    Rig rig(config_for(dir));
+    for (int round = 0; round < kRounds; ++round) {
+      const auto code =
+          code_of({static_cast<std::uint8_t>(1 + round % 4),
+                   static_cast<std::uint8_t>(1 + round / 4)});
+      std::atomic<int> rejected{0};
+      std::vector<std::thread> threads;
+      threads.reserve(4);
+      for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&rig, &rejected, &code, round, t] {
+          try {
+            rig.server->enroll_user("user" + std::to_string(round) + "_" +
+                                        std::to_string(t),
+                                    code);
+          } catch (const std::invalid_argument&) {
+            ++rejected;
+          }
+        });
+      }
+      for (auto& thread : threads) thread.join();
+      EXPECT_EQ(rejected.load(), 3) << "round " << round;
+    }
+  }
+  // The replay is the proof: exactly one record per code reached the
+  // WAL, so recovery applies cleanly instead of throwing.
+  Rig rig(config_for(dir));
+  EXPECT_EQ(rig.recovery.user_enrollments,
+            static_cast<std::uint64_t>(kRounds));
+  remove_state(dir);
+}
+
+TEST(Durability, SnapshotServerMismatchSurfacesTyped) {
+  // A snapshot written under one alphabet recovered into a server with
+  // another makes enroll() throw std::invalid_argument mid-restore;
+  // the persistence contract says every recovery failure is the typed
+  // PersistenceError.
+  const auto dir = temp_dir("snapmismatch");
+  remove_state(dir);
+  {
+    Rig rig(config_for(dir));
+    rig.server->enroll_user("heidi", code_of({4, 4}));
+    rig.durable->compact(*rig.server);
+  }
+  DurableState durable(config_for(dir));
+  auth::CytoAlphabet small;
+  small.concentration_levels_per_ul = {0.0, 150.0};  // level 4 invalid
+  CloudServer server(AnalysisConfig{}, small,
+                     auth::ParticleClassifier::train({}));
+  EXPECT_THROW(server.attach_durability(durable), PersistenceError);
   remove_state(dir);
 }
 

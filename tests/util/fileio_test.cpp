@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <string>
 #include <system_error>
@@ -87,6 +89,39 @@ TEST(FileIo, AtomicWriteCrashSitesNeverTearTheTarget) {
   }
   std::remove(path.c_str());
   std::remove((path + ".tmp").c_str());
+}
+
+TEST(FileIo, FileExistsIsStatBasedNotReadability) {
+  // file_exists must answer "is there something at this path", not "can
+  // I read it": a journal that exists but is unreadable (permissions)
+  // must never be mistaken for absent and reinitialized — that would
+  // truncate acknowledged state. A write-only file is the probe; under
+  // an access(R_OK) implementation it reports absent for non-root
+  // callers.
+  const auto path = temp_path("writeonly.bin");
+  write_file(path, bytes({1, 2}));
+  ASSERT_EQ(::chmod(path.c_str(), 0200), 0);
+  EXPECT_TRUE(file_exists(path));
+  ASSERT_EQ(::chmod(path.c_str(), 0644), 0);
+  std::remove(path.c_str());
+  // Directories stat too: any entry at the path counts.
+  const auto dir = temp_path("exists_dir");
+  ensure_directory(dir);
+  EXPECT_TRUE(file_exists(dir));
+}
+
+TEST(FileIo, RemoveFileReportsAndThrows) {
+  const auto path = temp_path("removable.bin");
+  write_file(path, bytes({1}));
+  EXPECT_TRUE(remove_file(path));
+  EXPECT_FALSE(file_exists(path));
+  // Removing a missing file is a clean false, not an error.
+  EXPECT_FALSE(remove_file(path));
+  // A real failure (path component is not a directory) throws with the
+  // errno attached.
+  write_file(path, bytes({1}));
+  EXPECT_THROW((void)remove_file(path + "/not_a_dir"), std::system_error);
+  std::remove(path.c_str());
 }
 
 TEST(FileIo, EnsureDirectoryIsIdempotent) {

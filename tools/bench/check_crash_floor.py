@@ -34,6 +34,7 @@ INVARIANT_KEYS = (
     "invariants.duplicate_auth",
     "invariants.counter_rewinds",
     "invariants.secret_leaks",
+    "invariants.nonce_reuse",
     "invariants.recovery_errors",
     "invariants.total_failures",
 )
